@@ -1,0 +1,80 @@
+//! Micro-benchmarks of `ComputeInstant()` — the computation that replaces
+//! simulation events, and whose growth with node count drives the paper's
+//! Fig. 5 trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evolve_core::{derive_tdg, synthetic, Engine};
+use evolve_des::Time;
+use evolve_model::didactic;
+
+const ITERS: u64 = 1_000;
+
+fn bench_compute_instant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/compute_instant");
+    group.sample_size(20);
+
+    let d = didactic::chained(1, didactic::Params::default()).expect("builds");
+    let derived = derive_tdg(&d.arch).expect("derives");
+    let rels = d.arch.app().relations().len();
+    for record in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("didactic_1k", record),
+            &record,
+            |b, &record| {
+                b.iter(|| {
+                    let mut e = Engine::new(derived.clone(), rels, record);
+                    for k in 0..ITERS {
+                        e.set_input(0, k, Time::from_ticks(k * 100), 8 + (k % 64));
+                        while e.next_output(0).is_some() {}
+                    }
+                    e.stats()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_padding_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/padding");
+    group.sample_size(20);
+    let p = synthetic::pipeline(3, 100, 1).expect("builds");
+    let derived = derive_tdg(&p.arch).expect("derives");
+    let rels = p.arch.app().relations().len();
+    for padding in [0usize, 100, 1_000] {
+        let padded = evolve_core::DerivedTdg {
+            tdg: synthetic::pad(&derived.tdg, padding),
+            size_rules: derived.size_rules.clone(),
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(padding),
+            &padding,
+            |b, _| {
+                b.iter(|| {
+                    let mut e = Engine::new(padded.clone(), rels, false);
+                    for k in 0..ITERS {
+                        e.set_input(0, k, Time::from_ticks(k * 100), 4);
+                        while e.next_output(0).is_some() {}
+                    }
+                    e.stats()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/derive");
+    group.sample_size(30);
+    for stages in [1usize, 4, 16] {
+        let d = didactic::chained(stages, didactic::Params::default()).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| derive_tdg(&d.arch).expect("derives"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute_instant, bench_padding_overhead, bench_derivation);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Micro-benchmarks of the DES kernel primitives — the per-event costs
+//! whose multiplication by the event count the paper's method removes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evolve_des::{
+    Activation, Api, ChannelId, Completion, Duration, Kernel, Process, ReadOutcome, WriteOutcome,
+};
+
+/// Ping: write a token, await the echo, repeat `rounds` times.
+struct Ping {
+    tx: ChannelId,
+    rx: ChannelId,
+    rounds: u64,
+    state: u8, // 0 = ready to write, 1 = write parked, 2 = ready to read, 3 = read parked
+}
+impl Process<u64> for Ping {
+    fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+        match (self.state, api.take_completion()) {
+            (1, Some(Completion::WriteDone)) => self.state = 2,
+            (3, Some(Completion::Read(_))) => {
+                self.rounds -= 1;
+                self.state = 0;
+            }
+            (_, None) => {}
+            (s, c) => panic!("ping: unexpected completion {c:?} in state {s}"),
+        }
+        loop {
+            match self.state {
+                0 => {
+                    if self.rounds == 0 {
+                        return Activation::Done;
+                    }
+                    match api.write(self.tx, self.rounds) {
+                        WriteOutcome::Done => self.state = 2,
+                        WriteOutcome::Blocked => {
+                            self.state = 1;
+                            return Activation::Blocked;
+                        }
+                    }
+                }
+                2 => match api.read(self.rx) {
+                    ReadOutcome::Done(_) => {
+                        self.rounds -= 1;
+                        self.state = 0;
+                    }
+                    ReadOutcome::Blocked => {
+                        self.state = 3;
+                        return Activation::Blocked;
+                    }
+                },
+                s => unreachable!("ping state {s}"),
+            }
+        }
+    }
+}
+
+/// Pong: read a token, echo it back, forever (ends when the kernel drains).
+struct Pong {
+    tx: ChannelId,
+    rx: ChannelId,
+    state: u8, // 0 = ready to read, 1 = read parked, 2 = ready to write, 3 = write parked
+    value: u64,
+}
+impl Process<u64> for Pong {
+    fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+        match (self.state, api.take_completion()) {
+            (1, Some(Completion::Read(v))) => {
+                self.value = v;
+                self.state = 2;
+            }
+            (3, Some(Completion::WriteDone)) => self.state = 0,
+            (_, None) => {}
+            (s, c) => panic!("pong: unexpected completion {c:?} in state {s}"),
+        }
+        loop {
+            match self.state {
+                0 => match api.read(self.rx) {
+                    ReadOutcome::Done(v) => {
+                        self.value = v;
+                        self.state = 2;
+                    }
+                    ReadOutcome::Blocked => {
+                        self.state = 1;
+                        return Activation::Blocked;
+                    }
+                },
+                2 => match api.write(self.tx, self.value) {
+                    WriteOutcome::Done => self.state = 0,
+                    WriteOutcome::Blocked => {
+                        self.state = 3;
+                        return Activation::Blocked;
+                    }
+                },
+                s => unreachable!("pong state {s}"),
+            }
+        }
+    }
+}
+
+/// A timer process: one heap entry per wake.
+struct Timer {
+    remaining: u64,
+}
+impl Process<u64> for Timer {
+    fn resume(&mut self, _api: &mut Api<'_, u64>) -> Activation {
+        if self.remaining == 0 {
+            return Activation::Done;
+        }
+        self.remaining -= 1;
+        Activation::WaitFor(Duration::from_ticks(10))
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(20);
+    group.bench_function("rendezvous_pingpong_1k", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new();
+            let a = k.add_rendezvous();
+            let bb = k.add_rendezvous();
+            k.spawn(
+                "ping",
+                Ping {
+                    tx: a,
+                    rx: bb,
+                    rounds: 1_000,
+                    state: 0,
+                },
+            );
+            k.spawn(
+                "pong",
+                Pong {
+                    tx: bb,
+                    rx: a,
+                    state: 0,
+                    value: 0,
+                },
+            );
+            k.run();
+            assert_eq!(k.relation_events(), 2_000, "both channels fully used");
+            k.stats()
+        })
+    });
+    group.bench_function("timed_waits_10k", |b| {
+        b.iter(|| {
+            let mut k: Kernel<u64> = Kernel::new();
+            k.spawn("timer", Timer { remaining: 10_000 });
+            k.run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches behind the Section V measurement: the LTE receiver in
+//! both model forms (native kernel regime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evolve_core::EquivalentModelBuilder;
+use evolve_lte::{receiver, symbol_stimulus, Scenario};
+use evolve_model::{elaborate, Environment};
+
+const SYMBOLS: u64 = 1_400; // 100 frames
+
+fn setup() -> (evolve_lte::Receiver, Environment) {
+    let rx = receiver(Scenario::default()).expect("builds");
+    let env = Environment::new().stimulus(rx.input, symbol_stimulus(rx.scenario, SYMBOLS, 42));
+    (rx, env)
+}
+
+fn bench_lte(c: &mut Criterion) {
+    let (rx, env) = setup();
+    let mut group = c.benchmark_group("lte");
+    group.sample_size(10);
+    group.bench_function("conventional", |b| {
+        b.iter(|| elaborate(&rx.arch, &env).expect("builds").run())
+    });
+    group.bench_function("equivalent/observing", |b| {
+        b.iter(|| {
+            EquivalentModelBuilder::new(&rx.arch)
+                .record_observations(true)
+                .build(&env)
+                .expect("builds")
+                .run()
+        })
+    });
+    group.bench_function("equivalent/boundary", |b| {
+        b.iter(|| {
+            EquivalentModelBuilder::new(&rx.arch)
+                .record_observations(false)
+                .simplify(evolve_core::simplify::Options {
+                    preserve_observations: false,
+                })
+                .build(&env)
+                .expect("builds")
+                .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lte);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the (max,+) algebra kernels used by derivation and
+//! analysis: Kleene star, cycle means, recurrence stepping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evolve_maxplus::{
+    eigenpair, max_cycle_mean, star, LinearSystemBuilder, Matrix, MaxPlus, Vector,
+};
+
+/// A banded random-ish matrix: lower band finite, rest ε (acyclic).
+fn banded(n: usize, band: usize) -> Matrix {
+    let mut m = Matrix::epsilon(n, n);
+    for i in 0..n {
+        for j in i.saturating_sub(band)..i {
+            m[(i, j)] = MaxPlus::new(((i * 31 + j * 17) % 100) as i64);
+        }
+    }
+    m
+}
+
+/// A cyclic matrix: the band plus a feedback arc.
+fn cyclic(n: usize, band: usize) -> Matrix {
+    let mut m = banded(n, band);
+    m[(0, n - 1)] = MaxPlus::new(5);
+    m
+}
+
+fn bench_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxplus/star");
+    group.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let m = banded(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| star(&m).expect("acyclic"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_mean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxplus/cycle_mean");
+    group.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let m = cyclic(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| max_cycle_mean(&m).expect("cyclic"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigenpair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxplus/eigenpair");
+    group.sample_size(20);
+    for n in [8usize, 32] {
+        let m = cyclic(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eigenpair(&m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxplus/system_step_1k");
+    group.sample_size(20);
+    for n in [8usize, 32] {
+        let a0 = banded(n, 3);
+        let mut a1 = Matrix::epsilon(n, n);
+        for i in 0..n {
+            a1[(i, i)] = MaxPlus::new(10);
+        }
+        let mut b0 = Matrix::epsilon(n, 1);
+        b0[(0, 0)] = MaxPlus::E;
+        let mut c0 = Matrix::epsilon(1, n);
+        c0[(0, n - 1)] = MaxPlus::E;
+        let sys = LinearSystemBuilder::new(n, 1, 1)
+            .push_a(a0.clone())
+            .push_a(a1.clone())
+            .push_b(b0.clone())
+            .push_c(c0.clone())
+            .build()
+            .expect("well-formed");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut sys = sys.clone();
+                let mut y = Vector::epsilon(1);
+                for k in 0..1_000 {
+                    y = sys.step(&Vector::from_finite(&[k])).expect("steps");
+                }
+                y
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_star,
+    bench_cycle_mean,
+    bench_eigenpair,
+    bench_system_step
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation of the design choices called out in DESIGN.md: what each part
+//! of the method buys.
+//!
+//! Axes:
+//! * observation replay on/off (accuracy vs. speed of `ComputeInstant()`),
+//! * graph simplification on/off (node count vs. engine cost),
+//! * kernel cost regime (how much the event savings are worth).
+//!
+//! Usage: `ablation [tokens]` (default 20 000).
+
+use evolve_bench::{format_row, header, measure, Fidelity};
+use evolve_core::{derive_tdg, simplify, EquivalentModelBuilder};
+use evolve_model::{didactic, varying_sizes, Environment, Stimulus};
+
+fn main() {
+    let tokens: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("tokens must be a number"))
+        .unwrap_or(20_000);
+
+    let d = didactic::chained(2, didactic::Params::default()).expect("didactic builds");
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::saturating(tokens, varying_sizes(1, 256, 9)),
+    );
+
+    println!("Ablation — didactic x2, {tokens} tokens");
+    println!();
+
+    // Graph sizes across simplification options.
+    let derived = derive_tdg(&d.arch).expect("derives");
+    let observing = simplify::simplify_default(&derived.tdg);
+    let boundary = simplify::simplify(
+        &derived.tdg,
+        &simplify::Options {
+            preserve_observations: false,
+        },
+    );
+    println!(
+        "graph nodes: derived={}, simplified(observing)={}, simplified(boundary)={}",
+        derived.tdg.node_count(),
+        observing.node_count(),
+        boundary.node_count()
+    );
+    println!();
+
+    for cost in [0u64, 1_000] {
+        println!("== dispatch cost {cost} ns ==");
+        println!("{}", header());
+        for fidelity in [Fidelity::Observing, Fidelity::BoundaryOnly] {
+            let m = measure(format!("{fidelity:?}"), &d.arch, &env, fidelity, cost, 0);
+            println!("{}", format_row(&m));
+        }
+        println!();
+    }
+
+    // Partial abstraction: abstract only the P1 side of each stage.
+    let group: Vec<evolve_model::FunctionId> = (0..8)
+        .filter(|i| i % 4 < 2) // F1, F2 of both stages (P1/P1.1 exclusive)
+        .map(evolve_model::FunctionId::from_index)
+        .collect();
+    let conventional = evolve_model::elaborate(&d.arch, &env).expect("builds").run();
+    let hybrid = evolve_core::partial::hybrid_simulation(&d.arch, &group, &env)
+        .expect("hybrid builds")
+        .run();
+    let exact = (0..d.arch.app().relations().len()).all(|r| {
+        conventional.relation_logs[r].write_instants
+            == hybrid.run.relation_logs[r].write_instants
+    });
+    println!(
+        "hybrid (P1-side abstracted): conv {:?} vs hybrid {:?}, activations {} -> {}, {}",
+        conventional.wall,
+        hybrid.run.wall,
+        conventional.stats.activations,
+        hybrid.run.stats.activations,
+        if exact { "exact" } else { "MISMATCH" }
+    );
+    println!();
+
+    // Engine statistics: how much computation replaces the saved events.
+    let eq = EquivalentModelBuilder::new(&d.arch)
+        .record_observations(true)
+        .build(&env)
+        .expect("builds")
+        .run();
+    println!(
+        "engine: {} nodes computed, {} arc evaluations, {} iterations",
+        eq.engine_stats.nodes_computed, eq.engine_stats.arcs_evaluated,
+        eq.engine_stats.iterations_completed
+    );
+    println!(
+        "kernel: conventional-style events replaced by {} boundary events",
+        eq.boundary_relation_events
+    );
+}

@@ -1,0 +1,71 @@
+//! Reproduces **Fig. 5**: "Evaluation of the influence of the computation
+//! method complexity on the achieved simulation speed-up".
+//!
+//! For several sizes of the evolution-instant vector `X(k)` (pipelines of
+//! increasing length), the temporal dependency graph is padded with
+//! computation-only nodes and the simulation speed-up of the equivalent
+//! model is measured against the node count. The paper observes negligible
+//! influence below ~100 nodes, degradation beyond, and a slow-down past
+//! ~1000 nodes.
+//!
+//! Usage: `fig5 [tokens] [dispatch_cost_ns]` (defaults: 5 000 tokens, 1 µs).
+
+use evolve_bench::{measure, Fidelity};
+use evolve_core::{derive_tdg, synthetic};
+use evolve_model::{varying_sizes, Environment, Stimulus};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let tokens: u64 = args
+        .next()
+        .map(|s| s.parse().expect("tokens must be a number"))
+        .unwrap_or(5_000);
+    let cost: u64 = args
+        .next()
+        .map(|s| s.parse().expect("dispatch cost must be a number"))
+        .unwrap_or(1_000);
+
+    println!("Fig. 5 reproduction — speed-up vs. graph node count");
+    println!("stimulus: {tokens} tokens; kernel dispatch cost {cost} ns");
+    println!("(paper: curves for X sizes 6/10/20/30; flat < 100 nodes, slow-down > 1000)");
+    println!();
+
+    // Pipeline stages chosen so the derived X vector sizes bracket the
+    // paper's 6/10/20/30.
+    let stage_counts = [2usize, 3, 6, 10];
+    let paddings = [0usize, 10, 30, 100, 300, 1_000, 3_000];
+
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} {:>12} {:>9}",
+        "X size", "padding", "nodes", "conv (ms)", "equiv (ms)", "speedup"
+    );
+    for stages in stage_counts {
+        let p = synthetic::pipeline(stages, 200, 2).expect("pipeline builds");
+        let x_size = derive_tdg(&p.arch).expect("derives").tdg.node_count() - 1;
+        let env = Environment::new().stimulus(
+            p.input,
+            Stimulus::saturating(tokens, varying_sizes(1, 64, stages as u64)),
+        );
+        for padding in paddings {
+            let m = measure(
+                format!("X={x_size}"),
+                &p.arch,
+                &env,
+                Fidelity::Observing,
+                cost,
+                padding,
+            );
+            println!(
+                "{:<10} {:>8} {:>9} {:>12.3} {:>12.3} {:>9.2}{}",
+                m.label,
+                padding,
+                m.nodes,
+                m.conventional_wall.as_secs_f64() * 1e3,
+                m.equivalent_wall.as_secs_f64() * 1e3,
+                m.speedup(),
+                if m.accurate { "" } else { "  MISMATCH" },
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,62 @@
+//! Reproduces **Table I**: "Measurement of achieved simulation speed-up on
+//! distinct architecture models".
+//!
+//! The paper's four rows are the didactic example (Fig. 1) chained ×1..×4,
+//! each simulated with 20 000 data items of varying size through `M1`, in
+//! the conventional and the equivalent form. Reported per row: execution
+//! time, event ratio, simulation speed-up, and the node count of the
+//! temporal dependency graph.
+//!
+//! Usage: `table1 [tokens] [dispatch_cost_ns]`
+//! (defaults: 20 000 tokens; both native and 1 µs-calibrated regimes).
+
+use evolve_bench::{format_row, header, measure, Fidelity};
+use evolve_model::{didactic, varying_sizes, Environment, Stimulus};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let tokens: u64 = args
+        .next()
+        .map(|s| s.parse().expect("tokens must be a number"))
+        .unwrap_or(20_000);
+    let costs: Vec<u64> = match args.next() {
+        Some(s) => vec![s.parse().expect("dispatch cost must be a number")],
+        None => vec![0, 1_000],
+    };
+
+    println!("Table I reproduction — didactic example chained x1..x4");
+    println!("stimulus: {tokens} data items with varying sizes through M1");
+    println!();
+
+    for cost in costs {
+        let regime = if cost == 0 {
+            "native kernel (~50 ns/dispatch)".to_string()
+        } else {
+            format!("calibrated kernel ({cost} ns/dispatch — heavyweight-simulator regime)")
+        };
+        for fidelity in [Fidelity::Observing, Fidelity::BoundaryOnly] {
+            println!("== {regime}, {fidelity:?} equivalent model ==");
+            println!("{}", header());
+            for stages in 1..=4 {
+                let d = didactic::chained(stages, didactic::Params::default())
+                    .expect("didactic architecture builds");
+                let env = Environment::new().stimulus(
+                    d.input(),
+                    Stimulus::saturating(tokens, varying_sizes(1, 256, stages as u64)),
+                );
+                let m = measure(
+                    format!("example {stages}"),
+                    &d.arch,
+                    &env,
+                    fidelity,
+                    cost,
+                    0,
+                );
+                println!("{}", format_row(&m));
+            }
+            println!();
+        }
+    }
+    println!("paper reference:   time 22/41.2/59.4/80.2 s, event ratio 2.33/4.66/7/9.33,");
+    println!("                   speed-up 2.27/4.47/6.38/8.35, nodes 10/19/28/37");
+}

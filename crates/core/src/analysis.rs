@@ -1,0 +1,551 @@
+//! (max,+) analysis of derived graphs: steady-state throughput prediction.
+//!
+//! A temporal dependency graph with constant (or reference-size-frozen)
+//! weights is a max-plus linear system (paper eqs. (7)–(10)). Its
+//! eigenvalue — the maximum cycle *ratio* weight/delay over all cycles —
+//! is the asymptotic period of the architecture under saturation: the
+//! steady-state spacing of output instants. This module freezes a graph's
+//! weights at a reference iteration and computes that eigenvalue with
+//! Karp's algorithm (after expanding multi-delay arcs into unit-delay
+//! chains), giving an *analytical* throughput prediction that the test
+//! suite cross-checks against simulation.
+
+use evolve_maxplus::{max_cycle_mean, CycleMean, LinearSystem, LinearSystemBuilder, Matrix, MaxPlus};
+use evolve_model::LoadContext;
+
+use crate::tdg::Tdg;
+
+/// Freezes the data-dependent weights of a graph at a reference size and
+/// iteration, returning each arc's constant lag in ticks.
+///
+/// Uses iteration `k = 0` for load evaluation; for
+/// [`LoadModel::Uniform`](evolve_model::LoadModel::Uniform) loads this is a
+/// representative draw, so the prediction is approximate — exactly as a
+/// designer would use it.
+pub fn freeze_weights(tdg: &Tdg, reference_size: u64) -> Vec<u64> {
+    tdg.arcs()
+        .iter()
+        .map(|arc| {
+            let mut lag = arc.weight.constant;
+            for term in &arc.weight.execs {
+                let ops = term.load.ops(LoadContext {
+                    function: term.function.index(),
+                    stmt: term.stmt,
+                    k: 0,
+                    size: reference_size,
+                });
+                lag += evolve_model::duration_for(ops, term.speed).ticks();
+            }
+            lag
+        })
+        .collect()
+}
+
+/// The predicted steady-state period of the architecture under saturation,
+/// as a maximum cycle ratio of the frozen graph.
+///
+/// Returns `None` for acyclic graphs (a pure feed-forward model has no
+/// throughput bound of its own: the input rate dominates).
+pub fn predicted_period(tdg: &Tdg, reference_size: u64) -> Option<CycleMean> {
+    let lags = freeze_weights(tdg, reference_size);
+
+    // Expand delay-d arcs (d ≥ 2) into chains of unit-delay dummy nodes so
+    // the system becomes X(k) = A0 ⊗ X(k) ⊕ A1 ⊗ X(k−1), whose eigenvalue
+    // is the max cycle mean of A0* ⊗ A1.
+    let base = tdg.node_count();
+    let extra: usize = tdg
+        .arcs()
+        .iter()
+        .map(|a| (a.delay as usize).saturating_sub(1))
+        .sum();
+    let dim = base + extra;
+    let mut a0 = Matrix::epsilon(dim, dim);
+    let mut a1 = Matrix::epsilon(dim, dim);
+    let mut next_dummy = base;
+    for (arc, &lag) in tdg.arcs().iter().zip(&lags) {
+        let w = MaxPlus::new(lag as i64);
+        let (src, dst) = (arc.src.index(), arc.dst.index());
+        match arc.delay {
+            0 => a0[(dst, src)] = a0[(dst, src)].oplus(w),
+            1 => a1[(dst, src)] = a1[(dst, src)].oplus(w),
+            d => {
+                // src → dummy₁ → … → dummy_{d−1} → dst, one delay each.
+                let mut prev = src;
+                for step in 0..d {
+                    let weight = if step == 0 { w } else { MaxPlus::E };
+                    let target = if step + 1 == d {
+                        dst
+                    } else {
+                        let t = next_dummy;
+                        next_dummy += 1;
+                        t
+                    };
+                    a1[(target, prev)] = a1[(target, prev)].oplus(weight);
+                    prev = target;
+                }
+            }
+        }
+    }
+    let a0_star = evolve_maxplus::star(&a0)
+        .expect("zero-delay subgraph is acyclic by construction");
+    max_cycle_mean(&a0_star.otimes(&a1))
+}
+
+
+/// The explicit max-plus linear system of a graph with weights frozen at a
+/// reference size — the paper's eqs. (7)–(10) made concrete.
+///
+/// State layout: `X(k)` stacks every node value at iteration `k` in node
+/// order (inputs included, with `B` selecting them); `U(k)` are the input
+/// nodes, `Y(k)` the output nodes. `A(d)` collects the delay-`d` arcs; the
+/// baseline "process ready at instant 0" enters through the caller seeding
+/// `X(−1) = e` or, equivalently, through non-negative inputs.
+///
+/// Returns `None` when the graph contains
+/// [`NodeKind::OutputAck`](crate::NodeKind::OutputAck) feedback nodes
+/// (their values come from the environment, not from the recurrence).
+///
+/// # Panics
+///
+/// Panics if the frozen zero-delay matrix is not causal (cannot happen for
+/// graphs built by [`TdgBuilder`](crate::TdgBuilder), which rejects
+/// zero-delay cycles).
+pub fn to_linear_system(tdg: &Tdg, reference_size: u64) -> Option<LinearSystem> {
+    use crate::tdg::NodeKind;
+    if tdg
+        .nodes()
+        .iter()
+        .any(|n| matches!(n.kind, NodeKind::OutputAck { .. }))
+    {
+        return None;
+    }
+    let lags = freeze_weights(tdg, reference_size);
+    let n = tdg.node_count();
+    let n_inputs = tdg.inputs().len();
+    let n_outputs = tdg.outputs().len();
+    let max_delay = tdg.max_delay() as usize;
+
+    let mut a: Vec<Matrix> = (0..=max_delay).map(|_| Matrix::epsilon(n, n)).collect();
+    for (arc, &lag) in tdg.arcs().iter().zip(&lags) {
+        let d = arc.delay as usize;
+        let entry = &mut a[d][(arc.dst.index(), arc.src.index())];
+        *entry = entry.oplus(MaxPlus::new(lag as i64));
+    }
+    let mut b0 = Matrix::epsilon(n, n_inputs);
+    for (i, u) in tdg.inputs().iter().enumerate() {
+        b0[(u.index(), i)] = MaxPlus::E;
+    }
+    let mut c0 = Matrix::epsilon(n_outputs, n);
+    for (j, y) in tdg.outputs().iter().enumerate() {
+        c0[(j, y.index())] = MaxPlus::E;
+    }
+
+    let mut builder = LinearSystemBuilder::new(n, n_inputs, n_outputs);
+    for m in a {
+        builder = builder.push_a(m);
+    }
+    builder = builder.push_b(b0).push_c(c0);
+    Some(
+        builder
+            .build()
+            .expect("derived graphs have causal zero-delay parts"),
+    )
+}
+
+
+/// Steady-state phases of the evolution instants under saturation: a
+/// max-plus eigenvector of the frozen one-step matrix, normalized so the
+/// smallest finite phase is 0.
+///
+/// In the periodic regime each instant advances by the
+/// [`predicted_period`] per iteration; the phases are the relative offsets
+/// within that period — e.g. how far into each cycle a resource's
+/// execution starts. Nodes outside the periodic class (typically the pure
+/// input nodes, which the environment drives rather than the recurrence)
+/// get `None`. Returns `None` overall for acyclic graphs or graphs with
+/// history deeper than one iteration (the one-step matrix form does not
+/// apply).
+pub fn steady_state_phases(tdg: &Tdg, reference_size: u64) -> Option<Vec<Option<i64>>> {
+    let lags = freeze_weights(tdg, reference_size);
+    let n = tdg.node_count();
+    if tdg.max_delay() > 1 {
+        return None;
+    }
+    let mut a0 = Matrix::epsilon(n, n);
+    let mut a1 = Matrix::epsilon(n, n);
+    for (arc, &lag) in tdg.arcs().iter().zip(&lags) {
+        let m = if arc.delay == 0 { &mut a0 } else { &mut a1 };
+        let entry = &mut m[(arc.dst.index(), arc.src.index())];
+        *entry = entry.oplus(MaxPlus::new(lag as i64));
+    }
+    let combined = evolve_maxplus::star(&a0).ok()?.otimes(&a1);
+
+    // Critical-column construction, tolerating nodes the critical class
+    // does not reach (their phase is None).
+    let lambda = max_cycle_mean(&combined)?;
+    let (p, q) = (lambda.numerator(), lambda.denominator() as i64);
+    let mut b = Matrix::epsilon(n, n);
+    for (i, j, w) in combined.finite_entries() {
+        b[(i, j)] = MaxPlus::new(w.finite().expect("finite entry") * q - p);
+    }
+    let b_star = evolve_maxplus::star(&b).ok()?;
+    let b_plus = b.otimes(&b_star);
+    let critical = (0..n).find(|&i| b_plus[(i, i)] == MaxPlus::E)?;
+    let raw: Vec<Option<i64>> = (0..n).map(|i| b_plus[(i, critical)].finite()).collect();
+    let min = raw.iter().flatten().min().copied()?;
+    Some(raw.iter().map(|v| v.map(|x| x - min)).collect())
+}
+
+
+/// The latest admissible input schedule meeting per-iteration output
+/// deadlines, by residuation of the unrolled graph (backward scheduling).
+///
+/// `deadlines[j][k]` is the deadline of output `j` at iteration `k`; the
+/// result gives `latest[i][k]`, the latest offer instant of input `i` at
+/// iteration `k` such that **every** output still meets its deadline.
+/// Offering any later violates some deadline; offering exactly these
+/// instants is feasible.
+///
+/// Returns `None` when the deadlines are infeasible even with inputs at
+/// time 0 (the graph's constant part alone exceeds a deadline), when the
+/// graph carries [`OutputAck`](crate::NodeKind::OutputAck) feedback, or
+/// when a latest instant would be negative. All deadline rows must have
+/// equal length `K` (the horizon).
+///
+/// # Panics
+///
+/// Panics if `deadlines.len()` differs from the number of outputs or rows
+/// have unequal lengths.
+pub fn latest_input_schedule(
+    tdg: &Tdg,
+    reference_size: u64,
+    deadlines: &[Vec<evolve_des::Time>],
+) -> Option<Vec<Vec<evolve_des::Time>>> {
+    use crate::tdg::NodeKind;
+    use evolve_maxplus::{residual_vec, star, Vector};
+
+    assert_eq!(
+        deadlines.len(),
+        tdg.outputs().len(),
+        "one deadline row per output"
+    );
+    let horizon = deadlines.first().map_or(0, Vec::len);
+    assert!(
+        deadlines.iter().all(|d| d.len() == horizon),
+        "deadline rows must share the horizon"
+    );
+    if horizon == 0 {
+        return Some(vec![Vec::new(); tdg.inputs().len()]);
+    }
+    if tdg
+        .nodes()
+        .iter()
+        .any(|n| matches!(n.kind, NodeKind::OutputAck { .. }))
+    {
+        return None;
+    }
+
+    // Unroll the graph over the horizon into one acyclic system.
+    let n = tdg.node_count();
+    let dim = n * horizon;
+    let lags = freeze_weights(tdg, reference_size);
+    let mut a = Matrix::epsilon(dim, dim);
+    // Constant part: process-start baselines through pre-history arcs, and
+    // the baseline of every node (instants are clamped at 0).
+    let mut b0 = Vector::e(dim);
+    for (arc, &lag) in tdg.arcs().iter().zip(&lags) {
+        for k in 0..horizon {
+            let dst = arc.dst.index() + k * n;
+            if k >= arc.delay as usize {
+                let src = arc.src.index() + (k - arc.delay as usize) * n;
+                a[(dst, src)] = a[(dst, src)].oplus(MaxPlus::new(lag as i64));
+            } else {
+                // Source in pre-history: contributes 0 ⊗ lag.
+                b0[dst] = b0[dst].oplus(MaxPlus::new(lag as i64));
+            }
+        }
+    }
+    // Input nodes have no baseline of their own (the environment sets them),
+    // but keeping `e` there is harmless: offers are never negative.
+    let s = star(&a).ok()?;
+
+    // Forward constant part y0 and the input→output influence matrix.
+    let x0 = s.otimes_vec(&b0);
+    let n_in = tdg.inputs().len();
+    let n_out = tdg.outputs().len();
+    let mut influence = Matrix::epsilon(n_out * horizon, n_in * horizon);
+    for (j, out) in tdg.outputs().iter().enumerate() {
+        for kk in 0..horizon {
+            let row = out.index() + kk * n;
+            for (i, inp) in tdg.inputs().iter().enumerate() {
+                for ku in 0..horizon {
+                    let col = inp.index() + ku * n;
+                    influence[(j * horizon + kk, i * horizon + ku)] = s[(row, col)];
+                }
+            }
+        }
+    }
+    let c: Vector = (0..n_out * horizon)
+        .map(|idx| {
+            let (j, k) = (idx / horizon, idx % horizon);
+            MaxPlus::new(deadlines[j][k].ticks() as i64)
+        })
+        .collect();
+    // Feasibility of the constant part.
+    for (j, out) in tdg.outputs().iter().enumerate() {
+        for k in 0..horizon {
+            if x0[out.index() + k * n] > c[j * horizon + k] {
+                return None;
+            }
+        }
+    }
+    let latest = residual_vec(&influence, &c);
+    let mut result = vec![Vec::with_capacity(horizon); n_in];
+    for (i, row) in result.iter_mut().enumerate() {
+        for k in 0..horizon {
+            let v = latest[i * horizon + k].finite()?;
+            if v < 0 {
+                return None;
+            }
+            row.push(evolve_des::Time::from_ticks(
+                (v as u64).min(u64::MAX / 2), // saturated "unconstrained"
+            ));
+        }
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_tdg;
+    use crate::synthetic::pipeline;
+    use evolve_model::didactic;
+
+    #[test]
+    fn pipeline_period_is_the_slowest_stage() {
+        // Sequential single-stage pipeline functions: the bottleneck stage
+        // sets the period. All stages equal here: period = base load.
+        let p = pipeline(3, 500, 0).unwrap();
+        let derived = derive_tdg(&p.arch).unwrap();
+        let period = predicted_period(&derived.tdg, 0).expect("cyclic");
+        assert_eq!(period, CycleMean::new(500, 1));
+    }
+
+    #[test]
+    fn didactic_period_matches_simulated_spacing() {
+        let params = didactic::Params {
+            ti1: (10, 0),
+            tj1: (20, 0),
+            ti2: (30, 0),
+            ti3: (40, 0),
+            tj3: (50, 0),
+            ti4: (60, 0),
+        };
+        let d = didactic::chained(1, params).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        let predicted = predicted_period(&derived.tdg, 0).expect("cyclic");
+
+        // Simulate under saturation and measure the steady-state spacing.
+        let env = evolve_model::Environment::new().stimulus(
+            d.input(),
+            evolve_model::Stimulus::saturating(40, |_| 0),
+        );
+        let report = evolve_model::elaborate(&d.arch, &env).unwrap().run();
+        let outs = report.instants(d.output());
+        let spacing =
+            outs[outs.len() - 1].ticks() as i64 - outs[outs.len() - 2].ticks() as i64;
+        assert_eq!(predicted.denominator(), 1);
+        assert_eq!(spacing, predicted.numerator());
+    }
+
+    #[test]
+    fn frozen_weights_respect_size() {
+        let p = pipeline(1, 10, 3).unwrap();
+        let derived = derive_tdg(&p.arch).unwrap();
+        let small = freeze_weights(&derived.tdg, 0);
+        let large = freeze_weights(&derived.tdg, 100);
+        let sum =
+            |v: &[u64]| v.iter().sum::<u64>();
+        assert_eq!(sum(&large) - sum(&small), 300, "per-unit load scales");
+    }
+
+    #[test]
+    fn linear_system_reproduces_engine_instants() {
+        // Constant loads: stepping the explicit matrix recurrence of
+        // eqs. (7)–(10) must give the same instants as ComputeInstant().
+        let params = didactic::Params {
+            ti1: (10, 0),
+            tj1: (20, 0),
+            ti2: (30, 0),
+            ti3: (40, 0),
+            tj3: (50, 0),
+            ti4: (60, 0),
+        };
+        let d = didactic::chained(1, params).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        let mut sys = to_linear_system(&derived.tdg, 0).expect("no feedback nodes");
+        // Baseline: the history X(−1) is the process-start instant 0.
+        sys.set_initial_state(evolve_maxplus::Vector::e(sys.state_dim()));
+
+        let rels = d.arch.app().relations().len();
+        let mut engine = crate::Engine::new(derived, rels, true);
+        let inputs = [0u64, 0, 500, 3_000];
+        for (k, &t) in inputs.iter().enumerate() {
+            engine.set_input(0, k as u64, evolve_des::Time::from_ticks(t), 0);
+            let y = sys
+                .step(&evolve_maxplus::Vector::from_finite(&[t as i64]))
+                .unwrap();
+            let (ek, et, _) = engine.next_output(0).expect("output computed");
+            assert_eq!(ek, k as u64);
+            assert_eq!(
+                y[0],
+                MaxPlus::new(et.ticks() as i64),
+                "iteration {k}: matrix recurrence vs engine"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_system_dimensions() {
+        let p = pipeline(2, 100, 0).unwrap();
+        let derived = derive_tdg(&p.arch).unwrap();
+        let sys = to_linear_system(&derived.tdg, 0).unwrap();
+        assert_eq!(sys.state_dim(), derived.tdg.node_count());
+        assert_eq!(sys.input_dim(), 1);
+        assert_eq!(sys.output_dim(), 1);
+    }
+
+    #[test]
+    fn phases_match_saturated_steady_state() {
+        // Under saturation the difference between two instants' settled
+        // offsets equals the difference of their phases (mod nothing —
+        // cyclicity 1 here).
+        let params = didactic::Params {
+            ti1: (10, 0),
+            tj1: (20, 0),
+            ti2: (30, 0),
+            ti3: (40, 0),
+            tj3: (50, 0),
+            ti4: (60, 0),
+        };
+        let d = didactic::chained(1, params).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        let phases = steady_state_phases(&derived.tdg, 0).expect("phases exist");
+        assert_eq!(phases.len(), derived.tdg.node_count());
+
+        // Simulate to steady state; compare inter-relation offsets.
+        let env = evolve_model::Environment::new().stimulus(
+            d.input(),
+            evolve_model::Stimulus::saturating(50, |_| 0),
+        );
+        let report = evolve_model::elaborate(&d.arch, &env).unwrap().run();
+        let k = 48; // deep in steady state
+        // Node ids of the exchange instants of M2 and M6 in the graph.
+        let m2 = derived.tdg.exchange_node(d.stages[0].m2).unwrap();
+        let m6 = derived.tdg.exchange_node(d.stages[0].m6).unwrap();
+        let simulated_offset = report.instants(d.stages[0].m6)[k].ticks() as i64
+            - report.instants(d.stages[0].m2)[k].ticks() as i64;
+        let predicted_offset =
+            phases[m6.index()].expect("periodic") - phases[m2.index()].expect("periodic");
+        assert_eq!(simulated_offset, predicted_offset);
+    }
+
+    #[test]
+    fn phases_unavailable_for_deep_history() {
+        // A FIFO capacity-3 graph has delay-3 arcs: phases bail out.
+        let mut app = evolve_model::Application::new();
+        let input = app.add_input("in", evolve_model::RelationKind::Rendezvous);
+        let q = app.add_relation("q", evolve_model::RelationKind::Fifo(3));
+        let out = app.add_output("out", evolve_model::RelationKind::Rendezvous);
+        let f1 = app.add_function(
+            "a",
+            evolve_model::Behavior::new()
+                .read(input)
+                .execute(evolve_model::LoadModel::Constant(5))
+                .write(q),
+        );
+        let f2 = app.add_function(
+            "b",
+            evolve_model::Behavior::new()
+                .read(q)
+                .execute(evolve_model::LoadModel::Constant(9))
+                .write(out),
+        );
+        let mut platform = evolve_model::Platform::new();
+        let p1 = platform.add_resource("P1", evolve_model::Concurrency::Sequential, 1);
+        let p2 = platform.add_resource("P2", evolve_model::Concurrency::Sequential, 1);
+        let mut mapping = evolve_model::Mapping::new();
+        mapping.assign(f1, p1).assign(f2, p2);
+        let arch = evolve_model::Architecture::new(app, platform, mapping).unwrap();
+        let derived = derive_tdg(&arch).unwrap();
+        assert!(derived.tdg.max_delay() > 1);
+        assert_eq!(steady_state_phases(&derived.tdg, 0), None);
+    }
+
+    #[test]
+    fn latest_schedule_round_trips() {
+        // Forward-run a schedule, use its outputs as deadlines: the latest
+        // schedule is no earlier than the original, and forward-running it
+        // meets every deadline exactly at the binding iterations.
+        let params = didactic::Params {
+            ti1: (10, 0),
+            tj1: (20, 0),
+            ti2: (30, 0),
+            ti3: (40, 0),
+            tj3: (50, 0),
+            ti4: (60, 0),
+        };
+        let d = didactic::chained(1, params).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        let rels = d.arch.app().relations().len();
+
+        let offers = [0u64, 100, 1_000, 1_200];
+        let mut fwd = crate::Engine::new(derived.clone(), rels, false);
+        let mut outputs = Vec::new();
+        for (k, &t) in offers.iter().enumerate() {
+            fwd.set_input(0, k as u64, evolve_des::Time::from_ticks(t), 0);
+            outputs.push(fwd.next_output(0).unwrap().1);
+        }
+
+        let latest = latest_input_schedule(&derived.tdg, 0, &[outputs.clone()])
+            .expect("feasible by construction");
+        assert_eq!(latest.len(), 1);
+        for (k, &orig) in offers.iter().enumerate() {
+            assert!(
+                latest[0][k].ticks() >= orig,
+                "latest {:?} earlier than original {} at k={}",
+                latest[0][k],
+                orig,
+                k
+            );
+        }
+
+        // Forward-run the latest schedule: every deadline met.
+        let mut check = crate::Engine::new(derived, rels, false);
+        for (k, &t) in latest[0].iter().enumerate() {
+            check.set_input(0, k as u64, t, 0);
+            let (_, y, _) = check.next_output(0).unwrap();
+            assert!(y <= outputs[k], "deadline violated at k={k}: {y:?} > {:?}", outputs[k]);
+        }
+    }
+
+    #[test]
+    fn latest_schedule_detects_infeasible_deadlines() {
+        let params = didactic::Params {
+            ti1: (10, 0),
+            tj1: (20, 0),
+            ti2: (30, 0),
+            ti3: (40, 0),
+            tj3: (50, 0),
+            ti4: (60, 0),
+        };
+        let d = didactic::chained(1, params).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        // The pipeline latency is 180 ticks; a deadline of 100 at k = 0 is
+        // impossible no matter when the input arrives.
+        let infeasible =
+            latest_input_schedule(&derived.tdg, 0, &[vec![evolve_des::Time::from_ticks(100)]]);
+        assert_eq!(infeasible, None);
+    }
+}

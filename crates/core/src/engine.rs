@@ -1,0 +1,1106 @@
+//! The `ComputeInstant()` engine: incremental evaluation of a temporal
+//! dependency graph.
+//!
+//! "Once input evolution instant `u(k)` is known, it is possible to
+//! successively determine each intermediate instant and output evolution
+//! instant" (paper Section III.C). The [`Engine`] does precisely that, in
+//! zero *simulated* time: each call to [`Engine::set_input`] runs a
+//! worklist propagation that computes every node whose dependencies are now
+//! satisfied, across however many iterations are in flight.
+//!
+//! The engine simultaneously performs the paper's *observation over a local
+//! time* (Fig. 2(b)): every computed exchange instant is logged per
+//! relation, and every computed execution interval is replayed into
+//! [`ExecRecord`]s — identical in format to the conventional simulation's
+//! records, enabling a bitwise accuracy comparison without any simulator
+//! involvement.
+//!
+//! Negative-iteration history (`k − d < 0`) resolves to instant 0, the
+//! model start, mirroring the simulator where every process is ready at
+//! time zero.
+//!
+//! # Performance
+//!
+//! `ComputeInstant()` replaces kernel events, so its cost *is* the method's
+//! overhead (paper Fig. 5). The implementation therefore avoids per-event
+//! allocation entirely in steady state: iteration states live in a ring
+//! buffer and are recycled, per-node observation actions are precompiled,
+//! and arc evaluation reads weights in place.
+
+use std::collections::VecDeque;
+
+use evolve_des::{EventId, Time};
+use evolve_maxplus::MaxPlus;
+use evolve_model::{ExecRecord, FunctionId, LoadContext, ResourceId};
+
+use crate::derive::{DerivedTdg, SizeRule};
+use crate::tdg::{NodeId, NodeKind, Tdg, Weight};
+
+/// A kernel notification requested by the engine: wake `event` immediately
+/// (`at == None`) or at the given computed instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// The event to notify.
+    pub event: EventId,
+    /// When to notify; `None` = in the current delta cycle.
+    pub at: Option<Time>,
+}
+
+/// Computation statistics of an engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Nodes computed across all iterations.
+    pub nodes_computed: u64,
+    /// Arc-weight evaluations performed.
+    pub arcs_evaluated: u64,
+    /// Iterations fully computed.
+    pub iterations_completed: u64,
+}
+
+/// Per-iteration evaluation state (recycled through a free list).
+struct IterState {
+    /// Running `⊕` accumulator per node; the final value once computed.
+    acc: Vec<MaxPlus>,
+    /// Unresolved incoming arcs per node.
+    remaining: Vec<u32>,
+    computed: Vec<bool>,
+    /// Token size per relation (0 until the defining node computes).
+    sizes: Vec<u64>,
+    /// `(start, ops)` per dense exec-end index, captured when the duration
+    /// arc resolves.
+    exec_stash: Vec<(MaxPlus, u64)>,
+    nodes_pending: usize,
+}
+
+impl IterState {
+    fn fresh(nodes: usize, relations: usize, execs: usize) -> Self {
+        IterState {
+            acc: vec![MaxPlus::EPSILON; nodes],
+            remaining: vec![0; nodes],
+            computed: vec![false; nodes],
+            sizes: vec![0; relations],
+            exec_stash: vec![(MaxPlus::EPSILON, 0); execs],
+            nodes_pending: nodes,
+        }
+    }
+
+    fn reset(&mut self, template: &[u32]) {
+        self.acc.fill(MaxPlus::EPSILON);
+        self.remaining.copy_from_slice(template);
+        self.computed.fill(false);
+        self.sizes.fill(0);
+        self.exec_stash.fill((MaxPlus::EPSILON, 0));
+        self.nodes_pending = self.acc.len();
+    }
+}
+
+/// Precompiled observation action of a node.
+#[derive(Clone, Copy, Debug)]
+enum Obs {
+    None,
+    Exchange {
+        relation: u32,
+        /// Input index acknowledged by this node, or `u32::MAX`.
+        ack_input: u32,
+        /// Output index produced by this node, or `u32::MAX`.
+        output: u32,
+        /// Whether the relation has a separate FIFO read node.
+        has_fifo_read: bool,
+    },
+    FifoRead {
+        relation: u32,
+    },
+    ExecEnd {
+        function: FunctionId,
+        stmt: u32,
+        resource: ResourceId,
+        dense: u32,
+    },
+}
+
+#[inline]
+fn iter_at(ring: &VecDeque<IterState>, base: u64, k: u64) -> Option<&IterState> {
+    if k < base {
+        return None;
+    }
+    ring.get((k - base) as usize)
+}
+
+#[inline]
+fn iter_at_mut(ring: &mut VecDeque<IterState>, base: u64, k: u64) -> Option<&mut IterState> {
+    if k < base {
+        return None;
+    }
+    ring.get_mut((k - base) as usize)
+}
+
+/// Evaluates a weight at iteration `k`: total lag in ticks plus the raw
+/// operation count (for observation).
+#[inline]
+fn eval_weight(
+    weight: &Weight,
+    k: u64,
+    ring: &VecDeque<IterState>,
+    base: u64,
+) -> (u64, u64) {
+    let mut lag = weight.constant;
+    let mut ops_total = 0u64;
+    for term in &weight.execs {
+        let size = match term.size_from {
+            None => 0,
+            Some((rel, delay)) => {
+                if u64::from(delay) > k {
+                    0
+                } else {
+                    iter_at(ring, base, k - u64::from(delay))
+                        .map_or(0, |it| it.sizes[rel.index()])
+                }
+            }
+        };
+        let ops = term.load.ops(LoadContext {
+            function: term.function.index(),
+            stmt: term.stmt,
+            k,
+            size,
+        });
+        ops_total += ops;
+        lag += evolve_model::duration_for(ops, term.speed).ticks();
+    }
+    (lag, ops_total)
+}
+
+/// Incremental evaluator of a derived temporal dependency graph.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_core::{derive_tdg, Engine};
+/// use evolve_des::Time;
+/// use evolve_model::didactic;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = didactic::chained(1, didactic::Params::default())?;
+/// let derived = derive_tdg(&d.arch)?;
+/// let mut engine = Engine::new(derived, d.arch.app().relations().len(), true);
+/// // Offer the first token at t = 0 with size 8.
+/// engine.set_input(0, 0, Time::ZERO, 8);
+/// // The output instant y(0) is now computed.
+/// let (k, y, _size) = engine.next_output(0).expect("output computed");
+/// assert_eq!(k, 0);
+/// assert!(y > Time::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Engine {
+    tdg: Tdg,
+    size_rules: Vec<SizeRule>,
+    relation_count: usize,
+    /// In-degree per node (ring-state reset template).
+    remaining_template: Vec<u32>,
+    /// Precompiled observation action per node.
+    node_obs: Vec<Obs>,
+    /// Arcs whose resolution stashes exec info (duration arc S → E).
+    stash_arc: Vec<bool>,
+    n_execs: usize,
+    /// Arc indices with delay ≥ 1 (scanned when opening an iteration).
+    delayed_arcs: Vec<u32>,
+    /// Non-input nodes with no incoming arcs (take the baseline on open).
+    baseline_nodes: Vec<NodeId>,
+    /// Output-acknowledgment node per output, if feedback is required.
+    output_ack_nodes: Vec<Option<NodeId>>,
+    /// Whether any output needs acknowledgment feedback (disables the
+    /// single-sweep fast path: iterations then complete only after the
+    /// environment consumed the outputs).
+    has_output_acks: bool,
+    /// Whether any node is independent of all external instants (the
+    /// look-ahead has something to compute).
+    has_prefix: bool,
+    /// Next expected acknowledgment iteration per output.
+    next_output_ack_k: Vec<u64>,
+    /// Zero-delay topological order for the steady-state fast path.
+    topo: Vec<NodeId>,
+    /// Flattened incoming arcs per node in topo order: offsets into
+    /// `flat_in`.
+    flat_offsets: Vec<u32>,
+    /// `(src, delay, arc_idx)` triples, grouped per node.
+    flat_in: Vec<(u32, u32, u32)>,
+    /// Iterations `base_k ..` currently materialized.
+    ring: VecDeque<IterState>,
+    base_k: u64,
+    free: Vec<IterState>,
+    /// Reused propagation worklist.
+    work: VecDeque<(u64, NodeId)>,
+    /// Next expected iteration per input.
+    next_input_k: Vec<u64>,
+    /// Most recent acknowledgment instant per input: `(k, instant)`.
+    acks: Vec<Option<(u64, Time)>>,
+    /// Computed outputs per output index (iteration, instant, token size).
+    outputs_ready: Vec<VecDeque<(u64, Time, u64)>>,
+    /// Exchange-instant log per relation (write instants).
+    instant_log: Vec<Vec<Time>>,
+    /// Read-instant log per relation (differs from writes only for FIFOs).
+    read_log: Vec<Vec<Time>>,
+    exec_records: Vec<ExecRecord>,
+    record_observations: bool,
+    input_events: Vec<Option<EventId>>,
+    output_events: Vec<Option<EventId>>,
+    pending_notifications: Vec<Notification>,
+    stats: EngineStats,
+    prune_counter: u32,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.tdg.node_count())
+            .field("in_flight", &self.ring.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine over a derived graph.
+    ///
+    /// `relation_count` is the total number of relations in the source
+    /// application (sizes and logs are indexed by relation);
+    /// `record_observations` enables the exchange-instant and execution
+    /// logs (disable for maximum speed when only boundary instants matter).
+    pub fn new(derived: DerivedTdg, relation_count: usize, record_observations: bool) -> Self {
+        let DerivedTdg { tdg, size_rules } = derived;
+        let n = tdg.node_count();
+
+        let ack_nodes: Vec<NodeId> = tdg
+            .inputs()
+            .iter()
+            .map(|&u| {
+                let NodeKind::Input { relation } = tdg.nodes()[u.index()].kind else {
+                    unreachable!("inputs() only lists input nodes");
+                };
+                // Hand-built graphs without a boundary exchange acknowledge
+                // at the offer instant itself.
+                tdg.exchange_node(relation).unwrap_or(u)
+            })
+            .collect();
+        let mut has_fifo_read = vec![false; relation_count];
+        for node in tdg.nodes() {
+            if let NodeKind::FifoRead { relation } = node.kind {
+                has_fifo_read[relation.index()] = true;
+            }
+        }
+
+        let mut remaining_template = vec![0u32; n];
+        for arc in tdg.arcs() {
+            remaining_template[arc.dst.index()] += 1;
+        }
+
+        // Dense exec indices and observation actions.
+        let mut n_execs = 0usize;
+        let mut exec_dense = vec![u32::MAX; n];
+        for (i, node) in tdg.nodes().iter().enumerate() {
+            if matches!(node.kind, NodeKind::ExecEnd { .. }) {
+                exec_dense[i] = n_execs as u32;
+                n_execs += 1;
+            }
+        }
+        let node_obs: Vec<Obs> = tdg
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, node)| match node.kind {
+                NodeKind::Exchange { relation } | NodeKind::Output { relation } => {
+                    let ack_input = ack_nodes
+                        .iter()
+                        .position(|a| a.index() == i)
+                        .map_or(u32::MAX, |p| p as u32);
+                    let output = tdg
+                        .outputs()
+                        .iter()
+                        .position(|o| o.index() == i)
+                        .map_or(u32::MAX, |p| p as u32);
+                    Obs::Exchange {
+                        relation: relation.index() as u32,
+                        ack_input,
+                        output,
+                        has_fifo_read: has_fifo_read[relation.index()],
+                    }
+                }
+                NodeKind::FifoRead { relation } => Obs::FifoRead {
+                    relation: relation.index() as u32,
+                },
+                NodeKind::ExecEnd {
+                    function,
+                    stmt,
+                    resource,
+                } => Obs::ExecEnd {
+                    function,
+                    stmt: stmt as u32,
+                    resource,
+                    dense: exec_dense[i],
+                },
+                _ => Obs::None,
+            })
+            .collect();
+
+        // Duration arcs S → E with exec terms stash observation data.
+        let stash_arc: Vec<bool> = tdg
+            .arcs()
+            .iter()
+            .map(|arc| {
+                !arc.weight.execs.is_empty()
+                    && matches!(tdg.nodes()[arc.dst.index()].kind, NodeKind::ExecEnd { .. })
+                    && matches!(tdg.nodes()[arc.src.index()].kind, NodeKind::ExecStart { .. })
+            })
+            .collect();
+
+        let delayed_arcs: Vec<u32> = tdg
+            .arcs()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.delay > 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let baseline_nodes: Vec<NodeId> = (0..n)
+            .filter(|&i| {
+                remaining_template[i] == 0
+                    && !matches!(
+                        tdg.nodes()[i].kind,
+                        NodeKind::Input { .. } | NodeKind::OutputAck { .. }
+                    )
+            })
+            .map(NodeId)
+            .collect();
+        let output_ack_nodes: Vec<Option<NodeId>> = tdg.output_acks().to_vec();
+        let has_output_acks = output_ack_nodes.iter().any(Option::is_some);
+
+        // Input-independent prefix: nodes with no zero-delay path from any
+        // externally set node. They compute during look-ahead, mirroring
+        // the conventional model's eager run-ahead; graphs without such
+        // nodes (every behaviour starts with a read) skip the look-ahead
+        // entirely.
+        let has_prefix = {
+            let mut dependent = vec![false; n];
+            let mut stack: Vec<usize> = tdg
+                .nodes()
+                .iter()
+                .enumerate()
+                .filter(|(_, nd)| {
+                    matches!(
+                        nd.kind,
+                        NodeKind::Input { .. } | NodeKind::OutputAck { .. }
+                    )
+                })
+                .map(|(i, _)| i)
+                .collect();
+            for &i in &stack {
+                dependent[i] = true;
+            }
+            while let Some(i) = stack.pop() {
+                for &ai in &tdg.outgoing[i] {
+                    let arc = &tdg.arcs()[ai];
+                    if arc.delay == 0 && !dependent[arc.dst.index()] {
+                        dependent[arc.dst.index()] = true;
+                        stack.push(arc.dst.index());
+                    }
+                }
+            }
+            dependent.iter().any(|d| !d)
+        };
+        let topo = tdg
+            .topo_order()
+            .expect("built graphs have an acyclic zero-delay subgraph");
+        let mut flat_offsets = Vec::with_capacity(n + 1);
+        let mut flat_in = Vec::with_capacity(tdg.arcs().len());
+        flat_offsets.push(0u32);
+        for &node in &topo {
+            for &ai in &tdg.incoming[node.index()] {
+                let arc = &tdg.arcs()[ai];
+                flat_in.push((arc.src.index() as u32, arc.delay, ai as u32));
+            }
+            flat_offsets.push(flat_in.len() as u32);
+        }
+
+        let n_inputs = tdg.inputs().len();
+        let n_outputs = tdg.outputs().len();
+        Engine {
+            size_rules,
+            relation_count,
+            remaining_template,
+            node_obs,
+            stash_arc,
+            n_execs,
+            delayed_arcs,
+            baseline_nodes,
+            output_ack_nodes,
+            has_output_acks,
+            has_prefix,
+            next_output_ack_k: vec![0; n_outputs],
+            topo,
+            flat_offsets,
+            flat_in,
+            ring: VecDeque::new(),
+            base_k: 0,
+            free: Vec::new(),
+            work: VecDeque::new(),
+            next_input_k: vec![0; n_inputs],
+            acks: vec![None; n_inputs],
+            outputs_ready: vec![VecDeque::new(); n_outputs],
+            instant_log: vec![Vec::new(); relation_count],
+            read_log: vec![Vec::new(); relation_count],
+            exec_records: Vec::new(),
+            record_observations,
+            input_events: vec![None; n_inputs],
+            output_events: vec![None; n_outputs],
+            pending_notifications: Vec::new(),
+            stats: EngineStats::default(),
+            prune_counter: 0,
+            tdg,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn tdg(&self) -> &Tdg {
+        &self.tdg
+    }
+
+    /// Computation statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of materialized (in-flight or retained) iterations.
+    pub fn iterations_in_flight(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Registers the kernel event to notify when an ack instant for input
+    /// `input` becomes computable.
+    pub fn set_input_event(&mut self, input: usize, event: EventId) {
+        self.input_events[input] = Some(event);
+    }
+
+    /// Registers the kernel event to notify when a new output instant for
+    /// output `output` becomes known.
+    pub fn set_output_event(&mut self, output: usize, event: EventId) {
+        self.output_events[output] = Some(event);
+    }
+
+    /// Takes the notifications that must be delivered as a result of recent
+    /// computation (the caller forwards them to the kernel).
+    pub fn take_notifications(&mut self) -> Vec<Notification> {
+        std::mem::take(&mut self.pending_notifications)
+    }
+
+    /// Records the `k`-th offer on input `input` at instant `at` with the
+    /// given token size, and propagates all now-computable instants — the
+    /// paper's `ComputeInstant()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if offers arrive out of iteration order for an input.
+    pub fn set_input(&mut self, input: usize, k: u64, at: Time, size: u64) {
+        assert_eq!(
+            k, self.next_input_k[input],
+            "input offers must arrive in iteration order"
+        );
+        self.next_input_k[input] = k + 1;
+        let node = self.tdg.inputs[input];
+        let NodeKind::Input { relation } = self.tdg.nodes[node.index()].kind else {
+            unreachable!()
+        };
+        // Steady-state fast path: with a single input and all older history
+        // complete, the iteration evaluates in one topological sweep with
+        // no dependency bookkeeping. Iteration `k` itself may already exist
+        // as the look-ahead (its input-independent prefix computed); the
+        // sweep then fills in the rest.
+        let tail_k = self.base_k + self.ring.len() as u64;
+        let fast_ok = self.tdg.inputs.len() == 1
+            && !self.has_output_acks
+            && (k == tail_k
+                || (k + 1 == tail_k
+                    && !self
+                        .ring
+                        .back()
+                        .expect("tail exists")
+                        .computed[node.index()]))
+            && self
+                .ring
+                .iter()
+                .take((k.saturating_sub(self.base_k)) as usize)
+                .all(|it| it.nodes_pending == 0);
+        if fast_ok {
+            self.compute_iteration_fast(k, node, relation.index(), at, size);
+            self.ensure_lookahead();
+            self.maybe_prune();
+            return;
+        }
+        self.open_to(k);
+        {
+            let it = iter_at_mut(&mut self.ring, self.base_k, k).expect("just opened");
+            it.sizes[relation.index()] = size;
+            it.acc[node.index()] = MaxPlus::new(at.ticks() as i64);
+        }
+        self.work.push_back((k, node));
+        self.drain();
+        self.ensure_lookahead();
+        self.maybe_prune();
+    }
+
+    /// Keeps one look-ahead iteration materialized past the last complete
+    /// one, mirroring the conventional model's eager run-ahead: processes
+    /// execute the input-independent prefix of their next iteration before
+    /// blocking on a read. The opened iteration computes exactly those
+    /// prefix nodes (everything else waits for its input), so execution
+    /// records match the event-driven model even at stream end.
+    fn ensure_lookahead(&mut self) {
+        if self.has_prefix
+            && self
+                .ring
+                .back()
+                .is_none_or(|it| it.nodes_pending == 0)
+        {
+            self.open_next();
+        }
+    }
+
+    /// Evaluates (the remainder of) iteration `k` in one topological sweep;
+    /// all dependencies are guaranteed available. `k` is either fresh (one
+    /// past the ring) or the partially computed look-ahead at the tail.
+    fn compute_iteration_fast(
+        &mut self,
+        k: u64,
+        input_node: NodeId,
+        input_relation: usize,
+        at: Time,
+        size: u64,
+    ) {
+        if k == self.base_k + self.ring.len() as u64 {
+            let mut state = match self.free.pop() {
+                Some(mut s) => {
+                    s.reset(&self.remaining_template);
+                    s
+                }
+                None => {
+                    IterState::fresh(self.tdg.node_count(), self.relation_count, self.n_execs)
+                }
+            };
+            state.computed.fill(false);
+            self.ring.push_back(state);
+        }
+        {
+            let it = self.ring.back_mut().expect("tail exists");
+            it.sizes[input_relation] = size;
+            it.acc[input_node.index()] = MaxPlus::new(at.ticks() as i64);
+            it.nodes_pending = 0;
+        }
+        self.stats.iterations_completed += 1;
+
+        for pos in 0..self.topo.len() {
+            let node = self.topo[pos];
+            if self
+                .ring
+                .back()
+                .expect("tail exists")
+                .computed[node.index()]
+            {
+                // Computed during look-ahead (input-independent prefix).
+                continue;
+            }
+            if node == input_node {
+                self.ring
+                    .back_mut()
+                    .expect("tail exists")
+                    .computed[node.index()] = true;
+                self.stats.nodes_computed += 1;
+                continue;
+            }
+            let lo = self.flat_offsets[pos] as usize;
+            let hi = self.flat_offsets[pos + 1] as usize;
+            let mut acc = MaxPlus::E; // process-start baseline
+            for fi in lo..hi {
+                let (src, delay, ai) = self.flat_in[fi];
+                self.stats.arcs_evaluated += 1;
+                let src_val = if delay == 0 {
+                    self.ring
+                        .back()
+                        .expect("tail exists")
+                        .acc[src as usize]
+                } else if u64::from(delay) > k {
+                    MaxPlus::E
+                } else {
+                    iter_at(&self.ring, self.base_k, k - u64::from(delay))
+                        .map_or(MaxPlus::E, |it| it.acc[src as usize])
+                };
+                if src_val.is_epsilon() {
+                    continue;
+                }
+                let arc = &self.tdg.arcs[ai as usize];
+                let contribution = if arc.weight.execs.is_empty() {
+                    src_val.otimes(MaxPlus::new(arc.weight.constant as i64))
+                } else {
+                    let (lag, ops) = eval_weight(&arc.weight, k, &self.ring, self.base_k);
+                    if self.record_observations && self.stash_arc[ai as usize] {
+                        if let Obs::ExecEnd { dense, .. } = self.node_obs[node.index()] {
+                            if let Some(it) = self.ring.back_mut() {
+                                it.exec_stash[dense as usize] = (src_val, ops);
+                            }
+                        }
+                    }
+                    src_val.otimes(MaxPlus::new(lag as i64))
+                };
+                acc = acc.oplus(contribution);
+            }
+            {
+                let it = self.ring.back_mut().expect("tail exists");
+                it.acc[node.index()] = acc;
+                it.computed[node.index()] = true;
+            }
+            self.stats.nodes_computed += 1;
+            self.observe(k, node, acc);
+        }
+    }
+
+    /// The computed acknowledgment instant (boundary exchange) of the
+    /// `k`-th offer on `input`, if known yet.
+    pub fn ack_instant(&self, input: usize, k: u64) -> Option<Time> {
+        match self.acks[input] {
+            Some((stored_k, t)) if stored_k == k => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Pops the next computed output of output `output`, if any:
+    /// `(iteration, emission instant, token size)`.
+    pub fn next_output(&mut self, output: usize) -> Option<(u64, Time, u64)> {
+        self.outputs_ready[output].pop_front()
+    }
+
+    /// Returns `true` when `output` requires acknowledgment feedback
+    /// ([`Engine::set_output_ack`]) after each emitted token.
+    pub fn needs_output_ack(&self, output: usize) -> bool {
+        self.output_ack_nodes[output].is_some()
+    }
+
+    /// Records that the `k`-th token of `output` was actually consumed at
+    /// instant `at`, unblocking the producer's internal successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output has no acknowledgment node or acknowledgments
+    /// arrive out of iteration order.
+    pub fn set_output_ack(&mut self, output: usize, k: u64, at: Time) {
+        let node = self.output_ack_nodes[output]
+            .expect("output has an acknowledgment node");
+        assert_eq!(
+            k, self.next_output_ack_k[output],
+            "output acknowledgments must arrive in iteration order"
+        );
+        self.next_output_ack_k[output] = k + 1;
+        self.open_to(k);
+        {
+            let it = iter_at_mut(&mut self.ring, self.base_k, k).expect("just opened");
+            it.acc[node.index()] = MaxPlus::new(at.ticks() as i64);
+        }
+        self.work.push_back((k, node));
+        self.drain();
+        self.ensure_lookahead();
+        self.maybe_prune();
+    }
+
+    /// Exchange-instant log of a relation (write instants, in iteration
+    /// order) — the computed counterpart of the simulator's channel log.
+    pub fn instants(&self, relation: usize) -> &[Time] {
+        &self.instant_log[relation]
+    }
+
+    /// Read-instant log of a relation (differs from writes for FIFOs).
+    pub fn read_instants(&self, relation: usize) -> &[Time] {
+        &self.read_log[relation]
+    }
+
+    /// Execution records replayed from computed instants (the observation
+    /// over local time of paper Fig. 2(b)).
+    pub fn exec_records(&self) -> &[ExecRecord] {
+        &self.exec_records
+    }
+
+    /// Consumes the engine, returning its execution records.
+    pub fn into_exec_records(self) -> Vec<ExecRecord> {
+        self.exec_records
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Materializes iteration states up to and including `k`.
+    fn open_to(&mut self, k: u64) {
+        while self.base_k + self.ring.len() as u64 <= k {
+            self.open_next();
+        }
+    }
+
+    /// Opens the next iteration after the current back of the ring.
+    fn open_next(&mut self) {
+        let k = self.base_k + self.ring.len() as u64;
+        let mut state = match self.free.pop() {
+            Some(mut s) => {
+                s.reset(&self.remaining_template);
+                s
+            }
+            None => {
+                let mut s =
+                    IterState::fresh(self.tdg.node_count(), self.relation_count, self.n_execs);
+                s.remaining.copy_from_slice(&self.remaining_template);
+                s
+            }
+        };
+        // Nodes with no incoming arcs (other than inputs) take the
+        // process-start baseline immediately.
+        for idx in 0..self.baseline_nodes.len() {
+            let node = self.baseline_nodes[idx];
+            state.acc[node.index()] = MaxPlus::E;
+            self.work.push_back((k, node));
+        }
+        self.ring.push_back(state);
+        // Resolve arcs whose sources are history (negative iterations get
+        // the process-start baseline 0; computed past nodes their value).
+        for di in 0..self.delayed_arcs.len() {
+            let ai = self.delayed_arcs[di] as usize;
+            let arc = &self.tdg.arcs[ai];
+            let delay = u64::from(arc.delay);
+            let src_val = if delay > k {
+                Some(MaxPlus::E)
+            } else {
+                iter_at(&self.ring, self.base_k, k - delay).and_then(|it| {
+                    if it.computed[arc.src.index()] {
+                        Some(it.acc[arc.src.index()])
+                    } else {
+                        None
+                    }
+                })
+            };
+            if let Some(v) = src_val {
+                self.resolve_arc(k, ai, v);
+            }
+        }
+        self.drain();
+    }
+
+    /// Applies one resolved arc contribution; queues the destination when
+    /// all of its arcs are resolved.
+    #[inline]
+    fn resolve_arc(&mut self, k: u64, arc_idx: usize, src_val: MaxPlus) {
+        let arc = &self.tdg.arcs[arc_idx];
+        let dst = arc.dst;
+        self.stats.arcs_evaluated += 1;
+        let contribution = if src_val.is_epsilon() {
+            MaxPlus::EPSILON
+        } else if arc.weight.execs.is_empty() {
+            // Fast path: constant lag.
+            src_val.otimes(MaxPlus::new(arc.weight.constant as i64))
+        } else {
+            let (lag, ops) = eval_weight(&arc.weight, k, &self.ring, self.base_k);
+            if self.record_observations && self.stash_arc[arc_idx] {
+                if let Obs::ExecEnd { dense, .. } = self.node_obs[dst.index()] {
+                    if let Some(it) = iter_at_mut(&mut self.ring, self.base_k, k) {
+                        it.exec_stash[dense as usize] = (src_val, ops);
+                    }
+                }
+            }
+            src_val.otimes(MaxPlus::new(lag as i64))
+        };
+        let it = iter_at_mut(&mut self.ring, self.base_k, k).expect("iteration open");
+        debug_assert!(!it.computed[dst.index()], "arc resolved after compute");
+        debug_assert!(it.remaining[dst.index()] > 0, "arc resolved twice");
+        it.acc[dst.index()] = it.acc[dst.index()].oplus(contribution);
+        it.remaining[dst.index()] -= 1;
+        if it.remaining[dst.index()] == 0 {
+            self.work.push_back((k, dst));
+        }
+    }
+
+    /// Pops ready nodes, finalizes their values, observes them, and
+    /// propagates along all outgoing arcs.
+    fn drain(&mut self) {
+        while let Some((j, node)) = self.work.pop_front() {
+            let value = {
+                let it = iter_at_mut(&mut self.ring, self.base_k, j).expect("iteration open");
+                if it.computed[node.index()] {
+                    continue;
+                }
+                it.computed[node.index()] = true;
+                // Baseline ⊕ contributions: instants are never negative.
+                let v = it.acc[node.index()].oplus(MaxPlus::E);
+                it.acc[node.index()] = v;
+                it.nodes_pending -= 1;
+                if it.nodes_pending == 0 {
+                    self.stats.iterations_completed += 1;
+                }
+                v
+            };
+            self.stats.nodes_computed += 1;
+            self.observe(j, node, value);
+            // Propagate.
+            let n_out = self.tdg.outgoing[node.index()].len();
+            for idx in 0..n_out {
+                let ai = self.tdg.outgoing[node.index()][idx];
+                let arc = &self.tdg.arcs[ai];
+                let delay = u64::from(arc.delay);
+                let dst = arc.dst;
+                let target_k = j + delay;
+                if delay == 0 {
+                    self.resolve_arc(target_k, ai, value);
+                } else {
+                    let pending = iter_at(&self.ring, self.base_k, target_k)
+                        .is_some_and(|it| !it.computed[dst.index()]);
+                    if pending {
+                        self.resolve_arc(target_k, ai, value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Observation side effects of a freshly computed node.
+    #[inline]
+    fn observe(&mut self, k: u64, node: NodeId, value: MaxPlus) {
+        let obs = self.node_obs[node.index()];
+        match obs {
+            Obs::None => {}
+            Obs::Exchange {
+                relation,
+                ack_input,
+                output,
+                has_fifo_read,
+            } => {
+                let relation = relation as usize;
+                let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
+                // Token size of this relation for iteration k.
+                if let SizeRule::Derived { from, model } = self.size_rules[relation] {
+                    let input_size = match from {
+                        None => 0,
+                        Some((rel, delay)) => {
+                            if u64::from(delay) > k {
+                                0
+                            } else {
+                                iter_at(&self.ring, self.base_k, k - u64::from(delay))
+                                    .map_or(0, |it| it.sizes[rel.index()])
+                            }
+                        }
+                    };
+                    if let Some(it) = iter_at_mut(&mut self.ring, self.base_k, k) {
+                        it.sizes[relation] = model.apply(input_size);
+                    }
+                }
+                if self.record_observations {
+                    debug_assert_eq!(
+                        self.instant_log[relation].len() as u64,
+                        k,
+                        "exchange instants must compute in iteration order"
+                    );
+                    self.instant_log[relation].push(time);
+                    if !has_fifo_read {
+                        // Rendezvous: read instant equals the write instant.
+                        self.read_log[relation].push(time);
+                    }
+                }
+                if ack_input != u32::MAX {
+                    self.acks[ack_input as usize] = Some((k, time));
+                    if let Some(ev) = self.input_events[ack_input as usize] {
+                        self.pending_notifications.push(Notification {
+                            event: ev,
+                            at: None,
+                        });
+                    }
+                }
+                if output != u32::MAX {
+                    let size = iter_at(&self.ring, self.base_k, k)
+                        .map_or(0, |it| it.sizes[relation]);
+                    self.outputs_ready[output as usize].push_back((k, time, size));
+                    if let Some(ev) = self.output_events[output as usize] {
+                        // Wake the emission directly at the output instant.
+                        self.pending_notifications.push(Notification {
+                            event: ev,
+                            at: Some(time),
+                        });
+                    }
+                }
+            }
+            Obs::FifoRead { relation } => {
+                if self.record_observations {
+                    let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
+                    self.read_log[relation as usize].push(time);
+                }
+            }
+            Obs::ExecEnd {
+                function,
+                stmt,
+                resource,
+                dense,
+            } => {
+                if self.record_observations {
+                    let stash = iter_at(&self.ring, self.base_k, k)
+                        .map(|it| it.exec_stash[dense as usize])
+                        .unwrap_or((MaxPlus::EPSILON, 0));
+                    let (start, ops) = stash;
+                    if start.is_finite() || ops > 0 {
+                        let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
+                        self.exec_records.push(ExecRecord {
+                            resource,
+                            function,
+                            stmt: stmt as usize,
+                            k,
+                            start: Time::from_ticks(start.finite().unwrap_or(0).max(0) as u64),
+                            end: time,
+                            ops,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Frees fully computed iterations that can no longer be referenced.
+    fn maybe_prune(&mut self) {
+        self.prune_counter += 1;
+        if self.prune_counter < 8 {
+            return;
+        }
+        self.prune_counter = 0;
+        let min_next = self
+            .next_input_k
+            .iter()
+            .chain(
+                self.next_output_ack_k
+                    .iter()
+                    .zip(&self.output_ack_nodes)
+                    .filter(|(_, n)| n.is_some())
+                    .map(|(k, _)| k),
+            )
+            .copied()
+            .min()
+            .unwrap_or(0);
+        // First incomplete iteration bounds what can be referenced again.
+        let mut first_incomplete = self.base_k + self.ring.len() as u64;
+        for (off, it) in self.ring.iter().enumerate() {
+            if it.nodes_pending > 0 {
+                first_incomplete = self.base_k + off as u64;
+                break;
+            }
+        }
+        let bound = min_next.min(first_incomplete);
+        let horizon = u64::from(self.tdg.max_delay);
+        while let Some(front) = self.ring.front() {
+            if front.nodes_pending == 0 && self.base_k + horizon < bound {
+                let state = self.ring.pop_front().expect("peeked");
+                self.base_k += 1;
+                if self.free.len() < 16 {
+                    self.free.push(state);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_tdg;
+    use evolve_model::didactic;
+
+    fn const_params() -> didactic::Params {
+        didactic::Params {
+            ti1: (10, 0),
+            tj1: (20, 0),
+            ti2: (30, 0),
+            ti3: (40, 0),
+            tj3: (50, 0),
+            ti4: (60, 0),
+        }
+    }
+
+    fn engine() -> Engine {
+        let d = didactic::chained(1, const_params()).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        Engine::new(derived, d.arch.app().relations().len(), true)
+    }
+
+    #[test]
+    fn didactic_first_iteration_matches_hand_values() {
+        // Mirrors the conventional-model integration test in evolve-model.
+        let mut e = engine();
+        e.set_input(0, 0, Time::ZERO, 0);
+        assert_eq!(e.instants(0), &[Time::from_ticks(0)]); // xM1
+        assert_eq!(e.instants(1), &[Time::from_ticks(10)]); // xM2
+        assert_eq!(e.instants(2), &[Time::from_ticks(30)]); // xM3
+        assert_eq!(e.instants(3), &[Time::from_ticks(70)]); // xM4
+        assert_eq!(e.instants(4), &[Time::from_ticks(120)]); // xM5
+        assert_eq!(e.instants(5), &[Time::from_ticks(180)]); // xM6
+        assert_eq!(e.next_output(0), Some((0, Time::from_ticks(180), 0)));
+        assert_eq!(e.ack_instant(0, 0), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn didactic_second_iteration_matches_hand_values() {
+        let mut e = engine();
+        e.set_input(0, 0, Time::ZERO, 0);
+        e.set_input(0, 1, Time::ZERO, 0);
+        assert_eq!(e.instants(0)[1], Time::from_ticks(30));
+        assert_eq!(e.instants(1)[1], Time::from_ticks(130));
+        assert_eq!(e.instants(2)[1], Time::from_ticks(150));
+        assert_eq!(e.instants(3)[1], Time::from_ticks(190));
+        assert_eq!(e.instants(4)[1], Time::from_ticks(240));
+        assert_eq!(e.instants(5)[1], Time::from_ticks(300));
+        // Ack of u(1): xM1(1) = 30 even though the offer was at 0.
+        assert_eq!(e.ack_instant(0, 1), Some(Time::from_ticks(30)));
+    }
+
+    #[test]
+    fn exec_records_are_replayed() {
+        let mut e = engine();
+        e.set_input(0, 0, Time::ZERO, 0);
+        let mut records = e.exec_records().to_vec();
+        records.sort_by_key(|r| (r.start, r.function.index(), r.stmt));
+        assert_eq!(records.len(), 6);
+        // Ti1: 0→10 on P1.
+        assert_eq!(records[0].start, Time::ZERO);
+        assert_eq!(records[0].end, Time::from_ticks(10));
+        assert_eq!(records[0].ops, 10);
+        // Total ops = all loads.
+        let total: u64 = records.iter().map(|r| r.ops).sum();
+        assert_eq!(total, 10 + 20 + 30 + 40 + 50 + 60);
+    }
+
+    #[test]
+    fn long_run_prunes_history() {
+        let mut e = engine();
+        for k in 0..10_000 {
+            e.set_input(0, k, Time::from_ticks(k * 10), 0);
+        }
+        assert!(
+            e.iterations_in_flight() < 200,
+            "history pruned, {} iterations retained",
+            e.iterations_in_flight()
+        );
+        assert_eq!(e.stats().iterations_completed, 10_000);
+        assert_eq!(e.instants(5).len(), 10_000);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut e = engine();
+        e.set_input(0, 0, Time::ZERO, 0);
+        let s = e.stats();
+        assert_eq!(s.nodes_computed, 19, "all nodes of iteration 0 computed");
+        assert!(s.arcs_evaluated >= s.nodes_computed);
+        assert_eq!(s.iterations_completed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration order")]
+    fn out_of_order_offers_rejected() {
+        let mut e = engine();
+        e.set_input(0, 1, Time::ZERO, 0);
+    }
+}

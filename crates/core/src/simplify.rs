@@ -1,0 +1,318 @@
+//! Graph simplification passes.
+//!
+//! The complexity of `ComputeInstant()` "is related to the number of nodes
+//! and arcs that are necessary to determine output evolution instants"
+//! (paper Section III.C), and Fig. 5 shows speed-up degrading as node count
+//! grows. These passes shrink a derived graph toward the paper's minimal
+//! hand-drawn form (Fig. 3 has 10 nodes; our mechanical derivation of the
+//! same example yields 19):
+//!
+//! * **chain contraction** — a non-observable node whose value is defined
+//!   by a single same-iteration arc is folded into its successors
+//!   (`⊗`-composing the weights);
+//! * **dead-node elimination** — nodes from which no kept node is reachable
+//!   are dropped;
+//! * **duplicate-arc merging** — parallel constant arcs keep only the
+//!   dominant one.
+//!
+//! Contraction is exact: with a single predecessor `s` and lag `w`,
+//! `x_n(k) = x_s(k) ⊗ w` always (both sides share the instant-0 baseline
+//! because all weights are non-negative), so rewiring `n`'s dependents to
+//! `s` with composed lags preserves every remaining node's value.
+
+use std::collections::BTreeMap;
+
+use crate::tdg::{Arc, NodeId, NodeKind, Tdg, TdgBuilder};
+
+/// What the simplifier must preserve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Options {
+    /// Keep every observable node (internal exchanges, FIFO reads, and
+    /// execution start/end instants) so resource usage can still be
+    /// replayed. With `false`, only boundary nodes survive — maximum event
+    /// savings, no internal observation (the paper's speed-oriented
+    /// extreme).
+    pub preserve_observations: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            preserve_observations: true,
+        }
+    }
+}
+
+fn is_protected(tdg: &Tdg, node: usize, options: &Options, ack_nodes: &[NodeId]) -> bool {
+    let kind = &tdg.nodes()[node].kind;
+    match kind {
+        NodeKind::Input { .. } | NodeKind::Output { .. } | NodeKind::OutputAck { .. } => true,
+        NodeKind::Exchange { .. } => {
+            // Boundary acknowledgments must survive — the reception process
+            // reads them.
+            options.preserve_observations || ack_nodes.contains(&NodeId(node))
+        }
+        NodeKind::FifoRead { .. } | NodeKind::ExecStart { .. } | NodeKind::ExecEnd { .. } => {
+            options.preserve_observations
+        }
+        NodeKind::Padding => false,
+    }
+}
+
+/// Applies all passes until a fixed point and returns the reduced graph.
+///
+/// Node ids are renumbered; inputs and outputs keep their relative order.
+pub fn simplify(tdg: &Tdg, options: &Options) -> Tdg {
+    // Boundary ack nodes: exchange nodes of relations that have an input
+    // node.
+    let ack_nodes: Vec<NodeId> = tdg
+        .inputs()
+        .iter()
+        .filter_map(|&u| {
+            if let NodeKind::Input { relation } = tdg.nodes()[u.index()].kind {
+                tdg.exchange_node(relation)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let n = tdg.node_count();
+    let mut alive = vec![true; n];
+    let mut arcs: Vec<Option<Arc>> = tdg.arcs().iter().cloned().map(Some).collect();
+
+    // -- Chain contraction to fixpoint ---------------------------------
+    loop {
+        // Incoming arc indices per node.
+        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, arc) in arcs.iter().enumerate() {
+            if let Some(a) = arc {
+                incoming[a.dst.index()].push(i);
+            }
+        }
+        let mut changed = false;
+        for node in 0..n {
+            if !alive[node] || is_protected(tdg, node, options, &ack_nodes) {
+                continue;
+            }
+            let [only] = incoming[node][..] else { continue };
+            let Some(in_arc) = arcs[only].clone() else {
+                continue;
+            };
+            if in_arc.delay != 0 || in_arc.src.index() == node {
+                continue;
+            }
+            // Rewire every outgoing arc of `node` to come from its source —
+            // but only if all of them stay within the same iteration.
+            // Folding across a delayed arc would (a) shift the iteration at
+            // which data-dependent weights evaluate and (b) change the
+            // pre-history boundary condition: the original node contributes
+            // its instant-0 baseline through `k − d` references, whereas a
+            // folded lag would wrongly delay dependents of the first
+            // iterations.
+            let out_ids: Vec<usize> = arcs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.as_ref().is_some_and(|a| a.src.index() == node))
+                .map(|(i, _)| i)
+                .collect();
+            if out_ids
+                .iter()
+                .any(|&i| arcs[i].as_ref().is_some_and(|a| a.delay != 0))
+            {
+                continue;
+            }
+            for oi in out_ids {
+                let out = arcs[oi].as_mut().expect("listed above");
+                out.src = in_arc.src;
+                out.weight = in_arc.weight.compose(&out.weight);
+            }
+            arcs[only] = None;
+            alive[node] = false;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // -- Dead-node elimination ------------------------------------------
+    // Keep nodes that reach a protected node (any delay), plus protected
+    // nodes themselves.
+    let mut keep = vec![false; n];
+    let mut stack: Vec<usize> = (0..n)
+        .filter(|&i| alive[i] && is_protected(tdg, i, options, &ack_nodes))
+        .collect();
+    for &i in &stack {
+        keep[i] = true;
+    }
+    // Walk arcs backwards: a node feeding a kept node is kept.
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, arc) in arcs.iter().enumerate() {
+        if let Some(a) = arc {
+            incoming[a.dst.index()].push(i);
+        }
+    }
+    while let Some(node) = stack.pop() {
+        for &ai in &incoming[node] {
+            let src = arcs[ai].as_ref().expect("indexed").src.index();
+            if alive[src] && !keep[src] {
+                keep[src] = true;
+                stack.push(src);
+            }
+        }
+    }
+    for i in 0..n {
+        alive[i] &= keep[i];
+    }
+
+    // -- Duplicate-arc merging -------------------------------------------
+    let mut best: BTreeMap<(usize, usize, u32), usize> = BTreeMap::new();
+    for i in 0..arcs.len() {
+        let Some(a) = arcs[i].clone() else { continue };
+        if !alive[a.src.index()] || !alive[a.dst.index()] {
+            arcs[i] = None;
+            continue;
+        }
+        if !a.weight.is_constant() {
+            continue;
+        }
+        let key = (a.src.index(), a.dst.index(), a.delay);
+        match best.get(&key) {
+            None => {
+                best.insert(key, i);
+            }
+            Some(&j) => {
+                let other = arcs[j].as_ref().expect("tracked");
+                if other.weight.constant >= a.weight.constant {
+                    arcs[i] = None;
+                } else {
+                    arcs[j] = None;
+                    best.insert(key, i);
+                }
+            }
+        }
+    }
+
+    // -- Rebuild ------------------------------------------------------------
+    let mut remap: Vec<Option<NodeId>> = vec![None; n];
+    let mut b = TdgBuilder::new();
+    for i in 0..n {
+        if alive[i] {
+            let node = &tdg.nodes()[i];
+            remap[i] = Some(b.add_node(node.name.clone(), node.kind));
+        }
+    }
+    for arc in arcs.into_iter().flatten() {
+        let (Some(src), Some(dst)) = (remap[arc.src.index()], remap[arc.dst.index()]) else {
+            continue;
+        };
+        b.add_arc(src, dst, arc.delay, arc.weight);
+    }
+    b.build()
+        .expect("simplification preserves acyclicity of the zero-delay subgraph")
+}
+
+/// Convenience: simplify keeping observations (the default trade-off).
+pub fn simplify_default(tdg: &Tdg) -> Tdg {
+    simplify(tdg, &Options::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_tdg;
+    use crate::tdg::Weight as W;
+    use evolve_model::didactic;
+
+    #[test]
+    fn contraction_folds_unlimited_exec_starts() {
+        let d = didactic::chained(1, didactic::Params::default()).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        let full = derived.tdg.node_count();
+        let reduced = simplify(
+            &derived.tdg,
+            &Options {
+                preserve_observations: false,
+            },
+        );
+        assert!(
+            reduced.node_count() < full,
+            "no reduction: {} -> {}",
+            full,
+            reduced.node_count()
+        );
+        // Boundary nodes survive.
+        assert_eq!(reduced.inputs().len(), 1);
+        assert_eq!(reduced.outputs().len(), 1);
+        // The paper's hand graph for this example has 10 nodes; the
+        // mechanical reduction should be in that vicinity.
+        assert!(
+            reduced.node_count() <= 12,
+            "expected near-minimal graph, got {}",
+            reduced.node_count()
+        );
+    }
+
+    #[test]
+    fn observation_preserving_mode_keeps_exchanges() {
+        let d = didactic::chained(1, didactic::Params::default()).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        let reduced = simplify(&derived.tdg, &Options::default());
+        // All six exchange instants still present.
+        let exchanges = reduced
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    NodeKind::Exchange { .. } | NodeKind::Output { .. }
+                )
+            })
+            .count();
+        assert_eq!(exchanges, 6);
+    }
+
+    #[test]
+    fn padding_is_removed_as_dead() {
+        let d = didactic::chained(1, didactic::Params::default()).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        let padded = crate::synthetic::pad(&derived.tdg, 50);
+        assert_eq!(padded.node_count(), derived.tdg.node_count() + 50);
+        let reduced = simplify(&padded, &Options::default());
+        assert!(
+            reduced.node_count() <= derived.tdg.node_count(),
+            "padding nodes are dead and must be eliminated"
+        );
+    }
+
+    #[test]
+    fn duplicate_constant_arcs_keep_the_max() {
+        let mut b = crate::tdg::TdgBuilder::new();
+        let u = b.add_node(
+            "u",
+            NodeKind::Input {
+                relation: evolve_model::RelationId::from_index(0),
+            },
+        );
+        let y = b.add_node(
+            "y",
+            NodeKind::Output {
+                relation: evolve_model::RelationId::from_index(1),
+            },
+        );
+        b.add_arc(u, y, 0, W::constant(3));
+        b.add_arc(u, y, 0, W::constant(9));
+        b.add_arc(u, y, 1, W::constant(100)); // different delay: kept
+        let tdg = b.build().unwrap();
+        let reduced = simplify(&tdg, &Options::default());
+        assert_eq!(reduced.arc_count(), 2);
+        let max_const = reduced
+            .arcs()
+            .iter()
+            .filter(|a| a.delay == 0)
+            .map(|a| a.weight.constant)
+            .max();
+        assert_eq!(max_const, Some(9));
+    }
+}

@@ -1,0 +1,147 @@
+//! Accuracy validation: conventional vs. equivalent model comparison.
+//!
+//! The paper's validation protocol (Section IV): "Validation of the
+//! approach consists in comparing simulation speed and accuracy among
+//! architecture models captured with and without the proposed modeling
+//! approach. Accuracy is related to values of models' evolution instants.
+//! … Evolution instants of both models have been compared and, as
+//! expected, remain the same." This module makes that protocol a function:
+//! run both models on the same stimuli and diff every exchange instant and
+//! every execution record.
+
+use evolve_model::{elaborate, Architecture, Environment, ExecRecord, RunReport};
+
+use crate::equivalent::{EquivalentModelBuilder, EquivalentReport};
+use crate::error::EquivalentError;
+
+/// Outcome of running both models on identical stimuli.
+#[derive(Debug)]
+pub struct Comparison {
+    /// The conventional (fully event-driven) run.
+    pub conventional: RunReport,
+    /// The equivalent (dynamic computation) run.
+    pub equivalent: EquivalentReport,
+    /// Differences found (empty means exact agreement).
+    pub mismatches: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when every compared instant agrees exactly.
+    pub fn is_accurate(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// The event ratio: relation-exchange events of the conventional model
+    /// over those of the equivalent model (Table I, "Event ratio").
+    pub fn event_ratio(&self) -> f64 {
+        let conventional = self.conventional.relation_events() as f64;
+        let equivalent = self.equivalent.boundary_relation_events.max(1) as f64;
+        conventional / equivalent
+    }
+
+    /// Wall-clock speed-up of the equivalent model (Table I, "Simulation
+    /// speed-up"). Meaningful only for runs long enough to dominate setup.
+    pub fn speedup(&self) -> f64 {
+        let conventional = self.conventional.wall.as_secs_f64();
+        let equivalent = self.equivalent.run.wall.as_secs_f64().max(1e-9);
+        conventional / equivalent
+    }
+}
+
+fn sorted_records(records: &[ExecRecord]) -> Vec<ExecRecord> {
+    let mut v = records.to_vec();
+    v.sort_by_key(|r| (r.k, r.function.index(), r.stmt));
+    v
+}
+
+/// Runs both models of `arch` under `env` and compares all evolution
+/// instants and execution records.
+///
+/// `mismatch_limit` bounds the diagnostics collected (the comparison still
+/// scans everything).
+///
+/// # Errors
+///
+/// Returns an [`EquivalentError`] if either model cannot be built.
+pub fn compare_models(
+    arch: &Architecture,
+    env: &Environment,
+    mismatch_limit: usize,
+) -> Result<Comparison, EquivalentError> {
+    let conventional = elaborate(arch, env)?.run();
+    let equivalent = EquivalentModelBuilder::new(arch)
+        .record_observations(true)
+        .build(env)?
+        .run();
+
+    let mut mismatches = Vec::new();
+    let mut push = |msg: String| {
+        if mismatches.len() < mismatch_limit {
+            mismatches.push(msg);
+        }
+    };
+
+    // Exchange instants, relation by relation.
+    for (ridx, relation) in arch.app().relations().iter().enumerate() {
+        let a = &conventional.relation_logs[ridx];
+        let b = &equivalent.run.relation_logs[ridx];
+        if a.write_instants != b.write_instants {
+            let first = a
+                .write_instants
+                .iter()
+                .zip(&b.write_instants)
+                .position(|(x, y)| x != y);
+            push(format!(
+                "relation {} write instants differ (len {} vs {}, first at k={:?})",
+                relation.name,
+                a.write_instants.len(),
+                b.write_instants.len(),
+                first
+            ));
+        }
+        if a.read_instants != b.read_instants {
+            push(format!("relation {} read instants differ", relation.name));
+        }
+    }
+
+    // Execution records (resource usage), order-normalized.
+    let a = sorted_records(&conventional.exec_records);
+    let b = sorted_records(&equivalent.run.exec_records);
+    if a.len() != b.len() {
+        push(format!(
+            "execution record counts differ: {} vs {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (ra, rb) in a.iter().zip(&b) {
+        if ra != rb {
+            push(format!(
+                "execution record differs at k={} {}.{}: {:?}..{:?} ops {} vs {:?}..{:?} ops {}",
+                ra.k, ra.function, ra.stmt, ra.start, ra.end, ra.ops, rb.start, rb.end, rb.ops
+            ));
+            break;
+        }
+    }
+
+    Ok(Comparison {
+        conventional,
+        equivalent,
+        mismatches,
+    })
+}
+
+/// Convenience assertion for tests: panics with diagnostics when the two
+/// models disagree.
+///
+/// # Panics
+///
+/// Panics if any instant differs.
+pub fn assert_equivalent(arch: &Architecture, env: &Environment) {
+    let comparison = compare_models(arch, env, 8).expect("both models build");
+    assert!(
+        comparison.is_accurate(),
+        "models disagree:\n{}",
+        comparison.mismatches.join("\n")
+    );
+}

@@ -1,0 +1,263 @@
+//! Accuracy on structurally gnarly behaviours: multi-read/multi-write
+//! functions, interleaved statement orders, mixed relation kinds, shared
+//! limited resources — beyond the regular read-execute-write shape.
+
+use evolve_core::validate::assert_equivalent;
+use evolve_des::Duration;
+use evolve_model::{
+    varying_sizes, Application, Architecture, Behavior, Concurrency, Environment, LoadModel,
+    Mapping, Platform, RelationKind, SizeModel, Stimulus,
+};
+
+#[test]
+fn multi_write_fanout_with_interleaved_executes() {
+    // F1: read; exec; write a; exec; write b; exec; write c — three
+    // consumers with different loads.
+    let mut app = Application::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let a = app.add_relation("a", RelationKind::Rendezvous);
+    let b = app.add_relation("b", RelationKind::Fifo(2));
+    let c = app.add_relation("c", RelationKind::Rendezvous);
+    let oa = app.add_output("oa", RelationKind::Rendezvous);
+    let ob = app.add_output("ob", RelationKind::Rendezvous);
+    let oc = app.add_output("oc", RelationKind::Rendezvous);
+    let f1 = app.add_function(
+        "splitter",
+        Behavior::new()
+            .read(input)
+            .execute(LoadModel::PerUnit { base: 40, per_unit: 1 })
+            .write(a)
+            .execute(LoadModel::Constant(25))
+            .write(b)
+            .execute(LoadModel::Uniform {
+                min: 10,
+                max: 90,
+                seed: 4,
+            })
+            .write(c),
+    );
+    let ca = app.add_function(
+        "ca",
+        Behavior::new()
+            .read(a)
+            .execute(LoadModel::PerUnit { base: 100, per_unit: 2 })
+            .write(oa),
+    );
+    let cb = app.add_function(
+        "cb",
+        Behavior::new()
+            .read(b)
+            .execute(LoadModel::Constant(320))
+            .write(ob),
+    );
+    let cc = app.add_function(
+        "cc",
+        Behavior::new()
+            .read(c)
+            .execute(LoadModel::PerUnit { base: 5, per_unit: 5 })
+            .write(oc),
+    );
+    let mut platform = Platform::new();
+    let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+    let p2 = platform.add_resource("P2", Concurrency::Limited(2), 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(f1, p1).assign(ca, p2).assign(cb, p2).assign(cc, p2);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new().stimulus(
+        input,
+        Stimulus::saturating(120, varying_sizes(1, 80, 6)),
+    );
+    assert_equivalent(&arch, &env);
+}
+
+#[test]
+fn multi_read_join_with_reordered_reads() {
+    // The join reads its inputs in an order different from production
+    // order, with executes between the reads.
+    let mut app = Application::new();
+    let in1 = app.add_input("in1", RelationKind::Rendezvous);
+    let in2 = app.add_input("in2", RelationKind::Rendezvous);
+    let a = app.add_relation("a", RelationKind::Rendezvous);
+    let b = app.add_relation("b", RelationKind::Fifo(3));
+    let out = app.add_output("out", RelationKind::Rendezvous);
+    let fa = app.add_function(
+        "fa",
+        Behavior::new()
+            .read(in1)
+            .execute(LoadModel::PerUnit { base: 30, per_unit: 3 })
+            .write(a),
+    );
+    let fb = app.add_function_with_size(
+        "fb",
+        Behavior::new()
+            .read(in2)
+            .execute(LoadModel::Constant(75))
+            .write(b),
+        SizeModel::Scaled {
+            numerator: 2,
+            denominator: 1,
+        },
+    );
+    let join = app.add_function(
+        "join",
+        Behavior::new()
+            .read(b) // second producer's relation first
+            .execute(LoadModel::PerUnit { base: 10, per_unit: 1 })
+            .read(a)
+            .execute(LoadModel::PerUnit { base: 20, per_unit: 2 })
+            .write(out),
+    );
+    let mut platform = Platform::new();
+    let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+    let p2 = platform.add_resource("P2", Concurrency::Sequential, 1);
+    let p3 = platform.add_resource("P3", Concurrency::Sequential, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(fa, p1).assign(fb, p2).assign(join, p3);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new()
+        .stimulus(
+            in1,
+            Stimulus::periodic(70, Duration::from_ticks(350), varying_sizes(1, 30, 1)),
+        )
+        .stimulus(
+            in2,
+            Stimulus::periodic(70, Duration::from_ticks(410), varying_sizes(1, 30, 2)),
+        );
+    assert_equivalent(&arch, &env);
+}
+
+#[test]
+fn function_with_no_reads_after_first_write() {
+    // A function whose execute precedes any read in its loop body: the
+    // feeding read wraps to the previous iteration (delay-1 size source).
+    let mut app = Application::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let mid = app.add_relation("mid", RelationKind::Rendezvous);
+    let out = app.add_output("out", RelationKind::Rendezvous);
+    let f1 = app.add_function(
+        "pre_exec",
+        Behavior::new()
+            // Executes on the size read in the *previous* iteration.
+            .execute(LoadModel::PerUnit { base: 15, per_unit: 4 })
+            .read(input)
+            .execute(LoadModel::PerUnit { base: 5, per_unit: 1 })
+            .write(mid),
+    );
+    let f2 = app.add_function(
+        "post",
+        Behavior::new()
+            .read(mid)
+            .execute(LoadModel::Constant(60))
+            .write(out),
+    );
+    let mut platform = Platform::new();
+    let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+    let p2 = platform.add_resource("P2", Concurrency::Sequential, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(f1, p1).assign(f2, p2);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new().stimulus(
+        input,
+        Stimulus::saturating(90, varying_sizes(1, 64, 8)),
+    );
+    assert_equivalent(&arch, &env);
+}
+
+#[test]
+fn traced_loads_match() {
+    // Captured-workload replay through both models.
+    let mut app = Application::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let out = app.add_output("out", RelationKind::Rendezvous);
+    let f = app.add_function(
+        "replay",
+        Behavior::new()
+            .read(input)
+            .execute(LoadModel::from_trace(vec![120, 45, 300, 10, 999, 77]))
+            .write(out),
+    );
+    let mut platform = Platform::new();
+    let p = platform.add_resource("P", Concurrency::Sequential, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(f, p);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new().stimulus(input, Stimulus::saturating(40, |_| 0));
+    assert_equivalent(&arch, &env);
+}
+
+#[test]
+fn three_functions_one_sequential_resource() {
+    // Static round-robin of three functions on one processor: the slot
+    // order couples all chains.
+    let mut app = Application::new();
+    let mut platform = Platform::new();
+    let cpu = platform.add_resource("cpu", Concurrency::Sequential, 2);
+    let mut mapping = Mapping::new();
+    let mut env = Environment::new();
+    let mut chains = Vec::new();
+    for i in 0..3 {
+        let input = app.add_input(format!("in{i}"), RelationKind::Rendezvous);
+        let out = app.add_output(format!("out{i}"), RelationKind::Rendezvous);
+        let f = app.add_function(
+            format!("job{i}"),
+            Behavior::new()
+                .read(input)
+                .execute(LoadModel::Uniform {
+                    min: 50,
+                    max: 400,
+                    seed: i,
+                })
+                .write(out),
+        );
+        mapping.assign(f, cpu);
+        env = env.stimulus(
+            input,
+            Stimulus::periodic(50, Duration::from_ticks(90 + 40 * i), varying_sizes(0, 9, i)),
+        );
+        chains.push((input, out));
+    }
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    assert_equivalent(&arch, &env);
+}
+
+#[test]
+fn gated_conditional_loads_match() {
+    // The paper's "conditioning": iteration-dependent activity evaluated
+    // identically by the simulator and by ComputeInstant().
+    let mut app = Application::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let mid = app.add_relation("mid", RelationKind::Rendezvous);
+    let out = app.add_output("out", RelationKind::Rendezvous);
+    let f1 = app.add_function(
+        "sometimes",
+        Behavior::new()
+            .read(input)
+            // Heavy enhancement stage that only runs for ~1 in 4 tokens.
+            .execute(LoadModel::gated(
+                1,
+                4,
+                99,
+                LoadModel::PerUnit { base: 500, per_unit: 3 },
+            ))
+            .execute(LoadModel::PerUnit { base: 50, per_unit: 1 })
+            .write(mid),
+    );
+    let f2 = app.add_function(
+        "always",
+        Behavior::new()
+            .read(mid)
+            .execute(LoadModel::Constant(120))
+            .write(out),
+    );
+    let mut platform = Platform::new();
+    let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+    let p2 = platform.add_resource("P2", Concurrency::Sequential, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(f1, p1).assign(f2, p2);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new().stimulus(
+        input,
+        Stimulus::saturating(200, varying_sizes(1, 64, 12)),
+    );
+    assert_equivalent(&arch, &env);
+}

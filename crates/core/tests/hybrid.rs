@@ -1,0 +1,185 @@
+//! Partial abstraction: the hybrid model (some functions computed, the
+//! rest event-driven) must reproduce the conventional model's instants
+//! exactly — including through the output-acknowledgment coupling where a
+//! grouped producer waits for an event-driven consumer.
+
+use evolve_core::partial::{hybrid_simulation, partition, PartitionError};
+use evolve_des::Duration;
+use evolve_model::{
+    didactic, elaborate, varying_sizes, Environment, ExecRecord, FunctionId, RunReport, Stimulus,
+};
+
+fn assert_hybrid_matches(
+    arch: &evolve_model::Architecture,
+    group: &[FunctionId],
+    env: &Environment,
+) -> (RunReport, evolve_core::HybridReport) {
+    let conventional = elaborate(arch, env).expect("conventional builds").run();
+    let hybrid = hybrid_simulation(arch, group, env)
+        .expect("hybrid builds")
+        .run();
+    for (ridx, relation) in arch.app().relations().iter().enumerate() {
+        assert_eq!(
+            conventional.relation_logs[ridx].write_instants,
+            hybrid.run.relation_logs[ridx].write_instants,
+            "write instants of {} differ",
+            relation.name
+        );
+        assert_eq!(
+            conventional.relation_logs[ridx].read_instants,
+            hybrid.run.relation_logs[ridx].read_instants,
+            "read instants of {} differ",
+            relation.name
+        );
+    }
+    let sort = |mut v: Vec<ExecRecord>| {
+        v.sort_by_key(|r| (r.k, r.function.index(), r.stmt));
+        v
+    };
+    assert_eq!(
+        sort(conventional.exec_records.clone()),
+        sort(hybrid.run.exec_records.clone()),
+        "execution records differ"
+    );
+    (conventional, hybrid)
+}
+
+fn f(i: usize) -> FunctionId {
+    FunctionId::from_index(i)
+}
+
+#[test]
+fn didactic_abstract_hardware_side() {
+    // Group {F3, F4} on P2: boundary-in M3, M5; boundary-out M4 (consumed
+    // by event-driven F2 — the acknowledgment-feedback path) and M6 (env).
+    let d = didactic::chained(1, didactic::Params::default()).unwrap();
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::saturating(80, varying_sizes(1, 128, 3)),
+    );
+    let (conventional, hybrid) = assert_hybrid_matches(&d.arch, &[f(2), f(3)], &env);
+    // This group has *no* internal relations (all four touched relations
+    // are boundary), so no events are saved — abstraction only pays when
+    // the group hides exchanges, exactly the compromise of paper §III.C.
+    // Accuracy still holds, and the boundary machinery costs about the
+    // same as the two replaced interpreters.
+    assert!(
+        hybrid.run.stats.activations < conventional.stats.activations * 3 / 2,
+        "hybrid {} vs conventional {}",
+        hybrid.run.stats.activations,
+        conventional.stats.activations
+    );
+    assert!(hybrid.engine_stats.iterations_completed == 80);
+}
+
+#[test]
+fn didactic_abstract_processor_side() {
+    // Group {F1, F2} on P1: boundary-in M1 (environment) and M4 (from
+    // event-driven F3); boundary-outs M3, M5 both acked.
+    let d = didactic::chained(1, didactic::Params::default()).unwrap();
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::periodic(60, Duration::from_ticks(1_200), varying_sizes(1, 64, 5)),
+    );
+    assert_hybrid_matches(&d.arch, &[f(0), f(1)], &env);
+}
+
+#[test]
+fn didactic_abstract_everything_matches_equivalent() {
+    let d = didactic::chained(1, didactic::Params::default()).unwrap();
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::saturating(50, varying_sizes(1, 64, 9)),
+    );
+    let (_, hybrid) = assert_hybrid_matches(&d.arch, &[f(0), f(1), f(2), f(3)], &env);
+    // Full-group hybrid behaves like the dedicated equivalent model.
+    let full = evolve_core::equivalent_simulation(&d.arch, &env)
+        .expect("builds")
+        .run();
+    assert_eq!(
+        hybrid.run.relation_logs[d.output().index()].write_instants,
+        full.run.relation_logs[d.output().index()].write_instants
+    );
+}
+
+#[test]
+fn chained_didactic_abstract_middle_stage() {
+    // Three chained stages; abstract only the middle one (functions 4..8).
+    let d = didactic::chained(3, didactic::Params::default()).unwrap();
+    let group: Vec<FunctionId> = (4..8).map(f).collect();
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::saturating(40, varying_sizes(1, 100, 11)),
+    );
+    assert_hybrid_matches(&d.arch, &group, &env);
+}
+
+#[test]
+fn shared_resource_is_rejected() {
+    // F1 and F2 share P1: grouping only F1 must fail.
+    let d = didactic::chained(1, didactic::Params::default()).unwrap();
+    let err = partition(&d.arch, &[f(0)]).unwrap_err();
+    assert!(matches!(err, PartitionError::SharedResource { .. }));
+    assert!(err.to_string().contains("shared"));
+}
+
+#[test]
+fn empty_group_is_rejected() {
+    let d = didactic::chained(1, didactic::Params::default()).unwrap();
+    assert_eq!(partition(&d.arch, &[]).unwrap_err(), PartitionError::EmptyGroup);
+}
+
+#[test]
+fn partition_shape_didactic_hw_side() {
+    let d = didactic::chained(1, didactic::Params::default()).unwrap();
+    let part = partition(&d.arch, &[f(2), f(3)]).unwrap();
+    // Relations touched: M3 (in), M4 (out, acked), M5 (in), M6 (out, env).
+    assert_eq!(part.sub.app().functions().len(), 2);
+    assert_eq!(part.sub.app().relations().len(), 4);
+    assert_eq!(part.boundary_inputs.len(), 2);
+    assert_eq!(part.boundary_outputs.len(), 2);
+    assert_eq!(part.acked_outputs.len(), 1, "only M4 has a model consumer");
+    assert_eq!(part.sub_resource_to_orig.len(), 1, "only P2 travels");
+}
+
+#[test]
+fn hybrid_with_fifo_boundary() {
+    // A FIFO crossing into the group: the boundary channel becomes an
+    // emulation rendezvous but timing must match the conventional FIFO.
+    use evolve_model::{
+        Application, Architecture, Behavior, Concurrency, LoadModel, Mapping, Platform,
+        RelationKind,
+    };
+    let mut app = Application::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let q = app.add_relation("q", RelationKind::Fifo(2));
+    let out = app.add_output("out", RelationKind::Rendezvous);
+    let producer = app.add_function(
+        "producer",
+        Behavior::new()
+            .read(input)
+            .execute(LoadModel::Constant(20))
+            .write(q),
+    );
+    let consumer = app.add_function(
+        "consumer",
+        Behavior::new()
+            .read(q)
+            .execute(LoadModel::PerUnit { base: 150, per_unit: 2 })
+            .write(out),
+    );
+    let mut platform = Platform::new();
+    let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+    let p2 = platform.add_resource("P2", Concurrency::Sequential, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(producer, p1).assign(consumer, p2);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new().stimulus(
+        input,
+        Stimulus::saturating(60, varying_sizes(0, 40, 21)),
+    );
+    // Abstract the consumer: q is a FIFO boundary-in of the group.
+    assert_hybrid_matches(&arch, &[f(1)], &env);
+    // Abstract the producer: q is a FIFO boundary-out (acked).
+    assert_hybrid_matches(&arch, &[f(0)], &env);
+}

@@ -1,0 +1,149 @@
+//! Property tests of the simplification passes: on random pipelines, the
+//! reduced graph must be smaller (or equal) and produce identical boundary
+//! instants and — in observation-preserving mode — identical internal
+//! instants.
+
+use evolve_core::{derive_tdg, simplify, Engine};
+use evolve_des::Time;
+use evolve_model::{
+    Application, Architecture, Behavior, Concurrency, LoadModel, Mapping, Platform, RelationKind,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    loads: Vec<(u64, u64)>,
+    unlimited: Vec<bool>,
+    offers: Vec<u64>,
+    sizes: Vec<u64>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (1usize..6)
+        .prop_flat_map(|stages| {
+            (
+                proptest::collection::vec((0u64..300, 0u64..5), stages),
+                proptest::collection::vec(any::<bool>(), stages),
+                proptest::collection::vec(0u64..800, 2..10),
+                proptest::collection::vec(0u64..64, 10),
+            )
+        })
+        .prop_map(|(loads, unlimited, mut offers, sizes)| {
+            let mut acc = 0;
+            for o in &mut offers {
+                acc += *o;
+                *o = acc;
+            }
+            Spec {
+                loads,
+                unlimited,
+                offers,
+                sizes,
+            }
+        })
+}
+
+fn build(spec: &Spec) -> Architecture {
+    let mut app = Application::new();
+    let mut platform = Platform::new();
+    let mut mapping = Mapping::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let mut upstream = input;
+    for (i, (base, per_unit)) in spec.loads.iter().enumerate() {
+        let next = if i + 1 == spec.loads.len() {
+            app.add_output("out", RelationKind::Rendezvous)
+        } else {
+            app.add_relation(format!("r{i}"), RelationKind::Rendezvous)
+        };
+        let f = app.add_function(
+            format!("F{i}"),
+            Behavior::new()
+                .read(upstream)
+                .execute(LoadModel::PerUnit {
+                    base: *base,
+                    per_unit: *per_unit,
+                })
+                .write(next),
+        );
+        let concurrency = if spec.unlimited[i] {
+            Concurrency::Unlimited
+        } else {
+            Concurrency::Sequential
+        };
+        let p = platform.add_resource(format!("P{i}"), concurrency, 1);
+        mapping.assign(f, p);
+        upstream = next;
+    }
+    Architecture::new(app, platform, mapping).expect("well-formed")
+}
+
+/// Runs an engine over the spec's offers; returns all relations' instants.
+fn run(derived: evolve_core::DerivedTdg, relations: usize, spec: &Spec) -> Vec<Vec<Time>> {
+    let mut engine = Engine::new(derived, relations, true);
+    for (k, &t) in spec.offers.iter().enumerate() {
+        engine.set_input(0, k as u64, Time::from_ticks(t), spec.sizes[k % spec.sizes.len()]);
+    }
+    (0..relations)
+        .map(|r| engine.instants(r).to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn observing_simplification_preserves_all_instants(spec in spec()) {
+        let arch = build(&spec);
+        let relations = arch.app().relations().len();
+        let derived = derive_tdg(&arch).expect("derives");
+        let full = run(derived.clone(), relations, &spec);
+
+        let reduced_tdg = simplify::simplify_default(&derived.tdg);
+        prop_assert!(reduced_tdg.node_count() <= derived.tdg.node_count());
+        let reduced = evolve_core::DerivedTdg {
+            tdg: reduced_tdg,
+            size_rules: derived.size_rules.clone(),
+        };
+        let got = run(reduced, relations, &spec);
+        prop_assert_eq!(full, got, "observing mode must keep every instant");
+    }
+
+    #[test]
+    fn boundary_simplification_preserves_boundary_instants(spec in spec()) {
+        let arch = build(&spec);
+        let relations = arch.app().relations().len();
+        let derived = derive_tdg(&arch).expect("derives");
+        let full = run(derived.clone(), relations, &spec);
+
+        let reduced_tdg = simplify::simplify(
+            &derived.tdg,
+            &simplify::Options { preserve_observations: false },
+        );
+        prop_assert!(reduced_tdg.node_count() <= derived.tdg.node_count());
+        let reduced = evolve_core::DerivedTdg {
+            tdg: reduced_tdg,
+            size_rules: derived.size_rules.clone(),
+        };
+        let got = run(reduced, relations, &spec);
+        // Boundary relations: the external input and output.
+        let input = arch.app().external_inputs()[0].index();
+        let output = arch.app().external_outputs()[0].index();
+        prop_assert_eq!(&full[input], &got[input]);
+        prop_assert_eq!(&full[output], &got[output]);
+    }
+
+    #[test]
+    fn simplification_is_idempotent(spec in spec()) {
+        let arch = build(&spec);
+        let derived = derive_tdg(&arch).expect("derives");
+        for options in [
+            simplify::Options { preserve_observations: true },
+            simplify::Options { preserve_observations: false },
+        ] {
+            let once = simplify::simplify(&derived.tdg, &options);
+            let twice = simplify::simplify(&once, &options);
+            prop_assert_eq!(once.node_count(), twice.node_count(), "{:?}", options);
+            prop_assert_eq!(once.arc_count(), twice.arc_count(), "{:?}", options);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Kernel-resident communication channels.
+//!
+//! Two channel families model the paper's relations between application
+//! functions:
+//!
+//! * **Rendezvous** — both sides block until the other arrives; the exchange
+//!   instant is the later of the two arrivals (paper footnote 1: "functions
+//!   … communicate over a rendezvous protocol which implies they wait on
+//!   each other to exchange data").
+//! * **FIFO** — bounded queue; a writer blocks only when the queue is full,
+//!   a reader only when it is empty (the paper's Section III.B extension:
+//!   "communications … performed through FIFO channels").
+//!
+//! Rendezvous channels additionally support a **listen/accept** protocol used
+//! by the equivalent model's `Reception` process (paper Fig. 4): a listener
+//! is woken when an offer arrives but the transfer is only completed by an
+//! explicit [`Api::accept`](crate::Api::accept) — at the *computed* evolution
+//! instant rather than immediately.
+
+use std::collections::VecDeque;
+
+use crate::process::ProcessId;
+use crate::time::Time;
+
+/// Identifier of a channel registered with a [`Kernel`](crate::Kernel).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId(pub(crate) usize);
+
+impl ChannelId {
+    /// The raw index (useful for diagnostics and per-channel statistics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Result of a completed channel operation, delivered to a process that was
+/// parked with [`Activation::Blocked`](crate::Activation::Blocked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completion<P> {
+    /// A blocked write finished (the exchange instant is the wake time).
+    WriteDone,
+    /// A blocked read finished with this value.
+    Read(P),
+    /// A listener was informed of a pending offer made at the given instant.
+    /// The transfer has *not* happened; complete it with
+    /// [`Api::accept`](crate::Api::accept).
+    Offer(Time),
+}
+
+/// Immediate result of a write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write completed at the current instant.
+    Done,
+    /// The writer must park ([`Activation::Blocked`](crate::Activation::Blocked));
+    /// it will be woken with [`Completion::WriteDone`].
+    Blocked,
+}
+
+/// Immediate result of a read attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome<P> {
+    /// The read completed at the current instant with this value.
+    Done(P),
+    /// The reader must park; it will be woken with [`Completion::Read`].
+    Blocked,
+}
+
+/// Immediate result of a listen attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListenOutcome {
+    /// A writer is already waiting; its offer was made at the given instant.
+    Offered(Time),
+    /// No offer yet; the listener parks and will be woken with
+    /// [`Completion::Offer`].
+    Blocked,
+}
+
+pub(crate) enum ChannelState<P> {
+    Rendezvous(RendezvousState<P>),
+    Fifo(FifoState<P>),
+}
+
+pub(crate) enum RendezvousState<P> {
+    Idle,
+    /// A writer parked with its value; `since` is the offer instant.
+    WriterWaiting {
+        writer: ProcessId,
+        value: P,
+        since: Time,
+    },
+    /// A reader parked on a plain `read`.
+    ReaderWaiting(ProcessId),
+    /// A reader parked on `listen` (deferred-accept protocol).
+    Listening(ProcessId),
+}
+
+pub(crate) struct FifoState<P> {
+    pub capacity: usize,
+    pub queue: VecDeque<P>,
+    pub pending_writers: VecDeque<(ProcessId, P)>,
+    pub pending_reader: Option<ProcessId>,
+}
+
+impl<P> ChannelState<P> {
+    pub(crate) fn rendezvous() -> Self {
+        ChannelState::Rendezvous(RendezvousState::Idle)
+    }
+
+    pub(crate) fn fifo(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be at least 1");
+        ChannelState::Fifo(FifoState {
+            capacity,
+            queue: VecDeque::new(),
+            pending_writers: VecDeque::new(),
+            pending_reader: None,
+        })
+    }
+}
+
+/// Per-channel bookkeeping: exchange-instant logs and transfer counts.
+///
+/// `write_instants[k]` is the instant the `(k+1)`-th write *completed* on the
+/// channel — the paper's `xMi(k)` for relation `Mi`. For rendezvous channels
+/// read and write instants coincide.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelLog {
+    /// Completion instant of each write, in order.
+    pub write_instants: Vec<Time>,
+    /// Completion instant of each read, in order.
+    pub read_instants: Vec<Time>,
+}
+
+impl ChannelLog {
+    /// Number of completed transfers (writes).
+    pub fn transfers(&self) -> u64 {
+        self.write_instants.len() as u64
+    }
+}

@@ -1,0 +1,31 @@
+//! Notification events — the analogue of SystemC's `sc_event`.
+//!
+//! A process suspends on an event with
+//! [`Activation::WaitEvent`](crate::Activation::WaitEvent); any other process
+//! wakes all current waiters with [`Api::notify`](crate::Api::notify)
+//! (immediately, in the current delta cycle) or
+//! [`Api::notify_after`](crate::Api::notify_after) (at a future instant).
+
+use crate::process::ProcessId;
+
+/// Identifier of an event registered with a [`Kernel`](crate::Kernel).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub(crate) usize);
+
+impl EventId {
+    /// The raw index (useful for diagnostics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for EventId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct EventState {
+    pub waiters: Vec<ProcessId>,
+}

@@ -1,0 +1,701 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Kernel`] owns the simulated clock, the timed event queue, all processes,
+//! events and channels, and runs the classic evaluate/advance loop of an
+//! event-driven simulator (the SystemC scheduler analogue): all activity at
+//! the current instant is drained through delta cycles, then time jumps to
+//! the next scheduled entry.
+//!
+//! Every process dispatch and queue operation has real host cost — that cost,
+//! multiplied by the number of simulation events, is precisely what the
+//! paper's dynamic computation method removes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::channel::{
+    ChannelId, ChannelLog, ChannelState, Completion, ListenOutcome, ReadOutcome,
+    RendezvousState, WriteOutcome,
+};
+use crate::event::{EventId, EventState};
+use crate::process::{Activation, Process, ProcessId};
+use crate::stats::KernelStats;
+use crate::time::{Duration, Time};
+
+#[derive(PartialEq, Eq)]
+enum WakeKind {
+    Process(ProcessId),
+    Notify(EventId),
+}
+
+struct HeapEntry {
+    time: Time,
+    seq: u64,
+    kind: WakeKind,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Why a process is currently not runnable (for deadlock diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suspension {
+    /// Waiting for a timed wakeup.
+    Timed(Time),
+    /// Waiting for an event notification.
+    OnEvent(EventId),
+    /// Parked on a channel operation.
+    OnChannel,
+    /// Finished.
+    Done,
+    /// Runnable (in the ready queue).
+    Ready,
+    /// Currently being dispatched.
+    Running,
+}
+
+struct ProcSlot<P> {
+    /// `None` once the process has finished (stale wakes then panic loudly).
+    process: Option<Box<dyn Process<P>>>,
+    name: String,
+}
+
+pub(crate) struct Inner<P> {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    ready: VecDeque<ProcessId>,
+    events: Vec<EventState>,
+    channels: Vec<ChannelState<P>>,
+    logs: Vec<ChannelLog>,
+    completions: Vec<Option<Completion<P>>>,
+    suspensions: Vec<Suspension>,
+    stats: KernelStats,
+}
+
+impl<P> Inner<P> {
+    fn schedule(&mut self, time: Time, kind: WakeKind) {
+        self.seq += 1;
+        self.stats.scheduled += 1;
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Makes `pid` runnable in the current delta cycle.
+    fn make_ready(&mut self, pid: ProcessId) {
+        debug_assert!(
+            !matches!(
+                self.suspensions[pid.0],
+                Suspension::Ready | Suspension::Running | Suspension::Done
+            ),
+            "{pid} woken while {:?}",
+            self.suspensions[pid.0]
+        );
+        self.suspensions[pid.0] = Suspension::Ready;
+        self.stats.delta_wakes += 1;
+        self.ready.push_back(pid);
+    }
+
+    fn complete(&mut self, pid: ProcessId, completion: Completion<P>) {
+        debug_assert!(
+            self.completions[pid.0].is_none(),
+            "{pid} already has a pending completion"
+        );
+        self.completions[pid.0] = Some(completion);
+        self.make_ready(pid);
+    }
+
+    fn log_write(&mut self, ch: ChannelId) {
+        self.stats.transfers += 1;
+        let now = self.now;
+        self.logs[ch.0].write_instants.push(now);
+    }
+
+    fn log_read(&mut self, ch: ChannelId) {
+        let now = self.now;
+        self.logs[ch.0].read_instants.push(now);
+    }
+}
+
+/// The simulation API handed to a [`Process`] during
+/// [`resume`](Process::resume).
+///
+/// All interaction with the simulated world — the clock, channels, events —
+/// goes through this handle.
+pub struct Api<'a, P> {
+    inner: &'a mut Inner<P>,
+    pid: ProcessId,
+}
+
+impl<P> std::fmt::Debug for Api<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Api")
+            .field("pid", &self.pid)
+            .field("now", &self.inner.now)
+            .finish()
+    }
+}
+
+impl<P> Api<'_, P> {
+    /// The current simulation instant.
+    pub fn now(&self) -> Time {
+        self.inner.now
+    }
+
+    /// The identifier of the running process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Takes the pending [`Completion`] left by the channel operation this
+    /// process was parked on, if any. Call this first when resuming from
+    /// [`Activation::Blocked`].
+    pub fn take_completion(&mut self) -> Option<Completion<P>> {
+        self.inner.completions[self.pid.0].take()
+    }
+
+    /// Attempts to write `value` to a channel.
+    ///
+    /// * Rendezvous: completes now if a reader (or listener that already
+    ///   accepted) is ready, otherwise parks the writer.
+    /// * FIFO: completes now if the queue has space, otherwise parks.
+    ///
+    /// On [`WriteOutcome::Blocked`] the process must return
+    /// [`Activation::Blocked`]; it will be woken with
+    /// [`Completion::WriteDone`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if another writer is already parked on a rendezvous channel
+    /// (each relation has a single producer in well-formed models).
+    pub fn write(&mut self, ch: ChannelId, value: P) -> WriteOutcome {
+        let now = self.inner.now;
+        let pid = self.pid;
+        match &mut self.inner.channels[ch.0] {
+            ChannelState::Rendezvous(state) => match std::mem::replace(state, RendezvousState::Idle)
+            {
+                RendezvousState::Idle => {
+                    *state = RendezvousState::WriterWaiting {
+                        writer: pid,
+                        value,
+                        since: now,
+                    };
+                    WriteOutcome::Blocked
+                }
+                RendezvousState::ReaderWaiting(reader) => {
+                    // Both sides present: the exchange happens now.
+                    self.inner.log_write(ch);
+                    self.inner.log_read(ch);
+                    self.inner.complete(reader, Completion::Read(value));
+                    WriteOutcome::Done
+                }
+                RendezvousState::Listening(listener) => {
+                    // Inform the listener; the transfer waits for `accept`.
+                    *state = RendezvousState::WriterWaiting {
+                        writer: pid,
+                        value,
+                        since: now,
+                    };
+                    self.inner.complete(listener, Completion::Offer(now));
+                    WriteOutcome::Blocked
+                }
+                RendezvousState::WriterWaiting { writer, .. } => {
+                    panic!(
+                        "second writer {pid} on rendezvous channel {ch} (first: {writer})"
+                    );
+                }
+            },
+            ChannelState::Fifo(fifo) => {
+                if fifo.queue.len() < fifo.capacity {
+                    fifo.queue.push_back(value);
+                    self.inner.log_write(ch);
+                    // Serve a parked reader, if any.
+                    if let Some(reader) = {
+                        let ChannelState::Fifo(f) = &mut self.inner.channels[ch.0] else {
+                            unreachable!()
+                        };
+                        f.pending_reader.take()
+                    } {
+                        let ChannelState::Fifo(f) = &mut self.inner.channels[ch.0] else {
+                            unreachable!()
+                        };
+                        let v = f.queue.pop_front().expect("just pushed");
+                        self.inner.log_read(ch);
+                        self.inner.complete(reader, Completion::Read(v));
+                    }
+                    WriteOutcome::Done
+                } else {
+                    fifo.pending_writers.push_back((pid, value));
+                    WriteOutcome::Blocked
+                }
+            }
+        }
+    }
+
+    /// Attempts to read from a channel.
+    ///
+    /// On [`ReadOutcome::Blocked`] the process must return
+    /// [`Activation::Blocked`]; it will be woken with [`Completion::Read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if another reader or listener is already parked on the channel
+    /// (each relation has a single consumer in well-formed models).
+    pub fn read(&mut self, ch: ChannelId) -> ReadOutcome<P> {
+        let pid = self.pid;
+        match &mut self.inner.channels[ch.0] {
+            ChannelState::Rendezvous(state) => match std::mem::replace(state, RendezvousState::Idle)
+            {
+                RendezvousState::Idle => {
+                    *state = RendezvousState::ReaderWaiting(pid);
+                    ReadOutcome::Blocked
+                }
+                RendezvousState::WriterWaiting { writer, value, .. } => {
+                    self.inner.log_write(ch);
+                    self.inner.log_read(ch);
+                    self.inner.complete(writer, Completion::WriteDone);
+                    ReadOutcome::Done(value)
+                }
+                RendezvousState::ReaderWaiting(other) | RendezvousState::Listening(other) => {
+                    panic!("second reader {pid} on rendezvous channel {ch} (first: {other})");
+                }
+            },
+            ChannelState::Fifo(fifo) => {
+                if let Some(value) = fifo.queue.pop_front() {
+                    self.inner.log_read(ch);
+                    // Space freed: admit a parked writer, if any.
+                    let ChannelState::Fifo(f) = &mut self.inner.channels[ch.0] else {
+                        unreachable!()
+                    };
+                    if let Some((writer, wvalue)) = f.pending_writers.pop_front() {
+                        f.queue.push_back(wvalue);
+                        self.inner.log_write(ch);
+                        self.inner.complete(writer, Completion::WriteDone);
+                    }
+                    ReadOutcome::Done(value)
+                } else {
+                    assert!(
+                        fifo.pending_reader.is_none(),
+                        "second reader {pid} on fifo channel {ch}"
+                    );
+                    fifo.pending_reader = Some(pid);
+                    ReadOutcome::Blocked
+                }
+            }
+        }
+    }
+
+    /// Registers interest in the next offer on a rendezvous channel without
+    /// completing the transfer (the equivalent model's `Reception` protocol,
+    /// paper Fig. 4).
+    ///
+    /// On [`ListenOutcome::Offered`] a writer is parked and its offer instant
+    /// is returned; complete the exchange later with [`Api::accept`]. On
+    /// [`ListenOutcome::Blocked`] the process parks and will be woken with
+    /// [`Completion::Offer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a FIFO channel or if a reader is already parked.
+    pub fn listen(&mut self, ch: ChannelId) -> ListenOutcome {
+        let pid = self.pid;
+        match &mut self.inner.channels[ch.0] {
+            ChannelState::Rendezvous(state) => match state {
+                RendezvousState::Idle => {
+                    *state = RendezvousState::Listening(pid);
+                    ListenOutcome::Blocked
+                }
+                RendezvousState::WriterWaiting { since, .. } => ListenOutcome::Offered(*since),
+                RendezvousState::ReaderWaiting(other) | RendezvousState::Listening(other) => {
+                    panic!("second listener {pid} on rendezvous channel {ch} (first: {other})");
+                }
+            },
+            ChannelState::Fifo(_) => panic!("listen is only defined on rendezvous channels"),
+        }
+    }
+
+    /// Inspects a pending rendezvous offer without completing it: the offer
+    /// instant and a copy of the value, if a writer is parked.
+    ///
+    /// Used by equivalent-model receptions that need the offered token's
+    /// parameters (e.g. its data size) to *compute* the exchange instant
+    /// before accepting.
+    pub fn offered(&self, ch: ChannelId) -> Option<(Time, P)>
+    where
+        P: Clone,
+    {
+        match &self.inner.channels[ch.0] {
+            ChannelState::Rendezvous(RendezvousState::WriterWaiting { value, since, .. }) => {
+                Some((*since, value.clone()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Completes a previously offered rendezvous transfer *now*, returning
+    /// the value and waking the parked writer. The exchange instant logged
+    /// for the relation is the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no writer is parked on the channel (protocol error: call
+    /// only after an [`Api::listen`] offer at or before the computed
+    /// exchange instant).
+    pub fn accept(&mut self, ch: ChannelId) -> P {
+        match &mut self.inner.channels[ch.0] {
+            ChannelState::Rendezvous(state) => {
+                match std::mem::replace(state, RendezvousState::Idle) {
+                    RendezvousState::WriterWaiting { writer, value, .. } => {
+                        self.inner.log_write(ch);
+                        self.inner.log_read(ch);
+                        self.inner.complete(writer, Completion::WriteDone);
+                        value
+                    }
+                    other => {
+                        *state = other;
+                        panic!("accept on channel {ch} without a parked writer");
+                    }
+                }
+            }
+            ChannelState::Fifo(_) => panic!("accept is only defined on rendezvous channels"),
+        }
+    }
+
+    /// Notifies an event immediately: all current waiters become runnable in
+    /// this delta cycle.
+    pub fn notify(&mut self, event: EventId) {
+        self.inner.stats.notifications += 1;
+        let waiters = std::mem::take(&mut self.inner.events[event.0].waiters);
+        for pid in waiters {
+            self.inner.make_ready(pid);
+        }
+    }
+
+    /// Notifies an event after a simulated delay (a timed notification).
+    pub fn notify_after(&mut self, event: EventId, delay: Duration) {
+        let at = self.inner.now + delay;
+        self.inner.schedule(at, WakeKind::Notify(event));
+    }
+}
+
+/// Builder-style owner of a simulation: processes, channels, events, clock.
+///
+/// `P` is the payload type carried by channels (the model layer uses a data
+/// token carrying a size).
+///
+/// # Examples
+///
+/// A producer/consumer pair over a rendezvous channel:
+///
+/// ```
+/// use evolve_des::{
+///     Activation, Api, Completion, Duration, Kernel, Process, ReadOutcome, WriteOutcome,
+/// };
+///
+/// struct Producer {
+///     ch: evolve_des::ChannelId,
+///     sent: bool,
+/// }
+/// impl Process<u32> for Producer {
+///     fn resume(&mut self, api: &mut Api<'_, u32>) -> Activation {
+///         if api.take_completion().is_some() || self.sent {
+///             return Activation::Done; // write completed
+///         }
+///         self.sent = true;
+///         match api.write(self.ch, 7) {
+///             WriteOutcome::Done => Activation::Done,
+///             WriteOutcome::Blocked => Activation::Blocked,
+///         }
+///     }
+/// }
+///
+/// struct Consumer {
+///     ch: evolve_des::ChannelId,
+///     waited: bool,
+/// }
+/// impl Process<u32> for Consumer {
+///     fn resume(&mut self, api: &mut Api<'_, u32>) -> Activation {
+///         if let Some(Completion::Read(v)) = api.take_completion() {
+///             assert_eq!(v, 7);
+///             return Activation::Done;
+///         }
+///         if !self.waited {
+///             self.waited = true;
+///             return Activation::WaitFor(Duration::from_ticks(10));
+///         }
+///         match api.read(self.ch) {
+///             ReadOutcome::Done(v) => {
+///                 assert_eq!(v, 7);
+///                 Activation::Done
+///             }
+///             ReadOutcome::Blocked => Activation::Blocked,
+///         }
+///     }
+/// }
+///
+/// let mut kernel = Kernel::new();
+/// let ch = kernel.add_rendezvous();
+/// kernel.spawn("producer", Producer { ch, sent: false });
+/// kernel.spawn("consumer", Consumer { ch, waited: false });
+/// kernel.run();
+/// // The exchange happened when the later party arrived (t = 10).
+/// assert_eq!(kernel.channel_log(ch).write_instants[0].ticks(), 10);
+/// ```
+pub struct Kernel<P> {
+    inner: Inner<P>,
+    procs: Vec<ProcSlot<P>>,
+    /// Host nanoseconds burned per dispatch (simulator-cost calibration).
+    dispatch_cost_ns: u64,
+}
+
+impl<P> Default for Kernel<P> {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl<P> std::fmt::Debug for Kernel<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.inner.now)
+            .field("processes", &self.procs.len())
+            .field("channels", &self.inner.channels.len())
+            .field("stats", &self.inner.stats)
+            .finish()
+    }
+}
+
+impl<P> Kernel<P> {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Kernel {
+            inner: Inner {
+                now: Time::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                ready: VecDeque::new(),
+                events: Vec::new(),
+                channels: Vec::new(),
+                logs: Vec::new(),
+                completions: Vec::new(),
+                suspensions: Vec::new(),
+                stats: KernelStats::default(),
+            },
+            procs: Vec::new(),
+            dispatch_cost_ns: 0,
+        }
+    }
+
+    /// Calibrates the host cost of one process dispatch, in nanoseconds.
+    ///
+    /// Real TLM simulators pay far more per `wait()` than this kernel's
+    /// native dispatch (a SystemC context switch plus channel/tracing
+    /// overhead is typically in the microsecond range; the paper's CoFluent
+    /// models average around a millisecond per data item). Setting a
+    /// nonzero cost busy-spins that long on every activation so speed-up
+    /// experiments can be reported in a heavyweight-kernel regime as well
+    /// as the native one. Zero (the default) disables the spin.
+    pub fn set_dispatch_cost_ns(&mut self, ns: u64) {
+        self.dispatch_cost_ns = ns;
+    }
+
+    /// Registers a process; it becomes runnable at time zero.
+    pub fn spawn(&mut self, name: impl Into<String>, process: impl Process<P> + 'static) -> ProcessId {
+        let pid = ProcessId(self.procs.len());
+        self.procs.push(ProcSlot {
+            process: Some(Box::new(process)),
+            name: name.into(),
+        });
+        self.inner.completions.push(None);
+        self.inner.suspensions.push(Suspension::Ready);
+        self.inner.ready.push_back(pid);
+        pid
+    }
+
+    /// Creates a rendezvous channel.
+    pub fn add_rendezvous(&mut self) -> ChannelId {
+        let id = ChannelId(self.inner.channels.len());
+        self.inner.channels.push(ChannelState::rendezvous());
+        self.inner.logs.push(ChannelLog::default());
+        id
+    }
+
+    /// Creates a bounded FIFO channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn add_fifo(&mut self, capacity: usize) -> ChannelId {
+        let id = ChannelId(self.inner.channels.len());
+        self.inner.channels.push(ChannelState::fifo(capacity));
+        self.inner.logs.push(ChannelLog::default());
+        id
+    }
+
+    /// Creates a notification event.
+    pub fn add_event(&mut self) -> EventId {
+        let id = EventId(self.inner.events.len());
+        self.inner.events.push(EventState::default());
+        id
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> Time {
+        self.inner.now
+    }
+
+    /// Kernel activity counters so far.
+    pub fn stats(&self) -> KernelStats {
+        self.inner.stats
+    }
+
+    /// The exchange-instant log of a channel.
+    pub fn channel_log(&self, ch: ChannelId) -> &ChannelLog {
+        &self.inner.logs[ch.0]
+    }
+
+    /// Exchange-instant logs of all channels, indexed by [`ChannelId`].
+    pub fn channel_logs(&self) -> &[ChannelLog] {
+        &self.inner.logs
+    }
+
+    /// Total completed transfers across all channels — the paper's count of
+    /// "events that occur when data are exchanged through relations".
+    pub fn relation_events(&self) -> u64 {
+        self.inner.stats.transfers
+    }
+
+    /// Runs until no activity remains (empty ready queue and event heap).
+    ///
+    /// Returns the final simulation time.
+    pub fn run(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until no activity remains or the next scheduled instant would
+    /// exceed `deadline`. Returns the reached simulation time.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        loop {
+            // Delta cycles: drain everything runnable at the current instant.
+            while let Some(pid) = self.inner.ready.pop_front() {
+                self.dispatch(pid);
+            }
+            // Advance to the next timed entry.
+            let Some(Reverse(head)) = self.inner.heap.peek() else {
+                break;
+            };
+            let t = head.time;
+            if t > deadline {
+                break;
+            }
+            debug_assert!(t >= self.inner.now, "event queue went backwards");
+            self.inner.now = t;
+            while let Some(Reverse(head)) = self.inner.heap.peek() {
+                if head.time != t {
+                    break;
+                }
+                let Reverse(entry) = self.inner.heap.pop().expect("peeked");
+                match entry.kind {
+                    WakeKind::Process(pid) => self.inner.make_ready(pid),
+                    WakeKind::Notify(eid) => {
+                        self.inner.stats.notifications += 1;
+                        let waiters = std::mem::take(&mut self.inner.events[eid.0].waiters);
+                        for pid in waiters {
+                            self.inner.make_ready(pid);
+                        }
+                    }
+                }
+            }
+        }
+        self.inner.now
+    }
+
+    /// Names and suspension states of processes that are neither runnable
+    /// nor done — useful for diagnosing deadlocks after [`Kernel::run`].
+    pub fn suspended_processes(&self) -> Vec<(&str, Suspension)> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(i, slot)| {
+                !matches!(
+                    self.inner.suspensions[*i],
+                    Suspension::Done | Suspension::Ready | Suspension::Running
+                ) && slot.process.is_some()
+            })
+            .map(|(i, slot)| (slot.name.as_str(), self.inner.suspensions[i]))
+            .collect()
+    }
+
+    fn dispatch(&mut self, pid: ProcessId) {
+        let mut process = self.procs[pid.0]
+            .process
+            .take()
+            .unwrap_or_else(|| panic!("dispatch of finished process {pid}"));
+        self.inner.suspensions[pid.0] = Suspension::Running;
+        self.inner.stats.activations += 1;
+        if self.dispatch_cost_ns > 0 {
+            let start = std::time::Instant::now();
+            while (start.elapsed().as_nanos() as u64) < self.dispatch_cost_ns {
+                std::hint::spin_loop();
+            }
+        }
+        let activation = {
+            let mut api = Api {
+                inner: &mut self.inner,
+                pid,
+            };
+            process.resume(&mut api)
+        };
+        match activation {
+            Activation::WaitFor(d) => {
+                let at = self.inner.now + d;
+                self.inner.suspensions[pid.0] = Suspension::Timed(at);
+                self.inner.schedule(at, WakeKind::Process(pid));
+                self.procs[pid.0].process = Some(process);
+            }
+            Activation::WaitEvent(eid) => {
+                self.inner.suspensions[pid.0] = Suspension::OnEvent(eid);
+                self.inner.events[eid.0].waiters.push(pid);
+                self.procs[pid.0].process = Some(process);
+            }
+            Activation::Blocked => {
+                // The channel holds this process and will wake it with a
+                // completion; nothing can have completed it mid-resume.
+                debug_assert_eq!(self.inner.suspensions[pid.0], Suspension::Running);
+                self.inner.suspensions[pid.0] = Suspension::OnChannel;
+                self.procs[pid.0].process = Some(process);
+            }
+            Activation::Yield => {
+                self.inner.suspensions[pid.0] = Suspension::Ready;
+                self.inner.ready.push_back(pid);
+                self.procs[pid.0].process = Some(process);
+            }
+            Activation::Done => {
+                self.inner.suspensions[pid.0] = Suspension::Done;
+                drop(process);
+            }
+        }
+    }
+
+    /// The registered name of a process.
+    pub fn process_name(&self, pid: ProcessId) -> &str {
+        &self.procs[pid.0].name
+    }
+}

@@ -1,0 +1,43 @@
+//! Discrete-event simulation kernel — the SystemC-like substrate of the
+//! `evolve` workspace.
+//!
+//! The paper this workspace reproduces (*Le Nours, Postula, Bergmann, DATE
+//! 2014*) evaluates its dynamic computation method against conventional
+//! event-driven TLM performance models executed by the SystemC kernel. This
+//! crate provides that substrate from scratch:
+//!
+//! * [`Kernel`] — the event-driven scheduler: timed event queue, delta
+//!   cycles, process dispatch, and activity statistics ([`KernelStats`]).
+//! * [`Process`] / [`Activation`] — resumable processes, the analogue of
+//!   SystemC thread processes suspended by `wait()`.
+//! * Channels — rendezvous and bounded-FIFO relations between processes,
+//!   with per-channel exchange-instant logs ([`ChannelLog`]) recording the
+//!   paper's `xMi(k)` sequences for accuracy comparison.
+//! * Events ([`EventId`]) — `sc_event`-style notifications used by resource
+//!   arbiters in the model layer.
+//!
+//! The kernel is deliberately single-threaded and allocation-conscious: its
+//! per-event cost (heap operations plus a dynamic dispatch) is the quantity
+//! the paper's method multiplies away, and the benchmark harnesses measure
+//! exactly that.
+//!
+//! See [`Kernel`] for a worked producer/consumer example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod channel;
+mod event;
+mod kernel;
+mod process;
+mod stats;
+mod time;
+
+pub use channel::{
+    ChannelId, ChannelLog, Completion, ListenOutcome, ReadOutcome, WriteOutcome,
+};
+pub use event::EventId;
+pub use kernel::{Api, Kernel, Suspension};
+pub use process::{Activation, Process, ProcessId};
+pub use stats::KernelStats;
+pub use time::{Duration, Time};

@@ -1,0 +1,84 @@
+//! Processes: the resumable units of behaviour scheduled by the kernel.
+//!
+//! A [`Process`] is the analogue of a SystemC thread/method process. The
+//! kernel activates it by calling [`Process::resume`]; the process performs
+//! work through the [`Api`](crate::Api) (reading channels, notifying events,
+//! …) and returns an [`Activation`] describing when it should run next.
+//! Every `resume` call models one scheduler dispatch — the context switches
+//! whose cost the paper's method removes.
+
+use crate::time::Duration;
+use crate::Api;
+
+/// Identifier of a process registered with a [`Kernel`](crate::Kernel).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(pub(crate) usize);
+
+impl ProcessId {
+    /// The raw index (useful for diagnostics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// What a process asks of the scheduler when it suspends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Resume after the given simulated delay (SystemC `wait(t)`).
+    WaitFor(Duration),
+    /// Resume when the given event is notified (SystemC `wait(e)`).
+    WaitEvent(crate::EventId),
+    /// The process is parked on a channel operation; the channel will wake
+    /// it (with a [`Completion`](crate::Completion)) when the operation
+    /// finishes.
+    Blocked,
+    /// Resume again in the current delta cycle (cooperative yield).
+    Yield,
+    /// The process has finished and must not be resumed again.
+    Done,
+}
+
+/// A resumable simulation process.
+///
+/// Implementations are state machines: each [`resume`](Process::resume) call
+/// continues from where the previous one suspended. See the crate-level
+/// documentation for a worked producer/consumer example.
+pub trait Process<P> {
+    /// Runs the process until it suspends, returning how to reschedule it.
+    ///
+    /// A process that was parked on a channel operation should first call
+    /// [`Api::take_completion`](crate::Api::take_completion) to retrieve the
+    /// operation's result.
+    fn resume(&mut self, api: &mut Api<'_, P>) -> Activation;
+
+    /// Diagnostic name used in traces and error messages.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId(3).to_string(), "P3");
+        assert_eq!(ProcessId(3).index(), 3);
+    }
+
+    #[test]
+    fn activation_equality() {
+        assert_eq!(
+            Activation::WaitFor(Duration::from_ticks(5)),
+            Activation::WaitFor(Duration::from_ticks(5))
+        );
+        assert_ne!(Activation::Yield, Activation::Done);
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulation time.
+//!
+//! [`Time`] is an absolute instant on the simulation (or observation) time
+//! axis; [`Duration`] is a span between instants. Both count integer **ticks**
+//! — by convention 1 tick = 1 ns, so the paper's 71.42 µs LTE symbol period is
+//! `Duration::from_ticks(71_420)`. Integer ticks keep instant comparisons
+//! exact, which the accuracy validation (conventional vs. equivalent model)
+//! relies on.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulation instant, in ticks since time zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero, the simulation start.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from a tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// The tick count since time zero.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: Time) -> Duration {
+        assert!(
+            earlier.0 <= self.0,
+            "time went backwards: {earlier} is after {self}"
+        );
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Saturating instant addition.
+    #[must_use]
+    pub fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+/// A span of simulation time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a span from a tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// The tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` for the zero-length span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales the span by an integer factor, saturating.
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, d: Duration) -> Time {
+        Time(
+            self.0
+                .checked_add(d.0)
+                .expect("simulation time overflowed u64 ticks"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("duration overflowed u64 ticks"),
+        )
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflowed"),
+        )
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}dt", self.0)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Time::from_ticks(100);
+        let d = Duration::from_ticks(42);
+        assert_eq!((t + d).ticks(), 142);
+        assert_eq!((t + d).since(t), d);
+        let mut u = t;
+        u += d;
+        assert_eq!(u, t + d);
+    }
+
+    #[test]
+    fn duration_sum_and_sub() {
+        let ds = [1u64, 2, 3].map(Duration::from_ticks);
+        assert_eq!(ds.iter().copied().sum::<Duration>(), Duration::from_ticks(6));
+        assert_eq!(ds[2] - ds[0], Duration::from_ticks(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::ZERO < Time::from_ticks(1));
+        assert!(Duration::ZERO.is_zero());
+        assert!(Time::MAX > Time::from_ticks(u64::MAX - 1));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::MAX.saturating_add(Duration::from_ticks(5)), Time::MAX);
+        assert_eq!(
+            Duration::from_ticks(u64::MAX).saturating_mul(2),
+            Duration::from_ticks(u64::MAX)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_checks_order() {
+        let _ = Time::ZERO.since(Time::from_ticks(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::from_ticks(7).to_string(), "7t");
+        assert_eq!(Duration::from_ticks(9).to_string(), "9dt");
+    }
+}

@@ -1,0 +1,591 @@
+//! Integration tests of the discrete-event kernel: channel semantics,
+//! scheduling order, statistics, and the listen/accept protocol.
+
+use evolve_des::{
+    Activation, Api, ChannelId, Completion, Duration, EventId, Kernel, ListenOutcome, Process,
+    ReadOutcome, Suspension, Time, WriteOutcome,
+};
+
+/// A process driven by a script of steps — keeps test processes compact.
+enum Step {
+    Wait(u64),
+    Write(ChannelId, u64),
+    Read(ChannelId, fn(u64)),
+    Listen(ChannelId),
+    Accept(ChannelId),
+    Notify(EventId),
+    NotifyAfter(EventId, u64),
+    WaitEvent(EventId),
+    Record(ChannelId),
+}
+
+struct Scripted {
+    steps: Vec<Step>,
+    pc: usize,
+    /// Offer instant captured by the last `Listen`.
+    offer: Option<Time>,
+    /// Times at which `Record` steps executed.
+    log: std::rc::Rc<std::cell::RefCell<Vec<(usize, Time)>>>,
+}
+
+impl Scripted {
+    fn new(steps: Vec<Step>, log: std::rc::Rc<std::cell::RefCell<Vec<(usize, Time)>>>) -> Self {
+        Scripted {
+            steps,
+            pc: 0,
+            offer: None,
+            log,
+        }
+    }
+}
+
+impl Process<u64> for Scripted {
+    fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+        // Resolve a completion from a previous blocking step.
+        if let Some(c) = api.take_completion() {
+            match (&self.steps[self.pc], c) {
+                (Step::Write(..), Completion::WriteDone) => {}
+                (Step::Read(_, check), Completion::Read(v)) => check(v),
+                (Step::Listen(_), Completion::Offer(t)) => self.offer = Some(t),
+                (step_kind, c) => panic!(
+                    "unexpected completion {:?} at pc {} ({})",
+                    c,
+                    self.pc,
+                    match step_kind {
+                        Step::Wait(_) => "wait",
+                        Step::Write(..) => "write",
+                        Step::Read(..) => "read",
+                        Step::Listen(_) => "listen",
+                        Step::Accept(_) => "accept",
+                        Step::Notify(_) => "notify",
+                        Step::NotifyAfter(..) => "notify_after",
+                        Step::WaitEvent(_) => "wait_event",
+                        Step::Record(_) => "record",
+                    }
+                ),
+            }
+            self.pc += 1;
+        }
+        loop {
+            let Some(step) = self.steps.get(self.pc) else {
+                return Activation::Done;
+            };
+            match step {
+                Step::Wait(d) => {
+                    self.pc += 1;
+                    return Activation::WaitFor(Duration::from_ticks(*d));
+                }
+                Step::Write(ch, v) => match api.write(*ch, *v) {
+                    WriteOutcome::Done => self.pc += 1,
+                    WriteOutcome::Blocked => return Activation::Blocked,
+                },
+                Step::Read(ch, check) => match api.read(*ch) {
+                    ReadOutcome::Done(v) => {
+                        check(v);
+                        self.pc += 1;
+                    }
+                    ReadOutcome::Blocked => return Activation::Blocked,
+                },
+                Step::Listen(ch) => match api.listen(*ch) {
+                    ListenOutcome::Offered(t) => {
+                        self.offer = Some(t);
+                        self.pc += 1;
+                    }
+                    ListenOutcome::Blocked => return Activation::Blocked,
+                },
+                Step::Accept(ch) => {
+                    assert!(self.offer.is_some(), "Accept requires a prior Listen offer");
+                    let _v = api.accept(*ch);
+                    self.pc += 1;
+                }
+                Step::Notify(e) => {
+                    api.notify(*e);
+                    self.pc += 1;
+                }
+                Step::NotifyAfter(e, d) => {
+                    api.notify_after(*e, Duration::from_ticks(*d));
+                    self.pc += 1;
+                }
+                Step::WaitEvent(e) => {
+                    self.pc += 1;
+                    return Activation::WaitEvent(*e);
+                }
+                Step::Record(ch) => {
+                    self.log.borrow_mut().push((ch.index(), api.now()));
+                    self.pc += 1;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+fn new_log() -> std::rc::Rc<std::cell::RefCell<Vec<(usize, Time)>>> {
+    std::rc::Rc::new(std::cell::RefCell::new(Vec::new()))
+}
+
+#[test]
+fn rendezvous_exchange_is_at_later_arrival_writer_first() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn(
+        "writer",
+        Scripted::new(vec![Step::Wait(3), Step::Write(ch, 42), Step::Record(ch)], log.clone()),
+    );
+    k.spawn(
+        "reader",
+        Scripted::new(
+            vec![Step::Wait(10), Step::Read(ch, |v| assert_eq!(v, 42)), Step::Record(ch)],
+            log.clone(),
+        ),
+    );
+    k.run();
+    assert_eq!(k.channel_log(ch).write_instants, vec![Time::from_ticks(10)]);
+    assert_eq!(k.channel_log(ch).read_instants, vec![Time::from_ticks(10)]);
+    // Both sides continued at t = 10.
+    let times: Vec<u64> = log.borrow().iter().map(|(_, t)| t.ticks()).collect();
+    assert_eq!(times, vec![10, 10]);
+}
+
+#[test]
+fn rendezvous_exchange_is_at_later_arrival_reader_first() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn(
+        "writer",
+        Scripted::new(vec![Step::Wait(20), Step::Write(ch, 7)], log.clone()),
+    );
+    k.spawn(
+        "reader",
+        Scripted::new(vec![Step::Read(ch, |v| assert_eq!(v, 7))], log.clone()),
+    );
+    k.run();
+    assert_eq!(k.channel_log(ch).write_instants, vec![Time::from_ticks(20)]);
+}
+
+#[test]
+fn fifo_write_does_not_block_until_full() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_fifo(2);
+    // Writer pushes 3 items back-to-back; the third must wait for a pop.
+    k.spawn(
+        "writer",
+        Scripted::new(
+            vec![
+                Step::Write(ch, 1),
+                Step::Write(ch, 2),
+                Step::Write(ch, 3),
+                Step::Record(ch),
+            ],
+            log.clone(),
+        ),
+    );
+    k.spawn(
+        "reader",
+        Scripted::new(
+            vec![
+                Step::Wait(50),
+                Step::Read(ch, |v| assert_eq!(v, 1)),
+                Step::Read(ch, |v| assert_eq!(v, 2)),
+                Step::Read(ch, |v| assert_eq!(v, 3)),
+            ],
+            log.clone(),
+        ),
+    );
+    k.run();
+    let wl = &k.channel_log(ch).write_instants;
+    assert_eq!(
+        wl,
+        &vec![Time::ZERO, Time::ZERO, Time::from_ticks(50)],
+        "third write completes when the first pop frees space"
+    );
+    assert_eq!(log.borrow()[0].1, Time::from_ticks(50));
+}
+
+#[test]
+fn fifo_reader_blocks_on_empty() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_fifo(4);
+    k.spawn(
+        "reader",
+        Scripted::new(
+            vec![Step::Read(ch, |v| assert_eq!(v, 9)), Step::Record(ch)],
+            log.clone(),
+        ),
+    );
+    k.spawn(
+        "writer",
+        Scripted::new(vec![Step::Wait(33), Step::Write(ch, 9)], log.clone()),
+    );
+    k.run();
+    assert_eq!(log.borrow()[0].1, Time::from_ticks(33));
+    assert_eq!(k.channel_log(ch).read_instants, vec![Time::from_ticks(33)]);
+}
+
+#[test]
+fn listen_then_accept_defers_the_exchange() {
+    // The equivalent-model Reception protocol: the writer offers at t = 5,
+    // the listener wakes, waits a computed 12 ticks, then accepts at t = 17.
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn(
+        "writer",
+        Scripted::new(
+            vec![Step::Wait(5), Step::Write(ch, 1), Step::Record(ch)],
+            log.clone(),
+        ),
+    );
+    k.spawn(
+        "listener",
+        Scripted::new(
+            vec![Step::Listen(ch), Step::Wait(12), Step::Accept(ch), Step::Record(ch)],
+            log.clone(),
+        ),
+    );
+    k.run();
+    // The writer was held until the accept instant.
+    assert_eq!(k.channel_log(ch).write_instants, vec![Time::from_ticks(17)]);
+    let times: Vec<u64> = log.borrow().iter().map(|(_, t)| t.ticks()).collect();
+    assert_eq!(times, vec![17, 17]);
+}
+
+#[test]
+fn listen_sees_earlier_offer_instant() {
+    // Writer offers at t = 2; listener arrives at t = 30 and must observe
+    // the original offer instant (u(k)), not its own arrival time.
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn(
+        "writer",
+        Scripted::new(vec![Step::Wait(2), Step::Write(ch, 1)], log.clone()),
+    );
+    struct LateListener {
+        ch: ChannelId,
+        phase: u8,
+    }
+    impl Process<u64> for LateListener {
+        fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Activation::WaitFor(Duration::from_ticks(30))
+                }
+                1 => {
+                    match api.listen(self.ch) {
+                        ListenOutcome::Offered(t) => {
+                            assert_eq!(t, Time::from_ticks(2), "offer instant preserved");
+                            let _ = api.accept(self.ch);
+                            Activation::Done
+                        }
+                        ListenOutcome::Blocked => panic!("offer should be pending"),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    k.spawn("late_listener", LateListener { ch, phase: 0 });
+    k.run();
+    assert_eq!(k.channel_log(ch).write_instants, vec![Time::from_ticks(30)]);
+}
+
+#[test]
+fn events_wake_all_waiters() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ev = k.add_event();
+    let marker = k.add_rendezvous(); // unused channel; Record tags entries
+    for _ in 0..3 {
+        k.spawn(
+            "waiter",
+            Scripted::new(vec![Step::WaitEvent(ev), Step::Record(marker)], log.clone()),
+        );
+    }
+    k.spawn(
+        "notifier",
+        Scripted::new(vec![Step::Wait(8), Step::Notify(ev)], log.clone()),
+    );
+    k.run();
+    let times: Vec<u64> = log.borrow().iter().map(|(_, t)| t.ticks()).collect();
+    assert_eq!(times, vec![8, 8, 8]);
+}
+
+#[test]
+fn timed_notification_fires_later() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ev = k.add_event();
+    let marker = k.add_rendezvous();
+    k.spawn(
+        "waiter",
+        Scripted::new(vec![Step::WaitEvent(ev), Step::Record(marker)], log.clone()),
+    );
+    k.spawn(
+        "notifier",
+        Scripted::new(vec![Step::NotifyAfter(ev, 25)], log.clone()),
+    );
+    k.run();
+    assert_eq!(log.borrow()[0].1, Time::from_ticks(25));
+}
+
+#[test]
+fn fifo_ordering_is_preserved() {
+    let mut k = Kernel::new();
+    let ch = k.add_fifo(8);
+    let log = new_log();
+    k.spawn(
+        "writer",
+        Scripted::new(
+            (0..5).map(|i| Step::Write(ch, i)).collect(),
+            log.clone(),
+        ),
+    );
+    let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    struct Collector {
+        ch: ChannelId,
+        seen: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        remaining: usize,
+    }
+    impl Process<u64> for Collector {
+        fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+            if let Some(Completion::Read(v)) = api.take_completion() {
+                self.seen.borrow_mut().push(v);
+                self.remaining -= 1;
+            }
+            while self.remaining > 0 {
+                match api.read(self.ch) {
+                    ReadOutcome::Done(v) => {
+                        self.seen.borrow_mut().push(v);
+                        self.remaining -= 1;
+                    }
+                    ReadOutcome::Blocked => return Activation::Blocked,
+                }
+            }
+            Activation::Done
+        }
+    }
+    k.spawn(
+        "collector",
+        Collector {
+            ch,
+            seen: seen.clone(),
+            remaining: 5,
+        },
+    );
+    k.run();
+    assert_eq!(*seen.borrow(), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn stats_count_activity() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn(
+        "writer",
+        Scripted::new(vec![Step::Wait(1), Step::Write(ch, 0)], log.clone()),
+    );
+    k.spawn(
+        "reader",
+        Scripted::new(vec![Step::Read(ch, |_| {})], log.clone()),
+    );
+    k.run();
+    let s = k.stats();
+    assert_eq!(s.transfers, 1);
+    assert_eq!(k.relation_events(), 1);
+    assert!(s.activations >= 3, "at least three dispatches: {s:?}");
+    assert!(s.scheduled >= 1, "the timed wait was scheduled");
+    assert!(s.total_events() >= s.scheduled);
+}
+
+#[test]
+fn run_until_stops_at_deadline() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    k.spawn(
+        "sleeper",
+        Scripted::new(vec![Step::Wait(100), Step::Wait(100)], log.clone()),
+    );
+    let reached = k.run_until(Time::from_ticks(150));
+    assert_eq!(reached, Time::from_ticks(100));
+    // Finish the rest.
+    let end = k.run();
+    assert_eq!(end, Time::from_ticks(200));
+}
+
+#[test]
+fn deadlock_is_reported_not_hung() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn(
+        "lonely_reader",
+        Scripted::new(vec![Step::Read(ch, |_| {})], log.clone()),
+    );
+    k.run();
+    let suspended = k.suspended_processes();
+    assert_eq!(suspended.len(), 1);
+    assert_eq!(suspended[0], ("lonely_reader", Suspension::OnChannel));
+}
+
+#[test]
+fn deterministic_fifo_dispatch_order() {
+    // Two runs of the same model produce identical logs.
+    fn run_once() -> Vec<(usize, u64)> {
+        let log = new_log();
+        let mut k = Kernel::new();
+        let a = k.add_rendezvous();
+        let b = k.add_rendezvous();
+        k.spawn(
+            "w1",
+            Scripted::new(vec![Step::Wait(5), Step::Write(a, 1), Step::Record(a)], log.clone()),
+        );
+        k.spawn(
+            "w2",
+            Scripted::new(vec![Step::Wait(5), Step::Write(b, 2), Step::Record(b)], log.clone()),
+        );
+        k.spawn(
+            "r1",
+            Scripted::new(vec![Step::Read(a, |_| {}), Step::Record(a)], log.clone()),
+        );
+        k.spawn(
+            "r2",
+            Scripted::new(vec![Step::Read(b, |_| {}), Step::Record(b)], log.clone()),
+        );
+        k.run();
+        let v = log.borrow().iter().map(|(c, t)| (*c, t.ticks())).collect();
+        v
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+#[should_panic(expected = "second writer")]
+fn two_writers_on_rendezvous_panic() {
+    let log = new_log();
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn("w1", Scripted::new(vec![Step::Write(ch, 1)], log.clone()));
+    k.spawn("w2", Scripted::new(vec![Step::Write(ch, 2)], log.clone()));
+    k.run();
+}
+
+#[test]
+#[should_panic(expected = "capacity must be at least 1")]
+fn zero_capacity_fifo_rejected() {
+    let mut k = Kernel::<u64>::new();
+    let _ = k.add_fifo(0);
+}
+
+#[test]
+#[should_panic(expected = "accept on channel")]
+fn accept_without_offer_panics() {
+    struct Bad {
+        ch: ChannelId,
+    }
+    impl Process<u64> for Bad {
+        fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+            let _ = api.accept(self.ch);
+            Activation::Done
+        }
+    }
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn("bad", Bad { ch });
+    k.run();
+}
+
+#[test]
+#[should_panic(expected = "only defined on rendezvous")]
+fn listen_on_fifo_panics() {
+    struct Bad {
+        ch: ChannelId,
+    }
+    impl Process<u64> for Bad {
+        fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+            let _ = api.listen(self.ch);
+            Activation::Done
+        }
+    }
+    let mut k = Kernel::new();
+    let ch = k.add_fifo(1);
+    k.spawn("bad", Bad { ch });
+    k.run();
+}
+
+#[test]
+fn offered_peeks_without_completing() {
+    struct Writer {
+        ch: ChannelId,
+    }
+    impl Process<u64> for Writer {
+        fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+            if api.take_completion().is_some() {
+                return Activation::Done;
+            }
+            match api.write(self.ch, 77) {
+                WriteOutcome::Done => Activation::Done,
+                WriteOutcome::Blocked => Activation::Blocked,
+            }
+        }
+    }
+    struct Peeker {
+        ch: ChannelId,
+        phase: u8,
+    }
+    impl Process<u64> for Peeker {
+        fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+            match self.phase {
+                0 => {
+                    assert_eq!(api.offered(self.ch), None, "no offer yet");
+                    self.phase = 1;
+                    Activation::WaitFor(Duration::from_ticks(5))
+                }
+                1 => {
+                    // Writer parked at t=0; peek twice, then accept.
+                    assert_eq!(api.offered(self.ch), Some((Time::ZERO, 77)));
+                    assert_eq!(api.offered(self.ch), Some((Time::ZERO, 77)));
+                    assert_eq!(api.accept(self.ch), 77);
+                    assert_eq!(api.offered(self.ch), None, "consumed");
+                    Activation::Done
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    let mut k = Kernel::new();
+    let ch = k.add_rendezvous();
+    k.spawn("peeker", Peeker { ch, phase: 0 });
+    k.spawn("writer", Writer { ch });
+    k.run();
+    assert_eq!(k.channel_log(ch).write_instants, vec![Time::from_ticks(5)]);
+}
+
+#[test]
+fn dispatch_cost_slows_the_wall_clock() {
+    // The calibration knob burns measurable host time per dispatch.
+    fn run(cost: u64) -> std::time::Duration {
+        let log = new_log();
+        let mut k = Kernel::new();
+        k.spawn(
+            "sleeper",
+            Scripted::new((0..200).map(|_| Step::Wait(1)).collect(), log),
+        );
+        k.set_dispatch_cost_ns(cost);
+        let t0 = std::time::Instant::now();
+        k.run();
+        t0.elapsed()
+    }
+    let fast = run(0);
+    let slow = run(50_000); // 200 × 50 µs = 10 ms minimum
+    assert!(slow > fast + std::time::Duration::from_millis(5), "{fast:?} vs {slow:?}");
+}

@@ -1,0 +1,224 @@
+//! Property tests of the kernel: determinism, conservation, and ordering
+//! over randomized process topologies.
+
+use evolve_des::{
+    Activation, Api, ChannelId, Completion, Duration, Kernel, Process, ReadOutcome, Time,
+    WriteOutcome,
+};
+use proptest::prelude::*;
+
+/// A stage that reads `count` tokens from `rx`, waits `work` ticks each,
+/// and forwards them to `tx` (if any).
+struct Stage {
+    rx: ChannelId,
+    tx: Option<ChannelId>,
+    work: u64,
+    state: u8, // 0 read, 1 read parked, 2 working, 3 write, 4 write parked
+    value: u64,
+    remaining: u64,
+}
+
+impl Process<u64> for Stage {
+    fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+        match (self.state, api.take_completion()) {
+            (1, Some(Completion::Read(v))) => {
+                self.value = v;
+                self.state = 2;
+                return Activation::WaitFor(Duration::from_ticks(self.work));
+            }
+            (4, Some(Completion::WriteDone)) => {
+                self.remaining -= 1;
+                self.state = 0;
+            }
+            (2, None) => {
+                // Woke from the work delay.
+                self.state = 3;
+            }
+            (_, None) => {}
+            (s, c) => panic!("stage: unexpected completion {c:?} in state {s}"),
+        }
+        loop {
+            match self.state {
+                0 => {
+                    if self.remaining == 0 {
+                        return Activation::Done;
+                    }
+                    match api.read(self.rx) {
+                        ReadOutcome::Done(v) => {
+                            self.value = v;
+                            self.state = 2;
+                            return Activation::WaitFor(Duration::from_ticks(self.work));
+                        }
+                        ReadOutcome::Blocked => {
+                            self.state = 1;
+                            return Activation::Blocked;
+                        }
+                    }
+                }
+                3 => match self.tx {
+                    None => {
+                        self.remaining -= 1;
+                        self.state = 0;
+                    }
+                    Some(tx) => match api.write(tx, self.value + 1) {
+                        WriteOutcome::Done => {
+                            self.remaining -= 1;
+                            self.state = 0;
+                        }
+                        WriteOutcome::Blocked => {
+                            self.state = 4;
+                            return Activation::Blocked;
+                        }
+                    },
+                },
+                s => unreachable!("stage state {s}"),
+            }
+        }
+    }
+}
+
+/// Feeds `offsets`-spaced tokens into `tx`.
+struct Feeder {
+    tx: ChannelId,
+    offsets: Vec<u64>,
+    idx: usize,
+}
+
+impl Process<u64> for Feeder {
+    fn resume(&mut self, api: &mut Api<'_, u64>) -> Activation {
+        if let Some(Completion::WriteDone) = api.take_completion() {
+            self.idx += 1;
+        }
+        loop {
+            let Some(&at) = self.offsets.get(self.idx) else {
+                return Activation::Done;
+            };
+            let at = Time::from_ticks(at);
+            if api.now() < at {
+                return Activation::WaitFor(at.since(api.now()));
+            }
+            match api.write(self.tx, self.idx as u64) {
+                WriteOutcome::Done => self.idx += 1,
+                WriteOutcome::Blocked => return Activation::Blocked,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TopologySpec {
+    stage_works: Vec<u64>,
+    fifo_caps: Vec<Option<usize>>,
+    offsets: Vec<u64>,
+}
+
+fn topology() -> impl Strategy<Value = TopologySpec> {
+    (1usize..5)
+        .prop_flat_map(|stages| {
+            (
+                proptest::collection::vec(0u64..300, stages),
+                proptest::collection::vec(proptest::option::of(1usize..4), stages),
+                proptest::collection::vec(0u64..500, 1..20),
+            )
+        })
+        .prop_map(|(stage_works, fifo_caps, mut deltas)| {
+            let mut acc = 0;
+            for d in &mut deltas {
+                acc += *d;
+                *d = acc;
+            }
+            TopologySpec {
+                stage_works,
+                fifo_caps,
+                offsets: deltas,
+            }
+        })
+}
+
+fn run(spec: &TopologySpec) -> (Time, Vec<Vec<u64>>, u64) {
+    let mut k = Kernel::new();
+    let tokens = spec.offsets.len() as u64;
+    let mut channels = Vec::new();
+    let first = match spec.fifo_caps[0] {
+        Some(cap) => k.add_fifo(cap),
+        None => k.add_rendezvous(),
+    };
+    channels.push(first);
+    k.spawn(
+        "feeder",
+        Feeder {
+            tx: first,
+            offsets: spec.offsets.clone(),
+            idx: 0,
+        },
+    );
+    for (i, &work) in spec.stage_works.iter().enumerate() {
+        let tx = if i + 1 < spec.stage_works.len() {
+            let ch = match spec.fifo_caps[i + 1] {
+                Some(cap) => k.add_fifo(cap),
+                None => k.add_rendezvous(),
+            };
+            channels.push(ch);
+            Some(ch)
+        } else {
+            None
+        };
+        k.spawn(
+            format!("stage{i}"),
+            Stage {
+                rx: channels[i],
+                tx,
+                work,
+                state: 0,
+                value: 0,
+                remaining: tokens,
+            },
+        );
+    }
+    let end = k.run();
+    let logs = channels
+        .iter()
+        .map(|ch| {
+            k.channel_log(*ch)
+                .write_instants
+                .iter()
+                .map(|t| t.ticks())
+                .collect()
+        })
+        .collect();
+    (end, logs, k.stats().activations)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn kernel_runs_are_deterministic(spec in topology()) {
+        let a = run(&spec);
+        let b = run(&spec);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_tokens_are_conserved_and_ordered(spec in topology()) {
+        let (end, logs, _) = run(&spec);
+        for log in &logs {
+            prop_assert_eq!(log.len(), spec.offsets.len(), "token conservation");
+            prop_assert!(log.windows(2).all(|w| w[0] <= w[1]), "monotone instants");
+        }
+        // The run ends no earlier than the last offer.
+        prop_assert!(end.ticks() >= *spec.offsets.last().expect("nonempty"));
+    }
+
+    #[test]
+    fn first_exchange_respects_causality(spec in topology()) {
+        let (_, logs, _) = run(&spec);
+        // The first exchange cannot precede the first offer.
+        prop_assert!(logs[0][0] >= spec.offsets[0]);
+        // Each stage's first exchange is no earlier than the previous
+        // stage's first exchange plus its work.
+        for (i, w) in logs.windows(2).zip(&spec.stage_works) {
+            prop_assert!(i[1][0] >= i[0][0] + w);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Carrier aggregation: two component carriers on one shared DSP.
+//!
+//! A realistic multi-input stress of the method: each component carrier is
+//! a full receiver chain, both DSP-side chains share the *same* sequential
+//! processor (interleaved static schedule), while each carrier has its own
+//! dedicated decoding hardware. The equivalent model then has two external
+//! inputs whose acknowledgment instants couple through the shared DSP
+//! schedule — the general multi-input case of the incremental
+//! `ComputeInstant()` evaluation.
+
+use evolve_model::{
+    Application, Architecture, Behavior, Concurrency, Mapping, ModelError, Platform, RelationId,
+    RelationKind, ResourceId,
+};
+
+use crate::complexity::StageLoads;
+use crate::config::Scenario;
+use crate::receiver::{DECODER_SPEED, DSP_SPEED};
+
+/// A two-carrier receiver on a shared DSP.
+#[derive(Clone, Debug)]
+pub struct AggregatedReceiver {
+    /// The validated architecture (16 functions, 3 resources).
+    pub arch: Architecture,
+    /// Symbol inputs, one per component carrier.
+    pub inputs: [RelationId; 2],
+    /// Decoded-block outputs, one per component carrier.
+    pub outputs: [RelationId; 2],
+    /// The shared digital signal processor.
+    pub dsp: ResourceId,
+    /// Per-carrier dedicated decoder hardware.
+    pub decoders: [ResourceId; 2],
+    /// The per-carrier scenarios.
+    pub scenarios: [Scenario; 2],
+}
+
+/// Builds the aggregated receiver. The DSP serves carrier 0's seven stages
+/// then carrier 1's, cyclically (the allocation order defines the static
+/// schedule).
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from validation.
+pub fn aggregated_receiver(scenarios: [Scenario; 2]) -> Result<AggregatedReceiver, ModelError> {
+    let mut app = Application::new();
+    let mut platform = Platform::new();
+    // Double speed: the shared DSP carries two carriers' load.
+    let dsp = platform.add_resource("dsp", Concurrency::Sequential, 2 * DSP_SPEED);
+    let decoders = [
+        platform.add_resource("decoder_hw0", Concurrency::Unlimited, DECODER_SPEED),
+        platform.add_resource("decoder_hw1", Concurrency::Unlimited, DECODER_SPEED),
+    ];
+    let mut mapping = Mapping::new();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+
+    for (cc, scenario) in scenarios.iter().enumerate() {
+        let loads = StageLoads::new(scenario);
+        let stage_loads = [
+            ("cp_removal", &loads.cp_removal),
+            ("fft", &loads.fft),
+            ("channel_est", &loads.channel_estimation),
+            ("equalizer", &loads.equalizer),
+            ("demapper", &loads.demapper),
+            ("descrambler", &loads.descrambler),
+            ("rate_dematch", &loads.rate_dematcher),
+            ("turbo_decoder", &loads.turbo_decoder),
+        ];
+        let input = app.add_input(format!("symbols{cc}"), RelationKind::Rendezvous);
+        let mut upstream = input;
+        for (i, (name, load)) in stage_loads.iter().enumerate() {
+            let next = if i + 1 == stage_loads.len() {
+                app.add_output(format!("blocks{cc}"), RelationKind::Rendezvous)
+            } else {
+                app.add_relation(format!("cc{cc}.s{}", i + 1), RelationKind::Rendezvous)
+            };
+            let f = app.add_function(
+                format!("cc{cc}.{name}"),
+                Behavior::new()
+                    .read(upstream)
+                    .execute((*load).clone())
+                    .write(next),
+            );
+            mapping.assign(
+                f,
+                if *name == "turbo_decoder" {
+                    decoders[cc]
+                } else {
+                    dsp
+                },
+            );
+            if i + 1 == stage_loads.len() {
+                outputs.push(next);
+            }
+            upstream = next;
+        }
+        inputs.push(input);
+    }
+
+    Ok(AggregatedReceiver {
+        arch: Architecture::new(app, platform, mapping)?,
+        inputs: [inputs[0], inputs[1]],
+        outputs: [outputs[0], outputs[1]],
+        dsp,
+        decoders,
+        scenarios,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Bandwidth;
+
+    #[test]
+    fn shape() {
+        let rx = aggregated_receiver([Scenario::default(), Scenario::default()]).unwrap();
+        assert_eq!(rx.arch.app().functions().len(), 16);
+        assert_eq!(rx.arch.platform().len(), 3);
+        assert_eq!(rx.arch.app().external_inputs().len(), 2);
+        assert_eq!(rx.arch.app().external_outputs().len(), 2);
+        // The shared DSP schedule interleaves 7 + 7 execute statements.
+        assert_eq!(rx.arch.schedule(rx.dsp).len(), 14);
+    }
+
+    #[test]
+    fn asymmetric_carriers() {
+        let small = Scenario {
+            bandwidth: Bandwidth::Mhz5,
+            ..Scenario::default()
+        };
+        let rx = aggregated_receiver([Scenario::default(), small]).unwrap();
+        assert_eq!(rx.scenarios[1].bandwidth, Bandwidth::Mhz5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Computational-complexity models of the receiver stages.
+//!
+//! Operation counts follow standard estimates for LTE downlink baseband
+//! processing. Fixed-rate stages (CP removal, FFT) depend only on the
+//! deployment bandwidth; allocation-dependent stages scale with the
+//! resource elements or bits of the current symbol — which is why their
+//! loads are affine in the token size (coded bits per symbol).
+//!
+//! With the workspace convention of 1 tick = 1 ns and resource speeds in
+//! ops/tick, 1 op/tick = 1 GOPS, so these counts directly produce the GOPS
+//! curves of the paper's Fig. 6(b)(c).
+
+use evolve_model::LoadModel;
+
+use crate::config::Scenario;
+
+/// Integer log2 for power-of-two-ish FFT sizes (1536 rounds up to 11).
+fn log2_ceil(n: u64) -> u64 {
+    64 - (n - 1).leading_zeros() as u64
+}
+
+/// Cyclic-prefix removal: ~2 ops per time-domain sample.
+pub fn cp_removal_ops(scenario: &Scenario) -> u64 {
+    2 * scenario.bandwidth.fft_size()
+}
+
+/// FFT: ~5·N·log₂N real operations (split-radix estimate).
+pub fn fft_ops(scenario: &Scenario) -> u64 {
+    let n = scenario.bandwidth.fft_size();
+    5 * n * log2_ceil(n)
+}
+
+/// Channel estimation: ~40 ops per allocated resource element
+/// (interpolation across pilots).
+pub const CHANNEL_EST_OPS_PER_RE: u64 = 40;
+
+/// MMSE equalization: ~60 ops per allocated resource element.
+pub const EQUALIZER_OPS_PER_RE: u64 = 60;
+
+/// Soft demapping: ~10 ops per coded bit.
+pub const DEMAPPER_OPS_PER_BIT: u64 = 10;
+
+/// Descrambling: ~2 ops per coded bit.
+pub const DESCRAMBLER_OPS_PER_BIT: u64 = 2;
+
+/// Rate dematching: ~4 ops per coded bit.
+pub const RATE_DEMATCH_OPS_PER_BIT: u64 = 4;
+
+/// Turbo decoding: ~35 ops per coded bit per iteration (max-log-MAP).
+pub const TURBO_OPS_PER_BIT_PER_ITER: u64 = 35;
+
+/// Load models per stage, as a function of the token size (= coded bits of
+/// the current symbol). Allocation-dependent stages convert bits to REs
+/// through the scenario's modulation order.
+#[derive(Clone, Debug)]
+pub struct StageLoads {
+    /// CP removal (constant per symbol).
+    pub cp_removal: LoadModel,
+    /// FFT (constant per symbol).
+    pub fft: LoadModel,
+    /// Channel estimation (per RE).
+    pub channel_estimation: LoadModel,
+    /// Equalization (per RE).
+    pub equalizer: LoadModel,
+    /// Soft demapping (per coded bit).
+    pub demapper: LoadModel,
+    /// Descrambling (per coded bit).
+    pub descrambler: LoadModel,
+    /// Rate dematching (per coded bit).
+    pub rate_dematcher: LoadModel,
+    /// Turbo decoding (per coded bit × iterations).
+    pub turbo_decoder: LoadModel,
+}
+
+impl StageLoads {
+    /// Builds the stage loads of a scenario.
+    pub fn new(scenario: &Scenario) -> Self {
+        let bits_per_re = scenario.modulation.bits_per_re();
+        // Per-coded-bit coefficients; RE-based stages divide by bits/RE.
+        let per_re_to_per_bit = |ops_per_re: u64| ops_per_re.div_ceil(bits_per_re);
+        StageLoads {
+            cp_removal: LoadModel::Constant(cp_removal_ops(scenario)),
+            fft: LoadModel::Constant(fft_ops(scenario)),
+            channel_estimation: LoadModel::PerUnit {
+                base: 200,
+                per_unit: per_re_to_per_bit(CHANNEL_EST_OPS_PER_RE),
+            },
+            equalizer: LoadModel::PerUnit {
+                base: 300,
+                per_unit: per_re_to_per_bit(EQUALIZER_OPS_PER_RE),
+            },
+            demapper: LoadModel::PerUnit {
+                base: 100,
+                per_unit: DEMAPPER_OPS_PER_BIT,
+            },
+            descrambler: LoadModel::PerUnit {
+                base: 50,
+                per_unit: DESCRAMBLER_OPS_PER_BIT,
+            },
+            rate_dematcher: LoadModel::PerUnit {
+                base: 100,
+                per_unit: RATE_DEMATCH_OPS_PER_BIT,
+            },
+            turbo_decoder: LoadModel::PerUnit {
+                base: 1_000,
+                per_unit: TURBO_OPS_PER_BIT_PER_ITER * scenario.turbo_iterations,
+            },
+        }
+    }
+
+    /// Total DSP-side operations for one full-allocation symbol (all stages
+    /// except the turbo decoder).
+    pub fn dsp_ops_per_symbol(&self, scenario: &Scenario) -> u64 {
+        let bits = scenario.coded_bits(scenario.bandwidth.prbs());
+        let eval = |m: &LoadModel| match m {
+            LoadModel::Constant(n) => *n,
+            LoadModel::PerUnit { base, per_unit } => base + per_unit * bits,
+            _ => unreachable!("stage loads are constant or affine"),
+        };
+        eval(&self.cp_removal)
+            + eval(&self.fft)
+            + eval(&self.channel_estimation)
+            + eval(&self.equalizer)
+            + eval(&self.demapper)
+            + eval(&self.descrambler)
+            + eval(&self.rate_dematcher)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(log2_ceil(128), 7);
+        assert_eq!(log2_ceil(1536), 11);
+        assert_eq!(log2_ceil(2048), 11);
+    }
+
+    #[test]
+    fn fft_cost_grows_with_bandwidth() {
+        let small = Scenario {
+            bandwidth: crate::config::Bandwidth::Mhz1_4,
+            ..Scenario::default()
+        };
+        let large = Scenario::default();
+        assert!(fft_ops(&large) > 10 * fft_ops(&small));
+        assert_eq!(fft_ops(&large), 5 * 2048 * 11);
+    }
+
+    #[test]
+    fn symbol_budget_is_feasible_at_8_gops() {
+        // The DSP must process one maximum-allocation symbol within the
+        // 71.42 µs symbol period at 8 ops/tick (8 GOPS).
+        let scenario = Scenario::default();
+        let loads = StageLoads::new(&scenario);
+        let ops = loads.dsp_ops_per_symbol(&scenario);
+        let budget = 8 * crate::config::SYMBOL_PERIOD.ticks();
+        assert!(
+            ops < budget,
+            "per-symbol DSP work {ops} exceeds the 8 GOPS budget {budget}"
+        );
+        // And it is a substantial fraction of it (realistic utilization).
+        assert!(ops > budget / 4, "per-symbol DSP work {ops} unrealistically small");
+    }
+
+    #[test]
+    fn turbo_dominates_per_bit_cost() {
+        let scenario = Scenario::default();
+        let loads = StageLoads::new(&scenario);
+        let LoadModel::PerUnit { per_unit, .. } = loads.turbo_decoder else {
+            panic!("turbo load is affine");
+        };
+        assert_eq!(per_unit, 35 * 6);
+        assert!(per_unit > DEMAPPER_OPS_PER_BIT + RATE_DEMATCH_OPS_PER_BIT);
+    }
+}

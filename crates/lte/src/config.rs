@@ -1,0 +1,167 @@
+//! LTE downlink physical-layer parameters.
+//!
+//! The case study of the paper (Section V) evaluates "a receiver
+//! architecture implementing part of the LTE physical layer protocol" fed
+//! by "an environment that periodically produces data frames with varying
+//! parameters". This module captures the standard parameter space: channel
+//! bandwidth (hence FFT size and resource-block count), modulation order,
+//! code rate, and the 14-symbol/71.42 µs frame timing the paper plots in
+//! Fig. 6.
+
+use evolve_des::Duration;
+
+/// OFDM symbol spacing used in the paper's Fig. 6: 71.42 µs (1 ms subframe
+/// / 14 symbols), in nanosecond ticks.
+pub const SYMBOL_PERIOD: Duration = Duration::from_ticks(71_420);
+
+/// Symbols per frame in the paper's case study.
+pub const SYMBOLS_PER_FRAME: u64 = 14;
+
+/// LTE channel bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bandwidth {
+    /// 1.4 MHz: 6 PRBs, 128-point FFT.
+    Mhz1_4,
+    /// 3 MHz: 15 PRBs, 256-point FFT.
+    Mhz3,
+    /// 5 MHz: 25 PRBs, 512-point FFT.
+    Mhz5,
+    /// 10 MHz: 50 PRBs, 1024-point FFT.
+    Mhz10,
+    /// 15 MHz: 75 PRBs, 1536-point FFT.
+    Mhz15,
+    /// 20 MHz: 100 PRBs, 2048-point FFT.
+    Mhz20,
+}
+
+impl Bandwidth {
+    /// Number of physical resource blocks.
+    pub fn prbs(self) -> u64 {
+        match self {
+            Bandwidth::Mhz1_4 => 6,
+            Bandwidth::Mhz3 => 15,
+            Bandwidth::Mhz5 => 25,
+            Bandwidth::Mhz10 => 50,
+            Bandwidth::Mhz15 => 75,
+            Bandwidth::Mhz20 => 100,
+        }
+    }
+
+    /// FFT length of the OFDM demodulator.
+    pub fn fft_size(self) -> u64 {
+        match self {
+            Bandwidth::Mhz1_4 => 128,
+            Bandwidth::Mhz3 => 256,
+            Bandwidth::Mhz5 => 512,
+            Bandwidth::Mhz10 => 1024,
+            Bandwidth::Mhz15 => 1536,
+            Bandwidth::Mhz20 => 2048,
+        }
+    }
+
+    /// Subcarriers available for allocation (12 per PRB).
+    pub fn subcarriers(self) -> u64 {
+        self.prbs() * 12
+    }
+}
+
+/// Downlink modulation scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// 2 bits per resource element.
+    Qpsk,
+    /// 4 bits per resource element.
+    Qam16,
+    /// 6 bits per resource element.
+    Qam64,
+}
+
+impl Modulation {
+    /// Bits carried per resource element.
+    pub fn bits_per_re(self) -> u64 {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+}
+
+/// A deployment scenario: the parameters fixed for a run. Per-frame
+/// variability (the paper's "varying parameters") comes from the PRB
+/// allocation, which scales every allocation-dependent stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Channel bandwidth (FFT size, maximum PRBs).
+    pub bandwidth: Bandwidth,
+    /// Modulation scheme.
+    pub modulation: Modulation,
+    /// Code rate as (numerator, denominator), e.g. (1, 3).
+    pub code_rate: (u64, u64),
+    /// Turbo-decoder iterations.
+    pub turbo_iterations: u64,
+}
+
+impl Default for Scenario {
+    /// The paper-style operating point: 20 MHz, 64-QAM, rate 1/2, 6 turbo
+    /// iterations.
+    fn default() -> Self {
+        Scenario {
+            bandwidth: Bandwidth::Mhz20,
+            modulation: Modulation::Qam64,
+            code_rate: (1, 2),
+            turbo_iterations: 6,
+        }
+    }
+}
+
+impl Scenario {
+    /// Coded bits per OFDM symbol when `prbs` resource blocks are allocated.
+    ///
+    /// This is the token size flowing through the receiver model: every
+    /// allocation-dependent stage's load is affine in it.
+    pub fn coded_bits(&self, prbs: u64) -> u64 {
+        prbs.min(self.bandwidth.prbs()) * 12 * self.modulation.bits_per_re()
+    }
+
+    /// Information bits per symbol at the configured code rate.
+    pub fn info_bits(&self, prbs: u64) -> u64 {
+        self.coded_bits(prbs) * self.code_rate.0 / self.code_rate.1
+    }
+
+    /// Resource elements per symbol for an allocation.
+    pub fn resource_elements(&self, prbs: u64) -> u64 {
+        prbs.min(self.bandwidth.prbs()) * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_tables() {
+        assert_eq!(Bandwidth::Mhz20.prbs(), 100);
+        assert_eq!(Bandwidth::Mhz20.fft_size(), 2048);
+        assert_eq!(Bandwidth::Mhz1_4.subcarriers(), 72);
+    }
+
+    #[test]
+    fn scenario_bit_budget() {
+        let s = Scenario::default();
+        // 100 PRBs × 12 REs × 6 bits = 7200 coded bits per symbol.
+        assert_eq!(s.coded_bits(100), 7200);
+        assert_eq!(s.info_bits(100), 3600);
+        // Over-allocation clamps to the bandwidth.
+        assert_eq!(s.coded_bits(500), 7200);
+        assert_eq!(s.resource_elements(50), 600);
+    }
+
+    #[test]
+    fn frame_timing_matches_paper() {
+        assert_eq!(SYMBOL_PERIOD.ticks(), 71_420);
+        assert_eq!(SYMBOLS_PER_FRAME, 14);
+        // One frame ≈ 1 ms.
+        assert_eq!(SYMBOL_PERIOD.ticks() * SYMBOLS_PER_FRAME, 999_880);
+    }
+}

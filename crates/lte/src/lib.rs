@@ -1,0 +1,54 @@
+//! LTE physical-layer receiver case study (paper Section V).
+//!
+//! The paper evaluates its dynamic computation method on "a receiver
+//! architecture implementing part of the LTE physical layer protocol": an
+//! application of eight functions on a heterogeneous platform — a digital
+//! signal processor plus a dedicated channel-decoding hardware resource —
+//! driven by periodic frames of 14 OFDM symbols spaced 71.42 µs with
+//! frame-varying parameters.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`Scenario`] / [`Bandwidth`] / [`Modulation`] — the LTE parameter
+//!   space (PRBs, FFT sizes, bits per resource element, code rate).
+//! * [`StageLoads`] — per-stage computational-complexity models (operation
+//!   counts that become the GOPS curves of the paper's Fig. 6(b)(c)).
+//! * [`receiver`] — the eight-function architecture with its DSP/decoder
+//!   mapping.
+//! * [`frame_stimulus`] / [`symbol_stimulus`] — the periodic, varying
+//!   frame environment.
+//!
+//! # Example
+//!
+//! ```
+//! use evolve_lte::{frame_stimulus, receiver, Scenario};
+//! use evolve_model::{elaborate, Environment};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rx = receiver(Scenario::default())?;
+//! let env = Environment::new().stimulus(rx.input, frame_stimulus(rx.scenario, 2, 42));
+//! let report = elaborate(&rx.arch, &env)?.run();
+//! assert_eq!(report.instants(rx.output).len(), 28); // 2 frames × 14 symbols
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod aggregation;
+mod complexity;
+mod config;
+mod receiver;
+
+pub use aggregation::{aggregated_receiver, AggregatedReceiver};
+pub use complexity::{
+    cp_removal_ops, fft_ops, StageLoads, CHANNEL_EST_OPS_PER_RE, DEMAPPER_OPS_PER_BIT,
+    DESCRAMBLER_OPS_PER_BIT, EQUALIZER_OPS_PER_RE, RATE_DEMATCH_OPS_PER_BIT,
+    TURBO_OPS_PER_BIT_PER_ITER,
+};
+pub use config::{Bandwidth, Modulation, Scenario, SYMBOLS_PER_FRAME, SYMBOL_PERIOD};
+pub use receiver::{
+    frame_allocations, frame_stimulus, receiver, symbol_stimulus, Receiver, DECODER_SPEED,
+    DSP_SPEED,
+};

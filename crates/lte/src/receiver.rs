@@ -1,0 +1,227 @@
+//! The eight-function LTE receiver architecture of the paper's case study.
+//!
+//! "The studied architecture is formed by an application made of eight
+//! functions and a platform based on two processing resources. … The
+//! channel decoding function is considered to be implemented as a dedicated
+//! hardware resource whereas other application functions are allocated to a
+//! digital signal processor." (paper Section V)
+//!
+//! Receiver chain: CP removal → FFT → channel estimation → equalization →
+//! soft demapping → descrambling → rate dematching (all on the DSP) →
+//! turbo decoding (dedicated hardware).
+
+use evolve_des::Time;
+use evolve_model::{
+    Application, Architecture, Behavior, Concurrency, Mapping, ModelError, Platform, RelationId,
+    RelationKind, ResourceId, Stimulus,
+};
+
+use crate::complexity::StageLoads;
+use crate::config::{Scenario, SYMBOLS_PER_FRAME, SYMBOL_PERIOD};
+
+/// DSP execution speed in ops per tick (= GOPS with 1 ns ticks).
+pub const DSP_SPEED: u64 = 8;
+
+/// Dedicated channel-decoder speed in ops per tick (= GOPS).
+pub const DECODER_SPEED: u64 = 150;
+
+/// The built receiver architecture with its useful handles.
+#[derive(Clone, Debug)]
+pub struct Receiver {
+    /// The validated architecture (8 functions, 2 resources).
+    pub arch: Architecture,
+    /// External input: received OFDM symbols.
+    pub input: RelationId,
+    /// External output: decoded transport blocks.
+    pub output: RelationId,
+    /// The digital signal processor.
+    pub dsp: ResourceId,
+    /// The dedicated channel-decoding hardware.
+    pub decoder_hw: ResourceId,
+    /// The scenario the loads were built for.
+    pub scenario: Scenario,
+}
+
+/// Builds the receiver architecture for a scenario.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from validation (the builder is well-formed,
+/// so this does not fail for valid scenarios).
+pub fn receiver(scenario: Scenario) -> Result<Receiver, ModelError> {
+    let loads = StageLoads::new(&scenario);
+    let mut app = Application::new();
+    let input = app.add_input("symbols", RelationKind::Rendezvous);
+
+    let stage_names = [
+        "cp_removal",
+        "fft",
+        "channel_est",
+        "equalizer",
+        "demapper",
+        "descrambler",
+        "rate_dematch",
+        "turbo_decoder",
+    ];
+    let stage_loads = [
+        &loads.cp_removal,
+        &loads.fft,
+        &loads.channel_estimation,
+        &loads.equalizer,
+        &loads.demapper,
+        &loads.descrambler,
+        &loads.rate_dematcher,
+        &loads.turbo_decoder,
+    ];
+
+    // Chain relations between stages; the last stage writes the output.
+    let mut upstream = input;
+    let mut functions = Vec::new();
+    let mut output = input;
+    for (i, (name, load)) in stage_names.iter().zip(stage_loads).enumerate() {
+        let next = if i + 1 == stage_names.len() {
+            app.add_output("blocks", RelationKind::Rendezvous)
+        } else {
+            app.add_relation(format!("s{}", i + 1), RelationKind::Rendezvous)
+        };
+        let f = app.add_function(
+            *name,
+            Behavior::new()
+                .read(upstream)
+                .execute((*load).clone())
+                .write(next),
+        );
+        functions.push(f);
+        upstream = next;
+        output = next;
+    }
+
+    let mut platform = Platform::new();
+    let dsp = platform.add_resource("dsp", Concurrency::Sequential, DSP_SPEED);
+    let decoder_hw = platform.add_resource("decoder_hw", Concurrency::Unlimited, DECODER_SPEED);
+
+    let mut mapping = Mapping::new();
+    for (i, f) in functions.iter().enumerate() {
+        let target = if stage_names[i] == "turbo_decoder" {
+            decoder_hw
+        } else {
+            dsp
+        };
+        mapping.assign(*f, target);
+    }
+
+    Ok(Receiver {
+        arch: Architecture::new(app, platform, mapping)?,
+        input,
+        output,
+        dsp,
+        decoder_hw,
+        scenario,
+    })
+}
+
+/// Deterministic per-frame PRB allocation in `[min_prbs, max]` — the
+/// paper's "frames with varying parameters".
+pub fn frame_allocations(
+    scenario: Scenario,
+    frames: u64,
+    min_prbs: u64,
+    seed: u64,
+) -> impl Fn(u64) -> u64 {
+    let max = scenario.bandwidth.prbs();
+    let min = min_prbs.min(max);
+    let _ = frames; // any frame index is accepted; the count only documents intent
+    move |frame: u64| {
+        let mut z = seed ^ frame.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        min + (z ^ (z >> 31)) % (max - min + 1)
+    }
+}
+
+/// A periodic symbol stimulus: `frames` frames of 14 symbols spaced
+/// 71.42 µs, every symbol of a frame carrying that frame's allocation
+/// (token size = coded bits per symbol).
+pub fn frame_stimulus(scenario: Scenario, frames: u64, seed: u64) -> Stimulus {
+    let alloc = frame_allocations(scenario, frames, scenario.bandwidth.prbs() / 4, seed);
+    let arrivals = (0..frames * SYMBOLS_PER_FRAME)
+        .map(|k| {
+            let frame = k / SYMBOLS_PER_FRAME;
+            evolve_model::Arrival {
+                at: Time::ZERO + SYMBOL_PERIOD.saturating_mul(k),
+                size: scenario.coded_bits(alloc(frame)),
+            }
+        })
+        .collect();
+    Stimulus::new(arrivals)
+}
+
+/// A stimulus of exactly `symbols` symbols (used for the paper's 20 000
+/// data-symbol speed-up measurement).
+pub fn symbol_stimulus(scenario: Scenario, symbols: u64, seed: u64) -> Stimulus {
+    let alloc = frame_allocations(scenario, symbols / SYMBOLS_PER_FRAME + 1, 1, seed);
+    let arrivals = (0..symbols)
+        .map(|k| {
+            let frame = k / SYMBOLS_PER_FRAME;
+            evolve_model::Arrival {
+                at: Time::ZERO + SYMBOL_PERIOD.saturating_mul(k),
+                size: scenario.coded_bits(alloc(frame)),
+            }
+        })
+        .collect();
+    Stimulus::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_shape_matches_paper() {
+        let r = receiver(Scenario::default()).unwrap();
+        assert_eq!(r.arch.app().functions().len(), 8, "eight functions");
+        assert_eq!(r.arch.platform().len(), 2, "two processing resources");
+        // Seven functions on the DSP, one on the decoder.
+        let dsp_count = (0..8)
+            .filter(|&i| {
+                r.arch
+                    .mapping()
+                    .resource_of(evolve_model::FunctionId::from_index(i))
+                    == Some(r.dsp)
+            })
+            .count();
+        assert_eq!(dsp_count, 7);
+        assert_eq!(r.arch.app().external_inputs(), vec![r.input]);
+        assert_eq!(r.arch.app().external_outputs(), vec![r.output]);
+    }
+
+    #[test]
+    fn stimulus_timing() {
+        let s = frame_stimulus(Scenario::default(), 2, 1);
+        assert_eq!(s.len(), 28);
+        let a = s.arrivals();
+        assert_eq!(a[0].at, Time::ZERO);
+        assert_eq!(a[1].at, Time::from_ticks(71_420));
+        assert_eq!(a[14].at, Time::from_ticks(14 * 71_420));
+        // All symbols of one frame share the allocation.
+        assert!(a[..14].iter().all(|x| x.size == a[0].size));
+    }
+
+    #[test]
+    fn allocations_vary_across_frames() {
+        let scenario = Scenario::default();
+        let alloc = frame_allocations(scenario, 100, 10, 3);
+        let distinct: std::collections::HashSet<u64> = (0..100).map(alloc).collect();
+        assert!(distinct.len() > 10, "allocations should vary");
+        assert!((0..100).all(|f| {
+            let a = frame_allocations(scenario, 100, 10, 3)(f);
+            (10..=100).contains(&a)
+        }));
+    }
+
+    #[test]
+    fn symbol_stimulus_count() {
+        let s = symbol_stimulus(Scenario::default(), 101, 9);
+        assert_eq!(s.len(), 101);
+    }
+}

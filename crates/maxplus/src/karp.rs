@@ -1,0 +1,261 @@
+//! Karp's algorithm for the maximum cycle mean of a max-plus matrix.
+//!
+//! In max-plus system theory the maximum cycle mean of the state matrix is
+//! the system's *eigenvalue*: the asymptotic period (cycle time) of the
+//! autonomous recurrence `X(k) = A ⊗ X(k−1)` (Baccelli et al. [15], ch. 3;
+//! Heidergott et al. [16], ch. 2). We use it to predict the steady-state
+//! throughput of a derived temporal dependency graph and cross-check it
+//! against simulation.
+
+use crate::Matrix;
+
+/// The maximum cycle mean of `a` viewed as a weighted digraph
+/// (arc `j → i` of weight `a[(i, j)]` when finite).
+///
+/// Returns `None` when the graph has no cycle (the recurrence then dies out
+/// in finitely many steps).
+///
+/// Runs Karp's dynamic program independently on every strongly-relevant
+/// start node, `O(n·m)` per start with early pruning; exact for `i64`
+/// weights (means are compared as exact rationals).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_maxplus::{max_cycle_mean, CycleMean, Matrix, MaxPlus};
+///
+/// // Two-node loop with total weight 3 + 1 = 4 over 2 arcs: mean 2.
+/// let mut a = Matrix::epsilon(2, 2);
+/// a[(1, 0)] = MaxPlus::new(3);
+/// a[(0, 1)] = MaxPlus::new(1);
+/// let mean = max_cycle_mean(&a).expect("graph has a cycle");
+/// assert_eq!(mean, CycleMean::new(4, 2));
+/// assert_eq!(mean.as_f64(), 2.0);
+/// ```
+pub fn max_cycle_mean(a: &Matrix) -> Option<CycleMean> {
+    assert!(a.is_square(), "cycle mean requires a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return None;
+    }
+
+    // d[k][v] = max weight of a length-k path ending at v (from any start).
+    // Seeding every node with weight 0 at k = 0 computes the global maximum
+    // cycle mean via Karp's formula in one pass.
+    let mut d = vec![vec![None::<i64>; n]; n + 1];
+    for v in d[0].iter_mut() {
+        *v = Some(0);
+    }
+    for k in 1..=n {
+        for v in 0..n {
+            let mut best: Option<i64> = None;
+            for u in 0..n {
+                if let (Some(w), Some(prev)) = (a[(v, u)].finite(), d[k - 1][u]) {
+                    let cand = prev + w;
+                    if best.is_none_or(|b| cand > b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            d[k][v] = best;
+        }
+    }
+
+    // λ = max_v min_k (d[n][v] − d[k][v]) / (n − k).
+    let mut best: Option<CycleMean> = None;
+    for v in 0..n {
+        let Some(dn) = d[n][v] else { continue };
+        let mut inner: Option<CycleMean> = None;
+        for (k, dk) in d.iter().enumerate().take(n) {
+            let Some(dkv) = dk[v] else { continue };
+            let mean = CycleMean::new(dn - dkv, (n - k) as u64);
+            if inner.is_none_or(|m| mean < m) {
+                inner = Some(mean);
+            }
+        }
+        if let Some(m) = inner {
+            if best.is_none_or(|b| m > b) {
+                best = Some(m);
+            }
+        }
+    }
+    best
+}
+
+/// A cycle mean `numerator / denominator`, compared exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleMean {
+    numerator: i64,
+    denominator: u64,
+}
+
+impl CycleMean {
+    /// Creates a cycle mean; the fraction is reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator == 0`.
+    pub fn new(numerator: i64, denominator: u64) -> Self {
+        assert!(denominator != 0, "cycle mean denominator must be nonzero");
+        let g = gcd(numerator.unsigned_abs(), denominator);
+        CycleMean {
+            numerator: numerator / g as i64,
+            denominator: denominator / g,
+        }
+    }
+
+    /// The reduced numerator (total cycle weight).
+    pub fn numerator(&self) -> i64 {
+        self.numerator
+    }
+
+    /// The reduced denominator (cycle length).
+    pub fn denominator(&self) -> u64 {
+        self.denominator
+    }
+
+    /// The mean as a floating-point value.
+    pub fn as_f64(&self) -> f64 {
+        self.numerator as f64 / self.denominator as f64
+    }
+
+    /// Rounds the mean up to the next integer (a safe period bound).
+    pub fn ceil(&self) -> i64 {
+        self.numerator.div_euclid(self.denominator as i64)
+            + i64::from(self.numerator.rem_euclid(self.denominator as i64) != 0)
+    }
+}
+
+impl PartialEq for CycleMean {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == core::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for CycleMean {}
+
+impl PartialOrd for CycleMean {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CycleMean {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b (denominators positive).
+        let lhs = i128::from(self.numerator) * i128::from(other.denominator);
+        let rhs = i128::from(other.numerator) * i128::from(self.denominator);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl core::fmt::Display for CycleMean {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.denominator == 1 {
+            write!(f, "{}", self.numerator)
+        } else {
+            write!(f, "{}/{}", self.numerator, self.denominator)
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b.max(1);
+    }
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MaxPlus;
+
+    #[test]
+    fn acyclic_has_no_mean() {
+        let mut a = Matrix::epsilon(3, 3);
+        a[(1, 0)] = MaxPlus::new(5);
+        a[(2, 1)] = MaxPlus::new(7);
+        assert_eq!(max_cycle_mean(&a), None);
+    }
+
+    #[test]
+    fn self_loop_mean_is_its_weight() {
+        let mut a = Matrix::epsilon(2, 2);
+        a[(0, 0)] = MaxPlus::new(9);
+        a[(1, 0)] = MaxPlus::new(100); // heavy arc but not a cycle
+        assert_eq!(max_cycle_mean(&a), Some(CycleMean::new(9, 1)));
+    }
+
+    #[test]
+    fn picks_the_heavier_cycle() {
+        let mut a = Matrix::epsilon(4, 4);
+        // cycle A: 0 <-> 1, mean (2+2)/2 = 2
+        a[(1, 0)] = MaxPlus::new(2);
+        a[(0, 1)] = MaxPlus::new(2);
+        // cycle B: 2 -> 3 -> 2, mean (1+8)/2 = 4.5
+        a[(3, 2)] = MaxPlus::new(1);
+        a[(2, 3)] = MaxPlus::new(8);
+        assert_eq!(max_cycle_mean(&a), Some(CycleMean::new(9, 2)));
+    }
+
+    #[test]
+    fn negative_weights_supported() {
+        let mut a = Matrix::epsilon(2, 2);
+        a[(1, 0)] = MaxPlus::new(-3);
+        a[(0, 1)] = MaxPlus::new(-1);
+        assert_eq!(max_cycle_mean(&a), Some(CycleMean::new(-2, 1)));
+    }
+
+    #[test]
+    fn mean_matches_simulation_asymptote() {
+        // Autonomous system X(k) = A ⊗ X(k−1): growth rate → cycle mean.
+        let mut a = Matrix::epsilon(3, 3);
+        a[(1, 0)] = MaxPlus::new(4);
+        a[(2, 1)] = MaxPlus::new(6);
+        a[(0, 2)] = MaxPlus::new(2);
+        let mean = max_cycle_mean(&a).unwrap();
+        assert_eq!(mean, CycleMean::new(12, 3));
+
+        let mut x = crate::Vector::e(3);
+        let steps = 30;
+        let x0 = x[0];
+        for _ in 0..steps {
+            x = a.otimes_vec(&x);
+        }
+        let growth = (x[0].finite().unwrap() - x0.finite().unwrap()) as f64 / steps as f64;
+        assert!((growth - mean.as_f64()).abs() < 0.5);
+    }
+
+    #[test]
+    fn cycle_mean_ordering_is_exact() {
+        assert!(CycleMean::new(1, 3) < CycleMean::new(1, 2));
+        assert_eq!(CycleMean::new(2, 4), CycleMean::new(1, 2));
+        assert!(CycleMean::new(-1, 2) > CycleMean::new(-1, 1));
+    }
+
+    #[test]
+    fn ceil_rounds_up() {
+        assert_eq!(CycleMean::new(7, 2).ceil(), 4);
+        assert_eq!(CycleMean::new(8, 2).ceil(), 4);
+        assert_eq!(CycleMean::new(-7, 2).ceil(), -3);
+    }
+
+    #[test]
+    fn display_reduces() {
+        assert_eq!(CycleMean::new(6, 4).to_string(), "3/2");
+        assert_eq!(CycleMean::new(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert_eq!(max_cycle_mean(&Matrix::epsilon(0, 0)), None);
+    }
+}

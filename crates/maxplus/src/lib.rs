@@ -1,0 +1,63 @@
+//! (max,+) algebra for describing evolution instants of discrete-event
+//! systems.
+//!
+//! This crate is the algebraic substrate of the `evolve` workspace, which
+//! reproduces *"A Dynamic Computation Method for Fast and Accurate
+//! Performance Evaluation of Multi-Core Architectures"* (Le Nours, Postula,
+//! Bergmann — DATE 2014). The paper describes synchronization instants of
+//! architecture performance models with two operators (Section III.B):
+//!
+//! * `⊗` (**addition**) — a time lag by a duration, and
+//! * `⊕` (**max**) — the effect of synchronization among processes,
+//!
+//! and captures model evolution by linear recurrences over the semiring
+//! `(ℝ ∪ {−∞}, max, +)` (the paper's eqs. (1)–(10)).
+//!
+//! # Contents
+//!
+//! * [`MaxPlus`] — the scalar semiring with `ε = −∞` and `e = 0`.
+//! * [`Vector`], [`Matrix`] — dense linear algebra over the semiring.
+//! * [`star`] / [`solve_implicit`] — Kleene star `A*` and the least solution
+//!   of the implicit equation `x = A ⊗ x ⊕ b` (used to make eq. (7) explicit).
+//! * [`LinearSystem`] — the general recurrence of eqs. (9)–(10) with history,
+//!   stepped iteration by iteration.
+//! * [`max_cycle_mean`] — Karp's algorithm: the system eigenvalue /
+//!   steady-state cycle time.
+//!
+//! # Example: the paper's eq. (2)
+//!
+//! `xM2(k) = xM1(k) ⊗ Ti1(k) ⊕ xM5(k−1)` — "data can be produced through M2
+//! only after a duration `Ti1` once data was received through M1, and not
+//! before the previous consumer iteration finished":
+//!
+//! ```
+//! use evolve_maxplus::MaxPlus;
+//!
+//! let x_m1_k = MaxPlus::new(100); // instant of this iteration's M1 exchange
+//! let t_i1_k = MaxPlus::new(25); // execution duration of F1
+//! let x_m5_prev = MaxPlus::new(110); // previous iteration's M5 exchange
+//!
+//! let x_m2_k = x_m1_k.otimes(t_i1_k).oplus(x_m5_prev);
+//! assert_eq!(x_m2_k, MaxPlus::new(125));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod karp;
+mod matrix;
+mod residuation;
+mod scalar;
+mod spectral;
+mod star;
+mod system;
+mod vector;
+
+pub use karp::{max_cycle_mean, CycleMean};
+pub use residuation::{galois_laws_hold, residual, residual_vec};
+pub use spectral::{eigenpair, transient, EigenPair, Transient};
+pub use matrix::Matrix;
+pub use scalar::MaxPlus;
+pub use star::{solve_implicit, star, PositiveCycleError};
+pub use system::{LinearSystem, LinearSystemBuilder, SystemError};
+pub use vector::Vector;

@@ -1,0 +1,363 @@
+//! Dense square/rectangular matrices over the (max,+) semiring.
+//!
+//! The matrices `A(k, i)`, `B(k, j)`, `C(k, l)`, `D(k, m)` of the paper's
+//! eqs. (7)–(10) are values of this type: entry `(r, c)` is the time lag a
+//! dependency imposes from instant `c` onto instant `r`, or `ε` when no
+//! dependency exists.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+use crate::{MaxPlus, Vector};
+
+/// A dense matrix of [`MaxPlus`] elements in row-major storage.
+///
+/// # Examples
+///
+/// Matrix–vector `⊗` is the synchronization-plus-lag step of a max-plus
+/// linear system:
+///
+/// ```
+/// use evolve_maxplus::{MaxPlus, Matrix, Vector};
+///
+/// // x0' = 2 ⊗ x0 ⊕ 0 ⊗ x1 ; x1' = ε (no deps)
+/// let mut a = Matrix::epsilon(2, 2);
+/// a[(0, 0)] = MaxPlus::new(2);
+/// a[(0, 1)] = MaxPlus::E;
+/// let x = Vector::from_finite(&[3, 7]);
+/// let y = a.otimes_vec(&x);
+/// assert_eq!(y[0], MaxPlus::new(7)); // max(3+2, 7+0)
+/// assert!(y[1].is_epsilon());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    elems: Vec<MaxPlus>,
+}
+
+impl Matrix {
+    /// Creates an all-`ε` matrix (the additive zero).
+    pub fn epsilon(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            elems: vec![MaxPlus::EPSILON; rows * cols],
+        }
+    }
+
+    /// Creates the `⊗`-identity: `e` on the diagonal, `ε` elsewhere.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Matrix::epsilon(dim, dim);
+        for i in 0..dim {
+            m[(i, i)] = MaxPlus::E;
+        }
+        m
+    }
+
+    /// Creates a matrix from rows of plain integers where `None` encodes `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<Option<i64>>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut elems = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "ragged matrix rows");
+            elems.extend(
+                row.iter()
+                    .map(|v| v.map_or(MaxPlus::EPSILON, MaxPlus::new)),
+            );
+        }
+        Matrix {
+            rows: nrows,
+            cols: ncols,
+            elems,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element access without panicking.
+    pub fn get(&self, row: usize, col: usize) -> Option<MaxPlus> {
+        if row < self.rows && col < self.cols {
+            Some(self.elems[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Element-wise `⊕` (max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn oplus(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix shape mismatch"
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            elems: self
+                .elems
+                .iter()
+                .zip(&rhs.elems)
+                .map(|(&a, &b)| a.oplus(b))
+                .collect(),
+        }
+    }
+
+    /// Matrix–matrix `⊗`: `(A ⊗ B)[i][j] = ⊕ₗ A[i][l] ⊗ B[l][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
+    pub fn otimes(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matrix inner dimension mismatch");
+        let mut out = Matrix::epsilon(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.elems[i * self.cols + l];
+                if a.is_epsilon() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let b = rhs.elems[l * rhs.cols + j];
+                    let idx = i * rhs.cols + j;
+                    out.elems[idx] = out.elems[idx].oplus(a.otimes(b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector `⊗`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != x.dim()`.
+    #[must_use]
+    pub fn otimes_vec(&self, x: &Vector) -> Vector {
+        assert_eq!(self.cols, x.dim(), "matrix/vector dimension mismatch");
+        let mut out = Vector::epsilon(self.rows);
+        for i in 0..self.rows {
+            let mut acc = MaxPlus::EPSILON;
+            for (l, &xl) in x.iter().enumerate() {
+                acc = acc.oplus(self.elems[i * self.cols + l].otimes(xl));
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// `⊗`-power of a square matrix; `A⁰ = I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn otimes_pow(&self, n: u32) -> Matrix {
+        assert!(self.is_square(), "matrix power requires a square matrix");
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        let mut n = n;
+        while n > 0 {
+            if n & 1 == 1 {
+                result = result.otimes(&base);
+            }
+            n >>= 1;
+            if n > 0 {
+                base = base.otimes(&base);
+            }
+        }
+        result
+    }
+
+    /// Iterates over `(row, col, value)` of the non-`ε` entries.
+    pub fn finite_entries(&self) -> impl Iterator<Item = (usize, usize, MaxPlus)> + '_ {
+        let cols = self.cols;
+        self.elems
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_finite())
+            .map(move |(idx, &e)| (idx / cols, idx % cols, e))
+    }
+
+    /// Returns `true` when every entry is `ε`.
+    pub fn is_all_epsilon(&self) -> bool {
+        self.elems.iter().all(|e| e.is_epsilon())
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::epsilon(self.cols, self.rows);
+        for (r, c, v) in self.finite_entries() {
+            out[(c, r)] = v;
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = MaxPlus;
+    fn index(&self, (row, col): (usize, usize)) -> &MaxPlus {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        &self.elems[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut MaxPlus {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        &mut self.elems[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix{}x{}", self.rows, self.cols)?;
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.elems[i * self.cols + j])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![Some(1), None],
+            vec![Some(0), Some(3)],
+        ])
+    }
+
+    #[test]
+    fn identity_is_otimes_neutral() {
+        let a = sample();
+        let i = Matrix::identity(2);
+        assert_eq!(i.otimes(&a), a);
+        assert_eq!(a.otimes(&i), a);
+    }
+
+    #[test]
+    fn epsilon_is_oplus_neutral_and_otimes_absorbing() {
+        let a = sample();
+        let z = Matrix::epsilon(2, 2);
+        assert_eq!(a.oplus(&z), a);
+        assert!(a.otimes(&z).is_all_epsilon());
+        assert!(z.otimes(&a).is_all_epsilon());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = sample();
+        let x = Vector::from_finite(&[10, 20]);
+        let y = a.otimes_vec(&x);
+        // row0: max(10+1, eps) = 11 ; row1: max(10+0, 20+3) = 23
+        assert_eq!(y, Vector::from_finite(&[11, 23]));
+    }
+
+    #[test]
+    fn matmul_is_associative_on_sample() {
+        let a = sample();
+        let b = Matrix::from_rows(&[vec![Some(2), Some(0)], vec![None, Some(1)]]);
+        let c = Matrix::from_rows(&[vec![Some(0), None], vec![Some(5), Some(2)]]);
+        assert_eq!(a.otimes(&b).otimes(&c), a.otimes(&b.otimes(&c)));
+    }
+
+    #[test]
+    fn matmul_distributes_over_oplus_on_sample() {
+        let a = sample();
+        let b = Matrix::from_rows(&[vec![Some(2), Some(0)], vec![None, Some(1)]]);
+        let c = Matrix::from_rows(&[vec![Some(0), None], vec![Some(5), Some(2)]]);
+        assert_eq!(a.otimes(&b.oplus(&c)), a.otimes(&b).oplus(&a.otimes(&c)));
+    }
+
+    #[test]
+    fn power_by_squaring_matches_iterated() {
+        let a = sample();
+        let mut iterated = Matrix::identity(2);
+        for n in 0..6 {
+            assert_eq!(a.otimes_pow(n), iterated, "power {n}");
+            iterated = iterated.otimes(&a);
+        }
+    }
+
+    #[test]
+    fn finite_entries_enumerates_non_epsilon() {
+        let a = sample();
+        let entries: Vec<_> = a.finite_entries().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (0, 0, MaxPlus::new(1)),
+                (1, 0, MaxPlus::new(0)),
+                (1, 1, MaxPlus::new(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(0, 1)], MaxPlus::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn otimes_checks_shapes() {
+        let _ = Matrix::epsilon(2, 3).otimes(&Matrix::epsilon(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_bounds_checked() {
+        let _ = sample()[(2, 0)];
+    }
+
+    #[test]
+    fn rectangular_matvec() {
+        let b = Matrix::from_rows(&[vec![Some(0)], vec![Some(4)]]); // 2x1
+        let u = Vector::from_finite(&[7]);
+        assert_eq!(b.otimes_vec(&u), Vector::from_finite(&[7, 11]));
+    }
+}

@@ -1,0 +1,145 @@
+//! Residuation: the lattice-theoretic "division" of (max,+) algebra.
+//!
+//! Because `⊗` distributes over the complete `⊕`-semilattice, it admits a
+//! residual: `a ∖ c = max{ x : a ⊗ x ≤ c }` — scalar subtraction `c − a`
+//! with `⊤/⊥` conventions. Lifted to matrices, the left residual
+//! `A ∖ c = max{ x : A ⊗ x ≤ c }` computes **latest schedules**: the
+//! latest instant vector `x` such that every instant of `A ⊗ x` still
+//! meets the deadline vector `c` (Baccelli et al. [15] §4.4.4). This is the
+//! backward counterpart of the forward evolution equations — given output
+//! deadlines, when may the inputs arrive at the latest?
+
+use crate::{Matrix, MaxPlus, Vector};
+
+/// Scalar left residual `a ∖ c = max{ x : a ⊗ x ≤ c }`.
+///
+/// Conventions: if `a = ε`, any `x` works — the result is unbounded and we
+/// return `None` (top); if `c = ε` and `a` finite, only `x = ε` works.
+#[inline]
+pub fn residual(a: MaxPlus, c: MaxPlus) -> Option<MaxPlus> {
+    match (a.finite(), c.finite()) {
+        (None, _) => None, // unconstrained
+        (Some(_), None) => Some(MaxPlus::EPSILON),
+        (Some(a), Some(c)) => Some(MaxPlus::new((c - a).clamp(i64::MIN + 1, i64::MAX - 1))),
+    }
+}
+
+/// Left matrix residual `A ∖ c`: the greatest `x` with `A ⊗ x ≤ c`.
+///
+/// Component-wise: `x_j = min_i (c_i − A_ij)` over the rows where `A_ij` is
+/// finite; a column with no finite entry is unconstrained and saturates to
+/// [`MaxPlus::MAX`].
+///
+/// # Panics
+///
+/// Panics if `a.rows() != c.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_maxplus::{residual_vec, Matrix, MaxPlus, Vector};
+///
+/// // One server: y = 5 ⊗ x must finish by 30 → x at latest 25.
+/// let mut a = Matrix::epsilon(1, 1);
+/// a[(0, 0)] = MaxPlus::new(5);
+/// let c = Vector::from_finite(&[30]);
+/// let x = residual_vec(&a, &c);
+/// assert_eq!(x[0], MaxPlus::new(25));
+/// ```
+pub fn residual_vec(a: &Matrix, c: &Vector) -> Vector {
+    assert_eq!(a.rows(), c.dim(), "deadline dimension mismatch");
+    let mut x = Vector::new(vec![MaxPlus::MAX; a.cols()]);
+    for (i, j, w) in a.finite_entries() {
+        if let Some(r) = residual(w, c[i]) {
+            if r < x[j] {
+                x[j] = r;
+            }
+        }
+    }
+    x
+}
+
+/// Verifies the Galois-connection inequalities of a residual pair:
+/// `A ⊗ (A ∖ c) ≤ c` and `x ≤ A ∖ (A ⊗ x)`.
+///
+/// Mostly useful in tests; returns `true` when both laws hold for the given
+/// instances.
+pub fn galois_laws_hold(a: &Matrix, c: &Vector, x: &Vector) -> bool {
+    let back = a.otimes_vec(&residual_vec(a, c));
+    let le = |u: &Vector, v: &Vector| u.iter().zip(v.iter()).all(|(p, q)| p <= q);
+    let forward = residual_vec(a, &a.otimes_vec(x));
+    le(&back, c) && le(x, &forward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_residual() {
+        assert_eq!(
+            residual(MaxPlus::new(5), MaxPlus::new(30)),
+            Some(MaxPlus::new(25))
+        );
+        assert_eq!(residual(MaxPlus::EPSILON, MaxPlus::new(3)), None);
+        assert_eq!(
+            residual(MaxPlus::new(5), MaxPlus::EPSILON),
+            Some(MaxPlus::EPSILON)
+        );
+    }
+
+    #[test]
+    fn vector_residual_takes_the_min_over_rows() {
+        // x feeds two deadlines through different lags: the tighter wins.
+        let mut a = Matrix::epsilon(2, 1);
+        a[(0, 0)] = MaxPlus::new(10);
+        a[(1, 0)] = MaxPlus::new(3);
+        let c = Vector::from_finite(&[50, 20]);
+        let x = residual_vec(&a, &c);
+        // min(50−10, 20−3) = 17.
+        assert_eq!(x[0], MaxPlus::new(17));
+    }
+
+    #[test]
+    fn unconstrained_column_saturates() {
+        let a = Matrix::epsilon(1, 2); // column 1 has no constraint
+        let c = Vector::from_finite(&[5]);
+        let x = residual_vec(&a, &c);
+        assert_eq!(x[0], MaxPlus::MAX);
+        assert_eq!(x[1], MaxPlus::MAX);
+    }
+
+    #[test]
+    fn residual_is_greatest_feasible() {
+        let mut a = Matrix::epsilon(2, 2);
+        a[(0, 0)] = MaxPlus::new(4);
+        a[(0, 1)] = MaxPlus::new(1);
+        a[(1, 1)] = MaxPlus::new(7);
+        let c = Vector::from_finite(&[40, 33]);
+        let x = residual_vec(&a, &c);
+        // Feasible: A ⊗ x ≤ c.
+        let y = a.otimes_vec(&x);
+        assert!(y.iter().zip(c.iter()).all(|(p, q)| p <= q));
+        // Greatest: bumping any component by 1 violates a deadline.
+        for j in 0..2 {
+            let mut bumped = x.clone();
+            bumped[j] = MaxPlus::new(bumped[j].finite().unwrap() + 1);
+            let y = a.otimes_vec(&bumped);
+            assert!(
+                y.iter().zip(c.iter()).any(|(p, q)| p > q),
+                "component {j} not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn galois_laws() {
+        let mut a = Matrix::epsilon(2, 2);
+        a[(0, 0)] = MaxPlus::new(4);
+        a[(1, 0)] = MaxPlus::new(9);
+        a[(1, 1)] = MaxPlus::new(2);
+        let c = Vector::from_finite(&[10, 20]);
+        let x = Vector::from_finite(&[1, 2]);
+        assert!(galois_laws_hold(&a, &c, &x));
+    }
+}

@@ -1,0 +1,343 @@
+//! The scalar (max,+) semiring.
+//!
+//! A [`MaxPlus`] value is either a finite time stamp / duration (an `i64`) or
+//! the additive identity `ε = −∞` ([`MaxPlus::EPSILON`]). The two semiring
+//! operators are
+//!
+//! * `⊕` — **max**, the effect of synchronization among processes, exposed as
+//!   [`MaxPlus::oplus`] and the `+` operator, and
+//! * `⊗` — **addition**, a time lag by a duration, exposed as
+//!   [`MaxPlus::otimes`] and the `*` operator.
+//!
+//! This is the algebra the paper uses in Section III.B to describe evolution
+//! instants of architecture models.
+//!
+//! # Examples
+//!
+//! ```
+//! use evolve_maxplus::MaxPlus;
+//!
+//! let x = MaxPlus::new(3);
+//! let y = MaxPlus::new(5);
+//! assert_eq!(x.oplus(y), MaxPlus::new(5)); // synchronization: wait for the later
+//! assert_eq!(x.otimes(y), MaxPlus::new(8)); // time lag: delay x by 5
+//! assert_eq!(MaxPlus::EPSILON.oplus(x), x); // ε is the ⊕-identity
+//! assert_eq!(MaxPlus::E.otimes(x), x); // e = 0 is the ⊗-identity
+//! assert_eq!(MaxPlus::EPSILON.otimes(x), MaxPlus::EPSILON); // ε absorbs ⊗
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// An element of the (max,+) semiring: a finite `i64` or `ε = −∞`.
+///
+/// The internal representation reserves `i64::MIN` for `ε`; every other
+/// `i64` is a finite element. Arithmetic saturates at `i64::MAX − 1` so that
+/// `⊗` can never accidentally produce the `ε` sentinel or wrap around.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaxPlus(i64);
+
+impl MaxPlus {
+    /// The additive identity `ε = −∞` (neutral for `⊕`, absorbing for `⊗`).
+    pub const EPSILON: MaxPlus = MaxPlus(i64::MIN);
+
+    /// The multiplicative identity `e = 0` (neutral for `⊗`).
+    pub const E: MaxPlus = MaxPlus(0);
+
+    /// Largest representable finite element.
+    pub const MAX: MaxPlus = MaxPlus(i64::MAX - 1);
+
+    /// Smallest representable finite element.
+    pub const MIN: MaxPlus = MaxPlus(i64::MIN + 1);
+
+    /// Creates a finite element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == i64::MIN`, which is reserved for `ε`; use
+    /// [`MaxPlus::EPSILON`] for that element.
+    #[inline]
+    pub fn new(value: i64) -> Self {
+        assert!(value != i64::MIN, "i64::MIN is reserved for epsilon");
+        MaxPlus(value.min(i64::MAX - 1))
+    }
+
+    /// Returns `true` when this element is `ε`.
+    #[inline]
+    pub fn is_epsilon(self) -> bool {
+        self.0 == i64::MIN
+    }
+
+    /// Returns `true` when this element is finite (not `ε`).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        !self.is_epsilon()
+    }
+
+    /// Returns the finite value, or `None` for `ε`.
+    #[inline]
+    pub fn finite(self) -> Option<i64> {
+        if self.is_epsilon() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Semiring addition `⊕` (max): the synchronization operator.
+    #[inline]
+    #[must_use]
+    pub fn oplus(self, rhs: MaxPlus) -> MaxPlus {
+        MaxPlus(self.0.max(rhs.0))
+    }
+
+    /// Semiring multiplication `⊗` (numeric addition): the time-lag operator.
+    ///
+    /// `ε` is absorbing; finite results saturate at [`MaxPlus::MAX`] /
+    /// [`MaxPlus::MIN`].
+    #[inline]
+    #[must_use]
+    pub fn otimes(self, rhs: MaxPlus) -> MaxPlus {
+        if self.is_epsilon() || rhs.is_epsilon() {
+            MaxPlus::EPSILON
+        } else {
+            MaxPlus(
+                self.0
+                    .saturating_add(rhs.0)
+                    .clamp(i64::MIN + 1, i64::MAX - 1),
+            )
+        }
+    }
+
+    /// `⊗`-power: `self ⊗ self ⊗ … ⊗ self` (`n` factors), i.e. `n * value`
+    /// in conventional arithmetic. `x⁰ = e` for every `x` including `ε`.
+    #[must_use]
+    pub fn otimes_pow(self, n: u32) -> MaxPlus {
+        if n == 0 {
+            return MaxPlus::E;
+        }
+        if self.is_epsilon() {
+            return MaxPlus::EPSILON;
+        }
+        MaxPlus(
+            self.0
+                .saturating_mul(i64::from(n))
+                .clamp(i64::MIN + 1, i64::MAX - 1),
+        )
+    }
+
+    /// The `⊗`-inverse of a finite element (`−value`); `None` for `ε`.
+    #[inline]
+    pub fn otimes_inverse(self) -> Option<MaxPlus> {
+        self.finite().map(|v| MaxPlus::new(-v.max(i64::MIN + 2)))
+    }
+}
+
+impl Default for MaxPlus {
+    /// The default element is `ε`, matching the zero of ordinary arithmetic
+    /// being the `Sum` identity.
+    fn default() -> Self {
+        MaxPlus::EPSILON
+    }
+}
+
+impl From<i64> for MaxPlus {
+    /// Converts a finite value; see [`MaxPlus::new`] for the `i64::MIN` caveat.
+    fn from(value: i64) -> Self {
+        MaxPlus::new(value)
+    }
+}
+
+impl From<u32> for MaxPlus {
+    fn from(value: u32) -> Self {
+        MaxPlus(i64::from(value))
+    }
+}
+
+impl PartialOrd for MaxPlus {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MaxPlus {
+    /// `ε` compares below every finite element, consistent with `−∞`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for MaxPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_epsilon() {
+            write!(f, "MaxPlus(ε)")
+        } else {
+            write!(f, "MaxPlus({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for MaxPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_epsilon() {
+            write!(f, "ε")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// `+` is the semiring `⊕` (max). This follows the max-plus literature where
+/// `(ℝ ∪ {−∞}, max, +)` is written additively/multiplicatively.
+impl Add for MaxPlus {
+    type Output = MaxPlus;
+    fn add(self, rhs: MaxPlus) -> MaxPlus {
+        self.oplus(rhs)
+    }
+}
+
+impl AddAssign for MaxPlus {
+    fn add_assign(&mut self, rhs: MaxPlus) {
+        *self = self.oplus(rhs);
+    }
+}
+
+/// `*` is the semiring `⊗` (numeric addition).
+impl Mul for MaxPlus {
+    type Output = MaxPlus;
+    fn mul(self, rhs: MaxPlus) -> MaxPlus {
+        self.otimes(rhs)
+    }
+}
+
+impl MulAssign for MaxPlus {
+    fn mul_assign(&mut self, rhs: MaxPlus) {
+        *self = self.otimes(rhs);
+    }
+}
+
+/// Folds with `⊕`; the empty sum is `ε`.
+impl Sum for MaxPlus {
+    fn sum<I: Iterator<Item = MaxPlus>>(iter: I) -> MaxPlus {
+        iter.fold(MaxPlus::EPSILON, MaxPlus::oplus)
+    }
+}
+
+/// Folds with `⊗`; the empty product is `e`.
+impl Product for MaxPlus {
+    fn product<I: Iterator<Item = MaxPlus>>(iter: I) -> MaxPlus {
+        iter.fold(MaxPlus::E, MaxPlus::otimes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oplus_is_max() {
+        assert_eq!(MaxPlus::new(2).oplus(MaxPlus::new(7)), MaxPlus::new(7));
+        assert_eq!(MaxPlus::new(-3).oplus(MaxPlus::new(-9)), MaxPlus::new(-3));
+    }
+
+    #[test]
+    fn otimes_is_plus() {
+        assert_eq!(MaxPlus::new(2).otimes(MaxPlus::new(7)), MaxPlus::new(9));
+        assert_eq!(MaxPlus::new(-3).otimes(MaxPlus::new(3)), MaxPlus::E);
+    }
+
+    #[test]
+    fn epsilon_is_oplus_identity() {
+        for v in [-10, 0, 42] {
+            let x = MaxPlus::new(v);
+            assert_eq!(MaxPlus::EPSILON.oplus(x), x);
+            assert_eq!(x.oplus(MaxPlus::EPSILON), x);
+        }
+    }
+
+    #[test]
+    fn epsilon_absorbs_otimes() {
+        let x = MaxPlus::new(42);
+        assert_eq!(MaxPlus::EPSILON.otimes(x), MaxPlus::EPSILON);
+        assert_eq!(x.otimes(MaxPlus::EPSILON), MaxPlus::EPSILON);
+    }
+
+    #[test]
+    fn e_is_otimes_identity() {
+        let x = MaxPlus::new(-17);
+        assert_eq!(MaxPlus::E.otimes(x), x);
+        assert_eq!(x.otimes(MaxPlus::E), x);
+    }
+
+    #[test]
+    fn otimes_saturates_instead_of_wrapping() {
+        let big = MaxPlus::MAX;
+        assert_eq!(big.otimes(big), MaxPlus::MAX);
+        let small = MaxPlus::MIN;
+        assert_eq!(small.otimes(small), MaxPlus::MIN);
+        assert!(small.otimes(small).is_finite());
+    }
+
+    #[test]
+    fn pow_matches_repeated_otimes() {
+        let x = MaxPlus::new(5);
+        let mut acc = MaxPlus::E;
+        for n in 0..6 {
+            assert_eq!(x.otimes_pow(n), acc);
+            acc = acc.otimes(x);
+        }
+        assert_eq!(MaxPlus::EPSILON.otimes_pow(0), MaxPlus::E);
+        assert_eq!(MaxPlus::EPSILON.otimes_pow(3), MaxPlus::EPSILON);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let x = MaxPlus::new(12);
+        assert_eq!(x.otimes(x.otimes_inverse().unwrap()), MaxPlus::E);
+        assert_eq!(MaxPlus::EPSILON.otimes_inverse(), None);
+    }
+
+    #[test]
+    fn ordering_puts_epsilon_first() {
+        assert!(MaxPlus::EPSILON < MaxPlus::new(i64::MIN + 1));
+        assert!(MaxPlus::new(1) < MaxPlus::new(2));
+    }
+
+    #[test]
+    fn operators_match_named_methods() {
+        let (x, y) = (MaxPlus::new(3), MaxPlus::new(4));
+        assert_eq!(x + y, x.oplus(y));
+        assert_eq!(x * y, x.otimes(y));
+        let mut z = x;
+        z += y;
+        assert_eq!(z, x.oplus(y));
+        let mut w = x;
+        w *= y;
+        assert_eq!(w, x.otimes(y));
+    }
+
+    #[test]
+    fn sum_and_product_identities() {
+        let empty: Vec<MaxPlus> = vec![];
+        assert_eq!(empty.iter().copied().sum::<MaxPlus>(), MaxPlus::EPSILON);
+        assert_eq!(empty.iter().copied().product::<MaxPlus>(), MaxPlus::E);
+        let xs = [MaxPlus::new(1), MaxPlus::new(9), MaxPlus::new(4)];
+        assert_eq!(xs.iter().copied().sum::<MaxPlus>(), MaxPlus::new(9));
+        assert_eq!(xs.iter().copied().product::<MaxPlus>(), MaxPlus::new(14));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MaxPlus::EPSILON.to_string(), "ε");
+        assert_eq!(MaxPlus::new(7).to_string(), "7");
+        assert_eq!(format!("{:?}", MaxPlus::EPSILON), "MaxPlus(ε)");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for epsilon")]
+    fn new_rejects_sentinel() {
+        let _ = MaxPlus::new(i64::MIN);
+    }
+}

@@ -1,0 +1,226 @@
+//! Spectral theory of max-plus matrices: eigenvectors and transients.
+//!
+//! For an irreducible matrix `A`, max-plus spectral theory (Baccelli et
+//! al. [15] ch. 3; Heidergott et al. [16] ch. 4) gives a unique eigenvalue
+//! `λ` — the maximum cycle mean — with eigenvectors satisfying
+//! `A ⊗ v = λ ⊗ v`: a steady regime in which every component advances by
+//! exactly `λ` per iteration. The eigenvector fixes the *phases* — the
+//! relative offsets at which each evolution instant settles inside the
+//! steady-state period — and the transient theorem guarantees every
+//! trajectory enters the periodic regime `x(k + c) = (c·λ) ⊗ x(k)` after a
+//! finite number of steps.
+
+use crate::{max_cycle_mean, star, CycleMean, Matrix, MaxPlus, Vector};
+
+/// An eigenpair of a max-plus matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EigenPair {
+    /// The eigenvalue (maximum cycle mean).
+    pub value: CycleMean,
+    /// An eigenvector: `A ⊗ v = λ ⊗ v` (for rational `λ = p/q`, the exact
+    /// statement is `A^⊗q ⊗ v = p ⊗ v`).
+    pub vector: Vector,
+}
+
+/// Computes an eigenpair of `a`.
+///
+/// Uses the critical-graph construction: normalize the (denominator-scaled)
+/// matrix by its eigenvalue, take the Kleene star, and return the column of
+/// a critical node. Returns `None` when `a` has no cycle (no eigenvalue) or
+/// the critical column is not finite everywhere (reducible matrices whose
+/// critical class does not reach every node — callers can restrict to the
+/// reachable part).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_maxplus::{eigenpair, Matrix, MaxPlus};
+///
+/// // A two-node loop: eigenvalue (3+1)/2 = 2.
+/// let mut a = Matrix::epsilon(2, 2);
+/// a[(1, 0)] = MaxPlus::new(3);
+/// a[(0, 1)] = MaxPlus::new(1);
+/// let pair = eigenpair(&a).expect("irreducible");
+/// assert_eq!(pair.value.as_f64(), 2.0);
+/// ```
+pub fn eigenpair(a: &Matrix) -> Option<EigenPair> {
+    assert!(a.is_square(), "eigenpair requires a square matrix");
+    let n = a.rows();
+    let lambda = max_cycle_mean(a)?;
+    let (p, q) = (lambda.numerator(), lambda.denominator() as i64);
+
+    // Scale by q and subtract p from every finite entry: the scaled matrix
+    // B = q·A − p has maximum cycle mean 0, so B* converges.
+    let mut b = Matrix::epsilon(n, n);
+    for (i, j, w) in a.finite_entries() {
+        let scaled = w.finite().expect("finite entry") * q - p;
+        b[(i, j)] = MaxPlus::new(scaled);
+    }
+    let b_star = star(&b).ok()?;
+    let b_plus = b.otimes(&b_star);
+
+    // A critical node lies on a zero-mean cycle of B: diagonal e in B⁺.
+    let critical = (0..n).find(|&i| b_plus[(i, i)] == MaxPlus::E)?;
+    let vector: Vector = (0..n).map(|i| b_plus[(i, critical)]).collect();
+    if vector.iter().any(|e| e.is_epsilon()) {
+        return None;
+    }
+    // The eigenvector of B is also the (generalized) eigenvector of A.
+    Some(EigenPair {
+        value: lambda,
+        vector,
+    })
+}
+
+/// The transient behaviour of the autonomous recurrence
+/// `x(k+1) = A ⊗ x(k)` from `x0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transient {
+    /// First iteration from which the trajectory is periodic.
+    pub length: u64,
+    /// Cyclicity `c`: the period of the regime `x(k + c) = (c·λ) ⊗ x(k)`.
+    pub cyclicity: u64,
+    /// Total growth over one period (`c·λ`).
+    pub growth_per_period: i64,
+}
+
+/// Detects when the trajectory of `x(k+1) = A ⊗ x(k)` becomes periodic.
+///
+/// Returns `None` if periodicity is not reached within `max_steps` (e.g.
+/// a trajectory that dies out to `ε` or an extremely long transient).
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `x0.dim() != a.rows()`.
+pub fn transient(a: &Matrix, x0: &Vector, max_steps: u64) -> Option<Transient> {
+    assert!(a.is_square(), "transient requires a square matrix");
+    assert_eq!(a.rows(), x0.dim(), "state dimension mismatch");
+    // Store normalized trajectories: x(k) − x(k)[anchor], keyed for reuse.
+    let mut history: Vec<(Vec<i64>, i64)> = Vec::new();
+    let normalize = |x: &Vector| -> Option<(Vec<i64>, i64)> {
+        let anchor = x.iter().find_map(|e| e.finite())?;
+        let profile = x
+            .iter()
+            .map(|e| e.finite().map(|v| v - anchor).unwrap_or(i64::MIN))
+            .collect();
+        Some((profile, anchor))
+    };
+    let mut x = x0.clone();
+    for k in 0..=max_steps {
+        let (profile, anchor) = normalize(&x)?;
+        if let Some(start) = history.iter().position(|(p, _)| *p == profile) {
+            let cyclicity = k - start as u64;
+            return Some(Transient {
+                length: start as u64,
+                cyclicity,
+                growth_per_period: anchor - history[start].1,
+            });
+        }
+        history.push((profile, anchor));
+        x = a.otimes_vec(&x);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycle() -> Matrix {
+        let mut a = Matrix::epsilon(2, 2);
+        a[(1, 0)] = MaxPlus::new(3);
+        a[(0, 1)] = MaxPlus::new(1);
+        a
+    }
+
+    #[test]
+    fn eigenpair_satisfies_the_eigen_equation() {
+        let a = two_cycle();
+        let pair = eigenpair(&a).unwrap();
+        // λ = 2 with denominator 2 → verify A² ⊗ v = 4 ⊗ v.
+        let q = pair.value.denominator() as u32;
+        let p = pair.value.numerator();
+        let aq = a.otimes_pow(q);
+        let lhs = aq.otimes_vec(&pair.vector);
+        let rhs = pair.vector.otimes_scalar(MaxPlus::new(p));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn integer_eigenvalue_direct_equation() {
+        // Self-loop of weight 5 feeding a chain: λ = 5, v finite.
+        let mut a = Matrix::epsilon(3, 3);
+        a[(0, 0)] = MaxPlus::new(5);
+        a[(1, 0)] = MaxPlus::new(2);
+        a[(2, 1)] = MaxPlus::new(1);
+        let pair = eigenpair(&a).unwrap();
+        assert_eq!(pair.value, CycleMean::new(5, 1));
+        let lhs = a.otimes_vec(&pair.vector);
+        let rhs = pair.vector.otimes_scalar(MaxPlus::new(5));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn acyclic_has_no_eigenpair() {
+        let mut a = Matrix::epsilon(2, 2);
+        a[(1, 0)] = MaxPlus::new(7);
+        assert_eq!(eigenpair(&a), None);
+    }
+
+    #[test]
+    fn transient_of_eigenvector_is_zero() {
+        let a = two_cycle();
+        let pair = eigenpair(&a).unwrap();
+        let t = transient(&a, &pair.vector, 100).unwrap();
+        assert_eq!(t.length, 0);
+        // λ = 2 = 4/2: cyclicity 2, growth 4 (or cyclicity 1 if symmetric).
+        assert_eq!(
+            t.growth_per_period as f64,
+            pair.value.as_f64() * t.cyclicity as f64
+        );
+    }
+
+    #[test]
+    fn transient_from_arbitrary_start() {
+        let a = two_cycle();
+        let x0 = Vector::from_finite(&[100, 0]);
+        let t = transient(&a, &x0, 1_000).unwrap();
+        // Eventually periodic with growth 2 per step on average.
+        assert!(t.length <= 60, "transient {t:?}");
+        assert_eq!(
+            t.growth_per_period,
+            (t.cyclicity as f64 * 2.0) as i64,
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn transient_detects_longer_cyclicity() {
+        // Two disjoint cycles of equal mean but different lengths create
+        // cyclicity > 1 when coupled: 0↔1 (mean 2) and 2→3→4→2 (mean 2).
+        let mut a = Matrix::epsilon(5, 5);
+        a[(1, 0)] = MaxPlus::new(2);
+        a[(0, 1)] = MaxPlus::new(2);
+        a[(3, 2)] = MaxPlus::new(2);
+        a[(4, 3)] = MaxPlus::new(2);
+        a[(2, 4)] = MaxPlus::new(2);
+        let x0 = Vector::from_finite(&[0, 5, 1, 0, 3]);
+        let t = transient(&a, &x0, 1_000).unwrap();
+        assert!(t.cyclicity >= 1);
+        assert_eq!(t.growth_per_period, 2 * t.cyclicity as i64);
+    }
+
+    #[test]
+    fn dead_trajectory_returns_none() {
+        // Nilpotent matrix: the trajectory reaches all-ε and dies.
+        let mut a = Matrix::epsilon(2, 2);
+        a[(1, 0)] = MaxPlus::new(1);
+        let x0 = Vector::new(vec![MaxPlus::new(0), MaxPlus::EPSILON]);
+        // After two steps everything is ε: normalize fails → None.
+        assert_eq!(transient(&a, &x0, 10), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! Kleene star `A* = I ⊕ A ⊕ A² ⊕ …` and the implicit-equation solver.
+//!
+//! Eq. (7) of the paper is *implicit*: `X(k)` appears on both sides through
+//! `A(k,0) ⊗ X(k)`. The standard max-plus result (Baccelli et al. [15],
+//! Theorem 3.17) is that `x = A ⊗ x ⊕ b` has least solution `x = A* ⊗ b`
+//! whenever `A` has no cycle of positive weight — which for a performance
+//! model means the zero-delay dependencies among instants of the same
+//! iteration are causal.
+
+use crate::{Matrix, MaxPlus, Vector};
+
+/// Error returned when `A*` diverges.
+///
+/// A positive-weight cycle in `A` means an instant transitively depends on
+/// itself with a strictly positive lag — a causality violation in the modeled
+/// architecture (e.g. a rendezvous deadlock with nonzero execution times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositiveCycleError {
+    /// A node on the offending cycle.
+    pub node: usize,
+}
+
+impl core::fmt::Display for PositiveCycleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "kleene star diverges: positive-weight cycle through node {}",
+            self.node
+        )
+    }
+}
+
+impl std::error::Error for PositiveCycleError {}
+
+/// Computes the Kleene star `A* = I ⊕ A ⊕ A² ⊕ … ⊕ Aⁿ⁻¹` of a square matrix.
+///
+/// Uses the Floyd–Warshall-style all-pairs longest-path algorithm, which is
+/// `O(n³)` and exact whenever no positive cycle exists.
+///
+/// # Errors
+///
+/// Returns [`PositiveCycleError`] if `A` contains a cycle of strictly
+/// positive weight (the series then diverges).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_maxplus::{star, Matrix, MaxPlus};
+///
+/// // A single arc 0 → 1 with lag 5: A*[1][0] accumulates the path.
+/// let mut a = Matrix::epsilon(2, 2);
+/// a[(1, 0)] = MaxPlus::new(5);
+/// let s = star(&a)?;
+/// assert_eq!(s[(1, 0)], MaxPlus::new(5));
+/// assert_eq!(s[(0, 0)], MaxPlus::E); // identity component
+/// # Ok::<(), evolve_maxplus::PositiveCycleError>(())
+/// ```
+pub fn star(a: &Matrix) -> Result<Matrix, PositiveCycleError> {
+    assert!(a.is_square(), "kleene star requires a square matrix");
+    let n = a.rows();
+    let mut d = a.clone();
+    // Longest paths via intermediate nodes 0..k (max-plus Floyd–Warshall).
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[(i, k)];
+            if dik.is_epsilon() {
+                continue;
+            }
+            for j in 0..n {
+                let relaxed = dik.otimes(d[(k, j)]);
+                if relaxed > d[(i, j)] {
+                    d[(i, j)] = relaxed;
+                }
+            }
+        }
+        // A positive diagonal entry at any point certifies a positive cycle.
+        for i in 0..n {
+            if d[(i, i)] > MaxPlus::E {
+                return Err(PositiveCycleError { node: i });
+            }
+        }
+    }
+    // A* = I ⊕ (longest paths).
+    let mut out = d;
+    for i in 0..n {
+        out[(i, i)] = out[(i, i)].oplus(MaxPlus::E);
+    }
+    Ok(out)
+}
+
+/// Solves the implicit equation `x = A ⊗ x ⊕ b` for its least solution
+/// `x = A* ⊗ b`.
+///
+/// This is how eq. (7) is made explicit before iterating the recurrence.
+///
+/// # Errors
+///
+/// Returns [`PositiveCycleError`] if `A` has a positive-weight cycle.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.dim() != a.rows()`.
+pub fn solve_implicit(a: &Matrix, b: &Vector) -> Result<Vector, PositiveCycleError> {
+    Ok(star(a)?.otimes_vec(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_of_epsilon_is_identity() {
+        let s = star(&Matrix::epsilon(3, 3)).unwrap();
+        assert_eq!(s, Matrix::identity(3));
+    }
+
+    #[test]
+    fn star_accumulates_paths() {
+        // 0 -2-> 1 -3-> 2
+        let mut a = Matrix::epsilon(3, 3);
+        a[(1, 0)] = MaxPlus::new(2);
+        a[(2, 1)] = MaxPlus::new(3);
+        let s = star(&a).unwrap();
+        assert_eq!(s[(2, 0)], MaxPlus::new(5));
+        assert_eq!(s[(1, 0)], MaxPlus::new(2));
+        assert_eq!(s[(0, 2)], MaxPlus::EPSILON);
+    }
+
+    #[test]
+    fn zero_weight_cycle_converges() {
+        // 0 -0-> 1 -0-> 0 : cycle weight e, A* finite.
+        let mut a = Matrix::epsilon(2, 2);
+        a[(1, 0)] = MaxPlus::E;
+        a[(0, 1)] = MaxPlus::E;
+        let s = star(&a).unwrap();
+        assert_eq!(s[(0, 1)], MaxPlus::E);
+        assert_eq!(s[(1, 0)], MaxPlus::E);
+        assert_eq!(s[(0, 0)], MaxPlus::E);
+    }
+
+    #[test]
+    fn positive_cycle_is_detected() {
+        let mut a = Matrix::epsilon(2, 2);
+        a[(1, 0)] = MaxPlus::new(1);
+        a[(0, 1)] = MaxPlus::new(0);
+        let err = star(&a).unwrap_err();
+        assert!(err.node < 2);
+        assert!(err.to_string().contains("positive-weight cycle"));
+    }
+
+    #[test]
+    fn self_loop_positive_detected() {
+        let mut a = Matrix::epsilon(1, 1);
+        a[(0, 0)] = MaxPlus::new(3);
+        assert!(star(&a).is_err());
+    }
+
+    #[test]
+    fn solve_implicit_fixed_point() {
+        // x0 = b0 ; x1 = x0 ⊗ 4 ⊕ b1
+        let mut a = Matrix::epsilon(2, 2);
+        a[(1, 0)] = MaxPlus::new(4);
+        let b = Vector::from_finite(&[10, 2]);
+        let x = solve_implicit(&a, &b).unwrap();
+        assert_eq!(x, Vector::from_finite(&[10, 14]));
+        // Verify the fixed point: x = A⊗x ⊕ b.
+        assert_eq!(a.otimes_vec(&x).oplus(&b), x);
+    }
+
+    #[test]
+    fn star_matches_series_sum_on_acyclic() {
+        let mut a = Matrix::epsilon(4, 4);
+        a[(1, 0)] = MaxPlus::new(1);
+        a[(2, 1)] = MaxPlus::new(2);
+        a[(3, 2)] = MaxPlus::new(3);
+        a[(3, 0)] = MaxPlus::new(4);
+        let s = star(&a).unwrap();
+        // Sum the truncated series I ⊕ A ⊕ A² ⊕ A³ (nilpotent at n=4).
+        let mut series = Matrix::identity(4);
+        for p in 1..4 {
+            series = series.oplus(&a.otimes_pow(p));
+        }
+        assert_eq!(s, series);
+    }
+}

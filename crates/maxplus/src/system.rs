@@ -1,0 +1,543 @@
+//! Max-plus linear recurrences — the paper's eqs. (7)–(10).
+//!
+//! A [`LinearSystem`] describes the evolution instants of a discrete-event
+//! system by
+//!
+//! ```text
+//! X(k) = ⊕_{i=0..=a} A(i) ⊗ X(k−i)  ⊕  ⊕_{j=0..=b} B(j) ⊗ U(k−j)      (9)
+//! Y(k) = ⊕_{l=0..=c} C(l) ⊗ X(k−l)  ⊕  ⊕_{m=0..=d} D(m) ⊗ U(k−m)     (10)
+//! ```
+//!
+//! The `i = 0` term makes eq. (9) implicit; stepping the system first folds
+//! the explicit terms into a vector `b(k)` and then solves
+//! `X(k) = A(0) ⊗ X(k) ⊕ b(k)` as `A(0)* ⊗ b(k)` (see [`crate::star`]).
+
+use crate::{star, Matrix, PositiveCycleError, Vector};
+
+/// Error constructing or stepping a [`LinearSystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// A matrix has a shape inconsistent with the declared dimensions.
+    ShapeMismatch {
+        /// Which coefficient family the offending matrix belongs to.
+        family: &'static str,
+        /// History index of the offending matrix.
+        index: usize,
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Actual `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// The implicit part `A(0)` has a positive-weight cycle.
+    Causality(PositiveCycleError),
+    /// An input vector had the wrong dimension.
+    InputDim {
+        /// Expected input dimension.
+        expected: usize,
+        /// Actual input dimension.
+        actual: usize,
+    },
+}
+
+impl core::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SystemError::ShapeMismatch {
+                family,
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "matrix {family}({index}) has shape {actual:?}, expected {expected:?}"
+            ),
+            SystemError::Causality(e) => write!(f, "implicit part not causal: {e}"),
+            SystemError::InputDim { expected, actual } => {
+                write!(f, "input vector has dimension {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Causality(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PositiveCycleError> for SystemError {
+    fn from(e: PositiveCycleError) -> Self {
+        SystemError::Causality(e)
+    }
+}
+
+/// Builder for [`LinearSystem`]; collects the coefficient matrices of
+/// eqs. (9)–(10).
+///
+/// # Examples
+///
+/// The didactic example's eqs. (1)–(6) with fixed durations; see
+/// [`LinearSystem`] for the full listing.
+#[derive(Debug, Clone)]
+pub struct LinearSystemBuilder {
+    state_dim: usize,
+    input_dim: usize,
+    output_dim: usize,
+    a: Vec<Matrix>,
+    b: Vec<Matrix>,
+    c: Vec<Matrix>,
+    d: Vec<Matrix>,
+}
+
+impl LinearSystemBuilder {
+    /// Starts a builder for a system with the given state (`X`), input (`U`),
+    /// and output (`Y`) dimensions.
+    pub fn new(state_dim: usize, input_dim: usize, output_dim: usize) -> Self {
+        LinearSystemBuilder {
+            state_dim,
+            input_dim,
+            output_dim,
+            a: Vec::new(),
+            b: Vec::new(),
+            c: Vec::new(),
+            d: Vec::new(),
+        }
+    }
+
+    /// Sets `A(i)`, the `state_dim × state_dim` dependency of `X(k)` on
+    /// `X(k−i)`. Histories must be pushed in order `i = 0, 1, …`.
+    #[must_use]
+    pub fn push_a(mut self, a: Matrix) -> Self {
+        self.a.push(a);
+        self
+    }
+
+    /// Sets `B(j)`, the `state_dim × input_dim` dependency of `X(k)` on
+    /// `U(k−j)`, in order `j = 0, 1, …`.
+    #[must_use]
+    pub fn push_b(mut self, b: Matrix) -> Self {
+        self.b.push(b);
+        self
+    }
+
+    /// Sets `C(l)`, the `output_dim × state_dim` dependency of `Y(k)` on
+    /// `X(k−l)`, in order `l = 0, 1, …`.
+    #[must_use]
+    pub fn push_c(mut self, c: Matrix) -> Self {
+        self.c.push(c);
+        self
+    }
+
+    /// Sets `D(m)`, the `output_dim × input_dim` dependency of `Y(k)` on
+    /// `U(k−m)`, in order `m = 0, 1, …`.
+    #[must_use]
+    pub fn push_d(mut self, d: Matrix) -> Self {
+        self.d.push(d);
+        self
+    }
+
+    /// Validates shapes and causality and builds the system.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::ShapeMismatch`] for ill-shaped matrices and
+    /// [`SystemError::Causality`] if `A(0)` has a positive cycle.
+    pub fn build(self) -> Result<LinearSystem, SystemError> {
+        let check = |family: &'static str,
+                     mats: &[Matrix],
+                     expected: (usize, usize)|
+         -> Result<(), SystemError> {
+            for (index, m) in mats.iter().enumerate() {
+                let actual = (m.rows(), m.cols());
+                if actual != expected {
+                    return Err(SystemError::ShapeMismatch {
+                        family,
+                        index,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+            Ok(())
+        };
+        check("A", &self.a, (self.state_dim, self.state_dim))?;
+        check("B", &self.b, (self.state_dim, self.input_dim))?;
+        check("C", &self.c, (self.output_dim, self.state_dim))?;
+        check("D", &self.d, (self.output_dim, self.input_dim))?;
+
+        let a0_star = match self.a.first() {
+            Some(a0) => star(a0)?,
+            None => Matrix::identity(self.state_dim),
+        };
+
+        let state_hist = self.a.len().saturating_sub(1).max(1);
+        let input_hist = self.b.len().saturating_sub(1).max(
+            self.d.len().saturating_sub(1),
+        );
+        Ok(LinearSystem {
+            input_dim: self.input_dim,
+            a: self.a,
+            b: self.b,
+            c: self.c,
+            d: self.d,
+            a0_star,
+            x_history: std::collections::VecDeque::from(vec![
+                Vector::epsilon(self.state_dim);
+                state_hist
+            ]),
+            u_history: std::collections::VecDeque::from(vec![
+                Vector::epsilon(self.input_dim);
+                input_hist
+            ]),
+        })
+    }
+}
+
+/// A max-plus linear system with history, stepped one iteration `k` at a time.
+///
+/// # Examples
+///
+/// A one-state pipeline `x(k) = 3 ⊗ x(k−1) ⊕ 0 ⊗ u(k)`, `y(k) = x(k)`:
+///
+/// ```
+/// use evolve_maxplus::{LinearSystemBuilder, Matrix, MaxPlus, Vector};
+///
+/// let mut a1 = Matrix::epsilon(1, 1);
+/// a1[(0, 0)] = MaxPlus::new(3);
+/// let mut b0 = Matrix::epsilon(1, 1);
+/// b0[(0, 0)] = MaxPlus::E;
+/// let sys = LinearSystemBuilder::new(1, 1, 1)
+///     .push_a(Matrix::epsilon(1, 1)) // A(0): no implicit deps
+///     .push_a(a1)
+///     .push_b(b0)
+///     .push_c(Matrix::identity(1))
+///     .build()?;
+/// let mut sys = sys;
+/// let y0 = sys.step(&Vector::from_finite(&[0]))?;
+/// let y1 = sys.step(&Vector::from_finite(&[1]))?;
+/// assert_eq!(y0[0], MaxPlus::new(0));
+/// assert_eq!(y1[0], MaxPlus::new(3)); // max(1, 0+3)
+/// # Ok::<(), evolve_maxplus::SystemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSystem {
+    input_dim: usize,
+    a: Vec<Matrix>,
+    b: Vec<Matrix>,
+    c: Vec<Matrix>,
+    d: Vec<Matrix>,
+    a0_star: Matrix,
+    /// `x_history[i]` is `X(k−1−i)` relative to the next step `k`.
+    x_history: std::collections::VecDeque<Vector>,
+    /// `u_history[j]` is `U(k−1−j)` relative to the next step `k`.
+    u_history: std::collections::VecDeque<Vector>,
+}
+
+impl LinearSystem {
+    /// Dimension of the state vector `X`.
+    pub fn state_dim(&self) -> usize {
+        self.a0_star.rows()
+    }
+
+    /// Dimension of the input vector `U`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Dimension of the output vector `Y`.
+    pub fn output_dim(&self) -> usize {
+        self.c.first().map_or(0, Matrix::rows)
+    }
+
+    /// Seeds the most recent state history `X(k−1)` (initial condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.dim() != self.state_dim()`.
+    pub fn set_initial_state(&mut self, x: Vector) {
+        assert_eq!(x.dim(), self.state_dim(), "initial state dimension");
+        if let Some(front) = self.x_history.front_mut() {
+            *front = x;
+        }
+    }
+
+    /// The most recently computed state `X(k)` (or the initial condition).
+    pub fn state(&self) -> &Vector {
+        self.x_history.front().expect("history is never empty")
+    }
+
+    /// Advances one iteration: consumes `U(k)`, computes and stores `X(k)`,
+    /// and returns `Y(k)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::InputDim`] if `u` has the wrong dimension.
+    pub fn step(&mut self, u: &Vector) -> Result<Vector, SystemError> {
+        if u.dim() != self.input_dim {
+            return Err(SystemError::InputDim {
+                expected: self.input_dim,
+                actual: u.dim(),
+            });
+        }
+        // Explicit part b(k) = ⊕_{i≥1} A(i)⊗X(k−i) ⊕ ⊕_{j≥0} B(j)⊗U(k−j).
+        let mut rhs = Vector::epsilon(self.state_dim());
+        for (i, ai) in self.a.iter().enumerate().skip(1) {
+            if let Some(x_prev) = self.x_history.get(i - 1) {
+                rhs.oplus_assign(&ai.otimes_vec(x_prev));
+            }
+        }
+        for (j, bj) in self.b.iter().enumerate() {
+            let u_j = if j == 0 {
+                Some(u)
+            } else {
+                self.u_history.get(j - 1)
+            };
+            if let Some(u_j) = u_j {
+                rhs.oplus_assign(&bj.otimes_vec(u_j));
+            }
+        }
+        // X(k) = A(0)* ⊗ b(k).
+        let x = self.a0_star.otimes_vec(&rhs);
+
+        // Y(k) = ⊕ C(l)⊗X(k−l) ⊕ ⊕ D(m)⊗U(k−m).
+        let mut y = Vector::epsilon(self.output_dim());
+        for (l, cl) in self.c.iter().enumerate() {
+            let x_l = if l == 0 {
+                Some(&x)
+            } else {
+                self.x_history.get(l - 1)
+            };
+            if let Some(x_l) = x_l {
+                y.oplus_assign(&cl.otimes_vec(x_l));
+            }
+        }
+        for (m, dm) in self.d.iter().enumerate() {
+            let u_m = if m == 0 {
+                Some(u)
+            } else {
+                self.u_history.get(m - 1)
+            };
+            if let Some(u_m) = u_m {
+                y.oplus_assign(&dm.otimes_vec(u_m));
+            }
+        }
+
+        // Shift histories.
+        self.x_history.push_front(x);
+        self.x_history.pop_back();
+        if !self.u_history.is_empty() {
+            self.u_history.push_front(u.clone());
+            self.u_history.pop_back();
+        }
+        Ok(y)
+    }
+
+    /// Runs the system over an input sequence, returning all outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SystemError`] from [`LinearSystem::step`].
+    pub fn run<'a, I>(&mut self, inputs: I) -> Result<Vec<Vector>, SystemError>
+    where
+        I: IntoIterator<Item = &'a Vector>,
+    {
+        inputs.into_iter().map(|u| self.step(u)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MaxPlus;
+
+    /// The didactic example of the paper, eqs. (1)–(6), with fixed durations.
+    ///
+    /// State layout: X = [xM1, xM2, xM3, xM4, xM5, xM6].
+    fn didactic(ti1: i64, tj1: i64, ti2: i64, ti3: i64, tj3: i64, ti4: i64) -> LinearSystem {
+        let dim = 6;
+        let mut a0 = Matrix::epsilon(dim, dim);
+        // (2) xM2 = xM1 ⊗ Ti1 ⊕ xM5(k−1)
+        a0[(1, 0)] = MaxPlus::new(ti1);
+        // (3) xM3 = xM2 ⊗ Tj1 ⊕ xM4(k−1)
+        a0[(2, 1)] = MaxPlus::new(tj1);
+        // (4) xM4 = xM3 ⊗ Ti2 ⊕ xM2 ⊗ Ti3 ⊕ xM5(k−1)
+        a0[(3, 2)] = MaxPlus::new(ti2);
+        a0[(3, 1)] = MaxPlus::new(ti3);
+        // (5) xM5 = xM4 ⊗ Tj3 ⊕ xM6(k−1)
+        a0[(4, 3)] = MaxPlus::new(tj3);
+        // (6) xM6 = xM5 ⊗ Ti4
+        a0[(5, 4)] = MaxPlus::new(ti4);
+
+        let mut a1 = Matrix::epsilon(dim, dim);
+        // (1) xM1 = u ⊕ xM4(k−1)
+        a1[(0, 3)] = MaxPlus::E;
+        // (2) … ⊕ xM5(k−1)
+        a1[(1, 4)] = MaxPlus::E;
+        // (3) … ⊕ xM4(k−1)
+        a1[(2, 3)] = MaxPlus::E;
+        // (4) … ⊕ xM5(k−1)
+        a1[(3, 4)] = MaxPlus::E;
+        // (5) … ⊕ xM6(k−1)
+        a1[(4, 5)] = MaxPlus::E;
+
+        let mut b0 = Matrix::epsilon(dim, 1);
+        b0[(0, 0)] = MaxPlus::E;
+
+        let mut c0 = Matrix::epsilon(1, dim);
+        c0[(0, 5)] = MaxPlus::E;
+
+        LinearSystemBuilder::new(dim, 1, 1)
+            .push_a(a0)
+            .push_a(a1)
+            .push_b(b0)
+            .push_c(c0)
+            .build()
+            .expect("didactic system is well-formed")
+    }
+
+    #[test]
+    fn didactic_first_iteration_is_the_critical_path() {
+        // With all history at ε, X(0) follows the pure chain from u(0)=0.
+        let mut sys = didactic(10, 20, 30, 40, 50, 60);
+        let y0 = sys.step(&Vector::from_finite(&[0])).unwrap();
+        let x = sys.state().clone();
+        assert_eq!(x[0], MaxPlus::new(0)); // xM1
+        assert_eq!(x[1], MaxPlus::new(10)); // xM2 = 0+10
+        assert_eq!(x[2], MaxPlus::new(30)); // xM3 = 10+20
+        // xM4 = max(30+30, 10+40) = 60
+        assert_eq!(x[3], MaxPlus::new(60));
+        assert_eq!(x[4], MaxPlus::new(110)); // xM5 = 60+50
+        assert_eq!(x[5], MaxPlus::new(170)); // xM6 = 110+60
+        assert_eq!(y0[0], MaxPlus::new(170));
+    }
+
+    #[test]
+    fn didactic_second_iteration_synchronizes_on_history() {
+        let mut sys = didactic(10, 20, 30, 40, 50, 60);
+        let _ = sys.step(&Vector::from_finite(&[0])).unwrap();
+        // u(1) arrives early (t=1): xM1(1) = max(1, xM4(0)=60) = 60.
+        let y1 = sys.step(&Vector::from_finite(&[1])).unwrap();
+        let x = sys.state().clone();
+        assert_eq!(x[0], MaxPlus::new(60));
+        // xM2(1) = max(60+10, xM5(0)=110) = 110
+        assert_eq!(x[1], MaxPlus::new(110));
+        // xM3(1) = max(110+20, xM4(0)=60) = 130
+        assert_eq!(x[2], MaxPlus::new(130));
+        // xM4(1) = max(130+30, 110+40, 110) = 160
+        assert_eq!(x[3], MaxPlus::new(160));
+        // xM5(1) = max(160+50, xM6(0)=170) = 210
+        assert_eq!(x[4], MaxPlus::new(210));
+        // xM6(1) = 210+60 = 270
+        assert_eq!(y1[0], MaxPlus::new(270));
+    }
+
+    #[test]
+    fn didactic_steady_state_period_is_cycle_time() {
+        // With u(k) arriving very early, the period settles to the critical
+        // cycle of the recurrence.
+        let mut sys = didactic(10, 20, 30, 40, 50, 60);
+        let mut prev = 0i64;
+        let mut periods = Vec::new();
+        for k in 0..20 {
+            let y = sys.step(&Vector::from_finite(&[k])).unwrap();
+            let t = y[0].finite().unwrap();
+            if k > 0 {
+                periods.push(t - prev);
+            }
+            prev = t;
+        }
+        // Steady state: constant period equal to the max cycle mean of the
+        // combined one-step matrix A(0)* ⊗ A(1) (system eigenvalue).
+        let last = *periods.last().unwrap();
+        assert!(periods.iter().rev().take(5).all(|&p| p == last));
+        let sys2 = didactic(10, 20, 30, 40, 50, 60);
+        let combined = crate::star(&{
+            // Rebuild A(0) as in `didactic`.
+            let mut a0 = Matrix::epsilon(6, 6);
+            a0[(1, 0)] = MaxPlus::new(10);
+            a0[(2, 1)] = MaxPlus::new(20);
+            a0[(3, 2)] = MaxPlus::new(30);
+            a0[(3, 1)] = MaxPlus::new(40);
+            a0[(4, 3)] = MaxPlus::new(50);
+            a0[(5, 4)] = MaxPlus::new(60);
+            a0
+        })
+        .unwrap()
+        .otimes(&{
+            let mut a1 = Matrix::epsilon(6, 6);
+            a1[(0, 3)] = MaxPlus::E;
+            a1[(1, 4)] = MaxPlus::E;
+            a1[(2, 3)] = MaxPlus::E;
+            a1[(3, 4)] = MaxPlus::E;
+            a1[(4, 5)] = MaxPlus::E;
+            a1
+        });
+        let mean = crate::max_cycle_mean(&combined).expect("system has a cycle");
+        assert_eq!(mean.denominator(), 1, "integer period expected");
+        assert_eq!(last, mean.numerator());
+        drop(sys2);
+    }
+
+    #[test]
+    fn input_dim_checked() {
+        let mut sys = didactic(1, 1, 1, 1, 1, 1);
+        let err = sys.step(&Vector::from_finite(&[0, 0])).unwrap_err();
+        assert_eq!(
+            err,
+            SystemError::InputDim {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_shapes() {
+        let err = LinearSystemBuilder::new(2, 1, 1)
+            .push_a(Matrix::epsilon(3, 2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SystemError::ShapeMismatch { family: "A", .. }));
+        assert!(err.to_string().contains("A(0)"));
+    }
+
+    #[test]
+    fn builder_rejects_noncausal_implicit_part() {
+        let mut a0 = Matrix::epsilon(2, 2);
+        a0[(0, 1)] = MaxPlus::new(1);
+        a0[(1, 0)] = MaxPlus::new(1);
+        let err = LinearSystemBuilder::new(2, 0, 0).push_a(a0).build().unwrap_err();
+        assert!(matches!(err, SystemError::Causality(_)));
+    }
+
+    #[test]
+    fn initial_state_is_used() {
+        // x(k) = 5 ⊗ x(k−1), no inputs, y = x.
+        let mut a1 = Matrix::epsilon(1, 1);
+        a1[(0, 0)] = MaxPlus::new(5);
+        let mut sys = LinearSystemBuilder::new(1, 0, 1)
+            .push_a(Matrix::epsilon(1, 1))
+            .push_a(a1)
+            .push_c(Matrix::identity(1))
+            .build()
+            .unwrap();
+        sys.set_initial_state(Vector::from_finite(&[100]));
+        let y = sys.step(&Vector::epsilon(0)).unwrap();
+        assert_eq!(y[0], MaxPlus::new(105));
+    }
+
+    #[test]
+    fn run_collects_outputs() {
+        let mut sys = didactic(1, 1, 1, 1, 1, 1);
+        let inputs: Vec<Vector> = (0..5).map(|k| Vector::from_finite(&[k])).collect();
+        let ys = sys.run(&inputs).unwrap();
+        assert_eq!(ys.len(), 5);
+        // Outputs are non-decreasing (monotonicity of max-plus systems).
+        for w in ys.windows(2) {
+            assert!(w[0][0] <= w[1][0]);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Column vectors over the (max,+) semiring.
+//!
+//! In the paper's notation, `U(k)`, `X(k)`, and `Y(k)` — the input,
+//! intermediate, and output evolution-instant vectors of eqs. (7)–(10) — are
+//! values of this type.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+use crate::MaxPlus;
+
+/// A dense column vector of [`MaxPlus`] elements.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_maxplus::{MaxPlus, Vector};
+///
+/// let u = Vector::from_finite(&[0, 5, 3]);
+/// let v = Vector::epsilon(3);
+/// assert_eq!(u.oplus(&v), u); // ε-vector is the ⊕ identity
+/// assert_eq!(u.max_element(), MaxPlus::new(5));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Vector {
+    elems: Vec<MaxPlus>,
+}
+
+impl Vector {
+    /// Creates a vector from its elements.
+    pub fn new(elems: Vec<MaxPlus>) -> Self {
+        Vector { elems }
+    }
+
+    /// Creates an all-`ε` vector of dimension `dim`.
+    pub fn epsilon(dim: usize) -> Self {
+        Vector {
+            elems: vec![MaxPlus::EPSILON; dim],
+        }
+    }
+
+    /// Creates an all-`e` (zero) vector of dimension `dim`.
+    pub fn e(dim: usize) -> Self {
+        Vector {
+            elems: vec![MaxPlus::E; dim],
+        }
+    }
+
+    /// Creates a vector of finite elements from plain integers.
+    pub fn from_finite(values: &[i64]) -> Self {
+        Vector {
+            elems: values.iter().map(|&v| MaxPlus::new(v)).collect(),
+        }
+    }
+
+    /// The dimension (number of elements).
+    pub fn dim(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Returns `true` when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Element access without panicking.
+    pub fn get(&self, i: usize) -> Option<MaxPlus> {
+        self.elems.get(i).copied()
+    }
+
+    /// The underlying elements.
+    pub fn as_slice(&self) -> &[MaxPlus] {
+        &self.elems
+    }
+
+    /// Mutable access to the underlying elements.
+    pub fn as_mut_slice(&mut self) -> &mut [MaxPlus] {
+        &mut self.elems
+    }
+
+    /// Consumes the vector, returning its elements.
+    pub fn into_inner(self) -> Vec<MaxPlus> {
+        self.elems
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> core::slice::Iter<'_, MaxPlus> {
+        self.elems.iter()
+    }
+
+    /// Element-wise `⊕` (max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn oplus(&self, rhs: &Vector) -> Vector {
+        assert_eq!(self.dim(), rhs.dim(), "vector dimension mismatch");
+        Vector {
+            elems: self
+                .elems
+                .iter()
+                .zip(&rhs.elems)
+                .map(|(&a, &b)| a.oplus(b))
+                .collect(),
+        }
+    }
+
+    /// In-place element-wise `⊕` (max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn oplus_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.dim(), rhs.dim(), "vector dimension mismatch");
+        for (a, &b) in self.elems.iter_mut().zip(&rhs.elems) {
+            *a = a.oplus(b);
+        }
+    }
+
+    /// Scales every element by `⊗ scalar` (shifts all instants by a lag).
+    #[must_use]
+    pub fn otimes_scalar(&self, scalar: MaxPlus) -> Vector {
+        Vector {
+            elems: self.elems.iter().map(|&a| a.otimes(scalar)).collect(),
+        }
+    }
+
+    /// The largest element (`ε` for the empty vector): the completion instant
+    /// of a full synchronization over all components.
+    pub fn max_element(&self) -> MaxPlus {
+        self.elems.iter().copied().sum()
+    }
+
+    /// Returns `true` when every element is `ε`.
+    pub fn is_all_epsilon(&self) -> bool {
+        self.elems.iter().all(|e| e.is_epsilon())
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = MaxPlus;
+    fn index(&self, i: usize) -> &MaxPlus {
+        &self.elems[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut MaxPlus {
+        &mut self.elems[i]
+    }
+}
+
+impl FromIterator<MaxPlus> for Vector {
+    fn from_iter<I: IntoIterator<Item = MaxPlus>>(iter: I) -> Self {
+        Vector {
+            elems: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<MaxPlus> for Vector {
+    fn extend<I: IntoIterator<Item = MaxPlus>>(&mut self, iter: I) {
+        self.elems.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a MaxPlus;
+    type IntoIter = core::slice::Iter<'a, MaxPlus>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl IntoIterator for Vector {
+    type Item = MaxPlus;
+    type IntoIter = std::vec::IntoIter<MaxPlus>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector")?;
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(Vector::epsilon(3).is_all_epsilon());
+        assert_eq!(Vector::e(2).as_slice(), &[MaxPlus::E, MaxPlus::E]);
+        assert_eq!(Vector::from_finite(&[1, 2]).dim(), 2);
+        assert!(Vector::epsilon(0).is_empty());
+    }
+
+    #[test]
+    fn oplus_elementwise() {
+        let a = Vector::from_finite(&[1, 9]);
+        let b = Vector::from_finite(&[5, 2]);
+        assert_eq!(a.oplus(&b), Vector::from_finite(&[5, 9]));
+        let mut c = a.clone();
+        c.oplus_assign(&b);
+        assert_eq!(c, Vector::from_finite(&[5, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn oplus_checks_dims() {
+        let _ = Vector::epsilon(2).oplus(&Vector::epsilon(3));
+    }
+
+    #[test]
+    fn scalar_scaling_shifts() {
+        let a = Vector::from_finite(&[1, 2]);
+        assert_eq!(
+            a.otimes_scalar(MaxPlus::new(10)),
+            Vector::from_finite(&[11, 12])
+        );
+        assert!(a.otimes_scalar(MaxPlus::EPSILON).is_all_epsilon());
+    }
+
+    #[test]
+    fn max_element_and_empty() {
+        assert_eq!(
+            Vector::from_finite(&[3, 8, 1]).max_element(),
+            MaxPlus::new(8)
+        );
+        assert_eq!(Vector::epsilon(0).max_element(), MaxPlus::EPSILON);
+    }
+
+    #[test]
+    fn indexing_and_iter() {
+        let mut v = Vector::from_finite(&[4, 5]);
+        v[0] = MaxPlus::new(6);
+        assert_eq!(v[0], MaxPlus::new(6));
+        assert_eq!(v.get(9), None);
+        let collected: Vector = v.iter().copied().collect();
+        assert_eq!(collected, v);
+    }
+
+    #[test]
+    fn display() {
+        let v = Vector::new(vec![MaxPlus::new(1), MaxPlus::EPSILON]);
+        assert_eq!(v.to_string(), "[1, ε]");
+    }
+}

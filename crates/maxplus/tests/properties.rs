@@ -1,0 +1,173 @@
+//! Property-based tests of the (max,+) semiring laws and derived structures.
+
+use evolve_maxplus::{max_cycle_mean, solve_implicit, star, Matrix, MaxPlus, Vector};
+use proptest::prelude::*;
+
+/// Bounded scalars so that `⊗` chains never saturate during tests.
+fn scalar() -> impl Strategy<Value = MaxPlus> {
+    prop_oneof![
+        9 => (-1_000_000i64..1_000_000).prop_map(MaxPlus::new),
+        1 => Just(MaxPlus::EPSILON),
+    ]
+}
+
+fn vector(dim: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(scalar(), dim).prop_map(Vector::new)
+}
+
+fn matrix(dim: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(scalar(), dim * dim).prop_map(move |elems| {
+        let mut m = Matrix::epsilon(dim, dim);
+        for (idx, e) in elems.into_iter().enumerate() {
+            m[(idx / dim, idx % dim)] = e;
+        }
+        m
+    })
+}
+
+/// Strictly lower-triangular matrices: always acyclic, so `A*` converges.
+fn acyclic_matrix(dim: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(scalar(), dim * dim).prop_map(move |elems| {
+        let mut m = Matrix::epsilon(dim, dim);
+        for (idx, e) in elems.into_iter().enumerate() {
+            let (r, c) = (idx / dim, idx % dim);
+            if r > c {
+                m[(r, c)] = e;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn oplus_commutative(a in scalar(), b in scalar()) {
+        prop_assert_eq!(a.oplus(b), b.oplus(a));
+    }
+
+    #[test]
+    fn oplus_associative(a in scalar(), b in scalar(), c in scalar()) {
+        prop_assert_eq!(a.oplus(b).oplus(c), a.oplus(b.oplus(c)));
+    }
+
+    #[test]
+    fn oplus_idempotent(a in scalar()) {
+        prop_assert_eq!(a.oplus(a), a);
+    }
+
+    #[test]
+    fn otimes_commutative(a in scalar(), b in scalar()) {
+        prop_assert_eq!(a.otimes(b), b.otimes(a));
+    }
+
+    #[test]
+    fn otimes_associative(a in scalar(), b in scalar(), c in scalar()) {
+        prop_assert_eq!(a.otimes(b).otimes(c), a.otimes(b.otimes(c)));
+    }
+
+    #[test]
+    fn otimes_distributes_over_oplus(a in scalar(), b in scalar(), c in scalar()) {
+        prop_assert_eq!(a.otimes(b.oplus(c)), a.otimes(b).oplus(a.otimes(c)));
+    }
+
+    #[test]
+    fn identities(a in scalar()) {
+        prop_assert_eq!(a.oplus(MaxPlus::EPSILON), a);
+        prop_assert_eq!(a.otimes(MaxPlus::E), a);
+        prop_assert_eq!(a.otimes(MaxPlus::EPSILON), MaxPlus::EPSILON);
+    }
+
+    #[test]
+    fn oplus_is_order_join(a in scalar(), b in scalar()) {
+        let j = a.oplus(b);
+        prop_assert!(j >= a && j >= b);
+        prop_assert!(j == a || j == b);
+    }
+
+    #[test]
+    fn matrix_mul_associative(a in matrix(3), b in matrix(3), c in matrix(3)) {
+        prop_assert_eq!(a.otimes(&b).otimes(&c), a.otimes(&b.otimes(&c)));
+    }
+
+    #[test]
+    fn matrix_mul_distributes(a in matrix(3), b in matrix(3), c in matrix(3)) {
+        prop_assert_eq!(
+            a.otimes(&b.oplus(&c)),
+            a.otimes(&b).oplus(&a.otimes(&c))
+        );
+    }
+
+    #[test]
+    fn matvec_consistent_with_matmul(a in matrix(3), x in vector(3)) {
+        // A ⊗ x as a 3x1 matrix product equals otimes_vec.
+        let mut xm = Matrix::epsilon(3, 1);
+        for i in 0..3 {
+            xm[(i, 0)] = x[i];
+        }
+        let prod = a.otimes(&xm);
+        let v = a.otimes_vec(&x);
+        for i in 0..3 {
+            prop_assert_eq!(prod[(i, 0)], v[i]);
+        }
+    }
+
+    #[test]
+    fn matvec_monotone(a in matrix(3), x in vector(3), y in vector(3)) {
+        // Max-plus maps are monotone: x ≤ y (pointwise) ⇒ Ax ≤ Ay.
+        let join = x.oplus(&y);
+        let ax = a.otimes_vec(&x);
+        let ajoin = a.otimes_vec(&join);
+        for i in 0..3 {
+            prop_assert!(ax[i] <= ajoin[i]);
+        }
+    }
+
+    #[test]
+    fn star_is_fixed_point_on_acyclic(a in acyclic_matrix(4), b in vector(4)) {
+        let x = solve_implicit(&a, &b).expect("acyclic matrices converge");
+        // x = A ⊗ x ⊕ b must hold exactly.
+        prop_assert_eq!(a.otimes_vec(&x).oplus(&b), x);
+    }
+
+    #[test]
+    fn star_idempotent_on_acyclic(a in acyclic_matrix(4)) {
+        let s = star(&a).expect("acyclic");
+        // (A*)* = A* and A* ⊗ A* = A*.
+        prop_assert_eq!(star(&s).expect("star of star"), s.clone());
+        prop_assert_eq!(s.otimes(&s), s);
+    }
+
+    #[test]
+    fn star_least_solution(a in acyclic_matrix(3), b in vector(3)) {
+        // Any one extra ⊕-relaxation of the fixed point changes nothing.
+        let x = solve_implicit(&a, &b).expect("acyclic");
+        let relaxed = a.otimes_vec(&x).oplus(&b);
+        prop_assert_eq!(relaxed, x);
+    }
+
+    #[test]
+    fn cycle_mean_bounds_growth(a in matrix(3)) {
+        // If a cycle exists, the autonomous growth from the e vector over n
+        // steps never exceeds n * mean + constant (weak sanity bound).
+        if let Some(mean) = max_cycle_mean(&a) {
+            let mut x = Vector::e(3);
+            for _ in 0..12 {
+                x = a.otimes_vec(&x);
+            }
+            if let Some(max) = x.max_element().finite() {
+                // A length-12 path decomposes into cycles plus a simple path
+                // of at most n−1 = 2 arcs: weight ≤ 12·mean + s·(wmax − mean)
+                // with s ≤ 2 and wmax the heaviest arc (wmax ≥ mean always).
+                let wmax = a
+                    .finite_entries()
+                    .map(|(_, _, w)| w.finite().expect("finite entry"))
+                    .max()
+                    .unwrap_or(0);
+                let bound = (12.0 * mean.as_f64()).ceil() as i64
+                    + 2 * (wmax - mean.as_f64().floor() as i64).max(0)
+                    + 1;
+                prop_assert!(max <= bound, "max {max} > bound {bound}");
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Application model: functions, behaviours, and relations.
+//!
+//! An application is modeled exactly as in the paper's Fig. 1: a set of
+//! functions, each an infinite loop over the primitives `read`, `execute`,
+//! and `write`, connected by relations (`M1`, `M2`, …). Relations crossing
+//! the application boundary (no internal producer or consumer) connect to
+//! the simulated environment.
+
+use crate::ids::{FunctionId, RelationId};
+use crate::token::SizeModel;
+use crate::workload::LoadModel;
+use crate::ModelError;
+
+/// One statement of a function behaviour — the paper's primitive set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Blocking read of one token from a relation (`read(Mi, token)`).
+    Read(RelationId),
+    /// Computation on the mapped resource (`execute(token)`); the load may
+    /// depend on the size of the last token read this iteration.
+    Execute(LoadModel),
+    /// Blocking write of one token to a relation (`write(Mi, token)`).
+    Write(RelationId),
+}
+
+/// A function behaviour: the loop body executed forever (`while(1) { … }`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Behavior {
+    stmts: Vec<Stmt>,
+}
+
+impl Behavior {
+    /// Creates an empty behaviour; chain [`Behavior::read`],
+    /// [`Behavior::execute`], [`Behavior::write`] to fill the loop body.
+    pub fn new() -> Self {
+        Behavior::default()
+    }
+
+    /// Appends a blocking read from `relation`.
+    #[must_use]
+    pub fn read(mut self, relation: RelationId) -> Self {
+        self.stmts.push(Stmt::Read(relation));
+        self
+    }
+
+    /// Appends an execute with the given load model.
+    #[must_use]
+    pub fn execute(mut self, load: LoadModel) -> Self {
+        self.stmts.push(Stmt::Execute(load));
+        self
+    }
+
+    /// Appends a blocking write to `relation`.
+    #[must_use]
+    pub fn write(mut self, relation: RelationId) -> Self {
+        self.stmts.push(Stmt::Write(relation));
+        self
+    }
+
+    /// The loop-body statements in program order.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Indices of the `Execute` statements, in program order.
+    pub fn execute_indices(&self) -> Vec<usize> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Stmt::Execute(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Returns `true` when the behaviour has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// How a relation synchronizes its producer and consumer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelationKind {
+    /// Rendezvous: both parties block until the exchange (paper footnote 1).
+    Rendezvous,
+    /// Bounded FIFO of the given capacity (paper Section III.B extension).
+    Fifo(usize),
+}
+
+/// A typed point-to-point relation between two functions (or the
+/// environment at the application boundary).
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// Diagnostic name (`"M1"`, …).
+    pub name: String,
+    /// Synchronization protocol.
+    pub kind: RelationKind,
+    /// Producing function; `None` for an external input.
+    pub producer: Option<FunctionId>,
+    /// Consuming function; `None` for an external output.
+    pub consumer: Option<FunctionId>,
+}
+
+/// An application function.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Diagnostic name (`"F1"`, …).
+    pub name: String,
+    /// The loop body.
+    pub behavior: Behavior,
+    /// Size transformation applied to forwarded tokens.
+    pub size_model: SizeModel,
+}
+
+/// The application model: functions plus relations.
+///
+/// Build with [`Application::new`] and the `add_*` methods, then seal with
+/// [`Application::validate`] (also called by the architecture builder).
+///
+/// # Examples
+///
+/// A two-function pipeline:
+///
+/// ```
+/// use evolve_model::{Application, Behavior, LoadModel, RelationKind};
+///
+/// # fn main() -> Result<(), evolve_model::ModelError> {
+/// let mut app = Application::new();
+/// let input = app.add_input("in", RelationKind::Rendezvous);
+/// let mid = app.add_relation("mid", RelationKind::Rendezvous);
+/// let output = app.add_output("out", RelationKind::Rendezvous);
+/// app.add_function(
+///     "F1",
+///     Behavior::new()
+///         .read(input)
+///         .execute(LoadModel::Constant(100))
+///         .write(mid),
+/// );
+/// app.add_function(
+///     "F2",
+///     Behavior::new()
+///         .read(mid)
+///         .execute(LoadModel::Constant(50))
+///         .write(output),
+/// );
+/// app.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Application {
+    functions: Vec<Function>,
+    relations: Vec<Relation>,
+}
+
+impl Application {
+    /// Creates an empty application.
+    pub fn new() -> Self {
+        Application::default()
+    }
+
+    /// Adds an internal relation (producer and consumer are bound when
+    /// functions referencing it are added).
+    pub fn add_relation(&mut self, name: impl Into<String>, kind: RelationKind) -> RelationId {
+        let id = RelationId(self.relations.len());
+        self.relations.push(Relation {
+            name: name.into(),
+            kind,
+            producer: None,
+            consumer: None,
+        });
+        id
+    }
+
+    /// Adds an external-input relation: the environment produces, an
+    /// application function consumes.
+    pub fn add_input(&mut self, name: impl Into<String>, kind: RelationKind) -> RelationId {
+        self.add_relation(name, kind)
+    }
+
+    /// Adds an external-output relation: an application function produces,
+    /// the environment consumes.
+    pub fn add_output(&mut self, name: impl Into<String>, kind: RelationKind) -> RelationId {
+        self.add_relation(name, kind)
+    }
+
+    /// Adds a function with the default (forwarding) size model.
+    pub fn add_function(&mut self, name: impl Into<String>, behavior: Behavior) -> FunctionId {
+        self.add_function_with_size(name, behavior, SizeModel::Same)
+    }
+
+    /// Adds a function with an explicit size transformation.
+    pub fn add_function_with_size(
+        &mut self,
+        name: impl Into<String>,
+        behavior: Behavior,
+        size_model: SizeModel,
+    ) -> FunctionId {
+        let id = FunctionId(self.functions.len());
+        self.functions.push(Function {
+            name: name.into(),
+            behavior,
+            size_model,
+        });
+        id
+    }
+
+    /// The functions, indexed by [`FunctionId`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The relations, indexed by [`RelationId`].
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// A function by id.
+    pub fn function(&self, id: FunctionId) -> &Function {
+        &self.functions[id.0]
+    }
+
+    /// A relation by id.
+    pub fn relation(&self, id: RelationId) -> &Relation {
+        &self.relations[id.0]
+    }
+
+    /// Relations with no internal producer (external inputs), in id order.
+    pub fn external_inputs(&self) -> Vec<RelationId> {
+        self.relations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.producer.is_none() && r.consumer.is_some())
+            .map(|(i, _)| RelationId(i))
+            .collect()
+    }
+
+    /// Relations with no internal consumer (external outputs), in id order.
+    pub fn external_outputs(&self) -> Vec<RelationId> {
+        self.relations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.consumer.is_none() && r.producer.is_some())
+            .map(|(i, _)| RelationId(i))
+            .collect()
+    }
+
+    /// Binds producers/consumers from behaviours and checks structural
+    /// invariants: every relation has exactly one producer and one consumer
+    /// side (internal function or environment), every referenced relation
+    /// exists, and no function has an empty behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found as a [`ModelError`].
+    pub fn validate(&mut self) -> Result<(), ModelError> {
+        // Reset bindings so validate is idempotent.
+        for r in &mut self.relations {
+            r.producer = None;
+            r.consumer = None;
+        }
+        for (fidx, function) in self.functions.iter().enumerate() {
+            let fid = FunctionId(fidx);
+            if function.behavior.is_empty() {
+                return Err(ModelError::EmptyBehavior {
+                    function: function.name.clone(),
+                });
+            }
+            for stmt in function.behavior.stmts() {
+                match stmt {
+                    Stmt::Read(rel) => {
+                        let relation = self.relations.get_mut(rel.0).ok_or(
+                            ModelError::UnknownRelation {
+                                relation: *rel,
+                                function: function.name.clone(),
+                            },
+                        )?;
+                        if let Some(existing) = relation.consumer {
+                            if existing != fid {
+                                return Err(ModelError::MultipleConsumers {
+                                    relation: relation.name.clone(),
+                                });
+                            }
+                        }
+                        relation.consumer = Some(fid);
+                    }
+                    Stmt::Write(rel) => {
+                        let relation = self.relations.get_mut(rel.0).ok_or(
+                            ModelError::UnknownRelation {
+                                relation: *rel,
+                                function: function.name.clone(),
+                            },
+                        )?;
+                        if let Some(existing) = relation.producer {
+                            if existing != fid {
+                                return Err(ModelError::MultipleProducers {
+                                    relation: relation.name.clone(),
+                                });
+                            }
+                        }
+                        relation.producer = Some(fid);
+                    }
+                    Stmt::Execute(_) => {}
+                }
+            }
+        }
+        for relation in &self.relations {
+            if relation.producer.is_none() && relation.consumer.is_none() {
+                return Err(ModelError::DanglingRelation {
+                    relation: relation.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> (Application, RelationId, RelationId, RelationId) {
+        let mut app = Application::new();
+        let input = app.add_input("in", RelationKind::Rendezvous);
+        let mid = app.add_relation("mid", RelationKind::Fifo(2));
+        let output = app.add_output("out", RelationKind::Rendezvous);
+        app.add_function(
+            "F1",
+            Behavior::new()
+                .read(input)
+                .execute(LoadModel::Constant(1))
+                .write(mid),
+        );
+        app.add_function(
+            "F2",
+            Behavior::new()
+                .read(mid)
+                .execute(LoadModel::Constant(1))
+                .write(output),
+        );
+        (app, input, mid, output)
+    }
+
+    #[test]
+    fn validate_binds_endpoints() {
+        let (mut app, input, mid, output) = pipeline();
+        app.validate().unwrap();
+        assert_eq!(app.relation(input).consumer, Some(FunctionId(0)));
+        assert_eq!(app.relation(input).producer, None);
+        assert_eq!(app.relation(mid).producer, Some(FunctionId(0)));
+        assert_eq!(app.relation(mid).consumer, Some(FunctionId(1)));
+        assert_eq!(app.relation(output).producer, Some(FunctionId(1)));
+        assert_eq!(app.external_inputs(), vec![input]);
+        assert_eq!(app.external_outputs(), vec![output]);
+    }
+
+    #[test]
+    fn validate_is_idempotent() {
+        let (mut app, ..) = pipeline();
+        app.validate().unwrap();
+        app.validate().unwrap();
+        assert_eq!(app.external_inputs().len(), 1);
+    }
+
+    #[test]
+    fn multiple_consumers_rejected() {
+        let (mut app, input, ..) = pipeline();
+        app.add_function("F3", Behavior::new().read(input));
+        let err = app.validate().unwrap_err();
+        assert!(matches!(err, ModelError::MultipleConsumers { .. }));
+    }
+
+    #[test]
+    fn multiple_producers_rejected() {
+        let (mut app, _, mid, _) = pipeline();
+        app.add_function("F3", Behavior::new().write(mid));
+        let err = app.validate().unwrap_err();
+        assert!(matches!(err, ModelError::MultipleProducers { .. }));
+    }
+
+    #[test]
+    fn empty_behavior_rejected() {
+        let mut app = Application::new();
+        app.add_function("F1", Behavior::new());
+        assert!(matches!(
+            app.validate().unwrap_err(),
+            ModelError::EmptyBehavior { .. }
+        ));
+    }
+
+    #[test]
+    fn dangling_relation_rejected() {
+        let mut app = Application::new();
+        let _unused = app.add_relation("m", RelationKind::Rendezvous);
+        app.add_function(
+            "F1",
+            Behavior::new().execute(LoadModel::Constant(1)),
+        );
+        assert!(matches!(
+            app.validate().unwrap_err(),
+            ModelError::DanglingRelation { .. }
+        ));
+    }
+
+    #[test]
+    fn execute_indices() {
+        let b = Behavior::new()
+            .read(RelationId(0))
+            .execute(LoadModel::Constant(1))
+            .write(RelationId(1))
+            .execute(LoadModel::Constant(2));
+        assert_eq!(b.execute_indices(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,249 @@
+//! The paper's didactic example (Fig. 1) and its chained variants.
+//!
+//! Five functions (`F0` is the environment source), two processing
+//! resources:
+//!
+//! ```text
+//! F1: while(1){ read(M1); execute(Ti1); write(M2); execute(Tj1); write(M3); }
+//! F2: while(1){ read(M2); execute(Ti3); read(M4); execute(Tj3); write(M5); }
+//! F3: while(1){ read(M3); execute(Ti2); write(M4); }
+//! F4: while(1){ read(M5); execute(Ti4); write(M6); }
+//! ```
+//!
+//! `F1`, `F2` are allocated to `P1` (sequential, one function at a time);
+//! `F3`, `F4` to `P2` (dedicated hardware, fully concurrent). All relations
+//! use the rendezvous protocol. `M1` is the external input fed by the
+//! environment (`u(k)`), `M6` the external output (`y(k)`).
+//!
+//! [`chained`] concatenates `stages` copies of this pattern — stage `j`'s
+//! `M6` is stage `j+1`'s `M1` — reproducing the four architecture models of
+//! the paper's Table I (each extra stage adds internal relations whose
+//! events the equivalent model saves).
+
+use crate::app::{Application, Behavior, RelationKind};
+use crate::ids::RelationId;
+use crate::mapping::{Architecture, Mapping};
+use crate::platform::{Concurrency, Platform};
+use crate::workload::LoadModel;
+use crate::ModelError;
+
+/// Load parameters of one didactic stage.
+///
+/// Each `execute` is `base + per_unit × size` operations, matching the
+/// paper's data-size-dependent execution durations. Resources run at
+/// 1 op/tick, so operations are ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Load of `F1`'s first execute (`Ti1`).
+    pub ti1: (u64, u64),
+    /// Load of `F1`'s second execute (`Tj1`).
+    pub tj1: (u64, u64),
+    /// Load of `F3`'s execute (`Ti2`).
+    pub ti2: (u64, u64),
+    /// Load of `F2`'s first execute (`Ti3`).
+    pub ti3: (u64, u64),
+    /// Load of `F2`'s second execute (`Tj3`).
+    pub tj3: (u64, u64),
+    /// Load of `F4`'s execute (`Ti4`).
+    pub ti4: (u64, u64),
+}
+
+impl Default for Params {
+    /// Balanced defaults: moderate bases with visible size dependence.
+    fn default() -> Self {
+        Params {
+            ti1: (100, 2),
+            tj1: (200, 3),
+            ti2: (300, 1),
+            ti3: (150, 2),
+            tj3: (250, 1),
+            ti4: (120, 2),
+        }
+    }
+}
+
+fn load((base, per_unit): (u64, u64)) -> LoadModel {
+    LoadModel::PerUnit { base, per_unit }
+}
+
+/// Relation ids of one stage, in paper order (`M1` … `M6`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageRelations {
+    /// Stage input (the previous stage's `M6`, or the external input).
+    pub m1: RelationId,
+    /// `F1 → F2`.
+    pub m2: RelationId,
+    /// `F1 → F3`.
+    pub m3: RelationId,
+    /// `F3 → F2`.
+    pub m4: RelationId,
+    /// `F2 → F4`.
+    pub m5: RelationId,
+    /// Stage output.
+    pub m6: RelationId,
+}
+
+/// A built didactic architecture plus its relation map.
+#[derive(Clone, Debug)]
+pub struct Didactic {
+    /// The validated architecture.
+    pub arch: Architecture,
+    /// Per-stage relation ids.
+    pub stages: Vec<StageRelations>,
+}
+
+impl Didactic {
+    /// The external input relation (`M1` of the first stage).
+    pub fn input(&self) -> RelationId {
+        self.stages.first().expect("at least one stage").m1
+    }
+
+    /// The external output relation (`M6` of the last stage).
+    pub fn output(&self) -> RelationId {
+        self.stages.last().expect("at least one stage").m6
+    }
+}
+
+/// Builds the single-stage didactic architecture of the paper's Fig. 1.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from validation (the builder itself is
+/// well-formed, so this only fails if `Params` are pathological).
+pub fn architecture(params: Params) -> Result<Architecture, ModelError> {
+    Ok(chained(1, params)?.arch)
+}
+
+/// Builds `stages` chained copies of the didactic example (Table I's
+/// "distinct architecture models").
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if validation fails.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn chained(stages: usize, params: Params) -> Result<Didactic, ModelError> {
+    assert!(stages > 0, "at least one stage required");
+    let mut app = Application::new();
+    let mut platform = Platform::new();
+    let mut mapping = Mapping::new();
+    let mut stage_rels = Vec::with_capacity(stages);
+
+    let mut stage_input = app.add_input("M1", RelationKind::Rendezvous);
+    for s in 0..stages {
+        let tag = |m: &str| {
+            if stages == 1 {
+                m.to_string()
+            } else {
+                format!("{m}.{s}")
+            }
+        };
+        let m1 = stage_input;
+        let m2 = app.add_relation(tag("M2"), RelationKind::Rendezvous);
+        let m3 = app.add_relation(tag("M3"), RelationKind::Rendezvous);
+        let m4 = app.add_relation(tag("M4"), RelationKind::Rendezvous);
+        let m5 = app.add_relation(tag("M5"), RelationKind::Rendezvous);
+        let m6 = if s + 1 == stages {
+            app.add_output(tag("M6"), RelationKind::Rendezvous)
+        } else {
+            app.add_relation(tag("M6"), RelationKind::Rendezvous)
+        };
+
+        let f1 = app.add_function(
+            tag("F1"),
+            Behavior::new()
+                .read(m1)
+                .execute(load(params.ti1))
+                .write(m2)
+                .execute(load(params.tj1))
+                .write(m3),
+        );
+        let f2 = app.add_function(
+            tag("F2"),
+            Behavior::new()
+                .read(m2)
+                .execute(load(params.ti3))
+                .read(m4)
+                .execute(load(params.tj3))
+                .write(m5),
+        );
+        let f3 = app.add_function(
+            tag("F3"),
+            Behavior::new()
+                .read(m3)
+                .execute(load(params.ti2))
+                .write(m4),
+        );
+        let f4 = app.add_function(
+            tag("F4"),
+            Behavior::new()
+                .read(m5)
+                .execute(load(params.ti4))
+                .write(m6),
+        );
+
+        let p1 = platform.add_resource(tag("P1"), Concurrency::Sequential, 1);
+        let p2 = platform.add_resource(tag("P2"), Concurrency::Unlimited, 1);
+        mapping.assign(f1, p1);
+        mapping.assign(f2, p1);
+        mapping.assign(f3, p2);
+        mapping.assign(f4, p2);
+
+        stage_rels.push(StageRelations {
+            m1,
+            m2,
+            m3,
+            m4,
+            m5,
+            m6,
+        });
+        stage_input = m6;
+    }
+
+    Ok(Didactic {
+        arch: Architecture::new(app, platform, mapping)?,
+        stages: stage_rels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_shape() {
+        let d = chained(1, Params::default()).unwrap();
+        let app = d.arch.app();
+        assert_eq!(app.functions().len(), 4);
+        assert_eq!(app.relations().len(), 6);
+        assert_eq!(app.external_inputs(), vec![d.input()]);
+        assert_eq!(app.external_outputs(), vec![d.output()]);
+        assert_eq!(d.arch.platform().len(), 2);
+        // P1 serves F1's two executes then F2's two.
+        let sched = d.arch.schedule(crate::ids::ResourceId::from_index(0));
+        assert_eq!(sched.len(), 4);
+    }
+
+    #[test]
+    fn chained_stages_share_boundaries() {
+        let d = chained(3, Params::default()).unwrap();
+        assert_eq!(d.stages.len(), 3);
+        assert_eq!(d.stages[0].m6, d.stages[1].m1);
+        assert_eq!(d.stages[1].m6, d.stages[2].m1);
+        let app = d.arch.app();
+        // 6 relations for the first stage + 5 per additional stage.
+        assert_eq!(app.relations().len(), 6 + 5 * 2);
+        assert_eq!(app.functions().len(), 12);
+        assert_eq!(d.arch.platform().len(), 6);
+        assert_eq!(app.external_inputs().len(), 1);
+        assert_eq!(app.external_outputs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_rejected() {
+        let _ = chained(0, Params::default());
+    }
+}

@@ -1,0 +1,633 @@
+//! Conventional (fully event-driven) model elaboration.
+//!
+//! This module turns an [`Architecture`] plus an [`Environment`] into a
+//! running [`Simulation`] on the `evolve-des` kernel, exactly the way a
+//! SystemC performance model is structured (paper Fig. 1):
+//!
+//! * one interpreter process per application function, executing its
+//!   behaviour loop and blocking on every relation exchange;
+//! * one arbiter per processing resource enforcing the static,
+//!   non-preemptive schedule;
+//! * one source process per external input (the paper's `F0`) and one sink
+//!   per external output.
+//!
+//! Every exchange and every resource wait goes through the kernel — this is
+//! the event-rich baseline whose instants the equivalent model must
+//! reproduce with far fewer events.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use evolve_des::{
+    Activation, Api, ChannelId, ChannelLog, Completion, EventId, Kernel, KernelStats, ReadOutcome,
+    Time, WriteOutcome,
+};
+
+use crate::app::{RelationKind, Stmt};
+use crate::ids::{FunctionId, RelationId, ResourceId};
+use crate::mapping::Architecture;
+use crate::observe::ExecRecord;
+use crate::platform::Concurrency;
+use crate::stimulus::Stimulus;
+use crate::token::Token;
+use crate::workload::{duration_for, LoadContext};
+use crate::ModelError;
+
+/// Shared execution-record trace filled in while the simulation runs.
+pub type SharedTrace = Rc<RefCell<Vec<ExecRecord>>>;
+
+/// The environment of an architecture: a stimulus per external input.
+#[derive(Clone, Debug, Default)]
+pub struct Environment {
+    /// Stimulus per external-input relation.
+    pub stimuli: BTreeMap<RelationId, Stimulus>,
+}
+
+impl Environment {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Environment::default()
+    }
+
+    /// Sets the stimulus of an external input.
+    pub fn stimulus(mut self, input: RelationId, stimulus: Stimulus) -> Self {
+        self.stimuli.insert(input, stimulus);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resource arbitration
+// ---------------------------------------------------------------------------
+
+/// Shared state of one resource arbiter.
+///
+/// Slots (execute-statement instances) are granted **strictly in static
+/// schedule order**; slot `i` may start once slot `i − 1` has started and
+/// slot `i − servers` has ended. `Unlimited` resources grant immediately.
+pub(crate) struct ResourceState {
+    concurrency: Concurrency,
+    speed: u64,
+    /// Number of slots started so far (starts are strictly ordered).
+    started: u64,
+    /// Completion flags for slots `>= ended_watermark`.
+    ended: BTreeMap<u64, ()>,
+    /// All slots below this index have ended.
+    ended_watermark: u64,
+    /// Parked requesters: slot index → event to notify when it may start.
+    waiters: BTreeMap<u64, EventId>,
+}
+
+impl ResourceState {
+    fn new(concurrency: Concurrency, speed: u64) -> Self {
+        ResourceState {
+            concurrency,
+            speed,
+            started: 0,
+            ended: BTreeMap::new(),
+            ended_watermark: 0,
+            waiters: BTreeMap::new(),
+        }
+    }
+
+    fn has_ended(&self, slot: u64) -> bool {
+        slot < self.ended_watermark || self.ended.contains_key(&slot)
+    }
+
+    fn can_start(&self, slot: u64) -> bool {
+        match self.concurrency.servers() {
+            None => true,
+            Some(n) => {
+                slot == self.started
+                    && (slot < u64::from(n) || self.has_ended(slot - u64::from(n)))
+            }
+        }
+    }
+
+    /// Attempts to start `slot`; on success records the start and returns
+    /// any newly-startable waiter to notify.
+    fn try_start(&mut self, slot: u64) -> Result<Option<EventId>, ()> {
+        if !self.can_start(slot) {
+            return Err(());
+        }
+        if self.concurrency.servers().is_some() {
+            debug_assert_eq!(slot, self.started);
+            self.started += 1;
+            // Starting this slot may allow the next one to start (e.g. on a
+            // multi-server resource with a free server).
+            let next = self.started;
+            if self.can_start(next) {
+                if let Some(ev) = self.waiters.remove(&next) {
+                    return Ok(Some(ev));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Records the completion of `slot` and returns a waiter that may now
+    /// start, if any.
+    fn finish(&mut self, slot: u64) -> Option<EventId> {
+        self.concurrency.servers()?;
+        self.ended.insert(slot, ());
+        while self.ended.remove(&self.ended_watermark).is_some() {
+            self.ended_watermark += 1;
+        }
+        let next = self.started;
+        if self.can_start(next) {
+            self.waiters.remove(&next)
+        } else {
+            None
+        }
+    }
+
+    fn park(&mut self, slot: u64, event: EventId) {
+        self.waiters.insert(slot, event);
+    }
+}
+
+/// Shared handle to a resource arbiter.
+#[derive(Clone)]
+pub(crate) struct ResourceCtrl(Rc<RefCell<ResourceState>>);
+
+impl ResourceCtrl {
+    pub(crate) fn new(concurrency: Concurrency, speed: u64) -> Self {
+        ResourceCtrl(Rc::new(RefCell::new(ResourceState::new(
+            concurrency,
+            speed,
+        ))))
+    }
+
+    fn speed(&self) -> u64 {
+        self.0.borrow().speed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function interpreter process
+// ---------------------------------------------------------------------------
+
+enum Phase {
+    /// Ready to execute the statement at `pc`.
+    AtStmt,
+    /// Parked waiting for the resource grant of `slot`.
+    WaitGrant { slot: u64, ops: u64 },
+    /// Executing: wake at `end`, then release the slot.
+    Running {
+        slot: u64,
+        ops: u64,
+        start: Time,
+    },
+}
+
+/// Interpreter of one application function's behaviour loop.
+struct FunctionProcess {
+    name: String,
+    function: FunctionId,
+    stmts: Vec<Stmt>,
+    channels: Vec<ChannelId>,
+    resource: ResourceId,
+    ctrl: ResourceCtrl,
+    grant_event: EventId,
+    /// Position of each execute statement in the resource's static schedule.
+    slot_pos: BTreeMap<usize, usize>,
+    /// Slots per iteration on the mapped resource.
+    sched_len: u64,
+    size_model: crate::token::SizeModel,
+    trace: SharedTrace,
+    pc: usize,
+    k: u64,
+    current_size: u64,
+    phase: Phase,
+}
+
+impl FunctionProcess {
+    fn advance(&mut self) {
+        self.pc += 1;
+        if self.pc == self.stmts.len() {
+            self.pc = 0;
+            self.k += 1;
+        }
+    }
+}
+
+impl evolve_des::Process<Token> for FunctionProcess {
+    fn resume(&mut self, api: &mut Api<'_, Token>) -> Activation {
+        // Resolve a completion from a blocking channel operation.
+        if let Some(c) = api.take_completion() {
+            match c {
+                Completion::Read(token) => {
+                    self.current_size = token.size;
+                    self.advance();
+                }
+                Completion::WriteDone => self.advance(),
+                Completion::Offer(_) => {
+                    unreachable!("function processes never listen")
+                }
+            }
+        }
+        // Resolve an execution phase.
+        match std::mem::replace(&mut self.phase, Phase::AtStmt) {
+            Phase::AtStmt => {}
+            Phase::WaitGrant { slot, ops } => {
+                // Woken by the arbiter: retry the grant.
+                let attempt = self.ctrl.0.borrow_mut().try_start(slot);
+                match attempt {
+                    Ok(waker) => {
+                        if let Some(ev) = waker {
+                            api.notify(ev);
+                        }
+                        let start = api.now();
+                        let dur = duration_for(ops, self.ctrl.speed());
+                        self.phase = Phase::Running { slot, ops, start };
+                        return Activation::WaitFor(dur);
+                    }
+                    Err(()) => {
+                        self.ctrl.0.borrow_mut().park(slot, self.grant_event);
+                        self.phase = Phase::WaitGrant { slot, ops };
+                        return Activation::WaitEvent(self.grant_event);
+                    }
+                }
+            }
+            Phase::Running { slot, ops, start } => {
+                // Execution finished: release and record.
+                if let Some(ev) = self.ctrl.0.borrow_mut().finish(slot) {
+                    api.notify(ev);
+                }
+                self.trace.borrow_mut().push(ExecRecord {
+                    resource: self.resource,
+                    function: self.function,
+                    stmt: self.pc,
+                    k: self.k,
+                    start,
+                    end: api.now(),
+                    ops,
+                });
+                self.advance();
+            }
+        }
+        // Run statements until the next suspension.
+        loop {
+            match &self.stmts[self.pc] {
+                Stmt::Read(rel) => match api.read(self.channels[rel.index()]) {
+                    ReadOutcome::Done(token) => {
+                        self.current_size = token.size;
+                        self.advance();
+                    }
+                    ReadOutcome::Blocked => return Activation::Blocked,
+                },
+                Stmt::Write(rel) => {
+                    let token = Token::new(self.size_model.apply(self.current_size), self.k);
+                    match api.write(self.channels[rel.index()], token) {
+                        WriteOutcome::Done => self.advance(),
+                        WriteOutcome::Blocked => return Activation::Blocked,
+                    }
+                }
+                Stmt::Execute(load) => {
+                    let ops = load.ops(LoadContext {
+                        function: self.function.index(),
+                        stmt: self.pc,
+                        k: self.k,
+                        size: self.current_size,
+                    });
+                    let pos = self.slot_pos[&self.pc] as u64;
+                    let slot = self.k * self.sched_len + pos;
+                    let attempt = self.ctrl.0.borrow_mut().try_start(slot);
+                    match attempt {
+                        Ok(waker) => {
+                            if let Some(ev) = waker {
+                                api.notify(ev);
+                            }
+                            let start = api.now();
+                            let dur = duration_for(ops, self.ctrl.speed());
+                            self.phase = Phase::Running { slot, ops, start };
+                            return Activation::WaitFor(dur);
+                        }
+                        Err(()) => {
+                            self.ctrl.0.borrow_mut().park(slot, self.grant_event);
+                            self.phase = Phase::WaitGrant { slot, ops };
+                            return Activation::WaitEvent(self.grant_event);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Environment processes
+// ---------------------------------------------------------------------------
+
+/// Offers tokens into an external input per its stimulus schedule — the
+/// paper's `F0`. The k-th offer happens at `max(schedule(k), completion of
+/// offer k−1)`, which is exactly the paper's `u(k)`.
+pub(crate) struct SourceProcess {
+    name: String,
+    channel: ChannelId,
+    arrivals: Vec<crate::stimulus::Arrival>,
+    idx: usize,
+}
+
+impl evolve_des::Process<Token> for SourceProcess {
+    fn resume(&mut self, api: &mut Api<'_, Token>) -> Activation {
+        if let Some(Completion::WriteDone) = api.take_completion() {
+            self.idx += 1;
+        }
+        loop {
+            let Some(arrival) = self.arrivals.get(self.idx) else {
+                return Activation::Done;
+            };
+            if api.now() < arrival.at {
+                return Activation::WaitFor(arrival.at.since(api.now()));
+            }
+            let token = Token::new(arrival.size, self.idx as u64);
+            match api.write(self.channel, token) {
+                WriteOutcome::Done => self.idx += 1,
+                WriteOutcome::Blocked => return Activation::Blocked,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Always-ready consumer of an external output.
+pub(crate) struct SinkProcess {
+    name: String,
+    channel: ChannelId,
+    remaining: Option<u64>,
+}
+
+impl evolve_des::Process<Token> for SinkProcess {
+    fn resume(&mut self, api: &mut Api<'_, Token>) -> Activation {
+        if let Some(Completion::Read(_)) = api.take_completion() {
+            if let Some(n) = &mut self.remaining {
+                *n -= 1;
+            }
+        }
+        loop {
+            if self.remaining == Some(0) {
+                return Activation::Done;
+            }
+            match api.read(self.channel) {
+                ReadOutcome::Done(_) => {
+                    if let Some(n) = &mut self.remaining {
+                        *n -= 1;
+                    }
+                }
+                ReadOutcome::Blocked => return Activation::Blocked,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration and simulation driving
+// ---------------------------------------------------------------------------
+
+/// Creates one kernel channel per relation, honouring relation kinds.
+pub fn create_channels(kernel: &mut Kernel<Token>, arch: &Architecture) -> Vec<ChannelId> {
+    arch.app()
+        .relations()
+        .iter()
+        .map(|r| match r.kind {
+            RelationKind::Rendezvous => kernel.add_rendezvous(),
+            RelationKind::Fifo(cap) => kernel.add_fifo(cap),
+        })
+        .collect()
+}
+
+/// Spawns source and sink processes for all external relations.
+///
+/// `expected_outputs` bounds each sink so the simulation terminates; pass
+/// `None` for an unbounded sink.
+///
+/// # Errors
+///
+/// Returns [`ModelError::MissingStimulus`] if an external input has no
+/// stimulus in `env`.
+pub fn attach_environment(
+    kernel: &mut Kernel<Token>,
+    arch: &Architecture,
+    env: &Environment,
+    channels: &[ChannelId],
+    expected_outputs: Option<u64>,
+) -> Result<(), ModelError> {
+    for input in arch.app().external_inputs() {
+        let stimulus = env.stimuli.get(&input).ok_or_else(|| {
+            ModelError::MissingStimulus {
+                relation: input,
+                name: arch.app().relation(input).name.clone(),
+            }
+        })?;
+        kernel.spawn(
+            format!("source:{}", arch.app().relation(input).name),
+            SourceProcess {
+                name: format!("source:{}", arch.app().relation(input).name),
+                channel: channels[input.index()],
+                arrivals: stimulus.arrivals().to_vec(),
+                idx: 0,
+            },
+        );
+    }
+    for output in arch.app().external_outputs() {
+        kernel.spawn(
+            format!("sink:{}", arch.app().relation(output).name),
+            SinkProcess {
+                name: format!("sink:{}", arch.app().relation(output).name),
+                channel: channels[output.index()],
+                remaining: expected_outputs,
+            },
+        );
+    }
+    Ok(())
+}
+
+/// A ready-to-run conventional simulation.
+pub struct Simulation {
+    kernel: Kernel<Token>,
+    channels: Vec<ChannelId>,
+    trace: SharedTrace,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("relations", &self.channels.len())
+            .finish()
+    }
+}
+
+/// Builds the conventional, fully event-driven model of an architecture.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if an external input lacks a stimulus.
+///
+/// # Examples
+///
+/// See [`crate::didactic`] and the crate-level documentation.
+pub fn elaborate(arch: &Architecture, env: &Environment) -> Result<Simulation, ModelError> {
+    let mut kernel = Kernel::new();
+    let channels = create_channels(&mut kernel, arch);
+    let trace: SharedTrace = Rc::new(RefCell::new(Vec::new()));
+
+    spawn_function_processes(&mut kernel, arch, &channels, &trace, |_| true);
+
+    // Environment: bound sinks by the total stimulus volume so runs end.
+    let total_inputs: u64 = env.stimuli.values().map(|s| s.len() as u64).sum();
+    attach_environment(&mut kernel, arch, env, &channels, Some(total_inputs))?;
+
+    Ok(Simulation {
+        kernel,
+        channels,
+        trace,
+    })
+}
+
+/// Spawns interpreter processes (and the resource arbiters they share) for
+/// the functions selected by `include`.
+///
+/// Used by hybrid elaborations (partial abstraction in `evolve-core`) that
+/// keep part of the application event-driven while the rest is computed.
+/// Resources are arbitrated per call: functions sharing a resource must
+/// all be spawned by the same invocation.
+pub fn spawn_function_processes(
+    kernel: &mut Kernel<Token>,
+    arch: &Architecture,
+    channels: &[ChannelId],
+    trace: &SharedTrace,
+    include: impl Fn(FunctionId) -> bool,
+) {
+    // Resource arbiters, shared by the included functions.
+    let ctrls: Vec<ResourceCtrl> = arch
+        .platform()
+        .resources()
+        .iter()
+        .map(|r| ResourceCtrl::new(r.concurrency, r.speed_ops_per_tick))
+        .collect();
+
+    for (idx, function) in arch.app().functions().iter().enumerate() {
+        let fid = FunctionId::from_index(idx);
+        if !include(fid) {
+            continue;
+        }
+        let resource = arch
+            .mapping()
+            .resource_of(fid)
+            .expect("architecture validated: every function mapped");
+        let schedule = arch.schedule(resource);
+        let slot_pos: BTreeMap<usize, usize> = function
+            .behavior
+            .execute_indices()
+            .into_iter()
+            .map(|stmt| {
+                (
+                    stmt,
+                    schedule
+                        .position(fid, stmt)
+                        .expect("every execute statement is scheduled"),
+                )
+            })
+            .collect();
+        let grant_event = kernel.add_event();
+        kernel.spawn(
+            function.name.clone(),
+            FunctionProcess {
+                name: function.name.clone(),
+                function: fid,
+                stmts: function.behavior.stmts().to_vec(),
+                channels: channels.to_vec(),
+                resource,
+                ctrl: ctrls[resource.index()].clone(),
+                grant_event,
+                slot_pos,
+                sched_len: schedule.len() as u64,
+                size_model: function.size_model,
+                trace: trace.clone(),
+                pc: 0,
+                k: 0,
+                current_size: 0,
+                phase: Phase::AtStmt,
+            },
+        );
+    }
+}
+
+impl Simulation {
+    /// Runs the simulation to completion and reports results.
+    pub fn run(mut self) -> RunReport {
+        let wall_start = std::time::Instant::now();
+        let end_time = self.kernel.run();
+        let wall = wall_start.elapsed();
+        let stats = self.kernel.stats();
+        let relation_logs = self
+            .channels
+            .iter()
+            .map(|ch| self.kernel.channel_log(*ch).clone())
+            .collect();
+        RunReport {
+            end_time,
+            stats,
+            relation_logs,
+            exec_records: Rc::try_unwrap(self.trace)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|rc| rc.borrow().clone()),
+            wall,
+        }
+    }
+
+    /// Mutable access to the kernel (for custom processes in tests).
+    pub fn kernel_mut(&mut self) -> &mut Kernel<Token> {
+        &mut self.kernel
+    }
+
+    /// The kernel channel backing each relation, indexed by [`RelationId`].
+    pub fn channels(&self) -> &[ChannelId] {
+        &self.channels
+    }
+
+    /// The shared execution trace (filled while running).
+    pub fn trace(&self) -> SharedTrace {
+        self.trace.clone()
+    }
+}
+
+/// Results of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Final simulation time.
+    pub end_time: Time,
+    /// Kernel activity counters.
+    pub stats: KernelStats,
+    /// Exchange-instant logs per relation, indexed by [`RelationId`].
+    pub relation_logs: Vec<ChannelLog>,
+    /// All completed executions (for resource-usage observation).
+    pub exec_records: Vec<ExecRecord>,
+    /// Host wall-clock time of the run.
+    pub wall: std::time::Duration,
+}
+
+impl RunReport {
+    /// The write-exchange instants of a relation (the paper's `xMi(k)`).
+    pub fn instants(&self, relation: RelationId) -> &[Time] {
+        &self.relation_logs[relation.index()].write_instants
+    }
+
+    /// Total relation-exchange events in the run.
+    pub fn relation_events(&self) -> u64 {
+        self.relation_logs.iter().map(ChannelLog::transfers).sum()
+    }
+}

@@ -1,0 +1,97 @@
+//! Model-construction errors.
+
+use crate::ids::{FunctionId, RelationId, ResourceId};
+
+/// A structural defect in an application, platform, or mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A behaviour references a relation that does not exist.
+    UnknownRelation {
+        /// The missing relation id.
+        relation: RelationId,
+        /// Name of the referencing function.
+        function: String,
+    },
+    /// Two different functions read the same relation.
+    MultipleConsumers {
+        /// Name of the over-subscribed relation.
+        relation: String,
+    },
+    /// Two different functions write the same relation.
+    MultipleProducers {
+        /// Name of the over-subscribed relation.
+        relation: String,
+    },
+    /// A function has an empty behaviour.
+    EmptyBehavior {
+        /// Name of the offending function.
+        function: String,
+    },
+    /// A relation is referenced by no function at all.
+    DanglingRelation {
+        /// Name of the unused relation.
+        relation: String,
+    },
+    /// A function is not allocated to any resource.
+    UnmappedFunction {
+        /// The unmapped function.
+        function: FunctionId,
+        /// Its diagnostic name.
+        name: String,
+    },
+    /// A mapping references a resource that does not exist.
+    UnknownResource {
+        /// The missing resource id.
+        resource: ResourceId,
+    },
+    /// A mapping references a function that does not exist.
+    UnknownFunction {
+        /// The missing function id.
+        function: FunctionId,
+    },
+    /// An external relation has no stimulus / no environment attached where
+    /// one is required.
+    MissingStimulus {
+        /// The external input relation without a stimulus.
+        relation: RelationId,
+        /// Its diagnostic name.
+        name: String,
+    },
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::UnknownRelation { relation, function } => {
+                write!(f, "function {function} references unknown relation {relation}")
+            }
+            ModelError::MultipleConsumers { relation } => {
+                write!(f, "relation {relation} has more than one consumer")
+            }
+            ModelError::MultipleProducers { relation } => {
+                write!(f, "relation {relation} has more than one producer")
+            }
+            ModelError::EmptyBehavior { function } => {
+                write!(f, "function {function} has an empty behaviour")
+            }
+            ModelError::DanglingRelation { relation } => {
+                write!(f, "relation {relation} is referenced by no function")
+            }
+            ModelError::UnmappedFunction { function, name } => {
+                write!(f, "function {name} ({function}) is not mapped to a resource")
+            }
+            ModelError::UnknownResource { resource } => {
+                write!(f, "mapping references unknown resource {resource}")
+            }
+            ModelError::UnknownFunction { function } => {
+                write!(f, "mapping references unknown function {function}")
+            }
+            ModelError::MissingStimulus { relation, name } => {
+                write!(f, "external input {name} ({relation}) has no stimulus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,209 @@
+//! Trace export: VCD waveforms and CSV series.
+//!
+//! Performance-model results are consumed by the same tooling as RTL
+//! traces: [`write_vcd`] emits resource-activity waveforms (one busy bit
+//! and one cumulative-operations counter per resource) viewable in GTKWave
+//! and friends, and the CSV helpers serialize usage series and exchange
+//! instants for plotting.
+
+use std::fmt::Write as _;
+
+use evolve_des::Time;
+
+use crate::ids::ResourceId;
+use crate::observe::{ExecRecord, ResourceTrace, UsageSeries};
+use crate::platform::Platform;
+
+/// Renders resource activity as a Value Change Dump document.
+///
+/// Per resource: a 1-bit `busy` wire (from the merged busy intervals) and a
+/// 64-bit cumulative `ops` counter (incremented at each execution end).
+/// The timescale is 1 ns, matching the workspace's tick convention.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_model::{write_vcd, ExecRecord, FunctionId, Platform, ResourceId, Concurrency};
+/// use evolve_des::Time;
+///
+/// let mut platform = Platform::new();
+/// platform.add_resource("dsp", Concurrency::Sequential, 1);
+/// let records = vec![ExecRecord {
+///     resource: ResourceId::from_index(0),
+///     function: FunctionId::from_index(0),
+///     stmt: 1,
+///     k: 0,
+///     start: Time::from_ticks(10),
+///     end: Time::from_ticks(30),
+///     ops: 20,
+/// }];
+/// let vcd = write_vcd(&records, &platform);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#10"));
+/// ```
+pub fn write_vcd(records: &[ExecRecord], platform: &Platform) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date evolve performance trace $end");
+    let _ = writeln!(out, "$version evolve 0.1 $end");
+    let _ = writeln!(out, "$timescale 1ns $end");
+    let _ = writeln!(out, "$scope module platform $end");
+    // Identifier codes: '!' onwards, two per resource.
+    let busy_code = |r: usize| char::from(b'!' + (2 * r) as u8);
+    let ops_code = |r: usize| char::from(b'!' + (2 * r + 1) as u8);
+    for (ridx, resource) in platform.resources().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {}_busy $end",
+            busy_code(ridx),
+            sanitize(&resource.name)
+        );
+        let _ = writeln!(
+            out,
+            "$var integer 64 {} {}_ops $end",
+            ops_code(ridx),
+            sanitize(&resource.name)
+        );
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Initial values.
+    let _ = writeln!(out, "#0");
+    for ridx in 0..platform.len() {
+        let _ = writeln!(out, "0{}", busy_code(ridx));
+        let _ = writeln!(out, "b0 {}", ops_code(ridx));
+    }
+
+    // Change events: busy edges from merged intervals, ops at exec ends.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum Change {
+        Busy(bool),
+        Ops(u64),
+    }
+    let mut changes: Vec<(Time, usize, Change)> = Vec::new();
+    for ridx in 0..platform.len() {
+        let rid = ResourceId::from_index(ridx);
+        let trace = ResourceTrace::from_records(records, rid);
+        for (s, e) in &trace.intervals {
+            changes.push((*s, ridx, Change::Busy(true)));
+            changes.push((*e, ridx, Change::Busy(false)));
+        }
+        let mut cumulative = 0u64;
+        let mut ends: Vec<(Time, u64)> = records
+            .iter()
+            .filter(|r| r.resource == rid)
+            .map(|r| (r.end, r.ops))
+            .collect();
+        ends.sort_unstable();
+        for (t, ops) in ends {
+            cumulative += ops;
+            changes.push((t, ridx, Change::Ops(cumulative)));
+        }
+    }
+    changes.sort_by_key(|a| (a.0, a.1));
+    let mut current_time = None;
+    for (t, ridx, change) in changes {
+        if current_time != Some(t) {
+            let _ = writeln!(out, "#{}", t.ticks());
+            current_time = Some(t);
+        }
+        match change {
+            Change::Busy(b) => {
+                let _ = writeln!(out, "{}{}", u8::from(b), busy_code(ridx));
+            }
+            Change::Ops(v) => {
+                let _ = writeln!(out, "b{v:b} {}", ops_code(ridx));
+            }
+        }
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Serializes a usage series as `time_ns,ops_per_ns` CSV rows with header.
+pub fn usage_series_to_csv(series: &UsageSeries) -> String {
+    let mut out = String::from("time_ns,gops\n");
+    for (t, v) in series.points() {
+        let _ = writeln!(out, "{},{v:.6}", t.ticks());
+    }
+    out
+}
+
+/// Serializes exchange instants as `k,time_ns` CSV rows with header.
+pub fn instants_to_csv(instants: &[Time]) -> String {
+    let mut out = String::from("k,time_ns\n");
+    for (k, t) in instants.iter().enumerate() {
+        let _ = writeln!(out, "{k},{}", t.ticks());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FunctionId;
+    use crate::platform::Concurrency;
+
+    fn sample_setup() -> (Vec<ExecRecord>, Platform) {
+        let mut platform = Platform::new();
+        platform.add_resource("P1", Concurrency::Sequential, 1);
+        platform.add_resource("hw/2", Concurrency::Unlimited, 4);
+        let rec = |res: usize, s: u64, e: u64, ops: u64| ExecRecord {
+            resource: ResourceId::from_index(res),
+            function: FunctionId::from_index(0),
+            stmt: 1,
+            k: 0,
+            start: Time::from_ticks(s),
+            end: Time::from_ticks(e),
+            ops,
+        };
+        (
+            vec![rec(0, 0, 10, 100), rec(0, 10, 25, 50), rec(1, 5, 8, 30)],
+            platform,
+        )
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let (records, platform) = sample_setup();
+        let vcd = write_vcd(&records, &platform);
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! P1_busy $end"));
+        assert!(vcd.contains("$var integer 64 \" P1_ops $end"));
+        // Special characters sanitized.
+        assert!(vcd.contains("hw_2_busy"));
+        // Busy intervals of P1 merge 0..25: one rise at 0, one fall at 25.
+        assert!(vcd.contains("#0\n"));
+        assert!(vcd.contains("#25"));
+        // Cumulative ops: 100 at t=10, 150 at t=25 (binary).
+        assert!(vcd.contains(&format!("b{:b} \"", 100)));
+        assert!(vcd.contains(&format!("b{:b} \"", 150)));
+    }
+
+    #[test]
+    fn vcd_busy_edges_ordered() {
+        let (records, platform) = sample_setup();
+        let vcd = write_vcd(&records, &platform);
+        let rise = vcd.find("1!").expect("rise");
+        let fall = vcd.rfind("0!").expect("fall");
+        assert!(rise < fall);
+    }
+
+    #[test]
+    fn csv_outputs() {
+        let (records, _) = sample_setup();
+        let series = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
+        let csv = usage_series_to_csv(&series);
+        assert!(csv.starts_with("time_ns,gops\n"));
+        assert_eq!(csv.lines().count(), 1 + series.bins.len());
+
+        let instants = vec![Time::from_ticks(5), Time::from_ticks(17)];
+        let csv = instants_to_csv(&instants);
+        assert_eq!(csv, "k,time_ns\n0,5\n1,17\n");
+    }
+}

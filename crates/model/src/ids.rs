@@ -1,0 +1,67 @@
+//! Typed identifiers for model entities.
+//!
+//! Newtypes keep function, relation, and resource indices statically
+//! distinct (a `FunctionId` can never be used where a `ResourceId` is
+//! expected), per the workspace's type-safety conventions.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub(crate) usize);
+
+        impl $name {
+            /// The raw index into the owning collection.
+            pub fn index(self) -> usize {
+                self.0
+            }
+
+            /// Builds an identifier from a raw index.
+            ///
+            /// Prefer the ids returned by the builder methods; this exists
+            /// for table-driven test and harness code.
+            pub fn from_index(index: usize) -> Self {
+                $name(index)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an application function.
+    FunctionId,
+    "F"
+);
+id_type!(
+    /// Identifier of a relation (communication channel) between functions.
+    RelationId,
+    "M"
+);
+id_type!(
+    /// Identifier of a platform processing resource.
+    ResourceId,
+    "P"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(FunctionId(1).to_string(), "F1");
+        assert_eq!(RelationId(2).to_string(), "M2");
+        assert_eq!(ResourceId(0).to_string(), "P0");
+    }
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(FunctionId::from_index(4).index(), 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! Architecture performance-model layer: applications, platforms, mappings,
+//! workloads, and the conventional event-driven elaboration.
+//!
+//! This crate reproduces the modeling substrate of *"A Dynamic Computation
+//! Method for Fast and Accurate Performance Evaluation of Multi-Core
+//! Architectures"* (Le Nours, Postula, Bergmann — DATE 2014): performance
+//! models "formed by combination of application and platform models"
+//! (Section II) in which workload models express the computation loads an
+//! application causes when executed.
+//!
+//! # Layers
+//!
+//! * [`Application`] — functions as `read`/`execute`/`write` loop bodies
+//!   ([`Behavior`]) connected by relations (rendezvous or FIFO).
+//! * [`Platform`] — processing resources with [`Concurrency`] disciplines
+//!   and speeds.
+//! * [`Mapping`] / [`Architecture`] — allocation and the static,
+//!   non-preemptive schedules the paper assumes.
+//! * [`LoadModel`] — data-size-dependent computation loads, deterministic in
+//!   `(function, statement, k, size)` so the conventional and equivalent
+//!   models observe identical durations.
+//! * [`elaborate`] — builds the conventional, fully event-driven model on
+//!   the `evolve-des` kernel (the Fig. 1 baseline).
+//! * [`ExecRecord`] / [`ResourceTrace`] / [`UsageSeries`] — resource-usage
+//!   observation (Fig. 2(b), Fig. 6(b)(c)).
+//! * [`didactic`] — the paper's example architecture and its Table I chains.
+//!
+//! # Example
+//!
+//! Run the didactic architecture for five tokens and inspect instants:
+//!
+//! ```
+//! use evolve_des::Duration;
+//! use evolve_model::{didactic, elaborate, Environment, Stimulus};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = didactic::chained(1, didactic::Params::default())?;
+//! let env = Environment::new().stimulus(
+//!     d.input(),
+//!     Stimulus::periodic(5, Duration::from_ticks(10_000), |k| 64 + k),
+//! );
+//! let report = elaborate(&d.arch, &env)?.run();
+//! assert_eq!(report.instants(d.output()).len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod app;
+pub mod didactic;
+mod elaborate;
+mod export;
+pub mod metrics;
+mod error;
+mod ids;
+mod mapping;
+mod observe;
+mod platform;
+mod stimulus;
+mod token;
+mod workload;
+
+pub use app::{Application, Behavior, Function, Relation, RelationKind, Stmt};
+pub use elaborate::{
+    attach_environment, create_channels, elaborate, spawn_function_processes, Environment,
+    RunReport, SharedTrace, Simulation,
+};
+pub use error::ModelError;
+pub use export::{instants_to_csv, usage_series_to_csv, write_vcd};
+pub use ids::{FunctionId, RelationId, ResourceId};
+pub use mapping::{Architecture, Mapping, ResourceSchedule, Slot};
+pub use observe::{ExecRecord, ResourceTrace, UsageSeries};
+pub use platform::{Concurrency, Platform, Resource};
+pub use stimulus::{varying_sizes, Arrival, Stimulus};
+pub use token::{SizeModel, Token};
+pub use workload::{duration_for, LoadContext, LoadModel};

@@ -1,0 +1,282 @@
+//! Mapping layer: function-to-resource allocation and static schedules.
+//!
+//! "The aim of the mapping layer is to correctly manage platform resources
+//! when the application model executes, taking into account the concurrency
+//! of each platform resource and the defined arbitration and scheduling
+//! policies" (paper Section III.A). This reproduction targets the paper's
+//! stated scope: **statically scheduled architectures with no pre-emption**.
+//! Each resource serves its execute statements in a fixed cyclic order — the
+//! *slot order* — derived from the allocation order of functions and the
+//! program order of their execute statements.
+
+use std::collections::BTreeMap;
+
+use crate::app::{Application, Stmt};
+use crate::ids::{FunctionId, ResourceId};
+use crate::platform::Platform;
+use crate::ModelError;
+
+/// Function-to-resource allocation.
+///
+/// The order in which functions are allocated to a resource defines the
+/// static schedule order on that resource.
+#[derive(Clone, Debug, Default)]
+pub struct Mapping {
+    /// Allocation in insertion order: `(function, resource)`.
+    alloc: Vec<(FunctionId, ResourceId)>,
+}
+
+impl Mapping {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Allocates `function` to `resource`. Repeated allocation of the same
+    /// function replaces the earlier entry (keeping the new schedule
+    /// position).
+    pub fn assign(&mut self, function: FunctionId, resource: ResourceId) -> &mut Self {
+        self.alloc.retain(|(f, _)| *f != function);
+        self.alloc.push((function, resource));
+        self
+    }
+
+    /// The resource a function is allocated to, if any.
+    pub fn resource_of(&self, function: FunctionId) -> Option<ResourceId> {
+        self.alloc
+            .iter()
+            .find(|(f, _)| *f == function)
+            .map(|(_, r)| *r)
+    }
+
+    /// All allocations in schedule order.
+    pub fn allocations(&self) -> &[(FunctionId, ResourceId)] {
+        &self.alloc
+    }
+}
+
+/// One execute-statement occurrence in a resource's static cyclic schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Slot {
+    /// The executing function.
+    pub function: FunctionId,
+    /// Statement index of the execute within the function's behaviour.
+    pub stmt: usize,
+}
+
+/// The static cyclic schedule of one resource: the execute statements it
+/// serves, in order, once per iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResourceSchedule {
+    /// Slots in static order.
+    pub slots: Vec<Slot>,
+}
+
+impl ResourceSchedule {
+    /// Position of a slot in the cyclic order, if scheduled on this resource.
+    pub fn position(&self, function: FunctionId, stmt: usize) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.function == function && s.stmt == stmt)
+    }
+
+    /// Number of slots per iteration.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when no execute statement is scheduled here.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// A complete, validated architecture model: application + platform +
+/// mapping, with the static schedules precomputed.
+///
+/// This is the input shared by the conventional elaboration
+/// ([`crate::elaborate`]) and by the automatic TDG derivation in
+/// `evolve-core` — both interpret exactly the same structure, which is what
+/// makes the instant-for-instant accuracy comparison meaningful.
+#[derive(Clone, Debug)]
+pub struct Architecture {
+    app: Application,
+    platform: Platform,
+    mapping: Mapping,
+    schedules: Vec<ResourceSchedule>,
+}
+
+impl Architecture {
+    /// Validates the triple and precomputes per-resource static schedules.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] when the application is structurally
+    /// invalid, a function is unmapped, or the mapping references unknown
+    /// entities.
+    pub fn new(
+        mut app: Application,
+        platform: Platform,
+        mapping: Mapping,
+    ) -> Result<Self, ModelError> {
+        app.validate()?;
+        for (function, resource) in mapping.allocations() {
+            if function.index() >= app.functions().len() {
+                return Err(ModelError::UnknownFunction {
+                    function: *function,
+                });
+            }
+            if resource.index() >= platform.len() {
+                return Err(ModelError::UnknownResource {
+                    resource: *resource,
+                });
+            }
+        }
+        for (idx, f) in app.functions().iter().enumerate() {
+            let fid = FunctionId::from_index(idx);
+            if mapping.resource_of(fid).is_none() {
+                return Err(ModelError::UnmappedFunction {
+                    function: fid,
+                    name: f.name.clone(),
+                });
+            }
+        }
+        // Static slot order per resource: functions in allocation order,
+        // execute statements in program order.
+        let mut per_resource: BTreeMap<usize, Vec<Slot>> = BTreeMap::new();
+        for (function, resource) in mapping.allocations() {
+            let behavior = &app.function(*function).behavior;
+            for (stmt_idx, stmt) in behavior.stmts().iter().enumerate() {
+                if matches!(stmt, Stmt::Execute(_)) {
+                    per_resource.entry(resource.index()).or_default().push(Slot {
+                        function: *function,
+                        stmt: stmt_idx,
+                    });
+                }
+            }
+        }
+        let schedules = (0..platform.len())
+            .map(|r| ResourceSchedule {
+                slots: per_resource.remove(&r).unwrap_or_default(),
+            })
+            .collect();
+        Ok(Architecture {
+            app,
+            platform,
+            mapping,
+            schedules,
+        })
+    }
+
+    /// The application model.
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The platform model.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The static schedule of a resource.
+    pub fn schedule(&self, resource: ResourceId) -> &ResourceSchedule {
+        &self.schedules[resource.index()]
+    }
+
+    /// All static schedules, indexed by [`ResourceId`].
+    pub fn schedules(&self) -> &[ResourceSchedule] {
+        &self.schedules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Behavior, RelationKind};
+    use crate::platform::Concurrency;
+    use crate::workload::LoadModel;
+
+    fn sample() -> (Application, Platform, Mapping) {
+        let mut app = Application::new();
+        let input = app.add_input("in", RelationKind::Rendezvous);
+        let mid = app.add_relation("mid", RelationKind::Rendezvous);
+        let out = app.add_output("out", RelationKind::Rendezvous);
+        let f1 = app.add_function(
+            "F1",
+            Behavior::new()
+                .read(input)
+                .execute(LoadModel::Constant(1))
+                .write(mid)
+                .execute(LoadModel::Constant(2)),
+        );
+        let f2 = app.add_function(
+            "F2",
+            Behavior::new()
+                .read(mid)
+                .execute(LoadModel::Constant(3))
+                .write(out),
+        );
+        let mut platform = Platform::new();
+        let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+        let mut mapping = Mapping::new();
+        mapping.assign(f1, p1).assign(f2, p1);
+        (app, platform, mapping)
+    }
+
+    #[test]
+    fn schedule_follows_allocation_then_program_order() {
+        let (app, platform, mapping) = sample();
+        let arch = Architecture::new(app, platform, mapping).unwrap();
+        let sched = arch.schedule(ResourceId::from_index(0));
+        assert_eq!(sched.len(), 3);
+        assert_eq!(
+            sched.slots,
+            vec![
+                Slot {
+                    function: FunctionId::from_index(0),
+                    stmt: 1
+                },
+                Slot {
+                    function: FunctionId::from_index(0),
+                    stmt: 3
+                },
+                Slot {
+                    function: FunctionId::from_index(1),
+                    stmt: 1
+                },
+            ]
+        );
+        assert_eq!(sched.position(FunctionId::from_index(1), 1), Some(2));
+        assert_eq!(sched.position(FunctionId::from_index(1), 0), None);
+    }
+
+    #[test]
+    fn unmapped_function_rejected() {
+        let (app, platform, _) = sample();
+        let err = Architecture::new(app, platform, Mapping::new()).unwrap_err();
+        assert!(matches!(err, ModelError::UnmappedFunction { .. }));
+    }
+
+    #[test]
+    fn unknown_resource_rejected() {
+        let (app, platform, mut mapping) = sample();
+        mapping.assign(FunctionId::from_index(0), ResourceId::from_index(9));
+        let err = Architecture::new(app, platform, mapping).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownResource { .. }));
+    }
+
+    #[test]
+    fn reassignment_moves_schedule_position() {
+        let (app, platform, mut mapping) = sample();
+        // Re-assign F1 after F2: schedule order becomes F2 then F1.
+        mapping.assign(FunctionId::from_index(0), ResourceId::from_index(0));
+        let arch = Architecture::new(app, platform, mapping).unwrap();
+        let sched = arch.schedule(ResourceId::from_index(0));
+        assert_eq!(sched.slots[0].function, FunctionId::from_index(1));
+    }
+}

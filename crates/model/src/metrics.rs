@@ -1,0 +1,226 @@
+//! Performance metrics derived from run reports: latency distributions,
+//! throughput, and queue occupancy.
+//!
+//! These are the numbers a performance-evaluation campaign actually reads
+//! off a run — computed from the exchange-instant logs, so they are
+//! identical whether the logs came from the conventional simulation or
+//! from the equivalent model's computed observation.
+
+use evolve_des::Time;
+
+use crate::elaborate::RunReport;
+use crate::ids::RelationId;
+
+/// Summary statistics of a sample of durations (in ticks).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DurationStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl DurationStats {
+    /// Computes statistics from raw samples. Returns `None` for an empty
+    /// sample.
+    pub fn from_samples(mut samples: Vec<u64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let pct = |p: f64| samples[(((count - 1) as f64) * p).round() as usize];
+        Some(DurationStats {
+            count,
+            min: samples[0],
+            max: samples[count - 1],
+            mean: samples.iter().sum::<u64>() as f64 / count as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        })
+    }
+}
+
+/// Token-wise latency from relation `from` to relation `to`: the duration
+/// between the `k`-th write on each (the k-th token's traversal time).
+///
+/// Returns `None` when either log is empty; tokens beyond the shorter log
+/// are ignored.
+pub fn latency_between(report: &RunReport, from: RelationId, to: RelationId) -> Option<DurationStats> {
+    let a = report.instants(from);
+    let b = report.instants(to);
+    let samples: Vec<u64> = a
+        .iter()
+        .zip(b)
+        .map(|(s, e)| e.ticks().saturating_sub(s.ticks()))
+        .collect();
+    DurationStats::from_samples(samples)
+}
+
+/// Mean throughput on a relation over the run, in tokens per second
+/// (1 tick = 1 ns).
+///
+/// Returns `None` for fewer than two exchanges.
+pub fn throughput(report: &RunReport, relation: RelationId) -> Option<f64> {
+    let log = report.instants(relation);
+    if log.len() < 2 {
+        return None;
+    }
+    let span = log.last()?.ticks().saturating_sub(log.first()?.ticks());
+    if span == 0 {
+        return None;
+    }
+    Some((log.len() - 1) as f64 / (span as f64 * 1e-9))
+}
+
+/// One step of a queue-occupancy staircase: from `at` (inclusive) the
+/// queue holds `level` tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OccupancyStep {
+    /// Instant of the change.
+    pub at: Time,
+    /// Occupancy from this instant on.
+    pub level: i64,
+}
+
+/// Queue occupancy over time of a (FIFO) relation, reconstructed from its
+/// write and read instants: +1 at each write completion, −1 at each read
+/// completion. For rendezvous relations the occupancy is identically 0
+/// (write and read coincide).
+pub fn occupancy(report: &RunReport, relation: RelationId) -> Vec<OccupancyStep> {
+    let log = &report.relation_logs[relation.index()];
+    let mut events: Vec<(Time, i64)> = log
+        .write_instants
+        .iter()
+        .map(|t| (*t, 1i64))
+        .chain(log.read_instants.iter().map(|t| (*t, -1i64)))
+        .collect();
+    // Reads sort before writes at equal instants so a same-instant
+    // hand-through never shows spurious occupancy.
+    events.sort_by_key(|(t, delta)| (*t, *delta));
+    let mut steps = Vec::new();
+    let mut level = 0i64;
+    for (at, delta) in events {
+        level += delta;
+        match steps.last_mut() {
+            Some(OccupancyStep { at: last, level: l }) if *last == at => *l = level,
+            _ => steps.push(OccupancyStep { at, level }),
+        }
+    }
+    steps
+}
+
+/// The maximum queue occupancy ever reached on a relation.
+pub fn peak_occupancy(report: &RunReport, relation: RelationId) -> i64 {
+    occupancy(report, relation)
+        .iter()
+        .map(|s| s.level)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evolve_des::ChannelLog;
+    use evolve_des::KernelStats;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn report(logs: Vec<ChannelLog>) -> RunReport {
+        RunReport {
+            end_time: t(1_000),
+            stats: KernelStats::default(),
+            relation_logs: logs,
+            exec_records: Vec::new(),
+            wall: std::time::Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn stats_percentiles() {
+        let s = DurationStats::from_samples((1..=100).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 51); // nearest-rank: index round(99 × 0.5) = 50
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(DurationStats::from_samples(vec![]), None);
+    }
+
+    #[test]
+    fn latency_pairs_by_token() {
+        let r = report(vec![
+            ChannelLog {
+                write_instants: vec![t(0), t(10), t(20)],
+                read_instants: vec![],
+            },
+            ChannelLog {
+                write_instants: vec![t(5), t(25), t(30)],
+                read_instants: vec![],
+            },
+        ]);
+        let s = latency_between(&r, RelationId::from_index(0), RelationId::from_index(1)).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 15);
+    }
+
+    #[test]
+    fn throughput_per_second() {
+        // 11 tokens over 1000 ns → 10 inter-arrivals / 1 µs = 1e7 tokens/s.
+        let r = report(vec![ChannelLog {
+            write_instants: (0..11).map(|k| t(k * 100)).collect(),
+            read_instants: vec![],
+        }]);
+        let thr = throughput(&r, RelationId::from_index(0)).unwrap();
+        assert!((thr - 1e7).abs() / 1e7 < 1e-9);
+        let empty = report(vec![ChannelLog::default()]);
+        assert_eq!(throughput(&empty, RelationId::from_index(0)), None);
+    }
+
+    #[test]
+    fn occupancy_staircase() {
+        // Writes at 0, 5, 10; reads at 7, 12, 12.
+        let r = report(vec![ChannelLog {
+            write_instants: vec![t(0), t(5), t(10)],
+            read_instants: vec![t(7), t(12), t(12)],
+        }]);
+        let steps = occupancy(&r, RelationId::from_index(0));
+        assert_eq!(
+            steps,
+            vec![
+                OccupancyStep { at: t(0), level: 1 },
+                OccupancyStep { at: t(5), level: 2 },
+                OccupancyStep { at: t(7), level: 1 },
+                OccupancyStep { at: t(10), level: 2 },
+                OccupancyStep { at: t(12), level: 0 },
+            ]
+        );
+        assert_eq!(peak_occupancy(&r, RelationId::from_index(0)), 2);
+    }
+
+    #[test]
+    fn rendezvous_occupancy_is_zero() {
+        let r = report(vec![ChannelLog {
+            write_instants: vec![t(3), t(9)],
+            read_instants: vec![t(3), t(9)],
+        }]);
+        assert_eq!(peak_occupancy(&r, RelationId::from_index(0)), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Observation of platform resource usage.
+//!
+//! The paper's Fig. 2(b) plots the interval during which each processing
+//! resource is active, and Fig. 6(b)(c) the "computational complexity per
+//! time unit (GOPS)" of each resource. Both are derived from the execution
+//! records collected while a model runs — by the simulator for the
+//! conventional model, or replayed from computed intermediate instants (over
+//! the *observation time* axis, without the simulator) for the equivalent
+//! model. The record format is shared so the two can be compared bit for
+//! bit.
+
+use evolve_des::Time;
+
+use crate::ids::{FunctionId, ResourceId};
+
+/// One completed execution on a resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// The resource that served the execution.
+    pub resource: ResourceId,
+    /// The executing function.
+    pub function: FunctionId,
+    /// Statement index of the execute within the function's behaviour.
+    pub stmt: usize,
+    /// Iteration `k` of the function.
+    pub k: u64,
+    /// Start instant.
+    pub start: Time,
+    /// End instant (`start + duration`).
+    pub end: Time,
+    /// Abstract operations performed (drives the GOPS observation).
+    pub ops: u64,
+}
+
+/// Busy intervals of one resource: merged, non-overlapping, sorted.
+///
+/// This is the solid line of the paper's Fig. 2(b).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResourceTrace {
+    /// Merged `[start, end)` busy intervals.
+    pub intervals: Vec<(Time, Time)>,
+}
+
+impl ResourceTrace {
+    /// Builds the busy-interval trace of `resource` from execution records
+    /// (in any order).
+    pub fn from_records(records: &[ExecRecord], resource: ResourceId) -> Self {
+        let mut spans: Vec<(Time, Time)> = records
+            .iter()
+            .filter(|r| r.resource == resource && r.start < r.end)
+            .map(|r| (r.start, r.end))
+            .collect();
+        spans.sort_unstable();
+        let mut intervals: Vec<(Time, Time)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match intervals.last_mut() {
+                Some((_, last_end)) if s <= *last_end => {
+                    if e > *last_end {
+                        *last_end = e;
+                    }
+                }
+                _ => intervals.push((s, e)),
+            }
+        }
+        ResourceTrace { intervals }
+    }
+
+    /// Total busy ticks.
+    pub fn busy_ticks(&self) -> u64 {
+        self.intervals
+            .iter()
+            .map(|(s, e)| e.ticks() - s.ticks())
+            .sum()
+    }
+
+    /// Utilization over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is time zero.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        assert!(horizon > Time::ZERO, "utilization needs a nonzero horizon");
+        let busy: u64 = self
+            .intervals
+            .iter()
+            .map(|(s, e)| {
+                let e = (*e).min(horizon);
+                if *s >= e {
+                    0
+                } else {
+                    e.ticks() - s.ticks()
+                }
+            })
+            .sum();
+        busy as f64 / horizon.ticks() as f64
+    }
+
+    /// Returns `true` when the resource is busy at `t`.
+    pub fn is_busy_at(&self, t: Time) -> bool {
+        self.intervals.iter().any(|(s, e)| *s <= t && t < *e)
+    }
+}
+
+/// Computational complexity per time unit — the paper's Fig. 6(b)(c) series.
+///
+/// Operations of each execution are attributed uniformly over its busy
+/// interval, then integrated per fixed-width bin. With the 1 tick = 1 ns
+/// convention the value is directly giga-operations per second (GOPS).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UsageSeries {
+    /// Width of each bin in ticks.
+    pub bin_ticks: u64,
+    /// Mean ops/tick in each bin, starting at time zero.
+    pub bins: Vec<f64>,
+}
+
+impl UsageSeries {
+    /// Builds the usage series of `resource` with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_ticks` is zero.
+    pub fn from_records(records: &[ExecRecord], resource: ResourceId, bin_ticks: u64) -> Self {
+        assert!(bin_ticks > 0, "bin width must be nonzero");
+        let horizon = records
+            .iter()
+            .filter(|r| r.resource == resource)
+            .map(|r| r.end.ticks())
+            .max()
+            .unwrap_or(0);
+        let nbins = horizon.div_ceil(bin_ticks) as usize;
+        let mut bins = vec![0.0f64; nbins];
+        for r in records.iter().filter(|r| r.resource == resource) {
+            let (s, e) = (r.start.ticks(), r.end.ticks());
+            if e <= s {
+                continue;
+            }
+            let rate = r.ops as f64 / (e - s) as f64; // ops per tick while busy
+            let first = (s / bin_ticks) as usize;
+            let last = ((e - 1) / bin_ticks) as usize;
+            for (b, bin) in bins.iter_mut().enumerate().take(last + 1).skip(first) {
+                let bin_start = b as u64 * bin_ticks;
+                let bin_end = bin_start + bin_ticks;
+                let overlap = e.min(bin_end).saturating_sub(s.max(bin_start));
+                *bin += rate * overlap as f64 / bin_ticks as f64;
+            }
+        }
+        UsageSeries { bin_ticks, bins }
+    }
+
+    /// `(bin start, mean ops/tick)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (Time, f64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (Time::from_ticks(i as u64 * self.bin_ticks), *v))
+    }
+
+    /// The peak bin value (ops/tick).
+    pub fn peak(&self) -> f64 {
+        self.bins.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total operations accounted for (integral of the series).
+    pub fn total_ops(&self) -> f64 {
+        self.bins.iter().sum::<f64>() * self.bin_ticks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(resource: usize, start: u64, end: u64, ops: u64) -> ExecRecord {
+        ExecRecord {
+            resource: ResourceId::from_index(resource),
+            function: FunctionId::from_index(0),
+            stmt: 0,
+            k: 0,
+            start: Time::from_ticks(start),
+            end: Time::from_ticks(end),
+            ops,
+        }
+    }
+
+    #[test]
+    fn intervals_merge_overlaps() {
+        let records = [rec(0, 0, 10, 1), rec(0, 5, 15, 1), rec(0, 20, 30, 1)];
+        let trace = ResourceTrace::from_records(&records, ResourceId::from_index(0));
+        assert_eq!(
+            trace.intervals,
+            vec![
+                (Time::ZERO, Time::from_ticks(15)),
+                (Time::from_ticks(20), Time::from_ticks(30))
+            ]
+        );
+        assert_eq!(trace.busy_ticks(), 25);
+        assert!(trace.is_busy_at(Time::from_ticks(7)));
+        assert!(!trace.is_busy_at(Time::from_ticks(17)));
+    }
+
+    #[test]
+    fn other_resources_filtered_out() {
+        let records = [rec(0, 0, 10, 1), rec(1, 0, 100, 1)];
+        let trace = ResourceTrace::from_records(&records, ResourceId::from_index(0));
+        assert_eq!(trace.busy_ticks(), 10);
+    }
+
+    #[test]
+    fn utilization_clamps_to_horizon() {
+        let records = [rec(0, 0, 50, 1)];
+        let trace = ResourceTrace::from_records(&records, ResourceId::from_index(0));
+        assert!((trace.utilization(Time::from_ticks(100)) - 0.5).abs() < 1e-12);
+        assert!((trace.utilization(Time::from_ticks(25)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_series_distributes_ops() {
+        // 100 ops over [0, 10): 10 ops/tick in the first bin of width 10.
+        let records = [rec(0, 0, 10, 100)];
+        let s = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
+        assert_eq!(s.bins.len(), 1);
+        assert!((s.bins[0] - 10.0).abs() < 1e-12);
+        assert!((s.total_ops() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_series_splits_across_bins() {
+        // 100 ops over [5, 15): bins of 10 → 50 ops in each bin → 5 ops/tick.
+        let records = [rec(0, 5, 15, 100)];
+        let s = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
+        assert_eq!(s.bins.len(), 2);
+        assert!((s.bins[0] - 5.0).abs() < 1e-12);
+        assert!((s.bins[1] - 5.0).abs() < 1e-12);
+        assert!((s.peak() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_executions_add_up() {
+        let records = [rec(0, 0, 10, 100), rec(0, 0, 10, 300)];
+        let s = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
+        assert!((s.bins[0] - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_records() {
+        let s = UsageSeries::from_records(&[], ResourceId::from_index(0), 10);
+        assert!(s.bins.is_empty());
+        assert_eq!(s.peak(), 0.0);
+        let t = ResourceTrace::from_records(&[], ResourceId::from_index(0));
+        assert_eq!(t.busy_ticks(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Platform model: processing resources.
+//!
+//! A platform is a set of processing resources with per-resource concurrency
+//! and speed. In the paper's didactic example `P1` "can only process one
+//! function at a time" ([`Concurrency::Sequential`]) while `P2` "is a set of
+//! dedicated hardware resources and therefore can compute F3 and F4 at the
+//! same time" ([`Concurrency::Unlimited`]). The limited-concurrency variant
+//! discussed with the modified eq. (2) is [`Concurrency::Limited`].
+
+use crate::ids::ResourceId;
+
+/// How many executions a resource can serve simultaneously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Concurrency {
+    /// One execution at a time (a processor running a static schedule with
+    /// no pre-emption).
+    Sequential,
+    /// At most `n` simultaneous executions, still granted in static
+    /// schedule order.
+    Limited(u32),
+    /// Fully parallel dedicated hardware.
+    Unlimited,
+}
+
+impl Concurrency {
+    /// The number of servers, or `None` for unlimited.
+    pub fn servers(self) -> Option<u32> {
+        match self {
+            Concurrency::Sequential => Some(1),
+            Concurrency::Limited(n) => Some(n),
+            Concurrency::Unlimited => None,
+        }
+    }
+}
+
+/// A processing resource.
+#[derive(Clone, Debug)]
+pub struct Resource {
+    /// Diagnostic name (`"P1"`, `"dsp"`, …).
+    pub name: String,
+    /// Concurrency discipline.
+    pub concurrency: Concurrency,
+    /// Execution speed in abstract operations per tick. With the 1 tick =
+    /// 1 ns convention, 1 op/tick = 1 GOPS.
+    pub speed_ops_per_tick: u64,
+}
+
+/// The platform: processing resources indexed by [`ResourceId`].
+///
+/// # Examples
+///
+/// ```
+/// use evolve_model::{Concurrency, Platform};
+///
+/// let mut platform = Platform::new();
+/// let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+/// let p2 = platform.add_resource("P2", Concurrency::Unlimited, 8);
+/// assert_eq!(platform.resource(p1).name, "P1");
+/// assert_eq!(platform.resource(p2).concurrency, Concurrency::Unlimited);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Platform {
+    resources: Vec<Resource>,
+}
+
+impl Platform {
+    /// Creates an empty platform.
+    pub fn new() -> Self {
+        Platform::default()
+    }
+
+    /// Adds a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_ops_per_tick` is zero or `Limited(0)` is given.
+    pub fn add_resource(
+        &mut self,
+        name: impl Into<String>,
+        concurrency: Concurrency,
+        speed_ops_per_tick: u64,
+    ) -> ResourceId {
+        assert!(speed_ops_per_tick > 0, "resource speed must be nonzero");
+        assert!(
+            concurrency != Concurrency::Limited(0),
+            "limited concurrency must allow at least one execution"
+        );
+        let id = ResourceId(self.resources.len());
+        self.resources.push(Resource {
+            name: name.into(),
+            concurrency,
+            speed_ops_per_tick,
+        });
+        id
+    }
+
+    /// The resources, indexed by [`ResourceId`].
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// A resource by id.
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0]
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Returns `true` when the platform has no resources.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn servers() {
+        assert_eq!(Concurrency::Sequential.servers(), Some(1));
+        assert_eq!(Concurrency::Limited(3).servers(), Some(3));
+        assert_eq!(Concurrency::Unlimited.servers(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be nonzero")]
+    fn zero_speed_rejected() {
+        let mut p = Platform::new();
+        p.add_resource("bad", Concurrency::Sequential, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one execution")]
+    fn limited_zero_rejected() {
+        let mut p = Platform::new();
+        p.add_resource("bad", Concurrency::Limited(0), 1);
+    }
+}

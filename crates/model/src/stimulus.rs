@@ -1,0 +1,198 @@
+//! Environment stimuli: token arrival schedules for external inputs.
+//!
+//! The paper's experiments drive architectures with "20000 data produced
+//! through relation M1 with varying data size associated" and, in the case
+//! study, "an environment that periodically produces data frames with
+//! varying parameters". A [`Stimulus`] is that schedule: the instant each
+//! token is *offered* (the paper's `u(k)` when the model is idle) and its
+//! size.
+
+use evolve_des::{Duration, Time};
+
+/// One scheduled token offer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Earliest instant the environment offers the token.
+    pub at: Time,
+    /// Token size.
+    pub size: u64,
+}
+
+/// A finite arrival schedule for one external input relation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stimulus {
+    arrivals: Vec<Arrival>,
+}
+
+impl Stimulus {
+    /// Creates a stimulus from explicit arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrival instants are not non-decreasing.
+    pub fn new(arrivals: Vec<Arrival>) -> Self {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "stimulus arrivals must be sorted by time"
+        );
+        Stimulus { arrivals }
+    }
+
+    /// A periodic stimulus of `count` tokens spaced by `period`, with sizes
+    /// produced by `size_of(k)`.
+    pub fn periodic(count: u64, period: Duration, mut size_of: impl FnMut(u64) -> u64) -> Self {
+        let arrivals = (0..count)
+            .map(|k| Arrival {
+                at: Time::ZERO + period.saturating_mul(k),
+                size: size_of(k),
+            })
+            .collect();
+        Stimulus { arrivals }
+    }
+
+    /// A back-to-back stimulus: every token offered at time zero (the model
+    /// is then fully throughput-bound, the Table I operating point).
+    pub fn saturating(count: u64, mut size_of: impl FnMut(u64) -> u64) -> Self {
+        Stimulus {
+            arrivals: (0..count)
+                .map(|k| Arrival {
+                    at: Time::ZERO,
+                    size: size_of(k),
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses a stimulus from CSV rows of `time_ns,size` (a header line is
+    /// skipped if present) — the inverse of the export helpers, so captured
+    /// or externally generated arrival traces can drive models.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for malformed rows or
+    /// non-monotone times.
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut arrivals = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.chars().any(|c| c.is_alphabetic())) {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let (t, size) = (parts.next(), parts.next());
+            let (Some(t), Some(size)) = (t, size) else {
+                return Err(format!("line {}: expected `time_ns,size`", lineno + 1));
+            };
+            let at: u64 = t
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad time: {e}", lineno + 1))?;
+            let size: u64 = size
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad size: {e}", lineno + 1))?;
+            if let Some(prev) = arrivals.last() {
+                let prev: &Arrival = prev;
+                if prev.at.ticks() > at {
+                    return Err(format!("line {}: times must be non-decreasing", lineno + 1));
+                }
+            }
+            arrivals.push(Arrival {
+                at: Time::from_ticks(at),
+                size,
+            });
+        }
+        Ok(Stimulus { arrivals })
+    }
+
+    /// The scheduled arrivals in order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of scheduled tokens.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Returns `true` when no tokens are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+/// Deterministic size sequence oscillating in `min..=max` — a convenient
+/// "varying data size" source that both model variants can reproduce.
+pub fn varying_sizes(min: u64, max: u64, seed: u64) -> impl FnMut(u64) -> u64 {
+    assert!(min <= max, "size range must be non-empty");
+    let span = max - min + 1;
+    move |k| {
+        // SplitMix64-style mix of (seed, k); identical everywhere.
+        let mut z = seed ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        min + (z ^ (z >> 31)) % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_schedule() {
+        let s = Stimulus::periodic(3, Duration::from_ticks(10), |k| 100 + k);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.arrivals()[2],
+            Arrival {
+                at: Time::from_ticks(20),
+                size: 102
+            }
+        );
+    }
+
+    #[test]
+    fn saturating_schedule_all_at_zero() {
+        let s = Stimulus::saturating(4, |_| 1);
+        assert!(s.arrivals().iter().all(|a| a.at == Time::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_rejected() {
+        let _ = Stimulus::new(vec![
+            Arrival {
+                at: Time::from_ticks(5),
+                size: 1,
+            },
+            Arrival {
+                at: Time::from_ticks(2),
+                size: 1,
+            },
+        ]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let s = Stimulus::from_csv("time_ns,size\n0,10\n5,20\n\n5,30\n").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.arrivals()[2].size, 30);
+        assert!(Stimulus::from_csv("10,1\n5,1").is_err(), "non-monotone");
+        // First lines with letters are headers; later malformed rows fail.
+        assert!(Stimulus::from_csv("0,1\nabc,1\n").is_err());
+        assert!(Stimulus::from_csv("1\n").is_err());
+        assert!(Stimulus::from_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn varying_sizes_deterministic_in_range() {
+        let mut a = varying_sizes(10, 20, 7);
+        let mut b = varying_sizes(10, 20, 7);
+        for k in 0..50 {
+            let v = a(k);
+            assert_eq!(v, b(k));
+            assert!((10..=20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Semantic tests of the conventional event-driven model on the paper's
+//! didactic example, with hand-computed evolution instants.
+
+use evolve_des::{Duration, Time};
+use evolve_model::{
+    didactic, elaborate, Application, Architecture, Behavior, Concurrency, Environment,
+    LoadModel, Mapping, Platform, RelationKind, ResourceId, ResourceTrace, Stimulus, UsageSeries,
+};
+
+fn t(ticks: u64) -> Time {
+    Time::from_ticks(ticks)
+}
+
+/// Constant-load didactic parameters: Ti1=10, Tj1=20, Ti2=30, Ti3=40,
+/// Tj3=50, Ti4=60 ticks (per-unit terms zero).
+fn const_params() -> didactic::Params {
+    didactic::Params {
+        ti1: (10, 0),
+        tj1: (20, 0),
+        ti2: (30, 0),
+        ti3: (40, 0),
+        tj3: (50, 0),
+        ti4: (60, 0),
+    }
+}
+
+#[test]
+fn didactic_first_iteration_instants() {
+    let d = didactic::chained(1, const_params()).unwrap();
+    let env = Environment::new().stimulus(d.input(), Stimulus::saturating(1, |_| 0));
+    let report = elaborate(&d.arch, &env).unwrap().run();
+
+    let s = &d.stages[0];
+    // Hand-derived (see module docs of `didactic` for the behaviours):
+    // xM1(0)=0; F1: Ti1 0→10, M2 at 10; Tj1 10→30, M3 at 30;
+    // F3: Ti2 30→60; F2: Ti3 waits for Tj1 end → 30→70, M4 at 70 (writer
+    // ready 60, reader ready 70); Tj3 70→120, M5 at 120; F4: Ti4 120→180,
+    // M6 at 180.
+    assert_eq!(report.instants(s.m1), &[t(0)]);
+    assert_eq!(report.instants(s.m2), &[t(10)]);
+    assert_eq!(report.instants(s.m3), &[t(30)]);
+    assert_eq!(report.instants(s.m4), &[t(70)]);
+    assert_eq!(report.instants(s.m5), &[t(120)]);
+    assert_eq!(report.instants(s.m6), &[t(180)]);
+}
+
+#[test]
+fn didactic_second_iteration_respects_static_schedule() {
+    let d = didactic::chained(1, const_params()).unwrap();
+    let env = Environment::new().stimulus(d.input(), Stimulus::saturating(2, |_| 0));
+    let report = elaborate(&d.arch, &env).unwrap().run();
+
+    let s = &d.stages[0];
+    // F1 is back at read(M1) at t=30 (after writing M3), so xM1(1)=30.
+    assert_eq!(report.instants(s.m1), &[t(0), t(30)]);
+    // P1's static cycle is [Ti1, Tj1, Ti3, Tj3]; Ti1(1) must wait for
+    // Tj3(0) to end at 120: Ti1(1) 120→130, M2 exchange when F2 reads
+    // again after writing M5(0) at 120 → max(130, 120) = 130.
+    assert_eq!(report.instants(s.m2), &[t(10), t(130)]);
+    // Tj1(1) 130→150, F3 ready (idle since 60) → M3 at 150.
+    assert_eq!(report.instants(s.m3), &[t(30), t(150)]);
+    // F3: Ti2(1) 150→180 (P2 unlimited). F2's Ti3(1) must wait for Tj1(1)
+    // to end on sequential P1: 150→190, so M4 exchanges at max(180, 190).
+    assert_eq!(report.instants(s.m4), &[t(70), t(190)]);
+    // Tj3(1) 190→240; M5 at 240 (F4 idle since 180).
+    assert_eq!(report.instants(s.m5), &[t(120), t(240)]);
+    // Ti4(1) 240→300.
+    assert_eq!(report.instants(s.m6), &[t(180), t(300)]);
+}
+
+#[test]
+fn source_offers_are_back_pressured() {
+    // With a period shorter than the throughput, u(k) = completion of the
+    // previous offer; with a long period, u(k) = the schedule.
+    let d = didactic::chained(1, const_params()).unwrap();
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::periodic(3, Duration::from_ticks(1_000), |_| 0),
+    );
+    let report = elaborate(&d.arch, &env).unwrap().run();
+    // Period 1000 is far beyond the pipeline latency: offers at schedule.
+    assert_eq!(report.instants(d.input()), &[t(0), t(1_000), t(2_000)]);
+}
+
+#[test]
+fn unlimited_resource_runs_functions_concurrently() {
+    // Two independent chains on one unlimited resource: both execute at
+    // their data-ready instants with no mutual delay.
+    let mut app = Application::new();
+    let in1 = app.add_input("in1", RelationKind::Rendezvous);
+    let in2 = app.add_input("in2", RelationKind::Rendezvous);
+    let out1 = app.add_output("out1", RelationKind::Rendezvous);
+    let out2 = app.add_output("out2", RelationKind::Rendezvous);
+    let f1 = app.add_function(
+        "A",
+        Behavior::new()
+            .read(in1)
+            .execute(LoadModel::Constant(100))
+            .write(out1),
+    );
+    let f2 = app.add_function(
+        "B",
+        Behavior::new()
+            .read(in2)
+            .execute(LoadModel::Constant(100))
+            .write(out2),
+    );
+    let mut platform = Platform::new();
+    let hw = platform.add_resource("HW", Concurrency::Unlimited, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(f1, hw).assign(f2, hw);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new()
+        .stimulus(in1, Stimulus::saturating(1, |_| 0))
+        .stimulus(in2, Stimulus::saturating(1, |_| 0));
+    let report = elaborate(&arch, &env).unwrap().run();
+    assert_eq!(report.instants(out1), &[t(100)]);
+    assert_eq!(report.instants(out2), &[t(100)], "no serialization on HW");
+}
+
+#[test]
+fn sequential_resource_serializes_in_static_order() {
+    // The same two chains on a sequential resource: B waits for A.
+    let mut app = Application::new();
+    let in1 = app.add_input("in1", RelationKind::Rendezvous);
+    let in2 = app.add_input("in2", RelationKind::Rendezvous);
+    let out1 = app.add_output("out1", RelationKind::Rendezvous);
+    let out2 = app.add_output("out2", RelationKind::Rendezvous);
+    let f1 = app.add_function(
+        "A",
+        Behavior::new()
+            .read(in1)
+            .execute(LoadModel::Constant(100))
+            .write(out1),
+    );
+    let f2 = app.add_function(
+        "B",
+        Behavior::new()
+            .read(in2)
+            .execute(LoadModel::Constant(100))
+            .write(out2),
+    );
+    let mut platform = Platform::new();
+    let cpu = platform.add_resource("CPU", Concurrency::Sequential, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(f1, cpu).assign(f2, cpu);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new()
+        .stimulus(in1, Stimulus::saturating(1, |_| 0))
+        .stimulus(in2, Stimulus::saturating(1, |_| 0));
+    let report = elaborate(&arch, &env).unwrap().run();
+    assert_eq!(report.instants(out1), &[t(100)]);
+    assert_eq!(report.instants(out2), &[t(200)], "B serialized after A");
+}
+
+#[test]
+fn limited_concurrency_two_servers() {
+    // Three chains on a Limited(2) resource: the third execute waits for
+    // the first to end.
+    let mut app = Application::new();
+    let mut platform = Platform::new();
+    let res = platform.add_resource("R", Concurrency::Limited(2), 1);
+    let mut mapping = Mapping::new();
+    let mut ins = Vec::new();
+    let mut outs = Vec::new();
+    for i in 0..3 {
+        let input = app.add_input(format!("in{i}"), RelationKind::Rendezvous);
+        let output = app.add_output(format!("out{i}"), RelationKind::Rendezvous);
+        let f = app.add_function(
+            format!("F{i}"),
+            Behavior::new()
+                .read(input)
+                .execute(LoadModel::Constant(100))
+                .write(output),
+        );
+        mapping.assign(f, res);
+        ins.push(input);
+        outs.push(output);
+    }
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let mut env = Environment::new();
+    for input in &ins {
+        env = env.stimulus(*input, Stimulus::saturating(1, |_| 0));
+    }
+    let report = elaborate(&arch, &env).unwrap().run();
+    assert_eq!(report.instants(outs[0]), &[t(100)]);
+    assert_eq!(report.instants(outs[1]), &[t(100)], "two servers in parallel");
+    assert_eq!(report.instants(outs[2]), &[t(200)], "third waits for a server");
+}
+
+#[test]
+fn fifo_decouples_producer_from_consumer() {
+    // producer -> fifo(3) -> consumer with slow consumer: the producer's
+    // first writes complete immediately.
+    let mut app = Application::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let queue = app.add_relation("q", RelationKind::Fifo(3));
+    let output = app.add_output("out", RelationKind::Rendezvous);
+    let prod = app.add_function(
+        "prod",
+        Behavior::new()
+            .read(input)
+            .execute(LoadModel::Constant(10))
+            .write(queue),
+    );
+    let cons = app.add_function(
+        "cons",
+        Behavior::new()
+            .read(queue)
+            .execute(LoadModel::Constant(100))
+            .write(output),
+    );
+    let mut platform = Platform::new();
+    let p1 = platform.add_resource("P1", Concurrency::Sequential, 1);
+    let p2 = platform.add_resource("P2", Concurrency::Sequential, 1);
+    let mut mapping = Mapping::new();
+    mapping.assign(prod, p1).assign(cons, p2);
+    let arch = Architecture::new(app, platform, mapping).unwrap();
+    let env = Environment::new().stimulus(input, Stimulus::saturating(5, |_| 0));
+    let report = elaborate(&arch, &env).unwrap().run();
+    // Producer: exec 10 ticks each, writes at 10, 20, 30, then the fifo is
+    // full (3 in flight, consumer popped one at 10): write 4 at 40 fits
+    // (pop at 10), write 5 waits for the pop at 110.
+    let writes = report.instants(queue);
+    assert_eq!(writes[0], t(10));
+    assert_eq!(writes[1], t(20));
+    assert_eq!(writes[2], t(30));
+    // Consumer pops at 10, 110, 210, 310, 410; outputs at 110..510.
+    assert_eq!(
+        report.instants(output),
+        &[t(110), t(210), t(310), t(410), t(510)]
+    );
+    // The 5th write completed when the queue had space again.
+    assert!(writes[4] > t(30), "last write back-pressured: {:?}", writes);
+}
+
+#[test]
+fn exec_records_capture_all_work() {
+    let d = didactic::chained(1, const_params()).unwrap();
+    let env = Environment::new().stimulus(d.input(), Stimulus::saturating(4, |_| 0));
+    let report = elaborate(&d.arch, &env).unwrap().run();
+    // 6 executes per iteration × 4 iterations.
+    assert_eq!(report.exec_records.len(), 24);
+    let total_ops: u64 = report.exec_records.iter().map(|r| r.ops).sum();
+    assert_eq!(total_ops, 4 * (10 + 20 + 30 + 40 + 50 + 60));
+    // P1's busy time equals its serial work: 4 × (10+20+40+50).
+    let p1 = ResourceTrace::from_records(&report.exec_records, ResourceId::from_index(0));
+    assert_eq!(p1.busy_ticks(), 4 * 120);
+    // Usage series integrates to the ops actually performed on P1.
+    let usage = UsageSeries::from_records(&report.exec_records, ResourceId::from_index(0), 10);
+    assert!((usage.total_ops() - (4.0 * 120.0)).abs() < 1e-6);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let d = didactic::chained(2, didactic::Params::default()).unwrap();
+    let run = || {
+        let env = Environment::new().stimulus(
+            d.input(),
+            Stimulus::periodic(50, Duration::from_ticks(500), evolve_model::varying_sizes(8, 64, 7)),
+        );
+        let r = elaborate(&d.arch, &env).unwrap().run();
+        (
+            r.end_time,
+            r.relation_logs.clone(),
+            r.exec_records.len(),
+            r.stats,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn all_tokens_flow_through_chained_stages() {
+    let d = didactic::chained(3, didactic::Params::default()).unwrap();
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::periodic(20, Duration::from_ticks(100), |k| k % 13),
+    );
+    let report = elaborate(&d.arch, &env).unwrap().run();
+    assert_eq!(report.instants(d.output()).len(), 20);
+    // Outputs are strictly increasing (rendezvous pipeline, nonzero work).
+    let outs = report.instants(d.output());
+    assert!(outs.windows(2).all(|w| w[0] < w[1]));
+    // Every relation carried exactly 20 tokens.
+    for (i, log) in report.relation_logs.iter().enumerate() {
+        assert_eq!(log.transfers(), 20, "relation {i}");
+    }
+}
+
+#[test]
+fn missing_stimulus_is_reported() {
+    let d = didactic::chained(1, const_params()).unwrap();
+    let err = elaborate(&d.arch, &Environment::new()).unwrap_err();
+    assert!(err.to_string().contains("no stimulus"));
+}
+
+#[test]
+fn size_dependent_loads_change_timing() {
+    let d = didactic::chained(1, didactic::Params::default()).unwrap();
+    let run = |size: u64| {
+        let env =
+            Environment::new().stimulus(d.input(), Stimulus::saturating(1, move |_| size));
+        elaborate(&d.arch, &env).unwrap().run().end_time
+    };
+    assert!(run(100) > run(1), "larger data takes longer");
+}

@@ -1,0 +1,113 @@
+//! Design-space exploration — the use case that motivates the paper:
+//! "performance and cost of potential architectures have to be assessed
+//! early in the design cycle", which demands many fast simulations.
+//!
+//! Sweeps the DSP speed of the LTE receiver and, for each candidate, uses
+//! (a) the (max,+) analysis of the derived graph to predict the achievable
+//! steady-state period analytically, and (b) the fast equivalent model to
+//! measure latency and utilization — without ever running the event-rich
+//! conventional model inside the sweep.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use evolve::core::{analysis, derive_tdg, equivalent_simulation};
+use evolve::lte::{frame_stimulus, Scenario, SYMBOL_PERIOD};
+use evolve::model::{
+    Application, Architecture, Behavior, Concurrency, Environment, Mapping, Platform,
+    ResourceTrace,
+};
+
+/// Rebuilds the LTE receiver with a configurable DSP speed.
+fn receiver_with_dsp_speed(
+    scenario: Scenario,
+    dsp_speed: u64,
+) -> Result<(Architecture, evolve::model::RelationId, evolve::model::RelationId, evolve::model::ResourceId), evolve::model::ModelError> {
+    // Reuse the stage structure of evolve-lte but with a custom platform.
+    let loads = evolve::lte::StageLoads::new(&scenario);
+    let mut app = Application::new();
+    let input = app.add_input("symbols", evolve::model::RelationKind::Rendezvous);
+    let stages: [(&str, &evolve::model::LoadModel); 8] = [
+        ("cp_removal", &loads.cp_removal),
+        ("fft", &loads.fft),
+        ("channel_est", &loads.channel_estimation),
+        ("equalizer", &loads.equalizer),
+        ("demapper", &loads.demapper),
+        ("descrambler", &loads.descrambler),
+        ("rate_dematch", &loads.rate_dematcher),
+        ("turbo_decoder", &loads.turbo_decoder),
+    ];
+    let mut upstream = input;
+    let mut functions = Vec::new();
+    let mut output = input;
+    for (i, (name, load)) in stages.iter().enumerate() {
+        let next = if i + 1 == stages.len() {
+            app.add_output("blocks", evolve::model::RelationKind::Rendezvous)
+        } else {
+            app.add_relation(format!("s{}", i + 1), evolve::model::RelationKind::Rendezvous)
+        };
+        functions.push(app.add_function(
+            *name,
+            Behavior::new().read(upstream).execute((*load).clone()).write(next),
+        ));
+        upstream = next;
+        output = next;
+    }
+    let mut platform = Platform::new();
+    let dsp = platform.add_resource("dsp", Concurrency::Sequential, dsp_speed);
+    let hw = platform.add_resource("decoder_hw", Concurrency::Unlimited, 150);
+    let mut mapping = Mapping::new();
+    for (i, f) in functions.iter().enumerate() {
+        mapping.assign(*f, if i == 7 { hw } else { dsp });
+    }
+    Ok((Architecture::new(app, platform, mapping)?, input, output, dsp))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::default();
+    println!("DSP speed sweep — LTE receiver, 5 frames of full-rate traffic");
+    println!(
+        "{:>10} {:>16} {:>14} {:>12} {:>12}",
+        "DSP GOPS", "predicted period", "meets 71.42µs?", "max latency", "DSP util"
+    );
+
+    for dsp_speed in [2u64, 4, 6, 8, 12] {
+        let (arch, input, output, dsp) = receiver_with_dsp_speed(scenario, dsp_speed)?;
+
+        // Analytical throughput bound from the derived graph, frozen at the
+        // maximum allocation.
+        let derived = derive_tdg(&arch)?;
+        let max_bits = scenario.coded_bits(scenario.bandwidth.prbs());
+        let period = analysis::predicted_period(&derived.tdg, max_bits)
+            .map(|p| p.as_f64() / 1_000.0)
+            .unwrap_or(0.0);
+        let feasible = period <= SYMBOL_PERIOD.ticks() as f64 / 1_000.0;
+
+        // Fast measurement with the equivalent model.
+        let env = Environment::new().stimulus(input, frame_stimulus(scenario, 5, 7));
+        let report = equivalent_simulation(&arch, &env)?.run();
+        let u = &report.run.relation_logs[input.index()].write_instants;
+        let y = &report.run.relation_logs[output.index()].write_instants;
+        let max_latency = u
+            .iter()
+            .zip(y)
+            .map(|(a, b)| b.ticks() - a.ticks())
+            .max()
+            .unwrap_or(0) as f64
+            / 1_000.0;
+        let util = ResourceTrace::from_records(&report.run.exec_records, dsp)
+            .utilization(report.run.end_time);
+
+        println!(
+            "{:>10} {:>13.2} µs {:>14} {:>9.2} µs {:>11.1}%",
+            dsp_speed,
+            period,
+            if feasible { "yes" } else { "NO" },
+            max_latency,
+            util * 100.0
+        );
+    }
+    println!();
+    println!("(predicted period = max cycle ratio of the (max,+) graph at full allocation;");
+    println!(" the sweep never runs the event-rich conventional model)");
+    Ok(())
+}

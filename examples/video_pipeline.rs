@@ -1,0 +1,172 @@
+//! A video-decoder pipeline: the archetypal heterogeneous-multimedia
+//! workload motivating TLM performance evaluation.
+//!
+//! Structure (per frame): parse → entropy decode → fork into inverse
+//! transform and motion compensation (parallel hardware) → reconstruct →
+//! deblocking filter, with FIFO decoupling after the parser. Frame sizes
+//! vary (I/P/B pattern). The example:
+//!
+//! 1. verifies the equivalent model against the conventional one,
+//! 2. measures whether a 25 fps deadline holds via the (max,+) analysis,
+//! 3. computes the *latest* admissible frame-arrival schedule for a jitter
+//!    budget using backward residuation.
+//!
+//! Run with: `cargo run --release --example video_pipeline`
+
+use evolve::core::{analysis, derive_tdg, validate::compare_models};
+use evolve::des::{Duration, Time};
+use evolve::model::{
+    Application, Architecture, Behavior, Concurrency, Environment, LoadModel, Mapping, Platform,
+    RelationKind, Stimulus,
+};
+
+const FRAME_PERIOD: u64 = 40_000_000; // 40 ms in ns ticks = 25 fps
+
+fn decoder() -> Result<
+    (Architecture, evolve::model::RelationId, evolve::model::RelationId),
+    evolve::model::ModelError,
+> {
+    let mut app = Application::new();
+    let input = app.add_input("bitstream", RelationKind::Rendezvous);
+    let parsed = app.add_relation("parsed", RelationKind::Fifo(2));
+    let coeffs = app.add_relation("coeffs", RelationKind::Rendezvous);
+    let mv = app.add_relation("mv", RelationKind::Rendezvous);
+    let residual = app.add_relation("residual", RelationKind::Rendezvous);
+    let predicted = app.add_relation("predicted", RelationKind::Rendezvous);
+    let recon = app.add_relation("recon", RelationKind::Rendezvous);
+    let frames = app.add_output("frames", RelationKind::Rendezvous);
+
+    // Loads in operations; sizes are coded bits per frame (millions).
+    let parse = app.add_function(
+        "parse",
+        Behavior::new()
+            .read(input)
+            .execute(LoadModel::PerUnit { base: 20_000, per_unit: 2 })
+            .write(parsed),
+    );
+    let entropy = app.add_function(
+        "entropy",
+        Behavior::new()
+            .read(parsed)
+            .execute(LoadModel::PerUnit { base: 100_000, per_unit: 14 })
+            .write(coeffs)
+            .write(mv),
+    );
+    let idct = app.add_function(
+        "idct",
+        Behavior::new()
+            .read(coeffs)
+            .execute(LoadModel::PerUnit { base: 500_000, per_unit: 6 })
+            .write(residual),
+    );
+    let mocomp = app.add_function(
+        "mocomp",
+        Behavior::new()
+            .read(mv)
+            .execute(LoadModel::PerUnit { base: 800_000, per_unit: 4 })
+            .write(predicted),
+    );
+    let reconstruct = app.add_function(
+        "reconstruct",
+        Behavior::new()
+            .read(residual)
+            .read(predicted)
+            .execute(LoadModel::PerUnit { base: 300_000, per_unit: 3 })
+            .write(recon),
+    );
+    let deblock = app.add_function(
+        "deblock",
+        Behavior::new()
+            .read(recon)
+            .execute(LoadModel::PerUnit { base: 700_000, per_unit: 5 })
+            .write(frames),
+    );
+
+    let mut platform = Platform::new();
+    let cpu = platform.add_resource("cpu", Concurrency::Sequential, 1); // 1 GOPS control core
+    let hw = platform.add_resource("hw", Concurrency::Limited(2), 4); // transform/MC engines
+    let filter = platform.add_resource("filter", Concurrency::Sequential, 2);
+    let mut mapping = Mapping::new();
+    mapping
+        .assign(parse, cpu)
+        .assign(entropy, cpu)
+        .assign(idct, hw)
+        .assign(mocomp, hw)
+        .assign(reconstruct, hw)
+        .assign(deblock, filter);
+
+    Ok((Architecture::new(app, platform, mapping)?, input, frames))
+}
+
+/// Frame sizes following an IBBP pattern, in kilobits.
+fn frame_sizes(k: u64) -> u64 {
+    match k % 4 {
+        0 => 900, // I frame
+        1 | 2 => 150, // B frames
+        _ => 400, // P frame
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (arch, input, frames) = decoder()?;
+    println!(
+        "decoder: {} functions on {} resources (cpu + 2-engine hw + filter)",
+        arch.app().functions().len(),
+        arch.platform().len()
+    );
+
+    // 1. Accuracy of the equivalent model on 200 frames at 25 fps.
+    let env = Environment::new().stimulus(
+        input,
+        Stimulus::periodic(200, Duration::from_ticks(FRAME_PERIOD), frame_sizes),
+    );
+    let cmp = compare_models(&arch, &env, 4)?;
+    println!(
+        "equivalence: {} (event ratio {:.2})",
+        if cmp.is_accurate() { "exact" } else { "MISMATCH" },
+        cmp.event_ratio()
+    );
+
+    // 2. Throughput analysis: worst-case (I-frame) steady period vs 40 ms.
+    let derived = derive_tdg(&arch)?;
+    let period = analysis::predicted_period(&derived.tdg, 900)
+        .expect("cyclic")
+        .as_f64()
+        / 1e6;
+    println!(
+        "worst-case steady period {period:.2} ms per frame — 25 fps {}",
+        if period <= 40.0 { "sustained" } else { "NOT sustained" }
+    );
+
+    // 3. Latest admissible arrivals for the first 8 frames, one frame of
+    //    output latency allowed past each nominal display time.
+    let deadlines: Vec<Time> = (0..8)
+        .map(|k| Time::from_ticks((k + 2) * FRAME_PERIOD))
+        .collect();
+    match analysis::latest_input_schedule(&derived.tdg, 900, &[deadlines]) {
+        Some(latest) => {
+            println!("latest bitstream arrivals meeting display deadlines (ms):");
+            print!("   ");
+            for t in &latest[0] {
+                print!(" {:7.2}", t.ticks() as f64 / 1e6);
+            }
+            println!();
+        }
+        None => println!("display deadlines infeasible"),
+    }
+
+    // Worst-frame latency from the measured run.
+    let u = &cmp.equivalent.run.relation_logs[input.index()].write_instants;
+    let y = &cmp.equivalent.run.relation_logs[frames.index()].write_instants;
+    let max_latency = u
+        .iter()
+        .zip(y)
+        .map(|(a, b)| b.ticks() - a.ticks())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "max frame latency {:.2} ms over 200 frames",
+        max_latency as f64 / 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! `evolve` — reproduction of *"A Dynamic Computation Method for Fast and
+//! Accurate Performance Evaluation of Multi-Core Architectures"* (Le Nours,
+//! Postula, Bergmann — DATE 2014).
+//!
+//! This umbrella crate re-exports the workspace crates so examples and
+//! downstream users can depend on a single name:
+//!
+//! * [`maxplus`] — the (max,+) algebra used to describe evolution instants.
+//! * [`des`] — the discrete-event simulation kernel (SystemC-like substrate).
+//! * [`model`] — application/platform/mapping performance-model layer and the
+//!   conventional fully event-driven elaboration.
+//! * [`core`] — the paper's contribution: temporal dependency graphs,
+//!   `ComputeInstant`, automatic derivation, and the equivalent model.
+//! * [`lte`] — the LTE PHY receiver case study (paper Section V).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use evolve::core::{derive_tdg, EquivalentModelBuilder};
+//! use evolve::model::didactic;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the paper's Fig. 1 didactic architecture and derive its
+//! // temporal dependency graph.
+//! let arch = didactic::architecture(didactic::Params::default())?;
+//! let derived = derive_tdg(&arch)?;
+//! assert!(derived.tdg.node_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use evolve_core as core;
+pub use evolve_des as des;
+pub use evolve_explore as explore;
+pub use evolve_lte as lte;
+pub use evolve_maxplus as maxplus;
+pub use evolve_model as model;

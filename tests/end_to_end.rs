@@ -1,0 +1,130 @@
+//! Workspace-level integration tests: the full pipeline from architecture
+//! capture through derivation, simulation, dynamic computation, and
+//! observation — across all crates via the umbrella API.
+
+use evolve::core::{
+    analysis, derive_tdg, equivalent_simulation, simplify, validate::compare_models,
+    EquivalentModelBuilder,
+};
+use evolve::des::Duration;
+use evolve::lte::{frame_stimulus, receiver, Scenario};
+use evolve::model::{
+    didactic, elaborate, varying_sizes, Environment, ResourceTrace, Stimulus, UsageSeries,
+};
+
+#[test]
+fn didactic_full_pipeline() {
+    let d = didactic::chained(2, didactic::Params::default()).expect("builds");
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::periodic(300, Duration::from_ticks(2_500), varying_sizes(8, 128, 1)),
+    );
+    let cmp = compare_models(&d.arch, &env, 8).expect("both models build");
+    assert!(cmp.is_accurate(), "{:?}", cmp.mismatches);
+    assert!(cmp.event_ratio() > 5.0, "two stages: ratio {}", cmp.event_ratio());
+    assert_eq!(
+        cmp.conventional.exec_records.len(),
+        cmp.equivalent.run.exec_records.len()
+    );
+}
+
+#[test]
+fn gops_observation_is_simulator_free_and_exact() {
+    // The equivalent model's usage series must equal the conventional
+    // one bit for bit (paper: "The same accuracy is thus obtained as with
+    // the initial architecture model").
+    let rx = receiver(Scenario::default()).expect("builds");
+    let env = Environment::new().stimulus(rx.input, frame_stimulus(rx.scenario, 6, 99));
+    let conventional = elaborate(&rx.arch, &env).expect("builds").run();
+    let equivalent = equivalent_simulation(&rx.arch, &env).expect("builds").run();
+    for resource in [rx.dsp, rx.decoder_hw] {
+        for bin in [1_000u64, 10_000, 71_420] {
+            let a = UsageSeries::from_records(&conventional.exec_records, resource, bin);
+            let b = UsageSeries::from_records(&equivalent.run.exec_records, resource, bin);
+            assert_eq!(a, b, "resource {resource:?} bin {bin}");
+        }
+        let ta = ResourceTrace::from_records(&conventional.exec_records, resource);
+        let tb = ResourceTrace::from_records(&equivalent.run.exec_records, resource);
+        assert_eq!(ta, tb);
+    }
+}
+
+#[test]
+fn analysis_predicts_saturated_throughput() {
+    // Cross-check the (max,+) eigenvalue against simulated steady state on
+    // a saturated didactic chain with constant loads.
+    let params = didactic::Params {
+        ti1: (40, 0),
+        tj1: (25, 0),
+        ti2: (60, 0),
+        ti3: (35, 0),
+        tj3: (45, 0),
+        ti4: (80, 0),
+    };
+    let d = didactic::chained(1, params).expect("builds");
+    let derived = derive_tdg(&d.arch).expect("derives");
+    let predicted = analysis::predicted_period(&derived.tdg, 0).expect("cyclic");
+
+    let env = Environment::new().stimulus(d.input(), Stimulus::saturating(60, |_| 0));
+    let report = elaborate(&d.arch, &env).expect("builds").run();
+    let outs = report.instants(d.output());
+    let spacing = outs[59].ticks() - outs[58].ticks();
+    assert_eq!(spacing as i64, predicted.ceil(), "period {predicted}");
+}
+
+#[test]
+fn simplified_graph_preserves_boundary_behaviour() {
+    let d = didactic::chained(3, didactic::Params::default()).expect("builds");
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::saturating(150, varying_sizes(1, 200, 17)),
+    );
+    let conventional = elaborate(&d.arch, &env).expect("builds").run();
+    let reduced = EquivalentModelBuilder::new(&d.arch)
+        .record_observations(false)
+        .simplify(simplify::Options {
+            preserve_observations: false,
+        })
+        .build(&env)
+        .expect("builds");
+    assert!(reduced.node_count() < derive_tdg(&d.arch).expect("derives").tdg.node_count());
+    let reduced = reduced.run();
+    for rel in [d.input(), d.output()] {
+        assert_eq!(
+            conventional.relation_logs[rel.index()].write_instants,
+            reduced.run.relation_logs[rel.index()].write_instants,
+            "boundary relation {rel:?}"
+        );
+    }
+}
+
+#[test]
+fn equivalent_model_scales_to_long_runs() {
+    // 20 000 tokens (the paper's stimulus volume) through the equivalent
+    // model: memory stays bounded (pruned history) and instants flow.
+    let d = didactic::chained(1, didactic::Params::default()).expect("builds");
+    let env = Environment::new().stimulus(
+        d.input(),
+        Stimulus::saturating(20_000, varying_sizes(1, 256, 4)),
+    );
+    let report = equivalent_simulation(&d.arch, &env).expect("builds").run();
+    assert_eq!(report.instants(d.output()).len(), 20_000);
+    assert_eq!(report.engine_stats.iterations_completed, 20_000);
+    // Monotone outputs.
+    let outs = report.instants(d.output());
+    assert!(outs.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn umbrella_reexports_are_coherent() {
+    // The same types flow across crate boundaries through the facade.
+    let d = didactic::chained(1, didactic::Params::default()).expect("builds");
+    let derived = derive_tdg(&d.arch).expect("derives");
+    let mut engine = evolve::core::Engine::new(
+        derived,
+        d.arch.app().relations().len(),
+        true,
+    );
+    engine.set_input(0, 0, evolve::des::Time::ZERO, 16);
+    assert!(engine.next_output(0).is_some());
+}

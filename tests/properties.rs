@@ -1,0 +1,172 @@
+//! Workspace-level property tests: the accuracy claim over randomized
+//! architectures and stimuli — the conventional and equivalent models must
+//! agree on every instant for *any* statically scheduled, non-preemptive
+//! model this workspace can express.
+
+use evolve::core::partial::hybrid_simulation;
+use evolve::core::validate::compare_models;
+use evolve::des::Time;
+use evolve::model::FunctionId;
+use evolve::model::{
+    Application, Architecture, Arrival, Behavior, Concurrency, Environment, LoadModel, Mapping,
+    Platform, RelationKind, Stimulus,
+};
+use proptest::prelude::*;
+
+/// A randomized linear pipeline: N stages, random relation kinds, random
+/// loads, random resource shapes and groupings.
+#[derive(Debug, Clone)]
+struct PipelineSpec {
+    stage_loads: Vec<(u64, u64)>,
+    fifo_caps: Vec<Option<usize>>,
+    /// Resource index per stage (grouping stages onto shared resources).
+    resource_of: Vec<usize>,
+    concurrencies: Vec<u8>,
+    arrivals: Vec<(u64, u64)>,
+}
+
+fn spec() -> impl Strategy<Value = PipelineSpec> {
+    (2usize..5)
+        .prop_flat_map(|stages| {
+            (
+                proptest::collection::vec((1u64..400, 0u64..4), stages),
+                proptest::collection::vec(proptest::option::of(1usize..4), stages.saturating_sub(1)),
+                proptest::collection::vec(0usize..2, stages),
+                proptest::collection::vec(0u8..3, 2),
+                proptest::collection::vec((0u64..2_000, 0u64..64), 3..25),
+            )
+        })
+        .prop_map(
+            |(stage_loads, fifo_caps, resource_of, concurrencies, mut raw_arrivals)| {
+                // Arrivals must be sorted by offset.
+                raw_arrivals.sort_by_key(|(t, _)| *t);
+                PipelineSpec {
+                    stage_loads,
+                    fifo_caps,
+                    resource_of,
+                    concurrencies,
+                    arrivals: raw_arrivals,
+                }
+            },
+        )
+}
+
+fn build(spec: &PipelineSpec) -> (Architecture, Environment) {
+    let stages = spec.stage_loads.len();
+    let mut app = Application::new();
+    let input = app.add_input("in", RelationKind::Rendezvous);
+    let mut upstream = input;
+    let mut functions = Vec::new();
+    for (i, (base, per_unit)) in spec.stage_loads.iter().enumerate() {
+        let next = if i + 1 == stages {
+            app.add_output("out", RelationKind::Rendezvous)
+        } else {
+            match spec.fifo_caps[i] {
+                Some(cap) => app.add_relation(format!("r{i}"), RelationKind::Fifo(cap)),
+                None => app.add_relation(format!("r{i}"), RelationKind::Rendezvous),
+            }
+        };
+        functions.push(app.add_function(
+            format!("F{i}"),
+            Behavior::new()
+                .read(upstream)
+                .execute(LoadModel::PerUnit {
+                    base: *base,
+                    per_unit: *per_unit,
+                })
+                .write(next),
+        ));
+        upstream = next;
+    }
+    let mut platform = Platform::new();
+    let resources: Vec<_> = spec
+        .concurrencies
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let concurrency = match c {
+                0 => Concurrency::Sequential,
+                1 => Concurrency::Limited(2),
+                _ => Concurrency::Unlimited,
+            };
+            platform.add_resource(format!("P{i}"), concurrency, 1)
+        })
+        .collect();
+    let mut mapping = Mapping::new();
+    for (i, f) in functions.iter().enumerate() {
+        mapping.assign(*f, resources[spec.resource_of[i] % resources.len()]);
+    }
+    let arch = Architecture::new(app, platform, mapping).expect("spec is well-formed");
+
+    let mut t = 0u64;
+    let arrivals = spec
+        .arrivals
+        .iter()
+        .map(|(dt, size)| {
+            t += dt;
+            Arrival {
+                at: Time::from_ticks(t),
+                size: *size,
+            }
+        })
+        .collect();
+    let env = Environment::new().stimulus(input, Stimulus::new(arrivals));
+    (arch, env)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_pipelines_are_reproduced_exactly(spec in spec()) {
+        let (arch, env) = build(&spec);
+        let cmp = compare_models(&arch, &env, 4).expect("both models build");
+        prop_assert!(
+            cmp.is_accurate(),
+            "mismatches: {:?}\nspec: {:?}",
+            cmp.mismatches,
+            spec
+        );
+        // The equivalent model always uses no more events.
+        prop_assert!(cmp.equivalent.boundary_relation_events <= cmp.conventional.relation_events());
+    }
+
+    #[test]
+    fn random_partial_abstractions_are_exact(spec in spec()) {
+        // Abstract the functions of one resource class (resource
+        // exclusivity holds by construction); the hybrid must reproduce
+        // the conventional instants exactly.
+        let (arch, env) = build(&spec);
+        let group: Vec<FunctionId> = spec
+            .resource_of
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r % 2 == 0)
+            .map(|(i, _)| FunctionId::from_index(i))
+            .collect();
+        prop_assume!(!group.is_empty() && group.len() < spec.stage_loads.len());
+        let conventional = evolve::model::elaborate(&arch, &env).expect("builds").run();
+        let hybrid = hybrid_simulation(&arch, &group, &env)
+            .expect("hybrid builds")
+            .run();
+        for (ridx, relation) in arch.app().relations().iter().enumerate() {
+            prop_assert_eq!(
+                &conventional.relation_logs[ridx].write_instants,
+                &hybrid.run.relation_logs[ridx].write_instants,
+                "write instants of {} differ (group {:?})",
+                relation.name,
+                group
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_are_monotone_and_complete(spec in spec()) {
+        let (arch, env) = build(&spec);
+        let cmp = compare_models(&arch, &env, 1).expect("builds");
+        let out = arch.app().external_outputs()[0];
+        let outs = &cmp.equivalent.run.relation_logs[out.index()].write_instants;
+        prop_assert_eq!(outs.len(), spec.arrivals.len());
+        prop_assert!(outs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
