@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. The workspace vendors its only
+# external dev-dependencies (vendor/proptest, vendor/criterion), so
+# everything here runs without network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "ci: build, tests, and clippy all green"

@@ -3,20 +3,28 @@
 //!
 //! Axes:
 //! * observation replay on/off (accuracy vs. speed of `ComputeInstant()`),
+//!   measured through the scenario-sweep path with reused engines,
 //! * graph simplification on/off (node count vs. engine cost),
-//! * kernel cost regime (how much the event savings are worth).
+//! * kernel cost regime (how much the event savings are worth),
+//! * partial abstraction (hybrid model) as a middle ground.
 //!
-//! Usage: `ablation [tokens]` (default 20 000).
+//! Usage: `ablation [tokens] [threads]` (defaults: 20 000, host parallelism).
 
-use evolve_bench::{format_row, header, measure, Fidelity};
-use evolve_core::{derive_tdg, simplify, EquivalentModelBuilder};
+use evolve_bench::{format_row, header, measure, sweep_measurements, Fidelity};
+use evolve_core::{derive_tdg, simplify};
+use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 use evolve_model::{didactic, varying_sizes, Environment, Stimulus};
 
 fn main() {
-    let tokens: u64 = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let tokens: u64 = args
+        .next()
         .map(|s| s.parse().expect("tokens must be a number"))
         .unwrap_or(20_000);
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
 
     let d = didactic::chained(2, didactic::Params::default()).expect("didactic builds");
     let env = Environment::new().stimulus(
@@ -45,7 +53,7 @@ fn main() {
     println!();
 
     for cost in [0u64, 1_000] {
-        println!("== dispatch cost {cost} ns ==");
+        println!("== dispatch cost {cost} ns (kernel-hosted equivalent model) ==");
         println!("{}", header());
         for fidelity in [Fidelity::Observing, Fidelity::BoundaryOnly] {
             let m = measure(format!("{fidelity:?}"), &d.arch, &env, fidelity, cost, 0);
@@ -53,6 +61,36 @@ fn main() {
         }
         println!();
     }
+
+    // The kernel-free sweep path: observation replay on/off over a reused
+    // engine, conventional reference simulated per row.
+    let scenario = |label: &str| ScenarioSpec {
+        label: label.to_string(),
+        model: ModelSpec { kind: ModelKind::Didactic { stages: 2 }, padding: 0 },
+        trace: TraceSpec { tokens, min_size: 1, max_size: 256, mean_period: 0, seed: 9 },
+    };
+    println!("== engine drive (no kernel), observation replay on/off ==");
+    println!("{}", header());
+    for (label, record) in [("drive+observe", true), ("drive-only", false)] {
+        let report = run_sweep(
+            &[scenario(label)],
+            &SweepConfig {
+                threads,
+                record_observations: record,
+                compare_conventional: true,
+                ..SweepConfig::default()
+            },
+        );
+        let m = &sweep_measurements(&report)[0];
+        println!("{}", format_row(m));
+        println!(
+            "    engine: {} nodes computed, {} arc evaluations, {} iterations",
+            m.engine_stats.nodes_computed,
+            m.engine_stats.arcs_evaluated,
+            m.engine_stats.iterations_completed
+        );
+    }
+    println!();
 
     // Partial abstraction: abstract only the P1 side of each stage.
     let group: Vec<evolve_model::FunctionId> = (0..8)
@@ -74,22 +112,5 @@ fn main() {
         conventional.stats.activations,
         hybrid.run.stats.activations,
         if exact { "exact" } else { "MISMATCH" }
-    );
-    println!();
-
-    // Engine statistics: how much computation replaces the saved events.
-    let eq = EquivalentModelBuilder::new(&d.arch)
-        .record_observations(true)
-        .build(&env)
-        .expect("builds")
-        .run();
-    println!(
-        "engine: {} nodes computed, {} arc evaluations, {} iterations",
-        eq.engine_stats.nodes_computed, eq.engine_stats.arcs_evaluated,
-        eq.engine_stats.iterations_completed
-    );
-    println!(
-        "kernel: conventional-style events replaced by {} boundary events",
-        eq.boundary_relation_events
     );
 }

@@ -3,16 +3,21 @@
 //!
 //! For several sizes of the evolution-instant vector `X(k)` (pipelines of
 //! increasing length), the temporal dependency graph is padded with
-//! computation-only nodes and the simulation speed-up of the equivalent
-//! model is measured against the node count. The paper observes negligible
-//! influence below ~100 nodes, degradation beyond, and a slow-down past
-//! ~1000 nodes.
+//! computation-only nodes and the simulation speed-up of the dynamic
+//! computation path is measured against the node count. The paper observes
+//! negligible influence below ~100 nodes, degradation beyond, and a
+//! slow-down past ~1000 nodes.
 //!
-//! Usage: `fig5 [tokens] [dispatch_cost_ns]` (defaults: 5 000 tokens, 1 µs).
+//! The whole (stages × padding) grid is one parallel scenario sweep: every
+//! cell is a [`ScenarioSpec`] evaluated on a reused engine, with the
+//! conventional reference simulation run per cell for the speed-up column.
+//!
+//! Usage: `fig5 [tokens] [dispatch_cost_ns] [threads]`
+//! (defaults: 5 000 tokens, 1 µs reference calibration, host parallelism).
 
-use evolve_bench::{measure, Fidelity};
+use evolve_bench::{format_row, header, sweep_measurements, total_engine_stats};
 use evolve_core::{derive_tdg, synthetic};
-use evolve_model::{varying_sizes, Environment, Stimulus};
+use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,9 +29,15 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("dispatch cost must be a number"))
         .unwrap_or(1_000);
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
 
     println!("Fig. 5 reproduction — speed-up vs. graph node count");
-    println!("stimulus: {tokens} tokens; kernel dispatch cost {cost} ns");
+    println!(
+        "stimulus: {tokens} tokens; reference kernel dispatch cost {cost} ns; {threads} sweep threads"
+    );
     println!("(paper: curves for X sizes 6/10/20/30; flat < 100 nodes, slow-down > 1000)");
     println!();
 
@@ -35,37 +46,69 @@ fn main() {
     let stage_counts = [2usize, 3, 6, 10];
     let paddings = [0usize, 10, 30, 100, 300, 1_000, 3_000];
 
-    println!(
-        "{:<10} {:>8} {:>9} {:>12} {:>12} {:>9}",
-        "X size", "padding", "nodes", "conv (ms)", "equiv (ms)", "speedup"
+    let scenarios: Vec<ScenarioSpec> = stage_counts
+        .iter()
+        .flat_map(|&stages| {
+            paddings.iter().map(move |&padding| ScenarioSpec {
+                label: format!("s{stages}p{padding}"),
+                model: ModelSpec {
+                    kind: ModelKind::Pipeline { stages, base: 200, per_unit: 2 },
+                    padding,
+                },
+                trace: TraceSpec {
+                    tokens,
+                    min_size: 1,
+                    max_size: 64,
+                    mean_period: 0,
+                    seed: stages as u64,
+                },
+            })
+        })
+        .collect();
+
+    let report = run_sweep(
+        &scenarios,
+        &SweepConfig {
+            threads,
+            compare_conventional: true,
+            reference_dispatch_cost_ns: cost,
+            ..SweepConfig::default()
+        },
     );
-    for stages in stage_counts {
-        let p = synthetic::pipeline(stages, 200, 2).expect("pipeline builds");
-        let x_size = derive_tdg(&p.arch).expect("derives").tdg.node_count() - 1;
-        let env = Environment::new().stimulus(
-            p.input,
-            Stimulus::saturating(tokens, varying_sizes(1, 64, stages as u64)),
-        );
-        for padding in paddings {
-            let m = measure(
-                format!("X={x_size}"),
-                &p.arch,
-                &env,
-                Fidelity::Observing,
-                cost,
-                padding,
-            );
-            println!(
-                "{:<10} {:>8} {:>9} {:>12.3} {:>12.3} {:>9.2}{}",
-                m.label,
-                padding,
-                m.nodes,
-                m.conventional_wall.as_secs_f64() * 1e3,
-                m.equivalent_wall.as_secs_f64() * 1e3,
-                m.speedup(),
-                if m.accurate { "" } else { "  MISMATCH" },
-            );
-        }
-        println!();
+    let measurements = sweep_measurements(&report);
+
+    println!(
+        "{:<9} {:>8} {}",
+        "X size",
+        "padding",
+        header().split_once(' ').map_or("", |(_, rest)| rest.trim_start())
+    );
+    for (scenario, m) in scenarios.iter().zip(&measurements) {
+        let (stages, padding) = match scenario.model.kind {
+            ModelKind::Pipeline { stages, .. } => (stages, scenario.model.padding),
+            _ => unreachable!("fig5 sweeps pipelines only"),
+        };
+        let x_size = derive_tdg(&synthetic::pipeline(stages, 200, 2).expect("builds").arch)
+            .expect("derives")
+            .tdg
+            .node_count()
+            - 1;
+        let row = format_row(m);
+        let columns = row.split_once(' ').map_or("", |(_, rest)| rest.trim_start());
+        println!("{:<9} {:>8} {}", format!("X={x_size}"), padding, columns);
     }
+    println!();
+
+    let totals = total_engine_stats(&measurements);
+    println!(
+        "sweep: {} scenarios on {} threads in {:.3} ms, {} engines reused;",
+        report.scenarios.len(),
+        report.threads,
+        report.wall.as_secs_f64() * 1e3,
+        report.reused_count(),
+    );
+    println!(
+        "engine totals: {} nodes computed, {} arc evaluations, {} iterations",
+        totals.nodes_computed, totals.arcs_evaluated, totals.iterations_completed
+    );
 }

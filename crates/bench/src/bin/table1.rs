@@ -3,15 +3,20 @@
 //!
 //! The paper's four rows are the didactic example (Fig. 1) chained ×1..×4,
 //! each simulated with 20 000 data items of varying size through `M1`, in
-//! the conventional and the equivalent form. Reported per row: execution
-//! time, event ratio, simulation speed-up, and the node count of the
-//! temporal dependency graph.
+//! the conventional and the dynamic-computation form. Reported per row:
+//! execution time, event ratio, simulation speed-up, and the node count of
+//! the temporal dependency graph.
 //!
-//! Usage: `table1 [tokens] [dispatch_cost_ns]`
+//! The four rows are one scenario sweep: each chain length is a
+//! [`ScenarioSpec`] evaluated by driving a reused engine directly, with the
+//! conventional reference simulated per row (optionally calibrated to the
+//! paper's heavyweight-simulator regime).
+//!
+//! Usage: `table1 [tokens] [dispatch_cost_ns] [threads]`
 //! (defaults: 20 000 tokens; both native and 1 µs-calibrated regimes).
 
-use evolve_bench::{format_row, header, measure, Fidelity};
-use evolve_model::{didactic, varying_sizes, Environment, Stimulus};
+use evolve_bench::{format_row, header, sweep_measurements, total_engine_stats};
+use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -23,39 +28,59 @@ fn main() {
         Some(s) => vec![s.parse().expect("dispatch cost must be a number")],
         None => vec![0, 1_000],
     };
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
 
     println!("Table I reproduction — didactic example chained x1..x4");
-    println!("stimulus: {tokens} data items with varying sizes through M1");
+    println!("stimulus: {tokens} data items with varying sizes through M1; {threads} sweep threads");
     println!();
+
+    let scenarios: Vec<ScenarioSpec> = (1..=4usize)
+        .map(|stages| ScenarioSpec {
+            label: format!("example {stages}"),
+            model: ModelSpec {
+                kind: ModelKind::Didactic { stages },
+                padding: 0,
+            },
+            trace: TraceSpec {
+                tokens,
+                min_size: 1,
+                max_size: 256,
+                mean_period: 0,
+                seed: stages as u64,
+            },
+        })
+        .collect();
 
     for cost in costs {
         let regime = if cost == 0 {
-            "native kernel (~50 ns/dispatch)".to_string()
+            "native reference kernel (~50 ns/dispatch)".to_string()
         } else {
-            format!("calibrated kernel ({cost} ns/dispatch — heavyweight-simulator regime)")
+            format!("calibrated reference kernel ({cost} ns/dispatch — heavyweight-simulator regime)")
         };
-        for fidelity in [Fidelity::Observing, Fidelity::BoundaryOnly] {
-            println!("== {regime}, {fidelity:?} equivalent model ==");
-            println!("{}", header());
-            for stages in 1..=4 {
-                let d = didactic::chained(stages, didactic::Params::default())
-                    .expect("didactic architecture builds");
-                let env = Environment::new().stimulus(
-                    d.input(),
-                    Stimulus::saturating(tokens, varying_sizes(1, 256, stages as u64)),
-                );
-                let m = measure(
-                    format!("example {stages}"),
-                    &d.arch,
-                    &env,
-                    fidelity,
-                    cost,
-                    0,
-                );
-                println!("{}", format_row(&m));
-            }
-            println!();
+        println!("== {regime} ==");
+        println!("{}", header());
+        let report = run_sweep(
+            &scenarios,
+            &SweepConfig {
+                threads,
+                compare_conventional: true,
+                reference_dispatch_cost_ns: cost,
+                ..SweepConfig::default()
+            },
+        );
+        let measurements = sweep_measurements(&report);
+        for m in &measurements {
+            println!("{}", format_row(m));
         }
+        let totals = total_engine_stats(&measurements);
+        println!(
+            "engine totals: {} nodes computed, {} arc evaluations, {} iterations",
+            totals.nodes_computed, totals.arcs_evaluated, totals.iterations_completed
+        );
+        println!();
     }
     println!("paper reference:   time 22/41.2/59.4/80.2 s, event ratio 2.33/4.66/7/9.33,");
     println!("                   speed-up 2.27/4.47/6.38/8.35, nodes 10/19/28/37");

@@ -46,6 +46,25 @@ pub struct Notification {
     pub at: Option<Time>,
 }
 
+/// Upper bound on recycled [`IterState`]s retained by the free list.
+const FREE_LIST_CAP: usize = 16;
+
+/// Allocation-footprint snapshot of an [`Engine`] (see
+/// [`Engine::allocation_footprint`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocationFootprint {
+    /// Materialized iteration states (in the ring or the free list).
+    pub iteration_states: usize,
+    /// Capacity of the iteration ring buffer.
+    pub ring_capacity: usize,
+    /// Capacity of the iteration free list.
+    pub free_capacity: usize,
+    /// Capacity of the propagation worklist.
+    pub work_capacity: usize,
+    /// Capacity of the pending-notification buffer.
+    pub notification_capacity: usize,
+}
+
 /// Computation statistics of an engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -461,6 +480,62 @@ impl Engine {
     /// The underlying graph.
     pub fn tdg(&self) -> &Tdg {
         &self.tdg
+    }
+
+    /// Rewinds the engine to its just-constructed state while keeping every
+    /// allocation: ring-buffer iteration states move to the free list, logs
+    /// and statistics clear in place, and the derived graph (with all its
+    /// precompiled evaluation tables) is untouched.
+    ///
+    /// This is the sweep-workload reuse path: one engine evaluates the same
+    /// derived graph across many input traces without re-deriving the graph
+    /// or reallocating per-iteration state, so per-scenario cost collapses
+    /// to the `ComputeInstant()` propagation itself. After `reset` the
+    /// engine behaves exactly like a freshly built one ([`EngineStats`]
+    /// counters restart at zero); kernel event registrations
+    /// ([`Engine::set_input_event`] / [`Engine::set_output_event`]) are
+    /// cleared and must be re-registered if the engine is re-attached to a
+    /// kernel.
+    pub fn reset(&mut self) {
+        while let Some(state) = self.ring.pop_front() {
+            if self.free.len() < FREE_LIST_CAP {
+                self.free.push(state);
+            }
+        }
+        self.base_k = 0;
+        self.work.clear();
+        self.next_input_k.fill(0);
+        self.next_output_ack_k.fill(0);
+        self.acks.fill(None);
+        for queue in &mut self.outputs_ready {
+            queue.clear();
+        }
+        for log in &mut self.instant_log {
+            log.clear();
+        }
+        for log in &mut self.read_log {
+            log.clear();
+        }
+        self.exec_records.clear();
+        self.input_events.fill(None);
+        self.output_events.fill(None);
+        self.pending_notifications.clear();
+        self.stats = EngineStats::default();
+        self.prune_counter = 0;
+    }
+
+    /// A snapshot of the engine's allocation footprint, for asserting
+    /// steady-state stability: once warmed up, reusing the engine (more
+    /// iterations, or [`Engine::reset`] plus another trace of the same
+    /// length) must not grow any of these numbers.
+    pub fn allocation_footprint(&self) -> AllocationFootprint {
+        AllocationFootprint {
+            iteration_states: self.ring.len() + self.free.len(),
+            ring_capacity: self.ring.capacity(),
+            free_capacity: self.free.capacity(),
+            work_capacity: self.work.capacity(),
+            notification_capacity: self.pending_notifications.capacity(),
+        }
     }
 
     /// Computation statistics so far.
@@ -993,7 +1068,7 @@ impl Engine {
             if front.nodes_pending == 0 && self.base_k + horizon < bound {
                 let state = self.ring.pop_front().expect("peeked");
                 self.base_k += 1;
-                if self.free.len() < 16 {
+                if self.free.len() < FREE_LIST_CAP {
                     self.free.push(state);
                 }
             } else {
@@ -1002,6 +1077,14 @@ impl Engine {
         }
     }
 }
+
+// Sweep workers move engines (and the graphs inside them) across threads;
+// keep that guarantee explicit so a future field cannot silently break it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+    assert_send::<Tdg>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -65,7 +65,7 @@ mod tdg;
 pub mod validate;
 
 pub use derive::{derive_tdg, derive_tdg_with, DeriveOptions, DerivedTdg, SizeRule, SizeRules};
-pub use engine::{Engine, EngineStats, Notification};
+pub use engine::{AllocationFootprint, Engine, EngineStats, Notification};
 pub use equivalent::{equivalent_simulation, EquivalentModelBuilder, EquivalentSimulation};
 pub use error::{DeriveError, EquivalentError};
 pub use partial::{hybrid_simulation, partition, HybridReport, HybridSimulation, Partition, PartitionError};

@@ -30,6 +30,7 @@ mod channel;
 mod event;
 mod kernel;
 mod process;
+pub mod rng;
 mod stats;
 mod time;
 
@@ -37,6 +38,7 @@ pub use channel::{
     ChannelId, ChannelLog, Completion, ListenOutcome, ReadOutcome, WriteOutcome,
 };
 pub use event::EventId;
+pub use rng::SplitMix64;
 pub use kernel::{Api, Kernel, Suspension};
 pub use process::{Activation, Process, ProcessId};
 pub use stats::KernelStats;

@@ -1,0 +1,105 @@
+//! Deterministic pseudo-random numbers for reproducible scenarios.
+//!
+//! Sweep workloads (see `evolve-explore`) evaluate many randomized
+//! scenarios in parallel; results must be bitwise independent of how
+//! scenarios land on worker threads. Every stochastic choice therefore
+//! draws from a [`SplitMix64`] stream seeded purely by scenario identity —
+//! never by wall clock, thread id, or evaluation order.
+
+/// A SplitMix64 pseudo-random generator: tiny, fast, and with a full
+/// 2⁶⁴ period — ample for scenario parameter draws (not cryptography).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds a generator; equal seeds yield equal streams on every
+    /// platform.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// A generator for an identified substream (scenario index, input
+    /// index …): statistically independent of the parent and of sibling
+    /// streams, and independent of evaluation order.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> Self {
+        let mut child = SplitMix64 {
+            state: self.state ^ mix(stream.wrapping_add(0x6a09_e667_f3bc_c909)),
+        };
+        // One warm-up step decorrelates near-equal seeds.
+        child.next_u64();
+        child
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    /// A uniform draw from `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo + 1;
+        if span == 0 {
+            // hi - lo + 1 overflowed: the full u64 domain.
+            return self.next_u64();
+        }
+        lo + self.next_u64() % span
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_order_independent() {
+        let parent = SplitMix64::new(7);
+        let mut c3 = parent.fork(3);
+        let _ = parent.fork(1).next_u64();
+        let mut c3_again = parent.fork(3);
+        assert_eq!(c3.next_u64(), c3_again.next_u64());
+    }
+
+    #[test]
+    fn forks_differ_between_streams() {
+        let parent = SplitMix64::new(7);
+        assert_ne!(parent.fork(0).next_u64(), parent.fork(1).next_u64());
+    }
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut rng = SplitMix64::new(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1_000 {
+            let v = rng.range_inclusive(3, 6);
+            assert!((3..=6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi, "range draws cover both endpoints");
+    }
+}

@@ -1,0 +1,157 @@
+//! Parallel scenario-sweep driver.
+//!
+//! Runs a batch of scenarios twice — once on a worker pool, once
+//! sequentially — verifies the outcomes are bitwise identical, and writes a
+//! JSON report (including the parallel-over-sequential wall-clock speed-up)
+//! to `results/sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p evolve-explore --bin sweep -- --threads 4
+//! ```
+//!
+//! Options: `--threads N` (worker count, default: host parallelism),
+//! `--scenarios N` (batch size, default 32), `--tokens N` (trace length,
+//! default 200), `--compare` (also run the conventional DES model per
+//! scenario), `--out PATH` (report path, default `results/sweep.json`).
+
+use std::path::PathBuf;
+
+use evolve_explore::{
+    run_sweep, Json, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec,
+};
+
+struct Options {
+    threads: usize,
+    scenarios: u64,
+    tokens: u64,
+    compare: bool,
+    out: PathBuf,
+}
+
+const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--compare] [--out PATH]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        scenarios: 32,
+        tokens: 200,
+        compare: false,
+        out: PathBuf::from("results/sweep.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        let parsed = |name: &str, raw: String| {
+            raw.parse()
+                .unwrap_or_else(|_| usage_error(&format!("{name} expects a number, got `{raw}`")))
+        };
+        match arg.as_str() {
+            "--threads" => options.threads = parsed("--threads", value("--threads")) as usize,
+            "--scenarios" => options.scenarios = parsed("--scenarios", value("--scenarios")),
+            "--tokens" => options.tokens = parsed("--tokens", value("--tokens")),
+            "--compare" => options.compare = true,
+            "--out" => options.out = PathBuf::from(value("--out")),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown option {other}")),
+        }
+    }
+    options
+}
+
+/// The default scenario grid: didactic chains and synthetic pipelines of
+/// growing depth, alternating saturating and jittered-periodic traces.
+fn scenario_grid(count: u64, tokens: u64) -> Vec<ScenarioSpec> {
+    (0..count)
+        .map(|i| {
+            let kind = match i % 4 {
+                0 => ModelKind::Didactic { stages: 1 + (i as usize / 8) % 3 },
+                1 => ModelKind::Pipeline { stages: 4, base: 100, per_unit: 3 },
+                2 => ModelKind::Pipeline { stages: 8, base: 60, per_unit: 1 },
+                _ => ModelKind::Didactic { stages: 2 },
+            };
+            ScenarioSpec {
+                label: format!("grid-{i}"),
+                model: ModelSpec { kind, padding: if i % 2 == 0 { 0 } else { 64 } },
+                trace: TraceSpec {
+                    tokens,
+                    min_size: 1,
+                    max_size: 128,
+                    mean_period: if i % 3 == 0 { 0 } else { 400 * (1 + i % 5) },
+                    seed: 0x5eed_0000 + i,
+                },
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let options = parse_args();
+    let scenarios = scenario_grid(options.scenarios, options.tokens);
+    eprintln!(
+        "sweeping {} scenarios × {} tokens on {} threads",
+        scenarios.len(),
+        options.tokens,
+        options.threads
+    );
+
+    let parallel = run_sweep(
+        &scenarios,
+        &SweepConfig {
+            threads: options.threads,
+            compare_conventional: options.compare,
+            ..SweepConfig::default()
+        },
+    );
+    let sequential = run_sweep(
+        &scenarios,
+        &SweepConfig {
+            threads: 1,
+            compare_conventional: options.compare,
+            ..SweepConfig::default()
+        },
+    );
+
+    let mut identical = true;
+    for (p, s) in parallel.scenarios.iter().zip(&sequential.scenarios) {
+        if p.outcome != s.outcome {
+            identical = false;
+            eprintln!("MISMATCH: scenario {} differs between thread counts", p.label);
+        }
+    }
+    let speedup = sequential.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-12);
+    eprintln!(
+        "parallel {:.3} ms, sequential {:.3} ms — speed-up {:.2}×, outcomes {}",
+        parallel.wall.as_secs_f64() * 1e3,
+        sequential.wall.as_secs_f64() * 1e3,
+        speedup,
+        if identical { "bitwise identical" } else { "DIVERGED" },
+    );
+
+    let doc = Json::object([
+        ("threads", Json::U64(parallel.threads as u64)),
+        ("scenario_count", Json::U64(parallel.scenarios.len() as u64)),
+        ("tokens_per_scenario", Json::U64(options.tokens)),
+        ("parallel_wall_ns", Json::U64(parallel.wall.as_nanos() as u64)),
+        ("sequential_wall_ns", Json::U64(sequential.wall.as_nanos() as u64)),
+        ("parallel_speedup", Json::F64(speedup)),
+        ("outcomes_identical", Json::Bool(identical)),
+        ("report", parallel.to_json()),
+    ]);
+    if let Some(parent) = options.out.parent() {
+        std::fs::create_dir_all(parent).expect("create results directory");
+    }
+    std::fs::write(&options.out, doc.render()).expect("write report");
+    eprintln!("wrote {}", options.out.display());
+    assert!(identical, "parallel sweep diverged from the sequential path");
+}

@@ -47,6 +47,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod json;
+pub mod sweep;
+
+pub use json::Json;
+pub use sweep::{
+    drive_engine, parallel_map, parallel_map_with, run_sweep, ModelKind, ModelSpec,
+    ReferenceComparison, ScenarioOutcome, ScenarioResult, ScenarioSpec, SweepConfig, SweepReport,
+    TraceSpec,
+};
+
 use evolve_core::{analysis, derive_tdg, equivalent_simulation, EquivalentError};
 use evolve_des::Time;
 use evolve_model::metrics::{latency_between, DurationStats};

@@ -1,0 +1,705 @@
+//! Parallel scenario sweeps with engine reuse.
+//!
+//! The paper's motivation for the dynamic computation method is that early
+//! design-space exploration must evaluate *many* scenarios — different graph
+//! sizes, loads, and input traces — quickly. This module industrializes that
+//! loop: a [`Sweep`](run_sweep) takes a batch of [`ScenarioSpec`]s, shards
+//! them across a fixed pool of worker threads (plain `std::thread` plus
+//! channels — no external runtime), and evaluates each scenario by driving
+//! the [`Engine`] directly, without a simulation kernel in the loop.
+//!
+//! Two properties make the sharding safe and cheap:
+//!
+//! * **Determinism** — scenario traces are generated from per-scenario
+//!   [`SplitMix64`] streams and the engine itself is a deterministic
+//!   fixed-point computation, so the [`ScenarioOutcome`] of every scenario
+//!   is bitwise independent of thread count and scheduling order. The
+//!   differential conformance suite (`crates/core/tests/sweep_conformance.rs`)
+//!   checks this against both the single-threaded path and the full
+//!   discrete-event reference simulation.
+//! * **Engine reuse** — each worker keeps one engine per distinct
+//!   [`ModelSpec`] and [`Engine::reset`]s it between traces, so a sweep of
+//!   hundreds of traces over a handful of models derives each graph once
+//!   per worker and allocates no per-scenario ring buffers.
+//!
+//! ```
+//! use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
+//!
+//! let scenarios: Vec<ScenarioSpec> = (0..8)
+//!     .map(|i| ScenarioSpec {
+//!         label: format!("didactic-{i}"),
+//!         model: ModelSpec { kind: ModelKind::Didactic { stages: 2 }, padding: 0 },
+//!         trace: TraceSpec { tokens: 50, min_size: 1, max_size: 64, mean_period: 0, seed: i },
+//!     })
+//!     .collect();
+//! let report = run_sweep(&scenarios, &SweepConfig { threads: 4, ..SweepConfig::default() });
+//! assert_eq!(report.scenarios.len(), 8);
+//! assert!(report.scenarios.iter().all(|s| s.outcome.outputs.len() == 50));
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration as HostDuration, Instant};
+
+use evolve_core::{derive_tdg, synthetic, Engine, EngineStats};
+use evolve_des::{SplitMix64, Time};
+use evolve_model::{
+    didactic, elaborate, Architecture, Arrival, Environment, ExecRecord, RelationId, Stimulus,
+};
+
+use crate::json::Json;
+
+/// Which architecture a scenario evaluates.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The paper's didactic two-function example, chained `stages` times
+    /// ([`didactic::chained`]).
+    Didactic {
+        /// Number of chained didactic stages (≥ 1).
+        stages: usize,
+    },
+    /// A synthetic linear pipeline ([`synthetic::pipeline`]) with
+    /// `base + per_unit × size` loads.
+    Pipeline {
+        /// Pipeline length in functions (≥ 1).
+        stages: usize,
+        /// Base load in abstract operations.
+        base: u64,
+        /// Additional operations per token-size unit.
+        per_unit: u64,
+    },
+}
+
+/// A derivable model: the architecture kind plus the graph-padding knob
+/// (extra computation-only nodes, the paper's Fig. 5 x-axis).
+///
+/// `ModelSpec` is the engine-reuse key: scenarios sharing a spec share one
+/// derived graph and one reset-recycled [`Engine`] per worker.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ModelSpec {
+    /// The architecture to derive.
+    pub kind: ModelKind,
+    /// Computation-only padding nodes appended to the derived graph.
+    pub padding: usize,
+}
+
+impl ModelSpec {
+    /// Builds the architecture with its external input/output handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-stage models (specs are programmer-controlled).
+    pub fn build(&self) -> (Architecture, RelationId, RelationId) {
+        match self.kind {
+            ModelKind::Didactic { stages } => {
+                let d = didactic::chained(stages, didactic::Params::default())
+                    .expect("didactic model builds");
+                let (input, output) = (d.input(), d.output());
+                (d.arch, input, output)
+            }
+            ModelKind::Pipeline {
+                stages,
+                base,
+                per_unit,
+            } => {
+                let p = synthetic::pipeline(stages, base, per_unit).expect("pipeline builds");
+                (p.arch, p.input, p.output)
+            }
+        }
+    }
+}
+
+/// A deterministic input trace, generated from [`SplitMix64`] streams so
+/// the same spec yields the same arrivals on any thread.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceSpec {
+    /// Number of input tokens.
+    pub tokens: u64,
+    /// Minimum token size (abstract units driving data-dependent loads).
+    pub min_size: u64,
+    /// Maximum token size (inclusive).
+    pub max_size: u64,
+    /// Mean inter-arrival gap in ticks; `0` = saturating source (every
+    /// token offered at time zero, the back-pressure regime).
+    pub mean_period: u64,
+    /// Seed of the per-scenario random streams.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// Materializes the arrivals.
+    pub fn stimulus(&self) -> Stimulus {
+        let root = SplitMix64::new(self.seed);
+        let (lo, hi) = (self.min_size.min(self.max_size), self.max_size.max(self.min_size));
+        let mut at = Time::ZERO;
+        let arrivals = (0..self.tokens)
+            .map(|k| {
+                if self.mean_period > 0 && k > 0 {
+                    // Uniform gap in [mean/2, 3·mean/2]: mean-preserving jitter.
+                    let gap = root
+                        .fork(2 * k)
+                        .range_inclusive(self.mean_period / 2, 3 * self.mean_period / 2);
+                    at = Time::from_ticks(at.ticks().saturating_add(gap));
+                }
+                Arrival {
+                    at,
+                    size: root.fork(2 * k + 1).range_inclusive(lo, hi),
+                }
+            })
+            .collect();
+        Stimulus::new(arrivals)
+    }
+}
+
+/// One scenario of a sweep: a model and a trace to evaluate it under.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScenarioSpec {
+    /// Human-readable label carried into the report.
+    pub label: String,
+    /// The model to derive (and reuse across scenarios that share it).
+    pub model: ModelSpec,
+    /// The input trace.
+    pub trace: TraceSpec,
+}
+
+/// The deterministic part of a scenario evaluation — everything here is
+/// bitwise identical regardless of thread count, scheduling, or whether the
+/// engine was fresh or reused.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Output sequence `(k, y(k) ticks, token size)`.
+    pub outputs: Vec<(u64, u64, u64)>,
+    /// Input acknowledgment instants in ticks (the boundary back-pressure).
+    pub input_acks: Vec<u64>,
+    /// Execution records replayed from computed instants.
+    pub exec_records: Vec<ExecRecord>,
+    /// Engine computation counters for this trace alone.
+    pub engine_stats: EngineStats,
+    /// Busy ticks per resource index, summed over execution records.
+    pub busy_ticks: Vec<u64>,
+    /// Boundary exchanges a kernel would have simulated (one per input
+    /// offer and per output write, the kernel's transfer count).
+    pub boundary_events: u64,
+}
+
+/// One evaluated scenario: the deterministic outcome plus host-timing and
+/// bookkeeping data that may vary run to run.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Index of the scenario in the sweep's input order.
+    pub index: usize,
+    /// The scenario's label.
+    pub label: String,
+    /// The deterministic evaluation outcome.
+    pub outcome: ScenarioOutcome,
+    /// Node count of the derived (and padded) graph.
+    pub nodes: usize,
+    /// Whether this evaluation reused a previously derived engine.
+    pub reused_engine: bool,
+    /// Host wall-clock time of the engine drive.
+    pub wall: HostDuration,
+    /// Conventional-reference comparison, when requested.
+    pub reference: Option<ReferenceComparison>,
+}
+
+/// Results of re-running a scenario on the conventional discrete-event
+/// model (requested via [`SweepConfig::compare_conventional`]).
+#[derive(Clone, Debug)]
+pub struct ReferenceComparison {
+    /// Host wall-clock time of the conventional run.
+    pub wall: HostDuration,
+    /// Relation-exchange events the conventional kernel simulated.
+    pub events: u64,
+    /// Process activations (context switches) of the conventional run.
+    pub activations: u64,
+    /// Whether output instants agreed exactly with the engine drive.
+    pub accurate: bool,
+}
+
+impl ScenarioResult {
+    /// Event ratio against the conventional reference (paper Table I
+    /// column 3); `None` without a reference run.
+    pub fn event_ratio(&self) -> Option<f64> {
+        self.reference
+            .as_ref()
+            .map(|r| r.events as f64 / self.outcome.boundary_events.max(1) as f64)
+    }
+
+    /// Wall-clock speed-up against the conventional reference.
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference
+            .as_ref()
+            .map(|r| r.wall.as_secs_f64() / self.wall.as_secs_f64().max(1e-12))
+    }
+}
+
+/// Sweep execution parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Worker threads (≥ 1). `1` runs everything on the calling thread —
+    /// the reference path of the conformance suite.
+    pub threads: usize,
+    /// Whether engines replay observation (execution records and internal
+    /// instants). Disabling trades observability for speed.
+    pub record_observations: bool,
+    /// Also run the conventional discrete-event model per scenario and
+    /// record the comparison ([`ScenarioResult::reference`]).
+    pub compare_conventional: bool,
+    /// Per-activation host cost (ns) calibrated into the conventional
+    /// reference kernel — the heavyweight-simulator regime of the paper's
+    /// Table I. `0` = the kernel's native dispatch cost. The engine drive
+    /// has no kernel, so this only affects the reference side.
+    pub reference_dispatch_cost_ns: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            record_observations: true,
+            compare_conventional: false,
+            reference_dispatch_cost_ns: 0,
+        }
+    }
+}
+
+/// A completed sweep: per-scenario results in input order plus aggregate
+/// counters.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-scenario results, ordered by [`ScenarioResult::index`].
+    pub scenarios: Vec<ScenarioResult>,
+    /// Host wall-clock time of the whole sweep.
+    pub wall: HostDuration,
+}
+
+impl SweepReport {
+    /// Engine counters summed over all scenarios.
+    pub fn total_engine_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in &self.scenarios {
+            total.nodes_computed += s.outcome.engine_stats.nodes_computed;
+            total.arcs_evaluated += s.outcome.engine_stats.arcs_evaluated;
+            total.iterations_completed += s.outcome.engine_stats.iterations_completed;
+        }
+        total
+    }
+
+    /// Scenarios that reused a previously derived engine.
+    pub fn reused_count(&self) -> usize {
+        self.scenarios.iter().filter(|s| s.reused_engine).count()
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let totals = self.total_engine_stats();
+        Json::object([
+            ("threads", Json::U64(self.threads as u64)),
+            ("wall_ns", Json::U64(self.wall.as_nanos() as u64)),
+            ("scenario_count", Json::U64(self.scenarios.len() as u64)),
+            ("engines_reused", Json::U64(self.reused_count() as u64)),
+            (
+                "total_engine_stats",
+                engine_stats_json(&totals),
+            ),
+            (
+                "scenarios",
+                Json::Array(self.scenarios.iter().map(scenario_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json().render())
+    }
+}
+
+fn engine_stats_json(stats: &EngineStats) -> Json {
+    Json::object([
+        ("nodes_computed", Json::U64(stats.nodes_computed)),
+        ("arcs_evaluated", Json::U64(stats.arcs_evaluated)),
+        ("iterations_completed", Json::U64(stats.iterations_completed)),
+    ])
+}
+
+fn scenario_json(s: &ScenarioResult) -> Json {
+    let makespan = s.outcome.outputs.last().map_or(0, |&(_, y, _)| y);
+    let mut fields = vec![
+        ("index", Json::U64(s.index as u64)),
+        ("label", Json::str(s.label.clone())),
+        ("nodes", Json::U64(s.nodes as u64)),
+        ("reused_engine", Json::Bool(s.reused_engine)),
+        ("outputs", Json::U64(s.outcome.outputs.len() as u64)),
+        ("makespan_ticks", Json::U64(makespan)),
+        ("boundary_events", Json::U64(s.outcome.boundary_events)),
+        ("engine_stats", engine_stats_json(&s.outcome.engine_stats)),
+        (
+            "busy_ticks",
+            Json::Array(s.outcome.busy_ticks.iter().map(|&b| Json::U64(b)).collect()),
+        ),
+        ("wall_ns", Json::U64(s.wall.as_nanos() as u64)),
+    ];
+    if let Some(r) = &s.reference {
+        fields.push((
+            "reference",
+            Json::object([
+                ("wall_ns", Json::U64(r.wall.as_nanos() as u64)),
+                ("events", Json::U64(r.events)),
+                ("accurate", Json::Bool(r.accurate)),
+                ("event_ratio", Json::F64(s.event_ratio().unwrap_or(0.0))),
+                ("speedup", Json::F64(s.speedup().unwrap_or(0.0))),
+            ]),
+        ));
+    }
+    Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Applies `f` to every item on a fixed pool of `threads` scoped workers,
+/// returning results in input order regardless of scheduling.
+///
+/// Each worker owns a state value created by `init` — the hook the sweep
+/// uses for per-worker engine caches. With `threads <= 1` everything runs
+/// on the calling thread (no pool, same results).
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers).
+pub fn parallel_map_with<T, R, S, I, F>(items: Vec<T>, threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+{
+    let count = items.len();
+    if threads <= 1 || count <= 1 {
+        let mut state = init();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            let tx = tx.clone();
+            let queue = &queue;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let job = queue.lock().expect("queue poisoned").pop_front();
+                    match job {
+                        Some((i, item)) => {
+                            let r = f(&mut state, i, item);
+                            if tx.send((i, r)).is_err() {
+                                return;
+                            }
+                        }
+                        None => return,
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job produces a result"))
+            .collect()
+    })
+}
+
+/// [`parallel_map_with`] without worker state.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map_with(items, threads, || (), |(), i, item| f(i, item))
+}
+
+/// A derived model cached by a sweep worker: the engine (reset between
+/// traces) plus the metadata the drive loop needs.
+struct PreparedModel {
+    engine: Engine,
+    arch: Architecture,
+    input: RelationId,
+    output: RelationId,
+    resource_count: usize,
+    nodes: usize,
+    uses: usize,
+}
+
+fn prepare(spec: &ModelSpec, record_observations: bool) -> PreparedModel {
+    let (arch, input, output) = spec.build();
+    let mut derived = derive_tdg(&arch).expect("sweep models derive");
+    if spec.padding > 0 {
+        derived.tdg = synthetic::pad(&derived.tdg, spec.padding);
+    }
+    let nodes = derived.tdg.node_count();
+    let relation_count = arch.app().relations().len();
+    let engine = Engine::new(derived, relation_count, record_observations);
+    let resource_count = arch.platform().len();
+    PreparedModel {
+        engine,
+        arch,
+        input,
+        output,
+        resource_count,
+        nodes,
+        uses: 0,
+    }
+}
+
+/// Drives a single-input, single-output engine through `arrivals` without a
+/// simulation kernel, reproducing the boundary semantics of the equivalent
+/// model's processes: the `k`-th offer lands at
+/// `max(arrival(k), ack(k-1))` (a rendezvous source blocks until its
+/// previous write completed), and the always-ready sink acknowledges each
+/// output at its computed instant `y(k)`.
+///
+/// The engine must be fresh or [`Engine::reset`]; the returned outcome's
+/// [`busy_ticks`](ScenarioOutcome::busy_ticks) is left empty (callers know
+/// the platform's resource count — see [`ScenarioOutcome::exec_records`]).
+/// Exposed so harnesses can sweep architectures beyond the built-in
+/// [`ModelKind`]s (e.g. the LTE receiver case study) with the same
+/// semantics the conformance suite pins down.
+///
+/// # Panics
+///
+/// Panics if the engine has more than one external input/output pending or
+/// if an input acknowledgment fails to resolve (multi-input graphs).
+pub fn drive_engine(engine: &mut Engine, arrivals: &[Arrival]) -> ScenarioOutcome {
+    let mut outcome = ScenarioOutcome::default();
+    let mut prev_ack: Option<Time> = None;
+    for (k, arrival) in arrivals.iter().enumerate() {
+        let k = k as u64;
+        let offer = match prev_ack {
+            Some(ack) if ack > arrival.at => ack,
+            _ => arrival.at,
+        };
+        engine.set_input(0, k, offer, arrival.size);
+        // The sink is always ready: acknowledge each output as soon as it
+        // is computed, at the computed instant itself.
+        while let Some((ok, y, size)) = engine.next_output(0) {
+            if engine.needs_output_ack(0) {
+                engine.set_output_ack(0, ok, y);
+            }
+            outcome.outputs.push((ok, y.ticks(), size));
+        }
+        let ack = engine
+            .ack_instant(0, k)
+            .expect("single-input scenario acks resolve once outputs are fed back");
+        outcome.input_acks.push(ack.ticks());
+        prev_ack = Some(ack);
+        // No kernel events are registered; drop computed notifications.
+        engine.take_notifications().clear();
+    }
+    // One boundary exchange per input offer and per output write — the
+    // transfers a kernel would count for the equivalent model.
+    outcome.boundary_events = arrivals.len() as u64 + outcome.outputs.len() as u64;
+    outcome.engine_stats = engine.stats();
+    outcome.exec_records = engine.exec_records().to_vec();
+    outcome
+}
+
+fn busy_per_resource(records: &[ExecRecord], resources: usize) -> Vec<u64> {
+    let mut busy = vec![0u64; resources];
+    for r in records {
+        busy[r.resource.index()] += r.end.ticks() - r.start.ticks();
+    }
+    busy
+}
+
+/// Evaluates one scenario on a worker-cached engine.
+fn evaluate(
+    cache: &mut HashMap<ModelSpec, PreparedModel>,
+    index: usize,
+    spec: &ScenarioSpec,
+    config: &SweepConfig,
+) -> ScenarioResult {
+    let prepared = cache
+        .entry(spec.model.clone())
+        .or_insert_with(|| prepare(&spec.model, config.record_observations));
+    let reused_engine = prepared.uses > 0;
+    if reused_engine {
+        prepared.engine.reset();
+    }
+    prepared.uses += 1;
+
+    let stimulus = spec.trace.stimulus();
+    let start = Instant::now();
+    let mut outcome = drive_engine(&mut prepared.engine, stimulus.arrivals());
+    let wall = start.elapsed();
+    outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
+
+    let reference = config.compare_conventional.then(|| {
+        let env = Environment::new().stimulus(prepared.input, stimulus.clone());
+        let mut sim = elaborate(&prepared.arch, &env).expect("conventional model builds");
+        sim.kernel_mut()
+            .set_dispatch_cost_ns(config.reference_dispatch_cost_ns);
+        let report = sim.run();
+        let accurate = report
+            .instants(prepared.output)
+            .iter()
+            .map(|t| t.ticks())
+            .eq(outcome.outputs.iter().map(|&(_, y, _)| y));
+        ReferenceComparison {
+            wall: report.wall,
+            events: report.relation_events(),
+            activations: report.stats.activations,
+            accurate,
+        }
+    });
+
+    ScenarioResult {
+        index,
+        label: spec.label.clone(),
+        outcome,
+        nodes: prepared.nodes,
+        reused_engine,
+        wall,
+        reference,
+    }
+}
+
+/// Runs every scenario on a pool of [`SweepConfig::threads`] workers and
+/// returns the aggregated report, scenarios in input order.
+///
+/// Outcomes are deterministic: for any thread count the per-scenario
+/// [`ScenarioOutcome`]s are bitwise identical (only host wall-clock fields
+/// differ). Workers cache one engine per distinct [`ModelSpec`] and reuse
+/// it via [`Engine::reset`] between traces.
+///
+/// # Panics
+///
+/// Panics if a scenario's model fails to build or derive (specs are
+/// programmer-controlled), or if a worker panics.
+pub fn run_sweep(scenarios: &[ScenarioSpec], config: &SweepConfig) -> SweepReport {
+    let start = Instant::now();
+    let jobs: Vec<(usize, ScenarioSpec)> = scenarios.iter().cloned().enumerate().collect();
+    let results = parallel_map_with(
+        jobs,
+        config.threads,
+        HashMap::new,
+        |cache, _, (index, spec)| evaluate(cache, index, &spec, config),
+    );
+    SweepReport {
+        threads: config.threads.max(1),
+        scenarios: results,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: u64) -> Vec<ScenarioSpec> {
+        (0..n)
+            .map(|i| ScenarioSpec {
+                label: format!("s{i}"),
+                model: ModelSpec {
+                    kind: if i % 2 == 0 {
+                        ModelKind::Didactic { stages: 1 }
+                    } else {
+                        ModelKind::Pipeline {
+                            stages: 3,
+                            base: 50,
+                            per_unit: 2,
+                        }
+                    },
+                    padding: 0,
+                },
+                trace: TraceSpec {
+                    tokens: 20,
+                    min_size: 1,
+                    max_size: 32,
+                    mean_period: if i % 3 == 0 { 0 } else { 500 },
+                    seed: i,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcomes() {
+        let scenarios = specs(12);
+        let seq = run_sweep(&scenarios, &SweepConfig { threads: 1, ..SweepConfig::default() });
+        let par = run_sweep(&scenarios, &SweepConfig { threads: 4, ..SweepConfig::default() });
+        for (a, b) in seq.scenarios.iter().zip(&par.scenarios) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.outcome, b.outcome, "scenario {}", a.label);
+        }
+    }
+
+    #[test]
+    fn engines_are_reused_within_workers() {
+        let scenarios = specs(10);
+        let report = run_sweep(&scenarios, &SweepConfig { threads: 1, ..SweepConfig::default() });
+        // Two distinct models over ten scenarios: eight reuse an engine.
+        assert_eq!(report.reused_count(), 8);
+    }
+
+    #[test]
+    fn conventional_reference_agrees() {
+        let scenarios = specs(4);
+        let config = SweepConfig {
+            threads: 2,
+            compare_conventional: true,
+            ..SweepConfig::default()
+        };
+        let report = run_sweep(&scenarios, &config);
+        for s in &report.scenarios {
+            let r = s.reference.as_ref().expect("reference requested");
+            assert!(r.accurate, "scenario {} diverged from the DES model", s.label);
+            assert!(s.event_ratio().unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<u64>>(), 8, |i, x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn trace_spec_is_deterministic_and_monotone() {
+        let spec = TraceSpec { tokens: 50, min_size: 4, max_size: 64, mean_period: 100, seed: 9 };
+        let a = spec.stimulus();
+        let b = spec.stimulus();
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert!(a.arrivals().windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.arrivals().iter().all(|x| (4..=64).contains(&x.size)));
+    }
+
+    #[test]
+    fn report_json_contains_every_scenario() {
+        let report = run_sweep(&specs(3), &SweepConfig { threads: 2, ..SweepConfig::default() });
+        let rendered = report.to_json().render();
+        assert!(rendered.contains("\"scenario_count\":3"));
+        assert!(rendered.contains("\"label\":\"s2\""));
+    }
+}

@@ -131,12 +131,8 @@ pub fn frame_allocations(
     let max = scenario.bandwidth.prbs();
     let min = min_prbs.min(max);
     let _ = frames; // any frame index is accepted; the count only documents intent
-    move |frame: u64| {
-        let mut z = seed ^ frame.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        min + (z ^ (z >> 31)) % (max - min + 1)
-    }
+    let root = evolve_des::SplitMix64::new(seed);
+    move |frame: u64| root.fork(frame).range_inclusive(min, max)
 }
 
 /// A periodic symbol stimulus: `frames` frames of 14 symbols spaced

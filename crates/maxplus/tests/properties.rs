@@ -25,6 +25,22 @@ fn matrix(dim: usize) -> impl Strategy<Value = Matrix> {
     })
 }
 
+/// Matrices with only non-positive finite entries: every cycle weight is
+/// ≤ 0, the boundedness condition under which `A*` converges.
+fn bounded_matrix(dim: usize) -> impl Strategy<Value = Matrix> {
+    let nonpositive = prop_oneof![
+        4 => (-1_000i64..=0).prop_map(MaxPlus::new),
+        6 => Just(MaxPlus::EPSILON),
+    ];
+    proptest::collection::vec(nonpositive, dim * dim).prop_map(move |elems| {
+        let mut m = Matrix::epsilon(dim, dim);
+        for (idx, e) in elems.into_iter().enumerate() {
+            m[(idx / dim, idx % dim)] = e;
+        }
+        m
+    })
+}
+
 /// Strictly lower-triangular matrices: always acyclic, so `A*` converges.
 fn acyclic_matrix(dim: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(scalar(), dim * dim).prop_map(move |elems| {
@@ -95,6 +111,39 @@ proptest! {
             a.otimes(&b.oplus(&c)),
             a.otimes(&b).oplus(&a.otimes(&c))
         );
+    }
+
+    #[test]
+    fn matrix_oplus_is_a_join_semilattice(a in matrix(3), b in matrix(3), c in matrix(3)) {
+        // ⊕ on matrices: commutative, associative, idempotent (a ⊕ a = a).
+        prop_assert_eq!(a.oplus(&b), b.oplus(&a));
+        prop_assert_eq!(a.oplus(&b).oplus(&c), a.oplus(&b.oplus(&c)));
+        prop_assert_eq!(a.oplus(&a), a.clone());
+        prop_assert_eq!(a.oplus(&Matrix::epsilon(3, 3)), a);
+    }
+
+    #[test]
+    fn matrix_identity_neutral(a in matrix(3)) {
+        let e = Matrix::identity(3);
+        prop_assert_eq!(a.otimes(&e), a.clone());
+        prop_assert_eq!(e.otimes(&a), a);
+    }
+
+    #[test]
+    fn star_converges_on_bounded_matrices(a in bounded_matrix(4)) {
+        // Non-positive entries ⇒ every cycle weight ≤ 0 ⇒ A* exists and
+        // satisfies the defining fixed point A* = E ⊕ A ⊗ A*.
+        let s = star(&a).expect("bounded matrices have no positive cycle");
+        prop_assert_eq!(Matrix::identity(4).oplus(&a.otimes(&s)), s.clone());
+        // A* absorbs further ⊕-powers: A* ⊗ A* = A* (Kleene closure).
+        prop_assert_eq!(s.otimes(&s), s);
+    }
+
+    #[test]
+    fn star_solves_implicit_on_bounded(a in bounded_matrix(4), b in vector(4)) {
+        // x = A ⊗ x ⊕ b has x = A* ⊗ b as a solution whenever A* exists.
+        let x = solve_implicit(&a, &b).expect("bounded matrices converge");
+        prop_assert_eq!(a.otimes_vec(&x).oplus(&b), x);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Offline shim of the [criterion](https://docs.rs/criterion) API surface
+//! used by this workspace's benches.
+//!
+//! The build environment has no crates.io access, so the real criterion
+//! cannot be fetched. This in-tree replacement keeps every bench target
+//! compiling and runnable with plain wall-clock measurement: each
+//! benchmark runs one warm-up iteration plus `sample_size` timed
+//! iterations (capped at 10) and prints the mean time per iteration.
+//! When invoked with `--test` (as `cargo test` does for bench targets),
+//! every benchmark body runs exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke_test: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let smoke = self.smoke_test;
+        run_bench(&id.to_string(), 10, smoke, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark (capped at 10 in
+    /// this shim).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.criterion.smoke_test, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.criterion.smoke_test, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (formatting separator only in this shim).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An identifier made of a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An identifier made of the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures inside a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, smoke_test: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let iterations = if smoke_test {
+        1
+    } else {
+        sample_size.clamp(1, 10) as u64
+    };
+    if !smoke_test {
+        // Warm-up pass, untimed.
+        let mut warmup = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warmup);
+    }
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / iterations as f64;
+    println!("bench {label:<50} {:>12.3} ms/iter ({iterations} iters)", per_iter * 1e3);
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point calling each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

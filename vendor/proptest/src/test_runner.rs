@@ -1,0 +1,140 @@
+//! The case runner: configuration, the deterministic RNG, and failure
+//! reporting.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration; only the knobs the workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected ([`crate::prop_assume!`]) cases tolerated before
+    /// the test errors out as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property does not hold.
+    Fail(String),
+    /// The generated input violated an assumption; retry with a new input.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// The deterministic RNG strategies draw from (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs one property over many generated cases.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner whose RNG seed derives from the test name (stable across
+    /// runs, distinct across tests).
+    pub fn new_with_name(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the name: cheap, stable, well distributed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { config, seed, name }
+    }
+
+    /// Runs the property until `config.cases` cases pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the surrounding `#[test]`) on the first
+    /// [`TestCaseError::Fail`], or when rejections exceed
+    /// `config.max_global_rejects`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            // Each case gets an independent stream so a rejection cannot
+            // perturb every later case.
+            let mut rng = TestRng::new(self.seed ^ case.wrapping_mul(0xa076_1d64_78bd_642f));
+            case += 1;
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "property `{}`: too many rejected cases ({rejected}); \
+                         loosen the assumptions or the strategy",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "property `{}` failed at case #{} (seed {:#x}): {message}",
+                    self.name,
+                    case - 1,
+                    self.seed
+                ),
+            }
+        }
+    }
+}
