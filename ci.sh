@@ -11,4 +11,8 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --all-targets --offline -- -D warnings
 
-echo "ci: build, tests, and clippy all green"
+# Bench smoke: the compiled backend must beat the worklist reference on a
+# 1000-node synthetic graph (bounded iterations; asserts speedup > 1).
+cargo run --release -q -p evolve-bench --bin fig5 --offline -- --quick
+
+echo "ci: build, tests, clippy, and bench smoke all green"

@@ -3,7 +3,7 @@
 //! Fig. 5 trade-off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use evolve_core::{derive_tdg, synthetic, Engine};
+use evolve_core::{derive_tdg, synthetic, Engine, EvalBackend};
 use evolve_des::Time;
 use evolve_model::didactic;
 
@@ -42,24 +42,27 @@ fn bench_padding_overhead(c: &mut Criterion) {
     let derived = derive_tdg(&p.arch).expect("derives");
     let rels = p.arch.app().relations().len();
     for padding in [0usize, 100, 1_000] {
-        let padded = evolve_core::DerivedTdg {
-            tdg: synthetic::pad(&derived.tdg, padding),
-            size_rules: derived.size_rules.clone(),
-        };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(padding),
-            &padding,
-            |b, _| {
-                b.iter(|| {
-                    let mut e = Engine::new(padded.clone(), rels, false);
-                    for k in 0..ITERS {
-                        e.set_input(0, k, Time::from_ticks(k * 100), 4);
-                        while e.next_output(0).is_some() {}
-                    }
-                    e.stats()
-                })
-            },
+        let padded = evolve_core::DerivedTdg::new(
+            synthetic::pad(derived.tdg(), padding),
+            derived.size_rules().to_vec(),
         );
+        for backend in [EvalBackend::Compiled, EvalBackend::Worklist] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.as_str(), padding),
+                &padding,
+                |b, _| {
+                    b.iter(|| {
+                        let mut e =
+                            Engine::with_backend(padded.clone(), rels, false, backend);
+                        for k in 0..ITERS {
+                            e.set_input(0, k, Time::from_ticks(k * 100), 4);
+                            while e.next_output(0).is_some() {}
+                        }
+                        e.stats()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

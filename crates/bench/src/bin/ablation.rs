@@ -11,7 +11,7 @@
 //! Usage: `ablation [tokens] [threads]` (defaults: 20 000, host parallelism).
 
 use evolve_bench::{format_row, header, measure, sweep_measurements, Fidelity};
-use evolve_core::{derive_tdg, simplify};
+use evolve_core::{derive_tdg, simplify, EvalBackend};
 use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 use evolve_model::{didactic, varying_sizes, Environment, Stimulus};
 
@@ -37,16 +37,16 @@ fn main() {
 
     // Graph sizes across simplification options.
     let derived = derive_tdg(&d.arch).expect("derives");
-    let observing = simplify::simplify_default(&derived.tdg);
+    let observing = simplify::simplify_default(derived.tdg());
     let boundary = simplify::simplify(
-        &derived.tdg,
+        derived.tdg(),
         &simplify::Options {
             preserve_observations: false,
         },
     );
     println!(
         "graph nodes: derived={}, simplified(observing)={}, simplified(boundary)={}",
-        derived.tdg.node_count(),
+        derived.tdg().node_count(),
         observing.node_count(),
         boundary.node_count()
     );
@@ -62,18 +62,24 @@ fn main() {
         println!();
     }
 
-    // The kernel-free sweep path: observation replay on/off over a reused
-    // engine, conventional reference simulated per row.
-    let scenario = |label: &str| ScenarioSpec {
+    // The kernel-free sweep path: evaluation backend × observation replay
+    // over a reused engine, conventional reference simulated per row.
+    let scenario = |label: &str, backend: EvalBackend| ScenarioSpec {
         label: label.to_string(),
-        model: ModelSpec { kind: ModelKind::Didactic { stages: 2 }, padding: 0 },
+        model: ModelSpec { kind: ModelKind::Didactic { stages: 2 }, padding: 0, backend },
         trace: TraceSpec { tokens, min_size: 1, max_size: 256, mean_period: 0, seed: 9 },
     };
-    println!("== engine drive (no kernel), observation replay on/off ==");
+    println!("== engine drive (no kernel), backend x observation replay ==");
     println!("{}", header());
-    for (label, record) in [("drive+observe", true), ("drive-only", false)] {
+    let rows = [
+        ("compiled+observe", EvalBackend::Compiled, true),
+        ("compiled-only", EvalBackend::Compiled, false),
+        ("worklist+observe", EvalBackend::Worklist, true),
+        ("worklist-only", EvalBackend::Worklist, false),
+    ];
+    for (label, backend, record) in rows {
         let report = run_sweep(
-            &[scenario(label)],
+            &[scenario(label, backend)],
             &SweepConfig {
                 threads,
                 record_observations: record,

@@ -11,16 +11,48 @@
 //! The whole (stages × padding) grid is one parallel scenario sweep: every
 //! cell is a [`ScenarioSpec`] evaluated on a reused engine, with the
 //! conventional reference simulation run per cell for the speed-up column.
+//! A second grid compares the engine's evaluation backends (worklist vs.
+//! compiled CSR sweep) directly — per-iteration `ComputeInstant()` cost at
+//! 10/100/1000/5000 nodes — and writes it to `results/bench_engine.json`.
 //!
-//! Usage: `fig5 [tokens] [dispatch_cost_ns] [threads]`
+//! Usage: `fig5 [tokens] [dispatch_cost_ns] [threads] [--quick]`
 //! (defaults: 5 000 tokens, 1 µs reference calibration, host parallelism).
+//! `--quick` is the CI smoke mode: it skips the conventional-reference
+//! sweep and runs only the backend grid's 1000-node point with a bounded
+//! iteration budget, writing to `results/bench_engine_smoke.json` so the
+//! committed full-grid artifact is not clobbered.
 
-use evolve_bench::{format_row, header, sweep_measurements, total_engine_stats};
+use evolve_bench::{
+    backend_grid, format_row, header, sweep_measurements, total_engine_stats,
+    write_backend_report, BackendPoint,
+};
 use evolve_core::{derive_tdg, synthetic};
 use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 
+fn backend_section(targets: &[usize], budget: u64, reps: usize, out: &str) -> Vec<BackendPoint> {
+    println!("== engine backends: per-iteration ComputeInstant() cost ==");
+    println!(
+        "{:>7} {:>12} {:>15} {:>15} {:>8}",
+        "nodes", "iterations", "worklist ns/it", "compiled ns/it", "ratio"
+    );
+    let points = backend_grid(targets, budget, reps);
+    for p in &points {
+        println!(
+            "{:>7} {:>12} {:>15.1} {:>15.1} {:>8.2}",
+            p.nodes, p.iterations, p.worklist_ns, p.compiled_ns, p.speedup()
+        );
+    }
+    let path = std::path::Path::new(out);
+    write_backend_report(path, &points).expect("backend report written");
+    println!("backend grid written to {}", path.display());
+    points
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let quick = flags.iter().any(|f| f == "--quick");
+    let mut args = positional.into_iter();
     let tokens: u64 = args
         .next()
         .map(|s| s.parse().expect("tokens must be a number"))
@@ -33,6 +65,22 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("threads must be a number"))
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+    if quick {
+        // CI smoke: the compiled backend must beat the worklist at the
+        // 1000-node point, on a strictly bounded iteration budget.
+        let points = backend_section(&[1_000], 200_000, 2, "results/bench_engine_smoke.json");
+        let p = &points[0];
+        assert!(
+            p.speedup() > 1.0,
+            "compiled backend slower than worklist at {} nodes ({:.1} vs {:.1} ns/it)",
+            p.nodes,
+            p.compiled_ns,
+            p.worklist_ns
+        );
+        println!("quick mode: compiled backend {:.2}x at {} nodes — ok", p.speedup(), p.nodes);
+        return;
+    }
 
     println!("Fig. 5 reproduction — speed-up vs. graph node count");
     println!(
@@ -54,6 +102,7 @@ fn main() {
                 model: ModelSpec {
                     kind: ModelKind::Pipeline { stages, base: 200, per_unit: 2 },
                     padding,
+                    backend: Default::default(),
                 },
                 trace: TraceSpec {
                     tokens,
@@ -90,7 +139,7 @@ fn main() {
         };
         let x_size = derive_tdg(&synthetic::pipeline(stages, 200, 2).expect("builds").arch)
             .expect("derives")
-            .tdg
+            .tdg()
             .node_count()
             - 1;
         let row = format_row(m);
@@ -110,5 +159,15 @@ fn main() {
     println!(
         "engine totals: {} nodes computed, {} arc evaluations, {} iterations",
         totals.nodes_computed, totals.arcs_evaluated, totals.iterations_completed
+    );
+    println!();
+
+    // The backend comparison underlying the overhead curve: the compiled
+    // CSR sweep against the worklist, pure engine cost, no kernel.
+    backend_section(
+        &[10, 100, 1_000, 5_000],
+        2_000_000,
+        3,
+        "results/bench_engine.json",
     );
 }

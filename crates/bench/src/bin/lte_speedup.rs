@@ -26,7 +26,7 @@ fn main() {
 
     let derived = derive_tdg(&rx.arch).expect("derives");
     let reduced = simplify::simplify(
-        &derived.tdg,
+        derived.tdg(),
         &simplify::Options {
             preserve_observations: false,
         },
@@ -34,7 +34,7 @@ fn main() {
     println!("Section V reproduction — LTE receiver, {symbols} data symbols");
     println!(
         "graph: {} nodes derived, {} after boundary reduction (paper: 11)",
-        derived.tdg.node_count(),
+        derived.tdg().node_count(),
         reduced.node_count()
     );
     println!("paper reference: speed-up 4, event ratio 4.2");

@@ -43,6 +43,7 @@ fn main() {
             model: ModelSpec {
                 kind: ModelKind::Didactic { stages },
                 padding: 0,
+                backend: Default::default(),
             },
             trace: TraceSpec {
                 tokens,

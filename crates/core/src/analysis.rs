@@ -328,7 +328,7 @@ mod tests {
         // sets the period. All stages equal here: period = base load.
         let p = pipeline(3, 500, 0).unwrap();
         let derived = derive_tdg(&p.arch).unwrap();
-        let period = predicted_period(&derived.tdg, 0).expect("cyclic");
+        let period = predicted_period(derived.tdg(), 0).expect("cyclic");
         assert_eq!(period, CycleMean::new(500, 1));
     }
 
@@ -344,7 +344,7 @@ mod tests {
         };
         let d = didactic::chained(1, params).unwrap();
         let derived = derive_tdg(&d.arch).unwrap();
-        let predicted = predicted_period(&derived.tdg, 0).expect("cyclic");
+        let predicted = predicted_period(derived.tdg(), 0).expect("cyclic");
 
         // Simulate under saturation and measure the steady-state spacing.
         let env = evolve_model::Environment::new().stimulus(
@@ -363,8 +363,8 @@ mod tests {
     fn frozen_weights_respect_size() {
         let p = pipeline(1, 10, 3).unwrap();
         let derived = derive_tdg(&p.arch).unwrap();
-        let small = freeze_weights(&derived.tdg, 0);
-        let large = freeze_weights(&derived.tdg, 100);
+        let small = freeze_weights(derived.tdg(), 0);
+        let large = freeze_weights(derived.tdg(), 100);
         let sum =
             |v: &[u64]| v.iter().sum::<u64>();
         assert_eq!(sum(&large) - sum(&small), 300, "per-unit load scales");
@@ -384,7 +384,7 @@ mod tests {
         };
         let d = didactic::chained(1, params).unwrap();
         let derived = derive_tdg(&d.arch).unwrap();
-        let mut sys = to_linear_system(&derived.tdg, 0).expect("no feedback nodes");
+        let mut sys = to_linear_system(derived.tdg(), 0).expect("no feedback nodes");
         // Baseline: the history X(−1) is the process-start instant 0.
         sys.set_initial_state(evolve_maxplus::Vector::e(sys.state_dim()));
 
@@ -410,8 +410,8 @@ mod tests {
     fn linear_system_dimensions() {
         let p = pipeline(2, 100, 0).unwrap();
         let derived = derive_tdg(&p.arch).unwrap();
-        let sys = to_linear_system(&derived.tdg, 0).unwrap();
-        assert_eq!(sys.state_dim(), derived.tdg.node_count());
+        let sys = to_linear_system(derived.tdg(), 0).unwrap();
+        assert_eq!(sys.state_dim(), derived.tdg().node_count());
         assert_eq!(sys.input_dim(), 1);
         assert_eq!(sys.output_dim(), 1);
     }
@@ -431,8 +431,8 @@ mod tests {
         };
         let d = didactic::chained(1, params).unwrap();
         let derived = derive_tdg(&d.arch).unwrap();
-        let phases = steady_state_phases(&derived.tdg, 0).expect("phases exist");
-        assert_eq!(phases.len(), derived.tdg.node_count());
+        let phases = steady_state_phases(derived.tdg(), 0).expect("phases exist");
+        assert_eq!(phases.len(), derived.tdg().node_count());
 
         // Simulate to steady state; compare inter-relation offsets.
         let env = evolve_model::Environment::new().stimulus(
@@ -442,8 +442,8 @@ mod tests {
         let report = evolve_model::elaborate(&d.arch, &env).unwrap().run();
         let k = 48; // deep in steady state
         // Node ids of the exchange instants of M2 and M6 in the graph.
-        let m2 = derived.tdg.exchange_node(d.stages[0].m2).unwrap();
-        let m6 = derived.tdg.exchange_node(d.stages[0].m6).unwrap();
+        let m2 = derived.tdg().exchange_node(d.stages[0].m2).unwrap();
+        let m6 = derived.tdg().exchange_node(d.stages[0].m6).unwrap();
         let simulated_offset = report.instants(d.stages[0].m6)[k].ticks() as i64
             - report.instants(d.stages[0].m2)[k].ticks() as i64;
         let predicted_offset =
@@ -479,8 +479,8 @@ mod tests {
         mapping.assign(f1, p1).assign(f2, p2);
         let arch = evolve_model::Architecture::new(app, platform, mapping).unwrap();
         let derived = derive_tdg(&arch).unwrap();
-        assert!(derived.tdg.max_delay() > 1);
-        assert_eq!(steady_state_phases(&derived.tdg, 0), None);
+        assert!(derived.tdg().max_delay() > 1);
+        assert_eq!(steady_state_phases(derived.tdg(), 0), None);
     }
 
     #[test]
@@ -508,7 +508,7 @@ mod tests {
             outputs.push(fwd.next_output(0).unwrap().1);
         }
 
-        let latest = latest_input_schedule(&derived.tdg, 0, &[outputs.clone()])
+        let latest = latest_input_schedule(derived.tdg(), 0, &[outputs.clone()])
             .expect("feasible by construction");
         assert_eq!(latest.len(), 1);
         for (k, &orig) in offers.iter().enumerate() {
@@ -545,7 +545,7 @@ mod tests {
         // The pipeline latency is 180 ticks; a deadline of 100 at k = 0 is
         // impossible no matter when the input arrives.
         let infeasible =
-            latest_input_schedule(&derived.tdg, 0, &[vec![evolve_des::Time::from_ticks(100)]]);
+            latest_input_schedule(derived.tdg(), 0, &[vec![evolve_des::Time::from_ticks(100)]]);
         assert_eq!(infeasible, None);
     }
 }

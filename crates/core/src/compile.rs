@@ -1,0 +1,460 @@
+//! Compile-time lowering of a derived TDG into a flat evaluation program.
+//!
+//! The paper's Fig. 5 shows `ComputeInstant()` cost growing with graph size
+//! until the dynamic computation method stops paying past ~1000 nodes. The
+//! worklist engine reproduces that ceiling faithfully: every node costs a
+//! queue pop, an in-degree decrement, and a walk over nested-`Vec`
+//! adjacency. For a *static* graph all of that bookkeeping is knowable at
+//! build time — so this module compiles it away.
+//!
+//! [`CompiledTdg`] is the lowered form of a
+//! [`DerivedTdg`](crate::DerivedTdg):
+//!
+//! * a **levelized schedule** — node ids in topological order of the
+//!   zero-delay subgraph, with [`level offsets`](CompiledTdg::level_count)
+//!   marking the longest-path depth boundaries (every node's same-iteration
+//!   dependencies sit in strictly earlier levels);
+//! * incoming arcs flattened into **CSR** (one contiguous source/weight
+//!   slice per stream plus per-node offset ranges), with delay/exec arcs
+//!   segregated from same-iteration constant arcs so the inner loop of the
+//!   common case — `acc ⊕= x_src(k) ⊗ w` over a contiguous range — is
+//!   branch-light and cache-linear;
+//! * per-node metadata (observation action, acknowledgment/notification
+//!   target, dense exec-stash slot) packed into a flat SoA instruction
+//!   stream aligned with the schedule.
+//!
+//! [`Engine`](crate::Engine) evaluates one iteration of the compiled
+//! program as a single linear sweep (`max`-fold over arc ranges instead of
+//! worklist pops); the original worklist path remains available as the
+//! reference backend behind [`EvalBackend`], and the randomized conformance
+//! suite (`tests/backend_conformance.rs`) pins the two bitwise-equal.
+
+use evolve_maxplus::MaxPlus;
+use evolve_model::{FunctionId, ResourceId};
+
+use crate::tdg::{NodeId, NodeKind, Tdg, Weight};
+
+/// Which evaluation strategy an [`Engine`](crate::Engine) uses for
+/// `ComputeInstant()`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvalBackend {
+    /// Dependency-counting worklist propagation — the reference
+    /// implementation, driven purely by arc resolution and therefore able
+    /// to interleave partially known iterations in any order.
+    Worklist,
+    /// Levelized CSR sweep over a [`CompiledTdg`] lowered at engine-build
+    /// time. Iterations whose history is complete evaluate as one linear
+    /// pass; situations the sweep cannot express (multiple external inputs,
+    /// acknowledged outputs, incomplete older iterations) fall back to the
+    /// worklist within the same engine.
+    #[default]
+    Compiled,
+}
+
+impl EvalBackend {
+    /// Stable lower-case name, used as the report/JSON tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvalBackend::Worklist => "worklist",
+            EvalBackend::Compiled => "compiled",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Precompiled observation action of a node (what [`Engine::observe`]
+/// dispatches on — shared by both backends).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Obs {
+    None,
+    Exchange {
+        relation: u32,
+        /// Input index acknowledged by this node, or `u32::MAX`.
+        ack_input: u32,
+        /// Output index produced by this node, or `u32::MAX`.
+        output: u32,
+        /// Whether the relation has a separate FIFO read node.
+        has_fifo_read: bool,
+    },
+    FifoRead {
+        relation: u32,
+    },
+    ExecEnd {
+        function: FunctionId,
+        stmt: u32,
+        resource: ResourceId,
+        dense: u32,
+    },
+}
+
+/// Per-node evaluation metadata, lowered once per engine and shared by both
+/// backends.
+pub(crate) struct NodeMeta {
+    /// Observation action per node.
+    pub(crate) obs: Vec<Obs>,
+    /// Arcs whose resolution stashes exec info (duration arc S → E).
+    pub(crate) stash_arc: Vec<bool>,
+    /// Number of `ExecEnd` nodes (width of the dense exec stash).
+    pub(crate) n_execs: usize,
+}
+
+/// Lowers the per-node observation actions and stash-arc table of a graph.
+pub(crate) fn lower_node_meta(tdg: &Tdg, relation_count: usize) -> NodeMeta {
+    let n = tdg.node_count();
+    let ack_nodes: Vec<NodeId> = tdg
+        .inputs()
+        .iter()
+        .map(|&u| {
+            let NodeKind::Input { relation } = tdg.nodes()[u.index()].kind else {
+                unreachable!("inputs() only lists input nodes");
+            };
+            // Hand-built graphs without a boundary exchange acknowledge
+            // at the offer instant itself.
+            tdg.exchange_node(relation).unwrap_or(u)
+        })
+        .collect();
+    let mut has_fifo_read = vec![false; relation_count];
+    for node in tdg.nodes() {
+        if let NodeKind::FifoRead { relation } = node.kind {
+            has_fifo_read[relation.index()] = true;
+        }
+    }
+
+    // Dense exec indices and observation actions.
+    let mut n_execs = 0usize;
+    let mut exec_dense = vec![u32::MAX; n];
+    for (i, node) in tdg.nodes().iter().enumerate() {
+        if matches!(node.kind, NodeKind::ExecEnd { .. }) {
+            exec_dense[i] = n_execs as u32;
+            n_execs += 1;
+        }
+    }
+    let obs: Vec<Obs> = tdg
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| match node.kind {
+            NodeKind::Exchange { relation } | NodeKind::Output { relation } => {
+                let ack_input = ack_nodes
+                    .iter()
+                    .position(|a| a.index() == i)
+                    .map_or(u32::MAX, |p| p as u32);
+                let output = tdg
+                    .outputs()
+                    .iter()
+                    .position(|o| o.index() == i)
+                    .map_or(u32::MAX, |p| p as u32);
+                Obs::Exchange {
+                    relation: relation.index() as u32,
+                    ack_input,
+                    output,
+                    has_fifo_read: has_fifo_read[relation.index()],
+                }
+            }
+            NodeKind::FifoRead { relation } => Obs::FifoRead {
+                relation: relation.index() as u32,
+            },
+            NodeKind::ExecEnd {
+                function,
+                stmt,
+                resource,
+            } => Obs::ExecEnd {
+                function,
+                stmt: stmt as u32,
+                resource,
+                dense: exec_dense[i],
+            },
+            _ => Obs::None,
+        })
+        .collect();
+
+    // Duration arcs S → E with exec terms stash observation data.
+    let stash_arc: Vec<bool> = tdg
+        .arcs()
+        .iter()
+        .map(|arc| {
+            !arc.weight.execs.is_empty()
+                && matches!(tdg.nodes()[arc.dst.index()].kind, NodeKind::ExecEnd { .. })
+                && matches!(tdg.nodes()[arc.src.index()].kind, NodeKind::ExecStart { .. })
+        })
+        .collect();
+
+    NodeMeta {
+        obs,
+        stash_arc,
+        n_execs,
+    }
+}
+
+/// One data-dependent arc of the compiled program: the weight to evaluate
+/// per iteration plus the dense exec-stash slot its resolution fills.
+#[derive(Clone, Debug)]
+pub(crate) struct ExecArc {
+    /// The arc's weight (constant lag plus execution-duration terms).
+    pub(crate) weight: Weight,
+    /// Dense `ExecEnd` index whose stash captures `(start, ops)` for
+    /// observation replay, or `u32::MAX` when the arc is not a duration arc.
+    pub(crate) stash_dense: u32,
+}
+
+/// A derived TDG lowered into a levelized, CSR-flattened evaluation program
+/// (see the [module docs](self)).
+///
+/// All buffers are immutable after lowering — [`Engine::reset`]
+/// (crate::Engine::reset) and steady-state evaluation never touch them, so
+/// their capacity contributes a constant term to
+/// [`AllocationFootprint`](crate::AllocationFootprint).
+#[derive(Clone, Debug)]
+pub struct CompiledTdg {
+    /// Evaluation schedule: node ids, topologically ordered by zero-delay
+    /// level (stable within a level).
+    pub(crate) schedule: Vec<u32>,
+    /// Slot ranges per level: level `l` spans
+    /// `schedule[level_offsets[l] .. level_offsets[l + 1]]`.
+    pub(crate) level_offsets: Vec<u32>,
+    /// SoA instruction stream: observation action per schedule slot.
+    pub(crate) obs: Vec<Obs>,
+    /// CSR offsets (per slot, length `slots + 1`) into the same-iteration
+    /// constant-arc stream — the branch-light common case.
+    pub(crate) const_offsets: Vec<u32>,
+    /// Source node per constant arc.
+    pub(crate) const_srcs: Vec<u32>,
+    /// Constant lag per constant arc (`⊗`-applied to the source instant),
+    /// pre-lifted into the semiring so the sweep skips per-arc conversion.
+    pub(crate) const_lags: Vec<MaxPlus>,
+    /// CSR offsets (per slot) into the slow-arc stream: arcs with an
+    /// iteration delay and/or data-dependent weight.
+    pub(crate) slow_offsets: Vec<u32>,
+    /// Source node per slow arc.
+    pub(crate) slow_srcs: Vec<u32>,
+    /// Iteration delay per slow arc.
+    pub(crate) slow_delays: Vec<u32>,
+    /// Weight per slow arc: `>= 0` is a constant lag; `< 0` encodes index
+    /// `-(w + 1)` into [`CompiledTdg::exec_arcs`].
+    pub(crate) slow_weights: Vec<i64>,
+    /// Data-dependent arc table referenced by negative `slow_weights`.
+    pub(crate) exec_arcs: Vec<ExecArc>,
+}
+
+impl CompiledTdg {
+    /// Lowers a graph given its cached topological order and node metadata.
+    pub(crate) fn lower(tdg: &Tdg, topo: &[NodeId], meta: &NodeMeta) -> CompiledTdg {
+        let n = tdg.node_count();
+        let levels = tdg.zero_delay_levels(topo);
+
+        // The FIFO Kahn order out of `Tdg::topo_order` is already
+        // level-monotone (the queue holds nodes in non-decreasing level
+        // order); the stable sort is then the identity, and a guarantee
+        // against future order providers that are not.
+        let mut schedule: Vec<u32> = topo.iter().map(|&nd| nd.index() as u32).collect();
+        schedule.sort_by_key(|&i| levels[i as usize]);
+
+        let level_count = schedule
+            .last()
+            .map_or(0, |&i| levels[i as usize] as usize + 1);
+        let mut level_offsets = Vec::with_capacity(level_count + 1);
+        level_offsets.push(0u32);
+        for (slot, &node) in schedule.iter().enumerate() {
+            while level_offsets.len() <= levels[node as usize] as usize {
+                level_offsets.push(slot as u32);
+            }
+        }
+        while level_offsets.len() <= level_count {
+            level_offsets.push(schedule.len() as u32);
+        }
+
+        let mut obs = Vec::with_capacity(n);
+        let mut const_offsets = Vec::with_capacity(n + 1);
+        let mut const_srcs = Vec::new();
+        let mut const_lags = Vec::new();
+        let mut slow_offsets = Vec::with_capacity(n + 1);
+        let mut slow_srcs = Vec::new();
+        let mut slow_delays = Vec::new();
+        let mut slow_weights = Vec::new();
+        let mut exec_arcs = Vec::new();
+        const_offsets.push(0u32);
+        slow_offsets.push(0u32);
+        for &slot_node in &schedule {
+            let node = slot_node as usize;
+            obs.push(meta.obs[node]);
+            for &ai in &tdg.incoming[node] {
+                let arc = &tdg.arcs[ai];
+                if arc.delay == 0 && arc.weight.execs.is_empty() {
+                    const_srcs.push(arc.src.index() as u32);
+                    const_lags.push(MaxPlus::new(arc.weight.constant as i64));
+                } else if arc.weight.execs.is_empty() {
+                    slow_srcs.push(arc.src.index() as u32);
+                    slow_delays.push(arc.delay);
+                    slow_weights.push(arc.weight.constant as i64);
+                } else {
+                    slow_srcs.push(arc.src.index() as u32);
+                    slow_delays.push(arc.delay);
+                    let stash_dense = if meta.stash_arc[ai] {
+                        match meta.obs[node] {
+                            Obs::ExecEnd { dense, .. } => dense,
+                            _ => u32::MAX,
+                        }
+                    } else {
+                        u32::MAX
+                    };
+                    let idx = exec_arcs.len() as i64;
+                    exec_arcs.push(ExecArc {
+                        weight: arc.weight.clone(),
+                        stash_dense,
+                    });
+                    slow_weights.push(-(idx + 1));
+                }
+            }
+            const_offsets.push(const_srcs.len() as u32);
+            slow_offsets.push(slow_srcs.len() as u32);
+        }
+
+        CompiledTdg {
+            schedule,
+            level_offsets,
+            obs,
+            const_offsets,
+            const_srcs,
+            const_lags,
+            slow_offsets,
+            slow_srcs,
+            slow_delays,
+            slow_weights,
+            exec_arcs,
+        }
+    }
+
+    /// Number of scheduled nodes.
+    pub fn node_count(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Number of zero-delay levels (schedule depth).
+    pub fn level_count(&self) -> usize {
+        self.level_offsets.len().saturating_sub(1)
+    }
+
+    /// Same-iteration constant arcs in the fast CSR stream.
+    pub fn const_arc_count(&self) -> usize {
+        self.const_srcs.len()
+    }
+
+    /// Delayed and/or data-dependent arcs in the slow CSR stream.
+    pub fn slow_arc_count(&self) -> usize {
+        self.slow_srcs.len()
+    }
+
+    /// Total element capacity across the compiled buffers — the term the
+    /// lowering adds to [`AllocationFootprint`](crate::AllocationFootprint).
+    /// Constant after lowering: evaluation and engine reset never touch the
+    /// compiled program.
+    pub fn buffer_elements(&self) -> usize {
+        self.schedule.capacity()
+            + self.level_offsets.capacity()
+            + self.obs.capacity()
+            + self.const_offsets.capacity()
+            + self.const_srcs.capacity()
+            + self.const_lags.capacity()
+            + self.slow_offsets.capacity()
+            + self.slow_srcs.capacity()
+            + self.slow_delays.capacity()
+            + self.slow_weights.capacity()
+            + self.exec_arcs.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive_tdg, synthetic};
+
+    fn lowered(stages: usize, padding: usize) -> (crate::DerivedTdg, CompiledTdg) {
+        let p = synthetic::pipeline(stages, 50, 1).unwrap();
+        let mut derived = derive_tdg(&p.arch).unwrap();
+        if padding > 0 {
+            derived.map_tdg(|t| synthetic::pad(t, padding));
+        }
+        let meta = lower_node_meta(derived.tdg(), p.arch.app().relations().len());
+        let compiled = CompiledTdg::lower(derived.tdg(), derived.topo_order(), &meta);
+        (derived, compiled)
+    }
+
+    #[test]
+    fn schedule_is_a_level_monotone_permutation() {
+        let (derived, c) = lowered(4, 32);
+        let tdg = derived.tdg();
+        assert_eq!(c.node_count(), tdg.node_count());
+        let mut seen = vec![false; tdg.node_count()];
+        for &s in &c.schedule {
+            assert!(!seen[s as usize], "node scheduled twice");
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Slots are grouped by non-decreasing level, and every zero-delay
+        // arc crosses a level boundary forward.
+        let levels = tdg.zero_delay_levels(derived.topo_order());
+        let slot_levels: Vec<u32> = c.schedule.iter().map(|&s| levels[s as usize]).collect();
+        assert!(slot_levels.windows(2).all(|w| w[0] <= w[1]));
+        for arc in tdg.arcs() {
+            if arc.delay == 0 {
+                assert!(levels[arc.src.index()] < levels[arc.dst.index()]);
+            }
+        }
+        // Level offsets bracket exactly the slots of each level.
+        assert_eq!(c.level_count(), *slot_levels.last().unwrap() as usize + 1);
+        for l in 0..c.level_count() {
+            let (lo, hi) = (c.level_offsets[l] as usize, c.level_offsets[l + 1] as usize);
+            assert!(lo < hi, "level {l} is empty");
+            assert!(slot_levels[lo..hi].iter().all(|&x| x as usize == l));
+        }
+    }
+
+    #[test]
+    fn csr_streams_partition_the_arcs() {
+        let (derived, c) = lowered(6, 100);
+        let tdg = derived.tdg();
+        assert_eq!(c.const_arc_count() + c.slow_arc_count(), tdg.arc_count());
+        // Constant stream holds exactly the same-iteration constant arcs.
+        let expected_const = tdg
+            .arcs()
+            .iter()
+            .filter(|a| a.delay == 0 && a.weight.execs.is_empty())
+            .count();
+        assert_eq!(c.const_arc_count(), expected_const);
+        // Every negative slow weight decodes into the exec-arc table.
+        let mut referenced = vec![false; c.exec_arcs.len()];
+        for &w in &c.slow_weights {
+            if w < 0 {
+                referenced[(-(w + 1)) as usize] = true;
+            }
+        }
+        assert!(referenced.iter().all(|&r| r), "orphan exec arc");
+        assert_eq!(
+            c.exec_arcs.len(),
+            tdg.arcs().iter().filter(|a| !a.weight.execs.is_empty()).count()
+        );
+        assert!(c.buffer_elements() > 0);
+    }
+
+    #[test]
+    fn padding_chain_extends_the_levels() {
+        let (_, plain) = lowered(3, 0);
+        let (_, padded) = lowered(3, 50);
+        // The padding chain hangs off the input, one node per level.
+        assert!(padded.level_count() >= plain.level_count());
+        assert!(padded.level_count() >= 50);
+        assert_eq!(padded.node_count(), plain.node_count() + 50);
+    }
+
+    #[test]
+    fn backend_tags_are_stable() {
+        assert_eq!(EvalBackend::default(), EvalBackend::Compiled);
+        assert_eq!(EvalBackend::Compiled.as_str(), "compiled");
+        assert_eq!(EvalBackend::Worklist.to_string(), "worklist");
+    }
+}

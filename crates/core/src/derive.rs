@@ -55,13 +55,80 @@ pub enum SizeRule {
 /// relation.
 pub type SizeRules = Vec<SizeRule>;
 
-/// A derived graph plus its size-propagation rules.
+/// A derived graph plus its size-propagation rules and the cached
+/// topological order of its zero-delay subgraph.
+///
+/// The order is computed once, here, instead of on every
+/// [`Engine`](crate::Engine) construction: derivation is the only place a
+/// graph enters the evaluation pipeline, so the cache can never go stale —
+/// the fields are private and every mutation path ([`DerivedTdg::replace_tdg`],
+/// [`DerivedTdg::map_tdg`]) recomputes it.
 #[derive(Clone, Debug)]
 pub struct DerivedTdg {
+    tdg: Tdg,
+    size_rules: SizeRules,
+    topo: Vec<NodeId>,
+}
+
+impl DerivedTdg {
+    /// Wraps a built graph with its size rules, caching the topological
+    /// order of the zero-delay subgraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zero-delay subgraph is cyclic — impossible for graphs
+    /// out of [`TdgBuilder::build`](crate::TdgBuilder::build), which rejects
+    /// such cycles as [`DeriveError::CausalityCycle`].
+    pub fn new(tdg: Tdg, size_rules: SizeRules) -> Self {
+        let topo = tdg
+            .topo_order()
+            .expect("built graphs have an acyclic zero-delay subgraph");
+        DerivedTdg {
+            tdg,
+            size_rules,
+            topo,
+        }
+    }
+
     /// The temporal dependency graph.
-    pub tdg: Tdg,
+    pub fn tdg(&self) -> &Tdg {
+        &self.tdg
+    }
+
     /// Size rules, indexed by [`RelationId`].
-    pub size_rules: SizeRules,
+    pub fn size_rules(&self) -> &[SizeRule] {
+        &self.size_rules
+    }
+
+    /// The cached topological order of the zero-delay subgraph.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Replaces the graph (simplification, padding), recomputing the cached
+    /// topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new graph's zero-delay subgraph is cyclic.
+    pub fn replace_tdg(&mut self, tdg: Tdg) {
+        self.topo = tdg
+            .topo_order()
+            .expect("built graphs have an acyclic zero-delay subgraph");
+        self.tdg = tdg;
+    }
+
+    /// Transforms the graph in place (e.g. `simplify`, `pad`), recomputing
+    /// the cached topological order.
+    pub fn map_tdg(&mut self, f: impl FnOnce(&Tdg) -> Tdg) {
+        let next = f(&self.tdg);
+        self.replace_tdg(next);
+    }
+
+    /// Decomposes into `(graph, size rules, topological order)`.
+    pub fn into_parts(self) -> (Tdg, SizeRules, Vec<NodeId>) {
+        (self.tdg, self.size_rules, self.topo)
+    }
 }
 
 /// Finds the relation feeding statement `stmt` of `behavior`: the closest
@@ -374,10 +441,7 @@ pub fn derive_tdg_with(
         })
         .collect();
 
-    Ok(DerivedTdg {
-        tdg: b.build()?,
-        size_rules,
-    })
+    Ok(DerivedTdg::new(b.build()?, size_rules))
 }
 
 /// Wraps a (possibly negative) slot position into `(index, iteration
@@ -431,7 +495,7 @@ mod tests {
     fn didactic_derives() {
         let d = didactic::chained(1, didactic::Params::default()).unwrap();
         let derived = derive_tdg(&d.arch).unwrap();
-        let tdg = &derived.tdg;
+        let tdg = derived.tdg();
         // 1 input + 6 relation nodes + 6 execs × 2 = 19 nodes.
         assert_eq!(tdg.node_count(), 19);
         assert_eq!(tdg.inputs().len(), 1);
@@ -448,11 +512,22 @@ mod tests {
             }
         }
         // Size rules: M1 external, others derived.
-        assert_eq!(derived.size_rules[d.input().index()], SizeRule::External);
+        assert_eq!(derived.size_rules()[d.input().index()], SizeRule::External);
         assert!(matches!(
-            derived.size_rules[d.stages[0].m2.index()],
+            derived.size_rules()[d.stages[0].m2.index()],
             SizeRule::Derived { .. }
         ));
+        // The cached topological order covers every node and respects the
+        // zero-delay arcs.
+        let topo = derived.topo_order();
+        assert_eq!(topo.len(), tdg.node_count());
+        let pos: std::collections::BTreeMap<_, _> =
+            topo.iter().enumerate().map(|(p, &n)| (n, p)).collect();
+        for arc in tdg.arcs() {
+            if arc.delay == 0 {
+                assert!(pos[&arc.src] < pos[&arc.dst]);
+            }
+        }
     }
 
     #[test]
@@ -525,12 +600,12 @@ mod tests {
         let derived = derive_tdg(&arch).unwrap();
         assert!(
             derived
-                .tdg
+                .tdg()
                 .arcs()
                 .iter()
                 .any(|a| a.delay == 4),
             "capacity-4 fifo produces a delay-4 arc"
         );
-        assert_eq!(derived.tdg.max_delay(), 4);
+        assert_eq!(derived.tdg().max_delay(), 4);
     }
 }

@@ -25,14 +25,20 @@
 //! overhead (paper Fig. 5). The implementation therefore avoids per-event
 //! allocation entirely in steady state: iteration states live in a ring
 //! buffer and are recycled, per-node observation actions are precompiled,
-//! and arc evaluation reads weights in place.
+//! and arc evaluation reads weights in place. On top of that, the default
+//! [`EvalBackend::Compiled`] lowers the graph into a [`CompiledTdg`] —
+//! a levelized schedule with CSR-flattened arcs — and evaluates steady-state
+//! iterations as one branch-light linear sweep instead of worklist
+//! propagation; [`EvalBackend::Worklist`] keeps the propagation path as the
+//! bitwise reference (see `tests/backend_conformance.rs`).
 
 use std::collections::VecDeque;
 
 use evolve_des::{EventId, Time};
 use evolve_maxplus::MaxPlus;
-use evolve_model::{ExecRecord, FunctionId, LoadContext, ResourceId};
+use evolve_model::{ExecRecord, LoadContext};
 
+use crate::compile::{lower_node_meta, CompiledTdg, EvalBackend, Obs};
 use crate::derive::{DerivedTdg, SizeRule};
 use crate::tdg::{NodeId, NodeKind, Tdg, Weight};
 
@@ -63,6 +69,11 @@ pub struct AllocationFootprint {
     pub work_capacity: usize,
     /// Capacity of the pending-notification buffer.
     pub notification_capacity: usize,
+    /// Total element capacity of the compiled backend's buffers (schedule,
+    /// CSR arc streams, instruction stream); `0` for the worklist backend.
+    /// Constant after engine construction — the compiled program is
+    /// immutable.
+    pub compiled_elements: usize,
 }
 
 /// Computation statistics of an engine.
@@ -113,30 +124,6 @@ impl IterState {
     }
 }
 
-/// Precompiled observation action of a node.
-#[derive(Clone, Copy, Debug)]
-enum Obs {
-    None,
-    Exchange {
-        relation: u32,
-        /// Input index acknowledged by this node, or `u32::MAX`.
-        ack_input: u32,
-        /// Output index produced by this node, or `u32::MAX`.
-        output: u32,
-        /// Whether the relation has a separate FIFO read node.
-        has_fifo_read: bool,
-    },
-    FifoRead {
-        relation: u32,
-    },
-    ExecEnd {
-        function: FunctionId,
-        stmt: u32,
-        resource: ResourceId,
-        dense: u32,
-    },
-}
-
 #[inline]
 fn iter_at(ring: &VecDeque<IterState>, base: u64, k: u64) -> Option<&IterState> {
     if k < base {
@@ -161,6 +148,7 @@ fn eval_weight(
     k: u64,
     ring: &VecDeque<IterState>,
     base: u64,
+    tail: Option<&IterState>,
 ) -> (u64, u64) {
     let mut lag = weight.constant;
     let mut ops_total = 0u64;
@@ -170,6 +158,13 @@ fn eval_weight(
             Some((rel, delay)) => {
                 if u64::from(delay) > k {
                     0
+                } else if delay == 0 {
+                    // Iteration `k` itself: held outside the ring by the
+                    // compiled sweep, inside it on the worklist path.
+                    match tail {
+                        Some(it) => it.sizes[rel.index()],
+                        None => iter_at(ring, base, k).map_or(0, |it| it.sizes[rel.index()]),
+                    }
                 } else {
                     iter_at(ring, base, k - u64::from(delay))
                         .map_or(0, |it| it.sizes[rel.index()])
@@ -236,13 +231,11 @@ pub struct Engine {
     has_prefix: bool,
     /// Next expected acknowledgment iteration per output.
     next_output_ack_k: Vec<u64>,
-    /// Zero-delay topological order for the steady-state fast path.
-    topo: Vec<NodeId>,
-    /// Flattened incoming arcs per node in topo order: offsets into
-    /// `flat_in`.
-    flat_offsets: Vec<u32>,
-    /// `(src, delay, arc_idx)` triples, grouped per node.
-    flat_in: Vec<(u32, u32, u32)>,
+    /// Which evaluation strategy this engine was built with.
+    backend: EvalBackend,
+    /// The lowered evaluation program for the steady-state linear sweep;
+    /// `None` for [`EvalBackend::Worklist`].
+    compiled: Option<CompiledTdg>,
     /// Iterations `base_k ..` currently materialized.
     ring: VecDeque<IterState>,
     base_k: u64,
@@ -279,98 +272,49 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Creates an engine over a derived graph.
+    /// Creates an engine over a derived graph with the default
+    /// (compiled) backend — see [`Engine::with_backend`].
     ///
     /// `relation_count` is the total number of relations in the source
     /// application (sizes and logs are indexed by relation);
     /// `record_observations` enables the exchange-instant and execution
     /// logs (disable for maximum speed when only boundary instants matter).
     pub fn new(derived: DerivedTdg, relation_count: usize, record_observations: bool) -> Self {
-        let DerivedTdg { tdg, size_rules } = derived;
+        Self::with_backend(
+            derived,
+            relation_count,
+            record_observations,
+            EvalBackend::default(),
+        )
+    }
+
+    /// Creates an engine with an explicit [`EvalBackend`].
+    ///
+    /// [`EvalBackend::Compiled`] lowers the graph into a [`CompiledTdg`]
+    /// once, here; [`EvalBackend::Worklist`] skips the lowering and
+    /// evaluates every iteration through the reference worklist.
+    pub fn with_backend(
+        derived: DerivedTdg,
+        relation_count: usize,
+        record_observations: bool,
+        backend: EvalBackend,
+    ) -> Self {
+        let (tdg, size_rules, topo) = derived.into_parts();
         let n = tdg.node_count();
 
-        let ack_nodes: Vec<NodeId> = tdg
-            .inputs()
-            .iter()
-            .map(|&u| {
-                let NodeKind::Input { relation } = tdg.nodes()[u.index()].kind else {
-                    unreachable!("inputs() only lists input nodes");
-                };
-                // Hand-built graphs without a boundary exchange acknowledge
-                // at the offer instant itself.
-                tdg.exchange_node(relation).unwrap_or(u)
-            })
-            .collect();
-        let mut has_fifo_read = vec![false; relation_count];
-        for node in tdg.nodes() {
-            if let NodeKind::FifoRead { relation } = node.kind {
-                has_fifo_read[relation.index()] = true;
-            }
-        }
+        let meta = lower_node_meta(&tdg, relation_count);
+        let compiled = match backend {
+            EvalBackend::Compiled => Some(CompiledTdg::lower(&tdg, &topo, &meta)),
+            EvalBackend::Worklist => None,
+        };
+        let node_obs = meta.obs;
+        let stash_arc = meta.stash_arc;
+        let n_execs = meta.n_execs;
 
         let mut remaining_template = vec![0u32; n];
         for arc in tdg.arcs() {
             remaining_template[arc.dst.index()] += 1;
         }
-
-        // Dense exec indices and observation actions.
-        let mut n_execs = 0usize;
-        let mut exec_dense = vec![u32::MAX; n];
-        for (i, node) in tdg.nodes().iter().enumerate() {
-            if matches!(node.kind, NodeKind::ExecEnd { .. }) {
-                exec_dense[i] = n_execs as u32;
-                n_execs += 1;
-            }
-        }
-        let node_obs: Vec<Obs> = tdg
-            .nodes()
-            .iter()
-            .enumerate()
-            .map(|(i, node)| match node.kind {
-                NodeKind::Exchange { relation } | NodeKind::Output { relation } => {
-                    let ack_input = ack_nodes
-                        .iter()
-                        .position(|a| a.index() == i)
-                        .map_or(u32::MAX, |p| p as u32);
-                    let output = tdg
-                        .outputs()
-                        .iter()
-                        .position(|o| o.index() == i)
-                        .map_or(u32::MAX, |p| p as u32);
-                    Obs::Exchange {
-                        relation: relation.index() as u32,
-                        ack_input,
-                        output,
-                        has_fifo_read: has_fifo_read[relation.index()],
-                    }
-                }
-                NodeKind::FifoRead { relation } => Obs::FifoRead {
-                    relation: relation.index() as u32,
-                },
-                NodeKind::ExecEnd {
-                    function,
-                    stmt,
-                    resource,
-                } => Obs::ExecEnd {
-                    function,
-                    stmt: stmt as u32,
-                    resource,
-                    dense: exec_dense[i],
-                },
-                _ => Obs::None,
-            })
-            .collect();
-
-        // Duration arcs S → E with exec terms stash observation data.
-        let stash_arc: Vec<bool> = tdg
-            .arcs()
-            .iter()
-            .map(|arc| {
-                !arc.weight.execs.is_empty()
-                    && matches!(tdg.nodes()[arc.dst.index()].kind, NodeKind::ExecEnd { .. })
-                    && matches!(tdg.nodes()[arc.src.index()].kind, NodeKind::ExecStart { .. })
-            })
-            .collect();
 
         let delayed_arcs: Vec<u32> = tdg
             .arcs()
@@ -425,19 +369,6 @@ impl Engine {
             }
             dependent.iter().any(|d| !d)
         };
-        let topo = tdg
-            .topo_order()
-            .expect("built graphs have an acyclic zero-delay subgraph");
-        let mut flat_offsets = Vec::with_capacity(n + 1);
-        let mut flat_in = Vec::with_capacity(tdg.arcs().len());
-        flat_offsets.push(0u32);
-        for &node in &topo {
-            for &ai in &tdg.incoming[node.index()] {
-                let arc = &tdg.arcs()[ai];
-                flat_in.push((arc.src.index() as u32, arc.delay, ai as u32));
-            }
-            flat_offsets.push(flat_in.len() as u32);
-        }
 
         let n_inputs = tdg.inputs().len();
         let n_outputs = tdg.outputs().len();
@@ -454,9 +385,8 @@ impl Engine {
             has_output_acks,
             has_prefix,
             next_output_ack_k: vec![0; n_outputs],
-            topo,
-            flat_offsets,
-            flat_in,
+            backend,
+            compiled,
             ring: VecDeque::new(),
             base_k: 0,
             free: Vec::new(),
@@ -480,6 +410,17 @@ impl Engine {
     /// The underlying graph.
     pub fn tdg(&self) -> &Tdg {
         &self.tdg
+    }
+
+    /// The evaluation backend this engine was built with.
+    pub fn backend(&self) -> EvalBackend {
+        self.backend
+    }
+
+    /// The lowered evaluation program, when the engine runs the compiled
+    /// backend.
+    pub fn compiled_tdg(&self) -> Option<&CompiledTdg> {
+        self.compiled.as_ref()
     }
 
     /// Rewinds the engine to its just-constructed state while keeping every
@@ -535,6 +476,10 @@ impl Engine {
             free_capacity: self.free.capacity(),
             work_capacity: self.work.capacity(),
             notification_capacity: self.pending_notifications.capacity(),
+            compiled_elements: self
+                .compiled
+                .as_ref()
+                .map_or(0, CompiledTdg::buffer_elements),
         }
     }
 
@@ -583,13 +528,15 @@ impl Engine {
         let NodeKind::Input { relation } = self.tdg.nodes[node.index()].kind else {
             unreachable!()
         };
-        // Steady-state fast path: with a single input and all older history
-        // complete, the iteration evaluates in one topological sweep with
-        // no dependency bookkeeping. Iteration `k` itself may already exist
-        // as the look-ahead (its input-independent prefix computed); the
-        // sweep then fills in the rest.
+        // Steady-state fast path: with a compiled program, a single input,
+        // and all older history complete, the iteration evaluates in one
+        // levelized linear sweep with no dependency bookkeeping. Iteration
+        // `k` itself may already exist as the look-ahead (its
+        // input-independent prefix computed); the sweep then fills in the
+        // rest.
         let tail_k = self.base_k + self.ring.len() as u64;
-        let fast_ok = self.tdg.inputs.len() == 1
+        let fast_ok = self.compiled.is_some()
+            && self.tdg.inputs.len() == 1
             && !self.has_output_acks
             && (k == tail_k
                 || (k + 1 == tail_k
@@ -604,7 +551,7 @@ impl Engine {
                 .take((k.saturating_sub(self.base_k)) as usize)
                 .all(|it| it.nodes_pending == 0);
         if fast_ok {
-            self.compute_iteration_fast(k, node, relation.index(), at, size);
+            self.compute_iteration_compiled(k, node, relation.index(), at, size);
             self.ensure_lookahead();
             self.maybe_prune();
             return;
@@ -638,10 +585,12 @@ impl Engine {
         }
     }
 
-    /// Evaluates (the remainder of) iteration `k` in one topological sweep;
-    /// all dependencies are guaranteed available. `k` is either fresh (one
-    /// past the ring) or the partially computed look-ahead at the tail.
-    fn compute_iteration_fast(
+    /// Evaluates (the remainder of) iteration `k` in one linear pass over
+    /// the compiled schedule; all dependencies are guaranteed available
+    /// (same-iteration sources precede their targets in the levelized
+    /// order, history is complete). `k` is either fresh (one past the ring)
+    /// or the partially computed look-ahead at the tail.
+    fn compute_iteration_compiled(
         &mut self,
         k: u64,
         input_node: NodeId,
@@ -662,77 +611,101 @@ impl Engine {
             state.computed.fill(false);
             self.ring.push_back(state);
         }
-        {
-            let it = self.ring.back_mut().expect("tail exists");
-            it.sizes[input_relation] = size;
-            it.acc[input_node.index()] = MaxPlus::new(at.ticks() as i64);
-            it.nodes_pending = 0;
-        }
+        // Pop iteration `k`'s state out of the ring for the sweep: owned
+        // access sidesteps the ring's bounds-checked `back()`/`back_mut()`
+        // on every node. Older iterations keep their ring indices, so
+        // delayed reads via `iter_at` stay valid.
+        let mut tail = self.ring.pop_back().expect("tail exists");
+        tail.sizes[input_relation] = size;
+        tail.acc[input_node.index()] = MaxPlus::new(at.ticks() as i64);
+        tail.nodes_pending = 0;
         self.stats.iterations_completed += 1;
 
-        for pos in 0..self.topo.len() {
-            let node = self.topo[pos];
-            if self
-                .ring
-                .back()
-                .expect("tail exists")
-                .computed[node.index()]
-            {
-                // Computed during look-ahead (input-independent prefix).
+        // Moved out of `self` for the duration of the sweep so arc ranges
+        // can be read while the ring and logs are mutated.
+        let ct = self.compiled.take().expect("compiled backend gated by fast_ok");
+        // The input node's value was set above — pre-mark it computed so the
+        // sweep's look-ahead skip handles it without a per-node comparison.
+        tail.computed[input_node.index()] = true;
+        let mut nodes_local = 1u64;
+        let mut arcs_local = 0u64;
+        // Rolling CSR cursors: one offset load per slot instead of four;
+        // offsets and observation actions ride the zipped iterators, so the
+        // hot loop indexes only per-node state.
+        let mut clo = ct.const_offsets[0] as usize;
+        let mut slo = ct.slow_offsets[0] as usize;
+        let slots = ct
+            .schedule
+            .iter()
+            .zip(&ct.const_offsets[1..])
+            .zip(&ct.slow_offsets[1..])
+            .zip(&ct.obs);
+        for (((&slot_node, &chi), &shi), &obs) in slots {
+            let node = slot_node as usize;
+            let (chi, shi) = (chi as usize, shi as usize);
+            let (c0, s0) = (clo, slo);
+            (clo, slo) = (chi, shi);
+            if tail.computed[node] {
+                // Computed during look-ahead (input-independent prefix), or
+                // the pre-marked input node.
                 continue;
             }
-            if node == input_node {
-                self.ring
-                    .back_mut()
-                    .expect("tail exists")
-                    .computed[node.index()] = true;
-                self.stats.nodes_computed += 1;
-                continue;
-            }
-            let lo = self.flat_offsets[pos] as usize;
-            let hi = self.flat_offsets[pos + 1] as usize;
+            nodes_local += 1;
+            arcs_local += (chi - c0 + shi - s0) as u64;
             let mut acc = MaxPlus::E; // process-start baseline
-            for fi in lo..hi {
-                let (src, delay, ai) = self.flat_in[fi];
-                self.stats.arcs_evaluated += 1;
+            // Slow stream first: delayed and/or data-dependent arcs, read
+            // through the full history ring.
+            let mut stash: Option<(u32, (MaxPlus, u64))> = None;
+            for i in s0..shi {
+                let delay = u64::from(ct.slow_delays[i]);
+                let src = ct.slow_srcs[i] as usize;
                 let src_val = if delay == 0 {
-                    self.ring
-                        .back()
-                        .expect("tail exists")
-                        .acc[src as usize]
-                } else if u64::from(delay) > k {
+                    tail.acc[src]
+                } else if delay > k {
                     MaxPlus::E
                 } else {
-                    iter_at(&self.ring, self.base_k, k - u64::from(delay))
-                        .map_or(MaxPlus::E, |it| it.acc[src as usize])
+                    iter_at(&self.ring, self.base_k, k - delay)
+                        .map_or(MaxPlus::E, |it| it.acc[src])
                 };
                 if src_val.is_epsilon() {
                     continue;
                 }
-                let arc = &self.tdg.arcs[ai as usize];
-                let contribution = if arc.weight.execs.is_empty() {
-                    src_val.otimes(MaxPlus::new(arc.weight.constant as i64))
+                let w = ct.slow_weights[i];
+                let contribution = if w >= 0 {
+                    src_val.otimes(MaxPlus::new(w))
                 } else {
-                    let (lag, ops) = eval_weight(&arc.weight, k, &self.ring, self.base_k);
-                    if self.record_observations && self.stash_arc[ai as usize] {
-                        if let Obs::ExecEnd { dense, .. } = self.node_obs[node.index()] {
-                            if let Some(it) = self.ring.back_mut() {
-                                it.exec_stash[dense as usize] = (src_val, ops);
-                            }
-                        }
+                    let exec = &ct.exec_arcs[(-(w + 1)) as usize];
+                    let (lag, ops) =
+                        eval_weight(&exec.weight, k, &self.ring, self.base_k, Some(&tail));
+                    if self.record_observations && exec.stash_dense != u32::MAX {
+                        stash = Some((exec.stash_dense, (src_val, ops)));
                     }
                     src_val.otimes(MaxPlus::new(lag as i64))
                 };
                 acc = acc.oplus(contribution);
             }
-            {
-                let it = self.ring.back_mut().expect("tail exists");
-                it.acc[node.index()] = acc;
-                it.computed[node.index()] = true;
+            // Constant stream: the branch-light common case, a contiguous
+            // max-fold over same-iteration sources of the tail state. The
+            // zipped subslices elide per-arc bounds checks.
+            for (&src, &lag) in ct.const_srcs[c0..chi].iter().zip(&ct.const_lags[c0..chi]) {
+                let src_val = tail.acc[src as usize];
+                if !src_val.is_epsilon() {
+                    acc = acc.oplus(src_val.otimes(lag));
+                }
             }
-            self.stats.nodes_computed += 1;
-            self.observe(k, node, acc);
+            tail.acc[node] = acc;
+            tail.computed[node] = true;
+            if let Some((dense, captured)) = stash {
+                tail.exec_stash[dense as usize] = captured;
+            }
+            if !matches!(obs, Obs::None) {
+                self.observe_at(k, NodeId(node), acc, Some(&mut tail));
+            }
         }
+        self.stats.nodes_computed += nodes_local;
+        self.stats.arcs_evaluated += arcs_local;
+        self.ring.push_back(tail);
+        self.compiled = Some(ct);
     }
 
     /// The computed acknowledgment instant (boundary exchange) of the
@@ -873,7 +846,7 @@ impl Engine {
             // Fast path: constant lag.
             src_val.otimes(MaxPlus::new(arc.weight.constant as i64))
         } else {
-            let (lag, ops) = eval_weight(&arc.weight, k, &self.ring, self.base_k);
+            let (lag, ops) = eval_weight(&arc.weight, k, &self.ring, self.base_k, None);
             if self.record_observations && self.stash_arc[arc_idx] {
                 if let Obs::ExecEnd { dense, .. } = self.node_obs[dst.index()] {
                     if let Some(it) = iter_at_mut(&mut self.ring, self.base_k, k) {
@@ -938,6 +911,21 @@ impl Engine {
     /// Observation side effects of a freshly computed node.
     #[inline]
     fn observe(&mut self, k: u64, node: NodeId, value: MaxPlus) {
+        self.observe_at(k, node, value, None);
+    }
+
+    /// [`Engine::observe`] with iteration `k`'s state optionally held
+    /// *outside* the ring (`tail`) — the compiled sweep pops the tail state
+    /// out for the duration of an iteration; size derivation and stash
+    /// reads at `k` must then go through `tail` instead of the ring.
+    #[inline]
+    fn observe_at(
+        &mut self,
+        k: u64,
+        node: NodeId,
+        value: MaxPlus,
+        mut tail: Option<&mut IterState>,
+    ) {
         let obs = self.node_obs[node.index()];
         match obs {
             Obs::None => {}
@@ -956,14 +944,25 @@ impl Engine {
                         Some((rel, delay)) => {
                             if u64::from(delay) > k {
                                 0
+                            } else if delay == 0 {
+                                match tail.as_deref() {
+                                    Some(it) => it.sizes[rel.index()],
+                                    None => iter_at(&self.ring, self.base_k, k)
+                                        .map_or(0, |it| it.sizes[rel.index()]),
+                                }
                             } else {
                                 iter_at(&self.ring, self.base_k, k - u64::from(delay))
                                     .map_or(0, |it| it.sizes[rel.index()])
                             }
                         }
                     };
-                    if let Some(it) = iter_at_mut(&mut self.ring, self.base_k, k) {
-                        it.sizes[relation] = model.apply(input_size);
+                    match tail.as_deref_mut() {
+                        Some(it) => it.sizes[relation] = model.apply(input_size),
+                        None => {
+                            if let Some(it) = iter_at_mut(&mut self.ring, self.base_k, k) {
+                                it.sizes[relation] = model.apply(input_size);
+                            }
+                        }
                     }
                 }
                 if self.record_observations {
@@ -988,8 +987,11 @@ impl Engine {
                     }
                 }
                 if output != u32::MAX {
-                    let size = iter_at(&self.ring, self.base_k, k)
-                        .map_or(0, |it| it.sizes[relation]);
+                    let size = match tail.as_deref() {
+                        Some(it) => it.sizes[relation],
+                        None => iter_at(&self.ring, self.base_k, k)
+                            .map_or(0, |it| it.sizes[relation]),
+                    };
                     self.outputs_ready[output as usize].push_back((k, time, size));
                     if let Some(ev) = self.output_events[output as usize] {
                         // Wake the emission directly at the output instant.
@@ -1013,9 +1015,12 @@ impl Engine {
                 dense,
             } => {
                 if self.record_observations {
-                    let stash = iter_at(&self.ring, self.base_k, k)
-                        .map(|it| it.exec_stash[dense as usize])
-                        .unwrap_or((MaxPlus::EPSILON, 0));
+                    let stash = match tail.as_deref() {
+                        Some(it) => it.exec_stash[dense as usize],
+                        None => iter_at(&self.ring, self.base_k, k)
+                            .map(|it| it.exec_stash[dense as usize])
+                            .unwrap_or((MaxPlus::EPSILON, 0)),
+                    };
                     let (start, ops) = stash;
                     if start.is_finite() || ops > 0 {
                         let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
@@ -1109,6 +1114,12 @@ mod tests {
         Engine::new(derived, d.arch.app().relations().len(), true)
     }
 
+    fn engine_with(backend: EvalBackend) -> Engine {
+        let d = didactic::chained(1, const_params()).unwrap();
+        let derived = derive_tdg(&d.arch).unwrap();
+        Engine::with_backend(derived, d.arch.app().relations().len(), true, backend)
+    }
+
     #[test]
     fn didactic_first_iteration_matches_hand_values() {
         // Mirrors the conventional-model integration test in evolve-model.
@@ -1185,5 +1196,43 @@ mod tests {
     fn out_of_order_offers_rejected() {
         let mut e = engine();
         e.set_input(0, 1, Time::ZERO, 0);
+    }
+
+    #[test]
+    fn default_backend_is_compiled() {
+        let e = engine();
+        assert_eq!(e.backend(), EvalBackend::Compiled);
+        assert!(e.compiled_tdg().is_some());
+        let w = engine_with(EvalBackend::Worklist);
+        assert_eq!(w.backend(), EvalBackend::Worklist);
+        assert!(w.compiled_tdg().is_none());
+    }
+
+    #[test]
+    fn worklist_backend_matches_compiled() {
+        let mut c = engine_with(EvalBackend::Compiled);
+        let mut w = engine_with(EvalBackend::Worklist);
+        for k in 0..5 {
+            let at = Time::from_ticks(k * 17);
+            c.set_input(0, k, at, k % 3);
+            w.set_input(0, k, at, k % 3);
+            assert_eq!(c.ack_instant(0, k), w.ack_instant(0, k));
+            assert_eq!(c.next_output(0), w.next_output(0));
+        }
+        for r in 0..6 {
+            assert_eq!(c.instants(r), w.instants(r), "relation {r}");
+            assert_eq!(c.read_instants(r), w.read_instants(r), "relation {r}");
+        }
+        let (cs, ws) = (c.stats(), w.stats());
+        assert_eq!(cs.nodes_computed, ws.nodes_computed);
+        assert_eq!(cs.iterations_completed, ws.iterations_completed);
+    }
+
+    #[test]
+    fn footprint_reports_compiled_buffers() {
+        let c = engine_with(EvalBackend::Compiled);
+        let w = engine_with(EvalBackend::Worklist);
+        assert!(c.allocation_footprint().compiled_elements > 0);
+        assert_eq!(w.allocation_footprint().compiled_elements, 0);
     }
 }

@@ -23,6 +23,7 @@ use evolve_model::{
     attach_environment, Architecture, Environment, RelationId, RelationKind, RunReport, Token,
 };
 
+use crate::compile::EvalBackend;
 use crate::derive::derive_tdg;
 use crate::engine::{Engine, EngineStats};
 use crate::error::EquivalentError;
@@ -225,6 +226,7 @@ pub struct EquivalentModelBuilder<'a> {
     record_observations: bool,
     simplify: Option<simplify::Options>,
     padding: usize,
+    backend: EvalBackend,
 }
 
 impl<'a> EquivalentModelBuilder<'a> {
@@ -235,6 +237,7 @@ impl<'a> EquivalentModelBuilder<'a> {
             record_observations: true,
             simplify: None,
             padding: 0,
+            backend: EvalBackend::default(),
         }
     }
 
@@ -261,6 +264,14 @@ impl<'a> EquivalentModelBuilder<'a> {
         self
     }
 
+    /// Selects the engine evaluation backend (compiled CSR sweep by
+    /// default; the worklist is the bitwise reference).
+    #[must_use]
+    pub fn backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Derives the graph, applies configured transformations, and builds a
     /// runnable equivalent simulation.
     ///
@@ -271,14 +282,15 @@ impl<'a> EquivalentModelBuilder<'a> {
     pub fn build(&self, env: &Environment) -> Result<EquivalentSimulation, EquivalentError> {
         let mut derived = derive_tdg(self.arch)?;
         if let Some(options) = &self.simplify {
-            derived.tdg = simplify::simplify(&derived.tdg, options);
+            derived.map_tdg(|tdg| simplify::simplify(tdg, options));
         }
         if self.padding > 0 {
-            derived.tdg = crate::synthetic::pad(&derived.tdg, self.padding);
+            derived.map_tdg(|tdg| crate::synthetic::pad(tdg, self.padding));
         }
-        let node_count = derived.tdg.node_count();
+        let node_count = derived.tdg().node_count();
         let relation_count = self.arch.app().relations().len();
-        let mut engine = Engine::new(derived, relation_count, self.record_observations);
+        let mut engine =
+            Engine::with_backend(derived, relation_count, self.record_observations, self.backend);
 
         let mut kernel: Kernel<Token> = Kernel::new();
         // Channels: boundary inputs become listen/accept rendezvous; other

@@ -23,7 +23,8 @@
 //! * [`simplify`] — node-count reduction passes (chain contraction, dead
 //!   node elimination); the node count is the x-axis of the paper's Fig. 5.
 //! * [`Engine`] — incremental `ComputeInstant()` evaluation with
-//!   observation replay.
+//!   observation replay, with a choice of [`EvalBackend`]: the compiled
+//!   levelized-CSR sweep ([`CompiledTdg`]) or the reference worklist.
 //! * [`equivalent`] — the equivalent model on the DES kernel: `Reception`
 //!   and `Emission` processes around the engine (paper Fig. 4).
 //! * [`validate`] — instant-for-instant comparison of conventional vs.
@@ -54,6 +55,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analysis;
+mod compile;
 mod derive;
 mod engine;
 pub mod equivalent;
@@ -64,6 +66,7 @@ pub mod synthetic;
 mod tdg;
 pub mod validate;
 
+pub use compile::{CompiledTdg, EvalBackend};
 pub use derive::{derive_tdg, derive_tdg_with, DeriveOptions, DerivedTdg, SizeRule, SizeRules};
 pub use engine::{AllocationFootprint, Engine, EngineStats, Notification};
 pub use equivalent::{equivalent_simulation, EquivalentModelBuilder, EquivalentSimulation};

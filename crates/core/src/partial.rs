@@ -325,7 +325,7 @@ pub fn hybrid_simulation(
             acked_outputs: part.acked_outputs.clone(),
         },
     )?;
-    let node_count = derived.tdg.node_count();
+    let node_count = derived.tdg().node_count();
     let sub_relation_count = part.sub.app().relations().len();
     let mut engine = Engine::new(derived, sub_relation_count, true);
 

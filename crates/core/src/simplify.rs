@@ -229,9 +229,9 @@ mod tests {
     fn contraction_folds_unlimited_exec_starts() {
         let d = didactic::chained(1, didactic::Params::default()).unwrap();
         let derived = derive_tdg(&d.arch).unwrap();
-        let full = derived.tdg.node_count();
+        let full = derived.tdg().node_count();
         let reduced = simplify(
-            &derived.tdg,
+            derived.tdg(),
             &Options {
                 preserve_observations: false,
             },
@@ -258,7 +258,7 @@ mod tests {
     fn observation_preserving_mode_keeps_exchanges() {
         let d = didactic::chained(1, didactic::Params::default()).unwrap();
         let derived = derive_tdg(&d.arch).unwrap();
-        let reduced = simplify(&derived.tdg, &Options::default());
+        let reduced = simplify(derived.tdg(), &Options::default());
         // All six exchange instants still present.
         let exchanges = reduced
             .nodes()
@@ -277,11 +277,11 @@ mod tests {
     fn padding_is_removed_as_dead() {
         let d = didactic::chained(1, didactic::Params::default()).unwrap();
         let derived = derive_tdg(&d.arch).unwrap();
-        let padded = crate::synthetic::pad(&derived.tdg, 50);
-        assert_eq!(padded.node_count(), derived.tdg.node_count() + 50);
+        let padded = crate::synthetic::pad(derived.tdg(), 50);
+        assert_eq!(padded.node_count(), derived.tdg().node_count() + 50);
         let reduced = simplify(&padded, &Options::default());
         assert!(
-            reduced.node_count() <= derived.tdg.node_count(),
+            reduced.node_count() <= derived.tdg().node_count(),
             "padding nodes are dead and must be eliminated"
         );
     }

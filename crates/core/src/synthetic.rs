@@ -128,9 +128,9 @@ mod tests {
         assert_eq!(p.arch.app().functions().len(), 4);
         assert_eq!(p.arch.app().relations().len(), 5);
         let derived = derive_tdg(&p.arch).unwrap();
-        assert_eq!(derived.tdg.node_count(), 3 * 4 + 5 + 1 - 4);
+        assert_eq!(derived.tdg().node_count(), 3 * 4 + 5 + 1 - 4);
         // = 1 input + 5 exchange/output + 8 exec nodes = 14 nodes.
-        assert_eq!(derived.tdg.node_count(), 14);
+        assert_eq!(derived.tdg().node_count(), 14);
     }
 
     #[test]
@@ -142,7 +142,7 @@ mod tests {
         let run = |tdg_padding: usize| {
             let mut d = derived.clone();
             if tdg_padding > 0 {
-                d.tdg = pad(&d.tdg, tdg_padding);
+                d.map_tdg(|tdg| pad(tdg, tdg_padding));
             }
             let mut e = Engine::new(d, rels, true);
             for k in 0..5 {
@@ -160,10 +160,8 @@ mod tests {
         let p = pipeline(2, 10, 0).unwrap();
         let derived = derive_tdg(&p.arch).unwrap();
         let rels = p.arch.app().relations().len();
-        let padded = crate::derive::DerivedTdg {
-            tdg: pad(&derived.tdg, 100),
-            size_rules: derived.size_rules.clone(),
-        };
+        let padded =
+            crate::derive::DerivedTdg::new(pad(derived.tdg(), 100), derived.size_rules().to_vec());
         let mut plain = Engine::new(derived, rels, true);
         let mut heavy = Engine::new(padded, rels, true);
         plain.set_input(0, 0, Time::ZERO, 1);

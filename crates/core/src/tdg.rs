@@ -310,6 +310,48 @@ impl Tdg {
         Ok(order)
     }
 
+    /// Zero-delay levels of the graph given a topological order of its
+    /// zero-delay subgraph: `level[n]` is the length of the longest
+    /// zero-delay path ending in `n`. All of a node's same-iteration
+    /// dependencies live in strictly lower levels, so evaluating level by
+    /// level (the compiled backend's schedule) is dependency-safe.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `topo` is not a valid topological order.
+    pub(crate) fn zero_delay_levels(&self, topo: &[NodeId]) -> Vec<u32> {
+        debug_assert_eq!(topo.len(), self.nodes.len());
+        #[cfg(debug_assertions)]
+        {
+            let mut pos = vec![usize::MAX; self.nodes.len()];
+            for (p, &n) in topo.iter().enumerate() {
+                pos[n.0] = p;
+            }
+            for arc in &self.arcs {
+                if arc.delay == 0 {
+                    debug_assert!(
+                        pos[arc.src.0] < pos[arc.dst.0],
+                        "topo order violates arc {} -> {}",
+                        arc.src,
+                        arc.dst
+                    );
+                }
+            }
+        }
+        let mut level = vec![0u32; self.nodes.len()];
+        for &node in topo {
+            let mut l = 0u32;
+            for &ai in &self.incoming[node.0] {
+                let arc = &self.arcs[ai];
+                if arc.delay == 0 {
+                    l = l.max(level[arc.src.0] + 1);
+                }
+            }
+            level[node.0] = l;
+        }
+        level
+    }
+
     /// Renders the graph in Graphviz DOT format (for documentation and
     /// debugging; the paper's Fig. 3 rendered mechanically).
     pub fn to_dot(&self) -> String {

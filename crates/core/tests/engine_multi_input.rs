@@ -116,7 +116,7 @@ fn output_ack_gates_the_next_iteration() {
     let derived = derive_tdg_with(&arch, &opts).unwrap();
     assert!(
         derived
-            .tdg
+            .tdg()
             .nodes()
             .iter()
             .any(|n| matches!(n.kind, NodeKind::OutputAck { .. })),

@@ -150,13 +150,13 @@ proptest! {
         let tdg = build(&spec);
         let reference_values = reference(&tdg, &spec.offers);
 
-        let derived = DerivedTdg {
-            tdg: tdg.clone(),
-            size_rules: vec![
+        let derived = DerivedTdg::new(
+            tdg.clone(),
+            vec![
                 evolve_core::SizeRule::External,
                 evolve_core::SizeRule::Derived { from: None, model: evolve_model::SizeModel::Same },
             ],
-        };
+        );
         let mut engine = Engine::new(derived, 2, true);
         let out_node = *tdg.outputs().first().expect("has output");
         for (k, &u) in spec.offers.iter().enumerate() {
@@ -191,11 +191,11 @@ fn didactic_against_reference() {
 
     // Freeze weights (constant here) into a constant-arc graph.
     let mut b = TdgBuilder::new();
-    for node in derived.tdg.nodes() {
+    for node in derived.tdg().nodes() {
         b.add_node(node.name.clone(), node.kind);
     }
-    let lags = evolve_core::analysis::freeze_weights(&derived.tdg, 0);
-    for (arc, lag) in derived.tdg.arcs().iter().zip(lags) {
+    let lags = evolve_core::analysis::freeze_weights(derived.tdg(), 0);
+    for (arc, lag) in derived.tdg().arcs().iter().zip(lags) {
         b.add_arc(arc.src, arc.dst, arc.delay, Weight::constant(lag));
     }
     let frozen = b.build().unwrap();

@@ -1,19 +1,26 @@
 //! Engine reuse: determinism of `Engine::reset` and allocation stability.
 //!
 //! The sweep subsystem reuses one engine per model across many traces.
-//! These tests pin the contract that makes that safe: a reset engine is
-//! observationally identical to a fresh one (same instants, same records,
-//! same statistics), and repeated reset+drive cycles do not grow any of
-//! the engine's amortized allocations.
+//! These tests pin the contract that makes that safe — for both evaluation
+//! backends: a reset engine is observationally identical to a fresh one
+//! (same instants, same records, same statistics), and repeated
+//! reset+drive cycles do not grow any of the engine's amortized
+//! allocations, including the compiled backend's CSR buffers.
 
-use evolve_core::{derive_tdg, AllocationFootprint, Engine};
+use evolve_core::{derive_tdg, AllocationFootprint, Engine, EvalBackend};
 use evolve_des::Time;
 use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 use evolve_model::didactic;
 
+const BACKENDS: [EvalBackend; 2] = [EvalBackend::Compiled, EvalBackend::Worklist];
+
+/// Everything observable from one trace: outputs `(k, y, size)`, input
+/// acknowledgment ticks, and the engine counters.
+type TraceArtifacts = (Vec<(u64, u64, u64)>, Vec<u64>, Vec<u64>);
+
 /// Drives the single-input didactic engine through a fixed trace,
 /// returning every observable artefact.
-fn drive_trace(engine: &mut Engine) -> (Vec<(u64, u64, u64)>, Vec<u64>, Vec<u64>) {
+fn drive_trace(engine: &mut Engine) -> TraceArtifacts {
     let mut outputs = Vec::new();
     let mut acks = Vec::new();
     let mut prev_ack: Option<Time> = None;
@@ -40,81 +47,98 @@ fn drive_trace(engine: &mut Engine) -> (Vec<(u64, u64, u64)>, Vec<u64>, Vec<u64>
     )
 }
 
-fn fresh_engine() -> Engine {
+fn fresh_engine(backend: EvalBackend) -> Engine {
     let d = didactic::chained(2, didactic::Params::default()).unwrap();
     let relations = d.arch.app().relations().len();
-    Engine::new(derive_tdg(&d.arch).unwrap(), relations, true)
+    Engine::with_backend(derive_tdg(&d.arch).unwrap(), relations, true, backend)
 }
 
 #[test]
 fn reset_engine_replays_identically() {
-    let mut engine = fresh_engine();
-    let first = drive_trace(&mut engine);
-    engine.reset();
-    let second = drive_trace(&mut engine);
-    assert_eq!(first, second, "a reset engine must replay the trace bitwise");
-}
-
-#[test]
-fn reset_clears_statistics_and_logs() {
-    let mut engine = fresh_engine();
-    let _ = drive_trace(&mut engine);
-    assert!(engine.stats().iterations_completed > 0);
-    assert!(!engine.exec_records().is_empty());
-    engine.reset();
-    assert_eq!(engine.stats(), Default::default(), "counters restart at zero");
-    assert!(engine.exec_records().is_empty(), "observation logs clear");
-    assert_eq!(engine.iterations_in_flight(), 0, "no live iterations");
-    let relations = (0..engine.tdg().node_count()).take(1); // at least relation 0 exists
-    for r in relations {
-        assert!(engine.instants(r).is_empty(), "instant log {r} cleared");
-    }
-}
-
-#[test]
-fn repeated_reset_cycles_do_not_grow_allocations() {
-    let mut engine = fresh_engine();
-    // Warm-up: let ring buffers, free lists, and worklists reach their
-    // steady-state capacities.
-    for _ in 0..3 {
-        let _ = drive_trace(&mut engine);
+    for backend in BACKENDS {
+        let mut engine = fresh_engine(backend);
+        let first = drive_trace(&mut engine);
         engine.reset();
-    }
-    let warm: AllocationFootprint = engine.allocation_footprint();
-    for cycle in 0..20 {
-        let _ = drive_trace(&mut engine);
-        engine.reset();
+        let second = drive_trace(&mut engine);
         assert_eq!(
-            engine.allocation_footprint(),
-            warm,
-            "allocation footprint grew at cycle {cycle}"
+            first, second,
+            "a reset {backend} engine must replay the trace bitwise"
         );
     }
 }
 
 #[test]
+fn reset_clears_statistics_and_logs() {
+    for backend in BACKENDS {
+        let mut engine = fresh_engine(backend);
+        let _ = drive_trace(&mut engine);
+        assert!(engine.stats().iterations_completed > 0);
+        assert!(!engine.exec_records().is_empty());
+        engine.reset();
+        assert_eq!(engine.stats(), Default::default(), "counters restart at zero");
+        assert!(engine.exec_records().is_empty(), "observation logs clear");
+        assert_eq!(engine.iterations_in_flight(), 0, "no live iterations");
+        let relations = (0..engine.tdg().node_count()).take(1); // at least relation 0 exists
+        for r in relations {
+            assert!(engine.instants(r).is_empty(), "instant log {r} cleared");
+        }
+    }
+}
+
+#[test]
+fn repeated_reset_cycles_do_not_grow_allocations() {
+    for backend in BACKENDS {
+        let mut engine = fresh_engine(backend);
+        // Warm-up: let ring buffers, free lists, and worklists reach their
+        // steady-state capacities.
+        for _ in 0..3 {
+            let _ = drive_trace(&mut engine);
+            engine.reset();
+        }
+        let warm: AllocationFootprint = engine.allocation_footprint();
+        assert_eq!(
+            warm.compiled_elements > 0,
+            backend == EvalBackend::Compiled,
+            "compiled buffers accounted for exactly on the compiled backend"
+        );
+        for cycle in 0..20 {
+            let _ = drive_trace(&mut engine);
+            engine.reset();
+            assert_eq!(
+                engine.allocation_footprint(),
+                warm,
+                "{backend} allocation footprint grew at cycle {cycle}"
+            );
+        }
+    }
+}
+
+#[test]
 fn same_scenario_on_two_workers_is_identical() {
-    let scenario = ScenarioSpec {
-        label: "twin".into(),
-        model: ModelSpec { kind: ModelKind::Didactic { stages: 2 }, padding: 16 },
-        trace: TraceSpec { tokens: 80, min_size: 1, max_size: 64, mean_period: 300, seed: 42 },
-    };
-    // Two copies of the same scenario on two workers: each worker derives
-    // its own engine, yet the outcomes must match — and must also match a
-    // single-worker run where the second copy reuses a reset engine.
-    let twins = vec![scenario.clone(), scenario];
-    let two_workers = run_sweep(&twins, &SweepConfig { threads: 2, ..SweepConfig::default() });
-    let one_worker = run_sweep(&twins, &SweepConfig { threads: 1, ..SweepConfig::default() });
-    assert_eq!(
-        two_workers.scenarios[0].outcome,
-        two_workers.scenarios[1].outcome,
-        "parallel twins diverged"
-    );
-    assert_eq!(
-        one_worker.scenarios[0].outcome,
-        one_worker.scenarios[1].outcome,
-        "fresh vs reset-reused engine diverged"
-    );
-    assert!(one_worker.scenarios[1].reused_engine, "second twin reuses the engine");
-    assert_eq!(two_workers.scenarios[0].outcome, one_worker.scenarios[0].outcome);
+    for backend in BACKENDS {
+        let scenario = ScenarioSpec {
+            label: format!("twin-{backend}"),
+            model: ModelSpec { kind: ModelKind::Didactic { stages: 2 }, padding: 16, backend },
+            trace: TraceSpec { tokens: 80, min_size: 1, max_size: 64, mean_period: 300, seed: 42 },
+        };
+        // Two copies of the same scenario on two workers: each worker
+        // derives its own engine, yet the outcomes must match — and must
+        // also match a single-worker run where the second copy reuses a
+        // reset engine.
+        let twins = vec![scenario.clone(), scenario];
+        let two_workers = run_sweep(&twins, &SweepConfig { threads: 2, ..SweepConfig::default() });
+        let one_worker = run_sweep(&twins, &SweepConfig { threads: 1, ..SweepConfig::default() });
+        assert_eq!(
+            two_workers.scenarios[0].outcome,
+            two_workers.scenarios[1].outcome,
+            "parallel twins diverged ({backend})"
+        );
+        assert_eq!(
+            one_worker.scenarios[0].outcome,
+            one_worker.scenarios[1].outcome,
+            "fresh vs reset-reused engine diverged ({backend})"
+        );
+        assert!(one_worker.scenarios[1].reused_engine, "second twin reuses the engine");
+        assert_eq!(two_workers.scenarios[0].outcome, one_worker.scenarios[0].outcome);
+    }
 }

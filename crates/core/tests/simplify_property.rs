@@ -98,12 +98,9 @@ proptest! {
         let derived = derive_tdg(&arch).expect("derives");
         let full = run(derived.clone(), relations, &spec);
 
-        let reduced_tdg = simplify::simplify_default(&derived.tdg);
-        prop_assert!(reduced_tdg.node_count() <= derived.tdg.node_count());
-        let reduced = evolve_core::DerivedTdg {
-            tdg: reduced_tdg,
-            size_rules: derived.size_rules.clone(),
-        };
+        let reduced_tdg = simplify::simplify_default(derived.tdg());
+        prop_assert!(reduced_tdg.node_count() <= derived.tdg().node_count());
+        let reduced = evolve_core::DerivedTdg::new(reduced_tdg, derived.size_rules().to_vec());
         let got = run(reduced, relations, &spec);
         prop_assert_eq!(full, got, "observing mode must keep every instant");
     }
@@ -116,14 +113,11 @@ proptest! {
         let full = run(derived.clone(), relations, &spec);
 
         let reduced_tdg = simplify::simplify(
-            &derived.tdg,
+            derived.tdg(),
             &simplify::Options { preserve_observations: false },
         );
-        prop_assert!(reduced_tdg.node_count() <= derived.tdg.node_count());
-        let reduced = evolve_core::DerivedTdg {
-            tdg: reduced_tdg,
-            size_rules: derived.size_rules.clone(),
-        };
+        prop_assert!(reduced_tdg.node_count() <= derived.tdg().node_count());
+        let reduced = evolve_core::DerivedTdg::new(reduced_tdg, derived.size_rules().to_vec());
         let got = run(reduced, relations, &spec);
         // Boundary relations: the external input and output.
         let input = arch.app().external_inputs()[0].index();
@@ -140,7 +134,7 @@ proptest! {
             simplify::Options { preserve_observations: true },
             simplify::Options { preserve_observations: false },
         ] {
-            let once = simplify::simplify(&derived.tdg, &options);
+            let once = simplify::simplify(derived.tdg(), &options);
             let twice = simplify::simplify(&once, &options);
             prop_assert_eq!(once.node_count(), twice.node_count(), "{:?}", options);
             prop_assert_eq!(once.arc_count(), twice.arc_count(), "{:?}", options);

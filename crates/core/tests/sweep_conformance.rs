@@ -13,6 +13,7 @@
 //! acknowledgments, execution records, engine statistics, and boundary
 //! event counts must agree bitwise across all three.
 
+use evolve_core::EvalBackend;
 use evolve_des::SplitMix64;
 use evolve_explore::{
     run_sweep, ModelKind, ModelSpec, ScenarioOutcome, ScenarioSpec, SweepConfig, TraceSpec,
@@ -45,6 +46,7 @@ fn random_scenarios(seed: u64) -> Vec<ScenarioSpec> {
                 model: ModelSpec {
                     kind,
                     padding: (r.fork(5).range_inclusive(0, 32) / 8 * 8) as usize,
+                    backend: Default::default(),
                 },
                 trace: TraceSpec {
                     tokens: r.fork(6).range_inclusive(10, 40),
@@ -68,6 +70,18 @@ fn canonical(mut records: Vec<ExecRecord>) -> Vec<ExecRecord> {
     records
 }
 
+/// The same scenario batch with every model pinned to `backend`.
+fn with_backend(scenarios: &[ScenarioSpec], backend: EvalBackend) -> Vec<ScenarioSpec> {
+    scenarios
+        .iter()
+        .cloned()
+        .map(|mut s| {
+            s.model.backend = backend;
+            s
+        })
+        .collect()
+}
+
 #[test]
 fn parallel_sweep_matches_single_threaded_path() {
     let scenarios = random_scenarios(0xC0FF_EE00);
@@ -82,6 +96,58 @@ fn parallel_sweep_matches_single_threaded_path() {
         // The whole deterministic outcome — Y(k), acks, exec records,
         // engine statistics, event counts — must be bitwise identical.
         assert_eq!(s.outcome, p.outcome, "scenario {}", s.label);
+    }
+}
+
+#[test]
+fn backends_produce_identical_sweep_reports() {
+    let scenarios = random_scenarios(0xBAC0_0001);
+    let compiled = run_sweep(
+        &with_backend(&scenarios, EvalBackend::Compiled),
+        &SweepConfig { threads: THREADS, ..SweepConfig::default() },
+    );
+    let worklist = run_sweep(
+        &with_backend(&scenarios, EvalBackend::Worklist),
+        &SweepConfig { threads: THREADS, ..SweepConfig::default() },
+    );
+    for (c, w) in compiled.scenarios.iter().zip(&worklist.scenarios) {
+        assert_eq!(c.index, w.index);
+        assert_eq!(c.nodes, w.nodes, "graph size, scenario {}", c.label);
+        assert_eq!(c.outcome.outputs, w.outcome.outputs, "Y(k), scenario {}", c.label);
+        assert_eq!(
+            c.outcome.input_acks, w.outcome.input_acks,
+            "input acks, scenario {}",
+            c.label
+        );
+        // Execution records may be emitted in backend-specific order
+        // (schedule order vs. worklist pop order) — canonicalize.
+        assert_eq!(
+            canonical(c.outcome.exec_records.clone()),
+            canonical(w.outcome.exec_records.clone()),
+            "execution records, scenario {}",
+            c.label
+        );
+        assert_eq!(
+            c.outcome.busy_ticks, w.outcome.busy_ticks,
+            "busy ticks, scenario {}",
+            c.label
+        );
+        assert_eq!(
+            c.outcome.boundary_events, w.outcome.boundary_events,
+            "boundary events, scenario {}",
+            c.label
+        );
+        assert_eq!(
+            c.outcome.engine_stats.nodes_computed, w.outcome.engine_stats.nodes_computed,
+            "nodes computed, scenario {}",
+            c.label
+        );
+        assert_eq!(
+            c.outcome.engine_stats.iterations_completed,
+            w.outcome.engine_stats.iterations_completed,
+            "iterations, scenario {}",
+            c.label
+        );
     }
 }
 

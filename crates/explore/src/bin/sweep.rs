@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 
 use evolve_explore::{
-    run_sweep, Json, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec,
+    run_sweep, EvalBackend, Json, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec,
 };
 
 struct Options {
@@ -82,7 +82,16 @@ fn scenario_grid(count: u64, tokens: u64) -> Vec<ScenarioSpec> {
             };
             ScenarioSpec {
                 label: format!("grid-{i}"),
-                model: ModelSpec { kind, padding: if i % 2 == 0 { 0 } else { 64 } },
+                model: ModelSpec {
+                    kind,
+                    padding: if i % 2 == 0 { 0 } else { 64 },
+                    // Exercise both engine backends across the grid.
+                    backend: if i % 8 < 4 {
+                        EvalBackend::Compiled
+                    } else {
+                        EvalBackend::Worklist
+                    },
+                },
                 trace: TraceSpec {
                     tokens,
                     min_size: 1,

@@ -50,6 +50,7 @@
 pub mod json;
 pub mod sweep;
 
+pub use evolve_core::EvalBackend;
 pub use json::Json;
 pub use sweep::{
     drive_engine, parallel_map, parallel_map_with, run_sweep, ModelKind, ModelSpec,
@@ -211,7 +212,7 @@ impl<'a> Explorer<'a> {
             .unwrap_or(0);
         let predicted_period = derive_tdg(&arch)
             .ok()
-            .and_then(|d| analysis::predicted_period(&d.tdg, max_size))
+            .and_then(|d| analysis::predicted_period(d.tdg(), max_size))
             .map(|p| p.as_f64());
         let mut used: Vec<ResourceId> = assignment.to_vec();
         used.sort_unstable();

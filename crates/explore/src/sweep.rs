@@ -28,7 +28,11 @@
 //! let scenarios: Vec<ScenarioSpec> = (0..8)
 //!     .map(|i| ScenarioSpec {
 //!         label: format!("didactic-{i}"),
-//!         model: ModelSpec { kind: ModelKind::Didactic { stages: 2 }, padding: 0 },
+//!         model: ModelSpec {
+//!             kind: ModelKind::Didactic { stages: 2 },
+//!             padding: 0,
+//!             backend: Default::default(),
+//!         },
 //!         trace: TraceSpec { tokens: 50, min_size: 1, max_size: 64, mean_period: 0, seed: i },
 //!     })
 //!     .collect();
@@ -41,7 +45,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration as HostDuration, Instant};
 
-use evolve_core::{derive_tdg, synthetic, Engine, EngineStats};
+use evolve_core::{derive_tdg, synthetic, Engine, EngineStats, EvalBackend};
 use evolve_des::{SplitMix64, Time};
 use evolve_model::{
     didactic, elaborate, Architecture, Arrival, Environment, ExecRecord, RelationId, Stimulus,
@@ -70,17 +74,23 @@ pub enum ModelKind {
     },
 }
 
-/// A derivable model: the architecture kind plus the graph-padding knob
-/// (extra computation-only nodes, the paper's Fig. 5 x-axis).
+/// A derivable model: the architecture kind, the graph-padding knob
+/// (extra computation-only nodes, the paper's Fig. 5 x-axis), and the
+/// engine evaluation backend.
 ///
 /// `ModelSpec` is the engine-reuse key: scenarios sharing a spec share one
-/// derived graph and one reset-recycled [`Engine`] per worker.
+/// derived graph and one reset-recycled [`Engine`] per worker. The backend
+/// is part of the key, so compiled and worklist evaluations of the same
+/// graph get distinct cached engines.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ModelSpec {
     /// The architecture to derive.
     pub kind: ModelKind,
     /// Computation-only padding nodes appended to the derived graph.
     pub padding: usize,
+    /// Engine evaluation backend (compiled CSR sweep or reference
+    /// worklist).
+    pub backend: EvalBackend,
 }
 
 impl ModelSpec {
@@ -194,6 +204,8 @@ pub struct ScenarioResult {
     pub outcome: ScenarioOutcome,
     /// Node count of the derived (and padded) graph.
     pub nodes: usize,
+    /// Evaluation backend the scenario ran on.
+    pub backend: EvalBackend,
     /// Whether this evaluation reused a previously derived engine.
     pub reused_engine: bool,
     /// Host wall-clock time of the engine drive.
@@ -338,6 +350,7 @@ fn scenario_json(s: &ScenarioResult) -> Json {
         ("index", Json::U64(s.index as u64)),
         ("label", Json::str(s.label.clone())),
         ("nodes", Json::U64(s.nodes as u64)),
+        ("backend", Json::str(s.backend.as_str())),
         ("reused_engine", Json::Bool(s.reused_engine)),
         ("outputs", Json::U64(s.outcome.outputs.len() as u64)),
         ("makespan_ticks", Json::U64(makespan)),
@@ -453,11 +466,11 @@ fn prepare(spec: &ModelSpec, record_observations: bool) -> PreparedModel {
     let (arch, input, output) = spec.build();
     let mut derived = derive_tdg(&arch).expect("sweep models derive");
     if spec.padding > 0 {
-        derived.tdg = synthetic::pad(&derived.tdg, spec.padding);
+        derived.map_tdg(|tdg| synthetic::pad(tdg, spec.padding));
     }
-    let nodes = derived.tdg.node_count();
+    let nodes = derived.tdg().node_count();
     let relation_count = arch.app().relations().len();
-    let engine = Engine::new(derived, relation_count, record_observations);
+    let engine = Engine::with_backend(derived, relation_count, record_observations, spec.backend);
     let resource_count = arch.platform().len();
     PreparedModel {
         engine,
@@ -576,6 +589,7 @@ fn evaluate(
         label: spec.label.clone(),
         outcome,
         nodes: prepared.nodes,
+        backend: spec.model.backend,
         reused_engine,
         wall,
         reference,
@@ -629,6 +643,11 @@ mod tests {
                         }
                     },
                     padding: 0,
+                    backend: if i % 4 < 2 {
+                        EvalBackend::Compiled
+                    } else {
+                        EvalBackend::Worklist
+                    },
                 },
                 trace: TraceSpec {
                     tokens: 20,
@@ -656,8 +675,9 @@ mod tests {
     fn engines_are_reused_within_workers() {
         let scenarios = specs(10);
         let report = run_sweep(&scenarios, &SweepConfig { threads: 1, ..SweepConfig::default() });
-        // Two distinct models over ten scenarios: eight reuse an engine.
-        assert_eq!(report.reused_count(), 8);
+        // Four distinct (kind, backend) models over ten scenarios: six
+        // reuse an engine.
+        assert_eq!(report.reused_count(), 6);
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // maximum allocation.
         let derived = derive_tdg(&arch)?;
         let max_bits = scenario.coded_bits(scenario.bandwidth.prbs());
-        let period = analysis::predicted_period(&derived.tdg, max_bits)
+        let period = analysis::predicted_period(derived.tdg(), max_bits)
             .map(|p| p.as_f64() / 1_000.0)
             .unwrap_or(0.0);
         let feasible = period <= SYMBOL_PERIOD.ticks() as f64 / 1_000.0;

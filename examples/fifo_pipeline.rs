@@ -90,9 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "derived graph (capacity 2): {} nodes; note the delay-2 arc read→write:",
-        derived.tdg.node_count()
+        derived.tdg().node_count()
     );
-    for line in derived.tdg.to_dot().lines() {
+    for line in derived.tdg().to_dot().lines() {
         if line.contains("k-2") || line.contains("digraph") {
             println!("  {line}");
         }

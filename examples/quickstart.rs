@@ -24,9 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let derived = derive_tdg(&d.arch)?;
     println!(
         "derived temporal dependency graph: {} nodes, {} arcs, history depth {}",
-        derived.tdg.node_count(),
-        derived.tdg.arc_count(),
-        derived.tdg.max_delay()
+        derived.tdg().node_count(),
+        derived.tdg().arc_count(),
+        derived.tdg().max_delay()
     );
 
     // 3. Drive both models with 1 000 tokens of varying size.

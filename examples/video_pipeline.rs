@@ -129,7 +129,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Throughput analysis: worst-case (I-frame) steady period vs 40 ms.
     let derived = derive_tdg(&arch)?;
-    let period = analysis::predicted_period(&derived.tdg, 900)
+    let period = analysis::predicted_period(derived.tdg(), 900)
         .expect("cyclic")
         .as_f64()
         / 1e6;
@@ -143,7 +143,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deadlines: Vec<Time> = (0..8)
         .map(|k| Time::from_ticks((k + 2) * FRAME_PERIOD))
         .collect();
-    match analysis::latest_input_schedule(&derived.tdg, 900, &[deadlines]) {
+    match analysis::latest_input_schedule(derived.tdg(), 900, &[deadlines]) {
         Some(latest) => {
             println!("latest bitstream arrivals meeting display deadlines (ms):");
             print!("   ");

@@ -24,7 +24,7 @@
 //! // temporal dependency graph.
 //! let arch = didactic::architecture(didactic::Params::default())?;
 //! let derived = derive_tdg(&arch)?;
-//! assert!(derived.tdg.node_count() > 0);
+//! assert!(derived.tdg().node_count() > 0);
 //! # Ok(())
 //! # }
 //! ```

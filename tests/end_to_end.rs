@@ -63,7 +63,7 @@ fn analysis_predicts_saturated_throughput() {
     };
     let d = didactic::chained(1, params).expect("builds");
     let derived = derive_tdg(&d.arch).expect("derives");
-    let predicted = analysis::predicted_period(&derived.tdg, 0).expect("cyclic");
+    let predicted = analysis::predicted_period(derived.tdg(), 0).expect("cyclic");
 
     let env = Environment::new().stimulus(d.input(), Stimulus::saturating(60, |_| 0));
     let report = elaborate(&d.arch, &env).expect("builds").run();
@@ -87,7 +87,7 @@ fn simplified_graph_preserves_boundary_behaviour() {
         })
         .build(&env)
         .expect("builds");
-    assert!(reduced.node_count() < derive_tdg(&d.arch).expect("derives").tdg.node_count());
+    assert!(reduced.node_count() < derive_tdg(&d.arch).expect("derives").tdg().node_count());
     let reduced = reduced.run();
     for rel in [d.input(), d.output()] {
         assert_eq!(
