@@ -11,8 +11,15 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --all-targets --offline -- -D warnings
 
-# Bench smoke: the compiled backend must beat the worklist reference on a
-# 1000-node synthetic graph (bounded iterations; asserts speedup > 1).
+# Batched-lane conformance: the lockstep engine must stay bitwise
+# identical to the scalar backends across widths, lane mixes, and the
+# ejection path (also part of the workspace run above; kept explicit so a
+# batched regression is named in the CI log).
+cargo test -q -p evolve-core --test batch_conformance --offline
+
+# Bench smoke: the compiled backend must beat the worklist reference and
+# the batched engine must beat one-lane evaluation on a 1000-node
+# synthetic graph (bounded iterations; asserts both ratios > 1).
 cargo run --release -q -p evolve-bench --bin fig5 --offline -- --quick
 
-echo "ci: build, tests, clippy, and bench smoke all green"
+echo "ci: build, tests, clippy, batched conformance, and bench smoke all green"

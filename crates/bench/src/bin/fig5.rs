@@ -23,13 +23,13 @@
 //! committed full-grid artifact is not clobbered.
 
 use evolve_bench::{
-    backend_grid, format_row, header, sweep_measurements, total_engine_stats,
-    write_backend_report, BackendPoint,
+    backend_grid, batch_grid, format_row, header, sweep_measurements, total_engine_stats,
+    write_backend_report, BackendPoint, BatchPoint,
 };
 use evolve_core::{derive_tdg, synthetic};
 use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 
-fn backend_section(targets: &[usize], budget: u64, reps: usize, out: &str) -> Vec<BackendPoint> {
+fn backend_section(targets: &[usize], budget: u64, reps: usize) -> Vec<BackendPoint> {
     println!("== engine backends: per-iteration ComputeInstant() cost ==");
     println!(
         "{:>7} {:>12} {:>15} {:>15} {:>8}",
@@ -42,10 +42,39 @@ fn backend_section(targets: &[usize], budget: u64, reps: usize, out: &str) -> Ve
             p.nodes, p.iterations, p.worklist_ns, p.compiled_ns, p.speedup()
         );
     }
-    let path = std::path::Path::new(out);
-    write_backend_report(path, &points).expect("backend report written");
-    println!("backend grid written to {}", path.display());
     points
+}
+
+/// Cost per lane-iteration across batch widths; the `gain` column is the
+/// width-1 baseline over this width (> 1 means batching pays).
+fn batch_section(targets: &[usize], widths: &[usize], budget: u64, reps: usize) -> Vec<BatchPoint> {
+    println!("== batched lanes: per-lane iteration cost vs batch width ==");
+    println!(
+        "{:>7} {:>6} {:>12} {:>15} {:>7}",
+        "nodes", "width", "iterations", "ns/lane-iter", "gain"
+    );
+    let points = batch_grid(targets, widths, budget, reps);
+    for p in &points {
+        let baseline = points
+            .iter()
+            .find(|b| b.nodes == p.nodes && b.width == 1)
+            .map_or(p.ns_per_lane_iter, |b| b.ns_per_lane_iter);
+        println!(
+            "{:>7} {:>6} {:>12} {:>15.1} {:>7.2}",
+            p.nodes,
+            p.width,
+            p.iterations,
+            p.ns_per_lane_iter,
+            baseline / p.ns_per_lane_iter.max(1e-12),
+        );
+    }
+    points
+}
+
+fn write_report(out: &str, points: &[BackendPoint], batch_points: &[BatchPoint]) {
+    let path = std::path::Path::new(out);
+    write_backend_report(path, points, batch_points).expect("backend report written");
+    println!("engine grids written to {}", path.display());
 }
 
 fn main() {
@@ -67,9 +96,10 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
 
     if quick {
-        // CI smoke: the compiled backend must beat the worklist at the
-        // 1000-node point, on a strictly bounded iteration budget.
-        let points = backend_section(&[1_000], 200_000, 2, "results/bench_engine_smoke.json");
+        // CI smoke: the compiled backend must beat the worklist and the
+        // batched engine must beat one-lane evaluation at the 1000-node
+        // point, on a strictly bounded iteration budget.
+        let points = backend_section(&[1_000], 200_000, 2);
         let p = &points[0];
         assert!(
             p.speedup() > 1.0,
@@ -78,7 +108,22 @@ fn main() {
             p.compiled_ns,
             p.worklist_ns
         );
-        println!("quick mode: compiled backend {:.2}x at {} nodes — ok", p.speedup(), p.nodes);
+        let batch_points = batch_section(&[1_000], &[1, 8], 200_000, 2);
+        write_report("results/bench_engine_smoke.json", &points, &batch_points);
+        let gain = batch_points[0].ns_per_lane_iter / batch_points[1].ns_per_lane_iter.max(1e-12);
+        assert!(
+            gain > 1.0,
+            "batched lanes slower than scalar at {} nodes ({:.1} vs {:.1} ns/lane-iter)",
+            batch_points[1].nodes,
+            batch_points[1].ns_per_lane_iter,
+            batch_points[0].ns_per_lane_iter
+        );
+        println!(
+            "quick mode: compiled backend {:.2}x, batch width 8 {:.2}x at {} nodes — ok",
+            p.speedup(),
+            gain,
+            p.nodes
+        );
         return;
     }
 
@@ -164,10 +209,15 @@ fn main() {
 
     // The backend comparison underlying the overhead curve: the compiled
     // CSR sweep against the worklist, pure engine cost, no kernel.
-    backend_section(
-        &[10, 100, 1_000, 5_000],
+    let points = backend_section(&[10, 100, 1_000, 5_000], 2_000_000, 3);
+    println!();
+
+    // The batch-width grid: amortizing one schedule walk over B lanes.
+    let batch_points = batch_section(
+        &[100, 1_000, 5_000],
+        &[1, 4, 8, 16, 32],
         2_000_000,
         3,
-        "results/bench_engine.json",
     );
+    write_report("results/bench_engine.json", &points, &batch_points);
 }

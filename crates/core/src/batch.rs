@@ -1,0 +1,1154 @@
+//! Batched multi-lane evaluation: many scenarios of one model in lockstep.
+//!
+//! Design-space exploration evaluates *many* input traces of the *same*
+//! architecture model (paper Section V sweeps graph size and event ratio;
+//! the sweep subsystem groups scenarios by model). The scalar compiled
+//! sweep ([`Engine`](crate::Engine) with [`EvalBackend::Compiled`]
+//! (crate::EvalBackend::Compiled)) is memory-bound on the CSR streams:
+//! every scenario re-fetches the same schedule slots, arc offsets, sources,
+//! and lags. [`BatchedEngine`] amortizes that traffic the way batched
+//! inference amortizes weight fetches — it carries `B` independent scenario
+//! *lanes* over one [`CompiledTdg`] and evaluates all of them in a single
+//! linear sweep per lockstep iteration: arc metadata is fetched once per
+//! arc, and the per-lane `(max,+)` fold runs over lane-contiguous
+//! structure-of-arrays state (`acc[node * B + lane]`), branch-light so LLVM
+//! can vectorize it.
+//!
+//! The three-stream split of [`CompiledTdg`] is what makes this work: const
+//! and slow arcs are pure *structure* (same sources, delays, and pre-lifted
+//! lags for every lane), so their folds run full-width with no per-lane
+//! branching — `ε ⊗ lag = ε` and `⊕ ε` is a no-op, so inactive or
+//! not-yet-computed lanes need no mask. Only the exec stream (data-dependent
+//! durations) evaluates weights per lane, against each lane's own token
+//! sizes.
+//!
+//! # Lockstep semantics and lane ejection
+//!
+//! All lanes share the iteration counter: one
+//! [`set_input_batch`](BatchedEngine::set_input_batch) call offers
+//! iteration `k` to every lane at once, `None` for lanes whose trace has
+//! ended. Lane activity is monotone — once a lane stops offering it may
+//! never resume (shorter traces simply go quiet early; their stale state
+//! keeps being swept full-width, which is safe because saturating `(max,+)`
+//! arithmetic cannot fault and nothing ever reads an inactive lane's
+//! values). Situations the lockstep sweep cannot express are rejected at
+//! construction by [`BatchedEngine::try_new`] as [`BatchUnsupported`] — the
+//! sweep scheduler catches the error and *ejects* those scenarios to the
+//! scalar path instead of poisoning the batch.
+//!
+//! Per-lane observable state (outputs, acks, instant logs, execution
+//! records, [`EngineStats`]) is bitwise identical to running each lane
+//! through a scalar compiled [`Engine`](crate::Engine) — pinned by the
+//! randomized conformance suite (`tests/batch_conformance.rs`); execution
+//! records match as multisets (the look-ahead emits them in schedule order
+//! here, drain order in the scalar engine).
+
+use std::collections::VecDeque;
+
+use evolve_des::Time;
+use evolve_maxplus::MaxPlus;
+use evolve_model::{ExecRecord, LoadContext};
+
+use crate::compile::{lower_node_meta, zero_delay_dependent, CompiledTdg, Obs};
+use crate::derive::{DerivedTdg, SizeRule};
+use crate::engine::{AllocationFootprint, EngineStats};
+use crate::tdg::{NodeKind, Tdg, Weight};
+
+/// Upper bound on recycled [`LaneBlock`]s retained by the free list.
+const FREE_LIST_CAP: usize = 16;
+
+/// Why a model cannot be evaluated by the batched lockstep sweep. The sweep
+/// scheduler treats any of these as "eject to the scalar path".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchUnsupported {
+    /// The graph has a number of external inputs other than one; lockstep
+    /// batching drives exactly one offer stream per lane.
+    MultiInput {
+        /// How many inputs the graph actually has.
+        inputs: usize,
+    },
+    /// The graph needs output-acknowledgment feedback, which makes iteration
+    /// completion depend on per-lane environment timing — the scalar
+    /// engine's worklist territory.
+    OutputAcks,
+    /// A size dependency reaches further back than the graph's maximum arc
+    /// delay, so the history the batch retains (bounded by the arc horizon)
+    /// would not cover it.
+    LongSizeDelay,
+}
+
+impl BatchUnsupported {
+    /// Stable snake_case tag for reports and JSON.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            BatchUnsupported::MultiInput { .. } => "multi_input",
+            BatchUnsupported::OutputAcks => "output_acks",
+            BatchUnsupported::LongSizeDelay => "long_size_delay",
+        }
+    }
+}
+
+impl std::fmt::Display for BatchUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchUnsupported::MultiInput { inputs } => {
+                write!(f, "batched evaluation needs exactly 1 input, graph has {inputs}")
+            }
+            BatchUnsupported::OutputAcks => {
+                f.write_str("batched evaluation does not support output-acknowledgment feedback")
+            }
+            BatchUnsupported::LongSizeDelay => {
+                f.write_str("a size dependency reaches past the graph's arc-delay horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchUnsupported {}
+
+/// Per-iteration state of all lanes, laid out structure-of-arrays with the
+/// lane index innermost (`acc[node * B + lane]`), so the per-arc fold walks
+/// contiguous memory.
+struct LaneBlock {
+    /// Computed instant per node per lane.
+    acc: Vec<MaxPlus>,
+    /// Token size per relation per lane.
+    sizes: Vec<u64>,
+    /// `(start, ops)` per dense exec-end index per lane.
+    exec_stash: Vec<(MaxPlus, u64)>,
+}
+
+impl LaneBlock {
+    fn fresh(nodes: usize, relations: usize, execs: usize, b: usize) -> Self {
+        LaneBlock {
+            acc: vec![MaxPlus::EPSILON; nodes * b],
+            sizes: vec![0; relations * b],
+            exec_stash: vec![(MaxPlus::EPSILON, 0); execs * b],
+        }
+    }
+
+    fn elements(&self) -> usize {
+        self.acc.capacity() + self.sizes.capacity() + self.exec_stash.capacity()
+    }
+}
+
+#[inline]
+fn block_at(ring: &VecDeque<LaneBlock>, base_k: u64, k: u64) -> Option<&LaneBlock> {
+    if k < base_k {
+        return None;
+    }
+    ring.get((k - base_k) as usize)
+}
+
+/// Lane-strided counterpart of the scalar engine's weight evaluation: total
+/// lag in ticks plus the raw operation count, with token sizes read at
+/// `sizes[rel * B + lane]`.
+#[inline]
+fn eval_weight_lane(
+    weight: &Weight,
+    k: u64,
+    ring: &VecDeque<LaneBlock>,
+    base_k: u64,
+    b: usize,
+    lane: usize,
+    tail: &LaneBlock,
+) -> (u64, u64) {
+    let mut lag = weight.constant;
+    let mut ops_total = 0u64;
+    for term in &weight.execs {
+        let size = match term.size_from {
+            None => 0,
+            Some((rel, delay)) => {
+                if u64::from(delay) > k {
+                    0
+                } else if delay == 0 {
+                    tail.sizes[rel.index() * b + lane]
+                } else {
+                    block_at(ring, base_k, k - u64::from(delay))
+                        .map_or(0, |blk| blk.sizes[rel.index() * b + lane])
+                }
+            }
+        };
+        let ops = term.load.ops(LoadContext {
+            function: term.function.index(),
+            stmt: term.stmt,
+            k,
+            size,
+        });
+        ops_total += ops;
+        lag += evolve_model::duration_for(ops, term.speed).ticks();
+    }
+    (lag, ops_total)
+}
+
+/// Per-lane observation targets, borrowed disjointly out of the engine for
+/// the duration of a sweep (the lane blocks move through `tail`/`ring`
+/// separately).
+struct ObsSink<'a> {
+    size_rules: &'a [SizeRule],
+    record: bool,
+    b: usize,
+    relations: usize,
+    n_outputs: usize,
+    instant_log: &'a mut [Vec<Time>],
+    read_log: &'a mut [Vec<Time>],
+    acks: &'a mut [Option<(u64, Time)>],
+    outputs_ready: &'a mut [VecDeque<(u64, Time, u64)>],
+    exec_records: &'a mut [Vec<ExecRecord>],
+}
+
+impl ObsSink<'_> {
+    /// Mirror of the scalar engine's `observe_at` for one lane of the
+    /// (out-of-ring) tail block.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_lane(
+        &mut self,
+        k: u64,
+        obs: Obs,
+        value: MaxPlus,
+        lane: usize,
+        tail: &mut LaneBlock,
+        ring: &VecDeque<LaneBlock>,
+        base_k: u64,
+    ) {
+        let b = self.b;
+        match obs {
+            Obs::None => {}
+            Obs::Exchange {
+                relation,
+                ack_input,
+                output,
+                has_fifo_read,
+            } => {
+                let relation = relation as usize;
+                let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
+                if let SizeRule::Derived { from, model } = self.size_rules[relation] {
+                    let input_size = match from {
+                        None => 0,
+                        Some((rel, delay)) => {
+                            if u64::from(delay) > k {
+                                0
+                            } else if delay == 0 {
+                                tail.sizes[rel.index() * b + lane]
+                            } else {
+                                block_at(ring, base_k, k - u64::from(delay))
+                                    .map_or(0, |blk| blk.sizes[rel.index() * b + lane])
+                            }
+                        }
+                    };
+                    tail.sizes[relation * b + lane] = model.apply(input_size);
+                }
+                if self.record {
+                    let log = &mut self.instant_log[lane * self.relations + relation];
+                    debug_assert_eq!(
+                        log.len() as u64,
+                        k,
+                        "exchange instants must compute in iteration order"
+                    );
+                    log.push(time);
+                    if !has_fifo_read {
+                        self.read_log[lane * self.relations + relation].push(time);
+                    }
+                }
+                if ack_input != u32::MAX {
+                    self.acks[lane] = Some((k, time));
+                }
+                if output != u32::MAX {
+                    let size = tail.sizes[relation * b + lane];
+                    self.outputs_ready[lane * self.n_outputs + output as usize]
+                        .push_back((k, time, size));
+                }
+            }
+            Obs::FifoRead { relation } => {
+                if self.record {
+                    let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
+                    self.read_log[lane * self.relations + relation as usize].push(time);
+                }
+            }
+            Obs::ExecEnd {
+                function,
+                stmt,
+                resource,
+                dense,
+            } => {
+                if self.record {
+                    let (start, ops) = tail.exec_stash[dense as usize * b + lane];
+                    if start.is_finite() || ops > 0 {
+                        let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
+                        self.exec_records[lane].push(ExecRecord {
+                            resource,
+                            function,
+                            stmt: stmt as usize,
+                            k,
+                            start: Time::from_ticks(start.finite().unwrap_or(0).max(0) as u64),
+                            end: time,
+                            ops,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates one schedule slot across all lanes: full-width slow and const
+/// folds (structure shared by every lane), per-lane exec-weight evaluation,
+/// observation for the lanes offered this call.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eval_slot(
+    ct: &CompiledTdg,
+    ring: &VecDeque<LaneBlock>,
+    base_k: u64,
+    k: u64,
+    b: usize,
+    node: usize,
+    ranges: ((usize, usize), (usize, usize), (usize, usize)),
+    obs: Obs,
+    tail: &mut LaneBlock,
+    scratch: &mut [MaxPlus],
+    current: &[bool],
+    record: bool,
+    sink: &mut ObsSink<'_>,
+) {
+    let ((c0, chi), (s0, shi), (e0, ehi)) = ranges;
+    let scratch = &mut scratch[..b];
+    scratch.fill(MaxPlus::E); // process-start baseline
+    // Slow stream: delayed constant arcs (delay ≥ 1 by construction), read
+    // through the history ring, folded full-width — `ε ⊗ lag = ε` keeps the
+    // loop branch-free per lane.
+    for i in s0..shi {
+        let delay = u64::from(ct.slow_delays[i]);
+        let lag = ct.slow_lags[i];
+        let row = if delay > k {
+            None // pre-history resolves to the process-start baseline E
+        } else {
+            block_at(ring, base_k, k - delay).map(|blk| {
+                let src = ct.slow_srcs[i] as usize;
+                &blk.acc[src * b..(src + 1) * b]
+            })
+        };
+        match row {
+            Some(row) => {
+                for (s, &v) in scratch.iter_mut().zip(row) {
+                    *s = s.oplus(v.otimes(lag));
+                }
+            }
+            None => {
+                // E ⊗ lag = lag, uniformly across lanes.
+                for s in scratch.iter_mut() {
+                    *s = s.oplus(lag);
+                }
+            }
+        }
+    }
+    // Exec stream: data-dependent arcs, evaluated per offered lane against
+    // that lane's token sizes. Stash writes are last-wins in arc order,
+    // matching the scalar sweep.
+    for i in e0..ehi {
+        let delay = u64::from(ct.exec_delays[i]);
+        let src = ct.exec_srcs[i] as usize;
+        let exec = &ct.exec_arcs[i];
+        for (l, &cur) in current.iter().enumerate() {
+            if !cur {
+                continue;
+            }
+            let src_val = if delay == 0 {
+                tail.acc[src * b + l]
+            } else if delay > k {
+                MaxPlus::E
+            } else {
+                block_at(ring, base_k, k - delay).map_or(MaxPlus::E, |blk| blk.acc[src * b + l])
+            };
+            if src_val.is_epsilon() {
+                continue;
+            }
+            let (lag, ops) = eval_weight_lane(&exec.weight, k, ring, base_k, b, l, tail);
+            if record && exec.stash_dense != u32::MAX {
+                tail.exec_stash[exec.stash_dense as usize * b + l] = (src_val, ops);
+            }
+            scratch[l] = scratch[l].oplus(src_val.otimes(MaxPlus::new(lag as i64)));
+        }
+    }
+    // Const stream: same-iteration constant arcs over the tail block — the
+    // vectorizable common case.
+    for i in c0..chi {
+        let src = ct.const_srcs[i] as usize;
+        let lag = ct.const_lags[i];
+        let row = &tail.acc[src * b..(src + 1) * b];
+        for (s, &v) in scratch.iter_mut().zip(row) {
+            *s = s.oplus(v.otimes(lag));
+        }
+    }
+    tail.acc[node * b..(node + 1) * b].copy_from_slice(scratch);
+    if !matches!(obs, Obs::None) {
+        for (l, &cur) in current.iter().enumerate() {
+            if cur {
+                sink.observe_lane(k, obs, scratch[l], l, tail, ring, base_k);
+            }
+        }
+    }
+}
+
+/// Lockstep evaluator of `B` independent scenario lanes over one compiled
+/// graph (see the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use evolve_core::{derive_tdg, BatchedEngine};
+/// use evolve_des::Time;
+/// use evolve_model::didactic;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = didactic::chained(1, didactic::Params::default())?;
+/// let derived = derive_tdg(&d.arch)?;
+/// let relations = d.arch.app().relations().len();
+/// let mut batch = BatchedEngine::try_new(derived, relations, true, 4)?;
+/// // Offer iteration 0 on all four lanes at once, with different sizes.
+/// let offers: Vec<_> = (0..4).map(|l| Some((Time::ZERO, l as u64))).collect();
+/// batch.set_input_batch(0, &offers);
+/// for lane in 0..4 {
+///     let (k, y, _size) = batch.next_output(lane, 0).expect("output computed");
+///     assert_eq!(k, 0);
+///     assert!(y > Time::ZERO);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct BatchedEngine {
+    tdg: Tdg,
+    size_rules: Vec<SizeRule>,
+    relation_count: usize,
+    compiled: CompiledTdg,
+    n_execs: usize,
+    input_node: usize,
+    input_relation: usize,
+    n_outputs: usize,
+    record_observations: bool,
+    /// Lane count `B`.
+    lanes: usize,
+    /// Whether `schedule[slot]`'s node has a zero-delay path from an
+    /// external node (skipped after a look-ahead already computed the
+    /// complement).
+    slot_dependent: Vec<bool>,
+    /// Schedule slots of the input-independent prefix, evaluated by the
+    /// look-ahead pass.
+    prefix_slots: Vec<u32>,
+    has_prefix: bool,
+    /// History depth (maximum arc delay).
+    horizon: u64,
+    /// Analytic per-lane stats delta of the first lockstep call (`k == 0`).
+    delta_first: EngineStats,
+    /// Analytic per-lane stats delta of every later call.
+    delta_steady: EngineStats,
+    ring: VecDeque<LaneBlock>,
+    base_k: u64,
+    free: Vec<LaneBlock>,
+    next_k: u64,
+    /// Whether a look-ahead pass has opened the next iteration (its prefix
+    /// slots are then skipped by the main sweep).
+    lookahead_ran: bool,
+    /// Lanes offered in the current call.
+    current: Vec<bool>,
+    /// Lanes still offering (monotone: once `false`, never `true` again).
+    active: Vec<bool>,
+    lane_stats: Vec<EngineStats>,
+    /// Most recent acknowledgment instant per lane: `(k, instant)`.
+    acks: Vec<Option<(u64, Time)>>,
+    /// Computed outputs, `lane * n_outputs + output`.
+    outputs_ready: Vec<VecDeque<(u64, Time, u64)>>,
+    /// Exchange-instant log, `lane * relations + relation`.
+    instant_log: Vec<Vec<Time>>,
+    /// Read-instant log, `lane * relations + relation`.
+    read_log: Vec<Vec<Time>>,
+    /// Execution records per lane.
+    exec_records: Vec<Vec<ExecRecord>>,
+    /// Per-slot fold accumulator, one element per lane.
+    scratch: Vec<MaxPlus>,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for BatchedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedEngine")
+            .field("nodes", &self.tdg.node_count())
+            .field("lanes", &self.lanes)
+            .field("in_flight", &self.ring.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BatchedEngine {
+    /// Builds a batched engine with `lanes` scenario lanes over the derived
+    /// graph, or reports why the model cannot run under the lockstep sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchUnsupported`] when the graph has other than one external
+    /// input, needs output-acknowledgment feedback, or carries a size
+    /// dependency deeper than its arc-delay horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn try_new(
+        derived: DerivedTdg,
+        relation_count: usize,
+        record_observations: bool,
+        lanes: usize,
+    ) -> Result<Self, BatchUnsupported> {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        // Gate before consuming the derived graph.
+        {
+            let tdg = derived.tdg();
+            if tdg.inputs().len() != 1 {
+                return Err(BatchUnsupported::MultiInput {
+                    inputs: tdg.inputs().len(),
+                });
+            }
+            if tdg.output_acks().iter().any(Option::is_some)
+                || tdg
+                    .nodes()
+                    .iter()
+                    .any(|n| matches!(n.kind, NodeKind::OutputAck { .. }))
+            {
+                return Err(BatchUnsupported::OutputAcks);
+            }
+            let max_delay = u64::from(tdg.max_delay());
+            let too_deep = tdg.arcs().iter().any(|arc| {
+                arc.weight
+                    .execs
+                    .iter()
+                    .any(|t| matches!(t.size_from, Some((_, d)) if u64::from(d) > max_delay))
+            });
+            let rule_too_deep = derived.size_rules().iter().any(|rule| {
+                matches!(
+                    rule,
+                    SizeRule::Derived { from: Some((_, d)), .. } if u64::from(*d) > max_delay
+                )
+            });
+            if too_deep || rule_too_deep {
+                return Err(BatchUnsupported::LongSizeDelay);
+            }
+        }
+
+        let (tdg, size_rules, topo) = derived.into_parts();
+        let meta = lower_node_meta(&tdg, relation_count);
+        let compiled = CompiledTdg::lower(&tdg, &topo, &meta);
+        let n_execs = meta.n_execs;
+        let input_node = tdg.inputs()[0].index();
+        let NodeKind::Input { relation } = tdg.nodes()[input_node].kind else {
+            unreachable!("inputs() only lists input nodes");
+        };
+        let input_relation = relation.index();
+        let n_outputs = tdg.outputs().len();
+
+        let dependent = zero_delay_dependent(&tdg);
+        let has_prefix = dependent.iter().any(|d| !d);
+        let slot_dependent: Vec<bool> = compiled
+            .schedule
+            .iter()
+            .map(|&s| dependent[s as usize])
+            .collect();
+        let prefix_slots: Vec<u32> = slot_dependent
+            .iter()
+            .enumerate()
+            .filter(|(_, &dep)| !dep)
+            .map(|(slot, _)| slot as u32)
+            .collect();
+
+        // Analytic per-lane statistics deltas, mirroring exactly what the
+        // scalar compiled engine counts per `set_input` call: the main
+        // sweep charges each computed node's full in-arc range, and the
+        // look-ahead (when the graph has an input-independent prefix)
+        // resolves every delayed arc plus the prefix's zero-delay fan-out
+        // through the worklist. Pinned against the scalar engine by the
+        // batch-conformance suite.
+        let n = tdg.node_count() as u64;
+        let a = tdg.arc_count() as u64;
+        let iin = tdg.incoming_arcs(tdg.inputs()[0]).count() as u64;
+        let d = tdg.arcs().iter().filter(|arc| arc.delay > 0).count() as u64;
+        let mut p = 0u64; // prefix node count
+        let mut in_p = 0u64; // in-arcs of prefix nodes
+        let mut z = 0u64; // zero-delay out-arcs of prefix nodes
+        for (i, dep) in dependent.iter().enumerate() {
+            if !dep {
+                p += 1;
+                let node = crate::tdg::NodeId(i);
+                in_p += tdg.incoming_arcs(node).count() as u64;
+                z += tdg.outgoing_arcs(node).filter(|arc| arc.delay == 0).count() as u64;
+            }
+        }
+        let (delta_first, delta_steady) = if has_prefix {
+            (
+                EngineStats {
+                    nodes_computed: n + p,
+                    arcs_evaluated: a - iin + d + z,
+                    iterations_completed: 1,
+                    ..EngineStats::default()
+                },
+                EngineStats {
+                    nodes_computed: n,
+                    arcs_evaluated: a - iin - in_p + d + z,
+                    iterations_completed: 1,
+                    ..EngineStats::default()
+                },
+            )
+        } else {
+            let delta = EngineStats {
+                nodes_computed: n,
+                arcs_evaluated: a - iin,
+                iterations_completed: 1,
+                ..EngineStats::default()
+            };
+            (delta, delta)
+        };
+
+        let horizon = u64::from(tdg.max_delay());
+        Ok(BatchedEngine {
+            size_rules,
+            relation_count,
+            compiled,
+            n_execs,
+            input_node,
+            input_relation,
+            n_outputs,
+            record_observations,
+            lanes,
+            slot_dependent,
+            prefix_slots,
+            has_prefix,
+            horizon,
+            delta_first,
+            delta_steady,
+            ring: VecDeque::new(),
+            base_k: 0,
+            free: Vec::new(),
+            next_k: 0,
+            lookahead_ran: false,
+            current: vec![false; lanes],
+            active: vec![false; lanes],
+            lane_stats: vec![EngineStats::default(); lanes],
+            acks: vec![None; lanes],
+            outputs_ready: vec![VecDeque::new(); lanes * n_outputs],
+            instant_log: vec![Vec::new(); lanes * relation_count],
+            read_log: vec![Vec::new(); lanes * relation_count],
+            exec_records: vec![Vec::new(); lanes],
+            scratch: vec![MaxPlus::EPSILON; lanes],
+            stats: EngineStats::default(),
+            tdg,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn tdg(&self) -> &Tdg {
+        &self.tdg
+    }
+
+    /// The shared compiled program.
+    pub fn compiled_tdg(&self) -> &CompiledTdg {
+        &self.compiled
+    }
+
+    /// Lane count `B`.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Aggregate statistics: per-lane computation summed over all lanes,
+    /// plus the batch-level counters
+    /// ([`lanes_evaluated`](EngineStats::lanes_evaluated),
+    /// [`batched_iterations`](EngineStats::batched_iterations)).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Statistics of one lane — bitwise what a scalar compiled
+    /// [`Engine`](crate::Engine) would report for the same trace.
+    pub fn lane_stats(&self, lane: usize) -> EngineStats {
+        self.lane_stats[lane]
+    }
+
+    /// The computed acknowledgment instant of lane `lane`'s `k`-th offer,
+    /// if known.
+    pub fn ack_instant(&self, lane: usize, k: u64) -> Option<Time> {
+        match self.acks[lane] {
+            Some((stored_k, t)) if stored_k == k => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Pops the next computed output of `output` on lane `lane`, if any:
+    /// `(iteration, emission instant, token size)`.
+    pub fn next_output(&mut self, lane: usize, output: usize) -> Option<(u64, Time, u64)> {
+        self.outputs_ready[lane * self.n_outputs + output].pop_front()
+    }
+
+    /// Exchange-instant log of a relation on one lane.
+    pub fn instants(&self, lane: usize, relation: usize) -> &[Time] {
+        &self.instant_log[lane * self.relation_count + relation]
+    }
+
+    /// Read-instant log of a relation on one lane.
+    pub fn read_instants(&self, lane: usize, relation: usize) -> &[Time] {
+        &self.read_log[lane * self.relation_count + relation]
+    }
+
+    /// Execution records of one lane, replayed from computed instants.
+    pub fn exec_records(&self, lane: usize) -> &[ExecRecord] {
+        &self.exec_records[lane]
+    }
+
+    /// Rewinds the engine for a fresh batch of `lanes` scenarios, keeping
+    /// allocations where the lane count allows: lane blocks are recycled
+    /// through the free list when `lanes` is unchanged and dropped (their
+    /// stride no longer fits) otherwise.
+    pub fn reset(&mut self, lanes: usize) {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        if lanes == self.lanes {
+            while let Some(blk) = self.ring.pop_front() {
+                if self.free.len() < FREE_LIST_CAP {
+                    self.free.push(blk);
+                }
+            }
+        } else {
+            self.ring.clear();
+            self.free.clear();
+            self.lanes = lanes;
+            self.scratch = vec![MaxPlus::EPSILON; lanes];
+            self.current = vec![false; lanes];
+            self.active = vec![false; lanes];
+            self.lane_stats = vec![EngineStats::default(); lanes];
+            self.acks = vec![None; lanes];
+            self.outputs_ready = vec![VecDeque::new(); lanes * self.n_outputs];
+            self.instant_log = vec![Vec::new(); lanes * self.relation_count];
+            self.read_log = vec![Vec::new(); lanes * self.relation_count];
+            self.exec_records = vec![Vec::new(); lanes];
+        }
+        self.base_k = 0;
+        self.next_k = 0;
+        self.lookahead_ran = false;
+        self.current.fill(false);
+        self.active.fill(false);
+        self.lane_stats.fill(EngineStats::default());
+        self.acks.fill(None);
+        for queue in &mut self.outputs_ready {
+            queue.clear();
+        }
+        for log in &mut self.instant_log {
+            log.clear();
+        }
+        for log in &mut self.read_log {
+            log.clear();
+        }
+        for records in &mut self.exec_records {
+            records.clear();
+        }
+        self.stats = EngineStats::default();
+    }
+
+    /// A snapshot of the engine's allocation footprint; constant across
+    /// [`BatchedEngine::reset`] cycles of equal lane count and trace length.
+    pub fn allocation_footprint(&self) -> AllocationFootprint {
+        AllocationFootprint {
+            iteration_states: self.ring.len() + self.free.len(),
+            ring_capacity: self.ring.capacity(),
+            free_capacity: self.free.capacity(),
+            work_capacity: 0,
+            notification_capacity: 0,
+            compiled_elements: self.compiled.buffer_elements(),
+            lane_state_elements: self
+                .ring
+                .iter()
+                .chain(self.free.iter())
+                .map(LaneBlock::elements)
+                .sum::<usize>()
+                + self.scratch.capacity(),
+        }
+    }
+
+    /// Records the `k`-th offers of all lanes at once — `offers[lane]` is
+    /// `Some((instant, size))` for lanes whose trace still runs, `None` for
+    /// lanes that have ended — and evaluates iteration `k` of every
+    /// offering lane in one lockstep sweep over the compiled schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offers` does not have one entry per lane, if `k` is out
+    /// of lockstep order, if no lane offers at all, or if an ended lane
+    /// tries to resume.
+    pub fn set_input_batch(&mut self, k: u64, offers: &[Option<(Time, u64)>]) {
+        let b = self.lanes;
+        assert_eq!(offers.len(), b, "one offer slot per lane");
+        assert_eq!(k, self.next_k, "lockstep offers must arrive in iteration order");
+        self.next_k = k + 1;
+        let mut offered = 0u64;
+        for (l, offer) in offers.iter().enumerate() {
+            let offering = offer.is_some();
+            if k == 0 {
+                if offering {
+                    self.stats.lanes_evaluated += 1;
+                }
+            } else {
+                assert!(
+                    self.active[l] || !offering,
+                    "lane {l} cannot resume after its trace ended"
+                );
+            }
+            self.active[l] = offering;
+            self.current[l] = offering;
+            offered += u64::from(offering);
+        }
+        assert!(offered > 0, "at least one lane must offer per lockstep call");
+
+        // Acquire iteration `k`'s block: the look-ahead block at the ring
+        // tail when one was opened, a recycled or fresh block otherwise.
+        let tail_k = self.base_k + self.ring.len() as u64;
+        let mut tail = if k + 1 == tail_k {
+            self.ring.pop_back().expect("look-ahead block exists")
+        } else {
+            debug_assert_eq!(k, tail_k, "lockstep keeps the ring contiguous");
+            self.take_block()
+        };
+        for (l, offer) in offers.iter().enumerate() {
+            if let Some((at, size)) = *offer {
+                tail.sizes[self.input_relation * b + l] = size;
+                tail.acc[self.input_node * b + l] = MaxPlus::new(at.ticks() as i64);
+            }
+        }
+
+        // Main sweep over the full schedule, skipping the injected input
+        // node and — once a look-ahead has run — the prefix slots it
+        // already computed (a structural property, identical for all lanes).
+        let skip_prefix = self.lookahead_ran;
+        {
+            let ct = &self.compiled;
+            let ring = &self.ring;
+            let mut sink = ObsSink {
+                size_rules: &self.size_rules,
+                record: self.record_observations,
+                b,
+                relations: self.relation_count,
+                n_outputs: self.n_outputs,
+                instant_log: &mut self.instant_log,
+                read_log: &mut self.read_log,
+                acks: &mut self.acks,
+                outputs_ready: &mut self.outputs_ready,
+                exec_records: &mut self.exec_records,
+            };
+            let mut clo = ct.const_offsets[0] as usize;
+            let mut slo = ct.slow_offsets[0] as usize;
+            let mut elo = ct.exec_offsets[0] as usize;
+            let slots = ct
+                .schedule
+                .iter()
+                .zip(&ct.const_offsets[1..])
+                .zip(&ct.slow_offsets[1..])
+                .zip(&ct.exec_offsets[1..])
+                .zip(&ct.obs)
+                .zip(&self.slot_dependent);
+            for (((((&slot_node, &chi), &shi), &ehi), &obs), &dep) in slots {
+                let node = slot_node as usize;
+                let (chi, shi, ehi) = (chi as usize, shi as usize, ehi as usize);
+                let (c0, s0, e0) = (clo, slo, elo);
+                (clo, slo, elo) = (chi, shi, ehi);
+                if node == self.input_node || (skip_prefix && !dep) {
+                    continue;
+                }
+                eval_slot(
+                    ct,
+                    ring,
+                    self.base_k,
+                    k,
+                    b,
+                    node,
+                    ((c0, chi), (s0, shi), (e0, ehi)),
+                    obs,
+                    &mut tail,
+                    &mut self.scratch,
+                    &self.current,
+                    self.record_observations,
+                    &mut sink,
+                );
+            }
+        }
+        self.ring.push_back(tail);
+
+        // Look-ahead: open iteration `k + 1` and compute its
+        // input-independent prefix, mirroring the scalar engine's (and the
+        // conventional model's) eager run-ahead; the prefix's execution
+        // records must appear even when a lane's trace ends here.
+        if self.has_prefix {
+            let kla = k + 1;
+            let mut la = self.take_block();
+            {
+                let ct = &self.compiled;
+                let ring = &self.ring;
+                let mut sink = ObsSink {
+                    size_rules: &self.size_rules,
+                    record: self.record_observations,
+                    b,
+                    relations: self.relation_count,
+                    n_outputs: self.n_outputs,
+                    instant_log: &mut self.instant_log,
+                    read_log: &mut self.read_log,
+                    acks: &mut self.acks,
+                    outputs_ready: &mut self.outputs_ready,
+                    exec_records: &mut self.exec_records,
+                };
+                for &slot in &self.prefix_slots {
+                    let slot = slot as usize;
+                    let node = ct.schedule[slot] as usize;
+                    let ranges = (
+                        (
+                            ct.const_offsets[slot] as usize,
+                            ct.const_offsets[slot + 1] as usize,
+                        ),
+                        (
+                            ct.slow_offsets[slot] as usize,
+                            ct.slow_offsets[slot + 1] as usize,
+                        ),
+                        (
+                            ct.exec_offsets[slot] as usize,
+                            ct.exec_offsets[slot + 1] as usize,
+                        ),
+                    );
+                    eval_slot(
+                        ct,
+                        ring,
+                        self.base_k,
+                        kla,
+                        b,
+                        node,
+                        ranges,
+                        ct.obs[slot],
+                        &mut la,
+                        &mut self.scratch,
+                        &self.current,
+                        self.record_observations,
+                        &mut sink,
+                    );
+                }
+            }
+            self.ring.push_back(la);
+            self.lookahead_ran = true;
+        }
+
+        // Statistics: every offered lane performed the same structural
+        // work; the delta is analytic (see `try_new`).
+        let delta = if k == 0 { self.delta_first } else { self.delta_steady };
+        for (l, &cur) in self.current.iter().enumerate() {
+            if cur {
+                let s = &mut self.lane_stats[l];
+                s.nodes_computed += delta.nodes_computed;
+                s.arcs_evaluated += delta.arcs_evaluated;
+                s.iterations_completed += delta.iterations_completed;
+            }
+        }
+        self.stats.nodes_computed += delta.nodes_computed * offered;
+        self.stats.arcs_evaluated += delta.arcs_evaluated * offered;
+        self.stats.iterations_completed += delta.iterations_completed * offered;
+        self.stats.batched_iterations += 1;
+
+        // Prune history beyond the arc-delay horizon (size dependencies are
+        // gated to the same horizon by `try_new`).
+        let keep = self.horizon as usize + 2;
+        while self.ring.len() > keep {
+            let blk = self.ring.pop_front().expect("length checked");
+            self.base_k += 1;
+            if self.free.len() < FREE_LIST_CAP {
+                self.free.push(blk);
+            }
+        }
+    }
+
+    /// A recycled or fresh lane block; only the exec stash needs clearing
+    /// (every accumulator and size read is preceded by a write in the same
+    /// sweep for lanes whose observations are consumed).
+    fn take_block(&mut self) -> LaneBlock {
+        match self.free.pop() {
+            Some(mut blk) => {
+                blk.exec_stash.fill((MaxPlus::EPSILON, 0));
+                blk
+            }
+            None => LaneBlock::fresh(
+                self.tdg.node_count(),
+                self.relation_count,
+                self.n_execs,
+                self.lanes,
+            ),
+        }
+    }
+}
+
+// Sweep workers move batched engines across threads, like scalar ones.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BatchedEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tdg::{ExecTerm, TdgBuilder, Weight};
+    use crate::{derive_tdg, DerivedTdg, Engine};
+    use evolve_model::{didactic, LoadModel, RelationId, SizeModel};
+
+    fn didactic_derived() -> (DerivedTdg, usize) {
+        let d = didactic::chained(1, didactic::Params::default()).unwrap();
+        let relations = d.arch.app().relations().len();
+        (derive_tdg(&d.arch).unwrap(), relations)
+    }
+
+    #[test]
+    fn rejects_multi_input_graphs() {
+        let mut b = TdgBuilder::new();
+        let i0 = b.add_node("u0", NodeKind::Input { relation: RelationId::from_index(0) });
+        let i1 = b.add_node("u1", NodeKind::Input { relation: RelationId::from_index(1) });
+        let out = b.add_node("y", NodeKind::Output { relation: RelationId::from_index(2) });
+        b.add_arc(i0, out, 0, Weight::constant(1));
+        b.add_arc(i1, out, 0, Weight::constant(1));
+        let tdg = b.build().unwrap();
+        let derived = DerivedTdg::new(
+            tdg,
+            vec![SizeRule::External; 3],
+        );
+        assert_eq!(
+            BatchedEngine::try_new(derived, 3, true, 2).err(),
+            Some(BatchUnsupported::MultiInput { inputs: 2 })
+        );
+        assert_eq!(BatchUnsupported::MultiInput { inputs: 2 }.reason(), "multi_input");
+    }
+
+    #[test]
+    fn rejects_output_ack_graphs() {
+        let mut b = TdgBuilder::new();
+        let i0 = b.add_node("u0", NodeKind::Input { relation: RelationId::from_index(0) });
+        let out = b.add_node("y", NodeKind::Output { relation: RelationId::from_index(1) });
+        let ack = b.add_node("a", NodeKind::OutputAck { relation: RelationId::from_index(1) });
+        b.add_arc(i0, out, 0, Weight::constant(1));
+        b.add_arc(ack, out, 1, Weight::constant(0));
+        let tdg = b.build().unwrap();
+        let derived = DerivedTdg::new(tdg, vec![SizeRule::External; 2]);
+        assert_eq!(
+            BatchedEngine::try_new(derived, 2, true, 2).err(),
+            Some(BatchUnsupported::OutputAcks)
+        );
+    }
+
+    #[test]
+    fn rejects_size_dependencies_past_the_horizon() {
+        let mut b = TdgBuilder::new();
+        let i0 = b.add_node("u0", NodeKind::Input { relation: RelationId::from_index(0) });
+        let out = b.add_node("y", NodeKind::Output { relation: RelationId::from_index(1) });
+        let term = ExecTerm {
+            function: evolve_model::FunctionId::from_index(0),
+            stmt: 0,
+            load: LoadModel::Constant(5),
+            speed: 1,
+            // Reaches 5 iterations back while the only arc delay is 1.
+            size_from: Some((RelationId::from_index(0), 5)),
+        };
+        b.add_arc(i0, out, 1, Weight::exec(term));
+        let tdg = b.build().unwrap();
+        let derived = DerivedTdg::new(
+            tdg,
+            vec![
+                SizeRule::External,
+                SizeRule::Derived { from: None, model: SizeModel::Same },
+            ],
+        );
+        assert_eq!(
+            BatchedEngine::try_new(derived, 2, true, 2).err(),
+            Some(BatchUnsupported::LongSizeDelay)
+        );
+    }
+
+    #[test]
+    fn lanes_match_the_scalar_engine_on_the_didactic_chain() {
+        let (derived, relations) = didactic_derived();
+        let lanes = 3usize;
+        let mut batch = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        let mut scalars: Vec<Engine> = (0..lanes)
+            .map(|_| {
+                let (derived, relations) = didactic_derived();
+                Engine::new(derived, relations, true)
+            })
+            .collect();
+        for k in 0..8u64 {
+            let offers: Vec<Option<(Time, u64)>> = (0..lanes)
+                .map(|l| Some((Time::from_ticks(k * (40 + l as u64 * 13)), 1 + (k + l as u64) % 5)))
+                .collect();
+            batch.set_input_batch(k, &offers);
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                let (at, size) = offers[l].unwrap();
+                scalar.set_input(0, k, at, size);
+                assert_eq!(batch.ack_instant(l, k), scalar.ack_instant(0, k), "lane {l} k {k}");
+                assert_eq!(batch.next_output(l, 0), scalar.next_output(0), "lane {l} k {k}");
+            }
+        }
+        for (l, scalar) in scalars.iter().enumerate() {
+            for r in 0..relations {
+                assert_eq!(batch.instants(l, r), scalar.instants(r), "lane {l} relation {r}");
+                assert_eq!(
+                    batch.read_instants(l, r),
+                    scalar.read_instants(r),
+                    "lane {l} relation {r}"
+                );
+            }
+            assert_eq!(batch.lane_stats(l), scalar.stats(), "lane {l} stats");
+        }
+        let agg = batch.stats();
+        assert_eq!(agg.lanes_evaluated, lanes as u64);
+        assert_eq!(agg.batched_iterations, 8);
+        assert_eq!(
+            agg.nodes_computed,
+            (0..lanes).map(|l| batch.lane_stats(l).nodes_computed).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn reset_cycles_keep_the_allocation_footprint_stable() {
+        let (derived, relations) = didactic_derived();
+        let mut batch = BatchedEngine::try_new(derived, relations, true, 4).unwrap();
+        let trace = |batch: &mut BatchedEngine| {
+            for k in 0..32u64 {
+                let offers: Vec<Option<(Time, u64)>> =
+                    (0..4).map(|l| Some((Time::from_ticks(k * 50 + l), 1))).collect();
+                batch.set_input_batch(k, &offers);
+                for l in 0..4 {
+                    while batch.next_output(l, 0).is_some() {}
+                }
+            }
+        };
+        trace(&mut batch);
+        batch.reset(4);
+        trace(&mut batch);
+        let warmed = batch.allocation_footprint();
+        assert!(warmed.lane_state_elements > 0);
+        for _ in 0..10 {
+            batch.reset(4);
+            trace(&mut batch);
+            assert_eq!(batch.allocation_footprint(), warmed);
+        }
+        // Changing the lane count reconfigures the strides.
+        batch.reset(2);
+        assert_eq!(batch.lanes(), 2);
+        for k in 0..4u64 {
+            batch.set_input_batch(k, &[Some((Time::from_ticks(k * 50), 1)), None]);
+        }
+        assert_eq!(batch.stats().lanes_evaluated, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resume")]
+    fn ended_lanes_cannot_resume() {
+        let (derived, relations) = didactic_derived();
+        let mut batch = BatchedEngine::try_new(derived, relations, true, 2).unwrap();
+        batch.set_input_batch(0, &[Some((Time::ZERO, 1)), Some((Time::ZERO, 1))]);
+        batch.set_input_batch(1, &[Some((Time::from_ticks(10), 1)), None]);
+        batch.set_input_batch(2, &[Some((Time::from_ticks(20), 1)), Some((Time::from_ticks(20), 1))]);
+    }
+}

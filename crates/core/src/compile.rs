@@ -15,10 +15,16 @@
 //!   marking the longest-path depth boundaries (every node's same-iteration
 //!   dependencies sit in strictly earlier levels);
 //! * incoming arcs flattened into **CSR** (one contiguous source/weight
-//!   slice per stream plus per-node offset ranges), with delay/exec arcs
-//!   segregated from same-iteration constant arcs so the inner loop of the
-//!   common case — `acc ⊕= x_src(k) ⊗ w` over a contiguous range — is
-//!   branch-light and cache-linear;
+//!   slice per stream plus per-node offset ranges), partitioned into three
+//!   streams by what varies: same-iteration constant arcs (the branch-light
+//!   common case — `acc ⊕= x_src(k) ⊗ w` over a contiguous range), delayed
+//!   constant arcs, and data-dependent exec arcs. The first two are pure
+//!   *structure* — identical for every scenario of the model, with lags
+//!   pre-lifted into the semiring — while exec arcs carry the per-scenario
+//!   duration tables evaluated with each trace's token sizes. That
+//!   structure/weight separation is what lets the batched engine
+//!   ([`BatchedEngine`](crate::BatchedEngine)) fetch arc metadata once per
+//!   arc and fold many scenario lanes under it;
 //! * per-node metadata (observation action, acknowledgment/notification
 //!   target, dense exec-stash slot) packed into a flat SoA instruction
 //!   stream aligned with the schedule.
@@ -227,17 +233,26 @@ pub struct CompiledTdg {
     /// Constant lag per constant arc (`⊗`-applied to the source instant),
     /// pre-lifted into the semiring so the sweep skips per-arc conversion.
     pub(crate) const_lags: Vec<MaxPlus>,
-    /// CSR offsets (per slot) into the slow-arc stream: arcs with an
-    /// iteration delay and/or data-dependent weight.
+    /// CSR offsets (per slot) into the slow-arc stream: delayed arcs with
+    /// constant weights — still pure structure, shared across scenario
+    /// lanes, just read through the history ring.
     pub(crate) slow_offsets: Vec<u32>,
     /// Source node per slow arc.
     pub(crate) slow_srcs: Vec<u32>,
-    /// Iteration delay per slow arc.
+    /// Iteration delay per slow arc (always ≥ 1).
     pub(crate) slow_delays: Vec<u32>,
-    /// Weight per slow arc: `>= 0` is a constant lag; `< 0` encodes index
-    /// `-(w + 1)` into [`CompiledTdg::exec_arcs`].
-    pub(crate) slow_weights: Vec<i64>,
-    /// Data-dependent arc table referenced by negative `slow_weights`.
+    /// Constant lag per slow arc, pre-lifted into the semiring.
+    pub(crate) slow_lags: Vec<MaxPlus>,
+    /// CSR offsets (per slot) into the exec-arc stream: arcs whose weight
+    /// is data-dependent and must be evaluated per iteration (and, when
+    /// batched, per lane) with the feeding token sizes.
+    pub(crate) exec_offsets: Vec<u32>,
+    /// Source node per exec arc.
+    pub(crate) exec_srcs: Vec<u32>,
+    /// Iteration delay per exec arc.
+    pub(crate) exec_delays: Vec<u32>,
+    /// Weight table aligned with the exec stream (`exec_arcs[i]` belongs to
+    /// the arc at stream position `i`).
     pub(crate) exec_arcs: Vec<ExecArc>,
 }
 
@@ -275,25 +290,22 @@ impl CompiledTdg {
         let mut slow_offsets = Vec::with_capacity(n + 1);
         let mut slow_srcs = Vec::new();
         let mut slow_delays = Vec::new();
-        let mut slow_weights = Vec::new();
+        let mut slow_lags = Vec::new();
+        let mut exec_offsets = Vec::with_capacity(n + 1);
+        let mut exec_srcs = Vec::new();
+        let mut exec_delays = Vec::new();
         let mut exec_arcs = Vec::new();
         const_offsets.push(0u32);
         slow_offsets.push(0u32);
+        exec_offsets.push(0u32);
         for &slot_node in &schedule {
             let node = slot_node as usize;
             obs.push(meta.obs[node]);
             for &ai in &tdg.incoming[node] {
                 let arc = &tdg.arcs[ai];
-                if arc.delay == 0 && arc.weight.execs.is_empty() {
-                    const_srcs.push(arc.src.index() as u32);
-                    const_lags.push(MaxPlus::new(arc.weight.constant as i64));
-                } else if arc.weight.execs.is_empty() {
-                    slow_srcs.push(arc.src.index() as u32);
-                    slow_delays.push(arc.delay);
-                    slow_weights.push(arc.weight.constant as i64);
-                } else {
-                    slow_srcs.push(arc.src.index() as u32);
-                    slow_delays.push(arc.delay);
+                if !arc.weight.execs.is_empty() {
+                    exec_srcs.push(arc.src.index() as u32);
+                    exec_delays.push(arc.delay);
                     let stash_dense = if meta.stash_arc[ai] {
                         match meta.obs[node] {
                             Obs::ExecEnd { dense, .. } => dense,
@@ -302,16 +314,22 @@ impl CompiledTdg {
                     } else {
                         u32::MAX
                     };
-                    let idx = exec_arcs.len() as i64;
                     exec_arcs.push(ExecArc {
                         weight: arc.weight.clone(),
                         stash_dense,
                     });
-                    slow_weights.push(-(idx + 1));
+                } else if arc.delay == 0 {
+                    const_srcs.push(arc.src.index() as u32);
+                    const_lags.push(MaxPlus::new(arc.weight.constant as i64));
+                } else {
+                    slow_srcs.push(arc.src.index() as u32);
+                    slow_delays.push(arc.delay);
+                    slow_lags.push(MaxPlus::new(arc.weight.constant as i64));
                 }
             }
             const_offsets.push(const_srcs.len() as u32);
             slow_offsets.push(slow_srcs.len() as u32);
+            exec_offsets.push(exec_srcs.len() as u32);
         }
 
         CompiledTdg {
@@ -324,7 +342,10 @@ impl CompiledTdg {
             slow_offsets,
             slow_srcs,
             slow_delays,
-            slow_weights,
+            slow_lags,
+            exec_offsets,
+            exec_srcs,
+            exec_delays,
             exec_arcs,
         }
     }
@@ -344,9 +365,14 @@ impl CompiledTdg {
         self.const_srcs.len()
     }
 
-    /// Delayed and/or data-dependent arcs in the slow CSR stream.
+    /// Delayed constant arcs in the slow CSR stream.
     pub fn slow_arc_count(&self) -> usize {
         self.slow_srcs.len()
+    }
+
+    /// Data-dependent arcs in the exec CSR stream.
+    pub fn exec_arc_count(&self) -> usize {
+        self.exec_srcs.len()
     }
 
     /// Total element capacity across the compiled buffers — the term the
@@ -363,9 +389,43 @@ impl CompiledTdg {
             + self.slow_offsets.capacity()
             + self.slow_srcs.capacity()
             + self.slow_delays.capacity()
-            + self.slow_weights.capacity()
+            + self.slow_lags.capacity()
+            + self.exec_offsets.capacity()
+            + self.exec_srcs.capacity()
+            + self.exec_delays.capacity()
             + self.exec_arcs.capacity()
     }
+}
+
+/// Marks the nodes reachable from an `Input` or `OutputAck` node through
+/// zero-delay arcs only — the nodes whose value for iteration `k` can
+/// depend on the external offer at `k`. The complement (the *prefix*) is
+/// resolvable from history alone, which is what look-ahead evaluation and
+/// the batched engine's prefix pass exploit.
+pub(crate) fn zero_delay_dependent(tdg: &Tdg) -> Vec<bool> {
+    let n = tdg.node_count();
+    let mut dependent = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = (0..n)
+        .filter(|&i| {
+            matches!(
+                tdg.nodes()[i].kind,
+                NodeKind::Input { .. } | NodeKind::OutputAck { .. }
+            )
+        })
+        .collect();
+    for &i in &queue {
+        dependent[i] = true;
+    }
+    while let Some(u) = queue.pop_front() {
+        for &ai in &tdg.outgoing[u] {
+            let arc = &tdg.arcs[ai];
+            if arc.delay == 0 && !dependent[arc.dst.index()] {
+                dependent[arc.dst.index()] = true;
+                queue.push_back(arc.dst.index());
+            }
+        }
+    }
+    dependent
 }
 
 #[cfg(test)]
@@ -418,7 +478,10 @@ mod tests {
     fn csr_streams_partition_the_arcs() {
         let (derived, c) = lowered(6, 100);
         let tdg = derived.tdg();
-        assert_eq!(c.const_arc_count() + c.slow_arc_count(), tdg.arc_count());
+        assert_eq!(
+            c.const_arc_count() + c.slow_arc_count() + c.exec_arc_count(),
+            tdg.arc_count()
+        );
         // Constant stream holds exactly the same-iteration constant arcs.
         let expected_const = tdg
             .arcs()
@@ -426,18 +489,27 @@ mod tests {
             .filter(|a| a.delay == 0 && a.weight.execs.is_empty())
             .count();
         assert_eq!(c.const_arc_count(), expected_const);
-        // Every negative slow weight decodes into the exec-arc table.
-        let mut referenced = vec![false; c.exec_arcs.len()];
-        for &w in &c.slow_weights {
-            if w < 0 {
-                referenced[(-(w + 1)) as usize] = true;
-            }
-        }
-        assert!(referenced.iter().all(|&r| r), "orphan exec arc");
+        // Slow arcs are the delayed constant ones — structure shared across
+        // lanes, never data-dependent.
+        assert!(c.slow_delays.iter().all(|&d| d >= 1));
         assert_eq!(
-            c.exec_arcs.len(),
+            c.slow_arc_count(),
+            tdg.arcs()
+                .iter()
+                .filter(|a| a.delay >= 1 && a.weight.execs.is_empty())
+                .count()
+        );
+        // The exec stream carries exactly the data-dependent arcs, with the
+        // weight table aligned position-for-position.
+        assert_eq!(
+            c.exec_arc_count(),
             tdg.arcs().iter().filter(|a| !a.weight.execs.is_empty()).count()
         );
+        assert_eq!(c.exec_arcs.len(), c.exec_arc_count());
+        assert!(c
+            .exec_arcs
+            .iter()
+            .all(|ea| !ea.weight.execs.is_empty()));
         assert!(c.buffer_elements() > 0);
     }
 

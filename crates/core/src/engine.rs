@@ -74,6 +74,12 @@ pub struct AllocationFootprint {
     /// Constant after engine construction — the compiled program is
     /// immutable.
     pub compiled_elements: usize,
+    /// Total element capacity of per-lane SoA state (accumulators, sizes,
+    /// exec stashes across the ring and free list). `0` for the scalar
+    /// [`Engine`]; the batched engine
+    /// ([`BatchedEngine`](crate::BatchedEngine)) reports its lane blocks
+    /// here.
+    pub lane_state_elements: usize,
 }
 
 /// Computation statistics of an engine.
@@ -85,6 +91,15 @@ pub struct EngineStats {
     pub arcs_evaluated: u64,
     /// Iterations fully computed.
     pub iterations_completed: u64,
+    /// Scenario lanes this engine has evaluated. Always `0` for the scalar
+    /// [`Engine`] and for per-lane views; the batched engine's aggregate
+    /// counters ([`BatchedEngine::stats`](crate::BatchedEngine::stats))
+    /// report the number of lanes started here.
+    pub lanes_evaluated: u64,
+    /// Lockstep batched sweeps performed (one per
+    /// [`set_input_batch`](crate::BatchedEngine::set_input_batch) call,
+    /// covering every active lane). `0` for the scalar engine.
+    pub batched_iterations: u64,
 }
 
 /// Per-iteration evaluation state (recycled through a free list).
@@ -341,34 +356,9 @@ impl Engine {
         // the conventional model's eager run-ahead; graphs without such
         // nodes (every behaviour starts with a read) skip the look-ahead
         // entirely.
-        let has_prefix = {
-            let mut dependent = vec![false; n];
-            let mut stack: Vec<usize> = tdg
-                .nodes()
-                .iter()
-                .enumerate()
-                .filter(|(_, nd)| {
-                    matches!(
-                        nd.kind,
-                        NodeKind::Input { .. } | NodeKind::OutputAck { .. }
-                    )
-                })
-                .map(|(i, _)| i)
-                .collect();
-            for &i in &stack {
-                dependent[i] = true;
-            }
-            while let Some(i) = stack.pop() {
-                for &ai in &tdg.outgoing[i] {
-                    let arc = &tdg.arcs()[ai];
-                    if arc.delay == 0 && !dependent[arc.dst.index()] {
-                        dependent[arc.dst.index()] = true;
-                        stack.push(arc.dst.index());
-                    }
-                }
-            }
-            dependent.iter().any(|d| !d)
-        };
+        let has_prefix = crate::compile::zero_delay_dependent(&tdg)
+            .iter()
+            .any(|d| !d);
 
         let n_inputs = tdg.inputs().len();
         let n_outputs = tdg.outputs().len();
@@ -480,6 +470,7 @@ impl Engine {
                 .compiled
                 .as_ref()
                 .map_or(0, CompiledTdg::buffer_elements),
+            lane_state_elements: 0,
         }
     }
 
@@ -629,36 +620,52 @@ impl Engine {
         tail.computed[input_node.index()] = true;
         let mut nodes_local = 1u64;
         let mut arcs_local = 0u64;
-        // Rolling CSR cursors: one offset load per slot instead of four;
-        // offsets and observation actions ride the zipped iterators, so the
-        // hot loop indexes only per-node state.
+        // Rolling CSR cursors: one offset load per slot per stream; offsets
+        // and observation actions ride the zipped iterators, so the hot loop
+        // indexes only per-node state.
         let mut clo = ct.const_offsets[0] as usize;
         let mut slo = ct.slow_offsets[0] as usize;
+        let mut elo = ct.exec_offsets[0] as usize;
         let slots = ct
             .schedule
             .iter()
             .zip(&ct.const_offsets[1..])
             .zip(&ct.slow_offsets[1..])
+            .zip(&ct.exec_offsets[1..])
             .zip(&ct.obs);
-        for (((&slot_node, &chi), &shi), &obs) in slots {
+        for ((((&slot_node, &chi), &shi), &ehi), &obs) in slots {
             let node = slot_node as usize;
-            let (chi, shi) = (chi as usize, shi as usize);
-            let (c0, s0) = (clo, slo);
-            (clo, slo) = (chi, shi);
+            let (chi, shi, ehi) = (chi as usize, shi as usize, ehi as usize);
+            let (c0, s0, e0) = (clo, slo, elo);
+            (clo, slo, elo) = (chi, shi, ehi);
             if tail.computed[node] {
                 // Computed during look-ahead (input-independent prefix), or
                 // the pre-marked input node.
                 continue;
             }
             nodes_local += 1;
-            arcs_local += (chi - c0 + shi - s0) as u64;
+            arcs_local += (chi - c0 + shi - s0 + ehi - e0) as u64;
             let mut acc = MaxPlus::E; // process-start baseline
-            // Slow stream first: delayed and/or data-dependent arcs, read
-            // through the full history ring.
-            let mut stash: Option<(u32, (MaxPlus, u64))> = None;
+            // Slow stream first: delayed constant arcs, read through the
+            // full history ring (delay ≥ 1 by construction).
             for i in s0..shi {
                 let delay = u64::from(ct.slow_delays[i]);
                 let src = ct.slow_srcs[i] as usize;
+                let src_val = if delay > k {
+                    MaxPlus::E
+                } else {
+                    iter_at(&self.ring, self.base_k, k - delay)
+                        .map_or(MaxPlus::E, |it| it.acc[src])
+                };
+                // ε ⊗ lag = ε, and ⊕ ε is a no-op — no explicit skip needed.
+                acc = acc.oplus(src_val.otimes(ct.slow_lags[i]));
+            }
+            // Exec stream: data-dependent arcs (any delay), each weight
+            // evaluated against this iteration's token sizes.
+            let mut stash: Option<(u32, (MaxPlus, u64))> = None;
+            for i in e0..ehi {
+                let delay = u64::from(ct.exec_delays[i]);
+                let src = ct.exec_srcs[i] as usize;
                 let src_val = if delay == 0 {
                     tail.acc[src]
                 } else if delay > k {
@@ -670,19 +677,13 @@ impl Engine {
                 if src_val.is_epsilon() {
                     continue;
                 }
-                let w = ct.slow_weights[i];
-                let contribution = if w >= 0 {
-                    src_val.otimes(MaxPlus::new(w))
-                } else {
-                    let exec = &ct.exec_arcs[(-(w + 1)) as usize];
-                    let (lag, ops) =
-                        eval_weight(&exec.weight, k, &self.ring, self.base_k, Some(&tail));
-                    if self.record_observations && exec.stash_dense != u32::MAX {
-                        stash = Some((exec.stash_dense, (src_val, ops)));
-                    }
-                    src_val.otimes(MaxPlus::new(lag as i64))
-                };
-                acc = acc.oplus(contribution);
+                let exec = &ct.exec_arcs[i];
+                let (lag, ops) =
+                    eval_weight(&exec.weight, k, &self.ring, self.base_k, Some(&tail));
+                if self.record_observations && exec.stash_dense != u32::MAX {
+                    stash = Some((exec.stash_dense, (src_val, ops)));
+                }
+                acc = acc.oplus(src_val.otimes(MaxPlus::new(lag as i64)));
             }
             // Constant stream: the branch-light common case, a contiguous
             // max-fold over same-iteration sources of the tail state. The

@@ -25,6 +25,9 @@
 //! * [`Engine`] — incremental `ComputeInstant()` evaluation with
 //!   observation replay, with a choice of [`EvalBackend`]: the compiled
 //!   levelized-CSR sweep ([`CompiledTdg`]) or the reference worklist.
+//! * [`BatchedEngine`] — lockstep evaluation of many scenario lanes over
+//!   one compiled graph, amortizing schedule and arc fetches across a
+//!   sweep batch.
 //! * [`equivalent`] — the equivalent model on the DES kernel: `Reception`
 //!   and `Emission` processes around the engine (paper Fig. 4).
 //! * [`validate`] — instant-for-instant comparison of conventional vs.
@@ -55,6 +58,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analysis;
+mod batch;
 mod compile;
 mod derive;
 mod engine;
@@ -66,6 +70,7 @@ pub mod synthetic;
 mod tdg;
 pub mod validate;
 
+pub use batch::{BatchUnsupported, BatchedEngine};
 pub use compile::{CompiledTdg, EvalBackend};
 pub use derive::{derive_tdg, derive_tdg_with, DeriveOptions, DerivedTdg, SizeRule, SizeRules};
 pub use engine::{AllocationFootprint, Engine, EngineStats, Notification};

@@ -1,0 +1,399 @@
+//! Property test: the batched lockstep engine against the scalar compiled
+//! and worklist backends on randomized graphs and scenarios.
+//!
+//! Three layers of coverage:
+//!
+//! 1. **Raw synthetic TDGs** — random DAGs-with-delays driven through
+//!    `set_input_batch` at widths {1, 2, 7, 16} with mixed-length,
+//!    per-lane-shifted offer sequences; every lane's observable instants,
+//!    outputs, and counters must be bitwise identical to a scalar engine
+//!    driven with that lane's trace alone (full [`EngineStats`] equality
+//!    against the compiled backend, node/iteration counters against the
+//!    worklist reference).
+//! 2. **Derived padded pipelines** — `synthetic::pipeline` architectures
+//!    driven through the sweep subsystem's `drive_batch` boundary
+//!    semantics with mixed-length lanes, against per-lane `drive_engine`
+//!    runs on both scalar backends.
+//! 3. **The ejection path** — graphs the batch gate rejects (multi-input)
+//!    must fall back to a scalar engine that still agrees with the
+//!    worklist reference, so ejecting a lane can never change results.
+//!
+//! Execution records are compared as canonical multisets: the batched
+//! sweep replays them in schedule order, the scalar worklist in pop order,
+//! and only the multiset is part of the engine's contract.
+
+use evolve_core::{
+    derive_tdg, synthetic, BatchUnsupported, BatchedEngine, DerivedTdg, Engine, EngineStats,
+    EvalBackend, NodeKind, Tdg, TdgBuilder, Weight,
+};
+use evolve_des::Time;
+use evolve_explore::{drive_batch, drive_engine, ScenarioOutcome};
+use evolve_model::{Arrival, ExecRecord, RelationId};
+use proptest::prelude::*;
+
+const WIDTHS: [usize; 4] = [1, 2, 7, 16];
+const MAX_WIDTH: usize = 16;
+
+/// A random DAG-with-delays: node 0 is the input, the last node the
+/// output, arcs go forward (delay 0) or anywhere (delay 1..=2).
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    nodes: usize,
+    arcs: Vec<(usize, usize, u32, u64)>,
+    offers: Vec<u64>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (3usize..12)
+        .prop_flat_map(|nodes| {
+            let arcs = proptest::collection::vec(
+                (0..nodes, 0..nodes, 0u32..3, 0u64..500),
+                nodes..nodes * 3,
+            );
+            let offers = proptest::collection::vec(0u64..2_000, 2..12);
+            (Just(nodes), arcs, offers)
+        })
+        .prop_map(|(nodes, raw_arcs, mut offers)| {
+            // Delay-0 arcs forward keeps the graph causal; offers
+            // non-decreasing keeps the drive in iteration order.
+            let arcs = raw_arcs
+                .into_iter()
+                .map(|(a, b, delay, w)| {
+                    if delay == 0 {
+                        let (lo, hi) = if a < b {
+                            (a, b)
+                        } else if b < a {
+                            (b, a)
+                        } else {
+                            (a, (a + 1) % nodes)
+                        };
+                        if lo < hi { (lo, hi, 0, w) } else { (hi, lo, 0, w) }
+                    } else {
+                        (a, b, delay, w)
+                    }
+                })
+                .filter(|(a, b, d, _)| !(a == b && *d == 0))
+                .collect();
+            let mut acc = 0u64;
+            for o in &mut offers {
+                acc += *o;
+                *o = acc;
+            }
+            GraphSpec { nodes, arcs, offers }
+        })
+}
+
+fn build(spec: &GraphSpec) -> Tdg {
+    let mut b = TdgBuilder::new();
+    let input_rel = RelationId::from_index(0);
+    let output_rel = RelationId::from_index(1);
+    let mut ids = Vec::new();
+    for i in 0..spec.nodes {
+        let kind = if i == 0 {
+            NodeKind::Input { relation: input_rel }
+        } else if i == spec.nodes - 1 {
+            NodeKind::Output { relation: output_rel }
+        } else {
+            NodeKind::Padding
+        };
+        ids.push(b.add_node(format!("n{i}"), kind));
+    }
+    for &(src, dst, delay, w) in &spec.arcs {
+        if dst == 0 {
+            continue; // nothing feeds the input
+        }
+        b.add_arc(ids[src], ids[dst], delay, Weight::constant(w));
+    }
+    b.build().expect("forward delay-0 arcs keep the graph causal")
+}
+
+fn derived_for(tdg: &Tdg) -> DerivedTdg {
+    DerivedTdg::new(
+        tdg.clone(),
+        vec![
+            evolve_core::SizeRule::External,
+            evolve_core::SizeRule::Derived { from: None, model: evolve_model::SizeModel::Same },
+        ],
+    )
+}
+
+fn engine_for(tdg: &Tdg, backend: EvalBackend) -> Engine {
+    Engine::with_backend(derived_for(tdg), 2, true, backend)
+}
+
+/// Lane `l`'s offer sequence: the base offers shifted by a per-lane phase
+/// and truncated to a per-lane length, so lanes end at different lockstep
+/// iterations (the mixed-length case).
+fn lane_offers(base: &[u64], lane: usize) -> Vec<u64> {
+    let len = (base.len() - lane % base.len()).max(1);
+    base[..len].iter().map(|&u| u + 37 * lane as u64).collect()
+}
+
+/// Execution records in a scheduling-independent canonical order.
+fn canonical(mut records: Vec<ExecRecord>) -> Vec<ExecRecord> {
+    records.sort_by_key(|r| (r.start, r.resource, r.function, r.stmt, r.k));
+    records
+}
+
+/// Stats with the batching-only counters cleared, for comparing a batched
+/// lane view against a scalar engine.
+fn scalar_view(mut stats: EngineStats) -> EngineStats {
+    stats.lanes_evaluated = 0;
+    stats.batched_iterations = 0;
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batched_lanes_agree_on_random_tdgs(spec in graph_spec()) {
+        let tdg = build(&spec);
+
+        // Scalar references, one per lane variant (lane traces only depend
+        // on the lane index, not the batch width).
+        let mut scalar: Vec<(Vec<Option<(u64, Time, u64)>>, Engine, Engine)> = Vec::new();
+        for lane in 0..MAX_WIDTH {
+            let offers = lane_offers(&spec.offers, lane);
+            let mut compiled = engine_for(&tdg, EvalBackend::Compiled);
+            let mut worklist = engine_for(&tdg, EvalBackend::Worklist);
+            let mut outputs = Vec::new();
+            for (k, &u) in offers.iter().enumerate() {
+                compiled.set_input(0, k as u64, Time::from_ticks(u), 0);
+                worklist.set_input(0, k as u64, Time::from_ticks(u), 0);
+                let out = compiled.next_output(0);
+                prop_assert_eq!(out, worklist.next_output(0), "scalar backends at k={}", k);
+                outputs.push(out);
+            }
+            scalar.push((outputs, compiled, worklist));
+        }
+
+        for width in WIDTHS {
+            let lanes: Vec<Vec<u64>> = (0..width).map(|l| lane_offers(&spec.offers, l)).collect();
+            let steps = lanes.iter().map(|o| o.len()).max().unwrap();
+            let mut batch = BatchedEngine::try_new(derived_for(&tdg), 2, true, width)
+                .expect("single-input constant-weight DAGs are batchable");
+            let mut outputs: Vec<Vec<Option<(u64, Time, u64)>>> = vec![Vec::new(); width];
+            let mut offers = vec![None; width];
+            for k in 0..steps {
+                for (l, lane) in lanes.iter().enumerate() {
+                    offers[l] = lane.get(k).map(|&u| (Time::from_ticks(u), 0));
+                }
+                batch.set_input_batch(k as u64, &offers);
+                for (l, offer) in offers.iter().enumerate() {
+                    if offer.is_some() {
+                        outputs[l].push(batch.next_output(l, 0));
+                    }
+                }
+            }
+            for l in 0..width {
+                let (ref_outputs, compiled, worklist) = &scalar[l];
+                prop_assert_eq!(&outputs[l], ref_outputs, "width={} lane={}", width, l);
+                for r in 0..2 {
+                    prop_assert_eq!(
+                        batch.instants(l, r),
+                        compiled.instants(r),
+                        "width={} lane={} relation={}",
+                        width, l, r
+                    );
+                }
+                // Full counter equality against the scalar compiled engine;
+                // the worklist evaluates arcs on demand, so only the
+                // node/iteration counters are comparable there.
+                prop_assert_eq!(
+                    scalar_view(batch.lane_stats(l)),
+                    compiled.stats(),
+                    "width={} lane={}",
+                    width, l
+                );
+                prop_assert_eq!(batch.lane_stats(l).nodes_computed, worklist.stats().nodes_computed);
+                prop_assert_eq!(
+                    batch.lane_stats(l).iterations_completed,
+                    worklist.stats().iterations_completed
+                );
+            }
+            prop_assert_eq!(batch.stats().lanes_evaluated, width as u64);
+            prop_assert_eq!(batch.stats().batched_iterations, steps as u64);
+        }
+    }
+
+    #[test]
+    fn batched_lanes_agree_on_padded_pipelines(
+        stages in 1usize..5,
+        base in 10u64..200,
+        per_unit in 0u64..5,
+        padding in 0usize..32,
+        offers in proptest::collection::vec((0u64..900, 1u64..64), 2..12),
+    ) {
+        let p = synthetic::pipeline(stages, base, per_unit).expect("pipeline builds");
+        let relations = p.arch.app().relations().len();
+
+        // Lane variants: shifted arrival phases, rotated sizes, truncated
+        // lengths — every lane is a genuinely different scenario.
+        let lane_arrivals = |lane: usize| -> Vec<Arrival> {
+            let len = (offers.len() - lane % offers.len()).max(1);
+            let mut at = 0u64;
+            offers[..len]
+                .iter()
+                .enumerate()
+                .map(|(k, &(gap, size))| {
+                    at += gap + 11 * lane as u64;
+                    Arrival {
+                        at: Time::from_ticks(at),
+                        size: 1 + (size + 5 * lane as u64) % 64,
+                    }
+                })
+                .collect()
+        };
+
+        let mut scalar: Vec<(ScenarioOutcome, ScenarioOutcome)> = Vec::new();
+        for lane in 0..MAX_WIDTH {
+            let arrivals = lane_arrivals(lane);
+            let mut per_backend = Vec::new();
+            for backend in [EvalBackend::Compiled, EvalBackend::Worklist] {
+                let mut derived = derive_tdg(&p.arch).expect("pipeline derives");
+                if padding > 0 {
+                    derived.map_tdg(|tdg| synthetic::pad(tdg, padding));
+                }
+                let mut engine = Engine::with_backend(derived, relations, true, backend);
+                per_backend.push(drive_engine(&mut engine, &arrivals));
+            }
+            let worklist = per_backend.pop().unwrap();
+            let compiled = per_backend.pop().unwrap();
+            scalar.push((compiled, worklist));
+        }
+
+        for width in WIDTHS {
+            let traces: Vec<Vec<Arrival>> = (0..width).map(&lane_arrivals).collect();
+            let slices: Vec<&[Arrival]> = traces.iter().map(|t| t.as_slice()).collect();
+            let mut derived = derive_tdg(&p.arch).expect("pipeline derives");
+            if padding > 0 {
+                derived.map_tdg(|tdg| synthetic::pad(tdg, padding));
+            }
+            let mut batch = BatchedEngine::try_new(derived, relations, true, width)
+                .expect("pipelines are batchable");
+            let outcomes = drive_batch(&mut batch, &slices);
+            for (l, outcome) in outcomes.iter().enumerate() {
+                let (compiled, worklist) = &scalar[l];
+                prop_assert_eq!(&outcome.outputs, &compiled.outputs, "width={} lane={}", width, l);
+                prop_assert_eq!(&outcome.input_acks, &compiled.input_acks, "width={} lane={}", width, l);
+                prop_assert_eq!(
+                    canonical(outcome.exec_records.clone()),
+                    canonical(compiled.exec_records.clone()),
+                    "width={} lane={} exec records",
+                    width, l
+                );
+                prop_assert_eq!(
+                    scalar_view(outcome.engine_stats),
+                    compiled.engine_stats,
+                    "width={} lane={} counters",
+                    width, l
+                );
+                prop_assert_eq!(&outcome.outputs, &worklist.outputs);
+                prop_assert_eq!(
+                    canonical(outcome.exec_records.clone()),
+                    canonical(worklist.exec_records.clone())
+                );
+                prop_assert_eq!(
+                    outcome.engine_stats.nodes_computed,
+                    worklist.engine_stats.nodes_computed
+                );
+                prop_assert_eq!(
+                    outcome.engine_stats.iterations_completed,
+                    worklist.engine_stats.iterations_completed
+                );
+                prop_assert_eq!(outcome.boundary_events, compiled.boundary_events);
+            }
+        }
+    }
+}
+
+/// The ejection path: a two-input graph is rejected by the batch gate with
+/// a stable reason, and the scalar engine the lane falls back to still
+/// matches the worklist reference bit for bit.
+#[test]
+fn ejected_lanes_fall_back_to_conforming_scalar_engines() {
+    let mut b = TdgBuilder::new();
+    let in_a = b.add_node("inA", NodeKind::Input { relation: RelationId::from_index(0) });
+    let in_b = b.add_node("inB", NodeKind::Input { relation: RelationId::from_index(1) });
+    let mid = b.add_node("mid", NodeKind::Padding);
+    let out = b.add_node("out", NodeKind::Output { relation: RelationId::from_index(2) });
+    b.add_arc(in_a, mid, 0, Weight::constant(40));
+    b.add_arc(in_b, mid, 0, Weight::constant(60));
+    b.add_arc(mid, out, 0, Weight::constant(10));
+    b.add_arc(out, mid, 1, Weight::constant(5));
+    let tdg = b.build().expect("two-input diamond builds");
+    let rules = vec![
+        evolve_core::SizeRule::External,
+        evolve_core::SizeRule::External,
+        evolve_core::SizeRule::Derived { from: None, model: evolve_model::SizeModel::Same },
+    ];
+
+    let err = BatchedEngine::try_new(DerivedTdg::new(tdg.clone(), rules.clone()), 3, true, 4)
+        .expect_err("two inputs cannot run in lockstep lanes");
+    assert!(matches!(err, BatchUnsupported::MultiInput { inputs: 2 }));
+    assert_eq!(err.reason(), "multi_input");
+
+    // The fallback pair: scalar compiled vs worklist on the same drive.
+    let mut compiled =
+        Engine::with_backend(DerivedTdg::new(tdg.clone(), rules.clone()), 3, true, EvalBackend::Compiled);
+    let mut worklist =
+        Engine::with_backend(DerivedTdg::new(tdg, rules), 3, true, EvalBackend::Worklist);
+    for k in 0..12u64 {
+        for engine in [&mut compiled, &mut worklist] {
+            engine.set_input(0, k, Time::from_ticks(k * 100), 8);
+            engine.set_input(1, k, Time::from_ticks(k * 100 + 30), 8);
+        }
+        assert_eq!(compiled.next_output(0), worklist.next_output(0), "k={k}");
+    }
+    for r in 0..3 {
+        assert_eq!(compiled.instants(r), worklist.instants(r), "relation {r}");
+    }
+    assert_eq!(compiled.stats().nodes_computed, worklist.stats().nodes_computed);
+    assert_eq!(compiled.stats().iterations_completed, worklist.stats().iterations_completed);
+}
+
+/// The didactic chain at every width, driven through the sweep boundary
+/// semantics — the realistic derived structure with execution pairs,
+/// back-pressure, and data-dependent loads.
+#[test]
+fn batched_lanes_agree_on_didactic_chains() {
+    for stages in 1..=2usize {
+        let d = evolve_model::didactic::chained(stages, evolve_model::didactic::Params::default())
+            .unwrap();
+        let relations = d.arch.app().relations().len();
+        let lane_arrivals = |lane: usize| -> Vec<Arrival> {
+            (0..30u64 - lane as u64)
+                .map(|k| Arrival {
+                    at: Time::from_ticks(k * (250 + 40 * lane as u64)),
+                    size: 1 + (k * 7 + lane as u64) % 61,
+                })
+                .collect()
+        };
+        for width in WIDTHS {
+            let traces: Vec<Vec<Arrival>> = (0..width).map(&lane_arrivals).collect();
+            let slices: Vec<&[Arrival]> = traces.iter().map(|t| t.as_slice()).collect();
+            let mut batch =
+                BatchedEngine::try_new(derive_tdg(&d.arch).unwrap(), relations, true, width)
+                    .expect("didactic chains are batchable");
+            let outcomes = drive_batch(&mut batch, &slices);
+            for (l, outcome) in outcomes.iter().enumerate() {
+                let mut engine = Engine::with_backend(
+                    derive_tdg(&d.arch).unwrap(),
+                    relations,
+                    true,
+                    EvalBackend::Compiled,
+                );
+                let reference = drive_engine(&mut engine, &traces[l]);
+                assert_eq!(outcome.outputs, reference.outputs, "stages={stages} width={width} lane={l}");
+                assert_eq!(outcome.input_acks, reference.input_acks);
+                assert_eq!(
+                    canonical(outcome.exec_records.clone()),
+                    canonical(reference.exec_records.clone()),
+                    "stages={stages} width={width} lane={l}"
+                );
+                assert_eq!(scalar_view(outcome.engine_stats), reference.engine_stats);
+            }
+        }
+    }
+}

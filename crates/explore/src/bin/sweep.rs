@@ -11,8 +11,10 @@
 //!
 //! Options: `--threads N` (worker count, default: host parallelism),
 //! `--scenarios N` (batch size, default 32), `--tokens N` (trace length,
-//! default 200), `--compare` (also run the conventional DES model per
-//! scenario), `--out PATH` (report path, default `results/sweep.json`).
+//! default 200), `--batch N` (lockstep lanes per `BatchedEngine`, default
+//! 8; `1` disables batching), `--compare` (also run the conventional DES
+//! model per scenario), `--out PATH` (report path, default
+//! `results/sweep.json`).
 
 use std::path::PathBuf;
 
@@ -24,11 +26,12 @@ struct Options {
     threads: usize,
     scenarios: u64,
     tokens: u64,
+    batch: usize,
     compare: bool,
     out: PathBuf,
 }
 
-const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--compare] [--out PATH]";
+const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--batch N] [--compare] [--out PATH]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}\n{USAGE}");
@@ -40,6 +43,7 @@ fn parse_args() -> Options {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         scenarios: 32,
         tokens: 200,
+        batch: 8,
         compare: false,
         out: PathBuf::from("results/sweep.json"),
     };
@@ -57,6 +61,12 @@ fn parse_args() -> Options {
             "--threads" => options.threads = parsed("--threads", value("--threads")) as usize,
             "--scenarios" => options.scenarios = parsed("--scenarios", value("--scenarios")),
             "--tokens" => options.tokens = parsed("--tokens", value("--tokens")),
+            "--batch" => {
+                options.batch = parsed("--batch", value("--batch")) as usize;
+                if options.batch == 0 {
+                    usage_error("--batch expects a width >= 1");
+                }
+            }
             "--compare" => options.compare = true,
             "--out" => options.out = PathBuf::from(value("--out")),
             "--help" | "-h" => {
@@ -108,10 +118,11 @@ fn main() {
     let options = parse_args();
     let scenarios = scenario_grid(options.scenarios, options.tokens);
     eprintln!(
-        "sweeping {} scenarios × {} tokens on {} threads",
+        "sweeping {} scenarios × {} tokens on {} threads, batch width {}",
         scenarios.len(),
         options.tokens,
-        options.threads
+        options.threads,
+        options.batch,
     );
 
     let parallel = run_sweep(
@@ -119,6 +130,7 @@ fn main() {
         &SweepConfig {
             threads: options.threads,
             compare_conventional: options.compare,
+            batch_width: options.batch,
             ..SweepConfig::default()
         },
     );
@@ -127,9 +139,23 @@ fn main() {
         &SweepConfig {
             threads: 1,
             compare_conventional: options.compare,
+            batch_width: options.batch,
             ..SweepConfig::default()
         },
     );
+    // Batching headline: the same parallel sweep with lockstep lanes
+    // disabled, so the report carries a scenarios/second comparison.
+    let unbatched = (options.batch > 1).then(|| {
+        run_sweep(
+            &scenarios,
+            &SweepConfig {
+                threads: options.threads,
+                compare_conventional: options.compare,
+                batch_width: 1,
+                ..SweepConfig::default()
+            },
+        )
+    });
 
     let mut identical = true;
     for (p, s) in parallel.scenarios.iter().zip(&sequential.scenarios) {
@@ -146,17 +172,39 @@ fn main() {
         speedup,
         if identical { "bitwise identical" } else { "DIVERGED" },
     );
+    let batch_speedup = unbatched.as_ref().map(|u| {
+        let gain = parallel.scenarios_per_second() / u.scenarios_per_second().max(1e-12);
+        eprintln!(
+            "batched {:.0} scenarios/s vs unbatched {:.0} scenarios/s — {:.2}× (lanes batched: {})",
+            parallel.scenarios_per_second(),
+            u.scenarios_per_second(),
+            gain,
+            parallel.batching.lanes_batched,
+        );
+        gain
+    });
 
-    let doc = Json::object([
+    let mut fields = vec![
         ("threads", Json::U64(parallel.threads as u64)),
         ("scenario_count", Json::U64(parallel.scenarios.len() as u64)),
         ("tokens_per_scenario", Json::U64(options.tokens)),
+        ("batch_width", Json::U64(options.batch as u64)),
         ("parallel_wall_ns", Json::U64(parallel.wall.as_nanos() as u64)),
         ("sequential_wall_ns", Json::U64(sequential.wall.as_nanos() as u64)),
         ("parallel_speedup", Json::F64(speedup)),
+        ("scenarios_per_second", Json::F64(parallel.scenarios_per_second())),
         ("outcomes_identical", Json::Bool(identical)),
-        ("report", parallel.to_json()),
-    ]);
+    ];
+    if let (Some(gain), Some(u)) = (batch_speedup, unbatched.as_ref()) {
+        fields.push(("unbatched_wall_ns", Json::U64(u.wall.as_nanos() as u64)));
+        fields.push((
+            "unbatched_scenarios_per_second",
+            Json::F64(u.scenarios_per_second()),
+        ));
+        fields.push(("batch_speedup", Json::F64(gain)));
+    }
+    fields.push(("report", parallel.to_json()));
+    let doc = Json::object(fields);
     if let Some(parent) = options.out.parent() {
         std::fs::create_dir_all(parent).expect("create results directory");
     }

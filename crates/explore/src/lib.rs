@@ -53,9 +53,9 @@ pub mod sweep;
 pub use evolve_core::EvalBackend;
 pub use json::Json;
 pub use sweep::{
-    drive_engine, parallel_map, parallel_map_with, run_sweep, ModelKind, ModelSpec,
-    ReferenceComparison, ScenarioOutcome, ScenarioResult, ScenarioSpec, SweepConfig, SweepReport,
-    TraceSpec,
+    drive_batch, drive_engine, parallel_map, parallel_map_with, run_sweep, BatchingStats,
+    ModelKind, ModelSpec, ReferenceComparison, ScenarioOutcome, ScenarioResult, ScenarioSpec,
+    SweepConfig, SweepReport, TraceSpec,
 };
 
 use evolve_core::{analysis, derive_tdg, equivalent_simulation, EquivalentError};

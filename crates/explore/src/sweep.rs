@@ -22,6 +22,14 @@
 //!   hundreds of traces over a handful of models derives each graph once
 //!   per worker and allocates no per-scenario ring buffers.
 //!
+//! With [`SweepConfig::batch_width`] above one, compiled-backend scenarios
+//! sharing a [`ModelSpec`] are additionally grouped into lockstep lanes of a
+//! [`BatchedEngine`], amortizing the schedule walk across the batch;
+//! scenarios the batch gate rejects (worklist backend, empty traces,
+//! leftover single lanes, unsupported graph shapes) are *ejected* to the
+//! scalar path — never dropped — and counted per reason in
+//! [`SweepReport::batching`].
+//!
 //! ```
 //! use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
 //!
@@ -45,7 +53,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration as HostDuration, Instant};
 
-use evolve_core::{derive_tdg, synthetic, Engine, EngineStats, EvalBackend};
+use evolve_core::{
+    derive_tdg, synthetic, BatchUnsupported, BatchedEngine, Engine, EngineStats, EvalBackend,
+};
 use evolve_des::{SplitMix64, Time};
 use evolve_model::{
     didactic, elaborate, Architecture, Arrival, Environment, ExecRecord, RelationId, Stimulus,
@@ -208,7 +218,12 @@ pub struct ScenarioResult {
     pub backend: EvalBackend,
     /// Whether this evaluation reused a previously derived engine.
     pub reused_engine: bool,
-    /// Host wall-clock time of the engine drive.
+    /// Whether this scenario ran as a lane of a [`BatchedEngine`] (as
+    /// opposed to the scalar per-scenario path).
+    pub batched: bool,
+    /// Host wall-clock time of the engine drive. For batched scenarios
+    /// this is the batch drive time divided by the lane count — the
+    /// per-lane amortized cost, comparable to the scalar wall.
     pub wall: HostDuration,
     /// Conventional-reference comparison, when requested.
     pub reference: Option<ReferenceComparison>,
@@ -262,6 +277,10 @@ pub struct SweepConfig {
     /// Table I. `0` = the kernel's native dispatch cost. The engine drive
     /// has no kernel, so this only affects the reference side.
     pub reference_dispatch_cost_ns: u64,
+    /// Maximum lanes per [`BatchedEngine`] batch. `1` (the default)
+    /// disables batching entirely and every scenario takes the scalar
+    /// path; see `docs/SWEEP.md` for tuning guidance.
+    pub batch_width: usize,
 }
 
 impl Default for SweepConfig {
@@ -271,7 +290,55 @@ impl Default for SweepConfig {
             record_observations: true,
             compare_conventional: false,
             reference_dispatch_cost_ns: 0,
+            batch_width: 1,
         }
+    }
+}
+
+/// Aggregate counters of the batched scheduling layer, reported in
+/// `results/sweep.json` so batching efficacy is observable without a
+/// profiler.
+///
+/// Every scenario of a sweep is either a batched lane
+/// ([`lanes_batched`](Self::lanes_batched)) or a scalar evaluation
+/// ([`lanes_scalar`](Self::lanes_scalar)); the `eject_*` counters break the
+/// scalar side down by the reason the batching layer turned the scenario
+/// away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchingStats {
+    /// The configured [`SweepConfig::batch_width`].
+    pub batch_width: usize,
+    /// Lockstep batches driven to completion.
+    pub batches_formed: u64,
+    /// Scenarios evaluated as lanes of a batch.
+    pub lanes_batched: u64,
+    /// Scenarios evaluated on the scalar per-scenario path (including all
+    /// scenarios of a sweep with batching disabled).
+    pub lanes_scalar: u64,
+    /// Lockstep `set_input_batch` sweeps executed across all batches.
+    pub lockstep_iterations: u64,
+    /// Scenarios ejected because their model uses the worklist backend.
+    pub eject_worklist: u64,
+    /// Scenarios ejected because their trace offers no tokens.
+    pub eject_empty_trace: u64,
+    /// Scenarios ejected because their model group had a leftover single
+    /// lane (a one-lane batch would only add overhead).
+    pub eject_single_lane: u64,
+    /// Scenarios ejected because [`BatchedEngine`] rejected the graph shape
+    /// (multi-input, output acks, long size-derivation delays).
+    pub eject_unsupported: u64,
+}
+
+impl BatchingStats {
+    fn absorb(&mut self, other: BatchingStats) {
+        self.batches_formed += other.batches_formed;
+        self.lanes_batched += other.lanes_batched;
+        self.lanes_scalar += other.lanes_scalar;
+        self.lockstep_iterations += other.lockstep_iterations;
+        self.eject_worklist += other.eject_worklist;
+        self.eject_empty_trace += other.eject_empty_trace;
+        self.eject_single_lane += other.eject_single_lane;
+        self.eject_unsupported += other.eject_unsupported;
     }
 }
 
@@ -283,6 +350,8 @@ pub struct SweepReport {
     pub threads: usize,
     /// Per-scenario results, ordered by [`ScenarioResult::index`].
     pub scenarios: Vec<ScenarioResult>,
+    /// Counters of the batched scheduling layer.
+    pub batching: BatchingStats,
     /// Host wall-clock time of the whole sweep.
     pub wall: HostDuration,
 }
@@ -295,8 +364,16 @@ impl SweepReport {
             total.nodes_computed += s.outcome.engine_stats.nodes_computed;
             total.arcs_evaluated += s.outcome.engine_stats.arcs_evaluated;
             total.iterations_completed += s.outcome.engine_stats.iterations_completed;
+            total.lanes_evaluated += s.outcome.engine_stats.lanes_evaluated;
+            total.batched_iterations += s.outcome.engine_stats.batched_iterations;
         }
         total
+    }
+
+    /// Sweep throughput in scenarios per second of host wall-clock — the
+    /// headline exploration metric.
+    pub fn scenarios_per_second(&self) -> f64 {
+        self.scenarios.len() as f64 / self.wall.as_secs_f64().max(1e-12)
     }
 
     /// Scenarios that reused a previously derived engine.
@@ -316,6 +393,7 @@ impl SweepReport {
                 "total_engine_stats",
                 engine_stats_json(&totals),
             ),
+            ("batching", batching_json(&self.batching)),
             (
                 "scenarios",
                 Json::Array(self.scenarios.iter().map(scenario_json).collect()),
@@ -341,6 +419,27 @@ fn engine_stats_json(stats: &EngineStats) -> Json {
         ("nodes_computed", Json::U64(stats.nodes_computed)),
         ("arcs_evaluated", Json::U64(stats.arcs_evaluated)),
         ("iterations_completed", Json::U64(stats.iterations_completed)),
+        ("lanes_evaluated", Json::U64(stats.lanes_evaluated)),
+        ("batched_iterations", Json::U64(stats.batched_iterations)),
+    ])
+}
+
+fn batching_json(b: &BatchingStats) -> Json {
+    Json::object([
+        ("batch_width", Json::U64(b.batch_width as u64)),
+        ("batches_formed", Json::U64(b.batches_formed)),
+        ("lanes_batched", Json::U64(b.lanes_batched)),
+        ("lanes_scalar", Json::U64(b.lanes_scalar)),
+        ("lockstep_iterations", Json::U64(b.lockstep_iterations)),
+        (
+            "ejections",
+            Json::object([
+                ("worklist", Json::U64(b.eject_worklist)),
+                ("empty_trace", Json::U64(b.eject_empty_trace)),
+                ("single_lane", Json::U64(b.eject_single_lane)),
+                ("unsupported", Json::U64(b.eject_unsupported)),
+            ]),
+        ),
     ])
 }
 
@@ -352,6 +451,7 @@ fn scenario_json(s: &ScenarioResult) -> Json {
         ("nodes", Json::U64(s.nodes as u64)),
         ("backend", Json::str(s.backend.as_str())),
         ("reused_engine", Json::Bool(s.reused_engine)),
+        ("batched", Json::Bool(s.batched)),
         ("outputs", Json::U64(s.outcome.outputs.len() as u64)),
         ("makespan_ticks", Json::U64(makespan)),
         ("boundary_events", Json::U64(s.outcome.boundary_events)),
@@ -483,6 +583,43 @@ fn prepare(spec: &ModelSpec, record_observations: bool) -> PreparedModel {
     }
 }
 
+/// A batched model cached by a sweep worker: one [`BatchedEngine`] reset
+/// (and re-laned) between batches of the same [`ModelSpec`].
+struct PreparedBatch {
+    engine: BatchedEngine,
+    arch: Architecture,
+    input: RelationId,
+    output: RelationId,
+    resource_count: usize,
+    nodes: usize,
+    uses: usize,
+}
+
+fn prepare_batch(
+    spec: &ModelSpec,
+    record_observations: bool,
+    lanes: usize,
+) -> Result<PreparedBatch, BatchUnsupported> {
+    let (arch, input, output) = spec.build();
+    let mut derived = derive_tdg(&arch).expect("sweep models derive");
+    if spec.padding > 0 {
+        derived.map_tdg(|tdg| synthetic::pad(tdg, spec.padding));
+    }
+    let nodes = derived.tdg().node_count();
+    let relation_count = arch.app().relations().len();
+    let engine = BatchedEngine::try_new(derived, relation_count, record_observations, lanes)?;
+    let resource_count = arch.platform().len();
+    Ok(PreparedBatch {
+        engine,
+        arch,
+        input,
+        output,
+        resource_count,
+        nodes,
+        uses: 0,
+    })
+}
+
 /// Drives a single-input, single-output engine through `arrivals` without a
 /// simulation kernel, reproducing the boundary semantics of the equivalent
 /// model's processes: the `k`-th offer lands at
@@ -535,12 +672,101 @@ pub fn drive_engine(engine: &mut Engine, arrivals: &[Arrival]) -> ScenarioOutcom
     outcome
 }
 
+/// Drives `traces.len()` independent input traces through the lanes of a
+/// [`BatchedEngine`] in lockstep, reproducing [`drive_engine`]'s boundary
+/// semantics per lane: lane `l`'s `k`-th offer lands at
+/// `max(arrival(l, k), ack(l, k-1))` and the always-ready sink acknowledges
+/// outputs at their computed instants. Lanes with shorter traces simply
+/// stop offering — the engine keeps sweeping the remaining lanes.
+///
+/// The engine must be fresh or [`BatchedEngine::reset`] with exactly
+/// `traces.len()` lanes. As with [`drive_engine`], the returned outcomes'
+/// [`busy_ticks`](ScenarioOutcome::busy_ticks) are left empty.
+///
+/// Exec-record *order* within a lane may differ from the scalar engine's
+/// (the batched sweep replays observations in schedule order, the scalar
+/// worklist in drain order); the multiset of records is identical, as the
+/// batched conformance suite pins down.
+///
+/// # Panics
+///
+/// Panics if the lane count mismatches or an acknowledgment fails to
+/// resolve ([`BatchedEngine`]s are gated to single-input, ack-free graphs
+/// at construction).
+pub fn drive_batch(engine: &mut BatchedEngine, traces: &[&[Arrival]]) -> Vec<ScenarioOutcome> {
+    let lanes = traces.len();
+    assert_eq!(engine.lanes(), lanes, "one trace per engine lane");
+    let mut outcomes = vec![ScenarioOutcome::default(); lanes];
+    let mut prev_ack: Vec<Option<Time>> = vec![None; lanes];
+    let mut offers: Vec<Option<(Time, u64)>> = vec![None; lanes];
+    let steps = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    for k in 0..steps as u64 {
+        for (l, trace) in traces.iter().enumerate() {
+            offers[l] = trace.get(k as usize).map(|arrival| {
+                let offer = match prev_ack[l] {
+                    Some(ack) if ack > arrival.at => ack,
+                    _ => arrival.at,
+                };
+                (offer, arrival.size)
+            });
+        }
+        engine.set_input_batch(k, &offers);
+        for (l, offer) in offers.iter().enumerate() {
+            if offer.is_none() {
+                continue;
+            }
+            while let Some((ok, y, size)) = engine.next_output(l, 0) {
+                outcomes[l].outputs.push((ok, y.ticks(), size));
+            }
+            let ack = engine
+                .ack_instant(l, k)
+                .expect("single-input batched lanes ack every lockstep iteration");
+            outcomes[l].input_acks.push(ack.ticks());
+            prev_ack[l] = Some(ack);
+        }
+    }
+    for (l, outcome) in outcomes.iter_mut().enumerate() {
+        outcome.boundary_events = traces[l].len() as u64 + outcome.outputs.len() as u64;
+        outcome.engine_stats = engine.lane_stats(l);
+        outcome.exec_records = engine.exec_records(l).to_vec();
+    }
+    outcomes
+}
+
 fn busy_per_resource(records: &[ExecRecord], resources: usize) -> Vec<u64> {
     let mut busy = vec![0u64; resources];
     for r in records {
         busy[r.resource.index()] += r.end.ticks() - r.start.ticks();
     }
     busy
+}
+
+/// Re-runs one scenario on the conventional discrete-event model and
+/// compares it against an engine-drive outcome (scalar or batched lane).
+fn reference_for(
+    arch: &Architecture,
+    input: RelationId,
+    output: RelationId,
+    stimulus: &Stimulus,
+    outcome: &ScenarioOutcome,
+    config: &SweepConfig,
+) -> ReferenceComparison {
+    let env = Environment::new().stimulus(input, stimulus.clone());
+    let mut sim = elaborate(arch, &env).expect("conventional model builds");
+    sim.kernel_mut()
+        .set_dispatch_cost_ns(config.reference_dispatch_cost_ns);
+    let report = sim.run();
+    let accurate = report
+        .instants(output)
+        .iter()
+        .map(|t| t.ticks())
+        .eq(outcome.outputs.iter().map(|&(_, y, _)| y));
+    ReferenceComparison {
+        wall: report.wall,
+        events: report.relation_events(),
+        activations: report.stats.activations,
+        accurate,
+    }
 }
 
 /// Evaluates one scenario on a worker-cached engine.
@@ -566,22 +792,14 @@ fn evaluate(
     outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
 
     let reference = config.compare_conventional.then(|| {
-        let env = Environment::new().stimulus(prepared.input, stimulus.clone());
-        let mut sim = elaborate(&prepared.arch, &env).expect("conventional model builds");
-        sim.kernel_mut()
-            .set_dispatch_cost_ns(config.reference_dispatch_cost_ns);
-        let report = sim.run();
-        let accurate = report
-            .instants(prepared.output)
-            .iter()
-            .map(|t| t.ticks())
-            .eq(outcome.outputs.iter().map(|&(_, y, _)| y));
-        ReferenceComparison {
-            wall: report.wall,
-            events: report.relation_events(),
-            activations: report.stats.activations,
-            accurate,
-        }
+        reference_for(
+            &prepared.arch,
+            prepared.input,
+            prepared.output,
+            &stimulus,
+            &outcome,
+            config,
+        )
     });
 
     ScenarioResult {
@@ -591,8 +809,209 @@ fn evaluate(
         nodes: prepared.nodes,
         backend: spec.model.backend,
         reused_engine,
+        batched: false,
         wall,
         reference,
+    }
+}
+
+/// Why the batching layer sent a scenario down the scalar path.
+enum ScalarReason {
+    /// Batching disabled (`batch_width <= 1`) — not an ejection.
+    BatchingOff,
+    /// The model runs on the worklist backend.
+    Worklist,
+    /// The trace offers no tokens.
+    EmptyTrace,
+    /// The model group's leftover lane after full batches were carved off.
+    SingleLane,
+}
+
+/// A unit of worker-schedulable work: one scalar scenario or one lockstep
+/// batch of scenarios sharing a [`ModelSpec`].
+enum WorkUnit {
+    Scalar {
+        index: usize,
+        spec: ScenarioSpec,
+        reason: ScalarReason,
+    },
+    Batch(Vec<(usize, ScenarioSpec)>),
+}
+
+/// Partitions the sweep into work units: compiled-backend scenarios with
+/// non-empty traces are grouped by [`ModelSpec`] into batches of up to
+/// `batch_width` lanes (in input order, so grouping is deterministic);
+/// everything else — and leftover single lanes — becomes a scalar unit.
+fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit> {
+    let width = config.batch_width.max(1);
+    let mut units = Vec::new();
+    if width == 1 {
+        for (index, spec) in scenarios.iter().cloned().enumerate() {
+            units.push(WorkUnit::Scalar {
+                index,
+                spec,
+                reason: ScalarReason::BatchingOff,
+            });
+        }
+        return units;
+    }
+    // First-seen order keeps unit formation deterministic; the model count
+    // per sweep is small, so a linear scan beats a map here.
+    let mut pending: Vec<(ModelSpec, Vec<(usize, ScenarioSpec)>)> = Vec::new();
+    for (index, spec) in scenarios.iter().cloned().enumerate() {
+        if spec.model.backend == EvalBackend::Worklist {
+            units.push(WorkUnit::Scalar {
+                index,
+                spec,
+                reason: ScalarReason::Worklist,
+            });
+        } else if spec.trace.tokens == 0 {
+            units.push(WorkUnit::Scalar {
+                index,
+                spec,
+                reason: ScalarReason::EmptyTrace,
+            });
+        } else {
+            let pos = match pending.iter().position(|(m, _)| *m == spec.model) {
+                Some(pos) => pos,
+                None => {
+                    pending.push((spec.model.clone(), Vec::new()));
+                    pending.len() - 1
+                }
+            };
+            let group = &mut pending[pos].1;
+            group.push((index, spec));
+            if group.len() == width {
+                units.push(WorkUnit::Batch(std::mem::take(group)));
+            }
+        }
+    }
+    for (_, group) in pending {
+        match group.len() {
+            0 => {}
+            1 => {
+                let (index, spec) = group.into_iter().next().expect("len checked");
+                units.push(WorkUnit::Scalar {
+                    index,
+                    spec,
+                    reason: ScalarReason::SingleLane,
+                });
+            }
+            _ => units.push(WorkUnit::Batch(group)),
+        }
+    }
+    units
+}
+
+/// Per-worker engine caches: scalar engines and batched engines are cached
+/// separately (both keyed by [`ModelSpec`]), since an ejected lane must not
+/// poison — or be poisoned by — the batch cache.
+#[derive(Default)]
+struct WorkerState {
+    scalar: HashMap<ModelSpec, PreparedModel>,
+    batch: HashMap<ModelSpec, Result<PreparedBatch, BatchUnsupported>>,
+}
+
+/// Evaluates one batch unit. If the model turns out to be unsupported by
+/// [`BatchedEngine`] (discovered once per model, then cached), every lane
+/// is ejected to the scalar path.
+fn evaluate_batch(
+    state: &mut WorkerState,
+    group: Vec<(usize, ScenarioSpec)>,
+    config: &SweepConfig,
+    stats: &mut BatchingStats,
+) -> Vec<ScenarioResult> {
+    let width = group.len();
+    let model = &group[0].1.model;
+    let entry = state
+        .batch
+        .entry(model.clone())
+        .or_insert_with(|| prepare_batch(model, config.record_observations, width));
+    let prepared = match entry {
+        Ok(prepared) => prepared,
+        Err(_) => {
+            let mut out = Vec::with_capacity(width);
+            for (index, spec) in &group {
+                stats.eject_unsupported += 1;
+                stats.lanes_scalar += 1;
+                out.push(evaluate(&mut state.scalar, *index, spec, config));
+            }
+            return out;
+        }
+    };
+    let reused_engine = prepared.uses > 0;
+    if reused_engine {
+        prepared.engine.reset(width);
+    }
+    prepared.uses += 1;
+
+    let stimuli: Vec<Stimulus> = group.iter().map(|(_, s)| s.trace.stimulus()).collect();
+    let traces: Vec<&[Arrival]> = stimuli.iter().map(|s| s.arrivals()).collect();
+    let start = Instant::now();
+    let outcomes = drive_batch(&mut prepared.engine, &traces);
+    let wall = start.elapsed() / width as u32;
+
+    stats.batches_formed += 1;
+    stats.lanes_batched += width as u64;
+    stats.lockstep_iterations += prepared.engine.stats().batched_iterations;
+
+    group
+        .into_iter()
+        .zip(outcomes)
+        .zip(stimuli)
+        .map(|(((index, spec), mut outcome), stimulus)| {
+            outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
+            let reference = config.compare_conventional.then(|| {
+                reference_for(
+                    &prepared.arch,
+                    prepared.input,
+                    prepared.output,
+                    &stimulus,
+                    &outcome,
+                    config,
+                )
+            });
+            ScenarioResult {
+                index,
+                label: spec.label,
+                outcome,
+                nodes: prepared.nodes,
+                backend: spec.model.backend,
+                reused_engine,
+                batched: true,
+                wall,
+                reference,
+            }
+        })
+        .collect()
+}
+
+fn process_unit(
+    state: &mut WorkerState,
+    unit: WorkUnit,
+    config: &SweepConfig,
+) -> (Vec<ScenarioResult>, BatchingStats) {
+    let mut stats = BatchingStats::default();
+    match unit {
+        WorkUnit::Scalar {
+            index,
+            spec,
+            reason,
+        } => {
+            stats.lanes_scalar += 1;
+            match reason {
+                ScalarReason::BatchingOff => {}
+                ScalarReason::Worklist => stats.eject_worklist += 1,
+                ScalarReason::EmptyTrace => stats.eject_empty_trace += 1,
+                ScalarReason::SingleLane => stats.eject_single_lane += 1,
+            }
+            let result = evaluate(&mut state.scalar, index, &spec, config);
+            (vec![result], stats)
+        }
+        WorkUnit::Batch(group) => {
+            let results = evaluate_batch(state, group, config, &mut stats);
+            (results, stats)
+        }
     }
 }
 
@@ -602,7 +1021,9 @@ fn evaluate(
 /// Outcomes are deterministic: for any thread count the per-scenario
 /// [`ScenarioOutcome`]s are bitwise identical (only host wall-clock fields
 /// differ). Workers cache one engine per distinct [`ModelSpec`] and reuse
-/// it via [`Engine::reset`] between traces.
+/// it via [`Engine::reset`] between traces; with
+/// [`SweepConfig::batch_width`] above one, compiled scenarios additionally
+/// share lockstep [`BatchedEngine`] batches.
 ///
 /// # Panics
 ///
@@ -610,16 +1031,34 @@ fn evaluate(
 /// programmer-controlled), or if a worker panics.
 pub fn run_sweep(scenarios: &[ScenarioSpec], config: &SweepConfig) -> SweepReport {
     let start = Instant::now();
-    let jobs: Vec<(usize, ScenarioSpec)> = scenarios.iter().cloned().enumerate().collect();
-    let results = parallel_map_with(
-        jobs,
+    let units = plan_units(scenarios, config);
+    let processed = parallel_map_with(
+        units,
         config.threads,
-        HashMap::new,
-        |cache, _, (index, spec)| evaluate(cache, index, &spec, config),
+        WorkerState::default,
+        |state, _, unit| process_unit(state, unit, config),
     );
+    let mut batching = BatchingStats {
+        batch_width: config.batch_width.max(1),
+        ..BatchingStats::default()
+    };
+    let mut results = Vec::with_capacity(scenarios.len());
+    for (unit_results, unit_stats) in processed {
+        results.extend(unit_results);
+        batching.absorb(unit_stats);
+    }
+    // The single ordering point of the report: units interleave scenario
+    // indices (batches pull scattered indices together), so re-sort by
+    // input index and assert the result is exactly a permutation back to
+    // 0..n — batching can drop or duplicate nothing silently.
+    results.sort_by_key(|r| r.index);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.index, i, "sweep results must cover every scenario exactly once");
+    }
     SweepReport {
         threads: config.threads.max(1),
         scenarios: results,
+        batching,
         wall: start.elapsed(),
     }
 }
@@ -721,5 +1160,141 @@ mod tests {
         let rendered = report.to_json().render();
         assert!(rendered.contains("\"scenario_count\":3"));
         assert!(rendered.contains("\"label\":\"s2\""));
+        assert!(rendered.contains("\"batching\""));
+        assert!(rendered.contains("\"lanes_scalar\":3"));
+    }
+
+    /// Execution records in a scheduling-independent canonical order: the
+    /// batched sweep replays them in schedule order, the scalar drive in
+    /// drain order, and only the multiset is part of the contract.
+    fn canonical(mut records: Vec<ExecRecord>) -> Vec<ExecRecord> {
+        records.sort_by_key(|r| (r.start, r.resource, r.function, r.stmt, r.k));
+        records
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_outcomes() {
+        // All-compiled scenarios over two models with mixed trace lengths,
+        // so batches form, lanes end at different lockstep iterations, and
+        // a leftover lane is ejected.
+        let scenarios: Vec<ScenarioSpec> = (0..11)
+            .map(|i| ScenarioSpec {
+                label: format!("b{i}"),
+                model: ModelSpec {
+                    kind: if i % 2 == 0 {
+                        ModelKind::Didactic { stages: 1 }
+                    } else {
+                        ModelKind::Pipeline { stages: 3, base: 50, per_unit: 2 }
+                    },
+                    padding: if i % 4 == 0 { 16 } else { 0 },
+                    backend: EvalBackend::Compiled,
+                },
+                trace: TraceSpec {
+                    tokens: 10 + 7 * (i % 3),
+                    min_size: 1,
+                    max_size: 32,
+                    mean_period: if i % 3 == 0 { 0 } else { 400 },
+                    seed: i,
+                },
+            })
+            .collect();
+        let scalar = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 1, batch_width: 1, ..SweepConfig::default() },
+        );
+        let batched = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 1, batch_width: 4, ..SweepConfig::default() },
+        );
+        assert!(batched.batching.lanes_batched > 0, "batches must actually form");
+        for (a, b) in scalar.scenarios.iter().zip(&batched.scenarios) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.outcome.outputs, b.outcome.outputs, "scenario {}", a.label);
+            assert_eq!(a.outcome.input_acks, b.outcome.input_acks, "scenario {}", a.label);
+            assert_eq!(a.outcome.engine_stats.nodes_computed, b.outcome.engine_stats.nodes_computed);
+            assert_eq!(a.outcome.engine_stats.arcs_evaluated, b.outcome.engine_stats.arcs_evaluated);
+            assert_eq!(
+                a.outcome.engine_stats.iterations_completed,
+                b.outcome.engine_stats.iterations_completed
+            );
+            assert_eq!(a.outcome.busy_ticks, b.outcome.busy_ticks, "scenario {}", a.label);
+            assert_eq!(a.outcome.boundary_events, b.outcome.boundary_events);
+            assert_eq!(
+                canonical(a.outcome.exec_records.clone()),
+                canonical(b.outcome.exec_records.clone()),
+                "scenario {}",
+                a.label
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_ordered_by_index_under_threads_and_batching() {
+        // Mixed backends scatter the indices across batch and scalar
+        // units; the report must still come back dense and in input order.
+        let scenarios = specs(13);
+        let report = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 4, batch_width: 3, ..SweepConfig::default() },
+        );
+        assert_eq!(report.scenarios.len(), scenarios.len());
+        for (i, s) in report.scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.label, format!("s{i}"));
+        }
+    }
+
+    #[test]
+    fn batching_stats_account_for_every_scenario() {
+        let model = ModelSpec {
+            kind: ModelKind::Didactic { stages: 1 },
+            padding: 0,
+            backend: EvalBackend::Compiled,
+        };
+        let trace = |tokens, seed| TraceSpec {
+            tokens,
+            min_size: 1,
+            max_size: 16,
+            mean_period: 0,
+            seed,
+        };
+        let mut scenarios: Vec<ScenarioSpec> = (0..5)
+            .map(|i| ScenarioSpec {
+                label: format!("c{i}"),
+                model: model.clone(),
+                trace: trace(8, i),
+            })
+            .collect();
+        scenarios.push(ScenarioSpec {
+            label: "worklist".into(),
+            model: ModelSpec { backend: EvalBackend::Worklist, ..model.clone() },
+            trace: trace(8, 99),
+        });
+        scenarios.push(ScenarioSpec {
+            label: "empty".into(),
+            model: model.clone(),
+            trace: trace(0, 100),
+        });
+        let report = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 1, batch_width: 4, ..SweepConfig::default() },
+        );
+        let b = &report.batching;
+        assert_eq!(b.batch_width, 4);
+        assert_eq!(b.batches_formed, 1, "five same-model lanes make one full batch");
+        assert_eq!(b.lanes_batched, 4);
+        assert_eq!(b.eject_single_lane, 1, "the fifth lane is a leftover");
+        assert_eq!(b.eject_worklist, 1);
+        assert_eq!(b.eject_empty_trace, 1);
+        assert_eq!(b.eject_unsupported, 0);
+        assert_eq!(b.lanes_scalar, 3);
+        assert_eq!(b.lanes_batched + b.lanes_scalar, scenarios.len() as u64);
+        assert!(b.lockstep_iterations >= 8, "one lockstep sweep per input iteration");
+        for s in &report.scenarios {
+            let expect_batched = s.index < 5 && s.label != "c4";
+            // The leftover lane is whichever same-model scenario was left
+            // after the batch filled — input order makes it c4.
+            assert_eq!(s.batched, expect_batched, "scenario {}", s.label);
+        }
     }
 }
