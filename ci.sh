@@ -17,9 +17,16 @@ cargo clippy --all-targets --offline -- -D warnings
 # batched regression is named in the CI log).
 cargo test -q -p evolve-core --test batch_conformance --offline
 
-# Bench smoke: the compiled backend must beat the worklist reference and
-# the batched engine must beat one-lane evaluation on a 1000-node
-# synthetic graph (bounded iterations; asserts both ratios > 1).
+# Periodic fast-forward conformance: worklist, compiled, compiled+replay,
+# and batched+replay must agree bitwise across periodic, aperiodic, and
+# period-breaking traces (also part of the workspace run above; kept
+# explicit so a fast-forward regression is named in the CI log).
+cargo test -q -p evolve-core --test periodic_conformance --offline
+
+# Bench smoke: the compiled backend must beat the worklist reference, the
+# batched engine must beat one-lane evaluation, and periodic fast-forward
+# must beat the plain sweep on a 1000-node synthetic graph (bounded
+# iterations; asserts all three ratios > 1 and checksum conformance).
 cargo run --release -q -p evolve-bench --bin fig5 --offline -- --quick
 
-echo "ci: build, tests, clippy, batched conformance, and bench smoke all green"
+echo "ci: build, tests, clippy, conformance suites, and bench smoke all green"

@@ -13,18 +13,21 @@
 //! conventional reference simulation run per cell for the speed-up column.
 //! A second grid compares the engine's evaluation backends (worklist vs.
 //! compiled CSR sweep) directly — per-iteration `ComputeInstant()` cost at
-//! 10/100/1000/5000 nodes — and writes it to `results/bench_engine.json`.
+//! 10/100/1000/5000 nodes — and a third measures the periodic
+//! steady-state fast-forward (O(1) template replay vs the full sweep);
+//! both are written to `results/bench_engine.json`.
 //!
 //! Usage: `fig5 [tokens] [dispatch_cost_ns] [threads] [--quick]`
 //! (defaults: 5 000 tokens, 1 µs reference calibration, host parallelism).
 //! `--quick` is the CI smoke mode: it skips the conventional-reference
-//! sweep and runs only the backend grid's 1000-node point with a bounded
-//! iteration budget, writing to `results/bench_engine_smoke.json` so the
-//! committed full-grid artifact is not clobbered.
+//! sweep and runs only the grids' 1000-node points with a bounded
+//! iteration budget (asserting compiled > worklist, batched > scalar, and
+//! fast-forward > sweep), writing to `results/bench_engine_smoke.json` so
+//! the committed full-grid artifact is not clobbered.
 
 use evolve_bench::{
-    backend_grid, batch_grid, format_row, header, sweep_measurements, total_engine_stats,
-    write_backend_report, BackendPoint, BatchPoint,
+    backend_grid, batch_grid, ff_grid, format_row, header, sweep_measurements,
+    total_engine_stats, write_backend_report, BackendPoint, BatchPoint, FfPoint,
 };
 use evolve_core::{derive_tdg, synthetic};
 use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
@@ -71,9 +74,38 @@ fn batch_section(targets: &[usize], widths: &[usize], budget: u64, reps: usize) 
     points
 }
 
-fn write_report(out: &str, points: &[BackendPoint], batch_points: &[BatchPoint]) {
+/// Steady-state replay against the full sweep on a strictly periodic
+/// stimulus; the `gain` column is sweep cost over replay cost per
+/// iteration (> 1 means fast-forward pays).
+fn ff_section(targets: &[usize], budget: u64, reps: usize) -> Vec<FfPoint> {
+    println!("== periodic fast-forward: steady-state replay vs compiled sweep ==");
+    println!(
+        "{:>7} {:>12} {:>15} {:>15} {:>12} {:>8}",
+        "nodes", "iterations", "sweep ns/it", "replay ns/it", "replayed", "gain"
+    );
+    let points = ff_grid(targets, budget, reps);
+    for p in &points {
+        println!(
+            "{:>7} {:>12} {:>15.1} {:>15.1} {:>12} {:>8.2}",
+            p.nodes,
+            p.iterations,
+            p.compiled_ns,
+            p.fast_forward_ns,
+            p.fast_forwarded_iterations,
+            p.gain()
+        );
+    }
+    points
+}
+
+fn write_report(
+    out: &str,
+    points: &[BackendPoint],
+    batch_points: &[BatchPoint],
+    ff_points: &[FfPoint],
+) {
     let path = std::path::Path::new(out);
-    write_backend_report(path, points, batch_points).expect("backend report written");
+    write_backend_report(path, points, batch_points, ff_points).expect("backend report written");
     println!("engine grids written to {}", path.display());
 }
 
@@ -109,7 +141,6 @@ fn main() {
             p.worklist_ns
         );
         let batch_points = batch_section(&[1_000], &[1, 8], 200_000, 2);
-        write_report("results/bench_engine_smoke.json", &points, &batch_points);
         let gain = batch_points[0].ns_per_lane_iter / batch_points[1].ns_per_lane_iter.max(1e-12);
         assert!(
             gain > 1.0,
@@ -118,10 +149,28 @@ fn main() {
             batch_points[1].ns_per_lane_iter,
             batch_points[0].ns_per_lane_iter
         );
+        // Fast-forward smoke: the grid itself asserts checksum conformance
+        // and that the run promoted; the gate here is the replay benefit.
+        let ff_points = ff_section(&[1_000], 1_000_000, 2);
+        let f = &ff_points[0];
+        assert!(
+            f.gain() > 1.0,
+            "fast-forward slower than the sweep at {} nodes ({:.1} vs {:.1} ns/it)",
+            f.nodes,
+            f.fast_forward_ns,
+            f.compiled_ns
+        );
+        write_report(
+            "results/bench_engine_smoke.json",
+            &points,
+            &batch_points,
+            &ff_points,
+        );
         println!(
-            "quick mode: compiled backend {:.2}x, batch width 8 {:.2}x at {} nodes — ok",
+            "quick mode: compiled backend {:.2}x, batch width 8 {:.2}x, fast-forward {:.2}x at {} nodes — ok",
             p.speedup(),
             gain,
+            f.gain(),
             p.nodes
         );
         return;
@@ -219,5 +268,16 @@ fn main() {
         2_000_000,
         3,
     );
-    write_report("results/bench_engine.json", &points, &batch_points);
+    println!();
+
+    // The steady-state headline: once promoted, an iteration is answered by
+    // O(1) template replay — the budget puts the 1000-node point at 10 000
+    // iterations, the acceptance configuration for the >= 5x replay gain.
+    let ff_points = ff_section(&[10, 100, 1_000, 5_000], 10_000_000, 3);
+    write_report(
+        "results/bench_engine.json",
+        &points,
+        &batch_points,
+        &ff_points,
+    );
 }

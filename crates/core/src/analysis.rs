@@ -47,6 +47,16 @@ pub fn freeze_weights(tdg: &Tdg, reference_size: u64) -> Vec<u64> {
 /// Returns `None` for acyclic graphs (a pure feed-forward model has no
 /// throughput bound of its own: the input rate dominates).
 pub fn predicted_period(tdg: &Tdg, reference_size: u64) -> Option<CycleMean> {
+    max_cycle_mean(&one_step_matrix(tdg, reference_size))
+}
+
+/// The frozen graph reduced to a one-step recurrence matrix `A0* ⊗ A1`
+/// (delay-`d` arcs with `d ≥ 2` expanded into unit-delay dummy chains), so
+/// `X(k) = M ⊗ X(k−1)` over the augmented state. Shared by
+/// [`predicted_period`] (its max cycle mean is the eigenvalue) and the
+/// periodic-regime oracle in [`crate::periodic`] (its power iteration
+/// bounds the transient).
+pub(crate) fn one_step_matrix(tdg: &Tdg, reference_size: u64) -> Matrix {
     let lags = freeze_weights(tdg, reference_size);
 
     // Expand delay-d arcs (d ≥ 2) into chains of unit-delay dummy nodes so
@@ -88,7 +98,7 @@ pub fn predicted_period(tdg: &Tdg, reference_size: u64) -> Option<CycleMean> {
     }
     let a0_star = evolve_maxplus::star(&a0)
         .expect("zero-delay subgraph is acyclic by construction");
-    max_cycle_mean(&a0_star.otimes(&a1))
+    a0_star.otimes(&a1)
 }
 
 

@@ -52,6 +52,11 @@ use evolve_model::{ExecRecord, LoadContext};
 use crate::compile::{lower_node_meta, zero_delay_dependent, CompiledTdg, Obs};
 use crate::derive::{DerivedTdg, SizeRule};
 use crate::engine::{AllocationFootprint, EngineStats};
+use crate::error::EngineError;
+use crate::periodic::{
+    self, CallEmissions, CallObservation, ExecEmission, FastForward, FastForwardStats, Observed,
+    OutputEmission, PeriodicConfig, PeriodicState, ReplayPlan, TailObservation,
+};
 use crate::tdg::{NodeKind, Tdg, Weight};
 
 /// Upper bound on recycled [`LaneBlock`]s retained by the free list.
@@ -138,6 +143,23 @@ fn block_at(ring: &VecDeque<LaneBlock>, base_k: u64, k: u64) -> Option<&LaneBloc
         return None;
     }
     ring.get((k - base_k) as usize)
+}
+
+/// Snapshot of observable-state lengths across all lanes, taken before a
+/// lockstep call while some lane's detector is confirming, so the call's
+/// per-lane emissions can be diffed out afterwards.
+#[derive(Default)]
+struct BatchMarks {
+    /// `lane * relations + relation` exchange-log lengths.
+    instants: Vec<usize>,
+    /// `lane * relations + relation` read-log lengths.
+    reads: Vec<usize>,
+    /// `lane * n_outputs + output` ready-queue lengths.
+    outputs: Vec<usize>,
+    /// Execution-record counts per lane.
+    execs: Vec<usize>,
+    /// Acknowledgment state per lane.
+    acks: Vec<Option<(u64, Time)>>,
 }
 
 /// Lane-strided counterpart of the scalar engine's weight evaluation: total
@@ -467,6 +489,36 @@ pub struct BatchedEngine {
     /// Per-slot fold accumulator, one element per lane.
     scratch: Vec<MaxPlus>,
     stats: EngineStats,
+    // -- periodic fast-forward (see crate::periodic) -----------------------
+    fast_forward: FastForward,
+    ff_cfg: PeriodicConfig,
+    ff_eligible: bool,
+    /// Distinct `k`-periods of all execution loads; `None` when some load
+    /// is aperiodic in `k` (which makes the batch ineligible).
+    ff_load_periods: Option<Vec<u64>>,
+    /// One detector per lane; empty unless fast-forward is on and the model
+    /// is eligible.
+    ff_lanes: Vec<PeriodicState>,
+    /// Whether the batch is currently answering lockstep calls entirely
+    /// from per-lane templates (the ring is released/stale while engaged;
+    /// a demotion reconstructs it before the sweep resumes).
+    ff_engaged: bool,
+    /// Structural mask: nodes computed by the look-ahead prefix.
+    prefix_nodes: Vec<bool>,
+    /// Structural mask: relations whose derived size the prefix writes.
+    prefix_sizes: Vec<bool>,
+    ff_marks: BatchMarks,
+    /// Per-lane replay plans of the current lockstep call.
+    ff_plans: Vec<Option<ReplayPlan>>,
+    /// Per-lane gather buffers: de-strided views handed to the detector.
+    ff_obs_acc: Vec<MaxPlus>,
+    ff_obs_sizes: Vec<u64>,
+    ff_tail_acc: Vec<MaxPlus>,
+    ff_tail_sizes: Vec<u64>,
+    /// Reusable two-pass extrapolation scratch (replayed instants).
+    ff_scratch: Vec<u64>,
+    /// Reusable two-pass extrapolation scratch (reconstructed accumulators).
+    ff_acc_scratch: Vec<i64>,
 }
 
 impl std::fmt::Debug for BatchedEngine {
@@ -558,6 +610,34 @@ impl BatchedEngine {
             .filter(|(_, &dep)| !dep)
             .map(|(slot, _)| slot as u32)
             .collect();
+        let prefix_nodes: Vec<bool> = dependent.iter().map(|d| !d).collect();
+        let mut prefix_sizes = vec![false; relation_count];
+        for &slot in &prefix_slots {
+            if let Obs::Exchange { relation, .. } = compiled.obs[slot as usize] {
+                if matches!(size_rules[relation as usize], SizeRule::Derived { .. }) {
+                    prefix_sizes[relation as usize] = true;
+                }
+            }
+        }
+
+        // Fast-forward eligibility: the try_new gates above already enforce
+        // a single driven input, no acknowledgment feedback, and size reads
+        // within the history horizon; the remaining condition is that every
+        // load is eventually periodic in `k`.
+        let mut ff_load_periods: Option<Vec<u64>> = Some(Vec::new());
+        for arc in tdg.arcs() {
+            for term in &arc.weight.execs {
+                match (term.load.k_period(), ff_load_periods.as_mut()) {
+                    (Some(q), Some(periods)) => {
+                        if !periods.contains(&q) {
+                            periods.push(q);
+                        }
+                    }
+                    _ => ff_load_periods = None,
+                }
+            }
+        }
+        let ff_eligible = ff_load_periods.is_some();
 
         // Analytic per-lane statistics deltas, mirroring exactly what the
         // scalar compiled engine counts per `set_input` call: the main
@@ -638,6 +718,22 @@ impl BatchedEngine {
             exec_records: vec![Vec::new(); lanes],
             scratch: vec![MaxPlus::EPSILON; lanes],
             stats: EngineStats::default(),
+            fast_forward: FastForward::Off,
+            ff_cfg: PeriodicConfig::default(),
+            ff_eligible,
+            ff_load_periods,
+            ff_lanes: Vec::new(),
+            ff_engaged: false,
+            prefix_nodes,
+            prefix_sizes,
+            ff_marks: BatchMarks::default(),
+            ff_plans: Vec::new(),
+            ff_obs_acc: Vec::new(),
+            ff_obs_sizes: Vec::new(),
+            ff_tail_acc: Vec::new(),
+            ff_tail_sizes: Vec::new(),
+            ff_scratch: Vec::new(),
+            ff_acc_scratch: Vec::new(),
             tdg,
         })
     }
@@ -669,6 +765,79 @@ impl BatchedEngine {
     /// [`Engine`](crate::Engine) would report for the same trace.
     pub fn lane_stats(&self, lane: usize) -> EngineStats {
         self.lane_stats[lane]
+    }
+
+    /// Enables or disables per-lane periodic steady-state fast-forward with
+    /// default [`PeriodicConfig`] tuning — see
+    /// [`BatchedEngine::set_fast_forward_with`].
+    pub fn set_fast_forward(&mut self, ff: FastForward) {
+        self.set_fast_forward_with(ff, PeriodicConfig::default());
+    }
+
+    /// Enables or disables per-lane periodic steady-state fast-forward.
+    ///
+    /// Every lane runs its own detector (lanes carry independent traces, so
+    /// they promote — and demote — independently). The whole lockstep call
+    /// is answered by O(1) template replay only while **all** offering
+    /// lanes are promoted and on their patterns; a pattern break on any
+    /// lane reconstructs the shared lane blocks for every active lane from
+    /// the templates, demotes just the lanes that broke (the others keep
+    /// their templates), and resumes the lockstep sweep. Observables stay
+    /// bitwise identical to a never-promoted batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after offers have started: pick the mode before
+    /// driving the batch (or right after [`BatchedEngine::reset`]).
+    pub fn set_fast_forward_with(&mut self, ff: FastForward, cfg: PeriodicConfig) {
+        assert_eq!(
+            self.next_k, 0,
+            "set the fast-forward mode before offering inputs"
+        );
+        self.fast_forward = ff;
+        self.ff_cfg = cfg;
+        self.ff_engaged = false;
+        self.ff_lanes = match (ff, self.ff_eligible) {
+            (FastForward::On, true) => (0..self.lanes).map(|_| self.new_detector()).collect(),
+            _ => Vec::new(),
+        };
+    }
+
+    /// The configured fast-forward mode.
+    pub fn fast_forward(&self) -> FastForward {
+        self.fast_forward
+    }
+
+    /// Whether this batch can structurally support fast-forward (all loads
+    /// periodic in `k`; the batchability gates cover the rest). Enabling
+    /// fast-forward on an ineligible batch is a silent no-op.
+    pub fn fast_forward_eligible(&self) -> bool {
+        self.ff_eligible
+    }
+
+    /// Fast-forward statistics merged over all lanes (all zero while
+    /// disabled or ineligible).
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        let mut s = FastForwardStats::default();
+        for pd in &self.ff_lanes {
+            s.merge(&pd.stats());
+        }
+        s
+    }
+
+    /// Fast-forward statistics of one lane.
+    pub fn lane_fast_forward_stats(&self, lane: usize) -> FastForwardStats {
+        self.ff_lanes.get(lane).map(PeriodicState::stats).unwrap_or_default()
+    }
+
+    fn new_detector(&self) -> PeriodicState {
+        PeriodicState::new(
+            self.ff_cfg,
+            self.horizon,
+            self.ff_load_periods
+                .clone()
+                .expect("eligibility implies periodic loads"),
+        )
     }
 
     /// The computed acknowledgment instant of lane `lane`'s `k`-th offer,
@@ -747,6 +916,17 @@ impl BatchedEngine {
             records.clear();
         }
         self.stats = EngineStats::default();
+        // Fast-forward: keep the knob and eligibility, restart detection.
+        self.ff_engaged = false;
+        if !self.ff_lanes.is_empty() {
+            if self.ff_lanes.len() == lanes {
+                for pd in &mut self.ff_lanes {
+                    pd.reset();
+                }
+            } else {
+                self.ff_lanes = (0..lanes).map(|_| self.new_detector()).collect();
+            }
+        }
     }
 
     /// A snapshot of the engine's allocation footprint; constant across
@@ -777,31 +957,80 @@ impl BatchedEngine {
     /// # Panics
     ///
     /// Panics if `offers` does not have one entry per lane, if `k` is out
-    /// of lockstep order, if no lane offers at all, or if an ended lane
-    /// tries to resume.
+    /// of lockstep order, if no lane offers at all, if an ended lane tries
+    /// to resume, or if a fast-forward extrapolation overflows `u64` ticks
+    /// (use [`BatchedEngine::try_set_input_batch`] to handle that as a
+    /// typed error).
     pub fn set_input_batch(&mut self, k: u64, offers: &[Option<(Time, u64)>]) {
+        if let Err(e) = self.try_set_input_batch(k, offers) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`BatchedEngine::set_input_batch`], surfacing fast-forward
+    /// extrapolation overflow as [`EngineError::TimeOverflow`] instead of
+    /// panicking. On error the batch state is unchanged (extrapolation is
+    /// two-pass), so the lockstep call was not consumed.
+    ///
+    /// # Panics
+    ///
+    /// As [`BatchedEngine::set_input_batch`], except for overflow.
+    pub fn try_set_input_batch(
+        &mut self,
+        k: u64,
+        offers: &[Option<(Time, u64)>],
+    ) -> Result<(), EngineError> {
         let b = self.lanes;
         assert_eq!(offers.len(), b, "one offer slot per lane");
         assert_eq!(k, self.next_k, "lockstep offers must arrive in iteration order");
+        if k > 0 {
+            for (l, offer) in offers.iter().enumerate() {
+                assert!(
+                    self.active[l] || offer.is_none(),
+                    "lane {l} cannot resume after its trace ended"
+                );
+            }
+        }
+        assert!(
+            offers.iter().any(Option::is_some),
+            "at least one lane must offer per lockstep call"
+        );
+
+        // Promoted fast-forward: answer the whole lockstep call from the
+        // per-lane templates when every offering lane is promoted and on
+        // its pattern; a break demotes exactly the lanes that broke and
+        // falls through to the sweep below.
+        if !self.ff_lanes.is_empty() {
+            let mut lanes_pd = std::mem::take(&mut self.ff_lanes);
+            let outcome = self.ff_handle_offers(&mut lanes_pd, k, offers);
+            self.ff_lanes = lanes_pd;
+            if outcome? {
+                return Ok(());
+            }
+        }
+
         self.next_k = k + 1;
         let mut offered = 0u64;
         for (l, offer) in offers.iter().enumerate() {
             let offering = offer.is_some();
-            if k == 0 {
-                if offering {
-                    self.stats.lanes_evaluated += 1;
-                }
-            } else {
-                assert!(
-                    self.active[l] || !offering,
-                    "lane {l} cannot resume after its trace ended"
-                );
+            if k == 0 && offering {
+                self.stats.lanes_evaluated += 1;
             }
             self.active[l] = offering;
             self.current[l] = offering;
             offered += u64::from(offering);
         }
-        assert!(offered > 0, "at least one lane must offer per lockstep call");
+
+        // Detector capture: snapshot observable-state lengths before the
+        // sweep while some offering lane is confirming.
+        let capture = !self.ff_lanes.is_empty()
+            && offers
+                .iter()
+                .enumerate()
+                .any(|(l, o)| o.is_some() && self.ff_lanes[l].wants_capture());
+        if capture {
+            self.ff_mark();
+        }
 
         // Acquire iteration `k`'s block: the look-ahead block at the ring
         // tail when one was opened, a recycled or fresh block otherwise.
@@ -952,6 +1181,14 @@ impl BatchedEngine {
         self.stats.iterations_completed += delta.iterations_completed * offered;
         self.stats.batched_iterations += 1;
 
+        // Feed the detectors before pruning: the observation reads
+        // iteration `k`'s block and the look-ahead tail.
+        if !self.ff_lanes.is_empty() {
+            let mut lanes_pd = std::mem::take(&mut self.ff_lanes);
+            self.ff_observe_lanes(&mut lanes_pd, k, offers, capture, &delta);
+            self.ff_lanes = lanes_pd;
+        }
+
         // Prune history beyond the arc-delay horizon (size dependencies are
         // gated to the same horizon by `try_new`).
         let keep = self.horizon as usize + 2;
@@ -962,6 +1199,7 @@ impl BatchedEngine {
                 self.free.push(blk);
             }
         }
+        Ok(())
     }
 
     /// A recycled or fresh lane block; only the exec stash needs clearing
@@ -979,6 +1217,482 @@ impl BatchedEngine {
                 self.n_execs,
                 self.lanes,
             ),
+        }
+    }
+
+    // -- periodic fast-forward ---------------------------------------------
+
+    /// Handles one lockstep offer set through the detectors. `Ok(true)`
+    /// means the whole call was replayed from templates; `Ok(false)` means
+    /// the sweep must run (possibly after demoting lanes that broke their
+    /// patterns); `Err` means an extrapolation overflowed with no state
+    /// change.
+    fn ff_handle_offers(
+        &mut self,
+        lanes_pd: &mut [PeriodicState],
+        k: u64,
+        offers: &[Option<(Time, u64)>],
+    ) -> Result<bool, EngineError> {
+        if !self.ff_engaged {
+            let all_promoted = offers
+                .iter()
+                .enumerate()
+                .all(|(l, o)| o.is_none() || lanes_pd[l].is_promoted());
+            if !all_promoted {
+                // Mixed regime: the ring is live, so a promoted lane keeps
+                // its template only while its offers stay on-pattern (the
+                // sweep then computes exactly what the template predicts);
+                // a break demotes the lane with nothing to reconstruct.
+                for (l, o) in offers.iter().enumerate() {
+                    if let Some((at, size)) = *o {
+                        if lanes_pd[l].is_promoted()
+                            && lanes_pd[l].check_offer(k, at.ticks(), size).is_none()
+                        {
+                            let _ = lanes_pd[l].demote();
+                        }
+                    }
+                }
+                return Ok(false);
+            }
+        }
+        // Engaged (ring stale) or engageable (every offering lane promoted,
+        // ring still live): plan every offering lane.
+        let mut plans = std::mem::take(&mut self.ff_plans);
+        plans.clear();
+        plans.resize(self.lanes, None);
+        let mut all_match = true;
+        for (l, o) in offers.iter().enumerate() {
+            if let Some((at, size)) = *o {
+                plans[l] = lanes_pd[l].check_offer(k, at.ticks(), size);
+                all_match &= plans[l].is_some();
+            }
+        }
+        if all_match {
+            let replayed = self.ff_replay_batch(lanes_pd, k, offers, &plans);
+            self.ff_plans = plans;
+            return match replayed {
+                Ok(()) => Ok(true),
+                // Engaged: the overflow is a typed error, nothing changed.
+                Err(e) if self.ff_engaged => Err(e),
+                // Not yet engaged: the ring is live, so the sweep can still
+                // honor the (on-pattern) offers; just skip engagement.
+                Err(_) => Ok(false),
+            };
+        }
+        // Pattern break on some lane.
+        if self.ff_engaged {
+            // The ring is stale: rebuild it from the templates before any
+            // lane demotes, so an overflow leaves the batch engaged and
+            // unchanged.
+            if let Err(e) = self.ff_reconstruct_batch(lanes_pd, k, offers) {
+                self.ff_plans = plans;
+                return Err(e);
+            }
+            self.ff_engaged = false;
+        }
+        for (l, o) in offers.iter().enumerate() {
+            if o.is_some() && plans[l].is_none() && lanes_pd[l].is_promoted() {
+                let _ = lanes_pd[l].demote();
+            }
+        }
+        self.ff_plans = plans;
+        Ok(false)
+    }
+
+    /// Replays one lockstep call: every offering lane shifts its template
+    /// position forward. Two-pass — all instants are extrapolated (checked)
+    /// before any state changes; the ring is released on first engagement
+    /// between the passes.
+    fn ff_replay_batch(
+        &mut self,
+        lanes_pd: &mut [PeriodicState],
+        k: u64,
+        offers: &[Option<(Time, u64)>],
+        plans: &[Option<ReplayPlan>],
+    ) -> Result<(), EngineError> {
+        let mut scratch = std::mem::take(&mut self.ff_scratch);
+        scratch.clear();
+        let mut fail = None;
+        for (l, o) in offers.iter().enumerate() {
+            if o.is_none() {
+                continue;
+            }
+            let plan = plans[l].expect("all offers matched");
+            let t = lanes_pd[l].template().expect("offering lanes are promoted");
+            let r = &t.refs[plan.pos];
+            let d = r.deltas.as_ref().expect("promoted template has deltas");
+            if let Err(e) = periodic::extrapolate_emissions(r, d, plan.m, &mut scratch) {
+                fail = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = fail {
+            self.ff_scratch = scratch;
+            return Err(e);
+        }
+        // Engage: no sweep runs until a demotion reconstructs the ring.
+        if !self.ff_engaged {
+            self.ff_engaged = true;
+            while let Some(blk) = self.ring.pop_front() {
+                self.base_k += 1;
+                if self.free.len() < FREE_LIST_CAP {
+                    self.free.push(blk);
+                }
+            }
+        }
+        // Pass 2: apply per lane in capture order — infallible.
+        let mut i = 0;
+        for (l, o) in offers.iter().enumerate() {
+            let offering = o.is_some();
+            self.active[l] = offering;
+            self.current[l] = offering;
+            if !offering {
+                continue;
+            }
+            let plan = plans[l].expect("all offers matched");
+            {
+                let t = lanes_pd[l].template().expect("offering lanes are promoted");
+                let r = &t.refs[plan.pos];
+                for e in &r.emissions.instants {
+                    self.instant_log[l * self.relation_count + e.0 as usize]
+                        .push(Time::from_ticks(scratch[i]));
+                    i += 1;
+                }
+                for e in &r.emissions.reads {
+                    self.read_log[l * self.relation_count + e.0 as usize]
+                        .push(Time::from_ticks(scratch[i]));
+                    i += 1;
+                }
+                for e in &r.emissions.execs {
+                    let (start, end) = (scratch[i], scratch[i + 1]);
+                    i += 2;
+                    self.exec_records[l].push(ExecRecord {
+                        resource: e.resource,
+                        function: e.function,
+                        stmt: e.stmt,
+                        k: k + e.k_off,
+                        start: Time::from_ticks(start),
+                        end: Time::from_ticks(end),
+                        ops: e.ops,
+                    });
+                }
+                for e in &r.emissions.outputs {
+                    let at = Time::from_ticks(scratch[i]);
+                    i += 1;
+                    self.outputs_ready[l * self.n_outputs + e.output as usize]
+                        .push_back((k + e.k_off, at, e.size));
+                }
+                if let Some((k_off, _)) = r.emissions.ack {
+                    self.acks[l] = Some((k + k_off, Time::from_ticks(scratch[i])));
+                    i += 1;
+                }
+                let s = &mut self.lane_stats[l];
+                s.nodes_computed += r.emissions.nodes;
+                s.arcs_evaluated += r.emissions.arcs;
+                s.iterations_completed += r.emissions.iters;
+                self.stats.nodes_computed += r.emissions.nodes;
+                self.stats.arcs_evaluated += r.emissions.arcs;
+                self.stats.iterations_completed += r.emissions.iters;
+            }
+            lanes_pd[l].note_fast_forwarded();
+        }
+        debug_assert_eq!(i, scratch.len());
+        self.stats.batched_iterations += 1;
+        self.next_k = k + 1;
+        self.ff_scratch = scratch;
+        Ok(())
+    }
+
+    /// Demotion: rebuild the shared lane blocks — `horizon` complete
+    /// history iterations plus the look-ahead tail for `k_b` — from every
+    /// offering lane's template (`refs[pos] + m × D`), so the lockstep
+    /// sweep resumes exactly where a never-promoted batch would stand.
+    /// Ended lanes are masked to fixed placeholders: their values are never
+    /// read again. Two-pass like replay.
+    fn ff_reconstruct_batch(
+        &mut self,
+        lanes_pd: &[PeriodicState],
+        k_b: u64,
+        offers: &[Option<(Time, u64)>],
+    ) -> Result<(), EngineError> {
+        let b = self.lanes;
+        let n = self.tdg.node_count();
+        let start = k_b.saturating_sub(self.horizon);
+        // Pass 1: every shifted accumulator, checked, into flat scratch.
+        let mut scratch = std::mem::take(&mut self.ff_acc_scratch);
+        scratch.clear();
+        let mut fail = None;
+        'outer: for j in start..k_b {
+            for (l, o) in offers.iter().enumerate() {
+                if o.is_none() {
+                    continue;
+                }
+                let t = lanes_pd[l].template().expect("offering lanes are promoted");
+                debug_assert!(
+                    start >= t.k0 + t.p,
+                    "the confirmation window spans the history horizon"
+                );
+                let (pos, m) = t.locate(j);
+                let r = &t.refs[pos];
+                for node in 0..n {
+                    match periodic::shift_acc(r.acc[node], t.d[node], m) {
+                        Ok(v) => scratch.push(v),
+                        Err(e) => {
+                            fail = Some(e);
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if fail.is_none() && self.has_prefix {
+            'tail: for (l, o) in offers.iter().enumerate() {
+                if o.is_none() {
+                    continue;
+                }
+                let t = lanes_pd[l].template().expect("offering lanes are promoted");
+                let (pos, m) = t.locate(k_b - 1);
+                let tt = t.refs[pos].tail.as_ref().expect("prefix batches capture tails");
+                for node in 0..n {
+                    if tt.computed[node] {
+                        match periodic::shift_acc(tt.acc[node], t.d[node], m) {
+                            Ok(v) => scratch.push(v),
+                            Err(e) => {
+                                fail = Some(e);
+                                break 'tail;
+                            }
+                        }
+                    } else {
+                        scratch.push(0);
+                    }
+                }
+            }
+        }
+        if let Some(e) = fail {
+            self.ff_acc_scratch = scratch;
+            return Err(e);
+        }
+        // Pass 2: rebuild.
+        while let Some(blk) = self.ring.pop_front() {
+            if self.free.len() < FREE_LIST_CAP {
+                self.free.push(blk);
+            }
+        }
+        self.base_k = start;
+        let mut idx = 0;
+        for j in start..k_b {
+            let mut blk = self.take_block();
+            blk.acc.fill(MaxPlus::EPSILON);
+            blk.sizes.fill(0);
+            for (l, o) in offers.iter().enumerate() {
+                if o.is_none() {
+                    continue;
+                }
+                let t = lanes_pd[l].template().expect("offering lanes are promoted");
+                let (pos, _) = t.locate(j);
+                let r = &t.refs[pos];
+                for node in 0..n {
+                    blk.acc[node * b + l] = MaxPlus::new(scratch[idx]);
+                    idx += 1;
+                }
+                for (rel, &size) in r.sizes.iter().enumerate() {
+                    blk.sizes[rel * b + l] = size;
+                }
+            }
+            self.ring.push_back(blk);
+        }
+        if self.has_prefix {
+            let mut blk = self.take_block();
+            blk.acc.fill(MaxPlus::EPSILON);
+            blk.sizes.fill(0);
+            for (l, o) in offers.iter().enumerate() {
+                if o.is_none() {
+                    continue;
+                }
+                let t = lanes_pd[l].template().expect("offering lanes are promoted");
+                let (pos, _) = t.locate(k_b - 1);
+                let tt = t.refs[pos].tail.as_ref().expect("prefix batches capture tails");
+                for node in 0..n {
+                    let v = scratch[idx];
+                    idx += 1;
+                    if tt.computed[node] {
+                        blk.acc[node * b + l] = MaxPlus::new(v);
+                    }
+                }
+                for (rel, &size) in tt.sizes.iter().enumerate() {
+                    blk.sizes[rel * b + l] = size;
+                }
+            }
+            self.ring.push_back(blk);
+        }
+        debug_assert_eq!(idx, scratch.len());
+        self.lookahead_ran = self.has_prefix;
+        self.ff_acc_scratch = scratch;
+        Ok(())
+    }
+
+    /// Snapshots observable-state lengths of all lanes so
+    /// [`BatchedEngine::ff_collect_lane`] can diff out exactly what the
+    /// upcoming lockstep call emits per lane.
+    fn ff_mark(&mut self) {
+        let m = &mut self.ff_marks;
+        m.instants.clear();
+        m.instants.extend(self.instant_log.iter().map(Vec::len));
+        m.reads.clear();
+        m.reads.extend(self.read_log.iter().map(Vec::len));
+        m.outputs.clear();
+        m.outputs.extend(self.outputs_ready.iter().map(VecDeque::len));
+        m.execs.clear();
+        m.execs.extend(self.exec_records.iter().map(Vec::len));
+        m.acks.clear();
+        m.acks.extend_from_slice(&self.acks);
+    }
+
+    /// Diffs lane `l`'s observable state against the marks: the complete
+    /// emission set of the lockstep call at iteration `k` for that lane.
+    /// The stats increments are the analytic per-lane deltas — exactly what
+    /// the sweep charges each offered lane.
+    fn ff_collect_lane(&self, l: usize, k: u64, delta: &EngineStats) -> CallEmissions {
+        let m = &self.ff_marks;
+        let mut e = CallEmissions::default();
+        let rbase = l * self.relation_count;
+        for rel in 0..self.relation_count {
+            let log = &self.instant_log[rbase + rel];
+            for t in &log[m.instants[rbase + rel]..] {
+                e.instants.push((rel as u32, t.ticks()));
+            }
+        }
+        for rel in 0..self.relation_count {
+            let log = &self.read_log[rbase + rel];
+            for t in &log[m.reads[rbase + rel]..] {
+                e.reads.push((rel as u32, t.ticks()));
+            }
+        }
+        for r in &self.exec_records[l][m.execs[l]..] {
+            debug_assert!(r.k >= k, "lockstep records belong to k or the look-ahead");
+            e.execs.push(ExecEmission {
+                k_off: r.k - k,
+                resource: r.resource,
+                function: r.function,
+                stmt: r.stmt,
+                start: r.start.ticks(),
+                end: r.end.ticks(),
+                ops: r.ops,
+            });
+        }
+        let obase = l * self.n_outputs;
+        for out in 0..self.n_outputs {
+            for &(ok, t, s) in self.outputs_ready[obase + out].iter().skip(m.outputs[obase + out]) {
+                debug_assert!(ok >= k);
+                e.outputs.push(OutputEmission {
+                    output: out as u32,
+                    k_off: ok - k,
+                    at: t.ticks(),
+                    size: s,
+                });
+            }
+        }
+        if self.acks[l] != m.acks[l] {
+            if let Some((ak, t)) = self.acks[l] {
+                debug_assert!(ak >= k);
+                e.ack = Some((ak - k, t.ticks()));
+            }
+        }
+        e.nodes = delta.nodes_computed;
+        e.arcs = delta.arcs_evaluated;
+        e.iters = delta.iterations_completed;
+        e
+    }
+
+    /// De-strides lane `l`'s view of iteration `k`'s block (and the
+    /// look-ahead tail) into the gather buffers. Tail entries the prefix
+    /// does not write are masked to fixed placeholders: the sweep always
+    /// overwrites them before reading, so masking keeps the detector's
+    /// periodicity checks on meaningful state only.
+    fn ff_gather_lane(&mut self, l: usize, k: u64) {
+        let b = self.lanes;
+        let n = self.tdg.node_count();
+        let blk = &self.ring[(k - self.base_k) as usize];
+        self.ff_obs_acc.clear();
+        self.ff_obs_acc.extend((0..n).map(|node| blk.acc[node * b + l]));
+        self.ff_obs_sizes.clear();
+        self.ff_obs_sizes
+            .extend((0..self.relation_count).map(|rel| blk.sizes[rel * b + l]));
+        if self.has_prefix {
+            debug_assert_eq!(self.base_k + self.ring.len() as u64, k + 2);
+            let la = self.ring.back().expect("look-ahead open");
+            self.ff_tail_acc.clear();
+            self.ff_tail_acc.extend((0..n).map(|node| {
+                if self.prefix_nodes[node] {
+                    la.acc[node * b + l]
+                } else {
+                    MaxPlus::EPSILON
+                }
+            }));
+            self.ff_tail_sizes.clear();
+            self.ff_tail_sizes.extend((0..self.relation_count).map(|rel| {
+                if self.prefix_sizes[rel] {
+                    la.sizes[rel * b + l]
+                } else {
+                    0
+                }
+            }));
+        }
+    }
+
+    /// Feeds every offering, not-yet-promoted lane's detector with the
+    /// completed lockstep call; a closed confirmation window attempts
+    /// promotion. Unlike the scalar engine, a promotion releases nothing:
+    /// the ring keeps serving the other lanes until the whole batch
+    /// engages.
+    fn ff_observe_lanes(
+        &mut self,
+        lanes_pd: &mut [PeriodicState],
+        k: u64,
+        offers: &[Option<(Time, u64)>],
+        captured: bool,
+        delta: &EngineStats,
+    ) {
+        for (l, o) in offers.iter().enumerate() {
+            let Some((at, size)) = *o else { continue };
+            let pd = &mut lanes_pd[l];
+            if pd.is_promoted() {
+                continue; // verified against its template in ff_handle_offers
+            }
+            let wants = pd.wants_capture();
+            let emissions = (captured && wants).then(|| self.ff_collect_lane(l, k, delta));
+            if wants {
+                self.ff_gather_lane(l, k);
+            }
+            // While idle the detector only reads the offer line; the gather
+            // buffers are then untouched but also unread.
+            let tail = (self.has_prefix && wants).then(|| TailObservation {
+                computed: &self.prefix_nodes,
+                acc: &self.ff_tail_acc,
+                sizes: &self.ff_tail_sizes,
+            });
+            let obs = CallObservation {
+                k,
+                at: at.ticks(),
+                size,
+                acc: &self.ff_obs_acc,
+                sizes: &self.ff_obs_sizes,
+                tail,
+                emissions,
+            };
+            if pd.observe_fast_call(&obs) == Observed::ReadyToPromote {
+                let arcs = self
+                    .tdg
+                    .arcs()
+                    .iter()
+                    .map(|a| (a.src.index(), a.dst.index()));
+                if pd.try_promote(arcs).is_some() {
+                    periodic::debug_check_against_oracle(
+                        &self.tdg,
+                        pd.template().expect("just promoted"),
+                    );
+                }
+            }
         }
     }
 }
@@ -1150,5 +1864,175 @@ mod tests {
         batch.set_input_batch(0, &[Some((Time::ZERO, 1)), Some((Time::ZERO, 1))]);
         batch.set_input_batch(1, &[Some((Time::from_ticks(10), 1)), None]);
         batch.set_input_batch(2, &[Some((Time::from_ticks(20), 1)), Some((Time::from_ticks(20), 1))]);
+    }
+
+    /// Drives `ff` and `plain` with identical offers and asserts every
+    /// observable (instants, reads, exec records, acks, outputs, per-lane
+    /// and aggregate stats) is bitwise identical.
+    fn assert_batches_bitwise_equal(
+        ff: &mut BatchedEngine,
+        plain: &mut BatchedEngine,
+        relations: usize,
+        lanes: usize,
+        total: u64,
+        offer: impl Fn(usize, u64) -> Option<(Time, u64)>,
+    ) {
+        for k in 0..total {
+            let offers: Vec<Option<(Time, u64)>> = (0..lanes).map(|l| offer(l, k)).collect();
+            ff.set_input_batch(k, &offers);
+            plain.set_input_batch(k, &offers);
+            for l in 0..lanes {
+                assert_eq!(ff.ack_instant(l, k), plain.ack_instant(l, k), "lane {l} k {k}");
+            }
+        }
+        for l in 0..lanes {
+            for r in 0..relations {
+                assert_eq!(ff.instants(l, r), plain.instants(l, r), "lane {l} relation {r}");
+                assert_eq!(
+                    ff.read_instants(l, r),
+                    plain.read_instants(l, r),
+                    "lane {l} relation {r}"
+                );
+            }
+            assert_eq!(ff.exec_records(l), plain.exec_records(l), "lane {l} exec records");
+            assert_eq!(ff.lane_stats(l), plain.lane_stats(l), "lane {l} stats");
+            loop {
+                let (a, b) = (ff.next_output(l, 0), plain.next_output(l, 0));
+                assert_eq!(a, b, "lane {l} output stream");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(ff.stats(), plain.stats(), "aggregate stats");
+    }
+
+    #[test]
+    fn batched_fast_forward_promotes_and_matches_plain() {
+        let (derived, relations) = didactic_derived();
+        let lanes = 3usize;
+        let mut ff = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        assert!(ff.fast_forward_eligible());
+        ff.set_fast_forward(FastForward::On);
+        let (derived, _) = didactic_derived();
+        let mut plain = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        let total = 200u64;
+        assert_batches_bitwise_equal(&mut ff, &mut plain, relations, lanes, total, |l, k| {
+            Some((Time::from_ticks(k * (40 + l as u64 * 13)), 3))
+        });
+        let s = ff.fast_forward_stats();
+        assert_eq!(s.promotions, lanes as u64);
+        assert_eq!(s.demotions, 0);
+        assert!(
+            s.fast_forwarded_iterations > 100 * lanes as u64,
+            "expected most calls replayed, got {s:?}"
+        );
+        for l in 0..lanes {
+            let d = ff.lane_fast_forward_stats(l).detected.expect("lane promoted");
+            assert_eq!(d.period, 1, "lane {l}");
+        }
+        assert_eq!(plain.fast_forward_stats(), FastForwardStats::default());
+    }
+
+    #[test]
+    fn batched_fast_forward_ejects_a_breaking_lane_and_recovers() {
+        let (derived, relations) = didactic_derived();
+        let lanes = 3usize;
+        let mut ff = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        ff.set_fast_forward(FastForward::On);
+        let (derived, _) = didactic_derived();
+        let mut plain = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        let total = 300u64;
+        assert_batches_bitwise_equal(&mut ff, &mut plain, relations, lanes, total, |l, k| {
+            // Lane 1 shifts its arrival line once at k = 150; the batch must
+            // reconstruct, eject only lane 1, and later re-engage.
+            let jitter = if l == 1 && k >= 150 { 9_999 } else { 0 };
+            Some((Time::from_ticks(k * (40 + l as u64 * 13) + jitter), 3))
+        });
+        assert_eq!(ff.lane_fast_forward_stats(1).demotions, 1, "only lane 1 breaks");
+        assert_eq!(ff.lane_fast_forward_stats(1).promotions, 2, "lane 1 re-promotes");
+        for l in [0usize, 2] {
+            assert_eq!(ff.lane_fast_forward_stats(l).demotions, 0, "lane {l}");
+            assert_eq!(ff.lane_fast_forward_stats(l).promotions, 1, "lane {l}");
+        }
+        let s = ff.fast_forward_stats();
+        assert_eq!(s.promotions, 4);
+        assert_eq!(s.demotions, 1);
+        assert!(s.fast_forwarded_iterations > 0, "{s:?}");
+    }
+
+    #[test]
+    fn batched_fast_forward_handles_ending_lanes() {
+        let (derived, relations) = didactic_derived();
+        let lanes = 3usize;
+        let mut ff = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        ff.set_fast_forward(FastForward::On);
+        let (derived, _) = didactic_derived();
+        let mut plain = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        // Lane 2 stops offering after promotion; the remaining lanes keep
+        // replaying without it.
+        assert_batches_bitwise_equal(&mut ff, &mut plain, relations, lanes, 160, |l, k| {
+            (l != 2 || k < 80).then_some((Time::from_ticks(k * (40 + l as u64 * 13)), 3))
+        });
+        let s = ff.fast_forward_stats();
+        assert_eq!(s.promotions, 3);
+        assert_eq!(s.demotions, 0);
+        assert!(s.fast_forwarded_iterations > 0, "{s:?}");
+    }
+
+    #[test]
+    fn batched_fast_forward_reset_restarts_detection() {
+        let (derived, relations) = didactic_derived();
+        let lanes = 2usize;
+        let mut ff = BatchedEngine::try_new(derived, relations, true, lanes).unwrap();
+        ff.set_fast_forward(FastForward::On);
+        let drive = |b: &mut BatchedEngine| {
+            for k in 0..80u64 {
+                let offers: Vec<Option<(Time, u64)>> =
+                    (0..lanes).map(|l| Some((Time::from_ticks(k * (50 + l as u64)), 2))).collect();
+                b.set_input_batch(k, &offers);
+                for l in 0..lanes {
+                    while b.next_output(l, 0).is_some() {}
+                }
+            }
+        };
+        drive(&mut ff);
+        assert_eq!(ff.fast_forward_stats().promotions, lanes as u64);
+        ff.reset(lanes);
+        assert_eq!(ff.fast_forward(), FastForward::On);
+        assert_eq!(ff.fast_forward_stats(), FastForwardStats::default());
+        drive(&mut ff);
+        assert_eq!(ff.fast_forward_stats().promotions, lanes as u64);
+    }
+
+    #[test]
+    fn batched_fast_forward_ineligible_on_aperiodic_loads() {
+        let mut b = TdgBuilder::new();
+        let i0 = b.add_node("u0", NodeKind::Input { relation: RelationId::from_index(0) });
+        let out = b.add_node("y", NodeKind::Output { relation: RelationId::from_index(1) });
+        let term = ExecTerm {
+            function: evolve_model::FunctionId::from_index(0),
+            stmt: 0,
+            load: LoadModel::Uniform { min: 1, max: 9, seed: 3 },
+            speed: 1,
+            size_from: None,
+        };
+        b.add_arc(i0, out, 0, Weight::exec(term));
+        let tdg = b.build().unwrap();
+        let derived = DerivedTdg::new(
+            tdg,
+            vec![
+                SizeRule::External,
+                SizeRule::Derived { from: None, model: SizeModel::Same },
+            ],
+        );
+        let mut batch = BatchedEngine::try_new(derived, 2, true, 2).unwrap();
+        assert!(!batch.fast_forward_eligible());
+        batch.set_fast_forward(FastForward::On);
+        for k in 0..40u64 {
+            let offers = vec![Some((Time::from_ticks(k * 50), 1)); 2];
+            batch.set_input_batch(k, &offers);
+        }
+        assert_eq!(batch.fast_forward_stats(), FastForwardStats::default());
     }
 }

@@ -40,6 +40,11 @@ use evolve_model::{ExecRecord, LoadContext};
 
 use crate::compile::{lower_node_meta, CompiledTdg, EvalBackend, Obs};
 use crate::derive::{DerivedTdg, SizeRule};
+use crate::error::EngineError;
+use crate::periodic::{
+    self, CallEmissions, CallObservation, ExecEmission, FastForward, FastForwardStats, Observed,
+    OutputEmission, PeriodicConfig, PeriodicState, ReplayPlan, TailObservation, Template,
+};
 use crate::tdg::{NodeId, NodeKind, Tdg, Weight};
 
 /// A kernel notification requested by the engine: wake `event` immediately
@@ -274,6 +279,34 @@ pub struct Engine {
     pending_notifications: Vec<Notification>,
     stats: EngineStats,
     prune_counter: u32,
+    /// Periodic fast-forward knob (Off by default for bare engines).
+    fast_forward: FastForward,
+    /// Structural eligibility for fast-forward, fixed at construction.
+    ff_eligible: bool,
+    /// Distinct `k`-periods of all execution loads; `None` when some load
+    /// is aperiodic in `k` (which also makes the engine ineligible).
+    ff_load_periods: Option<Vec<u64>>,
+    /// Online periodic-regime detector and template; `Some` iff fast-forward
+    /// is enabled and the engine is eligible.
+    periodic: Option<Box<PeriodicState>>,
+    /// Log-length marks taken around a fast-path call during confirmation.
+    ff_marks: FfMarks,
+    /// Reusable two-pass extrapolation scratch (replayed instants).
+    ff_scratch: Vec<u64>,
+    /// Reusable two-pass extrapolation scratch (reconstructed accumulators).
+    ff_acc_scratch: Vec<i64>,
+}
+
+/// Snapshot of observable-state lengths, diffed after a captured call to
+/// recover exactly what the call emitted.
+#[derive(Default)]
+struct FfMarks {
+    instants: Vec<usize>,
+    reads: Vec<usize>,
+    outputs: Vec<usize>,
+    execs: usize,
+    ack: Option<(u64, Time)>,
+    stats: EngineStats,
 }
 
 impl std::fmt::Debug for Engine {
@@ -360,6 +393,44 @@ impl Engine {
             .iter()
             .any(|d| !d);
 
+        // Fast-forward eligibility: the structural conditions under which a
+        // detected periodic steady state can be replayed exactly (see
+        // `crate::periodic`): a compiled schedule, a single externally
+        // driven input, no acknowledgment feedback, every load eventually
+        // periodic in `k`, and no token-size read deeper than the history
+        // horizon the demotion path reconstructs.
+        let mut ff_load_periods: Option<Vec<u64>> = Some(Vec::new());
+        let mut max_size_delay = 0u64;
+        for arc in tdg.arcs() {
+            for term in &arc.weight.execs {
+                match (term.load.k_period(), ff_load_periods.as_mut()) {
+                    (Some(q), Some(periods)) => {
+                        if !periods.contains(&q) {
+                            periods.push(q);
+                        }
+                    }
+                    _ => ff_load_periods = None,
+                }
+                if let Some((_, delay)) = term.size_from {
+                    max_size_delay = max_size_delay.max(u64::from(delay));
+                }
+            }
+        }
+        for rule in &size_rules {
+            if let SizeRule::Derived {
+                from: Some((_, delay)),
+                ..
+            } = rule
+            {
+                max_size_delay = max_size_delay.max(u64::from(*delay));
+            }
+        }
+        let ff_eligible = compiled.is_some()
+            && tdg.inputs().len() == 1
+            && !has_output_acks
+            && ff_load_periods.is_some()
+            && max_size_delay <= u64::from(tdg.max_delay());
+
         let n_inputs = tdg.inputs().len();
         let n_outputs = tdg.outputs().len();
         Engine {
@@ -393,6 +464,13 @@ impl Engine {
             pending_notifications: Vec::new(),
             stats: EngineStats::default(),
             prune_counter: 0,
+            fast_forward: FastForward::Off,
+            ff_eligible,
+            ff_load_periods,
+            periodic: None,
+            ff_marks: FfMarks::default(),
+            ff_scratch: Vec::new(),
+            ff_acc_scratch: Vec::new(),
             tdg,
         }
     }
@@ -411,6 +489,63 @@ impl Engine {
     /// backend.
     pub fn compiled_tdg(&self) -> Option<&CompiledTdg> {
         self.compiled.as_ref()
+    }
+
+    /// Enables or disables periodic steady-state fast-forward with default
+    /// [`PeriodicConfig`] tuning — see [`Engine::set_fast_forward_with`].
+    pub fn set_fast_forward(&mut self, ff: FastForward) {
+        self.set_fast_forward_with(ff, PeriodicConfig::default());
+    }
+
+    /// Enables or disables periodic steady-state fast-forward.
+    ///
+    /// When on (and the engine is [eligible](Engine::fast_forward_eligible)),
+    /// the engine watches input offers for a periodic pattern; once the
+    /// per-iteration state deltas have repeated through a confirmation
+    /// window, `set_input` answers in O(1) by shifting a cached template
+    /// instead of sweeping the compiled schedule — bitwise identical
+    /// outputs, logs, records and statistics. An offer that breaks the
+    /// pattern demotes back to the compiled sweep transparently.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after offers have started: pick the mode before
+    /// driving the engine (or right after [`Engine::reset`]).
+    pub fn set_fast_forward_with(&mut self, ff: FastForward, cfg: PeriodicConfig) {
+        assert!(
+            self.next_input_k.iter().all(|&k| k == 0),
+            "set the fast-forward mode before offering inputs"
+        );
+        self.fast_forward = ff;
+        self.periodic = match (ff, self.ff_eligible) {
+            (FastForward::On, true) => Some(Box::new(PeriodicState::new(
+                cfg,
+                u64::from(self.tdg.max_delay()),
+                self.ff_load_periods
+                    .clone()
+                    .expect("eligibility implies periodic loads"),
+            ))),
+            _ => None,
+        };
+    }
+
+    /// The configured fast-forward mode.
+    pub fn fast_forward(&self) -> FastForward {
+        self.fast_forward
+    }
+
+    /// Whether this engine can structurally support fast-forward: compiled
+    /// backend, a single input, no output-acknowledgment feedback, loads
+    /// periodic in `k`, and size reads within the history horizon. Enabling
+    /// fast-forward on an ineligible engine is a silent no-op.
+    pub fn fast_forward_eligible(&self) -> bool {
+        self.ff_eligible
+    }
+
+    /// Fast-forward statistics so far (all zero while disabled or
+    /// ineligible).
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        self.periodic.as_ref().map(|p| p.stats()).unwrap_or_default()
     }
 
     /// Rewinds the engine to its just-constructed state while keeping every
@@ -453,6 +588,10 @@ impl Engine {
         self.pending_notifications.clear();
         self.stats = EngineStats::default();
         self.prune_counter = 0;
+        // Fast-forward: keep the knob and eligibility, restart detection.
+        if let Some(pd) = &mut self.periodic {
+            pd.reset();
+        }
     }
 
     /// A snapshot of the engine's allocation footprint, for asserting
@@ -508,17 +647,53 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if offers arrive out of iteration order for an input.
+    /// Panics if offers arrive out of iteration order for an input, or if a
+    /// fast-forward extrapolation overflows `u64` ticks (use
+    /// [`Engine::try_set_input`] to handle that as a typed error).
     pub fn set_input(&mut self, input: usize, k: u64, at: Time, size: u64) {
+        if let Err(e) = self.try_set_input(input, k, at, size) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Engine::set_input`], surfacing fast-forward extrapolation overflow
+    /// as [`EngineError::TimeOverflow`] instead of panicking. On error the
+    /// engine state is unchanged (extrapolation is two-pass: every shifted
+    /// instant is computed before any is applied), so the offer was not
+    /// consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if offers arrive out of iteration order for an input.
+    pub fn try_set_input(
+        &mut self,
+        input: usize,
+        k: u64,
+        at: Time,
+        size: u64,
+    ) -> Result<(), EngineError> {
         assert_eq!(
             k, self.next_input_k[input],
             "input offers must arrive in iteration order"
         );
-        self.next_input_k[input] = k + 1;
         let node = self.tdg.inputs[input];
         let NodeKind::Input { relation } = self.tdg.nodes[node.index()].kind else {
             unreachable!()
         };
+        // Promoted fast-forward: answer the offer by shifting the cached
+        // periodic template; an offer off the detected pattern demotes (the
+        // ring is reconstructed from the template) and falls through to the
+        // normal evaluation below.
+        if self.periodic.as_ref().is_some_and(|p| p.is_promoted()) {
+            let mut pd = self.periodic.take().expect("just checked");
+            let outcome = self.ff_offer(&mut pd, k, at, size);
+            self.periodic = Some(pd);
+            if outcome? {
+                self.next_input_k[input] = k + 1;
+                return Ok(());
+            }
+        }
+        self.next_input_k[input] = k + 1;
         // Steady-state fast path: with a compiled program, a single input,
         // and all older history complete, the iteration evaluates in one
         // levelized linear sweep with no dependency bookkeeping. Iteration
@@ -542,10 +717,26 @@ impl Engine {
                 .take((k.saturating_sub(self.base_k)) as usize)
                 .all(|it| it.nodes_pending == 0);
         if fast_ok {
+            // The detector observes fast-path calls only; capture the
+            // observable-state marks before the sweep while confirming.
+            let capture = self.periodic.as_ref().is_some_and(|p| p.wants_capture());
+            if capture {
+                self.ff_mark();
+            }
             self.compute_iteration_compiled(k, node, relation.index(), at, size);
             self.ensure_lookahead();
+            if self.periodic.is_some() {
+                let mut pd = self.periodic.take().expect("just checked");
+                self.ff_observe(&mut pd, k, at, size, capture);
+                self.periodic = Some(pd);
+            }
             self.maybe_prune();
-            return;
+            return Ok(());
+        }
+        // A call off the fast path breaks the observed call sequence; any
+        // in-progress detection restarts from scratch.
+        if let Some(pd) = &mut self.periodic {
+            pd.abandon();
         }
         self.open_to(k);
         {
@@ -557,6 +748,7 @@ impl Engine {
         self.drain();
         self.ensure_lookahead();
         self.maybe_prune();
+        Ok(())
     }
 
     /// Keeps one look-ahead iteration materialized past the last complete
@@ -1082,6 +1274,340 @@ impl Engine {
             }
         }
     }
+
+    // -- periodic fast-forward ---------------------------------------------
+
+    /// A recycled (or fresh) iteration state with the in-degree template
+    /// applied.
+    fn take_state(&mut self) -> IterState {
+        match self.free.pop() {
+            Some(mut s) => {
+                s.reset(&self.remaining_template);
+                s
+            }
+            None => {
+                let mut s =
+                    IterState::fresh(self.tdg.node_count(), self.relation_count, self.n_execs);
+                s.remaining.copy_from_slice(&self.remaining_template);
+                s
+            }
+        }
+    }
+
+    /// Snapshots observable-state lengths so [`Engine::ff_collect`] can diff
+    /// out exactly what the upcoming call emits.
+    fn ff_mark(&mut self) {
+        let m = &mut self.ff_marks;
+        m.instants.clear();
+        m.instants.extend(self.instant_log.iter().map(Vec::len));
+        m.reads.clear();
+        m.reads.extend(self.read_log.iter().map(Vec::len));
+        m.outputs.clear();
+        m.outputs.extend(self.outputs_ready.iter().map(VecDeque::len));
+        m.execs = self.exec_records.len();
+        m.ack = self.acks[0];
+        m.stats = self.stats;
+    }
+
+    /// Diffs the observable state against the marks: the complete emission
+    /// set of the call at iteration `k` (a consumer cannot pop outputs
+    /// mid-call, so queue-length diffs are exact).
+    fn ff_collect(&self, k: u64) -> CallEmissions {
+        let m = &self.ff_marks;
+        let mut e = CallEmissions::default();
+        for (rel, (log, &from)) in self.instant_log.iter().zip(&m.instants).enumerate() {
+            for t in &log[from..] {
+                e.instants.push((rel as u32, t.ticks()));
+            }
+        }
+        for (rel, (log, &from)) in self.read_log.iter().zip(&m.reads).enumerate() {
+            for t in &log[from..] {
+                e.reads.push((rel as u32, t.ticks()));
+            }
+        }
+        for r in &self.exec_records[m.execs..] {
+            debug_assert!(r.k >= k, "fast-path records belong to k or the look-ahead");
+            e.execs.push(ExecEmission {
+                k_off: r.k - k,
+                resource: r.resource,
+                function: r.function,
+                stmt: r.stmt,
+                start: r.start.ticks(),
+                end: r.end.ticks(),
+                ops: r.ops,
+            });
+        }
+        for (out, (queue, &from)) in self.outputs_ready.iter().zip(&m.outputs).enumerate() {
+            for &(ok, t, s) in queue.iter().skip(from) {
+                debug_assert!(ok >= k);
+                e.outputs.push(OutputEmission {
+                    output: out as u32,
+                    k_off: ok - k,
+                    at: t.ticks(),
+                    size: s,
+                });
+            }
+        }
+        if self.acks[0] != m.ack {
+            if let Some((ak, t)) = self.acks[0] {
+                debug_assert!(ak >= k);
+                e.ack = Some((ak - k, t.ticks()));
+            }
+        }
+        e.nodes = self.stats.nodes_computed - m.stats.nodes_computed;
+        e.arcs = self.stats.arcs_evaluated - m.stats.arcs_evaluated;
+        e.iters = self.stats.iterations_completed - m.stats.iterations_completed;
+        e
+    }
+
+    /// Feeds a completed fast-path call to the detector; on a confirmed
+    /// window, attempts promotion (arc soundness condition) and drops the
+    /// ring — the template now carries everything replay needs.
+    fn ff_observe(&mut self, pd: &mut PeriodicState, k: u64, at: Time, size: u64, captured: bool) {
+        let emissions = captured.then(|| self.ff_collect(k));
+        let it = iter_at(&self.ring, self.base_k, k).expect("iteration just computed");
+        let tail = if self.has_prefix {
+            debug_assert_eq!(self.base_k + self.ring.len() as u64, k + 2);
+            let t = self.ring.back().expect("look-ahead open");
+            Some(TailObservation {
+                computed: &t.computed,
+                acc: &t.acc,
+                sizes: &t.sizes,
+            })
+        } else {
+            None
+        };
+        let obs = CallObservation {
+            k,
+            at: at.ticks(),
+            size,
+            acc: &it.acc,
+            sizes: &it.sizes,
+            tail,
+            emissions,
+        };
+        if pd.observe_fast_call(&obs) == Observed::ReadyToPromote {
+            let arcs = self
+                .tdg
+                .arcs()
+                .iter()
+                .map(|a| (a.src.index(), a.dst.index()));
+            if pd.try_promote(arcs).is_some() {
+                self.ff_debug_oracle_check(pd);
+                // Promoted: no sweep will run until demotion, and demotion
+                // reconstructs its own history; release the ring.
+                while let Some(state) = self.ring.pop_front() {
+                    self.base_k += 1;
+                    if self.free.len() < FREE_LIST_CAP {
+                        self.free.push(state);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles an offer while promoted: `Ok(true)` replayed it, `Ok(false)`
+    /// demoted (ring reconstructed; the caller re-evaluates the offer
+    /// normally), `Err` means an extrapolation overflowed with no state
+    /// change.
+    fn ff_offer(
+        &mut self,
+        pd: &mut PeriodicState,
+        k: u64,
+        at: Time,
+        size: u64,
+    ) -> Result<bool, EngineError> {
+        match pd.check_offer(k, at.ticks(), size) {
+            Some(plan) => {
+                let t = pd.template().expect("promoted");
+                self.ff_replay(t, plan, k)?;
+                pd.note_fast_forwarded();
+                Ok(true)
+            }
+            None => {
+                // Reconstruct before leaving promoted mode: if extrapolating
+                // the history accumulators overflows, the engine must stay
+                // promoted (state unchanged) rather than lose the template.
+                let t = pd.template().expect("promoted");
+                self.ff_reconstruct(t, k)?;
+                let _ = pd.demote();
+                Ok(false)
+            }
+        }
+    }
+
+    /// Answers the offer at iteration `k` by shifting template position
+    /// `plan.pos` forward `plan.m` periods — the O(1) steady-state path.
+    fn ff_replay(&mut self, t: &Template, plan: ReplayPlan, k: u64) -> Result<(), EngineError> {
+        let r = &t.refs[plan.pos];
+        let d = r.deltas.as_ref().expect("promoted template has deltas");
+        let mut scratch = std::mem::take(&mut self.ff_scratch);
+        scratch.clear();
+        let extrapolated = periodic::extrapolate_emissions(r, d, plan.m, &mut scratch);
+        if let Err(e) = extrapolated {
+            self.ff_scratch = scratch;
+            return Err(e);
+        }
+        // Pass 2: apply — infallible, in the same order the captured call
+        // appended (log order is part of the observable contract).
+        let mut i = 0;
+        for e in &r.emissions.instants {
+            self.instant_log[e.0 as usize].push(Time::from_ticks(scratch[i]));
+            i += 1;
+        }
+        for e in &r.emissions.reads {
+            self.read_log[e.0 as usize].push(Time::from_ticks(scratch[i]));
+            i += 1;
+        }
+        for e in &r.emissions.execs {
+            let (start, end) = (scratch[i], scratch[i + 1]);
+            i += 2;
+            self.exec_records.push(ExecRecord {
+                resource: e.resource,
+                function: e.function,
+                stmt: e.stmt,
+                k: k + e.k_off,
+                start: Time::from_ticks(start),
+                end: Time::from_ticks(end),
+                ops: e.ops,
+            });
+        }
+        for e in &r.emissions.outputs {
+            let at = Time::from_ticks(scratch[i]);
+            i += 1;
+            self.outputs_ready[e.output as usize].push_back((k + e.k_off, at, e.size));
+            if let Some(ev) = self.output_events[e.output as usize] {
+                self.pending_notifications.push(Notification {
+                    event: ev,
+                    at: Some(at),
+                });
+            }
+        }
+        if let Some((k_off, _)) = r.emissions.ack {
+            let at = Time::from_ticks(scratch[i]);
+            i += 1;
+            self.acks[0] = Some((k + k_off, at));
+            if let Some(ev) = self.input_events[0] {
+                self.pending_notifications
+                    .push(Notification { event: ev, at: None });
+            }
+        }
+        debug_assert_eq!(i, scratch.len());
+        self.stats.nodes_computed += r.emissions.nodes;
+        self.stats.arcs_evaluated += r.emissions.arcs;
+        self.stats.iterations_completed += r.emissions.iters;
+        self.ff_scratch = scratch;
+        Ok(())
+    }
+
+    /// Demotion: rebuild the iteration ring — `max_delay` complete history
+    /// iterations plus the look-ahead tail for `k_b` — from the template
+    /// (`refs[pos] + m × D`), so the compiled sweep resumes exactly where a
+    /// never-promoted engine would stand. Two-pass like replay: all shifted
+    /// accumulators are computed before any state changes.
+    fn ff_reconstruct(&mut self, t: &Template, k_b: u64) -> Result<(), EngineError> {
+        let h = u64::from(self.tdg.max_delay);
+        let start = k_b.saturating_sub(h);
+        debug_assert!(
+            start >= t.k0 + t.p,
+            "the confirmation window spans the history horizon"
+        );
+        let n = self.tdg.node_count();
+        let mut scratch = std::mem::take(&mut self.ff_acc_scratch);
+        scratch.clear();
+        let mut fail = None;
+        'outer: for j in start..k_b {
+            let (pos, m) = t.locate(j);
+            let r = &t.refs[pos];
+            for node in 0..n {
+                match periodic::shift_acc(r.acc[node], t.d[node], m) {
+                    Ok(v) => scratch.push(v),
+                    Err(e) => {
+                        fail = Some(e);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if fail.is_none() && self.has_prefix {
+            // The look-ahead tail for `k_b` is the lookahead the call at
+            // `k_b − 1` left behind, captured with that call's position.
+            let (pos, m) = t.locate(k_b - 1);
+            let tt = t.refs[pos].tail.as_ref().expect("prefix engines capture tails");
+            for node in 0..n {
+                if tt.computed[node] {
+                    match periodic::shift_acc(tt.acc[node], t.d[node], m) {
+                        Ok(v) => scratch.push(v),
+                        Err(e) => {
+                            fail = Some(e);
+                            break;
+                        }
+                    }
+                } else {
+                    scratch.push(0);
+                }
+            }
+        }
+        if let Some(e) = fail {
+            self.ff_acc_scratch = scratch;
+            return Err(e);
+        }
+        // Pass 2: rebuild.
+        while let Some(state) = self.ring.pop_front() {
+            if self.free.len() < FREE_LIST_CAP {
+                self.free.push(state);
+            }
+        }
+        self.base_k = start;
+        let mut idx = 0;
+        for j in start..k_b {
+            let (pos, _) = t.locate(j);
+            let r = &t.refs[pos];
+            let mut state = self.take_state();
+            for node in 0..n {
+                state.acc[node] = MaxPlus::new(scratch[idx]);
+                idx += 1;
+                state.computed[node] = true;
+            }
+            state.remaining.fill(0);
+            state.sizes.copy_from_slice(&r.sizes);
+            // Stashes are re-captured by the sweep; history never reads them.
+            state.exec_stash.fill((MaxPlus::EPSILON, 0));
+            state.nodes_pending = 0;
+            self.ring.push_back(state);
+        }
+        if self.has_prefix {
+            let (pos, _) = t.locate(k_b - 1);
+            let tt = t.refs[pos].tail.as_ref().expect("prefix engines capture tails");
+            let mut state = self.take_state();
+            let mut pending = n;
+            for node in 0..n {
+                let v = scratch[idx];
+                idx += 1;
+                if tt.computed[node] {
+                    state.acc[node] = MaxPlus::new(v);
+                    state.computed[node] = true;
+                    pending -= 1;
+                }
+            }
+            state.sizes.copy_from_slice(&tt.sizes);
+            state.nodes_pending = pending;
+            self.ring.push_back(state);
+        }
+        debug_assert_eq!(idx, scratch.len());
+        self.work.clear();
+        self.prune_counter = 0;
+        self.ff_acc_scratch = scratch;
+        Ok(())
+    }
+
+    /// Cross-checks a fresh promotion against the static (max,+) oracle in
+    /// debug builds — see [`periodic::debug_check_against_oracle`].
+    fn ff_debug_oracle_check(&self, pd: &PeriodicState) {
+        if let Some(t) = pd.template() {
+            periodic::debug_check_against_oracle(&self.tdg, t);
+        }
+    }
 }
 
 // Sweep workers move engines (and the graphs inside them) across threads;
@@ -1227,6 +1753,126 @@ mod tests {
         let (cs, ws) = (c.stats(), w.stats());
         assert_eq!(cs.nodes_computed, ws.nodes_computed);
         assert_eq!(cs.iterations_completed, ws.iterations_completed);
+    }
+
+    /// Drains both engines' output queues and asserts bitwise equality of
+    /// every observable: outputs, acks, logs, exec records, and stats.
+    fn assert_bitwise_equal(a: &mut Engine, b: &mut Engine, relations: usize, last_k: u64) {
+        loop {
+            match (a.next_output(0), b.next_output(0)) {
+                (None, None) => break,
+                (x, y) => assert_eq!(x, y, "output stream diverged"),
+            }
+        }
+        assert_eq!(a.ack_instant(0, last_k), b.ack_instant(0, last_k));
+        for r in 0..relations {
+            assert_eq!(a.instants(r), b.instants(r), "relation {r}");
+            assert_eq!(a.read_instants(r), b.read_instants(r), "relation {r}");
+        }
+        assert_eq!(a.exec_records(), b.exec_records());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn fast_forward_promotes_and_matches_bitwise() {
+        let mut ff = engine();
+        assert!(ff.fast_forward_eligible());
+        ff.set_fast_forward(FastForward::On);
+        let mut plain = engine();
+        for k in 0..200 {
+            let at = Time::from_ticks(k * 40);
+            ff.set_input(0, k, at, 3);
+            plain.set_input(0, k, at, 3);
+        }
+        let s = ff.fast_forward_stats();
+        assert_eq!(s.promotions, 1, "periodic trace must promote: {s:?}");
+        assert_eq!(s.demotions, 0);
+        assert!(s.fast_forwarded_iterations > 100, "{s:?}");
+        let detected = s.detected.expect("regime recorded");
+        assert_eq!(detected.period, 1);
+        assert_eq!(plain.fast_forward_stats(), FastForwardStats::default());
+        assert_bitwise_equal(&mut ff, &mut plain, 6, 199);
+    }
+
+    #[test]
+    fn fast_forward_demotes_on_pattern_break_and_repromotes() {
+        let mut ff = engine();
+        ff.set_fast_forward(FastForward::On);
+        let mut plain = engine();
+        let mut at = 0u64;
+        for k in 0..300 {
+            at += if k == 150 { 9_999 } else { 40 };
+            ff.set_input(0, k, Time::from_ticks(at), 0);
+            plain.set_input(0, k, Time::from_ticks(at), 0);
+        }
+        let s = ff.fast_forward_stats();
+        assert_eq!(s.demotions, 1, "{s:?}");
+        assert_eq!(s.promotions, 2, "re-promoted after the break: {s:?}");
+        assert_bitwise_equal(&mut ff, &mut plain, 6, 299);
+    }
+
+    #[test]
+    fn fast_forward_aperiodic_trace_never_promotes() {
+        let mut ff = engine();
+        ff.set_fast_forward(FastForward::On);
+        let mut plain = engine();
+        let mut at = 0u64;
+        for k in 0..100 {
+            at += 11 + k * k % 37; // aperiodic inter-arrival pattern
+            ff.set_input(0, k, Time::from_ticks(at), 0);
+            plain.set_input(0, k, Time::from_ticks(at), 0);
+        }
+        let s = ff.fast_forward_stats();
+        assert_eq!(s.promotions, 0, "{s:?}");
+        assert_eq!(s.fast_forwarded_iterations, 0);
+        assert_bitwise_equal(&mut ff, &mut plain, 6, 99);
+    }
+
+    #[test]
+    fn fast_forward_overflow_is_typed_and_recoverable() {
+        let mut e = engine();
+        e.set_fast_forward(FastForward::On);
+        let gap = u64::MAX / 100;
+        let mut err = None;
+        let mut k = 0;
+        while k <= 100 {
+            match e.try_set_input(0, k, Time::from_ticks(k * gap), 0) {
+                Ok(()) => k += 1,
+                Err(ov) => {
+                    err = Some(ov);
+                    break;
+                }
+            }
+        }
+        let err = err.expect("extrapolation near u64::MAX must overflow");
+        assert!(matches!(err, crate::EngineError::TimeOverflow { .. }), "{err}");
+        assert!(e.fast_forward_stats().promotions >= 1, "overflow hit on the replay path");
+        // The failed offer was not consumed, and at this magnitude demotion
+        // cannot reconstruct history either (accumulators would exceed the
+        // MaxPlus range): the engine surfaces the same typed error and stays
+        // promoted instead of corrupting state.
+        let demote = e.try_set_input(0, k, Time::from_ticks((k - 1) * gap + 500), 0);
+        assert!(matches!(demote, Err(crate::EngineError::TimeOverflow { .. })));
+        assert_eq!(e.fast_forward_stats().demotions, 0);
+    }
+
+    #[test]
+    fn fast_forward_reset_restarts_detection() {
+        let mut e = engine();
+        e.set_fast_forward(FastForward::On);
+        for k in 0..50 {
+            e.set_input(0, k, Time::from_ticks(k * 40), 0);
+        }
+        assert_eq!(e.fast_forward_stats().promotions, 1);
+        e.reset();
+        assert_eq!(e.fast_forward_stats(), FastForwardStats::default());
+        let mut plain = engine();
+        for k in 0..50 {
+            e.set_input(0, k, Time::from_ticks(k * 40), 0);
+            plain.set_input(0, k, Time::from_ticks(k * 40), 0);
+        }
+        assert_eq!(e.fast_forward_stats().promotions, 1, "knob survives reset");
+        assert_bitwise_equal(&mut e, &mut plain, 6, 49);
     }
 
     #[test]

@@ -39,6 +39,45 @@ impl core::fmt::Display for DeriveError {
 
 impl std::error::Error for DeriveError {}
 
+/// Runtime failure inside an [`Engine`](crate::Engine).
+///
+/// The engine's normal evaluation is total: instants are exact `u64` ticks
+/// and every computable value is computed. The only runtime failure mode is
+/// arithmetic leaving the representable tick range, which the fast-forward
+/// extrapolation path (`template + periods × growth`) can reach long before
+/// any simulated event would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// An extrapolated instant exceeded `u64` ticks. Carries the base
+    /// instant and the periodic growth whose scaled sum overflowed.
+    TimeOverflow {
+        /// The template instant the extrapolation started from.
+        base: evolve_des::Time,
+        /// Growth per detected period, in ticks.
+        growth: evolve_des::Duration,
+        /// Number of periods the extrapolation spanned.
+        periods: u64,
+    },
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::TimeOverflow {
+                base,
+                growth,
+                periods,
+            } => write!(
+                f,
+                "fast-forward extrapolation overflowed u64 ticks: {base} + {periods} x {growth}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Failure constructing or running an equivalent model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]

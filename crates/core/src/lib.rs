@@ -65,6 +65,7 @@ mod engine;
 pub mod equivalent;
 mod error;
 pub mod partial;
+pub mod periodic;
 pub mod simplify;
 pub mod synthetic;
 mod tdg;
@@ -75,6 +76,10 @@ pub use compile::{CompiledTdg, EvalBackend};
 pub use derive::{derive_tdg, derive_tdg_with, DeriveOptions, DerivedTdg, SizeRule, SizeRules};
 pub use engine::{AllocationFootprint, Engine, EngineStats, Notification};
 pub use equivalent::{equivalent_simulation, EquivalentModelBuilder, EquivalentSimulation};
-pub use error::{DeriveError, EquivalentError};
+pub use error::{DeriveError, EngineError, EquivalentError};
 pub use partial::{hybrid_simulation, partition, HybridReport, HybridSimulation, Partition, PartitionError};
+pub use periodic::{
+    predict_periodic_regime, DetectedPeriod, FastForward, FastForwardStats, OraclePrediction,
+    PeriodicConfig,
+};
 pub use tdg::{Arc, ExecTerm, Node, NodeId, NodeKind, Tdg, TdgBuilder, Weight};

@@ -152,7 +152,8 @@ proptest! {
 
         // Scalar references, one per lane variant (lane traces only depend
         // on the lane index, not the batch width).
-        let mut scalar: Vec<(Vec<Option<(u64, Time, u64)>>, Engine, Engine)> = Vec::new();
+        type LaneRef = (Vec<Option<(u64, Time, u64)>>, Engine, Engine);
+        let mut scalar: Vec<LaneRef> = Vec::new();
         for lane in 0..MAX_WIDTH {
             let offers = lane_offers(&spec.offers, lane);
             let mut compiled = engine_for(&tdg, EvalBackend::Compiled);
@@ -235,8 +236,7 @@ proptest! {
             let mut at = 0u64;
             offers[..len]
                 .iter()
-                .enumerate()
-                .map(|(k, &(gap, size))| {
+                .map(|&(gap, size)| {
                     at += gap + 11 * lane as u64;
                     Arrival {
                         at: Time::from_ticks(at),

@@ -50,6 +50,20 @@ impl Time {
     pub fn saturating_add(self, d: Duration) -> Time {
         Time(self.0.saturating_add(d.0))
     }
+
+    /// Checked instant addition: `None` when the result would exceed
+    /// [`Time::MAX`].
+    ///
+    /// Extrapolation paths (e.g. fast-forwarding a periodic steady state by
+    /// a large iteration count) must use this instead of
+    /// [`Time::saturating_add`]: a silently saturated instant compares
+    /// *equal* to other saturated instants, corrupting exact-tick
+    /// comparisons, whereas `None` lets the caller surface a typed overflow
+    /// error.
+    #[must_use]
+    pub fn checked_add(self, d: Duration) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
 }
 
 /// A span of simulation time, in ticks.
@@ -79,6 +93,16 @@ impl Duration {
     #[must_use]
     pub fn saturating_mul(self, factor: u64) -> Duration {
         Duration(self.0.saturating_mul(factor))
+    }
+
+    /// Checked scaling: `None` when `self * factor` exceeds `u64` ticks.
+    ///
+    /// The checked counterpart of [`Duration::saturating_mul`] for
+    /// extrapolation paths that must not silently clamp (see
+    /// [`Time::checked_add`]).
+    #[must_use]
+    pub fn checked_mul(self, factor: u64) -> Option<Duration> {
+        self.0.checked_mul(factor).map(Duration)
     }
 }
 
@@ -187,6 +211,29 @@ mod tests {
             Duration::from_ticks(u64::MAX).saturating_mul(2),
             Duration::from_ticks(u64::MAX)
         );
+    }
+
+    #[test]
+    fn checked_ops_near_max() {
+        // One tick below the edge round-trips exactly…
+        assert_eq!(
+            Time::from_ticks(u64::MAX - 5).checked_add(Duration::from_ticks(5)),
+            Some(Time::MAX)
+        );
+        // …one past it reports overflow instead of clamping.
+        assert_eq!(
+            Time::from_ticks(u64::MAX - 5).checked_add(Duration::from_ticks(6)),
+            None
+        );
+        assert_eq!(Time::MAX.checked_add(Duration::from_ticks(1)), None);
+        assert_eq!(Time::MAX.checked_add(Duration::ZERO), Some(Time::MAX));
+
+        let half = Duration::from_ticks(u64::MAX / 2);
+        assert_eq!(half.checked_mul(2), Some(Duration::from_ticks(u64::MAX - 1)));
+        assert_eq!(half.checked_mul(3), None);
+        assert_eq!(Duration::from_ticks(u64::MAX).checked_mul(1).map(Duration::ticks), Some(u64::MAX));
+        assert_eq!(Duration::from_ticks(u64::MAX).checked_mul(2), None);
+        assert_eq!(Duration::from_ticks(u64::MAX).checked_mul(0), Some(Duration::ZERO));
     }
 
     #[test]

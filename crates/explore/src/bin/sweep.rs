@@ -12,14 +12,16 @@
 //! Options: `--threads N` (worker count, default: host parallelism),
 //! `--scenarios N` (batch size, default 32), `--tokens N` (trace length,
 //! default 200), `--batch N` (lockstep lanes per `BatchedEngine`, default
-//! 8; `1` disables batching), `--compare` (also run the conventional DES
-//! model per scenario), `--out PATH` (report path, default
-//! `results/sweep.json`).
+//! 8; `1` disables batching), `--no-fast-forward` (disable periodic
+//! steady-state fast-forward, for A/B timing runs), `--compare` (also run
+//! the conventional DES model per scenario), `--out PATH` (report path,
+//! default `results/sweep.json`).
 
 use std::path::PathBuf;
 
 use evolve_explore::{
-    run_sweep, EvalBackend, Json, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec,
+    run_sweep, EvalBackend, FastForward, Json, ModelKind, ModelSpec, ScenarioSpec, SweepConfig,
+    TraceSpec,
 };
 
 struct Options {
@@ -27,11 +29,12 @@ struct Options {
     scenarios: u64,
     tokens: u64,
     batch: usize,
+    fast_forward: FastForward,
     compare: bool,
     out: PathBuf,
 }
 
-const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--batch N] [--compare] [--out PATH]";
+const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--batch N] [--no-fast-forward] [--compare] [--out PATH]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}\n{USAGE}");
@@ -44,6 +47,7 @@ fn parse_args() -> Options {
         scenarios: 32,
         tokens: 200,
         batch: 8,
+        fast_forward: FastForward::On,
         compare: false,
         out: PathBuf::from("results/sweep.json"),
     };
@@ -67,6 +71,7 @@ fn parse_args() -> Options {
                     usage_error("--batch expects a width >= 1");
                 }
             }
+            "--no-fast-forward" => options.fast_forward = FastForward::Off,
             "--compare" => options.compare = true,
             "--out" => options.out = PathBuf::from(value("--out")),
             "--help" | "-h" => {
@@ -102,10 +107,13 @@ fn scenario_grid(count: u64, tokens: u64) -> Vec<ScenarioSpec> {
                         EvalBackend::Worklist
                     },
                 },
+                // Saturating traces use a fixed token size so the ack line
+                // settles into a periodic regime the fast-forward detector
+                // can exploit; jittered traces stay size-randomized.
                 trace: TraceSpec {
                     tokens,
-                    min_size: 1,
-                    max_size: 128,
+                    min_size: if i % 3 == 0 { 64 } else { 1 },
+                    max_size: if i % 3 == 0 { 64 } else { 128 },
                     mean_period: if i % 3 == 0 { 0 } else { 400 * (1 + i % 5) },
                     seed: 0x5eed_0000 + i,
                 },
@@ -131,6 +139,7 @@ fn main() {
             threads: options.threads,
             compare_conventional: options.compare,
             batch_width: options.batch,
+            fast_forward: options.fast_forward,
             ..SweepConfig::default()
         },
     );
@@ -140,6 +149,7 @@ fn main() {
             threads: 1,
             compare_conventional: options.compare,
             batch_width: options.batch,
+            fast_forward: options.fast_forward,
             ..SweepConfig::default()
         },
     );
@@ -152,6 +162,7 @@ fn main() {
                 threads: options.threads,
                 compare_conventional: options.compare,
                 batch_width: 1,
+                fast_forward: options.fast_forward,
                 ..SweepConfig::default()
             },
         )
@@ -183,6 +194,11 @@ fn main() {
         );
         gain
     });
+    let ff = parallel.total_fast_forward_stats();
+    eprintln!(
+        "fast-forward: {} promotions, {} demotions, {} iterations replayed",
+        ff.promotions, ff.demotions, ff.fast_forwarded_iterations,
+    );
 
     let mut fields = vec![
         ("threads", Json::U64(parallel.threads as u64)),

@@ -50,7 +50,7 @@
 pub mod json;
 pub mod sweep;
 
-pub use evolve_core::EvalBackend;
+pub use evolve_core::{EvalBackend, FastForward, FastForwardStats};
 pub use json::Json;
 pub use sweep::{
     drive_batch, drive_engine, parallel_map, parallel_map_with, run_sweep, BatchingStats,

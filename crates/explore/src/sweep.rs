@@ -54,7 +54,8 @@ use std::sync::{mpsc, Mutex};
 use std::time::{Duration as HostDuration, Instant};
 
 use evolve_core::{
-    derive_tdg, synthetic, BatchUnsupported, BatchedEngine, Engine, EngineStats, EvalBackend,
+    derive_tdg, synthetic, BatchUnsupported, BatchedEngine, DetectedPeriod, Engine, EngineStats,
+    EvalBackend, FastForward, FastForwardStats, PeriodicConfig,
 };
 use evolve_des::{SplitMix64, Time};
 use evolve_model::{
@@ -225,6 +226,11 @@ pub struct ScenarioResult {
     /// this is the batch drive time divided by the lane count — the
     /// per-lane amortized cost, comparable to the scalar wall.
     pub wall: HostDuration,
+    /// Fast-forward counters of this scenario's drive (all zero when
+    /// [`SweepConfig::fast_forward`] is off, the model is ineligible, or no
+    /// periodic regime was detected). For batched scenarios these are the
+    /// scenario's own lane counters, not the batch aggregate.
+    pub fast_forward: FastForwardStats,
     /// Conventional-reference comparison, when requested.
     pub reference: Option<ReferenceComparison>,
 }
@@ -281,6 +287,16 @@ pub struct SweepConfig {
     /// disables batching entirely and every scenario takes the scalar
     /// path; see `docs/SWEEP.md` for tuning guidance.
     pub batch_width: usize,
+    /// Periodic steady-state fast-forward for compiled engines, scalar and
+    /// batched alike. [`FastForward::On`] by default: outcomes are
+    /// guaranteed bitwise identical either way (aperiodic traces simply
+    /// never promote), so the knob exists for A/B timing runs
+    /// (`--no-fast-forward` on the sweep binary) rather than correctness.
+    pub fast_forward: FastForward,
+    /// Confirmation window, in detected periods, the fast-forward detector
+    /// verifies before promoting (clamped to ≥ 2 by the engine); see
+    /// `docs/SWEEP.md` for tuning guidance.
+    pub ff_confirm_periods: u64,
 }
 
 impl Default for SweepConfig {
@@ -291,6 +307,8 @@ impl Default for SweepConfig {
             compare_conventional: false,
             reference_dispatch_cost_ns: 0,
             batch_width: 1,
+            fast_forward: FastForward::On,
+            ff_confirm_periods: PeriodicConfig::default().confirm_periods,
         }
     }
 }
@@ -381,6 +399,32 @@ impl SweepReport {
         self.scenarios.iter().filter(|s| s.reused_engine).count()
     }
 
+    /// Fast-forward counters folded over all scenarios.
+    pub fn total_fast_forward_stats(&self) -> FastForwardStats {
+        let mut total = FastForwardStats::default();
+        for s in &self.scenarios {
+            total.merge(&s.fast_forward);
+        }
+        total
+    }
+
+    /// Histogram of detected periodic regimes across the sweep: how many
+    /// scenarios settled into each `(growth, period)` pair, sorted by
+    /// regime. Scenarios that never promoted do not appear.
+    pub fn detected_regimes(&self) -> Vec<(DetectedPeriod, u64)> {
+        let mut hist: Vec<(DetectedPeriod, u64)> = Vec::new();
+        for s in &self.scenarios {
+            if let Some(d) = s.fast_forward.detected {
+                match hist.iter_mut().find(|(h, _)| *h == d) {
+                    Some((_, n)) => *n += 1,
+                    None => hist.push((d, 1)),
+                }
+            }
+        }
+        hist.sort_by_key(|&(d, _)| d);
+        hist
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> Json {
         let totals = self.total_engine_stats();
@@ -394,6 +438,7 @@ impl SweepReport {
                 engine_stats_json(&totals),
             ),
             ("batching", batching_json(&self.batching)),
+            ("fast_forward", fast_forward_report_json(self)),
             (
                 "scenarios",
                 Json::Array(self.scenarios.iter().map(scenario_json).collect()),
@@ -421,6 +466,44 @@ fn engine_stats_json(stats: &EngineStats) -> Json {
         ("iterations_completed", Json::U64(stats.iterations_completed)),
         ("lanes_evaluated", Json::U64(stats.lanes_evaluated)),
         ("batched_iterations", Json::U64(stats.batched_iterations)),
+    ])
+}
+
+fn fast_forward_json(f: &FastForwardStats) -> Json {
+    let mut fields = vec![
+        ("promotions", Json::U64(f.promotions)),
+        ("demotions", Json::U64(f.demotions)),
+        ("fast_forwarded_iterations", Json::U64(f.fast_forwarded_iterations)),
+    ];
+    if let Some(d) = f.detected {
+        fields.push(("detected_growth", Json::U64(d.growth)));
+        fields.push(("detected_period", Json::U64(d.period)));
+    }
+    Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn fast_forward_report_json(report: &SweepReport) -> Json {
+    let totals = report.total_fast_forward_stats();
+    Json::object([
+        ("promotions", Json::U64(totals.promotions)),
+        ("demotions", Json::U64(totals.demotions)),
+        ("fast_forwarded_iterations", Json::U64(totals.fast_forwarded_iterations)),
+        (
+            "detected_regimes",
+            Json::Array(
+                report
+                    .detected_regimes()
+                    .into_iter()
+                    .map(|(d, n)| {
+                        Json::object([
+                            ("growth", Json::U64(d.growth)),
+                            ("period", Json::U64(d.period)),
+                            ("scenarios", Json::U64(n)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -456,6 +539,7 @@ fn scenario_json(s: &ScenarioResult) -> Json {
         ("makespan_ticks", Json::U64(makespan)),
         ("boundary_events", Json::U64(s.outcome.boundary_events)),
         ("engine_stats", engine_stats_json(&s.outcome.engine_stats)),
+        ("fast_forward", fast_forward_json(&s.fast_forward)),
         (
             "busy_ticks",
             Json::Array(s.outcome.busy_ticks.iter().map(|&b| Json::U64(b)).collect()),
@@ -562,7 +646,7 @@ struct PreparedModel {
     uses: usize,
 }
 
-fn prepare(spec: &ModelSpec, record_observations: bool) -> PreparedModel {
+fn prepare(spec: &ModelSpec, config: &SweepConfig) -> PreparedModel {
     let (arch, input, output) = spec.build();
     let mut derived = derive_tdg(&arch).expect("sweep models derive");
     if spec.padding > 0 {
@@ -570,7 +654,9 @@ fn prepare(spec: &ModelSpec, record_observations: bool) -> PreparedModel {
     }
     let nodes = derived.tdg().node_count();
     let relation_count = arch.app().relations().len();
-    let engine = Engine::with_backend(derived, relation_count, record_observations, spec.backend);
+    let mut engine =
+        Engine::with_backend(derived, relation_count, config.record_observations, spec.backend);
+    engine.set_fast_forward_with(config.fast_forward, ff_config(config));
     let resource_count = arch.platform().len();
     PreparedModel {
         engine,
@@ -595,9 +681,17 @@ struct PreparedBatch {
     uses: usize,
 }
 
+/// The detector parameters a sweep's knobs translate to.
+fn ff_config(config: &SweepConfig) -> PeriodicConfig {
+    PeriodicConfig {
+        confirm_periods: config.ff_confirm_periods,
+        ..PeriodicConfig::default()
+    }
+}
+
 fn prepare_batch(
     spec: &ModelSpec,
-    record_observations: bool,
+    config: &SweepConfig,
     lanes: usize,
 ) -> Result<PreparedBatch, BatchUnsupported> {
     let (arch, input, output) = spec.build();
@@ -607,7 +701,9 @@ fn prepare_batch(
     }
     let nodes = derived.tdg().node_count();
     let relation_count = arch.app().relations().len();
-    let engine = BatchedEngine::try_new(derived, relation_count, record_observations, lanes)?;
+    let mut engine =
+        BatchedEngine::try_new(derived, relation_count, config.record_observations, lanes)?;
+    engine.set_fast_forward_with(config.fast_forward, ff_config(config));
     let resource_count = arch.platform().len();
     Ok(PreparedBatch {
         engine,
@@ -778,7 +874,7 @@ fn evaluate(
 ) -> ScenarioResult {
     let prepared = cache
         .entry(spec.model.clone())
-        .or_insert_with(|| prepare(&spec.model, config.record_observations));
+        .or_insert_with(|| prepare(&spec.model, config));
     let reused_engine = prepared.uses > 0;
     if reused_engine {
         prepared.engine.reset();
@@ -789,6 +885,7 @@ fn evaluate(
     let start = Instant::now();
     let mut outcome = drive_engine(&mut prepared.engine, stimulus.arrivals());
     let wall = start.elapsed();
+    let fast_forward = prepared.engine.fast_forward_stats();
     outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
 
     let reference = config.compare_conventional.then(|| {
@@ -811,6 +908,7 @@ fn evaluate(
         reused_engine,
         batched: false,
         wall,
+        fast_forward,
         reference,
     }
 }
@@ -926,7 +1024,7 @@ fn evaluate_batch(
     let entry = state
         .batch
         .entry(model.clone())
-        .or_insert_with(|| prepare_batch(model, config.record_observations, width));
+        .or_insert_with(|| prepare_batch(model, config, width));
     let prepared = match entry {
         Ok(prepared) => prepared,
         Err(_) => {
@@ -959,8 +1057,10 @@ fn evaluate_batch(
         .into_iter()
         .zip(outcomes)
         .zip(stimuli)
-        .map(|(((index, spec), mut outcome), stimulus)| {
+        .enumerate()
+        .map(|(lane, (((index, spec), mut outcome), stimulus))| {
             outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
+            let fast_forward = prepared.engine.lane_fast_forward_stats(lane);
             let reference = config.compare_conventional.then(|| {
                 reference_for(
                     &prepared.arch,
@@ -980,6 +1080,7 @@ fn evaluate_batch(
                 reused_engine,
                 batched: true,
                 wall,
+                fast_forward,
                 reference,
             }
         })
@@ -1226,6 +1327,48 @@ mod tests {
                 a.label
             );
         }
+    }
+
+    #[test]
+    fn fast_forward_sweeps_match_and_report_stats() {
+        // Constant sizes + saturating source: offers ride the ack line,
+        // which settles periodic, so compiled scenarios promote — and must
+        // stay bitwise identical to a fast-forward-off sweep.
+        let scenarios: Vec<ScenarioSpec> = (0..4)
+            .map(|i| ScenarioSpec {
+                label: format!("ff{i}"),
+                model: ModelSpec {
+                    kind: ModelKind::Pipeline { stages: 3, base: 50, per_unit: 2 },
+                    padding: 0,
+                    backend: EvalBackend::Compiled,
+                },
+                trace: TraceSpec { tokens: 120, min_size: 8, max_size: 8, mean_period: 0, seed: i },
+            })
+            .collect();
+        let on = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 1, batch_width: 2, ..SweepConfig::default() },
+        );
+        let off = run_sweep(
+            &scenarios,
+            &SweepConfig {
+                threads: 1,
+                batch_width: 2,
+                fast_forward: FastForward::Off,
+                ..SweepConfig::default()
+            },
+        );
+        for (a, b) in on.scenarios.iter().zip(&off.scenarios) {
+            assert_eq!(a.outcome, b.outcome, "scenario {}", a.label);
+        }
+        let ff = on.total_fast_forward_stats();
+        assert!(ff.promotions >= scenarios.len() as u64, "{ff:?}");
+        assert!(ff.fast_forwarded_iterations > 0, "{ff:?}");
+        assert_eq!(off.total_fast_forward_stats(), FastForwardStats::default());
+        assert!(!on.detected_regimes().is_empty());
+        let rendered = on.to_json().render();
+        assert!(rendered.contains("\"fast_forward\""));
+        assert!(rendered.contains("\"detected_regimes\""));
     }
 
     #[test]

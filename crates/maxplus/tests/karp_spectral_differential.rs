@@ -1,0 +1,92 @@
+//! Differential property test: Karp's max-cycle-mean algorithm against the
+//! spectral power iteration, on random strongly connected matrices.
+//!
+//! For an irreducible (max,+) matrix the autonomous recurrence
+//! `x(k+1) = A ⊗ x(k)` enters a periodic regime
+//! `x(k + c) = (c·λ) ⊗ x(k)`; the growth per period over the cyclicity
+//! must equal the maximum cycle mean *exactly*, as a rational. The two
+//! implementations share no code — Karp runs dynamic programming over walk
+//! lengths, the power iteration detects a repeated normalized profile — so
+//! agreement pins both down. The fast-forward oracle
+//! (`evolve_core::predict_periodic_regime`) composes exactly these two
+//! results.
+
+use evolve_maxplus::{max_cycle_mean, transient, CycleMean, Matrix, MaxPlus, Vector};
+use proptest::prelude::*;
+
+/// A strongly connected matrix: a Hamiltonian cycle `i → i+1 (mod n)` is
+/// always present, plus random extra finite entries. Small weights keep
+/// power-iteration transients short.
+#[derive(Debug, Clone)]
+struct StronglyConnected {
+    n: usize,
+    cycle: Vec<i64>,
+    extra: Vec<(usize, usize, i64)>,
+}
+
+fn strongly_connected() -> impl Strategy<Value = StronglyConnected> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            let cycle = proptest::collection::vec(0i64..8, n);
+            let extra = proptest::collection::vec((0..n, 0..n, 0i64..8), 0..=2 * n);
+            (Just(n), cycle, extra)
+        })
+        .prop_map(|(n, cycle, extra)| StronglyConnected { n, cycle, extra })
+}
+
+fn build(spec: &StronglyConnected) -> Matrix {
+    let mut m = Matrix::epsilon(spec.n, spec.n);
+    for (i, &w) in spec.cycle.iter().enumerate() {
+        m[((i + 1) % spec.n, i)] = MaxPlus::new(w);
+    }
+    for &(src, dst, w) in &spec.extra {
+        m[(dst, src)] = m[(dst, src)].oplus(MaxPlus::new(w));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn karp_agrees_with_the_spectral_transient(spec in strongly_connected()) {
+        let a = build(&spec);
+        let lambda = max_cycle_mean(&a).expect("the Hamiltonian cycle guarantees a cycle");
+        let t = transient(&a, &Vector::e(a.rows()), 10_000);
+        // Irreducible matrices always reach the periodic regime; the step
+        // budget is generous for these sizes, but stay a prop_assume so a
+        // budget miss reads as "not covered", never as a false failure.
+        prop_assume!(t.is_some());
+        let t = t.unwrap();
+        prop_assert!(t.cyclicity >= 1);
+        prop_assert_eq!(
+            CycleMean::new(t.growth_per_period, t.cyclicity),
+            lambda,
+            "spectral {}/{} vs Karp {}/{}",
+            t.growth_per_period,
+            t.cyclicity,
+            lambda.numerator(),
+            lambda.denominator()
+        );
+    }
+
+    /// The eigenvalue is invariant under uniform (⊗-scalar) shifts of the
+    /// matrix: adding `s` to every finite entry adds `s` to the mean.
+    #[test]
+    fn cycle_mean_shifts_with_the_matrix(spec in strongly_connected(), s in 0i64..50) {
+        let a = build(&spec);
+        let mut shifted = Matrix::epsilon(a.rows(), a.cols());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                shifted[(r, c)] = a[(r, c)].otimes(MaxPlus::new(s));
+            }
+        }
+        let base = max_cycle_mean(&a).expect("cyclic");
+        let moved = max_cycle_mean(&shifted).expect("cyclic");
+        let expect = CycleMean::new(
+            base.numerator() + s * base.denominator() as i64,
+            base.denominator(),
+        );
+        prop_assert_eq!(moved, expect);
+    }
+}

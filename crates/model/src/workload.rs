@@ -142,6 +142,35 @@ impl LoadModel {
         }
     }
 
+    /// The period of this model in the iteration index `k`, if the model is
+    /// (eventually) periodic in `k`: `ops` restricted to any fixed `size`
+    /// satisfies `ops(k + q) == ops(k)` for the returned `q`. `None` means
+    /// the load is a pseudo-random function of `k` with no short period.
+    ///
+    /// Size-only and constant models report `Some(1)`. This is the
+    /// eligibility gate for periodic steady-state fast-forwarding: a
+    /// detected state period `p` is only sound to extrapolate when every
+    /// load's `k`-period divides `p` (checked via `p % q == 0`), otherwise
+    /// operation counts would diverge from the skipped evaluations.
+    pub fn k_period(&self) -> Option<u64> {
+        match self {
+            LoadModel::Constant(_) | LoadModel::PerUnit { .. } | LoadModel::Table(_) => Some(1),
+            LoadModel::Uniform { min, max, .. } => (min == max).then_some(1),
+            LoadModel::Trace(samples) => Some(samples.len().max(1) as u64),
+            LoadModel::Gated {
+                num, den, inner, ..
+            } => {
+                if *num == 0 {
+                    Some(1) // never active: ops are identically zero
+                } else if num >= den {
+                    inner.k_period() // always active: inner decides
+                } else {
+                    None // genuinely random activation per k
+                }
+            }
+        }
+    }
+
     /// Convenience constructor for [`LoadModel::Gated`].
     pub fn gated(num: u64, den: u64, seed: u64, inner: LoadModel) -> Self {
         LoadModel::Gated {
