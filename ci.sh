@@ -23,10 +23,21 @@ cargo test -q -p evolve-core --test batch_conformance --offline
 # explicit so a fast-forward regression is named in the CI log).
 cargo test -q -p evolve-core --test periodic_conformance --offline
 
+# Observer conformance: telemetry attachment must be bitwise invisible
+# across worklist/compiled/compiled+replay/batched paths, and streaming
+# usage plus exported Perfetto intervals must match ResourceTrace exactly
+# on promoted scenarios (also part of the workspace run above; kept
+# explicit so a telemetry regression is named in the CI log).
+cargo test -q -p evolve-core --test observer_conformance --offline
+
 # Bench smoke: the compiled backend must beat the worklist reference, the
 # batched engine must beat one-lane evaluation, and periodic fast-forward
 # must beat the plain sweep on a 1000-node synthetic graph (bounded
 # iterations; asserts all three ratios > 1 and checksum conformance).
+# Also the disabled-observer overhead gate: the compiled hot path — which
+# now carries the (detached) observer hooks — must stay within
+# EVOLVE_OVERHEAD_TOLERANCE (default 2%) of the committed
+# results/bench_engine.json baseline.
 cargo run --release -q -p evolve-bench --bin fig5 --offline -- --quick
 
 echo "ci: build, tests, clippy, conformance suites, and bench smoke all green"

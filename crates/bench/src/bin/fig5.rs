@@ -17,20 +17,31 @@
 //! steady-state fast-forward (O(1) template replay vs the full sweep);
 //! both are written to `results/bench_engine.json`.
 //!
-//! Usage: `fig5 [tokens] [dispatch_cost_ns] [threads] [--quick]`
+//! Usage: `fig5 [tokens] [dispatch_cost_ns] [threads] [--quick]
+//! [--metrics PATH] [--trace PATH]`
 //! (defaults: 5 000 tokens, 1 µs reference calibration, host parallelism).
 //! `--quick` is the CI smoke mode: it skips the conventional-reference
 //! sweep and runs only the grids' 1000-node points with a bounded
-//! iteration budget (asserting compiled > worklist, batched > scalar, and
-//! fast-forward > sweep), writing to `results/bench_engine_smoke.json` so
-//! the committed full-grid artifact is not clobbered.
+//! iteration budget (asserting compiled > worklist, batched > scalar,
+//! fast-forward > sweep, and that the detached-observer compiled hot path
+//! stays within `EVOLVE_OVERHEAD_TOLERANCE` — default 2% — of the
+//! committed `results/bench_engine.json` baseline), writing to
+//! `results/bench_engine_smoke.json` so the committed full-grid artifact
+//! is not clobbered. `--metrics PATH` writes a streaming-telemetry
+//! snapshot (Prometheus text, or JSON for `.json` paths); `--trace PATH`
+//! writes a Chrome trace-event file loadable in Perfetto.
+
+use std::path::PathBuf;
 
 use evolve_bench::{
     backend_grid, batch_grid, ff_grid, format_row, header, sweep_measurements,
     total_engine_stats, write_backend_report, BackendPoint, BatchPoint, FfPoint,
 };
 use evolve_core::{derive_tdg, synthetic};
-use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
+use evolve_explore::{
+    run_sweep, trace_scenario, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, SweepReport,
+    TraceSpec,
+};
 
 fn backend_section(targets: &[usize], budget: u64, reps: usize) -> Vec<BackendPoint> {
     println!("== engine backends: per-iteration ComputeInstant() cost ==");
@@ -109,10 +120,130 @@ fn write_report(
     println!("engine grids written to {}", path.display());
 }
 
+/// A saturating fixed-size pipeline stimulus the fast-forward detector
+/// promotes — the exemplar scenario behind `--trace` (and `--metrics` in
+/// quick mode), so the exported telemetry demonstrates exact
+/// observation-time usage across template replay.
+fn telemetry_scenario(tokens: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        label: "telemetry-pipeline".into(),
+        model: ModelSpec {
+            kind: ModelKind::Pipeline { stages: 4, base: 100, per_unit: 3 },
+            padding: 0,
+            backend: Default::default(),
+        },
+        trace: TraceSpec {
+            tokens,
+            min_size: 64,
+            max_size: 64,
+            mean_period: 0,
+            seed: 0x5eed,
+        },
+    }
+}
+
+/// Writes the `--metrics` / `--trace` artifacts. `report` is the main
+/// sweep's report when one ran (full mode); otherwise a one-scenario
+/// telemetry sweep is run on the spot.
+fn write_telemetry(
+    metrics: Option<&PathBuf>,
+    trace: Option<&PathBuf>,
+    report: Option<&SweepReport>,
+    tokens: u64,
+) {
+    if let Some(path) = metrics {
+        let standalone;
+        let report = match report {
+            Some(r) => r,
+            None => {
+                standalone = run_sweep(
+                    &[telemetry_scenario(tokens)],
+                    &SweepConfig { telemetry: true, ..SweepConfig::default() },
+                );
+                &standalone
+            }
+        };
+        report.write_metrics(path).expect("metrics written");
+        println!("telemetry metrics written to {}", path.display());
+    }
+    if let Some(path) = trace {
+        let (_, collector) = trace_scenario(&telemetry_scenario(tokens), &SweepConfig::default());
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("trace directory created");
+        }
+        std::fs::write(path, collector.to_chrome_trace().render()).expect("trace written");
+        println!("Perfetto trace written to {}", path.display());
+    }
+}
+
+/// Pulls `compiled_ns_per_iter` at the 1000-node point out of the committed
+/// full-grid artifact (a flat scan of the `points` array — the report format
+/// is written by this binary, so the shape is known).
+fn baseline_compiled_ns(report: &str) -> Option<f64> {
+    // Restrict to the backend `points` array: `batch_points`/`ff_points`
+    // repeat the `"nodes":1000` key with different fields.
+    let points = &report[..report.find("\"batch_points\"").unwrap_or(report.len())];
+    let at = points.find("\"nodes\":1000,")?;
+    let rest = &points[at..];
+    let key = "\"compiled_ns_per_iter\":";
+    let val = &rest[rest.find(key)? + key.len()..];
+    let end = val.find([',', '}'])?;
+    val[..end].parse().ok()
+}
+
+/// The disabled-observer overhead gate: the quick-mode compiled ns/iteration
+/// must stay within `EVOLVE_OVERHEAD_TOLERANCE` (default 2%) of the
+/// committed baseline. The engines in this run carry the observer hooks but
+/// no attached observer, so a regression here means the detached hot path
+/// got slower.
+fn overhead_gate(measured_ns: f64) {
+    let tolerance: f64 = std::env::var("EVOLVE_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let Ok(report) = std::fs::read_to_string("results/bench_engine.json") else {
+        println!("overhead gate skipped: no results/bench_engine.json baseline");
+        return;
+    };
+    let Some(baseline) = baseline_compiled_ns(&report) else {
+        println!("overhead gate skipped: no 1000-node compiled point in the baseline");
+        return;
+    };
+    let regression = measured_ns / baseline - 1.0;
+    assert!(
+        regression < tolerance,
+        "detached-observer hot path regressed {:.2}% over the recorded baseline \
+         ({measured_ns:.1} vs {baseline:.1} ns/it at 1000 nodes, tolerance {:.0}%)",
+        regression * 100.0,
+        tolerance * 100.0,
+    );
+    println!(
+        "overhead gate: compiled {measured_ns:.1} ns/it vs baseline {baseline:.1} \
+         ({:+.2}%, tolerance {:.0}%) — ok",
+        regression * 100.0,
+        tolerance * 100.0,
+    );
+}
+
 fn main() {
-    let (flags, positional): (Vec<String>, Vec<String>) =
-        std::env::args().skip(1).partition(|a| a.starts_with("--"));
-    let quick = flags.iter().any(|f| f == "--quick");
+    let mut quick = false;
+    let mut metrics: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--metrics" => {
+                metrics = Some(PathBuf::from(raw.next().expect("--metrics requires a path")));
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(raw.next().expect("--trace requires a path")));
+            }
+            other if other.starts_with("--") => panic!("unknown flag {other}"),
+            _ => positional.push(arg),
+        }
+    }
     let mut args = positional.into_iter();
     let tokens: u64 = args
         .next()
@@ -130,8 +261,10 @@ fn main() {
     if quick {
         // CI smoke: the compiled backend must beat the worklist and the
         // batched engine must beat one-lane evaluation at the 1000-node
-        // point, on a strictly bounded iteration budget.
-        let points = backend_section(&[1_000], 200_000, 2);
+        // point. The backend budget matches the full grid's 1000-node
+        // configuration (2000 iterations × 3 reps) so the measurement is
+        // comparable against the committed baseline for the overhead gate.
+        let points = backend_section(&[1_000], 2_000_000, 3);
         let p = &points[0];
         assert!(
             p.speedup() > 1.0,
@@ -140,6 +273,7 @@ fn main() {
             p.compiled_ns,
             p.worklist_ns
         );
+        overhead_gate(p.compiled_ns);
         let batch_points = batch_section(&[1_000], &[1, 8], 200_000, 2);
         let gain = batch_points[0].ns_per_lane_iter / batch_points[1].ns_per_lane_iter.max(1e-12);
         assert!(
@@ -173,6 +307,7 @@ fn main() {
             f.gain(),
             p.nodes
         );
+        write_telemetry(metrics.as_ref(), trace.as_ref(), None, tokens.min(500));
         return;
     }
 
@@ -215,6 +350,7 @@ fn main() {
             threads,
             compare_conventional: true,
             reference_dispatch_cost_ns: cost,
+            telemetry: metrics.is_some(),
             ..SweepConfig::default()
         },
     );
@@ -280,4 +416,5 @@ fn main() {
         &batch_points,
         &ff_points,
     );
+    write_telemetry(metrics.as_ref(), trace.as_ref(), Some(&report), tokens.min(500));
 }

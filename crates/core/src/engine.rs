@@ -37,6 +37,7 @@ use std::collections::VecDeque;
 use evolve_des::{EventId, Time};
 use evolve_maxplus::MaxPlus;
 use evolve_model::{ExecRecord, LoadContext};
+use evolve_obs::{BackendKind, EngineEvent, Observer};
 
 use crate::compile::{lower_node_meta, CompiledTdg, EvalBackend, Obs};
 use crate::derive::{DerivedTdg, SizeRule};
@@ -105,6 +106,18 @@ pub struct EngineStats {
     /// [`set_input_batch`](crate::BatchedEngine::set_input_batch) call,
     /// covering every active lane). `0` for the scalar engine.
     pub batched_iterations: u64,
+}
+
+impl From<EngineStats> for evolve_obs::EngineCounters {
+    fn from(s: EngineStats) -> Self {
+        evolve_obs::EngineCounters {
+            nodes_computed: s.nodes_computed,
+            arcs_evaluated: s.arcs_evaluated,
+            iterations_completed: s.iterations_completed,
+            lanes_evaluated: s.lanes_evaluated,
+            batched_iterations: s.batched_iterations,
+        }
+    }
 }
 
 /// Per-iteration evaluation state (recycled through a free list).
@@ -295,6 +308,9 @@ pub struct Engine {
     ff_scratch: Vec<u64>,
     /// Reusable two-pass extrapolation scratch (reconstructed accumulators).
     ff_acc_scratch: Vec<i64>,
+    /// Attached telemetry observer; `None` (the default) reduces the whole
+    /// telemetry layer to one branch per boundary call.
+    observer: Option<Box<dyn Observer>>,
 }
 
 /// Snapshot of observable-state lengths, diffed after a captured call to
@@ -471,8 +487,37 @@ impl Engine {
             ff_marks: FfMarks::default(),
             ff_scratch: Vec::new(),
             ff_acc_scratch: Vec::new(),
+            observer: None,
             tdg,
         }
+    }
+
+    /// Attaches a telemetry observer. The engine emits one
+    /// [`EngineEvent::Attached`] immediately, then lifecycle events and
+    /// execution-record batches at every boundary call — including records
+    /// synthesised by fast-forward template replay, so a streaming
+    /// observer sees exactly what [`Engine::exec_records`] accumulates.
+    pub fn attach_observer(&mut self, mut observer: Box<dyn Observer>) {
+        observer.on_event(EngineEvent::Attached {
+            backend: match self.backend {
+                EvalBackend::Compiled => BackendKind::Compiled,
+                EvalBackend::Worklist => BackendKind::Worklist,
+            },
+            nodes: self.tdg.node_count() as u64,
+            ff_eligible: self.ff_eligible,
+        });
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the observer, if one was attached (downcast it
+    /// back with [`evolve_obs::downcast`]).
+    pub fn detach_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.observer.take()
+    }
+
+    /// Whether a telemetry observer is currently attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// The underlying graph.
@@ -592,6 +637,11 @@ impl Engine {
         if let Some(pd) = &mut self.periodic {
             pd.reset();
         }
+        // The observer stays attached across scenarios; Reset marks the
+        // time-axis boundary so streaming accumulators seal their frontier.
+        if let Some(ob) = &mut self.observer {
+            ob.on_event(EngineEvent::Reset);
+        }
     }
 
     /// A snapshot of the engine's allocation footprint, for asserting
@@ -666,6 +716,54 @@ impl Engine {
     ///
     /// Panics if offers arrive out of iteration order for an input.
     pub fn try_set_input(
+        &mut self,
+        input: usize,
+        k: u64,
+        at: Time,
+        size: u64,
+    ) -> Result<(), EngineError> {
+        // Telemetry is observed from outside the evaluation path: diff the
+        // record log and fast-forward counters around the real call, so
+        // the hot loop below stays byte-identical whether or not an
+        // observer is attached.
+        let Some(mut ob) = self.observer.take() else {
+            return self.try_set_input_impl(input, k, at, size);
+        };
+        let rec_mark = self.exec_records.len();
+        let ff_before = self.fast_forward_stats();
+        let result = self.try_set_input_impl(input, k, at, size);
+        let ff_after = self.fast_forward_stats();
+        match &result {
+            Ok(()) => {
+                ob.on_event(EngineEvent::Offer {
+                    k,
+                    lane: 0,
+                    replayed: ff_after.fast_forwarded_iterations
+                        > ff_before.fast_forwarded_iterations,
+                });
+                if ff_after.promotions > ff_before.promotions {
+                    let d = ff_after.detected.expect("promotion implies a regime");
+                    ob.on_event(EngineEvent::FfPromoted {
+                        k,
+                        lane: 0,
+                        growth: d.growth,
+                        period: d.period,
+                    });
+                }
+                if ff_after.demotions > ff_before.demotions {
+                    ob.on_event(EngineEvent::FfDemoted { k, lane: 0 });
+                }
+                if self.exec_records.len() > rec_mark {
+                    ob.on_records(0, &self.exec_records[rec_mark..]);
+                }
+            }
+            Err(_) => ob.on_event(EngineEvent::Overflow { k }),
+        }
+        self.observer = Some(ob);
+        result
+    }
+
+    fn try_set_input_impl(
         &mut self,
         input: usize,
         k: u64,
@@ -930,6 +1028,18 @@ impl Engine {
     /// Panics if the output has no acknowledgment node or acknowledgments
     /// arrive out of iteration order.
     pub fn set_output_ack(&mut self, output: usize, k: u64, at: Time) {
+        let rec_mark = self.exec_records.len();
+        self.set_output_ack_impl(output, k, at);
+        if let Some(mut ob) = self.observer.take() {
+            ob.on_event(EngineEvent::OutputAck { k });
+            if self.exec_records.len() > rec_mark {
+                ob.on_records(0, &self.exec_records[rec_mark..]);
+            }
+            self.observer = Some(ob);
+        }
+    }
+
+    fn set_output_ack_impl(&mut self, output: usize, k: u64, at: Time) {
         let node = self.output_ack_nodes[output]
             .expect("output has an acknowledgment node");
         assert_eq!(

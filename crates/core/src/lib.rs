@@ -71,6 +71,9 @@ pub mod synthetic;
 mod tdg;
 pub mod validate;
 
+/// The telemetry layer engines report through (see `docs/OBSERVABILITY.md`).
+pub use evolve_obs as obs;
+
 pub use batch::{BatchUnsupported, BatchedEngine};
 pub use compile::{CompiledTdg, EvalBackend};
 pub use derive::{derive_tdg, derive_tdg_with, DeriveOptions, DerivedTdg, SizeRule, SizeRules};

@@ -143,6 +143,16 @@ impl FastForwardStats {
     }
 }
 
+impl From<FastForwardStats> for evolve_obs::FfCounters {
+    fn from(s: FastForwardStats) -> Self {
+        evolve_obs::FfCounters {
+            promotions: s.promotions,
+            demotions: s.demotions,
+            fast_forwarded_iterations: s.fast_forwarded_iterations,
+        }
+    }
+}
+
 /// Static (max,+) prediction of the periodic regime, from the frozen graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OraclePrediction {

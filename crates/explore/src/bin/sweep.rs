@@ -15,13 +15,17 @@
 //! 8; `1` disables batching), `--no-fast-forward` (disable periodic
 //! steady-state fast-forward, for A/B timing runs), `--compare` (also run
 //! the conventional DES model per scenario), `--out PATH` (report path,
-//! default `results/sweep.json`).
+//! default `results/sweep.json`), `--metrics PATH` (enable streaming
+//! telemetry and write a metrics snapshot — Prometheus text exposition, or
+//! JSON when the path ends in `.json`), `--trace PATH` (re-run the first
+//! grid scenario under a trace collector and write a Chrome trace-event
+//! file loadable in Perfetto).
 
 use std::path::PathBuf;
 
 use evolve_explore::{
-    run_sweep, EvalBackend, FastForward, Json, ModelKind, ModelSpec, ScenarioSpec, SweepConfig,
-    TraceSpec,
+    run_sweep, trace_scenario, EvalBackend, FastForward, Json, ModelKind, ModelSpec, ScenarioSpec,
+    SweepConfig, TraceSpec,
 };
 
 struct Options {
@@ -32,9 +36,11 @@ struct Options {
     fast_forward: FastForward,
     compare: bool,
     out: PathBuf,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--batch N] [--no-fast-forward] [--compare] [--out PATH]";
+const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--batch N] [--no-fast-forward] [--compare] [--out PATH] [--metrics PATH] [--trace PATH]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}\n{USAGE}");
@@ -50,6 +56,8 @@ fn parse_args() -> Options {
         fast_forward: FastForward::On,
         compare: false,
         out: PathBuf::from("results/sweep.json"),
+        metrics: None,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +82,8 @@ fn parse_args() -> Options {
             "--no-fast-forward" => options.fast_forward = FastForward::Off,
             "--compare" => options.compare = true,
             "--out" => options.out = PathBuf::from(value("--out")),
+            "--metrics" => options.metrics = Some(PathBuf::from(value("--metrics"))),
+            "--trace" => options.trace = Some(PathBuf::from(value("--trace"))),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -140,6 +150,7 @@ fn main() {
             compare_conventional: options.compare,
             batch_width: options.batch,
             fast_forward: options.fast_forward,
+            telemetry: options.metrics.is_some(),
             ..SweepConfig::default()
         },
     );
@@ -226,5 +237,37 @@ fn main() {
     }
     std::fs::write(&options.out, doc.render()).expect("write report");
     eprintln!("wrote {}", options.out.display());
+
+    if let Some(path) = &options.metrics {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create metrics directory");
+        }
+        parallel.write_metrics(path).expect("write metrics");
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &options.trace {
+        // Re-run the first grid scenario (a saturating, fixed-size trace the
+        // fast-forward detector promotes) under a trace collector, and write
+        // the observation-time resource activity plus host-time engine spans
+        // as a Chrome trace-event file.
+        let (result, collector) = trace_scenario(
+            &scenarios[0],
+            &SweepConfig {
+                batch_width: 1,
+                fast_forward: options.fast_forward,
+                ..SweepConfig::default()
+            },
+        );
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create trace directory");
+        }
+        std::fs::write(path, collector.to_chrome_trace().render()).expect("write trace");
+        eprintln!(
+            "wrote {} ({} tracks from scenario {})",
+            path.display(),
+            collector.tracks().count(),
+            result.label,
+        );
+    }
     assert!(identical, "parallel sweep diverged from the sequential path");
 }

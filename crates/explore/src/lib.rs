@@ -51,11 +51,12 @@ pub mod json;
 pub mod sweep;
 
 pub use evolve_core::{EvalBackend, FastForward, FastForwardStats};
+pub use evolve_obs::{MetricsSnapshot, TelemetrySink, TraceCollector};
 pub use json::Json;
 pub use sweep::{
-    drive_batch, drive_engine, parallel_map, parallel_map_with, run_sweep, BatchingStats,
-    ModelKind, ModelSpec, ReferenceComparison, ScenarioOutcome, ScenarioResult, ScenarioSpec,
-    SweepConfig, SweepReport, TraceSpec,
+    drive_batch, drive_engine, parallel_map, parallel_map_with, run_sweep, trace_scenario,
+    BatchingStats, ModelKind, ModelSpec, ReferenceComparison, ScenarioOutcome, ScenarioResult,
+    ScenarioSpec, SweepConfig, SweepReport, TraceSpec,
 };
 
 use evolve_core::{analysis, derive_tdg, equivalent_simulation, EquivalentError};

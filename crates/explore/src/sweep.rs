@@ -61,6 +61,7 @@ use evolve_des::{SplitMix64, Time};
 use evolve_model::{
     didactic, elaborate, Architecture, Arrival, Environment, ExecRecord, RelationId, Stimulus,
 };
+use evolve_obs::{downcast, EjectReason, EngineEvent, MetricsSnapshot, Observer as _, TelemetrySink, TraceCollector};
 
 use crate::json::Json;
 
@@ -297,6 +298,12 @@ pub struct SweepConfig {
     /// verifies before promoting (clamped to ≥ 2 by the engine); see
     /// `docs/SWEEP.md` for tuning guidance.
     pub ff_confirm_periods: u64,
+    /// Attach a streaming [`TelemetrySink`] to every engine drive and
+    /// aggregate the per-worker shards into
+    /// [`SweepReport::telemetry`]. Off by default: outcomes are bitwise
+    /// identical either way (the observer-conformance suite pins this
+    /// down), but observation costs a few percent of sweep throughput.
+    pub telemetry: bool,
 }
 
 impl Default for SweepConfig {
@@ -309,6 +316,7 @@ impl Default for SweepConfig {
             batch_width: 1,
             fast_forward: FastForward::On,
             ff_confirm_periods: PeriodicConfig::default().confirm_periods,
+            telemetry: false,
         }
     }
 }
@@ -347,6 +355,22 @@ pub struct BatchingStats {
     pub eject_unsupported: u64,
 }
 
+impl From<BatchingStats> for evolve_obs::BatchCounters {
+    fn from(b: BatchingStats) -> Self {
+        evolve_obs::BatchCounters {
+            batch_width: b.batch_width as u64,
+            batches_formed: b.batches_formed,
+            lanes_batched: b.lanes_batched,
+            lanes_scalar: b.lanes_scalar,
+            lockstep_iterations: b.lockstep_iterations,
+            eject_worklist: b.eject_worklist,
+            eject_empty_trace: b.eject_empty_trace,
+            eject_single_lane: b.eject_single_lane,
+            eject_unsupported: b.eject_unsupported,
+        }
+    }
+}
+
 impl BatchingStats {
     fn absorb(&mut self, other: BatchingStats) {
         self.batches_formed += other.batches_formed;
@@ -372,6 +396,12 @@ pub struct SweepReport {
     pub batching: BatchingStats,
     /// Host wall-clock time of the whole sweep.
     pub wall: HostDuration,
+    /// Merged streaming-telemetry shards (resource metrics, event counts),
+    /// present when [`SweepConfig::telemetry`] was on. Counter families
+    /// are overlaid from the report's own totals by
+    /// [`SweepReport::metrics_snapshot`], which works with or without
+    /// this field.
+    pub telemetry: Option<MetricsSnapshot>,
 }
 
 impl SweepReport {
@@ -425,6 +455,62 @@ impl SweepReport {
         hist
     }
 
+    /// One [`MetricsSnapshot`] carrying every counter family of the sweep
+    /// — engine work, fast-forward, batching, lifecycle events, and (when
+    /// [`SweepConfig::telemetry`] was on) streamed per-resource metrics —
+    /// so `FastForwardStats` and `BatchingStats` flow through the same
+    /// Prometheus/JSON exporters as everything else.
+    ///
+    /// Counter families come from the report's own deterministic totals.
+    /// Without a telemetry shard, boundary events are synthesised from the
+    /// scenario outcomes (offers = input acks; acks = output writes, the
+    /// boundary exchanges a kernel would count), so the Table I
+    /// event-ratio gauge is live either way.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.telemetry.clone().unwrap_or_default();
+        snap.engine = self.total_engine_stats().into();
+        snap.ff = self.total_fast_forward_stats().into();
+        snap.batch = self.batching.into();
+        if snap.events.boundary_events() == 0 {
+            let inputs: u64 = self
+                .scenarios
+                .iter()
+                .map(|s| s.outcome.input_acks.len() as u64)
+                .sum();
+            let boundary: u64 = self.scenarios.iter().map(|s| s.outcome.boundary_events).sum();
+            snap.events.offers = inputs;
+            snap.events.output_acks = boundary.saturating_sub(inputs);
+        }
+        if snap.regimes.is_empty() {
+            for (d, count) in self.detected_regimes() {
+                for _ in 0..count {
+                    snap.regimes.push((d.growth, d.period));
+                }
+            }
+        }
+        snap
+    }
+
+    /// Writes the [`metrics_snapshot`](SweepReport::metrics_snapshot) to
+    /// `path`: Prometheus text exposition, or a JSON document when the
+    /// path ends in `.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_metrics(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let snap = self.metrics_snapshot();
+        let body = if path.extension().is_some_and(|e| e == "json") {
+            snap.to_json().render()
+        } else {
+            evolve_obs::prometheus(&snap)
+        };
+        std::fs::write(path, body)
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> Json {
         let totals = self.total_engine_stats();
@@ -439,6 +525,7 @@ impl SweepReport {
             ),
             ("batching", batching_json(&self.batching)),
             ("fast_forward", fast_forward_report_json(self)),
+            ("telemetry", self.metrics_snapshot().to_json()),
             (
                 "scenarios",
                 Json::Array(self.scenarios.iter().map(scenario_json).collect()),
@@ -871,6 +958,7 @@ fn evaluate(
     index: usize,
     spec: &ScenarioSpec,
     config: &SweepConfig,
+    tel: &mut Option<Box<TelemetrySink>>,
 ) -> ScenarioResult {
     let prepared = cache
         .entry(spec.model.clone())
@@ -881,10 +969,20 @@ fn evaluate(
     }
     prepared.uses += 1;
 
+    // The sink rides inside the engine for the drive and is taken back
+    // right after — one Box round-trip per scenario, no reallocation.
+    if let Some(sink) = tel.take() {
+        prepared.engine.attach_observer(sink);
+    }
     let stimulus = spec.trace.stimulus();
     let start = Instant::now();
     let mut outcome = drive_engine(&mut prepared.engine, stimulus.arrivals());
     let wall = start.elapsed();
+    if let Some(ob) = prepared.engine.detach_observer() {
+        let mut sink = downcast::<TelemetrySink>(ob);
+        sink.seal_lanes();
+        *tel = Some(sink);
+    }
     let fast_forward = prepared.engine.fast_forward_stats();
     outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
 
@@ -1018,6 +1116,7 @@ fn evaluate_batch(
     group: Vec<(usize, ScenarioSpec)>,
     config: &SweepConfig,
     stats: &mut BatchingStats,
+    tel: &mut Option<Box<TelemetrySink>>,
 ) -> Vec<ScenarioResult> {
     let width = group.len();
     let model = &group[0].1.model;
@@ -1032,7 +1131,13 @@ fn evaluate_batch(
             for (index, spec) in &group {
                 stats.eject_unsupported += 1;
                 stats.lanes_scalar += 1;
-                out.push(evaluate(&mut state.scalar, *index, spec, config));
+                if let Some(sink) = tel.as_deref_mut() {
+                    sink.on_event(EngineEvent::LaneEjected {
+                        lane: *index as u32,
+                        reason: EjectReason::Unsupported,
+                    });
+                }
+                out.push(evaluate(&mut state.scalar, *index, spec, config, tel));
             }
             return out;
         }
@@ -1043,11 +1148,19 @@ fn evaluate_batch(
     }
     prepared.uses += 1;
 
+    if let Some(sink) = tel.take() {
+        prepared.engine.attach_observer(sink);
+    }
     let stimuli: Vec<Stimulus> = group.iter().map(|(_, s)| s.trace.stimulus()).collect();
     let traces: Vec<&[Arrival]> = stimuli.iter().map(|s| s.arrivals()).collect();
     let start = Instant::now();
     let outcomes = drive_batch(&mut prepared.engine, &traces);
     let wall = start.elapsed() / width as u32;
+    if let Some(ob) = prepared.engine.detach_observer() {
+        let mut sink = downcast::<TelemetrySink>(ob);
+        sink.seal_lanes();
+        *tel = Some(sink);
+    }
 
     stats.batches_formed += 1;
     stats.lanes_batched += width as u64;
@@ -1091,8 +1204,12 @@ fn process_unit(
     state: &mut WorkerState,
     unit: WorkUnit,
     config: &SweepConfig,
-) -> (Vec<ScenarioResult>, BatchingStats) {
+) -> (Vec<ScenarioResult>, BatchingStats, Option<Box<TelemetrySink>>) {
     let mut stats = BatchingStats::default();
+    // One telemetry shard per unit; `run_sweep` merges shards in unit
+    // order at its single ordering point.
+    let mut tel: Option<Box<TelemetrySink>> =
+        config.telemetry.then(|| Box::new(TelemetrySink::new()));
     match unit {
         WorkUnit::Scalar {
             index,
@@ -1100,18 +1217,33 @@ fn process_unit(
             reason,
         } => {
             stats.lanes_scalar += 1;
-            match reason {
-                ScalarReason::BatchingOff => {}
-                ScalarReason::Worklist => stats.eject_worklist += 1,
-                ScalarReason::EmptyTrace => stats.eject_empty_trace += 1,
-                ScalarReason::SingleLane => stats.eject_single_lane += 1,
+            let eject = match reason {
+                ScalarReason::BatchingOff => None,
+                ScalarReason::Worklist => {
+                    stats.eject_worklist += 1;
+                    Some(EjectReason::Worklist)
+                }
+                ScalarReason::EmptyTrace => {
+                    stats.eject_empty_trace += 1;
+                    Some(EjectReason::EmptyTrace)
+                }
+                ScalarReason::SingleLane => {
+                    stats.eject_single_lane += 1;
+                    Some(EjectReason::SingleLane)
+                }
+            };
+            if let (Some(sink), Some(reason)) = (tel.as_deref_mut(), eject) {
+                sink.on_event(EngineEvent::LaneEjected {
+                    lane: index as u32,
+                    reason,
+                });
             }
-            let result = evaluate(&mut state.scalar, index, &spec, config);
-            (vec![result], stats)
+            let result = evaluate(&mut state.scalar, index, &spec, config, &mut tel);
+            (vec![result], stats, tel)
         }
         WorkUnit::Batch(group) => {
-            let results = evaluate_batch(state, group, config, &mut stats);
-            (results, stats)
+            let results = evaluate_batch(state, group, config, &mut stats, &mut tel);
+            (results, stats, tel)
         }
     }
 }
@@ -1144,9 +1276,15 @@ pub fn run_sweep(scenarios: &[ScenarioSpec], config: &SweepConfig) -> SweepRepor
         ..BatchingStats::default()
     };
     let mut results = Vec::with_capacity(scenarios.len());
-    for (unit_results, unit_stats) in processed {
+    let mut telemetry: Option<TelemetrySink> = config.telemetry.then(TelemetrySink::new);
+    for (unit_results, unit_stats, unit_tel) in processed {
         results.extend(unit_results);
         batching.absorb(unit_stats);
+        // Telemetry shards merge here too: `processed` is in unit order
+        // for any thread count, so the aggregate is deterministic.
+        if let (Some(total), Some(shard)) = (telemetry.as_mut(), unit_tel) {
+            total.merge(*shard);
+        }
     }
     // The single ordering point of the report: units interleave scenario
     // indices (batches pull scattered indices together), so re-sort by
@@ -1161,7 +1299,58 @@ pub fn run_sweep(scenarios: &[ScenarioSpec], config: &SweepConfig) -> SweepRepor
         scenarios: results,
         batching,
         wall: start.elapsed(),
+        telemetry: telemetry.map(|mut sink| sink.snapshot()),
     }
+}
+
+/// Evaluates one scenario with a [`TraceCollector`] attached and returns
+/// the result together with the collector, ready for Chrome-trace export
+/// (`collector.to_chrome_trace()`, loadable in Perfetto).
+///
+/// The collector's observation-time tracks are built from the records the
+/// engine streams at every boundary call — including iterations answered
+/// by fast-forward template replay — and its merged intervals equal
+/// [`ResourceTrace::from_records`](evolve_model::ResourceTrace::from_records)
+/// on the same records exactly (the observer conformance suite pins this
+/// down on a promoted scenario). One host-time span covering the whole
+/// drive is added alongside.
+///
+/// Requires [`SweepConfig::record_observations`] (off, there are no
+/// records to stream).
+///
+/// # Panics
+///
+/// Panics if the scenario's model fails to build or derive.
+pub fn trace_scenario(
+    spec: &ScenarioSpec,
+    config: &SweepConfig,
+) -> (ScenarioResult, Box<TraceCollector>) {
+    let mut prepared = prepare(&spec.model, config);
+    prepared.engine.attach_observer(Box::new(TraceCollector::new()));
+    let stimulus = spec.trace.stimulus();
+    let start = Instant::now();
+    let mut outcome = drive_engine(&mut prepared.engine, stimulus.arrivals());
+    let wall = start.elapsed();
+    let fast_forward = prepared.engine.fast_forward_stats();
+    outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
+    let mut collector =
+        downcast::<TraceCollector>(prepared.engine.detach_observer().expect("attached above"));
+    let end_us = collector.now_us();
+    let start_us = (end_us - wall.as_secs_f64() * 1e6).max(0.0);
+    collector.push_span(format!("drive {}", spec.label), start_us, end_us);
+    let result = ScenarioResult {
+        index: 0,
+        label: spec.label.clone(),
+        outcome,
+        nodes: prepared.nodes,
+        backend: spec.model.backend,
+        reused_engine: false,
+        batched: false,
+        wall,
+        fast_forward,
+        reference: None,
+    };
+    (result, collector)
 }
 
 #[cfg(test)]

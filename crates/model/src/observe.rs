@@ -73,13 +73,12 @@ impl ResourceTrace {
             .sum()
     }
 
-    /// Utilization over `[0, horizon)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `horizon` is time zero.
+    /// Utilization over `[0, horizon)`; `0.0` at a zero horizon (an empty
+    /// window has no busy time, not an undefined ratio).
     pub fn utilization(&self, horizon: Time) -> f64 {
-        assert!(horizon > Time::ZERO, "utilization needs a nonzero horizon");
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
         let busy: u64 = self
             .intervals
             .iter()
@@ -122,9 +121,13 @@ impl UsageSeries {
     /// Panics if `bin_ticks` is zero.
     pub fn from_records(records: &[ExecRecord], resource: ResourceId, bin_ticks: u64) -> Self {
         assert!(bin_ticks > 0, "bin width must be nonzero");
+        // Zero-width records carry no ops and must not stretch the series:
+        // a record ending exactly on a bin boundary ends the series at
+        // that boundary (its last touched bin is `(end − 1) / bin_ticks`),
+        // so the horizon only counts records with actual width.
         let horizon = records
             .iter()
-            .filter(|r| r.resource == resource)
+            .filter(|r| r.resource == resource && r.start < r.end)
             .map(|r| r.end.ticks())
             .max()
             .unwrap_or(0);
@@ -240,6 +243,41 @@ mod tests {
         let records = [rec(0, 0, 10, 100), rec(0, 0, 10, 300)];
         let s = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
         assert!((s.bins[0] - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_ending_on_bin_boundary_stays_in_its_bin() {
+        // [0, 10) with bins of 10 ends exactly on the first bin boundary:
+        // one bin, all ops in it, none spilling into a phantom second bin.
+        let records = [rec(0, 0, 10, 100)];
+        let s = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
+        assert_eq!(s.bins.len(), 1);
+        assert!((s.bins[0] - 10.0).abs() < 1e-12);
+        // Same with the record in a later bin: [10, 20) → exactly 2 bins.
+        let records = [rec(0, 10, 20, 100)];
+        let s = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
+        assert_eq!(s.bins.len(), 2);
+        assert_eq!(s.bins[0], 0.0);
+        assert!((s.bins[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_width_records_do_not_stretch_the_series() {
+        // A zero-width record at t=100 contributes nothing and must not
+        // manufacture ten empty bins.
+        let records = [rec(0, 0, 10, 50), rec(0, 100, 100, 7)];
+        let s = UsageSeries::from_records(&records, ResourceId::from_index(0), 10);
+        assert_eq!(s.bins.len(), 1);
+        assert!((s.total_ops() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_zero_horizon_is_zero() {
+        let records = [rec(0, 0, 50, 1)];
+        let trace = ResourceTrace::from_records(&records, ResourceId::from_index(0));
+        assert_eq!(trace.utilization(Time::ZERO), 0.0);
+        let empty = ResourceTrace::default();
+        assert_eq!(empty.utilization(Time::ZERO), 0.0);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! The format is the plain-text exposition format (version 0.0.4): one
+//! `# HELP` / `# TYPE` header per family, `evolve_`-prefixed metric
+//! names, labels for per-resource series, and `_bucket`/`_sum`/`_count`
+//! series for the log-bucketed duration histograms.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    family(out, name, help, "counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    counter(
+        &mut out,
+        "evolve_engine_nodes_computed_total",
+        "Graph nodes computed across all iterations",
+        snapshot.engine.nodes_computed,
+    );
+    counter(
+        &mut out,
+        "evolve_engine_arcs_evaluated_total",
+        "Arc-weight evaluations performed",
+        snapshot.engine.arcs_evaluated,
+    );
+    counter(
+        &mut out,
+        "evolve_engine_iterations_completed_total",
+        "Iterations fully computed",
+        snapshot.engine.iterations_completed,
+    );
+    counter(
+        &mut out,
+        "evolve_engine_lanes_evaluated_total",
+        "Scenario lanes evaluated by batched engines",
+        snapshot.engine.lanes_evaluated,
+    );
+    counter(
+        &mut out,
+        "evolve_engine_batched_iterations_total",
+        "Lockstep batched sweeps performed",
+        snapshot.engine.batched_iterations,
+    );
+
+    counter(
+        &mut out,
+        "evolve_ff_promotions_total",
+        "Fast-forward promotions to template replay",
+        snapshot.ff.promotions,
+    );
+    counter(
+        &mut out,
+        "evolve_ff_demotions_total",
+        "Fast-forward demotions back to the full sweep",
+        snapshot.ff.demotions,
+    );
+    counter(
+        &mut out,
+        "evolve_ff_fast_forwarded_iterations_total",
+        "Iterations answered by template replay",
+        snapshot.ff.fast_forwarded_iterations,
+    );
+
+    family(
+        &mut out,
+        "evolve_batch_width",
+        "Configured lockstep batch width",
+        "gauge",
+    );
+    let _ = writeln!(out, "evolve_batch_width {}", snapshot.batch.batch_width);
+    counter(
+        &mut out,
+        "evolve_batch_batches_formed_total",
+        "Lockstep batches driven to completion",
+        snapshot.batch.batches_formed,
+    );
+    counter(
+        &mut out,
+        "evolve_batch_lanes_batched_total",
+        "Scenarios evaluated as lanes of a batch",
+        snapshot.batch.lanes_batched,
+    );
+    counter(
+        &mut out,
+        "evolve_batch_lanes_scalar_total",
+        "Scenarios evaluated on the scalar path",
+        snapshot.batch.lanes_scalar,
+    );
+    counter(
+        &mut out,
+        "evolve_batch_lockstep_iterations_total",
+        "Lockstep sweeps executed across all batches",
+        snapshot.batch.lockstep_iterations,
+    );
+    family(
+        &mut out,
+        "evolve_batch_ejections_total",
+        "Scenarios ejected from batching to the scalar path, by reason",
+        "counter",
+    );
+    for (reason, value) in [
+        ("worklist", snapshot.batch.eject_worklist),
+        ("empty_trace", snapshot.batch.eject_empty_trace),
+        ("single_lane", snapshot.batch.eject_single_lane),
+        ("unsupported", snapshot.batch.eject_unsupported),
+    ] {
+        let _ = writeln!(out, "evolve_batch_ejections_total{{reason=\"{reason}\"}} {value}");
+    }
+
+    family(
+        &mut out,
+        "evolve_events_total",
+        "Engine lifecycle events observed, by kind",
+        "counter",
+    );
+    for (kind, value) in [
+        ("attach", snapshot.events.attaches),
+        ("offer", snapshot.events.offers),
+        ("offer_replayed", snapshot.events.replayed_offers),
+        ("batch_sweep", snapshot.events.batch_sweeps),
+        ("batch_sweep_replayed", snapshot.events.replayed_batch_sweeps),
+        ("output_ack", snapshot.events.output_acks),
+        ("ff_promoted", snapshot.events.promotions),
+        ("ff_demoted", snapshot.events.demotions),
+        ("lane_ejected", snapshot.events.lane_ejections),
+        ("overflow", snapshot.events.overflows),
+        ("reset", snapshot.events.resets),
+    ] {
+        let _ = writeln!(out, "evolve_events_total{{kind=\"{kind}\"}} {value}");
+    }
+
+    counter(
+        &mut out,
+        "evolve_boundary_events_total",
+        "Interface instants the equivalent model still simulates",
+        snapshot.events.boundary_events(),
+    );
+
+    family(
+        &mut out,
+        "evolve_event_ratio",
+        "Kernel events avoided plus boundary events, over boundary events (Table I)",
+        "gauge",
+    );
+    match snapshot.event_ratio() {
+        Some(ratio) => {
+            let _ = writeln!(out, "evolve_event_ratio {ratio}");
+        }
+        None => {
+            let _ = writeln!(out, "evolve_event_ratio NaN");
+        }
+    }
+
+    family(
+        &mut out,
+        "evolve_resource_busy_ticks_total",
+        "Observation-time busy ticks per resource",
+        "counter",
+    );
+    for r in &snapshot.resources {
+        let _ = writeln!(
+            out,
+            "evolve_resource_busy_ticks_total{{resource=\"{}\"}} {}",
+            r.resource, r.busy_ticks
+        );
+    }
+    family(
+        &mut out,
+        "evolve_resource_ops_total",
+        "Abstract operations executed per resource",
+        "counter",
+    );
+    for r in &snapshot.resources {
+        let _ = writeln!(
+            out,
+            "evolve_resource_ops_total{{resource=\"{}\"}} {}",
+            r.resource, r.ops
+        );
+    }
+    family(
+        &mut out,
+        "evolve_resource_records_total",
+        "Execution records observed per resource",
+        "counter",
+    );
+    for r in &snapshot.resources {
+        let _ = writeln!(
+            out,
+            "evolve_resource_records_total{{resource=\"{}\"}} {}",
+            r.resource, r.records
+        );
+    }
+    family(
+        &mut out,
+        "evolve_resource_out_of_order_total",
+        "Records clamped by the streaming frontier (busy time exact iff 0)",
+        "counter",
+    );
+    for r in &snapshot.resources {
+        let _ = writeln!(
+            out,
+            "evolve_resource_out_of_order_total{{resource=\"{}\"}} {}",
+            r.resource, r.out_of_order
+        );
+    }
+    family(
+        &mut out,
+        "evolve_resource_utilization",
+        "Busy ticks over observed horizon per resource",
+        "gauge",
+    );
+    for r in &snapshot.resources {
+        let _ = writeln!(
+            out,
+            "evolve_resource_utilization{{resource=\"{}\"}} {}",
+            r.resource, r.utilization
+        );
+    }
+    family(
+        &mut out,
+        "evolve_resource_exec_duration_ticks",
+        "Execution record durations per resource (power-of-two buckets)",
+        "histogram",
+    );
+    for r in &snapshot.resources {
+        for (le, cum) in r.durations.cumulative_buckets() {
+            let _ = writeln!(
+                out,
+                "evolve_resource_exec_duration_ticks_bucket{{resource=\"{}\",le=\"{le}\"}} {cum}",
+                r.resource
+            );
+        }
+        let _ = writeln!(
+            out,
+            "evolve_resource_exec_duration_ticks_bucket{{resource=\"{}\",le=\"+Inf\"}} {}",
+            r.resource,
+            r.durations.count()
+        );
+        let _ = writeln!(
+            out,
+            "evolve_resource_exec_duration_ticks_sum{{resource=\"{}\"}} {}",
+            r.resource,
+            r.durations.sum()
+        );
+        let _ = writeln!(
+            out,
+            "evolve_resource_exec_duration_ticks_count{{resource=\"{}\"}} {}",
+            r.resource,
+            r.durations.count()
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use evolve_des::Time;
+    use evolve_model::{ExecRecord, FunctionId, ResourceId};
+
+    use crate::metrics::TelemetrySink;
+    use crate::Observer as _;
+
+    use super::*;
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut sink = TelemetrySink::new();
+        sink.on_records(
+            0,
+            &[ExecRecord {
+                resource: ResourceId::from_index(2),
+                function: FunctionId::from_index(0),
+                stmt: 0,
+                k: 0,
+                start: Time::from_ticks(0),
+                end: Time::from_ticks(10),
+                ops: 100,
+            }],
+        );
+        sink.on_event(crate::EngineEvent::Offer {
+            k: 0,
+            lane: 0,
+            replayed: false,
+        });
+        let text = prometheus(&sink.snapshot());
+        assert!(text.contains("# TYPE evolve_engine_nodes_computed_total counter"));
+        assert!(text.contains("evolve_resource_busy_ticks_total{resource=\"2\"} 10"));
+        assert!(text.contains("evolve_events_total{kind=\"offer\"} 1"));
+        assert!(text.contains("evolve_resource_exec_duration_ticks_bucket{resource=\"2\",le=\"16\"} 1"));
+        assert!(text.contains("evolve_resource_exec_duration_ticks_bucket{resource=\"2\",le=\"+Inf\"} 1"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_nan_ratio() {
+        let text = prometheus(&TelemetrySink::new().snapshot());
+        assert!(text.contains("evolve_event_ratio NaN"));
+    }
+}

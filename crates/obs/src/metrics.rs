@@ -1,0 +1,1147 @@
+//! Streaming observation-time resource metrics with bounded memory.
+//!
+//! [`TelemetrySink`] is the workhorse [`Observer`]: it folds every streamed
+//! [`ExecRecord`] into per-resource accumulators ([`ResourceMetrics`]) and
+//! counts lifecycle events ([`EventCounters`]) — no record buffering, so a
+//! billion-iteration drive observes in O(resources) memory. Records
+//! produced by fast-forward template replay stream through the same path,
+//! so the accumulated busy time stays exact under promotion; the analytic
+//! alternative (fold the one-period template once, multiply by the period
+//! count) is provided by [`PeriodUsage`] and verified against brute force.
+//!
+//! A finished sink (or several merged shards) freezes into a
+//! [`MetricsSnapshot`], exportable as JSON or Prometheus text exposition
+//! (see [`crate::export`]).
+
+use std::any::Any;
+
+use evolve_model::ExecRecord;
+
+use crate::event::{BackendKind, EngineEvent};
+use crate::json::Json;
+use crate::observer::{Observer, Sealed};
+
+/// Number of [`LogHistogram`] buckets: one for zero plus one per power of
+/// two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-bucketed (power-of-two) histogram of `u64` samples.
+///
+/// Bucket `0` counts zero samples; bucket `i ≥ 1` counts samples in
+/// `[2^(i-1), 2^i)`. Fixed size, so recording is O(1) and merging two
+/// histograms is exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Bucket index of `value`.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples (used by the analytic period fold).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every bucket of `other` into this histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound, count)` per non-empty bucket. The upper bound of
+    /// bucket `i` is `2^i` (exclusive); the last bucket reports
+    /// `u64::MAX`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let upper = if i >= 64 { u64::MAX } else { 1u64 << i };
+                (upper, *c)
+            })
+    }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs over non-empty
+    /// buckets — the shape Prometheus `le` buckets want.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut cum = 0u64;
+        let mut out = Vec::new();
+        for (i, c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if *c > 0 {
+                let upper = if i >= 64 { u64::MAX } else { 1u64 << i };
+                out.push((upper, cum));
+            }
+        }
+        out
+    }
+}
+
+/// Streaming per-resource accumulator.
+///
+/// Maintains the running busy time with a single open frontier interval:
+/// records arriving in non-decreasing start order (the engines' production
+/// order within one lane) merge exactly, matching
+/// [`ResourceTrace::from_records`](evolve_model::ResourceTrace::from_records).
+/// A record starting before the frontier is clamped and counted in
+/// [`out_of_order`](ResourceMetrics::out_of_order); busy time is exact iff
+/// that counter is zero (it then under-approximates, never over-counts).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResourceMetrics {
+    /// Busy ticks of already-closed merged intervals.
+    closed_busy: u64,
+    /// The open merged interval `[start, end)`, if any.
+    frontier: Option<(u64, u64)>,
+    /// Total abstract operations executed.
+    pub ops: u64,
+    /// Execution records observed (including zero-width ones).
+    pub records: u64,
+    /// Records that started before the streaming frontier (clamped).
+    pub out_of_order: u64,
+    /// Largest end instant observed, in ticks.
+    pub horizon_ticks: u64,
+    /// Histogram of record durations (ticks).
+    pub durations: LogHistogram,
+}
+
+impl ResourceMetrics {
+    /// Folds one execution record into the accumulator.
+    pub fn observe(&mut self, start: u64, end: u64, ops: u64) {
+        self.records += 1;
+        self.ops += ops;
+        self.horizon_ticks = self.horizon_ticks.max(end);
+        self.durations.record(end.saturating_sub(start));
+        if end <= start {
+            return; // zero-width records never contribute busy time
+        }
+        let (mut s, e) = (start, end);
+        if let Some((fs, fe)) = self.frontier {
+            if s < fs {
+                self.out_of_order += 1;
+                s = fs; // clamp: busy time becomes a lower bound
+            }
+            if s <= fe {
+                self.frontier = Some((fs, fe.max(e)));
+                return;
+            }
+            self.closed_busy += fe - fs;
+        }
+        if s < e {
+            self.frontier = Some((s, e));
+        }
+    }
+
+    /// Closes the open frontier (end of a scenario / time axis).
+    pub fn seal(&mut self) {
+        if let Some((fs, fe)) = self.frontier.take() {
+            self.closed_busy += fe - fs;
+        }
+    }
+
+    /// Total busy ticks accumulated so far (frontier included).
+    pub fn busy_ticks(&self) -> u64 {
+        self.closed_busy + self.frontier.map_or(0, |(s, e)| e - s)
+    }
+
+    /// Utilization over the observed horizon; 0.0 at a zero horizon.
+    pub fn utilization(&self) -> f64 {
+        if self.horizon_ticks == 0 {
+            0.0
+        } else {
+            self.busy_ticks() as f64 / self.horizon_ticks as f64
+        }
+    }
+
+    /// Folds another accumulator (a different scenario / shard) into this
+    /// one. Both frontiers are sealed: the time axes are unrelated.
+    pub fn merge(&mut self, other: &ResourceMetrics) {
+        self.seal();
+        let mut other = other.clone();
+        other.seal();
+        self.closed_busy += other.closed_busy;
+        self.ops += other.ops;
+        self.records += other.records;
+        self.out_of_order += other.out_of_order;
+        self.horizon_ticks = self.horizon_ticks.max(other.horizon_ticks);
+        self.durations.merge(&other.durations);
+    }
+}
+
+/// Engine work counters — the obs-side mirror of `EngineStats`
+/// (`evolve-core` provides `From<EngineStats>`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Nodes computed across all iterations.
+    pub nodes_computed: u64,
+    /// Arc-weight evaluations performed.
+    pub arcs_evaluated: u64,
+    /// Iterations fully computed.
+    pub iterations_completed: u64,
+    /// Scenario lanes evaluated by batched engines.
+    pub lanes_evaluated: u64,
+    /// Lockstep batched sweeps performed.
+    pub batched_iterations: u64,
+}
+
+impl EngineCounters {
+    /// Adds `other` into this counter set.
+    pub fn merge(&mut self, other: &EngineCounters) {
+        self.nodes_computed += other.nodes_computed;
+        self.arcs_evaluated += other.arcs_evaluated;
+        self.iterations_completed += other.iterations_completed;
+        self.lanes_evaluated += other.lanes_evaluated;
+        self.batched_iterations += other.batched_iterations;
+    }
+}
+
+/// Fast-forward counters — the obs-side mirror of `FastForwardStats`
+/// minus the regime payload (regimes are listed separately in the
+/// snapshot; `evolve-core` provides `From<FastForwardStats>`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FfCounters {
+    /// Times a detector promoted to fast-forward replay.
+    pub promotions: u64,
+    /// Times a pattern break demoted back to the full sweep.
+    pub demotions: u64,
+    /// Iterations answered by template replay instead of a sweep.
+    pub fast_forwarded_iterations: u64,
+}
+
+impl FfCounters {
+    /// Adds `other` into this counter set.
+    pub fn merge(&mut self, other: &FfCounters) {
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
+        self.fast_forwarded_iterations += other.fast_forwarded_iterations;
+    }
+}
+
+/// Batching counters — the obs-side mirror of the sweep layer's
+/// `BatchingStats` (`evolve-explore` provides `From<BatchingStats>`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchCounters {
+    /// Configured lockstep batch width.
+    pub batch_width: u64,
+    /// Lockstep batches driven to completion.
+    pub batches_formed: u64,
+    /// Scenarios evaluated as lanes of a batch.
+    pub lanes_batched: u64,
+    /// Scenarios evaluated on the scalar path.
+    pub lanes_scalar: u64,
+    /// Lockstep sweeps executed across all batches.
+    pub lockstep_iterations: u64,
+    /// Lanes ejected: model on the worklist backend.
+    pub eject_worklist: u64,
+    /// Lanes ejected: trace offers no tokens.
+    pub eject_empty_trace: u64,
+    /// Lanes ejected: leftover single lane of a model group.
+    pub eject_single_lane: u64,
+    /// Lanes ejected: batched engine rejected the graph shape.
+    pub eject_unsupported: u64,
+}
+
+impl BatchCounters {
+    /// Adds `other` into this counter set (widths take the max).
+    pub fn merge(&mut self, other: &BatchCounters) {
+        self.batch_width = self.batch_width.max(other.batch_width);
+        self.batches_formed += other.batches_formed;
+        self.lanes_batched += other.lanes_batched;
+        self.lanes_scalar += other.lanes_scalar;
+        self.lockstep_iterations += other.lockstep_iterations;
+        self.eject_worklist += other.eject_worklist;
+        self.eject_empty_trace += other.eject_empty_trace;
+        self.eject_single_lane += other.eject_single_lane;
+        self.eject_unsupported += other.eject_unsupported;
+    }
+}
+
+/// Counts of observed [`EngineEvent`]s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Observers attached to engines.
+    pub attaches: u64,
+    /// Scalar input offers evaluated.
+    pub offers: u64,
+    /// Offers answered by fast-forward replay.
+    pub replayed_offers: u64,
+    /// Lockstep batched calls evaluated.
+    pub batch_sweeps: u64,
+    /// Batched calls answered entirely from templates.
+    pub replayed_batch_sweeps: u64,
+    /// Output acknowledgments fed back.
+    pub output_acks: u64,
+    /// Fast-forward promotions observed.
+    pub promotions: u64,
+    /// Fast-forward demotions observed.
+    pub demotions: u64,
+    /// Lanes ejected to the scalar path.
+    pub lane_ejections: u64,
+    /// Offers rejected with a tick overflow.
+    pub overflows: u64,
+    /// Engine resets (scenario boundaries under reuse).
+    pub resets: u64,
+}
+
+impl EventCounters {
+    /// Adds `other` into this counter set.
+    pub fn merge(&mut self, other: &EventCounters) {
+        self.attaches += other.attaches;
+        self.offers += other.offers;
+        self.replayed_offers += other.replayed_offers;
+        self.batch_sweeps += other.batch_sweeps;
+        self.replayed_batch_sweeps += other.replayed_batch_sweeps;
+        self.output_acks += other.output_acks;
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
+        self.lane_ejections += other.lane_ejections;
+        self.overflows += other.overflows;
+        self.resets += other.resets;
+    }
+
+    /// Boundary events: interface instants the equivalent model still
+    /// simulates (offers in, acknowledgments out).
+    pub fn boundary_events(&self) -> u64 {
+        self.offers + self.output_acks
+    }
+}
+
+/// The streaming telemetry observer: counters plus per-lane per-resource
+/// accumulators, mergeable across worker shards.
+#[derive(Debug, Default)]
+pub struct TelemetrySink {
+    /// Engine work counters (recorded by the driver after each drive).
+    pub engine: EngineCounters,
+    /// Fast-forward counters (recorded by the driver after each drive).
+    pub ff: FfCounters,
+    /// Batching counters (recorded by the sweep layer).
+    pub batch: BatchCounters,
+    /// Lifecycle event counts.
+    pub events: EventCounters,
+    /// Detected periodic regimes `(growth, period)`, one per promotion.
+    pub regimes: Vec<(u64, u64)>,
+    /// Live per-lane accumulators, indexed `[lane][resource]`.
+    lanes: Vec<Vec<ResourceMetrics>>,
+    /// Aggregate of sealed scenarios and merged shards, by resource.
+    folded: Vec<ResourceMetrics>,
+    /// Backends this sink has been attached to.
+    pub backends: Vec<BackendKind>,
+}
+
+impl TelemetrySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds an engine's work counters into the sink (drivers call this
+    /// after each drive with `EngineStats::into()`).
+    pub fn record_engine(&mut self, counters: EngineCounters) {
+        self.engine.merge(&counters);
+    }
+
+    /// Folds fast-forward counters into the sink.
+    pub fn record_ff(&mut self, counters: FfCounters) {
+        self.ff.merge(&counters);
+    }
+
+    /// Folds batching counters into the sink.
+    pub fn record_batch(&mut self, counters: BatchCounters) {
+        self.batch.merge(&counters);
+    }
+
+    /// Seals every live lane into the aggregate (end of a scenario).
+    pub fn seal_lanes(&mut self) {
+        let lanes = std::mem::take(&mut self.lanes);
+        for lane in &lanes {
+            for (idx, rm) in lane.iter().enumerate() {
+                if rm.records == 0 && rm.durations.count() == 0 {
+                    continue;
+                }
+                Self::resource_slot(&mut self.folded, idx).merge(rm);
+            }
+        }
+    }
+
+    fn resource_slot(v: &mut Vec<ResourceMetrics>, idx: usize) -> &mut ResourceMetrics {
+        if v.len() <= idx {
+            v.resize(idx + 1, ResourceMetrics::default());
+        }
+        &mut v[idx]
+    }
+
+    /// Folds another shard (a different worker or lane) into this sink.
+    pub fn merge(&mut self, mut other: TelemetrySink) {
+        other.seal_lanes();
+        self.seal_lanes();
+        self.engine.merge(&other.engine);
+        self.ff.merge(&other.ff);
+        self.batch.merge(&other.batch);
+        self.events.merge(&other.events);
+        self.regimes.extend(other.regimes);
+        self.backends.extend(other.backends);
+        for (idx, rm) in other.folded.iter().enumerate() {
+            Self::resource_slot(&mut self.folded, idx).merge(rm);
+        }
+    }
+
+    /// Freezes the sink into an exportable snapshot (seals live lanes).
+    pub fn snapshot(&mut self) -> MetricsSnapshot {
+        self.seal_lanes();
+        let resources = self
+            .folded
+            .iter()
+            .enumerate()
+            .filter(|(_, rm)| rm.records > 0)
+            .map(|(idx, rm)| ResourceSnapshot {
+                resource: idx,
+                busy_ticks: rm.busy_ticks(),
+                ops: rm.ops,
+                records: rm.records,
+                out_of_order: rm.out_of_order,
+                horizon_ticks: rm.horizon_ticks,
+                utilization: rm.utilization(),
+                durations: rm.durations.clone(),
+            })
+            .collect();
+        MetricsSnapshot {
+            engine: self.engine,
+            ff: self.ff,
+            batch: self.batch,
+            events: self.events,
+            regimes: self.regimes.clone(),
+            resources,
+        }
+    }
+}
+
+impl Sealed for TelemetrySink {}
+
+impl Observer for TelemetrySink {
+    fn on_event(&mut self, event: EngineEvent) {
+        match event {
+            EngineEvent::Attached { backend, .. } => {
+                self.events.attaches += 1;
+                self.backends.push(backend);
+            }
+            EngineEvent::Offer { replayed, .. } => {
+                self.events.offers += 1;
+                if replayed {
+                    self.events.replayed_offers += 1;
+                }
+            }
+            EngineEvent::BatchSweep { replayed, .. } => {
+                self.events.batch_sweeps += 1;
+                if replayed {
+                    self.events.replayed_batch_sweeps += 1;
+                }
+            }
+            EngineEvent::OutputAck { .. } => self.events.output_acks += 1,
+            EngineEvent::FfPromoted { growth, period, .. } => {
+                self.events.promotions += 1;
+                self.regimes.push((growth, period));
+            }
+            EngineEvent::FfDemoted { .. } => self.events.demotions += 1,
+            EngineEvent::LaneEjected { .. } => self.events.lane_ejections += 1,
+            EngineEvent::Overflow { .. } => self.events.overflows += 1,
+            EngineEvent::Reset => {
+                self.events.resets += 1;
+                self.seal_lanes();
+            }
+        }
+    }
+
+    fn on_records(&mut self, lane: u32, records: &[ExecRecord]) {
+        let lane = lane as usize;
+        if self.lanes.len() <= lane {
+            self.lanes.resize_with(lane + 1, Vec::new);
+        }
+        for r in records {
+            let idx = r.resource.index();
+            Self::resource_slot(&mut self.lanes[lane], idx).observe(
+                r.start.ticks(),
+                r.end.ticks(),
+                r.ops,
+            );
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Frozen per-resource metrics inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceSnapshot {
+    /// Resource index.
+    pub resource: usize,
+    /// Total busy ticks (exact iff `out_of_order == 0`).
+    pub busy_ticks: u64,
+    /// Total abstract operations.
+    pub ops: u64,
+    /// Execution records observed.
+    pub records: u64,
+    /// Records clamped by the streaming frontier.
+    pub out_of_order: u64,
+    /// Largest end instant observed.
+    pub horizon_ticks: u64,
+    /// `busy_ticks / horizon_ticks` (0.0 at a zero horizon).
+    pub utilization: f64,
+    /// Record-duration histogram.
+    pub durations: LogHistogram,
+}
+
+/// An exportable, immutable view of everything a [`TelemetrySink`] (or a
+/// merge of shards) collected.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Engine work counters.
+    pub engine: EngineCounters,
+    /// Fast-forward counters.
+    pub ff: FfCounters,
+    /// Batching counters.
+    pub batch: BatchCounters,
+    /// Lifecycle event counts.
+    pub events: EventCounters,
+    /// Detected periodic regimes `(growth, period)`.
+    pub regimes: Vec<(u64, u64)>,
+    /// Per-resource metrics, sorted by resource index.
+    pub resources: Vec<ResourceSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The live event-ratio gauge (paper Table I column 3): kernel events
+    /// the equivalent model avoids (internal instants computed
+    /// arithmetically, `nodes_computed`) plus the boundary events it still
+    /// simulates, over the boundary events. `None` before any boundary
+    /// event. Table I maps this ratio to the attainable speed-up when the
+    /// per-event dispatch cost dominates.
+    pub fn event_ratio(&self) -> Option<f64> {
+        let boundary = self.events.boundary_events();
+        if boundary == 0 {
+            return None;
+        }
+        Some((self.engine.nodes_computed + boundary) as f64 / boundary as f64)
+    }
+
+    /// Total busy ticks across all resources.
+    pub fn total_busy_ticks(&self) -> u64 {
+        self.resources.iter().map(|r| r.busy_ticks).sum()
+    }
+
+    /// Renders the snapshot as a JSON document (see
+    /// `docs/OBSERVABILITY.md` for the schema).
+    pub fn to_json(&self) -> Json {
+        let histogram_json = |h: &LogHistogram| {
+            Json::object([
+                ("count", Json::U64(h.count())),
+                ("sum", Json::U64(h.sum())),
+                ("max", Json::U64(h.max())),
+                (
+                    "buckets",
+                    Json::Array(
+                        h.nonzero_buckets()
+                            .map(|(le, n)| {
+                                Json::object([("le", Json::U64(le)), ("count", Json::U64(n))])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        Json::object([
+            (
+                "engine",
+                Json::object([
+                    ("nodes_computed", Json::U64(self.engine.nodes_computed)),
+                    ("arcs_evaluated", Json::U64(self.engine.arcs_evaluated)),
+                    (
+                        "iterations_completed",
+                        Json::U64(self.engine.iterations_completed),
+                    ),
+                    ("lanes_evaluated", Json::U64(self.engine.lanes_evaluated)),
+                    (
+                        "batched_iterations",
+                        Json::U64(self.engine.batched_iterations),
+                    ),
+                ]),
+            ),
+            (
+                "fast_forward",
+                Json::object([
+                    ("promotions", Json::U64(self.ff.promotions)),
+                    ("demotions", Json::U64(self.ff.demotions)),
+                    (
+                        "fast_forwarded_iterations",
+                        Json::U64(self.ff.fast_forwarded_iterations),
+                    ),
+                    (
+                        "regimes",
+                        Json::Array(
+                            self.regimes
+                                .iter()
+                                .map(|(g, p)| {
+                                    Json::object([
+                                        ("growth", Json::U64(*g)),
+                                        ("period", Json::U64(*p)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "batching",
+                Json::object([
+                    ("batch_width", Json::U64(self.batch.batch_width)),
+                    ("batches_formed", Json::U64(self.batch.batches_formed)),
+                    ("lanes_batched", Json::U64(self.batch.lanes_batched)),
+                    ("lanes_scalar", Json::U64(self.batch.lanes_scalar)),
+                    (
+                        "lockstep_iterations",
+                        Json::U64(self.batch.lockstep_iterations),
+                    ),
+                    ("eject_worklist", Json::U64(self.batch.eject_worklist)),
+                    ("eject_empty_trace", Json::U64(self.batch.eject_empty_trace)),
+                    ("eject_single_lane", Json::U64(self.batch.eject_single_lane)),
+                    ("eject_unsupported", Json::U64(self.batch.eject_unsupported)),
+                ]),
+            ),
+            (
+                "events",
+                Json::object([
+                    ("attaches", Json::U64(self.events.attaches)),
+                    ("offers", Json::U64(self.events.offers)),
+                    ("replayed_offers", Json::U64(self.events.replayed_offers)),
+                    ("batch_sweeps", Json::U64(self.events.batch_sweeps)),
+                    (
+                        "replayed_batch_sweeps",
+                        Json::U64(self.events.replayed_batch_sweeps),
+                    ),
+                    ("output_acks", Json::U64(self.events.output_acks)),
+                    ("promotions", Json::U64(self.events.promotions)),
+                    ("demotions", Json::U64(self.events.demotions)),
+                    ("lane_ejections", Json::U64(self.events.lane_ejections)),
+                    ("overflows", Json::U64(self.events.overflows)),
+                    ("resets", Json::U64(self.events.resets)),
+                    ("boundary_events", Json::U64(self.events.boundary_events())),
+                ]),
+            ),
+            (
+                "event_ratio",
+                self.event_ratio().map_or(Json::Null, Json::F64),
+            ),
+            (
+                "resources",
+                Json::Array(
+                    self.resources
+                        .iter()
+                        .map(|r| {
+                            Json::object([
+                                ("resource", Json::U64(r.resource as u64)),
+                                ("busy_ticks", Json::U64(r.busy_ticks)),
+                                ("ops", Json::U64(r.ops)),
+                                ("records", Json::U64(r.records)),
+                                ("out_of_order", Json::U64(r.out_of_order)),
+                                ("horizon_ticks", Json::U64(r.horizon_ticks)),
+                                ("utilization", Json::F64(r.utilization)),
+                                ("durations", histogram_json(&r.durations)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The one-period execution template of a promoted lane, foldable
+/// analytically over `m` periods: per-period usage × period count, with
+/// the union of time-shifted busy intervals computed exactly without
+/// materialising `m` copies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeriodUsage {
+    /// Per-resource merged busy intervals of one period, in ticks.
+    per_resource: Vec<PeriodResource>,
+    /// Ticks the template shifts per period (`growth`).
+    pub growth: u64,
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct PeriodResource {
+    resource: usize,
+    intervals: Vec<(u64, u64)>,
+    ops: u64,
+    records: u64,
+    durations: Vec<u64>,
+}
+
+/// The analytic fold of one resource over `m` periods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoldedResource {
+    /// Resource index.
+    pub resource: usize,
+    /// Exact busy ticks of the union of `m` shifted template copies.
+    pub busy_ticks: u64,
+    /// Total operations (`m ×` per-period ops).
+    pub ops: u64,
+    /// Total records (`m ×` per-period records).
+    pub records: u64,
+    /// Duration histogram (`m ×` per-period multiplicities).
+    pub durations: LogHistogram,
+}
+
+impl PeriodUsage {
+    /// Builds the template from one period's execution records and its
+    /// detected per-period growth.
+    pub fn from_records(records: &[ExecRecord], growth: u64) -> Self {
+        let mut per: Vec<PeriodResource> = Vec::new();
+        for r in records {
+            let idx = r.resource.index();
+            let slot = match per.iter_mut().find(|p| p.resource == idx) {
+                Some(p) => p,
+                None => {
+                    per.push(PeriodResource {
+                        resource: idx,
+                        ..PeriodResource::default()
+                    });
+                    per.last_mut().expect("just pushed")
+                }
+            };
+            slot.ops += r.ops;
+            slot.records += 1;
+            slot.durations
+                .push(r.end.ticks().saturating_sub(r.start.ticks()));
+            if r.start < r.end {
+                slot.intervals.push((r.start.ticks(), r.end.ticks()));
+            }
+        }
+        for slot in &mut per {
+            slot.intervals = merge_intervals(std::mem::take(&mut slot.intervals));
+        }
+        per.sort_by_key(|p| p.resource);
+        PeriodUsage {
+            per_resource: per,
+            growth,
+        }
+    }
+
+    /// Folds the template over `periods` repetitions, each shifted by
+    /// [`growth`](PeriodUsage::growth) ticks from the previous one.
+    /// Busy ticks are the exact measure of the union of all shifted
+    /// copies, computed by materialising only as many copies as can
+    /// overlap (the per-copy increment is constant beyond that depth).
+    pub fn fold(&self, periods: u64) -> Vec<FoldedResource> {
+        self.per_resource
+            .iter()
+            .map(|p| {
+                let mut durations = LogHistogram::default();
+                for d in &p.durations {
+                    durations.record_n(*d, periods);
+                }
+                FoldedResource {
+                    resource: p.resource,
+                    busy_ticks: shifted_union_busy(&p.intervals, self.growth, periods),
+                    ops: p.ops * periods,
+                    records: p.records * periods,
+                    durations,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Merges `[start, end)` spans into sorted disjoint intervals (the same
+/// construction as `ResourceTrace::from_records`).
+fn merge_intervals(mut spans: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    spans.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match out.last_mut() {
+            Some((_, last_end)) if s <= *last_end => {
+                if e > *last_end {
+                    *last_end = e;
+                }
+            }
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn busy_of(intervals: &[(u64, u64)]) -> u64 {
+    intervals.iter().map(|(s, e)| e - s).sum()
+}
+
+fn materialized_union_busy(intervals: &[(u64, u64)], shift: u64, copies: u64) -> u64 {
+    let mut all = Vec::with_capacity(intervals.len() * copies as usize);
+    for c in 0..copies {
+        let off = shift * c;
+        all.extend(intervals.iter().map(|(s, e)| (s + off, e + off)));
+    }
+    busy_of(&merge_intervals(all))
+}
+
+/// Exact busy ticks of the union of `m` copies of `intervals`, copy `c`
+/// shifted by `c × shift` ticks.
+///
+/// Beyond the overlap depth `q` (once a copy no longer overlaps copy 0),
+/// each additional copy adds a constant number of busy ticks, so the
+/// union is evaluated by materialising `min(m, q)` copies and
+/// extrapolating: `busy(m) = busy(q) + (m − q) × (busy(q) − busy(q−1))`.
+fn shifted_union_busy(intervals: &[(u64, u64)], shift: u64, m: u64) -> u64 {
+    if m == 0 || intervals.is_empty() {
+        return 0;
+    }
+    if shift == 0 {
+        // all copies coincide
+        return busy_of(intervals);
+    }
+    let span = intervals.last().expect("nonempty").1 - intervals.first().expect("nonempty").0;
+    let q = (span / shift + 2).min(m);
+    if q == m {
+        return materialized_union_busy(intervals, shift, m);
+    }
+    let busy_q = materialized_union_busy(intervals, shift, q);
+    let busy_q1 = materialized_union_busy(intervals, shift, q - 1);
+    busy_q + (m - q) * (busy_q - busy_q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use evolve_des::Time;
+    use evolve_model::{ExecRecord, FunctionId, ResourceId};
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn rec(resource: usize, start: u64, end: u64, ops: u64) -> ExecRecord {
+        ExecRecord {
+            resource: ResourceId::from_index(resource),
+            function: FunctionId::from_index(0),
+            stmt: 0,
+            k: 0,
+            start: Time::from_ticks(start),
+            end: Time::from_ticks(end),
+            ops,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = LogHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.max(), 1024);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(1, 1), (2, 1), (4, 2), (2048, 1)]);
+        let cumulative = h.cumulative_buckets();
+        assert_eq!(cumulative, vec![(1, 1), (2, 2), (4, 4), (2048, 5)]);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = LogHistogram::default();
+        direct.record(5);
+        direct.record(5);
+        direct.record(100);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn streaming_busy_matches_merged_intervals_in_order() {
+        let mut rm = ResourceMetrics::default();
+        rm.observe(0, 10, 5);
+        rm.observe(5, 15, 5); // overlaps
+        rm.observe(20, 30, 5); // disjoint
+        assert_eq!(rm.busy_ticks(), 25);
+        assert_eq!(rm.out_of_order, 0);
+        assert_eq!(rm.ops, 15);
+        assert_eq!(rm.horizon_ticks, 30);
+    }
+
+    #[test]
+    fn zero_width_records_counted_but_not_busy() {
+        let mut rm = ResourceMetrics::default();
+        rm.observe(10, 10, 3);
+        assert_eq!(rm.busy_ticks(), 0);
+        assert_eq!(rm.records, 1);
+        assert_eq!(rm.ops, 3);
+        assert_eq!(rm.utilization(), 0.0); // horizon 10, busy 0
+    }
+
+    #[test]
+    fn out_of_order_record_is_clamped_and_counted() {
+        let mut rm = ResourceMetrics::default();
+        rm.observe(10, 20, 1);
+        rm.observe(0, 5, 1); // starts before the frontier
+        assert_eq!(rm.out_of_order, 1);
+        assert_eq!(rm.busy_ticks(), 10); // lower bound, never over-counts
+    }
+
+    #[test]
+    fn utilization_zero_horizon_is_zero() {
+        let rm = ResourceMetrics::default();
+        assert_eq!(rm.utilization(), 0.0);
+    }
+
+    #[test]
+    fn merge_seals_frontiers_across_scenarios() {
+        let mut a = ResourceMetrics::default();
+        a.observe(0, 10, 1);
+        let mut b = ResourceMetrics::default();
+        b.observe(0, 7, 1); // same time axis range, different scenario
+        a.merge(&b);
+        assert_eq!(a.busy_ticks(), 17);
+        assert_eq!(a.records, 2);
+    }
+
+    #[test]
+    fn sink_streams_records_and_counts_events() {
+        let mut sink = TelemetrySink::new();
+        sink.on_event(EngineEvent::Attached {
+            backend: BackendKind::Compiled,
+            nodes: 4,
+            ff_eligible: true,
+        });
+        sink.on_records(0, &[rec(0, 0, 10, 100), rec(1, 2, 6, 50)]);
+        sink.on_event(EngineEvent::Offer {
+            k: 0,
+            lane: 0,
+            replayed: false,
+        });
+        sink.on_event(EngineEvent::OutputAck { k: 0 });
+        sink.on_event(EngineEvent::FfPromoted {
+            k: 5,
+            lane: 0,
+            growth: 7,
+            period: 2,
+        });
+        let snap = sink.snapshot();
+        assert_eq!(snap.events.offers, 1);
+        assert_eq!(snap.events.output_acks, 1);
+        assert_eq!(snap.regimes, vec![(7, 2)]);
+        assert_eq!(snap.resources.len(), 2);
+        assert_eq!(snap.resources[0].busy_ticks, 10);
+        assert_eq!(snap.resources[1].busy_ticks, 4);
+        assert_eq!(snap.total_busy_ticks(), 14);
+    }
+
+    #[test]
+    fn sink_reset_seals_time_axis() {
+        let mut sink = TelemetrySink::new();
+        sink.on_records(0, &[rec(0, 100, 110, 1)]);
+        sink.on_event(EngineEvent::Reset);
+        // new scenario starts earlier on its own axis: not out of order
+        sink.on_records(0, &[rec(0, 0, 10, 1)]);
+        let snap = sink.snapshot();
+        assert_eq!(snap.resources[0].busy_ticks, 20);
+        assert_eq!(snap.resources[0].out_of_order, 0);
+    }
+
+    #[test]
+    fn sink_lanes_have_independent_frontiers() {
+        let mut sink = TelemetrySink::new();
+        sink.on_records(0, &[rec(0, 50, 60, 1)]);
+        sink.on_records(1, &[rec(0, 0, 10, 1)]); // earlier, different lane
+        sink.on_records(0, &[rec(0, 60, 70, 1)]);
+        let snap = sink.snapshot();
+        assert_eq!(snap.resources[0].busy_ticks, 30);
+        assert_eq!(snap.resources[0].out_of_order, 0);
+    }
+
+    #[test]
+    fn shard_merge_matches_single_sink() {
+        let mut a = TelemetrySink::new();
+        a.on_records(0, &[rec(0, 0, 10, 5)]);
+        a.on_event(EngineEvent::Offer {
+            k: 0,
+            lane: 0,
+            replayed: false,
+        });
+        let mut b = TelemetrySink::new();
+        b.on_records(0, &[rec(0, 0, 20, 7)]);
+        b.on_event(EngineEvent::Offer {
+            k: 0,
+            lane: 0,
+            replayed: true,
+        });
+        a.merge(b);
+        let snap = a.snapshot();
+        assert_eq!(snap.resources[0].busy_ticks, 30);
+        assert_eq!(snap.resources[0].ops, 12);
+        assert_eq!(snap.events.offers, 2);
+        assert_eq!(snap.events.replayed_offers, 1);
+    }
+
+    #[test]
+    fn event_ratio_counts_avoided_over_boundary() {
+        let mut sink = TelemetrySink::new();
+        sink.record_engine(EngineCounters {
+            nodes_computed: 98,
+            ..EngineCounters::default()
+        });
+        for k in 0..2 {
+            sink.on_event(EngineEvent::Offer {
+                k,
+                lane: 0,
+                replayed: false,
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.event_ratio(), Some(50.0));
+        assert_eq!(TelemetrySink::new().snapshot().event_ratio(), None);
+    }
+
+    #[test]
+    fn snapshot_json_renders() {
+        let mut sink = TelemetrySink::new();
+        sink.on_records(0, &[rec(0, 0, 10, 100)]);
+        let doc = sink.snapshot().to_json().render();
+        assert!(doc.contains("\"busy_ticks\":10"));
+        assert!(doc.contains("\"event_ratio\":null"));
+    }
+
+    #[test]
+    fn period_fold_matches_brute_force_small() {
+        // One period: busy [0,10) ∪ [15,20), growth 8 → copies overlap.
+        let records = [rec(0, 0, 10, 100), rec(0, 15, 20, 50)];
+        let usage = PeriodUsage::from_records(&records, 8);
+        for m in 1..=50u64 {
+            let folded = usage.fold(m);
+            let mut all = Vec::new();
+            for c in 0..m {
+                all.push(rec(0, 8 * c, 10 + 8 * c, 100));
+                all.push(rec(0, 15 + 8 * c, 20 + 8 * c, 50));
+            }
+            let trace = evolve_model::ResourceTrace::from_records(&all, ResourceId::from_index(0));
+            assert_eq!(folded[0].busy_ticks, trace.busy_ticks(), "m={m}");
+            assert_eq!(folded[0].ops, 150 * m);
+            assert_eq!(folded[0].records, 2 * m);
+            assert_eq!(folded[0].durations.count(), 2 * m);
+        }
+    }
+
+    #[test]
+    fn period_fold_zero_growth_and_zero_periods() {
+        let records = [rec(0, 0, 10, 1)];
+        let usage = PeriodUsage::from_records(&records, 0);
+        assert_eq!(usage.fold(5)[0].busy_ticks, 10);
+        assert_eq!(usage.fold(0)[0].busy_ticks, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_streaming_busy_matches_resource_trace_for_sorted_records(
+            mut starts in proptest::collection::vec(0u64..1000, 1..40),
+            widths in proptest::collection::vec(0u64..50, 40),
+        ) {
+            starts.sort_unstable();
+            let records: Vec<ExecRecord> = starts
+                .iter()
+                .zip(widths.iter())
+                .map(|(s, w)| rec(0, *s, s + w, 1))
+                .collect();
+            let mut rm = ResourceMetrics::default();
+            for r in &records {
+                rm.observe(r.start.ticks(), r.end.ticks(), r.ops);
+            }
+            let trace =
+                evolve_model::ResourceTrace::from_records(&records, ResourceId::from_index(0));
+            prop_assert_eq!(rm.out_of_order, 0);
+            prop_assert_eq!(rm.busy_ticks(), trace.busy_ticks());
+        }
+
+        #[test]
+        fn prop_period_fold_matches_brute_force(
+            spans in proptest::collection::vec((0u64..200, 1u64..60), 1..8),
+            shift in 0u64..250,
+            m in 1u64..120,
+        ) {
+            let records: Vec<ExecRecord> =
+                spans.iter().map(|(s, w)| rec(0, *s, s + w, 1)).collect();
+            let usage = PeriodUsage::from_records(&records, shift);
+            let folded = usage.fold(m);
+            let mut all = Vec::new();
+            for c in 0..m {
+                for (s, w) in &spans {
+                    all.push(rec(0, s + shift * c, s + w + shift * c, 1));
+                }
+            }
+            let trace =
+                evolve_model::ResourceTrace::from_records(&all, ResourceId::from_index(0));
+            prop_assert_eq!(folded[0].busy_ticks, trace.busy_ticks());
+        }
+    }
+}

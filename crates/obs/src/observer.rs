@@ -1,0 +1,93 @@
+//! The engine-side observation interface.
+//!
+//! Engines hold an `Option<Box<dyn Observer>>`. Detached (the default) the
+//! whole telemetry layer is one `is_none` branch per *boundary call* — not
+//! per node — which is what keeps the disabled overhead under the 2% gate.
+//! Attached, the engine calls [`Observer::on_event`] once per lifecycle
+//! event and [`Observer::on_records`] with the execution records produced
+//! by each call, including records synthesised by fast-forward template
+//! replay, so a streaming observer sees exactly the record sequence a
+//! buffering caller would.
+//!
+//! The trait is sealed: the in-tree sinks ([`TelemetrySink`],
+//! [`TraceCollector`], [`NullObserver`]) are the only implementations, so
+//! the engine crates can evolve the callback surface without a breaking
+//! change.
+//!
+//! [`TelemetrySink`]: crate::TelemetrySink
+//! [`TraceCollector`]: crate::TraceCollector
+
+use std::any::Any;
+
+use evolve_model::ExecRecord;
+
+use crate::event::EngineEvent;
+
+mod sealed {
+    /// Seals [`Observer`](super::Observer) to this crate.
+    pub trait Sealed {}
+}
+
+pub(crate) use sealed::Sealed;
+
+/// A sink for engine lifecycle events and streamed execution records.
+///
+/// Implemented only inside `evolve-obs` (the trait is sealed). Attach one
+/// to an engine, drive the engine, then take it back and downcast with
+/// [`downcast`] to read the collected data.
+pub trait Observer: Sealed + Send {
+    /// One engine lifecycle event.
+    fn on_event(&mut self, event: EngineEvent);
+
+    /// Execution records produced by the last boundary call on `lane`
+    /// (`0` for scalar engines), in production order.
+    fn on_records(&mut self, lane: u32, records: &[ExecRecord]);
+
+    /// Upcast for post-drive downcasting via [`downcast`].
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Recovers a concrete sink from a detached `Box<dyn Observer>`.
+///
+/// # Panics
+///
+/// Panics if the observer is not a `T` — attach/detach pairs are local to
+/// one driver function, so a mismatch is a programming error.
+pub fn downcast<T: Observer + 'static>(observer: Box<dyn Observer>) -> Box<T> {
+    observer
+        .into_any()
+        .downcast::<T>()
+        .expect("observer downcast to a type it was not attached as")
+}
+
+/// An observer that discards everything.
+///
+/// Useful for measuring the attached-but-idle cost and as a placeholder in
+/// tests; production code should prefer detaching (the `None` branch).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Sealed for NullObserver {}
+
+impl Observer for NullObserver {
+    fn on_event(&mut self, _event: EngineEvent) {}
+
+    fn on_records(&mut self, _lane: u32, _records: &[ExecRecord]) {}
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_roundtrips_through_downcast() {
+        let mut boxed: Box<dyn Observer> = Box::new(NullObserver);
+        boxed.on_event(EngineEvent::Reset);
+        boxed.on_records(0, &[]);
+        let _null: Box<NullObserver> = downcast(boxed);
+    }
+}

@@ -1,0 +1,326 @@
+//! Chrome trace-event export for Perfetto.
+//!
+//! [`TraceCollector`] is an [`Observer`] that records two clock domains
+//! side by side:
+//!
+//! - **observation time** (process 1): per-resource busy intervals of the
+//!   model under evaluation, on the tick axis (1 tick = 1 ns = 1 µs/1000
+//!   in the trace). Raw record intervals are buffered and merged at
+//!   export with exactly the `ResourceTrace::from_records` construction,
+//!   so the Perfetto tracks equal the post-hoc trace bit for bit — also
+//!   on fast-forwarded scenarios, because template replay streams its
+//!   records like any other offer.
+//! - **host time** (process 2): engine lifecycle instants stamped against
+//!   the collector's own monotonic epoch, plus spans pushed by the driver
+//!   via [`TraceCollector::push_span`].
+//!
+//! The export is the Chrome trace-event JSON array format
+//! (`{"traceEvents": [...]}`), which Perfetto's UI opens directly.
+
+use std::any::Any;
+use std::time::Instant;
+
+use evolve_des::Time;
+use evolve_model::ExecRecord;
+
+use crate::event::EngineEvent;
+use crate::json::Json;
+use crate::observer::{Observer, Sealed};
+
+/// Observation-time process id in the exported trace.
+const PID_OBSERVATION: u64 = 1;
+/// Host-time process id in the exported trace.
+const PID_HOST: u64 = 2;
+
+/// One observation-time track: a `(lane, resource)` pair.
+#[derive(Clone, Debug)]
+struct Track {
+    lane: u32,
+    resource: usize,
+    /// Raw `[start, end)` intervals in ticks, unmerged.
+    raw: Vec<(u64, u64)>,
+}
+
+/// A host-time span pushed by the driver.
+#[derive(Clone, Debug)]
+struct HostSpan {
+    name: String,
+    start_us: f64,
+    end_us: f64,
+}
+
+/// A host-time instant derived from an engine event.
+#[derive(Clone, Debug)]
+struct HostInstant {
+    name: String,
+    at_us: f64,
+}
+
+/// Collects execution records and engine events for Chrome-trace export.
+#[derive(Debug)]
+pub struct TraceCollector {
+    epoch: Instant,
+    tracks: Vec<Track>,
+    spans: Vec<HostSpan>,
+    instants: Vec<HostInstant>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A fresh collector; host timestamps count from now.
+    pub fn new() -> Self {
+        TraceCollector {
+            epoch: Instant::now(),
+            tracks: Vec::new(),
+            spans: Vec::new(),
+            instants: Vec::new(),
+        }
+    }
+
+    /// Microseconds since the collector's epoch (for
+    /// [`push_span`](TraceCollector::push_span) endpoints).
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Adds a named host-time span (e.g. "drive scenario 3").
+    pub fn push_span(&mut self, name: impl Into<String>, start_us: f64, end_us: f64) {
+        self.spans.push(HostSpan {
+            name: name.into(),
+            start_us,
+            end_us: end_us.max(start_us),
+        });
+    }
+
+    fn track_slot(&mut self, lane: u32, resource: usize) -> &mut Track {
+        if let Some(i) = self
+            .tracks
+            .iter()
+            .position(|t| t.lane == lane && t.resource == resource)
+        {
+            return &mut self.tracks[i];
+        }
+        self.tracks.push(Track {
+            lane,
+            resource,
+            raw: Vec::new(),
+        });
+        self.tracks.last_mut().expect("just pushed")
+    }
+
+    /// The merged busy intervals of one `(lane, resource)` track —
+    /// constructed exactly like `ResourceTrace::from_records`, so a
+    /// conformance test can compare them field for field.
+    pub fn merged_intervals(&self, lane: u32, resource: usize) -> Vec<(Time, Time)> {
+        let Some(track) = self
+            .tracks
+            .iter()
+            .find(|t| t.lane == lane && t.resource == resource)
+        else {
+            return Vec::new();
+        };
+        merge_raw(&track.raw)
+            .into_iter()
+            .map(|(s, e)| (Time::from_ticks(s), Time::from_ticks(e)))
+            .collect()
+    }
+
+    /// Lanes and resources with at least one recorded interval.
+    pub fn tracks(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.tracks.iter().map(|t| (t.lane, t.resource))
+    }
+
+    /// Renders the Chrome trace-event document.
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut events: Vec<Json> = Vec::new();
+        events.push(metadata_event(
+            "process_name",
+            PID_OBSERVATION,
+            0,
+            "observation time (ticks as \u{00b5}s/1000)",
+        ));
+        events.push(metadata_event("process_name", PID_HOST, 0, "host time"));
+        for (tid, track) in self.tracks.iter().enumerate() {
+            let tid = tid as u64 + 1;
+            events.push(metadata_event(
+                "thread_name",
+                PID_OBSERVATION,
+                tid,
+                &format!("lane {} / resource {}", track.lane, track.resource),
+            ));
+            for (s, e) in merge_raw(&track.raw) {
+                events.push(Json::object([
+                    ("name", Json::str("busy")),
+                    ("ph", Json::str("X")),
+                    ("pid", Json::U64(PID_OBSERVATION)),
+                    ("tid", Json::U64(tid)),
+                    ("ts", Json::F64(s as f64 / 1000.0)),
+                    ("dur", Json::F64((e - s) as f64 / 1000.0)),
+                ]));
+            }
+        }
+        events.push(metadata_event("thread_name", PID_HOST, 1, "engine"));
+        for span in &self.spans {
+            events.push(Json::object([
+                ("name", Json::str(span.name.clone())),
+                ("ph", Json::str("X")),
+                ("pid", Json::U64(PID_HOST)),
+                ("tid", Json::U64(1)),
+                ("ts", Json::F64(span.start_us)),
+                ("dur", Json::F64(span.end_us - span.start_us)),
+            ]));
+        }
+        for instant in &self.instants {
+            events.push(Json::object([
+                ("name", Json::str(instant.name.clone())),
+                ("ph", Json::str("i")),
+                ("s", Json::str("t")),
+                ("pid", Json::U64(PID_HOST)),
+                ("tid", Json::U64(1)),
+                ("ts", Json::F64(instant.at_us)),
+            ]));
+        }
+        Json::object([
+            ("traceEvents", Json::Array(events)),
+            ("displayTimeUnit", Json::str("ns")),
+        ])
+    }
+}
+
+fn metadata_event(name: &str, pid: u64, tid: u64, label: &str) -> Json {
+    Json::object([
+        ("name", Json::str(name)),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(pid)),
+        ("tid", Json::U64(tid)),
+        (
+            "args",
+            Json::object([("name", Json::str(label))]),
+        ),
+    ])
+}
+
+/// Sort-and-merge of raw spans, dropping zero-width ones — byte-for-byte
+/// the `ResourceTrace::from_records` interval construction.
+fn merge_raw(raw: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut spans: Vec<(u64, u64)> = raw.iter().copied().filter(|(s, e)| s < e).collect();
+    spans.sort_unstable();
+    let mut intervals: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match intervals.last_mut() {
+            Some((_, last_end)) if s <= *last_end => {
+                if e > *last_end {
+                    *last_end = e;
+                }
+            }
+            _ => intervals.push((s, e)),
+        }
+    }
+    intervals
+}
+
+impl Sealed for TraceCollector {}
+
+impl Observer for TraceCollector {
+    fn on_event(&mut self, event: EngineEvent) {
+        let name = match event {
+            EngineEvent::Attached { backend, .. } => {
+                format!("attached ({})", backend.as_str())
+            }
+            EngineEvent::FfPromoted {
+                k, growth, period, ..
+            } => format!("ff promoted @k={k} (growth {growth}, period {period})"),
+            EngineEvent::FfDemoted { k, .. } => format!("ff demoted @k={k}"),
+            EngineEvent::LaneEjected { lane, reason } => {
+                format!("lane {lane} ejected ({})", reason.as_str())
+            }
+            EngineEvent::Overflow { k } => format!("overflow @k={k}"),
+            EngineEvent::Reset => "reset".to_string(),
+            // Per-offer instants would dominate the trace; the busy tracks
+            // already carry the per-iteration story.
+            EngineEvent::Offer { .. }
+            | EngineEvent::BatchSweep { .. }
+            | EngineEvent::OutputAck { .. } => return,
+        };
+        let at_us = self.now_us();
+        self.instants.push(HostInstant { name, at_us });
+    }
+
+    fn on_records(&mut self, lane: u32, records: &[ExecRecord]) {
+        for r in records {
+            self.track_slot(lane, r.resource.index())
+                .raw
+                .push((r.start.ticks(), r.end.ticks()));
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use evolve_model::{FunctionId, ResourceId, ResourceTrace};
+
+    use super::*;
+
+    fn rec(resource: usize, start: u64, end: u64) -> ExecRecord {
+        ExecRecord {
+            resource: ResourceId::from_index(resource),
+            function: FunctionId::from_index(0),
+            stmt: 0,
+            k: 0,
+            start: Time::from_ticks(start),
+            end: Time::from_ticks(end),
+            ops: 1,
+        }
+    }
+
+    #[test]
+    fn merged_intervals_match_resource_trace() {
+        let records = [
+            rec(0, 20, 30),
+            rec(0, 0, 10),
+            rec(0, 5, 15),
+            rec(0, 7, 7), // zero-width: dropped by both constructions
+        ];
+        let mut collector = TraceCollector::new();
+        collector.on_records(0, &records);
+        let trace = ResourceTrace::from_records(&records, ResourceId::from_index(0));
+        assert_eq!(collector.merged_intervals(0, 0), trace.intervals);
+        assert!(collector.merged_intervals(0, 9).is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_document_shape() {
+        let mut collector = TraceCollector::new();
+        collector.on_records(0, &[rec(1, 1000, 3000)]);
+        collector.on_event(EngineEvent::Reset);
+        let start = collector.now_us();
+        collector.push_span("drive", start, start + 5.0);
+        let doc = collector.to_chrome_trace().render();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"dur\":2")); // 2000 ticks = 2 µs
+        assert!(doc.contains("lane 0 / resource 1"));
+        assert!(doc.contains("\"reset\""));
+    }
+
+    #[test]
+    fn lanes_get_separate_tracks() {
+        let mut collector = TraceCollector::new();
+        collector.on_records(0, &[rec(0, 0, 10)]);
+        collector.on_records(1, &[rec(0, 0, 20)]);
+        assert_eq!(collector.tracks().count(), 2);
+        assert_eq!(
+            collector.merged_intervals(1, 0),
+            vec![(Time::ZERO, Time::from_ticks(20))]
+        );
+    }
+}
