@@ -23,6 +23,14 @@ cargo test -q -p evolve-core --test batch_conformance --offline
 # explicit so a fast-forward regression is named in the CI log).
 cargo test -q -p evolve-core --test periodic_conformance --offline
 
+# Delta conformance: sibling scenarios evaluated as a delta against a
+# captured base must stay bitwise identical to the full compiled sweep
+# (record order and all counters included) and multiset-identical to the
+# worklist, across perturbation families and the typed negative paths
+# (also part of the workspace run above; kept explicit so a delta
+# regression is named in the CI log).
+cargo test -q -p evolve-core --test delta_conformance --offline
+
 # Observer conformance: telemetry attachment must be bitwise invisible
 # across worklist/compiled/compiled+replay/batched paths, and streaming
 # usage plus exported Perfetto intervals must match ResourceTrace exactly
@@ -31,9 +39,12 @@ cargo test -q -p evolve-core --test periodic_conformance --offline
 cargo test -q -p evolve-core --test observer_conformance --offline
 
 # Bench smoke: the compiled backend must beat the worklist reference, the
-# batched engine must beat one-lane evaluation, and periodic fast-forward
-# must beat the plain sweep on a 1000-node synthetic graph (bounded
-# iterations; asserts all three ratios > 1 and checksum conformance).
+# batched engine must beat one-lane evaluation, periodic fast-forward
+# must beat the plain sweep on a 1000-node synthetic graph, and delta
+# replay of an identical sibling must beat the full compiled sweep
+# (bounded iterations; asserts the ratios > 1 and checksum conformance).
+# The quick run also re-evaluates the default 256-scenario sweep grid
+# with delta chaining on and off and asserts checksum-identical outputs.
 # Also the disabled-observer overhead gate: the compiled hot path — which
 # now carries the (detached) observer hooks — must stay within
 # EVOLVE_OVERHEAD_TOLERANCE (default 2%) of the committed

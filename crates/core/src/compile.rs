@@ -74,8 +74,10 @@ impl std::fmt::Display for EvalBackend {
 }
 
 /// Precompiled observation action of a node (what [`Engine::observe`]
-/// dispatches on — shared by both backends).
-#[derive(Clone, Copy, Debug)]
+/// dispatches on — shared by both backends). `PartialEq` lets the delta
+/// attach gate (`delta::compute_seeds`) include observation actions in the
+/// structural comparison between a base and a sibling program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Obs {
     None,
     Exchange {

@@ -60,6 +60,7 @@
 pub mod analysis;
 mod batch;
 mod compile;
+mod delta;
 mod derive;
 mod engine;
 pub mod equivalent;
@@ -76,6 +77,7 @@ pub use evolve_obs as obs;
 
 pub use batch::{BatchUnsupported, BatchedEngine};
 pub use compile::{CompiledTdg, EvalBackend};
+pub use delta::{DeltaCache, DeltaStats, DeltaUnsupported};
 pub use derive::{derive_tdg, derive_tdg_with, DeriveOptions, DerivedTdg, SizeRule, SizeRules};
 pub use engine::{AllocationFootprint, Engine, EngineStats, Notification};
 pub use equivalent::{equivalent_simulation, EquivalentModelBuilder, EquivalentSimulation};

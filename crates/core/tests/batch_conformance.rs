@@ -16,7 +16,11 @@
 //!    runs on both scalar backends.
 //! 3. **The ejection path** — graphs the batch gate rejects (multi-input)
 //!    must fall back to a scalar engine that still agrees with the
-//!    worklist reference, so ejecting a lane can never change results.
+//!    worklist reference, so ejecting a lane can never change results; the
+//!    delta-chaining gate mirrors the same rejection on the same graph.
+//! 4. **Delta × batching** — a sweep grid where lockstep lanes and delta
+//!    chains both engage must stay bitwise identical to the plain scalar
+//!    sweep, with the batching ledger untouched by delta chaining.
 //!
 //! Execution records are compared as canonical multisets: the batched
 //! sweep replays them in schedule order, the scalar worklist in pop order,
@@ -334,6 +338,19 @@ fn ejected_lanes_fall_back_to_conforming_scalar_engines() {
     assert!(matches!(err, BatchUnsupported::MultiInput { inputs: 2 }));
     assert_eq!(err.reason(), "multi_input");
 
+    // The delta gate mirrors the batch gate on the same graph: the same
+    // perturbation family that cannot run in lockstep lanes cannot be
+    // delta-chained either, and reports the same stable reason.
+    let mut gated = Engine::with_backend(
+        DerivedTdg::new(tdg.clone(), rules.clone()),
+        3,
+        true,
+        EvalBackend::Compiled,
+    );
+    let delta_err = gated.begin_delta_capture().expect_err("two inputs cannot delta-chain");
+    assert!(matches!(delta_err, evolve_core::DeltaUnsupported::MultiInput { inputs: 2 }));
+    assert_eq!(delta_err.reason(), "multi_input");
+
     // The fallback pair: scalar compiled vs worklist on the same drive.
     let mut compiled =
         Engine::with_backend(DerivedTdg::new(tdg.clone(), rules.clone()), 3, true, EvalBackend::Compiled);
@@ -351,6 +368,89 @@ fn ejected_lanes_fall_back_to_conforming_scalar_engines() {
     }
     assert_eq!(compiled.stats().nodes_computed, worklist.stats().nodes_computed);
     assert_eq!(compiled.stats().iterations_completed, worklist.stats().iterations_completed);
+}
+
+/// Delta × batching matrix at the sweep level: a grid mixing same-spec
+/// groups (which the planner batches into lockstep lanes) with a
+/// cross-spec sibling family (which the planner delta-chains from the
+/// batch leftovers) must produce bitwise-identical outcomes with delta
+/// chaining on, off, and fully unbatched — while both mechanisms actually
+/// engage and the batching ledger stays byte-for-byte unchanged by delta.
+#[test]
+fn delta_chains_compose_with_batched_lanes_in_sweeps() {
+    use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig};
+
+    let scenario = |label: &str, kind: ModelKind, backend: EvalBackend, seed: u64| ScenarioSpec {
+        label: label.to_string(),
+        model: ModelSpec { kind, padding: 0, backend },
+        trace: evolve_explore::TraceSpec {
+            tokens: 30,
+            min_size: 1,
+            max_size: 48,
+            mean_period: 400,
+            seed,
+        },
+    };
+    let mut grid = Vec::new();
+    // Three scenarios of one exact spec: a lockstep pair plus a leftover
+    // the batch planner hands back as a single lane.
+    for i in 0..3u64 {
+        grid.push(scenario(
+            &format!("batched-{i}"),
+            ModelKind::Pipeline { stages: 3, base: 100, per_unit: 2 },
+            EvalBackend::Compiled,
+            0x90 + i,
+        ));
+    }
+    // Two load-perturbed siblings of the same family shape: together with
+    // the leftover they form a three-member delta chain.
+    grid.push(scenario(
+        "sibling-a",
+        ModelKind::Pipeline { stages: 3, base: 130, per_unit: 2 },
+        EvalBackend::Compiled,
+        0xa0,
+    ));
+    grid.push(scenario(
+        "sibling-b",
+        ModelKind::Pipeline { stages: 3, base: 160, per_unit: 2 },
+        EvalBackend::Compiled,
+        0xa1,
+    ));
+    // A worklist straggler: family-ineligible, must stay on the plain
+    // scalar path under every configuration.
+    grid.push(scenario(
+        "worklist",
+        ModelKind::Didactic { stages: 1 },
+        EvalBackend::Worklist,
+        0xb0,
+    ));
+
+    let run = |batch_width: usize, delta: bool, threads: usize| {
+        run_sweep(
+            &grid,
+            &SweepConfig { threads, batch_width, delta, ..SweepConfig::default() },
+        )
+    };
+    let both = run(2, true, 2);
+    let batch_only = run(2, false, 2);
+    let plain = run(1, false, 1);
+
+    assert!(both.batching.lanes_batched >= 2, "lockstep lanes engaged: {:?}", both.batching);
+    assert!(both.delta.chains_formed >= 1, "a sibling chain formed: {:?}", both.delta);
+    assert!(both.delta.lanes_delta >= 2, "siblings rode the delta path: {:?}", both.delta);
+    let ejected = both.delta.eject_multi_input
+        + both.delta.eject_output_acks
+        + both.delta.eject_worklist
+        + both.delta.eject_structure_mismatch;
+    assert_eq!(ejected, 0, "nothing in this grid ejects: {:?}", both.delta);
+    assert_eq!(both.batching, batch_only.batching, "delta leaves the batching ledger alone");
+
+    for (a, b) in both.scenarios.iter().zip(&batch_only.scenarios) {
+        assert_eq!(a.outcome, b.outcome, "{}: delta on vs off", a.label);
+    }
+    for (a, p) in both.scenarios.iter().zip(&plain.scenarios) {
+        assert_eq!(a.outcome, p.outcome, "{}: batched+delta vs plain", a.label);
+    }
 }
 
 /// The didactic chain at every width, driven through the sweep boundary

@@ -13,8 +13,9 @@
 //! `--scenarios N` (batch size, default 32), `--tokens N` (trace length,
 //! default 200), `--batch N` (lockstep lanes per `BatchedEngine`, default
 //! 8; `1` disables batching), `--no-fast-forward` (disable periodic
-//! steady-state fast-forward, for A/B timing runs), `--compare` (also run
-//! the conventional DES model per scenario), `--out PATH` (report path,
+//! steady-state fast-forward, for A/B timing runs), `--no-delta` (disable
+//! delta chaining of sibling scenarios, for A/B timing runs), `--compare`
+//! (also run the conventional DES model per scenario), `--out PATH` (report path,
 //! default `results/sweep.json`), `--metrics PATH` (enable streaming
 //! telemetry and write a metrics snapshot — Prometheus text exposition, or
 //! JSON when the path ends in `.json`), `--trace PATH` (re-run the first
@@ -23,10 +24,7 @@
 
 use std::path::PathBuf;
 
-use evolve_explore::{
-    run_sweep, trace_scenario, EvalBackend, FastForward, Json, ModelKind, ModelSpec, ScenarioSpec,
-    SweepConfig, TraceSpec,
-};
+use evolve_explore::{default_grid, run_sweep, trace_scenario, FastForward, Json, SweepConfig};
 
 struct Options {
     threads: usize,
@@ -34,13 +32,14 @@ struct Options {
     tokens: u64,
     batch: usize,
     fast_forward: FastForward,
+    delta: bool,
     compare: bool,
     out: PathBuf,
     metrics: Option<PathBuf>,
     trace: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--batch N] [--no-fast-forward] [--compare] [--out PATH] [--metrics PATH] [--trace PATH]";
+const USAGE: &str = "usage: sweep [--threads N] [--scenarios N] [--tokens N] [--batch N] [--no-fast-forward] [--no-delta] [--compare] [--out PATH] [--metrics PATH] [--trace PATH]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}\n{USAGE}");
@@ -54,6 +53,7 @@ fn parse_args() -> Options {
         tokens: 200,
         batch: 8,
         fast_forward: FastForward::On,
+        delta: true,
         compare: false,
         out: PathBuf::from("results/sweep.json"),
         metrics: None,
@@ -80,6 +80,7 @@ fn parse_args() -> Options {
                 }
             }
             "--no-fast-forward" => options.fast_forward = FastForward::Off,
+            "--no-delta" => options.delta = false,
             "--compare" => options.compare = true,
             "--out" => options.out = PathBuf::from(value("--out")),
             "--metrics" => options.metrics = Some(PathBuf::from(value("--metrics"))),
@@ -94,47 +95,9 @@ fn parse_args() -> Options {
     options
 }
 
-/// The default scenario grid: didactic chains and synthetic pipelines of
-/// growing depth, alternating saturating and jittered-periodic traces.
-fn scenario_grid(count: u64, tokens: u64) -> Vec<ScenarioSpec> {
-    (0..count)
-        .map(|i| {
-            let kind = match i % 4 {
-                0 => ModelKind::Didactic { stages: 1 + (i as usize / 8) % 3 },
-                1 => ModelKind::Pipeline { stages: 4, base: 100, per_unit: 3 },
-                2 => ModelKind::Pipeline { stages: 8, base: 60, per_unit: 1 },
-                _ => ModelKind::Didactic { stages: 2 },
-            };
-            ScenarioSpec {
-                label: format!("grid-{i}"),
-                model: ModelSpec {
-                    kind,
-                    padding: if i % 2 == 0 { 0 } else { 64 },
-                    // Exercise both engine backends across the grid.
-                    backend: if i % 8 < 4 {
-                        EvalBackend::Compiled
-                    } else {
-                        EvalBackend::Worklist
-                    },
-                },
-                // Saturating traces use a fixed token size so the ack line
-                // settles into a periodic regime the fast-forward detector
-                // can exploit; jittered traces stay size-randomized.
-                trace: TraceSpec {
-                    tokens,
-                    min_size: if i % 3 == 0 { 64 } else { 1 },
-                    max_size: if i % 3 == 0 { 64 } else { 128 },
-                    mean_period: if i % 3 == 0 { 0 } else { 400 * (1 + i % 5) },
-                    seed: 0x5eed_0000 + i,
-                },
-            }
-        })
-        .collect()
-}
-
 fn main() {
     let options = parse_args();
-    let scenarios = scenario_grid(options.scenarios, options.tokens);
+    let scenarios = default_grid(options.scenarios, options.tokens);
     eprintln!(
         "sweeping {} scenarios × {} tokens on {} threads, batch width {}",
         scenarios.len(),
@@ -151,6 +114,7 @@ fn main() {
             batch_width: options.batch,
             fast_forward: options.fast_forward,
             telemetry: options.metrics.is_some(),
+            delta: options.delta,
             ..SweepConfig::default()
         },
     );
@@ -161,6 +125,7 @@ fn main() {
             compare_conventional: options.compare,
             batch_width: options.batch,
             fast_forward: options.fast_forward,
+            delta: options.delta,
             ..SweepConfig::default()
         },
     );
@@ -174,6 +139,7 @@ fn main() {
                 compare_conventional: options.compare,
                 batch_width: 1,
                 fast_forward: options.fast_forward,
+                delta: options.delta,
                 ..SweepConfig::default()
             },
         )
@@ -209,6 +175,11 @@ fn main() {
     eprintln!(
         "fast-forward: {} promotions, {} demotions, {} iterations replayed",
         ff.promotions, ff.demotions, ff.fast_forwarded_iterations,
+    );
+    let d = &parallel.delta;
+    eprintln!(
+        "delta: {} chains ({} base + {} delta lanes), {} nodes reused / {} recomputed",
+        d.chains_formed, d.lanes_base, d.lanes_delta, d.nodes_reused, d.nodes_recomputed,
     );
 
     let mut fields = vec![

@@ -50,12 +50,12 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration as HostDuration, Instant};
 
 use evolve_core::{
-    derive_tdg, synthetic, BatchUnsupported, BatchedEngine, DetectedPeriod, Engine, EngineStats,
-    EvalBackend, FastForward, FastForwardStats, PeriodicConfig,
+    derive_tdg, synthetic, BatchUnsupported, BatchedEngine, DeltaCache, DeltaStats, DetectedPeriod,
+    Engine, EngineStats, EvalBackend, FastForward, FastForwardStats, PeriodicConfig,
 };
 use evolve_des::{SplitMix64, Time};
 use evolve_model::{
@@ -223,6 +223,10 @@ pub struct ScenarioResult {
     /// Whether this scenario ran as a lane of a [`BatchedEngine`] (as
     /// opposed to the scalar per-scenario path).
     pub batched: bool,
+    /// Whether this scenario was evaluated as a delta against a sibling
+    /// chain's base cache (bitwise identical to a full evaluation; chain
+    /// bases and ejected siblings report `false`).
+    pub delta: bool,
     /// Host wall-clock time of the engine drive. For batched scenarios
     /// this is the batch drive time divided by the lane count — the
     /// per-lane amortized cost, comparable to the scalar wall.
@@ -304,6 +308,14 @@ pub struct SweepConfig {
     /// identical either way (the observer-conformance suite pins this
     /// down), but observation costs a few percent of sweep throughput.
     pub telemetry: bool,
+    /// Group scalar compiled scenarios of structurally identical models
+    /// into base+sibling *delta chains*: the chain's first scenario is
+    /// evaluated fully with its per-iteration state captured, and the
+    /// remaining siblings diff against that cache, recomputing only their
+    /// change frontier. On by default — outcomes are guaranteed bitwise
+    /// identical either way (`--no-delta` on the sweep binary exists for
+    /// A/B timing runs); see `docs/SWEEP.md` for chaining and tuning notes.
+    pub delta: bool,
 }
 
 impl Default for SweepConfig {
@@ -317,6 +329,7 @@ impl Default for SweepConfig {
             fast_forward: FastForward::On,
             ff_confirm_periods: PeriodicConfig::default().confirm_periods,
             telemetry: false,
+            delta: true,
         }
     }
 }
@@ -384,6 +397,105 @@ impl BatchingStats {
     }
 }
 
+/// Aggregate counters of the delta-chaining layer, reported in
+/// `results/sweep.json` next to [`BatchingStats`].
+///
+/// A *chain* is a family of structurally identical scalar scenarios whose
+/// first member ([`lanes_base`](Self::lanes_base)) is evaluated fully with
+/// its per-iteration state captured, and whose remaining members
+/// ([`lanes_delta`](Self::lanes_delta)) diff against that cache. The
+/// `eject_*` counters record siblings that fell back to full evaluation,
+/// keyed by [`DeltaUnsupported::reason`](evolve_core::DeltaUnsupported::reason).
+/// The node-level counters fold every attached sibling's
+/// [`DeltaStats`](evolve_core::DeltaStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSweepStats {
+    /// Sibling chains formed by the planner (families of ≥ 2 scenarios).
+    pub chains_formed: u64,
+    /// Chain bases evaluated fully under capture.
+    pub lanes_base: u64,
+    /// Siblings evaluated against a base cache.
+    pub lanes_delta: u64,
+    /// Siblings ejected: graph has more than one input node.
+    pub eject_multi_input: u64,
+    /// Siblings ejected: graph requires output acknowledgements.
+    pub eject_output_acks: u64,
+    /// Siblings ejected: engine uses the worklist backend.
+    pub eject_worklist: u64,
+    /// Siblings ejected: compiled structure differs from the base cache.
+    pub eject_structure_mismatch: u64,
+    /// Offers answered via delta propagation across all attached siblings.
+    pub calls_delta: u64,
+    /// Offers answered by full evaluation inside attached siblings (beyond
+    /// the cache horizon).
+    pub calls_full: u64,
+    /// Node instants copied from the base cache without recomputation.
+    pub nodes_reused: u64,
+    /// Node instants recomputed on the change frontier.
+    pub nodes_recomputed: u64,
+    /// Recomputed nodes whose instant matched the cache (frontier
+    /// absorption via max-plus monotonicity).
+    pub nodes_settled: u64,
+    /// Delta iterations whose frontier was empty (pure cache replay).
+    pub frontier_collapses: u64,
+}
+
+impl From<DeltaSweepStats> for evolve_obs::DeltaCounters {
+    fn from(d: DeltaSweepStats) -> Self {
+        evolve_obs::DeltaCounters {
+            chains_formed: d.chains_formed,
+            lanes_base: d.lanes_base,
+            lanes_delta: d.lanes_delta,
+            calls_delta: d.calls_delta,
+            calls_full: d.calls_full,
+            nodes_reused: d.nodes_reused,
+            nodes_recomputed: d.nodes_recomputed,
+            nodes_settled: d.nodes_settled,
+            frontier_collapses: d.frontier_collapses,
+            eject_multi_input: d.eject_multi_input,
+            eject_output_acks: d.eject_output_acks,
+            eject_worklist: d.eject_worklist,
+            eject_structure_mismatch: d.eject_structure_mismatch,
+        }
+    }
+}
+
+impl DeltaSweepStats {
+    fn absorb(&mut self, other: DeltaSweepStats) {
+        self.chains_formed += other.chains_formed;
+        self.lanes_base += other.lanes_base;
+        self.lanes_delta += other.lanes_delta;
+        self.eject_multi_input += other.eject_multi_input;
+        self.eject_output_acks += other.eject_output_acks;
+        self.eject_worklist += other.eject_worklist;
+        self.eject_structure_mismatch += other.eject_structure_mismatch;
+        self.calls_delta += other.calls_delta;
+        self.calls_full += other.calls_full;
+        self.nodes_reused += other.nodes_reused;
+        self.nodes_recomputed += other.nodes_recomputed;
+        self.nodes_settled += other.nodes_settled;
+        self.frontier_collapses += other.frontier_collapses;
+    }
+
+    fn absorb_engine(&mut self, stats: &DeltaStats) {
+        self.calls_delta += stats.calls_delta;
+        self.calls_full += stats.calls_full;
+        self.nodes_reused += stats.nodes_reused;
+        self.nodes_recomputed += stats.nodes_recomputed;
+        self.nodes_settled += stats.nodes_settled;
+        self.frontier_collapses += stats.frontier_collapses;
+    }
+
+    fn count_eject(&mut self, reason: &str) {
+        match reason {
+            "multi_input" => self.eject_multi_input += 1,
+            "output_acks" => self.eject_output_acks += 1,
+            "worklist" => self.eject_worklist += 1,
+            _ => self.eject_structure_mismatch += 1,
+        }
+    }
+}
+
 /// A completed sweep: per-scenario results in input order plus aggregate
 /// counters.
 #[derive(Clone, Debug)]
@@ -394,6 +506,8 @@ pub struct SweepReport {
     pub scenarios: Vec<ScenarioResult>,
     /// Counters of the batched scheduling layer.
     pub batching: BatchingStats,
+    /// Counters of the delta-chaining layer.
+    pub delta: DeltaSweepStats,
     /// Host wall-clock time of the whole sweep.
     pub wall: HostDuration,
     /// Merged streaming-telemetry shards (resource metrics, event counts),
@@ -471,6 +585,7 @@ impl SweepReport {
         snap.engine = self.total_engine_stats().into();
         snap.ff = self.total_fast_forward_stats().into();
         snap.batch = self.batching.into();
+        snap.delta = self.delta.into();
         if snap.events.boundary_events() == 0 {
             let inputs: u64 = self
                 .scenarios
@@ -524,6 +639,7 @@ impl SweepReport {
                 engine_stats_json(&totals),
             ),
             ("batching", batching_json(&self.batching)),
+            ("delta", delta_json(&self.delta)),
             ("fast_forward", fast_forward_report_json(self)),
             ("telemetry", self.metrics_snapshot().to_json()),
             (
@@ -613,6 +729,29 @@ fn batching_json(b: &BatchingStats) -> Json {
     ])
 }
 
+fn delta_json(d: &DeltaSweepStats) -> Json {
+    Json::object([
+        ("chains_formed", Json::U64(d.chains_formed)),
+        ("lanes_base", Json::U64(d.lanes_base)),
+        ("lanes_delta", Json::U64(d.lanes_delta)),
+        ("calls_delta", Json::U64(d.calls_delta)),
+        ("calls_full", Json::U64(d.calls_full)),
+        ("nodes_reused", Json::U64(d.nodes_reused)),
+        ("nodes_recomputed", Json::U64(d.nodes_recomputed)),
+        ("nodes_settled", Json::U64(d.nodes_settled)),
+        ("frontier_collapses", Json::U64(d.frontier_collapses)),
+        (
+            "ejections",
+            Json::object([
+                ("multi_input", Json::U64(d.eject_multi_input)),
+                ("output_acks", Json::U64(d.eject_output_acks)),
+                ("worklist", Json::U64(d.eject_worklist)),
+                ("structure_mismatch", Json::U64(d.eject_structure_mismatch)),
+            ]),
+        ),
+    ])
+}
+
 fn scenario_json(s: &ScenarioResult) -> Json {
     let makespan = s.outcome.outputs.last().map_or(0, |&(_, y, _)| y);
     let mut fields = vec![
@@ -622,6 +761,7 @@ fn scenario_json(s: &ScenarioResult) -> Json {
         ("backend", Json::str(s.backend.as_str())),
         ("reused_engine", Json::Bool(s.reused_engine)),
         ("batched", Json::Bool(s.batched)),
+        ("delta", Json::Bool(s.delta)),
         ("outputs", Json::U64(s.outcome.outputs.len() as u64)),
         ("makespan_ticks", Json::U64(makespan)),
         ("boundary_events", Json::U64(s.outcome.boundary_events)),
@@ -952,14 +1092,40 @@ fn reference_for(
     }
 }
 
-/// Evaluates one scenario on a worker-cached engine.
-fn evaluate(
+/// How a scalar evaluation participates in a delta chain.
+enum DeltaMode<'a> {
+    /// Plain full evaluation (no chain, or a sibling after a failed capture).
+    Off,
+    /// Chain base: evaluate fully and capture the per-iteration cache.
+    CaptureBase,
+    /// Chain sibling: diff against the base cache.
+    Sibling(&'a Arc<DeltaCache>),
+}
+
+/// What the delta layer did for one scalar evaluation.
+enum DeltaLaneOutcome {
+    /// [`DeltaMode::Off`] — nothing requested.
+    NotRequested,
+    /// Base captured; siblings can attach this cache.
+    Captured(Arc<DeltaCache>),
+    /// The engine refused capture (reason string from [`DeltaUnsupported`]).
+    CaptureFailed(&'static str),
+    /// Sibling ran attached; counters for the whole drive.
+    Attached(DeltaStats),
+    /// Sibling was refused attachment and evaluated fully.
+    Ejected(&'static str),
+}
+
+/// Evaluates one scenario on a worker-cached engine, optionally capturing
+/// or consuming a delta-chain cache.
+fn evaluate_inner(
     cache: &mut HashMap<ModelSpec, PreparedModel>,
     index: usize,
     spec: &ScenarioSpec,
     config: &SweepConfig,
     tel: &mut Option<Box<TelemetrySink>>,
-) -> ScenarioResult {
+    mode: DeltaMode<'_>,
+) -> (ScenarioResult, DeltaLaneOutcome) {
     let prepared = cache
         .entry(spec.model.clone())
         .or_insert_with(|| prepare(&spec.model, config));
@@ -968,6 +1134,28 @@ fn evaluate(
         prepared.engine.reset();
     }
     prepared.uses += 1;
+
+    let mut delta_outcome = DeltaLaneOutcome::NotRequested;
+    match &mode {
+        DeltaMode::Off => {}
+        DeltaMode::CaptureBase => {
+            // Fast-forward replay stops row capture, which would truncate
+            // the cache and starve the siblings; trade the base's
+            // fast-forward (bitwise-invisible either way) for full
+            // coverage. The configured mode is restored after the drive.
+            prepared
+                .engine
+                .set_fast_forward_with(FastForward::Off, ff_config(config));
+            if let Err(e) = prepared.engine.begin_delta_capture() {
+                delta_outcome = DeltaLaneOutcome::CaptureFailed(e.reason());
+            }
+        }
+        DeltaMode::Sibling(base) => {
+            if let Err(e) = prepared.engine.attach_delta_base(Arc::clone(base)) {
+                delta_outcome = DeltaLaneOutcome::Ejected(e.reason());
+            }
+        }
+    }
 
     // The sink rides inside the engine for the drive and is taken back
     // right after — one Box round-trip per scenario, no reallocation.
@@ -986,6 +1174,28 @@ fn evaluate(
     let fast_forward = prepared.engine.fast_forward_stats();
     outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
 
+    match &mode {
+        DeltaMode::Off => {}
+        DeltaMode::CaptureBase => {
+            if matches!(delta_outcome, DeltaLaneOutcome::NotRequested) {
+                delta_outcome = DeltaLaneOutcome::Captured(prepared.engine.finish_delta_capture());
+            }
+            // Put the cached engine back the way `prepare` left it, so
+            // later plain reuses of this model see the configured
+            // fast-forward mode. Reset first: the mode switch requires a
+            // quiescent engine, and the outcome is already extracted.
+            prepared.engine.reset();
+            prepared
+                .engine
+                .set_fast_forward_with(config.fast_forward, ff_config(config));
+        }
+        DeltaMode::Sibling(_) => {
+            if matches!(delta_outcome, DeltaLaneOutcome::NotRequested) {
+                delta_outcome = DeltaLaneOutcome::Attached(prepared.engine.detach_delta());
+            }
+        }
+    }
+
     let reference = config.compare_conventional.then(|| {
         reference_for(
             &prepared.arch,
@@ -997,7 +1207,7 @@ fn evaluate(
         )
     });
 
-    ScenarioResult {
+    let result = ScenarioResult {
         index,
         label: spec.label.clone(),
         outcome,
@@ -1005,10 +1215,23 @@ fn evaluate(
         backend: spec.model.backend,
         reused_engine,
         batched: false,
+        delta: matches!(delta_outcome, DeltaLaneOutcome::Attached(_)),
         wall,
         fast_forward,
         reference,
-    }
+    };
+    (result, delta_outcome)
+}
+
+/// Evaluates one scenario on a worker-cached engine.
+fn evaluate(
+    cache: &mut HashMap<ModelSpec, PreparedModel>,
+    index: usize,
+    spec: &ScenarioSpec,
+    config: &SweepConfig,
+    tel: &mut Option<Box<TelemetrySink>>,
+) -> ScenarioResult {
+    evaluate_inner(cache, index, spec, config, tel, DeltaMode::Off).0
 }
 
 /// Why the batching layer sent a scenario down the scalar path.
@@ -1023,8 +1246,13 @@ enum ScalarReason {
     SingleLane,
 }
 
-/// A unit of worker-schedulable work: one scalar scenario or one lockstep
-/// batch of scenarios sharing a [`ModelSpec`].
+/// A unit of worker-schedulable work: one scalar scenario, one lockstep
+/// batch of scenarios sharing a [`ModelSpec`], or one delta chain of
+/// structurally identical scalar scenarios (base first).
+///
+/// Chain members keep their [`ScalarReason`] so the batching counters are
+/// identical with delta chaining on or off — chaining regroups the scalar
+/// path, it does not reclassify it.
 enum WorkUnit {
     Scalar {
         index: usize,
@@ -1032,6 +1260,87 @@ enum WorkUnit {
         reason: ScalarReason,
     },
     Batch(Vec<(usize, ScenarioSpec)>),
+    Delta(ChainMembers),
+}
+
+/// Members of one delta chain, in input order: `(grid index, spec, the
+/// scalar-path reason the member kept)`. The first entry is the base.
+type ChainMembers = Vec<(usize, ScenarioSpec, ScalarReason)>;
+
+/// Graph-shape component of a delta-family key: two scenarios may chain
+/// only when their compiled graphs are structurally identical, which for
+/// the built-in models means the same kind, stage count, and padding —
+/// load parameters ([`ModelKind::Pipeline`]'s `base`/`per_unit`) only move
+/// arc weights, exactly the perturbations delta evaluation absorbs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FamilyShape {
+    Didactic { stages: usize },
+    Pipeline { stages: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct FamilyKey {
+    shape: FamilyShape,
+    padding: usize,
+}
+
+/// The delta-family key of a scalar scenario, or `None` when the scenario
+/// is ineligible for chaining (worklist backend or an empty trace).
+fn family_key(spec: &ScenarioSpec) -> Option<FamilyKey> {
+    if spec.model.backend != EvalBackend::Compiled || spec.trace.tokens == 0 {
+        return None;
+    }
+    let shape = match spec.model.kind {
+        ModelKind::Didactic { stages } => FamilyShape::Didactic { stages },
+        ModelKind::Pipeline { stages, .. } => FamilyShape::Pipeline { stages },
+    };
+    Some(FamilyKey {
+        shape,
+        padding: spec.model.padding,
+    })
+}
+
+/// Regroups scalar units into delta chains: families of two or more
+/// structurally identical scenarios become one [`WorkUnit::Delta`] (input
+/// order, first member is the base); singletons stay scalar. Non-scalar
+/// units pass through untouched — batches and chains compose side by side.
+fn plan_delta_chains(units: Vec<WorkUnit>) -> Vec<WorkUnit> {
+    let mut families: Vec<(FamilyKey, ChainMembers)> = Vec::new();
+    let mut out = Vec::with_capacity(units.len());
+    for unit in units {
+        match unit {
+            WorkUnit::Scalar {
+                index,
+                spec,
+                reason,
+            } => match family_key(&spec) {
+                Some(key) => match families.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push((index, spec, reason)),
+                    None => families.push((key, vec![(index, spec, reason)])),
+                },
+                None => out.push(WorkUnit::Scalar {
+                    index,
+                    spec,
+                    reason,
+                }),
+            },
+            other => out.push(other),
+        }
+    }
+    for (_, members) in families {
+        if members.len() >= 2 {
+            out.push(WorkUnit::Delta(members));
+        } else {
+            for (index, spec, reason) in members {
+                out.push(WorkUnit::Scalar {
+                    index,
+                    spec,
+                    reason,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Partitions the sweep into work units: compiled-backend scenarios with
@@ -1048,6 +1357,9 @@ fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit>
                 spec,
                 reason: ScalarReason::BatchingOff,
             });
+        }
+        if config.delta {
+            units = plan_delta_chains(units);
         }
         return units;
     }
@@ -1095,6 +1407,9 @@ fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit>
             }
             _ => units.push(WorkUnit::Batch(group)),
         }
+    }
+    if config.delta {
+        units = plan_delta_chains(units);
     }
     units
 }
@@ -1192,6 +1507,7 @@ fn evaluate_batch(
                 backend: spec.model.backend,
                 reused_engine,
                 batched: true,
+                delta: false,
                 wall,
                 fast_forward,
                 reference,
@@ -1200,12 +1516,112 @@ fn evaluate_batch(
         .collect()
 }
 
+/// Books one scalar evaluation into the batching counters and telemetry —
+/// shared by the plain scalar arm and every delta-chain member, so the
+/// batching ledger is identical with chaining on or off.
+fn count_scalar(
+    stats: &mut BatchingStats,
+    tel: &mut Option<Box<TelemetrySink>>,
+    index: usize,
+    reason: &ScalarReason,
+) {
+    stats.lanes_scalar += 1;
+    let eject = match reason {
+        ScalarReason::BatchingOff => None,
+        ScalarReason::Worklist => {
+            stats.eject_worklist += 1;
+            Some(EjectReason::Worklist)
+        }
+        ScalarReason::EmptyTrace => {
+            stats.eject_empty_trace += 1;
+            Some(EjectReason::EmptyTrace)
+        }
+        ScalarReason::SingleLane => {
+            stats.eject_single_lane += 1;
+            Some(EjectReason::SingleLane)
+        }
+    };
+    if let (Some(sink), Some(reason)) = (tel.as_deref_mut(), eject) {
+        sink.on_event(EngineEvent::LaneEjected {
+            lane: index as u32,
+            reason,
+        });
+    }
+}
+
+/// Evaluates one delta chain: the first member is the base (full
+/// evaluation under capture, fast-forward suspended), the rest attach the
+/// captured cache and propagate only their change frontier. A refused
+/// capture or attachment falls back to full evaluation with the reason
+/// counted — outcomes are bitwise identical on every path.
+fn evaluate_delta_chain(
+    state: &mut WorkerState,
+    chain: ChainMembers,
+    config: &SweepConfig,
+    stats: &mut BatchingStats,
+    delta_stats: &mut DeltaSweepStats,
+    tel: &mut Option<Box<TelemetrySink>>,
+) -> Vec<ScenarioResult> {
+    delta_stats.chains_formed += 1;
+    let mut out = Vec::with_capacity(chain.len());
+    let mut base_cache: Option<Arc<DeltaCache>> = None;
+    let mut capture_fail: Option<&'static str> = None;
+    for (pos, (index, spec, reason)) in chain.into_iter().enumerate() {
+        count_scalar(stats, tel, index, &reason);
+        if pos == 0 {
+            delta_stats.lanes_base += 1;
+            let (result, outcome) = evaluate_inner(
+                &mut state.scalar,
+                index,
+                &spec,
+                config,
+                tel,
+                DeltaMode::CaptureBase,
+            );
+            match outcome {
+                DeltaLaneOutcome::Captured(cache) => base_cache = Some(cache),
+                DeltaLaneOutcome::CaptureFailed(reason) => capture_fail = Some(reason),
+                _ => {}
+            }
+            out.push(result);
+        } else if let Some(cache) = base_cache.clone() {
+            let (result, outcome) = evaluate_inner(
+                &mut state.scalar,
+                index,
+                &spec,
+                config,
+                tel,
+                DeltaMode::Sibling(&cache),
+            );
+            match outcome {
+                DeltaLaneOutcome::Attached(engine_stats) => {
+                    delta_stats.lanes_delta += 1;
+                    delta_stats.absorb_engine(&engine_stats);
+                }
+                DeltaLaneOutcome::Ejected(reason) => delta_stats.count_eject(reason),
+                _ => {}
+            }
+            out.push(result);
+        } else {
+            delta_stats.count_eject(capture_fail.unwrap_or("structure_mismatch"));
+            out.push(evaluate(&mut state.scalar, index, &spec, config, tel));
+        }
+    }
+    out
+}
+
 fn process_unit(
     state: &mut WorkerState,
     unit: WorkUnit,
     config: &SweepConfig,
-) -> (Vec<ScenarioResult>, BatchingStats, Option<Box<TelemetrySink>>) {
+) -> (
+    Vec<ScenarioResult>,
+    BatchingStats,
+    DeltaSweepStats,
+    Option<Box<TelemetrySink>>,
+) {
     let mut stats = BatchingStats::default();
+    let mut delta_stats = DeltaSweepStats::default();
     // One telemetry shard per unit; `run_sweep` merges shards in unit
     // order at its single ordering point.
     let mut tel: Option<Box<TelemetrySink>> =
@@ -1216,34 +1632,18 @@ fn process_unit(
             spec,
             reason,
         } => {
-            stats.lanes_scalar += 1;
-            let eject = match reason {
-                ScalarReason::BatchingOff => None,
-                ScalarReason::Worklist => {
-                    stats.eject_worklist += 1;
-                    Some(EjectReason::Worklist)
-                }
-                ScalarReason::EmptyTrace => {
-                    stats.eject_empty_trace += 1;
-                    Some(EjectReason::EmptyTrace)
-                }
-                ScalarReason::SingleLane => {
-                    stats.eject_single_lane += 1;
-                    Some(EjectReason::SingleLane)
-                }
-            };
-            if let (Some(sink), Some(reason)) = (tel.as_deref_mut(), eject) {
-                sink.on_event(EngineEvent::LaneEjected {
-                    lane: index as u32,
-                    reason,
-                });
-            }
+            count_scalar(&mut stats, &mut tel, index, &reason);
             let result = evaluate(&mut state.scalar, index, &spec, config, &mut tel);
-            (vec![result], stats, tel)
+            (vec![result], stats, delta_stats, tel)
         }
         WorkUnit::Batch(group) => {
             let results = evaluate_batch(state, group, config, &mut stats, &mut tel);
-            (results, stats, tel)
+            (results, stats, delta_stats, tel)
+        }
+        WorkUnit::Delta(chain) => {
+            let results =
+                evaluate_delta_chain(state, chain, config, &mut stats, &mut delta_stats, &mut tel);
+            (results, stats, delta_stats, tel)
         }
     }
 }
@@ -1275,11 +1675,13 @@ pub fn run_sweep(scenarios: &[ScenarioSpec], config: &SweepConfig) -> SweepRepor
         batch_width: config.batch_width.max(1),
         ..BatchingStats::default()
     };
+    let mut delta = DeltaSweepStats::default();
     let mut results = Vec::with_capacity(scenarios.len());
     let mut telemetry: Option<TelemetrySink> = config.telemetry.then(TelemetrySink::new);
-    for (unit_results, unit_stats, unit_tel) in processed {
+    for (unit_results, unit_stats, unit_delta, unit_tel) in processed {
         results.extend(unit_results);
         batching.absorb(unit_stats);
+        delta.absorb(unit_delta);
         // Telemetry shards merge here too: `processed` is in unit order
         // for any thread count, so the aggregate is deterministic.
         if let (Some(total), Some(shard)) = (telemetry.as_mut(), unit_tel) {
@@ -1298,6 +1700,7 @@ pub fn run_sweep(scenarios: &[ScenarioSpec], config: &SweepConfig) -> SweepRepor
         threads: config.threads.max(1),
         scenarios: results,
         batching,
+        delta,
         wall: start.elapsed(),
         telemetry: telemetry.map(|mut sink| sink.snapshot()),
     }
@@ -1346,11 +1749,56 @@ pub fn trace_scenario(
         backend: spec.model.backend,
         reused_engine: false,
         batched: false,
+        delta: false,
         wall,
         fast_forward,
         reference: None,
     };
     (result, collector)
+}
+
+/// The default scenario grid shared by the sweep binary, the fig5 delta
+/// conformance gate, and the sweep tests: didactic chains and synthetic
+/// pipelines of growing depth, alternating saturating and jittered-periodic
+/// traces, exercising both engine backends.
+///
+/// The grid is sibling-heavy by construction — scenarios of the same shape
+/// recur with different loads and traces — so the delta-chain planner finds
+/// families to chain and the batching planner finds groups to batch.
+pub fn default_grid(count: u64, tokens: u64) -> Vec<ScenarioSpec> {
+    (0..count)
+        .map(|i| {
+            let kind = match i % 4 {
+                0 => ModelKind::Didactic { stages: 1 + (i as usize / 8) % 3 },
+                1 => ModelKind::Pipeline { stages: 4, base: 100, per_unit: 3 },
+                2 => ModelKind::Pipeline { stages: 8, base: 60, per_unit: 1 },
+                _ => ModelKind::Didactic { stages: 2 },
+            };
+            ScenarioSpec {
+                label: format!("grid-{i}"),
+                model: ModelSpec {
+                    kind,
+                    padding: if i % 2 == 0 { 0 } else { 64 },
+                    // Exercise both engine backends across the grid.
+                    backend: if i % 8 < 4 {
+                        EvalBackend::Compiled
+                    } else {
+                        EvalBackend::Worklist
+                    },
+                },
+                // Saturating traces use a fixed token size so the ack line
+                // settles into a periodic regime the fast-forward detector
+                // can exploit; jittered traces stay size-randomized.
+                trace: TraceSpec {
+                    tokens,
+                    min_size: if i % 3 == 0 { 64 } else { 1 },
+                    max_size: if i % 3 == 0 { 64 } else { 128 },
+                    mean_period: if i % 3 == 0 { 0 } else { 400 * (1 + i % 5) },
+                    seed: 0x5eed_0000 + i,
+                },
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1627,6 +2075,69 @@ mod tests {
             // The leftover lane is whichever same-model scenario was left
             // after the batch filled — input order makes it c4.
             assert_eq!(s.batched, expect_batched, "scenario {}", s.label);
+        }
+    }
+
+    #[test]
+    fn delta_chains_match_full_evaluation_bitwise() {
+        let scenarios = default_grid(24, 40);
+        let on = run_sweep(&scenarios, &SweepConfig { threads: 2, ..SweepConfig::default() });
+        let off = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 2, delta: false, ..SweepConfig::default() },
+        );
+        assert!(on.delta.chains_formed > 0, "the default grid is sibling-heavy");
+        assert!(on.delta.lanes_delta > 0);
+        assert_eq!(
+            on.delta.eject_multi_input
+                + on.delta.eject_output_acks
+                + on.delta.eject_worklist
+                + on.delta.eject_structure_mismatch,
+            0,
+            "every planned sibling attaches: the planner only chains compiled \
+             single-input ack-free families"
+        );
+        assert_eq!(off.delta, DeltaSweepStats::default());
+        assert_eq!(on.batching, off.batching, "chaining must not change the batching ledger");
+        for (a, b) in on.scenarios.iter().zip(&off.scenarios) {
+            assert_eq!(a.outcome, b.outcome, "scenario {}", a.label);
+        }
+        assert!(on.scenarios.iter().any(|s| s.delta));
+        assert!(off.scenarios.iter().all(|s| !s.delta));
+        let rendered = on.to_json().render();
+        assert!(rendered.contains("\"chains_formed\""));
+        assert!(rendered.contains("\"delta\":true"));
+    }
+
+    #[test]
+    fn delta_stats_are_deterministic_across_thread_counts() {
+        let scenarios = default_grid(20, 30);
+        let seq = run_sweep(&scenarios, &SweepConfig { threads: 1, ..SweepConfig::default() });
+        let par = run_sweep(&scenarios, &SweepConfig { threads: 4, ..SweepConfig::default() });
+        // Chains are whole work units, so membership — and with it every
+        // node-level counter — is independent of worker scheduling.
+        assert_eq!(seq.delta, par.delta);
+        for (a, b) in seq.scenarios.iter().zip(&par.scenarios) {
+            assert_eq!(a.delta, b.delta, "scenario {}", a.label);
+            assert_eq!(a.outcome, b.outcome, "scenario {}", a.label);
+        }
+    }
+
+    #[test]
+    fn delta_chains_compose_with_batching() {
+        // Width 2 over the grid leaves leftovers and odd groups on the
+        // scalar path, which the delta planner then chains — both layers
+        // active in one sweep, outcomes still bitwise.
+        let scenarios = default_grid(16, 30);
+        let config = SweepConfig { threads: 2, batch_width: 2, ..SweepConfig::default() };
+        let mixed = run_sweep(&scenarios, &config);
+        let plain = run_sweep(
+            &scenarios,
+            &SweepConfig { batch_width: 1, delta: false, threads: 1, ..SweepConfig::default() },
+        );
+        assert!(mixed.batching.lanes_batched > 0);
+        for (a, b) in mixed.scenarios.iter().zip(&plain.scenarios) {
+            assert_eq!(a.outcome, b.outcome, "scenario {}", a.label);
         }
     }
 }

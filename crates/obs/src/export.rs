@@ -119,6 +119,75 @@ pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "evolve_batch_ejections_total{{reason=\"{reason}\"}} {value}");
     }
 
+    counter(
+        &mut out,
+        "evolve_delta_chains_formed_total",
+        "Base+sibling delta chains formed by the sweep planner",
+        snapshot.delta.chains_formed,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_lanes_base_total",
+        "Scenarios evaluated as fully-swept delta-chain bases",
+        snapshot.delta.lanes_base,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_lanes_delta_total",
+        "Scenarios evaluated against a base cache",
+        snapshot.delta.lanes_delta,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_calls_total",
+        "Input offers answered by the delta sweep",
+        snapshot.delta.calls_delta,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_calls_full_total",
+        "Offers a delta-linked engine evaluated fully",
+        snapshot.delta.calls_full,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_nodes_reused_total",
+        "Node instants copied from the base cache",
+        snapshot.delta.nodes_reused,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_nodes_recomputed_total",
+        "Node instants recomputed by the change frontier",
+        snapshot.delta.nodes_recomputed,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_nodes_settled_total",
+        "Recomputed instants that matched the cache (frontier early-out)",
+        snapshot.delta.nodes_settled,
+    );
+    counter(
+        &mut out,
+        "evolve_delta_frontier_collapses_total",
+        "Delta calls that recomputed zero nodes",
+        snapshot.delta.frontier_collapses,
+    );
+    family(
+        &mut out,
+        "evolve_delta_ejections_total",
+        "Scenarios ejected from delta chains to full evaluation, by reason",
+        "counter",
+    );
+    for (reason, value) in [
+        ("multi_input", snapshot.delta.eject_multi_input),
+        ("output_acks", snapshot.delta.eject_output_acks),
+        ("worklist", snapshot.delta.eject_worklist),
+        ("structure_mismatch", snapshot.delta.eject_structure_mismatch),
+    ] {
+        let _ = writeln!(out, "evolve_delta_ejections_total{{reason=\"{reason}\"}} {value}");
+    }
+
     family(
         &mut out,
         "evolve_events_total",

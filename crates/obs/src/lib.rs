@@ -40,8 +40,8 @@ pub use event::{BackendKind, EjectReason, EngineEvent};
 pub use export::prometheus;
 pub use json::Json;
 pub use metrics::{
-    BatchCounters, EngineCounters, EventCounters, FfCounters, FoldedResource, LogHistogram,
-    MetricsSnapshot, PeriodUsage, ResourceMetrics, ResourceSnapshot, TelemetrySink,
+    BatchCounters, DeltaCounters, EngineCounters, EventCounters, FfCounters, FoldedResource,
+    LogHistogram, MetricsSnapshot, PeriodUsage, ResourceMetrics, ResourceSnapshot, TelemetrySink,
 };
 pub use observer::{downcast, NullObserver, Observer};
 pub use trace::TraceCollector;

@@ -313,6 +313,62 @@ impl BatchCounters {
     }
 }
 
+/// Delta-evaluation counters — the obs-side mirror of the engine's
+/// `DeltaStats` plus the sweep layer's chain bookkeeping (`evolve-core`
+/// provides `From<DeltaStats>`, `evolve-explore` `From<DeltaSweepStats>`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaCounters {
+    /// Base+sibling chains formed by the sweep planner.
+    pub chains_formed: u64,
+    /// Scenarios evaluated as the fully-swept base of a chain.
+    pub lanes_base: u64,
+    /// Scenarios evaluated against a base cache.
+    pub lanes_delta: u64,
+    /// Calls answered by the delta sweep (clean copy or frontier recompute).
+    pub calls_delta: u64,
+    /// Calls a delta-linked engine evaluated fully (beyond the cached
+    /// rows, or after a worklist fallback).
+    pub calls_full: u64,
+    /// Node instants copied from the base cache without recomputation.
+    pub nodes_reused: u64,
+    /// Node instants recomputed because an input of the fold changed.
+    pub nodes_recomputed: u64,
+    /// Recomputed nodes whose instant matched the cache (max-plus
+    /// early-out: their downstream dependents stay clean).
+    pub nodes_settled: u64,
+    /// Delta calls that recomputed zero nodes (the change frontier
+    /// collapsed before reaching any instant).
+    pub frontier_collapses: u64,
+    /// Lanes ejected: the graph has multiple external inputs.
+    pub eject_multi_input: u64,
+    /// Lanes ejected: the graph has acknowledged outputs.
+    pub eject_output_acks: u64,
+    /// Lanes ejected: the engine runs the worklist backend.
+    pub eject_worklist: u64,
+    /// Lanes ejected: the sibling's compiled structure differs from the
+    /// base cache.
+    pub eject_structure_mismatch: u64,
+}
+
+impl DeltaCounters {
+    /// Adds `other` into this counter set.
+    pub fn merge(&mut self, other: &DeltaCounters) {
+        self.chains_formed += other.chains_formed;
+        self.lanes_base += other.lanes_base;
+        self.lanes_delta += other.lanes_delta;
+        self.calls_delta += other.calls_delta;
+        self.calls_full += other.calls_full;
+        self.nodes_reused += other.nodes_reused;
+        self.nodes_recomputed += other.nodes_recomputed;
+        self.nodes_settled += other.nodes_settled;
+        self.frontier_collapses += other.frontier_collapses;
+        self.eject_multi_input += other.eject_multi_input;
+        self.eject_output_acks += other.eject_output_acks;
+        self.eject_worklist += other.eject_worklist;
+        self.eject_structure_mismatch += other.eject_structure_mismatch;
+    }
+}
+
 /// Counts of observed [`EngineEvent`]s.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EventCounters {
@@ -373,6 +429,8 @@ pub struct TelemetrySink {
     pub ff: FfCounters,
     /// Batching counters (recorded by the sweep layer).
     pub batch: BatchCounters,
+    /// Delta-evaluation counters (recorded by the sweep layer).
+    pub delta: DeltaCounters,
     /// Lifecycle event counts.
     pub events: EventCounters,
     /// Detected periodic regimes `(growth, period)`, one per promotion.
@@ -407,6 +465,11 @@ impl TelemetrySink {
         self.batch.merge(&counters);
     }
 
+    /// Folds delta-evaluation counters into the sink.
+    pub fn record_delta(&mut self, counters: DeltaCounters) {
+        self.delta.merge(&counters);
+    }
+
     /// Seals every live lane into the aggregate (end of a scenario).
     pub fn seal_lanes(&mut self) {
         let lanes = std::mem::take(&mut self.lanes);
@@ -434,6 +497,7 @@ impl TelemetrySink {
         self.engine.merge(&other.engine);
         self.ff.merge(&other.ff);
         self.batch.merge(&other.batch);
+        self.delta.merge(&other.delta);
         self.events.merge(&other.events);
         self.regimes.extend(other.regimes);
         self.backends.extend(other.backends);
@@ -465,6 +529,7 @@ impl TelemetrySink {
             engine: self.engine,
             ff: self.ff,
             batch: self.batch,
+            delta: self.delta,
             events: self.events,
             regimes: self.regimes.clone(),
             resources,
@@ -559,6 +624,8 @@ pub struct MetricsSnapshot {
     pub ff: FfCounters,
     /// Batching counters.
     pub batch: BatchCounters,
+    /// Delta-evaluation counters.
+    pub delta: DeltaCounters,
     /// Lifecycle event counts.
     pub events: EventCounters,
     /// Detected periodic regimes `(growth, period)`.
@@ -664,6 +731,30 @@ impl MetricsSnapshot {
                     ("eject_empty_trace", Json::U64(self.batch.eject_empty_trace)),
                     ("eject_single_lane", Json::U64(self.batch.eject_single_lane)),
                     ("eject_unsupported", Json::U64(self.batch.eject_unsupported)),
+                ]),
+            ),
+            (
+                "delta",
+                Json::object([
+                    ("chains_formed", Json::U64(self.delta.chains_formed)),
+                    ("lanes_base", Json::U64(self.delta.lanes_base)),
+                    ("lanes_delta", Json::U64(self.delta.lanes_delta)),
+                    ("calls_delta", Json::U64(self.delta.calls_delta)),
+                    ("calls_full", Json::U64(self.delta.calls_full)),
+                    ("nodes_reused", Json::U64(self.delta.nodes_reused)),
+                    ("nodes_recomputed", Json::U64(self.delta.nodes_recomputed)),
+                    ("nodes_settled", Json::U64(self.delta.nodes_settled)),
+                    (
+                        "frontier_collapses",
+                        Json::U64(self.delta.frontier_collapses),
+                    ),
+                    ("eject_multi_input", Json::U64(self.delta.eject_multi_input)),
+                    ("eject_output_acks", Json::U64(self.delta.eject_output_acks)),
+                    ("eject_worklist", Json::U64(self.delta.eject_worklist)),
+                    (
+                        "eject_structure_mismatch",
+                        Json::U64(self.delta.eject_structure_mismatch),
+                    ),
                 ]),
             ),
             (
