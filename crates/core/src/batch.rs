@@ -11,8 +11,11 @@
 //! *lanes* over one [`CompiledTdg`] and evaluates all of them in a single
 //! linear sweep per lockstep iteration: arc metadata is fetched once per
 //! arc, and the per-lane `(max,+)` fold runs over lane-contiguous
-//! structure-of-arrays state (`acc[node * B + lane]`), branch-light so LLVM
-//! can vectorize it.
+//! structure-of-arrays state indexed by *schedule slot*
+//! (`acc[slot * stride + lane]`, with `stride` the lane count padded to a
+//! whole number of [`kernel`](crate::kernel) chunks), so the sweep's writes
+//! land in consecutive rows and the folds run through the branch-free
+//! lane-chunked kernels.
 //!
 //! The three-stream split of [`CompiledTdg`] is what makes this work: const
 //! and slow arcs are pure *structure* (same sources, delays, and pre-lifted
@@ -21,6 +24,21 @@
 //! not-yet-computed lanes need no mask. Only the exec stream (data-dependent
 //! durations) evaluates weights per lane, against each lane's own token
 //! sizes.
+//!
+//! # Level-blocked traversal
+//!
+//! Because lane state is slot-indexed and every zero-delay source sits at a
+//! strictly earlier slot (the retiled `*_src_pos` streams of
+//! [`CompiledTdg`]), each destination row can be split off the accumulator
+//! (`split_at_mut(slot * stride)`) and written *directly* — the old
+//! fill/fold/copy scratch triple pass collapses to a single pass. The
+//! schedule is pre-partitioned into sweep segments: runs of constant-only,
+//! unobserved slots (*fused* blocks — e.g. the Fig. 5 padding chains) are
+//! walked as destination-contiguous cache blocks by the chunked kernels
+//! alone, while everything else takes the general per-slot path. Three
+//! segment plans exist per engine — first call, steady state (look-ahead
+//! prefix skipped), and the look-ahead prefix itself.
+//! [`KernelDispatchStats`] counts which kernel family served each sweep.
 //!
 //! # Lockstep semantics and lane ejection
 //!
@@ -57,10 +75,11 @@ use evolve_des::Time;
 use evolve_maxplus::MaxPlus;
 use evolve_model::{ExecRecord, LoadContext};
 
-use crate::compile::{lower_node_meta, zero_delay_dependent, CompiledTdg, Obs};
+use crate::compile::{lower_node_meta, zero_delay_dependent, CompiledTdg, Obs, SweepSegment};
 use crate::derive::{DerivedTdg, SizeRule};
 use crate::engine::{AllocationFootprint, EngineStats};
 use crate::error::EngineError;
+use crate::kernel;
 use crate::periodic::{
     self, CallEmissions, CallObservation, ExecEmission, FastForward, FastForwardStats, Observed,
     OutputEmission, PeriodicConfig, PeriodicState, ReplayPlan, TailObservation,
@@ -120,10 +139,13 @@ impl std::fmt::Display for BatchUnsupported {
 impl std::error::Error for BatchUnsupported {}
 
 /// Per-iteration state of all lanes, laid out structure-of-arrays with the
-/// lane index innermost (`acc[node * B + lane]`), so the per-arc fold walks
-/// contiguous memory.
+/// lane index innermost. Accumulator rows are indexed by *schedule slot*
+/// and padded to the kernel stride (`acc[slot * stride + lane]`) so the
+/// chunked folds run whole rows branch-free; sizes and exec stashes are
+/// read per lane only and keep the natural lane width
+/// (`sizes[relation * B + lane]`).
 struct LaneBlock {
-    /// Computed instant per node per lane.
+    /// Computed instant per schedule slot per lane (stride-padded rows).
     acc: Vec<MaxPlus>,
     /// Token size per relation per lane.
     sizes: Vec<u64>,
@@ -132,9 +154,9 @@ struct LaneBlock {
 }
 
 impl LaneBlock {
-    fn fresh(nodes: usize, relations: usize, execs: usize, b: usize) -> Self {
+    fn fresh(nodes: usize, relations: usize, execs: usize, b: usize, stride: usize) -> Self {
         LaneBlock {
-            acc: vec![MaxPlus::EPSILON; nodes * b],
+            acc: vec![MaxPlus::EPSILON; nodes * stride],
             sizes: vec![0; relations * b],
             exec_stash: vec![(MaxPlus::EPSILON, 0); execs * b],
         }
@@ -181,7 +203,7 @@ fn eval_weight_lane(
     base_k: u64,
     b: usize,
     lane: usize,
-    tail: &LaneBlock,
+    tail_sizes: &[u64],
 ) -> (u64, u64) {
     let mut lag = weight.constant;
     let mut ops_total = 0u64;
@@ -192,7 +214,7 @@ fn eval_weight_lane(
                 if u64::from(delay) > k {
                     0
                 } else if delay == 0 {
-                    tail.sizes[rel.index() * b + lane]
+                    tail_sizes[rel.index() * b + lane]
                 } else {
                     block_at(ring, base_k, k - u64::from(delay))
                         .map_or(0, |blk| blk.sizes[rel.index() * b + lane])
@@ -229,7 +251,9 @@ struct ObsSink<'a> {
 
 impl ObsSink<'_> {
     /// Mirror of the scalar engine's `observe_at` for one lane of the
-    /// (out-of-ring) tail block.
+    /// (out-of-ring) tail block. The tail is passed as its disjoint size
+    /// and exec-stash slices (never the accumulator), so the caller can
+    /// keep split borrows of the accumulator rows alive across the call.
     #[allow(clippy::too_many_arguments)]
     fn observe_lane(
         &mut self,
@@ -237,7 +261,8 @@ impl ObsSink<'_> {
         obs: Obs,
         value: MaxPlus,
         lane: usize,
-        tail: &mut LaneBlock,
+        tail_sizes: &mut [u64],
+        tail_stash: &[(MaxPlus, u64)],
         ring: &VecDeque<LaneBlock>,
         base_k: u64,
     ) {
@@ -259,14 +284,14 @@ impl ObsSink<'_> {
                             if u64::from(delay) > k {
                                 0
                             } else if delay == 0 {
-                                tail.sizes[rel.index() * b + lane]
+                                tail_sizes[rel.index() * b + lane]
                             } else {
                                 block_at(ring, base_k, k - u64::from(delay))
                                     .map_or(0, |blk| blk.sizes[rel.index() * b + lane])
                             }
                         }
                     };
-                    tail.sizes[relation * b + lane] = model.apply(input_size);
+                    tail_sizes[relation * b + lane] = model.apply(input_size);
                 }
                 if self.record {
                     let log = &mut self.instant_log[lane * self.relations + relation];
@@ -284,7 +309,7 @@ impl ObsSink<'_> {
                     self.acks[lane] = Some((k, time));
                 }
                 if output != u32::MAX {
-                    let size = tail.sizes[relation * b + lane];
+                    let size = tail_sizes[relation * b + lane];
                     self.outputs_ready[lane * self.n_outputs + output as usize]
                         .push_back((k, time, size));
                 }
@@ -302,7 +327,7 @@ impl ObsSink<'_> {
                 dense,
             } => {
                 if self.record {
-                    let (start, ops) = tail.exec_stash[dense as usize * b + lane];
+                    let (start, ops) = tail_stash[dense as usize * b + lane];
                     if start.is_finite() || ops > 0 {
                         let time = Time::from_ticks(value.finite().unwrap_or(0).max(0) as u64);
                         self.exec_records[lane].push(ExecRecord {
@@ -321,32 +346,61 @@ impl ObsSink<'_> {
     }
 }
 
-/// Evaluates one schedule slot across all lanes: full-width slow and const
-/// folds (structure shared by every lane), per-lane exec-weight evaluation,
-/// observation for the lanes offered this call.
+/// Evaluates one fused segment: a destination-contiguous run of *simple*
+/// slots (no observation, no slow or exec arcs, at least one const arc).
+/// Each slot's accumulator row is written directly in a single fused pass
+/// over its const arcs — `dst = E ⊕ (src ⊗ lag)` for the first arc,
+/// `dst ⊕= src ⊗ lag` for the rest — through the chunked kernels. The
+/// rolling `split_at_mut` is sound because every const source sits at a
+/// strictly earlier schedule slot (`CompiledTdg::const_src_pos`).
+fn eval_fused_segment(ct: &CompiledTdg, seg: &SweepSegment, acc: &mut [MaxPlus], stride: usize) {
+    let mut ci = ct.const_offsets[seg.start as usize] as usize;
+    for slot in seg.start as usize..seg.end as usize {
+        let chi = ct.const_offsets[slot + 1] as usize;
+        debug_assert!(chi > ci, "simple slots carry at least one const arc");
+        let (lo, rest) = acc.split_at_mut(slot * stride);
+        let dst = &mut rest[..stride];
+        let src = ct.const_src_pos[ci] as usize;
+        kernel::store_base_otimes(dst, &lo[src * stride..(src + 1) * stride], ct.const_lags[ci]);
+        for i in ci + 1..chi {
+            let src = ct.const_src_pos[i] as usize;
+            kernel::fold_max_otimes(dst, &lo[src * stride..(src + 1) * stride], ct.const_lags[i]);
+        }
+        ci = chi;
+    }
+}
+
+/// Evaluates one general schedule slot across all lanes: full-width slow
+/// and const folds (structure shared by every lane) through the chunked
+/// kernels, per-lane exec-weight evaluation, observation for the lanes
+/// offered this call. The tail block arrives destructured so the rolling
+/// accumulator split can coexist with size/stash writes.
 #[allow(clippy::too_many_arguments)]
-#[inline]
-fn eval_slot(
+fn eval_general_slot(
     ct: &CompiledTdg,
     ring: &VecDeque<LaneBlock>,
     base_k: u64,
     k: u64,
     b: usize,
-    node: usize,
-    ranges: ((usize, usize), (usize, usize), (usize, usize)),
-    obs: Obs,
-    tail: &mut LaneBlock,
-    scratch: &mut [MaxPlus],
+    stride: usize,
+    slot: usize,
+    acc: &mut [MaxPlus],
+    tail_sizes: &mut [u64],
+    tail_stash: &mut [(MaxPlus, u64)],
     current: &[bool],
     record: bool,
     sink: &mut ObsSink<'_>,
 ) {
-    let ((c0, chi), (s0, shi), (e0, ehi)) = ranges;
-    let scratch = &mut scratch[..b];
-    scratch.fill(MaxPlus::E); // process-start baseline
+    let (c0, chi) = (ct.const_offsets[slot] as usize, ct.const_offsets[slot + 1] as usize);
+    let (s0, shi) = (ct.slow_offsets[slot] as usize, ct.slow_offsets[slot + 1] as usize);
+    let (e0, ehi) = (ct.exec_offsets[slot] as usize, ct.exec_offsets[slot + 1] as usize);
+    let obs = ct.obs[slot];
+    let (lo, rest) = acc.split_at_mut(slot * stride);
+    let dst = &mut rest[..stride];
+    dst.fill(MaxPlus::E); // process-start baseline
     // Slow stream: delayed constant arcs (delay ≥ 1 by construction), read
     // through the history ring, folded full-width — `ε ⊗ lag = ε` keeps the
-    // loop branch-free per lane.
+    // fold branch-free per lane.
     for i in s0..shi {
         let delay = u64::from(ct.slow_delays[i]);
         let lag = ct.slow_lags[i];
@@ -354,22 +408,14 @@ fn eval_slot(
             None // pre-history resolves to the process-start baseline E
         } else {
             block_at(ring, base_k, k - delay).map(|blk| {
-                let src = ct.slow_srcs[i] as usize;
-                &blk.acc[src * b..(src + 1) * b]
+                let src = ct.slow_src_pos[i] as usize;
+                &blk.acc[src * stride..(src + 1) * stride]
             })
         };
         match row {
-            Some(row) => {
-                for (s, &v) in scratch.iter_mut().zip(row) {
-                    *s = s.oplus(v.otimes(lag));
-                }
-            }
-            None => {
-                // E ⊗ lag = lag, uniformly across lanes.
-                for s in scratch.iter_mut() {
-                    *s = s.oplus(lag);
-                }
-            }
+            Some(row) => kernel::fold_max_otimes(dst, row, lag),
+            // E ⊗ lag = lag, uniformly across lanes.
+            None => kernel::fold_max_value(dst, lag),
         }
     }
     // Exec stream: data-dependent arcs, evaluated per offered lane against
@@ -377,47 +423,89 @@ fn eval_slot(
     // matching the scalar sweep.
     for i in e0..ehi {
         let delay = u64::from(ct.exec_delays[i]);
-        let src = ct.exec_srcs[i] as usize;
+        let src = ct.exec_src_pos[i] as usize;
         let exec = &ct.exec_arcs[i];
         for (l, &cur) in current.iter().enumerate() {
             if !cur {
                 continue;
             }
             let src_val = if delay == 0 {
-                tail.acc[src * b + l]
+                lo[src * stride + l]
             } else if delay > k {
                 MaxPlus::E
             } else {
-                block_at(ring, base_k, k - delay).map_or(MaxPlus::E, |blk| blk.acc[src * b + l])
+                block_at(ring, base_k, k - delay).map_or(MaxPlus::E, |blk| blk.acc[src * stride + l])
             };
             if src_val.is_epsilon() {
                 continue;
             }
-            let (lag, ops) = eval_weight_lane(&exec.weight, k, ring, base_k, b, l, tail);
+            let (lag, ops) = eval_weight_lane(&exec.weight, k, ring, base_k, b, l, tail_sizes);
             if record && exec.stash_dense != u32::MAX {
-                tail.exec_stash[exec.stash_dense as usize * b + l] = (src_val, ops);
+                tail_stash[exec.stash_dense as usize * b + l] = (src_val, ops);
             }
-            scratch[l] = scratch[l].oplus(src_val.otimes(MaxPlus::new(lag as i64)));
+            dst[l] = dst[l].oplus(src_val.otimes(MaxPlus::new(lag as i64)));
         }
     }
-    // Const stream: same-iteration constant arcs over the tail block — the
-    // vectorizable common case.
+    // Const stream: same-iteration constant arcs over earlier tail rows —
+    // the vectorizable common case.
     for i in c0..chi {
-        let src = ct.const_srcs[i] as usize;
-        let lag = ct.const_lags[i];
-        let row = &tail.acc[src * b..(src + 1) * b];
-        for (s, &v) in scratch.iter_mut().zip(row) {
-            *s = s.oplus(v.otimes(lag));
-        }
+        let src = ct.const_src_pos[i] as usize;
+        kernel::fold_max_otimes(dst, &lo[src * stride..(src + 1) * stride], ct.const_lags[i]);
     }
-    tail.acc[node * b..(node + 1) * b].copy_from_slice(scratch);
     if !matches!(obs, Obs::None) {
         for (l, &cur) in current.iter().enumerate() {
             if cur {
-                sink.observe_lane(k, obs, scratch[l], l, tail, ring, base_k);
+                sink.observe_lane(k, obs, dst[l], l, tail_sizes, tail_stash, ring, base_k);
             }
         }
     }
+}
+
+/// Plans the three sweep-segment schedules (first call, steady state,
+/// look-ahead prefix) for a given stride. Fused runs are capped so a
+/// block's accumulator rows stay within ~32 KiB of L1 (`max_fused` rows
+/// of `stride` lanes each).
+fn plan_sweep_segments(
+    ct: &CompiledTdg,
+    slot_dependent: &[bool],
+    input_slot: usize,
+    stride: usize,
+) -> (Vec<SweepSegment>, Vec<SweepSegment>, Vec<SweepSegment>) {
+    let row_bytes = stride * std::mem::size_of::<MaxPlus>();
+    let max_fused = (32 * 1024 / row_bytes.max(1)).clamp(8, 1024);
+    let n = ct.schedule.len();
+    let mut skip_first = vec![false; n];
+    skip_first[input_slot] = true;
+    let mut skip_steady = skip_first.clone();
+    let mut skip_prefix = vec![false; n];
+    for (slot, &dep) in slot_dependent.iter().enumerate() {
+        if dep {
+            skip_prefix[slot] = true;
+        } else {
+            skip_steady[slot] = true;
+        }
+    }
+    (
+        ct.plan_segments(&skip_first, max_fused),
+        ct.plan_segments(&skip_steady, max_fused),
+        ct.plan_segments(&skip_prefix, max_fused),
+    )
+}
+
+/// How many lockstep sweeps dispatched to the chunked (SIMD-friendly)
+/// fold kernels vs the per-element reference path. The split is decided
+/// once per engine by the padded lane stride (`kernel::is_chunked`):
+/// batches of 8+ lanes run chunked, narrower ones run the reference
+/// kernels. Purely diagnostic — both paths are bitwise identical — and
+/// deliberately *not* part of [`EngineStats`], whose per-lane values must
+/// stay comparable with the scalar engine's.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDispatchStats {
+    /// Lockstep sweeps answered by the lane-chunked kernels (portable or
+    /// AVX2, per [`kernel::simd_level`]).
+    pub chunked_sweeps: u64,
+    /// Lockstep sweeps answered by the per-element reference kernels.
+    pub scalar_sweeps: u64,
 }
 
 /// Lockstep evaluator of `B` independent scenario lanes over one compiled
@@ -452,20 +540,30 @@ pub struct BatchedEngine {
     relation_count: usize,
     compiled: CompiledTdg,
     n_execs: usize,
-    input_node: usize,
     input_relation: usize,
     n_outputs: usize,
     record_observations: bool,
     /// Lane count `B`.
     lanes: usize,
+    /// Padded accumulator-row width (`kernel::lane_stride(lanes)`).
+    stride: usize,
+    /// Schedule slot of the injected input node.
+    input_slot: usize,
     /// Whether `schedule[slot]`'s node has a zero-delay path from an
     /// external node (skipped after a look-ahead already computed the
-    /// complement).
+    /// complement). Kept to replan segments when `reset` changes the
+    /// stride.
     slot_dependent: Vec<bool>,
-    /// Schedule slots of the input-independent prefix, evaluated by the
-    /// look-ahead pass.
-    prefix_slots: Vec<u32>,
+    /// Segment plan of the first lockstep call (skips the input slot).
+    segments_first: Vec<SweepSegment>,
+    /// Segment plan once a look-ahead has opened the next iteration
+    /// (skips the input slot and the input-independent prefix).
+    segments_steady: Vec<SweepSegment>,
+    /// Segment plan of the look-ahead pass (only the prefix slots).
+    segments_prefix: Vec<SweepSegment>,
     has_prefix: bool,
+    /// Chunked-vs-reference kernel dispatch counters.
+    kernel_dispatch: KernelDispatchStats,
     /// History depth (maximum arc delay).
     horizon: u64,
     /// Analytic per-lane stats delta of the first lockstep call (`k == 0`).
@@ -494,8 +592,6 @@ pub struct BatchedEngine {
     read_log: Vec<Vec<Time>>,
     /// Execution records per lane.
     exec_records: Vec<Vec<ExecRecord>>,
-    /// Per-slot fold accumulator, one element per lane.
-    scratch: Vec<MaxPlus>,
     stats: EngineStats,
     // -- periodic fast-forward (see crate::periodic) -----------------------
     fast_forward: FastForward,
@@ -633,6 +729,11 @@ impl BatchedEngine {
             }
         }
 
+        let stride = kernel::lane_stride(lanes);
+        let input_slot = compiled.pos_of_node[input_node] as usize;
+        let (segments_first, segments_steady, segments_prefix) =
+            plan_sweep_segments(&compiled, &slot_dependent, input_slot, stride);
+
         // Fast-forward eligibility: the try_new gates above already enforce
         // a single driven input, no acknowledgment feedback, and size reads
         // within the history horizon; the remaining condition is that every
@@ -705,14 +806,18 @@ impl BatchedEngine {
             relation_count,
             compiled,
             n_execs,
-            input_node,
             input_relation,
             n_outputs,
             record_observations,
             lanes,
+            stride,
+            input_slot,
             slot_dependent,
-            prefix_slots,
+            segments_first,
+            segments_steady,
+            segments_prefix,
             has_prefix,
+            kernel_dispatch: KernelDispatchStats::default(),
             horizon,
             delta_first,
             delta_steady,
@@ -729,7 +834,6 @@ impl BatchedEngine {
             instant_log: vec![Vec::new(); lanes * relation_count],
             read_log: vec![Vec::new(); lanes * relation_count],
             exec_records: vec![Vec::new(); lanes],
-            scratch: vec![MaxPlus::EPSILON; lanes],
             stats: EngineStats::default(),
             fast_forward: FastForward::Off,
             ff_cfg: PeriodicConfig::default(),
@@ -804,6 +908,13 @@ impl BatchedEngine {
     /// [`Engine`](crate::Engine) would report for the same trace.
     pub fn lane_stats(&self, lane: usize) -> EngineStats {
         self.lane_stats[lane]
+    }
+
+    /// Kernel dispatch counters: how many lockstep sweeps ran through the
+    /// chunked fold kernels vs the per-element reference path. Replayed
+    /// (fast-forwarded) calls run no sweep and count in neither bucket.
+    pub fn kernel_dispatch(&self) -> KernelDispatchStats {
+        self.kernel_dispatch
     }
 
     /// Enables or disables per-lane periodic steady-state fast-forward with
@@ -925,7 +1036,16 @@ impl BatchedEngine {
             self.ring.clear();
             self.free.clear();
             self.lanes = lanes;
-            self.scratch = vec![MaxPlus::EPSILON; lanes];
+            self.stride = kernel::lane_stride(lanes);
+            let (first, steady, prefix) = plan_sweep_segments(
+                &self.compiled,
+                &self.slot_dependent,
+                self.input_slot,
+                self.stride,
+            );
+            self.segments_first = first;
+            self.segments_steady = steady;
+            self.segments_prefix = prefix;
             self.current = vec![false; lanes];
             self.active = vec![false; lanes];
             self.lane_stats = vec![EngineStats::default(); lanes];
@@ -955,6 +1075,7 @@ impl BatchedEngine {
             records.clear();
         }
         self.stats = EngineStats::default();
+        self.kernel_dispatch = KernelDispatchStats::default();
         // Fast-forward: keep the knob and eligibility, restart detection.
         self.ff_engaged = false;
         if !self.ff_lanes.is_empty() {
@@ -988,8 +1109,10 @@ impl BatchedEngine {
                 .iter()
                 .chain(self.free.iter())
                 .map(LaneBlock::elements)
-                .sum::<usize>()
-                + self.scratch.capacity(),
+                .sum::<usize>(),
+            lane_padding_elements: (self.stride - self.lanes)
+                * self.tdg.node_count()
+                * (self.ring.len() + self.free.len()),
         }
     }
 
@@ -1140,17 +1263,18 @@ impl BatchedEngine {
             debug_assert_eq!(k, tail_k, "lockstep keeps the ring contiguous");
             self.take_block()
         };
+        let stride = self.stride;
         for (l, offer) in offers.iter().enumerate() {
             if let Some((at, size)) = *offer {
                 tail.sizes[self.input_relation * b + l] = size;
-                tail.acc[self.input_node * b + l] = MaxPlus::new(at.ticks() as i64);
+                tail.acc[self.input_slot * stride + l] = MaxPlus::new(at.ticks() as i64);
             }
         }
 
-        // Main sweep over the full schedule, skipping the injected input
-        // node and — once a look-ahead has run — the prefix slots it
-        // already computed (a structural property, identical for all lanes).
-        let skip_prefix = self.lookahead_ran;
+        // Main sweep over the planned segments: the first-call plan skips
+        // only the injected input slot; once a look-ahead has run, the
+        // steady plan also skips the prefix slots it already computed (a
+        // structural property, identical for all lanes).
         {
             let ct = &self.compiled;
             let ring = &self.ring;
@@ -1166,40 +1290,34 @@ impl BatchedEngine {
                 outputs_ready: &mut self.outputs_ready,
                 exec_records: &mut self.exec_records,
             };
-            let mut clo = ct.const_offsets[0] as usize;
-            let mut slo = ct.slow_offsets[0] as usize;
-            let mut elo = ct.exec_offsets[0] as usize;
-            let slots = ct
-                .schedule
-                .iter()
-                .zip(&ct.const_offsets[1..])
-                .zip(&ct.slow_offsets[1..])
-                .zip(&ct.exec_offsets[1..])
-                .zip(&ct.obs)
-                .zip(&self.slot_dependent);
-            for (((((&slot_node, &chi), &shi), &ehi), &obs), &dep) in slots {
-                let node = slot_node as usize;
-                let (chi, shi, ehi) = (chi as usize, shi as usize, ehi as usize);
-                let (c0, s0, e0) = (clo, slo, elo);
-                (clo, slo, elo) = (chi, shi, ehi);
-                if node == self.input_node || (skip_prefix && !dep) {
-                    continue;
+            let segments = if self.lookahead_ran {
+                &self.segments_steady
+            } else {
+                &self.segments_first
+            };
+            let LaneBlock { acc, sizes, exec_stash } = &mut tail;
+            for seg in segments {
+                if seg.fused {
+                    eval_fused_segment(ct, seg, acc, stride);
+                } else {
+                    for slot in seg.start as usize..seg.end as usize {
+                        eval_general_slot(
+                            ct,
+                            ring,
+                            self.base_k,
+                            k,
+                            b,
+                            stride,
+                            slot,
+                            acc,
+                            sizes,
+                            exec_stash,
+                            &self.current,
+                            self.record_observations,
+                            &mut sink,
+                        );
+                    }
                 }
-                eval_slot(
-                    ct,
-                    ring,
-                    self.base_k,
-                    k,
-                    b,
-                    node,
-                    ((c0, chi), (s0, shi), (e0, ehi)),
-                    obs,
-                    &mut tail,
-                    &mut self.scratch,
-                    &self.current,
-                    self.record_observations,
-                    &mut sink,
-                );
             }
         }
         self.ring.push_back(tail);
@@ -1226,38 +1344,29 @@ impl BatchedEngine {
                     outputs_ready: &mut self.outputs_ready,
                     exec_records: &mut self.exec_records,
                 };
-                for &slot in &self.prefix_slots {
-                    let slot = slot as usize;
-                    let node = ct.schedule[slot] as usize;
-                    let ranges = (
-                        (
-                            ct.const_offsets[slot] as usize,
-                            ct.const_offsets[slot + 1] as usize,
-                        ),
-                        (
-                            ct.slow_offsets[slot] as usize,
-                            ct.slow_offsets[slot + 1] as usize,
-                        ),
-                        (
-                            ct.exec_offsets[slot] as usize,
-                            ct.exec_offsets[slot + 1] as usize,
-                        ),
-                    );
-                    eval_slot(
-                        ct,
-                        ring,
-                        self.base_k,
-                        kla,
-                        b,
-                        node,
-                        ranges,
-                        ct.obs[slot],
-                        &mut la,
-                        &mut self.scratch,
-                        &self.current,
-                        self.record_observations,
-                        &mut sink,
-                    );
+                let LaneBlock { acc, sizes, exec_stash } = &mut la;
+                for seg in &self.segments_prefix {
+                    if seg.fused {
+                        eval_fused_segment(ct, seg, acc, stride);
+                    } else {
+                        for slot in seg.start as usize..seg.end as usize {
+                            eval_general_slot(
+                                ct,
+                                ring,
+                                self.base_k,
+                                kla,
+                                b,
+                                stride,
+                                slot,
+                                acc,
+                                sizes,
+                                exec_stash,
+                                &self.current,
+                                self.record_observations,
+                                &mut sink,
+                            );
+                        }
+                    }
                 }
             }
             self.ring.push_back(la);
@@ -1279,6 +1388,11 @@ impl BatchedEngine {
         self.stats.arcs_evaluated += delta.arcs_evaluated * offered;
         self.stats.iterations_completed += delta.iterations_completed * offered;
         self.stats.batched_iterations += 1;
+        if kernel::is_chunked(stride) {
+            self.kernel_dispatch.chunked_sweeps += 1;
+        } else {
+            self.kernel_dispatch.scalar_sweeps += 1;
+        }
 
         // Feed the detectors before pruning: the observation reads
         // iteration `k`'s block and the look-ahead tail.
@@ -1315,6 +1429,7 @@ impl BatchedEngine {
                 self.relation_count,
                 self.n_execs,
                 self.lanes,
+                self.stride,
             ),
         }
     }
@@ -1571,13 +1686,16 @@ impl BatchedEngine {
             self.ff_acc_scratch = scratch;
             return Err(e);
         }
-        // Pass 2: rebuild.
+        // Pass 2: rebuild. Templates store node-indexed accumulators; the
+        // lane blocks are slot-indexed, so writes go through the inverse
+        // schedule permutation.
         while let Some(blk) = self.ring.pop_front() {
             if self.free.len() < FREE_LIST_CAP {
                 self.free.push(blk);
             }
         }
         self.base_k = start;
+        let stride = self.stride;
         let mut idx = 0;
         for j in start..k_b {
             let mut blk = self.take_block();
@@ -1591,7 +1709,8 @@ impl BatchedEngine {
                 let (pos, _) = t.locate(j);
                 let r = &t.refs[pos];
                 for node in 0..n {
-                    blk.acc[node * b + l] = MaxPlus::new(scratch[idx]);
+                    let slot = self.compiled.pos_of_node[node] as usize;
+                    blk.acc[slot * stride + l] = MaxPlus::new(scratch[idx]);
                     idx += 1;
                 }
                 for (rel, &size) in r.sizes.iter().enumerate() {
@@ -1615,7 +1734,8 @@ impl BatchedEngine {
                     let v = scratch[idx];
                     idx += 1;
                     if tt.computed[node] {
-                        blk.acc[node * b + l] = MaxPlus::new(v);
+                        let slot = self.compiled.pos_of_node[node] as usize;
+                        blk.acc[slot * stride + l] = MaxPlus::new(v);
                     }
                 }
                 for (rel, &size) in tt.sizes.iter().enumerate() {
@@ -1710,10 +1830,13 @@ impl BatchedEngine {
     /// periodicity checks on meaningful state only.
     fn ff_gather_lane(&mut self, l: usize, k: u64) {
         let b = self.lanes;
+        let stride = self.stride;
         let n = self.tdg.node_count();
+        let pos_of = &self.compiled.pos_of_node;
         let blk = &self.ring[(k - self.base_k) as usize];
         self.ff_obs_acc.clear();
-        self.ff_obs_acc.extend((0..n).map(|node| blk.acc[node * b + l]));
+        self.ff_obs_acc
+            .extend((0..n).map(|node| blk.acc[pos_of[node] as usize * stride + l]));
         self.ff_obs_sizes.clear();
         self.ff_obs_sizes
             .extend((0..self.relation_count).map(|rel| blk.sizes[rel * b + l]));
@@ -1723,7 +1846,7 @@ impl BatchedEngine {
             self.ff_tail_acc.clear();
             self.ff_tail_acc.extend((0..n).map(|node| {
                 if self.prefix_nodes[node] {
-                    la.acc[node * b + l]
+                    la.acc[pos_of[node] as usize * stride + l]
                 } else {
                     MaxPlus::EPSILON
                 }
@@ -1956,6 +2079,70 @@ mod tests {
     }
 
     #[test]
+    fn kernel_dispatch_tracks_stride_chunking() {
+        let (derived, relations) = didactic_derived();
+        let mut batch = BatchedEngine::try_new(derived, relations, true, 8).unwrap();
+        let offers: Vec<Option<(Time, u64)>> =
+            (0..8).map(|l| Some((Time::from_ticks(l as u64 * 10), 1))).collect();
+        batch.set_input_batch(0, &offers);
+        assert_eq!(
+            batch.kernel_dispatch(),
+            KernelDispatchStats { chunked_sweeps: 1, scalar_sweeps: 0 },
+            "a whole-chunk batch runs the chunked kernels"
+        );
+
+        // Narrow batches fall back to the reference kernels.
+        let (derived, relations) = didactic_derived();
+        let mut narrow = BatchedEngine::try_new(derived, relations, true, 3).unwrap();
+        let offers: Vec<Option<(Time, u64)>> =
+            (0..3).map(|l| Some((Time::from_ticks(l as u64 * 10), 1))).collect();
+        narrow.set_input_batch(0, &offers);
+        assert_eq!(
+            narrow.kernel_dispatch(),
+            KernelDispatchStats { chunked_sweeps: 0, scalar_sweeps: 1 },
+            "sub-chunk batches run the reference kernels"
+        );
+
+        // Reset clears the counters; width 9 pads to stride 16 and is
+        // chunked again.
+        narrow.reset(9);
+        assert_eq!(narrow.kernel_dispatch(), KernelDispatchStats::default());
+        let offers: Vec<Option<(Time, u64)>> =
+            (0..9).map(|l| Some((Time::from_ticks(l as u64 * 10), 1))).collect();
+        narrow.set_input_batch(0, &offers);
+        assert_eq!(
+            narrow.kernel_dispatch(),
+            KernelDispatchStats { chunked_sweeps: 1, scalar_sweeps: 0 },
+            "padded batches run the chunked kernels"
+        );
+    }
+
+    #[test]
+    fn padded_lanes_show_up_in_the_allocation_footprint() {
+        let (derived, relations) = didactic_derived();
+        let mut batch = BatchedEngine::try_new(derived, relations, true, 9).unwrap();
+        for k in 0..8u64 {
+            let offers: Vec<Option<(Time, u64)>> =
+                (0..9).map(|l| Some((Time::from_ticks(k * 50 + l), 1))).collect();
+            batch.set_input_batch(k, &offers);
+        }
+        let fp = batch.allocation_footprint();
+        // Stride 16 over 9 lanes: 7 padding elements per accumulator row.
+        let nodes = batch.tdg().node_count();
+        assert_eq!(fp.lane_padding_elements, 7 * nodes * fp.iteration_states);
+        assert!(fp.lane_state_elements > fp.lane_padding_elements);
+
+        // No padding below one chunk.
+        batch.reset(4);
+        for k in 0..8u64 {
+            let offers: Vec<Option<(Time, u64)>> =
+                (0..4).map(|l| Some((Time::from_ticks(k * 50 + l), 1))).collect();
+            batch.set_input_batch(k, &offers);
+        }
+        assert_eq!(batch.allocation_footprint().lane_padding_elements, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot resume")]
     fn ended_lanes_cannot_resume() {
         let (derived, relations) = didactic_derived();
@@ -2135,3 +2322,4 @@ mod tests {
         assert_eq!(batch.fast_forward_stats(), FastForwardStats::default());
     }
 }
+

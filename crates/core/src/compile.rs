@@ -256,6 +256,46 @@ pub struct CompiledTdg {
     /// Weight table aligned with the exec stream (`exec_arcs[i]` belongs to
     /// the arc at stream position `i`).
     pub(crate) exec_arcs: Vec<ExecArc>,
+    /// Schedule slot of each node (`pos_of_node[schedule[s]] == s`): the
+    /// inverse permutation of the schedule. Lane state indexed by *slot*
+    /// instead of node id makes consecutive schedule writes land in
+    /// consecutive rows — the destination-contiguous retiling the batched
+    /// sweep's chunked kernels fold over.
+    pub(crate) pos_of_node: Vec<u32>,
+    /// Constant-arc sources translated to schedule slots (aligned with
+    /// `const_srcs`). Zero-delay sources sit in strictly earlier levels, so
+    /// `const_src_pos[i]` is always strictly below the destination slot —
+    /// which is what lets the batched sweep split its accumulator at the
+    /// destination row and fold sources from the prefix in one pass.
+    pub(crate) const_src_pos: Vec<u32>,
+    /// Slow-arc sources translated to schedule slots (aligned with
+    /// `slow_srcs`); read through the history ring, any slot order.
+    pub(crate) slow_src_pos: Vec<u32>,
+    /// Exec-arc sources translated to schedule slots (aligned with
+    /// `exec_srcs`); zero-delay exec sources are also strictly below their
+    /// destination slot.
+    pub(crate) exec_src_pos: Vec<u32>,
+    /// Per-slot fusability for the blocked traversal: `true` when the slot
+    /// is constant-arcs-only (at least one, no slow/exec arcs) and carries
+    /// no observation action, so a run of such slots folds as one
+    /// destination-contiguous block with no per-slot dispatch.
+    pub(crate) simple_slots: Vec<bool>,
+}
+
+/// One block of the level-blocked traversal produced by
+/// [`CompiledTdg::plan_segments`]: a contiguous, non-skipped slot range
+/// `start..end` of the schedule. `fused` blocks contain only
+/// [`simple`](CompiledTdg::simple_slots) slots and are walked by the
+/// chunked const-fold kernels alone; general blocks take the full per-slot
+/// path (slow/exec arcs, observations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SweepSegment {
+    /// First schedule slot of the block (inclusive).
+    pub(crate) start: u32,
+    /// One past the last schedule slot of the block.
+    pub(crate) end: u32,
+    /// Whether every slot in the block is constant-only and unobserved.
+    pub(crate) fused: bool,
 }
 
 impl CompiledTdg {
@@ -334,6 +374,25 @@ impl CompiledTdg {
             exec_offsets.push(exec_srcs.len() as u32);
         }
 
+        // Retiling: the inverse schedule permutation plus src streams
+        // re-expressed in schedule slots, so slot-indexed lane state can be
+        // walked destination-contiguously.
+        let mut pos_of_node = vec![0u32; n];
+        for (slot, &node) in schedule.iter().enumerate() {
+            pos_of_node[node as usize] = slot as u32;
+        }
+        let const_src_pos: Vec<u32> = const_srcs.iter().map(|&s| pos_of_node[s as usize]).collect();
+        let slow_src_pos: Vec<u32> = slow_srcs.iter().map(|&s| pos_of_node[s as usize]).collect();
+        let exec_src_pos: Vec<u32> = exec_srcs.iter().map(|&s| pos_of_node[s as usize]).collect();
+        let simple_slots: Vec<bool> = (0..schedule.len())
+            .map(|slot| {
+                matches!(obs[slot], Obs::None)
+                    && const_offsets[slot + 1] > const_offsets[slot]
+                    && slow_offsets[slot + 1] == slow_offsets[slot]
+                    && exec_offsets[slot + 1] == exec_offsets[slot]
+            })
+            .collect();
+
         CompiledTdg {
             schedule,
             level_offsets,
@@ -349,7 +408,54 @@ impl CompiledTdg {
             exec_srcs,
             exec_delays,
             exec_arcs,
+            pos_of_node,
+            const_src_pos,
+            slow_src_pos,
+            exec_src_pos,
+            simple_slots,
         }
+    }
+
+    /// Plans the level-blocked traversal for one sweep variant: partitions
+    /// the non-skipped schedule slots into maximal contiguous
+    /// [`SweepSegment`]s of uniform kind, capping `fused` blocks at
+    /// `max_fused` slots so each block's destination rows stay
+    /// cache-resident. Because every zero-delay arc crosses a level
+    /// boundary forward and blocks are walked in schedule (level) order,
+    /// fusing across level boundaries preserves the level-by-level
+    /// dataflow exactly.
+    ///
+    /// `skip[slot]` removes a slot from the plan (the externally driven
+    /// input slot; the already-evaluated look-ahead prefix in steady
+    /// state).
+    pub(crate) fn plan_segments(&self, skip: &[bool], max_fused: usize) -> Vec<SweepSegment> {
+        debug_assert_eq!(skip.len(), self.schedule.len());
+        let max_fused = max_fused.max(1);
+        let n = self.schedule.len();
+        let mut segments = Vec::new();
+        let mut slot = 0usize;
+        while slot < n {
+            if skip[slot] {
+                slot += 1;
+                continue;
+            }
+            let fused = self.simple_slots[slot];
+            let mut end = slot + 1;
+            while end < n
+                && !skip[end]
+                && self.simple_slots[end] == fused
+                && (!fused || end - slot < max_fused)
+            {
+                end += 1;
+            }
+            segments.push(SweepSegment {
+                start: slot as u32,
+                end: end as u32,
+                fused,
+            });
+            slot = end;
+        }
+        segments
     }
 
     /// Number of scheduled nodes.
@@ -396,6 +502,11 @@ impl CompiledTdg {
             + self.exec_srcs.capacity()
             + self.exec_delays.capacity()
             + self.exec_arcs.capacity()
+            + self.pos_of_node.capacity()
+            + self.const_src_pos.capacity()
+            + self.slow_src_pos.capacity()
+            + self.exec_src_pos.capacity()
+            + self.simple_slots.capacity()
     }
 }
 
@@ -523,6 +634,75 @@ mod tests {
         assert!(padded.level_count() >= plain.level_count());
         assert!(padded.level_count() >= 50);
         assert_eq!(padded.node_count(), plain.node_count() + 50);
+    }
+
+    #[test]
+    fn retiled_streams_point_at_earlier_slots() {
+        let (derived, c) = lowered(4, 64);
+        let tdg = derived.tdg();
+        // The inverse permutation really inverts the schedule.
+        for (slot, &node) in c.schedule.iter().enumerate() {
+            assert_eq!(c.pos_of_node[node as usize] as usize, slot);
+        }
+        // Position streams name the same sources as the node-id streams,
+        // and same-iteration sources sit strictly before their destination
+        // slot (what the split-at-destination fold relies on).
+        for slot in 0..c.node_count() {
+            for i in c.const_offsets[slot] as usize..c.const_offsets[slot + 1] as usize {
+                assert_eq!(c.schedule[c.const_src_pos[i] as usize], c.const_srcs[i]);
+                assert!((c.const_src_pos[i] as usize) < slot);
+            }
+            for i in c.slow_offsets[slot] as usize..c.slow_offsets[slot + 1] as usize {
+                assert_eq!(c.schedule[c.slow_src_pos[i] as usize], c.slow_srcs[i]);
+            }
+            for i in c.exec_offsets[slot] as usize..c.exec_offsets[slot + 1] as usize {
+                assert_eq!(c.schedule[c.exec_src_pos[i] as usize], c.exec_srcs[i]);
+                if c.exec_delays[i] == 0 {
+                    assert!((c.exec_src_pos[i] as usize) < slot);
+                }
+            }
+        }
+        // Simple slots are exactly the unobserved const-only ones; the
+        // padding chain makes them the majority here.
+        let simple = c.simple_slots.iter().filter(|&&s| s).count();
+        assert!(simple >= 64, "padding chain should be fusable");
+        let _ = tdg;
+    }
+
+    #[test]
+    fn segments_cover_unskipped_slots_in_order() {
+        let (_, c) = lowered(3, 50);
+        let n = c.node_count();
+        let mut skip = vec![false; n];
+        skip[0] = true; // pretend slot 0 is the driven input
+        skip[n / 2] = true;
+        let segs = c.plan_segments(&skip, 16);
+        // Coverage: every unskipped slot appears exactly once, in order.
+        let mut covered = vec![false; n];
+        let mut last_end = 0u32;
+        for seg in &segs {
+            assert!(seg.start >= last_end);
+            assert!(seg.start < seg.end);
+            last_end = seg.end;
+            for s in seg.start..seg.end {
+                assert!(!skip[s as usize]);
+                assert!(!covered[s as usize]);
+                covered[s as usize] = true;
+                assert_eq!(c.simple_slots[s as usize], seg.fused);
+            }
+            if seg.fused {
+                assert!((seg.end - seg.start) as usize <= 16);
+            }
+        }
+        for s in 0..n {
+            assert_eq!(covered[s], !skip[s], "slot {s}");
+        }
+        // The padding chain fuses: with a generous cap there is a block of
+        // at least 32 consecutive simple slots.
+        let segs_wide = c.plan_segments(&vec![false; n], usize::MAX);
+        assert!(segs_wide
+            .iter()
+            .any(|seg| seg.fused && seg.end - seg.start >= 32));
     }
 
     #[test]

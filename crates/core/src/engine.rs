@@ -90,6 +90,12 @@ pub struct AllocationFootprint {
     /// ([`BatchedEngine`](crate::BatchedEngine)) reports its lane blocks
     /// here.
     pub lane_state_elements: usize,
+    /// Of [`lane_state_elements`](AllocationFootprint::lane_state_elements),
+    /// how many are chunk-padding tails: accumulator rows are padded to the
+    /// kernel stride (`kernel::lane_stride`), and the padded lanes hold
+    /// harmless never-read values. `0` for the scalar [`Engine`] and for
+    /// batches narrower than one chunk.
+    pub lane_padding_elements: usize,
 }
 
 /// Computation statistics of an engine.
@@ -794,6 +800,7 @@ impl Engine {
                 .as_ref()
                 .map_or(0, CompiledTdg::buffer_elements),
             lane_state_elements: 0,
+            lane_padding_elements: 0,
         }
     }
 

@@ -54,7 +54,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the lane-chunked fold kernel opts back in
+// (`kernel.rs` carries `#![allow(unsafe_code)]` + `#![deny(unsafe_op_in_unsafe_fn)]`)
+// for its runtime-dispatched AVX2 path and the `repr(transparent)` slice
+// casts it rests on. Every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analysis;
@@ -65,6 +69,7 @@ mod derive;
 mod engine;
 pub mod equivalent;
 mod error;
+pub mod kernel;
 pub mod partial;
 pub mod periodic;
 pub mod simplify;
@@ -75,7 +80,7 @@ pub mod validate;
 /// The telemetry layer engines report through (see `docs/OBSERVABILITY.md`).
 pub use evolve_obs as obs;
 
-pub use batch::{BatchUnsupported, BatchedEngine};
+pub use batch::{BatchUnsupported, BatchedEngine, KernelDispatchStats};
 pub use compile::{CompiledTdg, EvalBackend};
 pub use delta::{DeltaCache, DeltaStats, DeltaUnsupported};
 pub use derive::{derive_tdg, derive_tdg_with, DeriveOptions, DerivedTdg, SizeRule, SizeRules};

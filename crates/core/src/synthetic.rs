@@ -116,6 +116,25 @@ pub fn pad(tdg: &Tdg, extra: usize) -> Tdg {
     b.build().expect("padding cannot create cycles")
 }
 
+/// Pads `tdg` up to `target` total nodes — a no-op (clone) when the graph
+/// is already at or above the target.
+///
+/// This is the node-count axis of the Fig. 5 grids in absolute terms; the
+/// largest published batch point sits at 50 000 nodes, and both the
+/// builder and the compiled schedule scale linearly to it (pinned by
+/// `padding_scales_to_the_largest_fig5_point`).
+///
+/// # Panics
+///
+/// Panics if the graph is empty (see [`pad`]).
+pub fn pad_to(tdg: &Tdg, target: usize) -> Tdg {
+    let extra = target.saturating_sub(tdg.node_count());
+    if extra == 0 {
+        return tdg.clone();
+    }
+    pad(tdg, extra)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +188,30 @@ mod tests {
         assert_eq!(
             heavy.stats().nodes_computed,
             plain.stats().nodes_computed + 100
+        );
+    }
+
+    #[test]
+    fn padding_scales_to_the_largest_fig5_point() {
+        let p = pipeline(3, 200, 2).unwrap();
+        let derived = derive_tdg(&p.arch).unwrap();
+        let rels = p.arch.app().relations().len();
+        let extra = 50_000 - derived.tdg().node_count();
+        let padded = crate::derive::DerivedTdg::new(
+            pad_to(derived.tdg(), 50_000),
+            derived.size_rules().to_vec(),
+        );
+        assert_eq!(padded.tdg().node_count(), 50_000);
+        // Already-large graphs pass through as a plain clone.
+        assert_eq!(pad_to(padded.tdg(), 100).node_count(), 50_000);
+        let mut plain = Engine::new(derived, rels, false);
+        let mut heavy = Engine::new(padded, rels, false);
+        plain.set_input(0, 0, Time::ZERO, 4);
+        heavy.set_input(0, 0, Time::ZERO, 4);
+        assert_eq!(
+            heavy.stats().nodes_computed,
+            plain.stats().nodes_computed + extra as u64,
+            "every padded node is computed exactly once per iteration"
         );
     }
 

@@ -4,7 +4,8 @@
 //! Three layers of coverage:
 //!
 //! 1. **Raw synthetic TDGs** — random DAGs-with-delays driven through
-//!    `set_input_batch` at widths {1, 2, 7, 16} with mixed-length,
+//!    `set_input_batch` at widths straddling the fold kernel's 8-lane
+//!    chunk (1, 3, 7, 9, 15, 16, 33) with mixed-length,
 //!    per-lane-shifted offer sequences; every lane's observable instants,
 //!    outputs, and counters must be bitwise identical to a scalar engine
 //!    driven with that lane's trace alone (full [`EngineStats`] equality
@@ -35,8 +36,11 @@ use evolve_explore::{drive_batch, drive_engine, ScenarioOutcome};
 use evolve_model::{Arrival, ExecRecord, RelationId};
 use proptest::prelude::*;
 
-const WIDTHS: [usize; 4] = [1, 2, 7, 16];
-const MAX_WIDTH: usize = 16;
+// Widths deliberately straddle the fold kernel's 8-lane chunk: below one
+// chunk (per-element path), non-multiples with padded tails (9, 15, 33),
+// and an exact multiple (16) — see `evolve_core::kernel`.
+const WIDTHS: [usize; 7] = [1, 3, 7, 9, 15, 16, 33];
+const MAX_WIDTH: usize = 33;
 
 /// A random DAG-with-delays: node 0 is the input, the last node the
 /// output, arcs go forward (delay 0) or anywhere (delay 1..=2).
@@ -453,6 +457,82 @@ fn delta_chains_compose_with_batched_lanes_in_sweeps() {
     }
 }
 
+/// Padded-tail chunks with mixed live/ended lanes: widths just above a
+/// chunk multiple, lane traces staggered so the final chunk carries both
+/// active lanes and lanes that stopped offering iterations ago. Outcomes
+/// must stay bitwise identical to the scalar sweep on the plain compiled
+/// path, under fast-forward promotion, and with delta chaining engaged.
+#[test]
+fn tail_chunk_mixed_lane_endings_stay_bitwise() {
+    use evolve_core::FastForward;
+    use evolve_explore::{run_sweep, ModelKind, ModelSpec, ScenarioSpec, SweepConfig, TraceSpec};
+
+    for width in [9usize, 15] {
+        // Constant sizes + saturating offers settle periodic, so the
+        // fast-forward run actually promotes; staggered token counts end
+        // lanes at different lockstep iterations inside the tail chunk.
+        let scenarios: Vec<ScenarioSpec> = (0..width)
+            .map(|i| ScenarioSpec {
+                label: format!("tail-{width}-{i}"),
+                model: ModelSpec {
+                    kind: ModelKind::Pipeline { stages: 3, base: 50, per_unit: 2 },
+                    padding: 0,
+                    backend: EvalBackend::Compiled,
+                },
+                trace: TraceSpec {
+                    tokens: 120 - 8 * i as u64,
+                    min_size: 8,
+                    max_size: 8,
+                    mean_period: 0,
+                    seed: i as u64,
+                },
+            })
+            .collect();
+        let scalar = run_sweep(
+            &scenarios,
+            &SweepConfig {
+                threads: 1,
+                batch_width: 1,
+                delta: false,
+                fast_forward: FastForward::Off,
+                ..SweepConfig::default()
+            },
+        );
+        let batched = run_sweep(
+            &scenarios,
+            &SweepConfig {
+                threads: 1,
+                batch_width: width,
+                delta: false,
+                fast_forward: FastForward::Off,
+                ..SweepConfig::default()
+            },
+        );
+        // Fast-forward on and delta chaining on: both layers engage on
+        // this grid and must still agree bitwise.
+        let promoted = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 1, batch_width: width, ..SweepConfig::default() },
+        );
+        assert_eq!(batched.batching.lanes_batched, width as u64, "one full-width batch forms");
+        assert!(
+            batched.batching.kernel_chunked_sweeps > 0,
+            "padded width {width} takes the chunked kernel: {:?}",
+            batched.batching
+        );
+        assert!(
+            promoted.total_fast_forward_stats().promotions > 0,
+            "saturating constant-size lanes promote"
+        );
+        for (a, b) in scalar.scenarios.iter().zip(&batched.scenarios) {
+            assert_eq!(a.outcome, b.outcome, "{}: scalar vs batched", a.label);
+        }
+        for (a, b) in scalar.scenarios.iter().zip(&promoted.scenarios) {
+            assert_eq!(a.outcome, b.outcome, "{}: scalar vs batched+ff+delta", a.label);
+        }
+    }
+}
+
 /// The didactic chain at every width, driven through the sweep boundary
 /// semantics — the realistic derived structure with execution pairs,
 /// back-pressure, and data-dependent loads.
@@ -463,7 +543,7 @@ fn batched_lanes_agree_on_didactic_chains() {
             .unwrap();
         let relations = d.arch.app().relations().len();
         let lane_arrivals = |lane: usize| -> Vec<Arrival> {
-            (0..30u64 - lane as u64)
+            (0..30u64 - (lane as u64 % 29))
                 .map(|k| Arrival {
                     at: Time::from_ticks(k * (250 + 40 * lane as u64)),
                     size: 1 + (k * 7 + lane as u64) % 61,

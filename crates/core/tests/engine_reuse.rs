@@ -114,6 +114,45 @@ fn repeated_reset_cycles_do_not_grow_allocations() {
 }
 
 #[test]
+fn batched_reset_cycles_keep_padded_footprint_stable() {
+    use evolve_core::BatchedEngine;
+    // Width 9 pads accumulator rows to stride 16, so the footprint carries
+    // a non-zero padding account that must stay constant across cycles.
+    let d = didactic::chained(2, didactic::Params::default()).unwrap();
+    let relations = d.arch.app().relations().len();
+    let lanes = 9usize;
+    let mut batch = BatchedEngine::try_new(derive_tdg(&d.arch).unwrap(), relations, true, lanes)
+        .expect("didactic chain batches");
+    let drive = |batch: &mut BatchedEngine| {
+        for k in 0..48u64 {
+            let offers: Vec<Option<(Time, u64)>> = (0..lanes)
+                .map(|l| Some((Time::from_ticks(k * 500 + l as u64), 1 + (k + l as u64) % 32)))
+                .collect();
+            batch.set_input_batch(k, &offers);
+            for l in 0..lanes {
+                while batch.next_output(l, 0).is_some() {}
+            }
+        }
+    };
+    for _ in 0..3 {
+        drive(&mut batch);
+        batch.reset(lanes);
+    }
+    let warm: AllocationFootprint = batch.allocation_footprint();
+    assert!(warm.lane_padding_elements > 0, "padded tails must be accounted");
+    assert!(warm.lane_state_elements > warm.lane_padding_elements);
+    for cycle in 0..10 {
+        drive(&mut batch);
+        batch.reset(lanes);
+        assert_eq!(
+            batch.allocation_footprint(),
+            warm,
+            "batched allocation footprint grew at cycle {cycle}"
+        );
+    }
+}
+
+#[test]
 fn same_scenario_on_two_workers_is_identical() {
     for backend in BACKENDS {
         let scenario = ScenarioSpec {

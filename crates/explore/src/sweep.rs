@@ -55,7 +55,8 @@ use std::time::{Duration as HostDuration, Instant};
 
 use evolve_core::{
     derive_tdg, synthetic, BatchUnsupported, BatchedEngine, DeltaCache, DeltaStats, DetectedPeriod,
-    Engine, EngineStats, EvalBackend, FastForward, FastForwardStats, PeriodicConfig,
+    Engine, EngineStats, EvalBackend, FastForward, FastForwardStats, KernelDispatchStats,
+    PeriodicConfig,
 };
 use evolve_des::{SplitMix64, Time};
 use evolve_model::{
@@ -292,6 +293,15 @@ pub struct SweepConfig {
     /// disables batching entirely and every scenario takes the scalar
     /// path; see `docs/SWEEP.md` for tuning guidance.
     pub batch_width: usize,
+    /// Same-model lockstep batches advanced concurrently inside one work
+    /// unit (≥ 1). `1` (the default) drives each batch as its own unit;
+    /// higher values let the planner pack up to this many batches of one
+    /// [`ModelSpec`] into a single unit, which the claiming worker then
+    /// fans out over scoped threads — useful when a sweep has few distinct
+    /// models and the unit count would otherwise underfill the worker
+    /// pool. Outcomes and the batching ledger are bitwise identical for
+    /// any setting; see `docs/SWEEP.md`.
+    pub intra_unit_batches: usize,
     /// Periodic steady-state fast-forward for compiled engines, scalar and
     /// batched alike. [`FastForward::On`] by default: outcomes are
     /// guaranteed bitwise identical either way (aperiodic traces simply
@@ -326,6 +336,7 @@ impl Default for SweepConfig {
             compare_conventional: false,
             reference_dispatch_cost_ns: 0,
             batch_width: 1,
+            intra_unit_batches: 1,
             fast_forward: FastForward::On,
             ff_confirm_periods: PeriodicConfig::default().confirm_periods,
             telemetry: false,
@@ -356,6 +367,12 @@ pub struct BatchingStats {
     pub lanes_scalar: u64,
     /// Lockstep `set_input_batch` sweeps executed across all batches.
     pub lockstep_iterations: u64,
+    /// Lockstep sweeps dispatched to the lane-chunked fold kernels (lane
+    /// stride a multiple of the SIMD chunk — see `evolve_core::kernel`).
+    pub kernel_chunked_sweeps: u64,
+    /// Lockstep sweeps dispatched to the per-element reference kernels
+    /// (narrow batches below one chunk).
+    pub kernel_scalar_sweeps: u64,
     /// Scenarios ejected because their model uses the worklist backend.
     pub eject_worklist: u64,
     /// Scenarios ejected because their trace offers no tokens.
@@ -376,6 +393,8 @@ impl From<BatchingStats> for evolve_obs::BatchCounters {
             lanes_batched: b.lanes_batched,
             lanes_scalar: b.lanes_scalar,
             lockstep_iterations: b.lockstep_iterations,
+            kernel_chunked_sweeps: b.kernel_chunked_sweeps,
+            kernel_scalar_sweeps: b.kernel_scalar_sweeps,
             eject_worklist: b.eject_worklist,
             eject_empty_trace: b.eject_empty_trace,
             eject_single_lane: b.eject_single_lane,
@@ -390,6 +409,8 @@ impl BatchingStats {
         self.lanes_batched += other.lanes_batched;
         self.lanes_scalar += other.lanes_scalar;
         self.lockstep_iterations += other.lockstep_iterations;
+        self.kernel_chunked_sweeps += other.kernel_chunked_sweeps;
+        self.kernel_scalar_sweeps += other.kernel_scalar_sweeps;
         self.eject_worklist += other.eject_worklist;
         self.eject_empty_trace += other.eject_empty_trace;
         self.eject_single_lane += other.eject_single_lane;
@@ -717,6 +738,8 @@ fn batching_json(b: &BatchingStats) -> Json {
         ("lanes_batched", Json::U64(b.lanes_batched)),
         ("lanes_scalar", Json::U64(b.lanes_scalar)),
         ("lockstep_iterations", Json::U64(b.lockstep_iterations)),
+        ("kernel_chunked_sweeps", Json::U64(b.kernel_chunked_sweeps)),
+        ("kernel_scalar_sweeps", Json::U64(b.kernel_scalar_sweeps)),
         (
             "ejections",
             Json::object([
@@ -1246,9 +1269,11 @@ enum ScalarReason {
     SingleLane,
 }
 
-/// A unit of worker-schedulable work: one scalar scenario, one lockstep
-/// batch of scenarios sharing a [`ModelSpec`], or one delta chain of
-/// structurally identical scalar scenarios (base first).
+/// A unit of worker-schedulable work: one scalar scenario, one *or more*
+/// lockstep batches of scenarios sharing a [`ModelSpec`]
+/// ([`SweepConfig::intra_unit_batches`] bounds the fan-out per unit), or
+/// one delta chain of structurally identical scalar scenarios (base
+/// first).
 ///
 /// Chain members keep their [`ScalarReason`] so the batching counters are
 /// identical with delta chaining on or off — chaining regroups the scalar
@@ -1259,9 +1284,13 @@ enum WorkUnit {
         spec: ScenarioSpec,
         reason: ScalarReason,
     },
-    Batch(Vec<(usize, ScenarioSpec)>),
+    Batch(Vec<BatchGroup>),
     Delta(ChainMembers),
 }
+
+/// The lanes of one lockstep batch, in input order: `(grid index, spec)`.
+/// All members share one [`ModelSpec`].
+type BatchGroup = Vec<(usize, ScenarioSpec)>;
 
 /// Members of one delta chain, in input order: `(grid index, spec, the
 /// scalar-path reason the member kept)`. The first entry is the base.
@@ -1349,6 +1378,7 @@ fn plan_delta_chains(units: Vec<WorkUnit>) -> Vec<WorkUnit> {
 /// everything else — and leftover single lanes — becomes a scalar unit.
 fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit> {
     let width = config.batch_width.max(1);
+    let intra = config.intra_unit_batches.max(1);
     let mut units = Vec::new();
     if width == 1 {
         for (index, spec) in scenarios.iter().cloned().enumerate() {
@@ -1364,8 +1394,11 @@ fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit>
         return units;
     }
     // First-seen order keeps unit formation deterministic; the model count
-    // per sweep is small, so a linear scan beats a map here.
-    let mut pending: Vec<(ModelSpec, Vec<(usize, ScenarioSpec)>)> = Vec::new();
+    // per sweep is small, so a linear scan beats a map here. Groups are
+    // carved at `width` lanes regardless of the intra-unit fan-out — the
+    // knob only changes how many ready groups ride in one unit, so the
+    // batching ledger is identical for any setting.
+    let mut pending: Vec<(ModelSpec, Vec<BatchGroup>, BatchGroup)> = Vec::new();
     for (index, spec) in scenarios.iter().cloned().enumerate() {
         if spec.model.backend == EvalBackend::Worklist {
             units.push(WorkUnit::Scalar {
@@ -1380,32 +1413,42 @@ fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit>
                 reason: ScalarReason::EmptyTrace,
             });
         } else {
-            let pos = match pending.iter().position(|(m, _)| *m == spec.model) {
+            let pos = match pending.iter().position(|(m, _, _)| *m == spec.model) {
                 Some(pos) => pos,
                 None => {
-                    pending.push((spec.model.clone(), Vec::new()));
+                    pending.push((spec.model.clone(), Vec::new(), Vec::new()));
                     pending.len() - 1
                 }
             };
-            let group = &mut pending[pos].1;
-            group.push((index, spec));
-            if group.len() == width {
-                units.push(WorkUnit::Batch(std::mem::take(group)));
+            let (_, ready, open) = &mut pending[pos];
+            open.push((index, spec));
+            if open.len() == width {
+                ready.push(std::mem::take(open));
+                if ready.len() == intra {
+                    units.push(WorkUnit::Batch(std::mem::take(ready)));
+                }
             }
         }
     }
-    for (_, group) in pending {
-        match group.len() {
+    for (_, mut ready, open) in pending {
+        match open.len() {
             0 => {}
             1 => {
-                let (index, spec) = group.into_iter().next().expect("len checked");
+                let (index, spec) = open.into_iter().next().expect("len checked");
                 units.push(WorkUnit::Scalar {
                     index,
                     spec,
                     reason: ScalarReason::SingleLane,
                 });
             }
-            _ => units.push(WorkUnit::Batch(group)),
+            // The leftover partial group is one more batch; it may ride in
+            // a unit with full-width groups (engines re-lane per group).
+            _ => ready.push(open),
+        }
+        while !ready.is_empty() {
+            let rest = ready.split_off(ready.len().min(intra));
+            units.push(WorkUnit::Batch(ready));
+            ready = rest;
         }
     }
     if config.delta {
@@ -1420,50 +1463,35 @@ fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit>
 #[derive(Default)]
 struct WorkerState {
     scalar: HashMap<ModelSpec, PreparedModel>,
-    batch: HashMap<ModelSpec, Result<PreparedBatch, BatchUnsupported>>,
+    batch: HashMap<ModelSpec, Result<Vec<PreparedBatch>, BatchUnsupported>>,
 }
 
-/// Evaluates one batch unit. If the model turns out to be unsupported by
-/// [`BatchedEngine`] (discovered once per model, then cached), every lane
-/// is ejected to the scalar path.
-fn evaluate_batch(
-    state: &mut WorkerState,
-    group: Vec<(usize, ScenarioSpec)>,
+/// The per-group ledger [`evaluate_batch`] merges into [`BatchingStats`]
+/// in group order, so the counters are identical for any intra-unit
+/// fan-out.
+struct GroupLedger {
+    lanes: u64,
+    lockstep_iterations: u64,
+    kernel: KernelDispatchStats,
+}
+
+/// Drives one lane group on one prepared batched engine and builds its
+/// per-lane results. Safe to run on a scoped thread: everything it touches
+/// is owned or exclusively borrowed.
+fn drive_group(
+    prepared: &mut PreparedBatch,
+    group: BatchGroup,
     config: &SweepConfig,
-    stats: &mut BatchingStats,
-    tel: &mut Option<Box<TelemetrySink>>,
-) -> Vec<ScenarioResult> {
+    sink: Option<Box<TelemetrySink>>,
+) -> (Vec<ScenarioResult>, GroupLedger, Option<Box<TelemetrySink>>) {
     let width = group.len();
-    let model = &group[0].1.model;
-    let entry = state
-        .batch
-        .entry(model.clone())
-        .or_insert_with(|| prepare_batch(model, config, width));
-    let prepared = match entry {
-        Ok(prepared) => prepared,
-        Err(_) => {
-            let mut out = Vec::with_capacity(width);
-            for (index, spec) in &group {
-                stats.eject_unsupported += 1;
-                stats.lanes_scalar += 1;
-                if let Some(sink) = tel.as_deref_mut() {
-                    sink.on_event(EngineEvent::LaneEjected {
-                        lane: *index as u32,
-                        reason: EjectReason::Unsupported,
-                    });
-                }
-                out.push(evaluate(&mut state.scalar, *index, spec, config, tel));
-            }
-            return out;
-        }
-    };
     let reused_engine = prepared.uses > 0;
     if reused_engine {
         prepared.engine.reset(width);
     }
     prepared.uses += 1;
 
-    if let Some(sink) = tel.take() {
+    if let Some(sink) = sink {
         prepared.engine.attach_observer(sink);
     }
     let stimuli: Vec<Stimulus> = group.iter().map(|(_, s)| s.trace.stimulus()).collect();
@@ -1471,17 +1499,19 @@ fn evaluate_batch(
     let start = Instant::now();
     let outcomes = drive_batch(&mut prepared.engine, &traces);
     let wall = start.elapsed() / width as u32;
-    if let Some(ob) = prepared.engine.detach_observer() {
+    let sink = prepared.engine.detach_observer().map(|ob| {
         let mut sink = downcast::<TelemetrySink>(ob);
         sink.seal_lanes();
-        *tel = Some(sink);
-    }
+        sink
+    });
 
-    stats.batches_formed += 1;
-    stats.lanes_batched += width as u64;
-    stats.lockstep_iterations += prepared.engine.stats().batched_iterations;
+    let ledger = GroupLedger {
+        lanes: width as u64,
+        lockstep_iterations: prepared.engine.stats().batched_iterations,
+        kernel: prepared.engine.kernel_dispatch(),
+    };
 
-    group
+    let results = group
         .into_iter()
         .zip(outcomes)
         .zip(stimuli)
@@ -1513,7 +1543,110 @@ fn evaluate_batch(
                 reference,
             }
         })
-        .collect()
+        .collect();
+    (results, ledger, sink)
+}
+
+/// Evaluates one batch unit of one or more same-model lane groups. If the
+/// model turns out to be unsupported by [`BatchedEngine`] (discovered once
+/// per model, then cached), every lane of every group is ejected to the
+/// scalar path. Multi-group units fan their groups out over scoped
+/// threads, one prepared engine per group, pulled from (and returned to) a
+/// per-model pool so steady-state units allocate nothing.
+fn evaluate_batch(
+    state: &mut WorkerState,
+    groups: Vec<BatchGroup>,
+    config: &SweepConfig,
+    stats: &mut BatchingStats,
+    tel: &mut Option<Box<TelemetrySink>>,
+) -> Vec<ScenarioResult> {
+    let model = &groups[0][0].1.model;
+    let entry = state
+        .batch
+        .entry(model.clone())
+        .or_insert_with(|| prepare_batch(model, config, groups[0].len()).map(|p| vec![p]));
+    let pool = match entry {
+        Ok(pool) => pool,
+        Err(_) => {
+            let mut out = Vec::new();
+            for group in &groups {
+                for (index, spec) in group {
+                    stats.eject_unsupported += 1;
+                    stats.lanes_scalar += 1;
+                    if let Some(sink) = tel.as_deref_mut() {
+                        sink.on_event(EngineEvent::LaneEjected {
+                            lane: *index as u32,
+                            reason: EjectReason::Unsupported,
+                        });
+                    }
+                    out.push(evaluate(&mut state.scalar, *index, spec, config, tel));
+                }
+            }
+            return out;
+        }
+    };
+
+    // One prepared engine per group: pulled from the pool (engines re-lane
+    // on reset), topped up on first fan-out. Support is a property of the
+    // graph shape, not the lane count, so a top-up cannot fail here.
+    let mut engines: Vec<PreparedBatch> = Vec::with_capacity(groups.len());
+    for group in &groups {
+        engines.push(match pool.pop() {
+            Some(prepared) => prepared,
+            None => prepare_batch(model, config, group.len())
+                .expect("batch support is per model shape, decided above"),
+        });
+    }
+    // One telemetry shard per group (the unit's sink rides with group 0);
+    // shards merge back in group order below, so the aggregate is
+    // deterministic for any fan-out.
+    let mut sinks: Vec<Option<Box<TelemetrySink>>> = Vec::with_capacity(groups.len());
+    for i in 0..groups.len() {
+        sinks.push(match (i, tel.is_some()) {
+            (0, true) => tel.take(),
+            (_, true) => Some(Box::new(TelemetrySink::new())),
+            (_, false) => None,
+        });
+    }
+
+    let driven: Vec<(Vec<ScenarioResult>, GroupLedger, Option<Box<TelemetrySink>>)> =
+        if groups.len() == 1 {
+            let group = groups.into_iter().next().expect("one group");
+            let sink = sinks.into_iter().next().expect("one sink slot");
+            vec![drive_group(&mut engines[0], group, config, sink)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = engines
+                    .iter_mut()
+                    .zip(groups.into_iter().zip(sinks))
+                    .map(|(prepared, (group, sink))| {
+                        scope.spawn(move || drive_group(prepared, group, config, sink))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("intra-unit batch thread panicked"))
+                    .collect()
+            })
+        };
+
+    let mut out = Vec::new();
+    for (results, ledger, sink) in driven {
+        stats.batches_formed += 1;
+        stats.lanes_batched += ledger.lanes;
+        stats.lockstep_iterations += ledger.lockstep_iterations;
+        stats.kernel_chunked_sweeps += ledger.kernel.chunked_sweeps;
+        stats.kernel_scalar_sweeps += ledger.kernel.scalar_sweeps;
+        if let Some(shard) = sink {
+            match tel.as_mut() {
+                Some(total) => total.merge(*shard),
+                None => *tel = Some(shard),
+            }
+        }
+        out.extend(results);
+    }
+    pool.extend(engines);
+    out
 }
 
 /// Books one scalar evaluation into the batching counters and telemetry —
@@ -1636,8 +1769,8 @@ fn process_unit(
             let result = evaluate(&mut state.scalar, index, &spec, config, &mut tel);
             (vec![result], stats, delta_stats, tel)
         }
-        WorkUnit::Batch(group) => {
-            let results = evaluate_batch(state, group, config, &mut stats, &mut tel);
+        WorkUnit::Batch(groups) => {
+            let results = evaluate_batch(state, groups, config, &mut stats, &mut tel);
             (results, stats, delta_stats, tel)
         }
         WorkUnit::Delta(chain) => {
@@ -2076,6 +2209,74 @@ mod tests {
             // after the batch filled — input order makes it c4.
             assert_eq!(s.batched, expect_batched, "scenario {}", s.label);
         }
+    }
+
+    #[test]
+    fn intra_unit_fan_out_is_bitwise_identical() {
+        // Two models, 17 scenarios, width 4: model A fills two groups with
+        // a single-lane leftover, model B fills two groups — so a fan-out
+        // of 2 packs each model's groups into one scoped-thread unit,
+        // including the flush path. Outcomes and the batching ledger must
+        // not notice.
+        let scenarios: Vec<ScenarioSpec> = (0..17)
+            .map(|i| ScenarioSpec {
+                label: format!("fan{i}"),
+                model: ModelSpec {
+                    kind: if i % 2 == 0 {
+                        ModelKind::Didactic { stages: 1 }
+                    } else {
+                        ModelKind::Pipeline { stages: 3, base: 50, per_unit: 2 }
+                    },
+                    padding: 0,
+                    backend: EvalBackend::Compiled,
+                },
+                trace: TraceSpec {
+                    tokens: 12 + 5 * (i % 3),
+                    min_size: 1,
+                    max_size: 32,
+                    mean_period: 300,
+                    seed: i,
+                },
+            })
+            .collect();
+        let base = SweepConfig { threads: 2, batch_width: 4, ..SweepConfig::default() };
+        let seq = run_sweep(&scenarios, &base);
+        let fan = run_sweep(&scenarios, &SweepConfig { intra_unit_batches: 2, ..base });
+        assert_eq!(seq.batching, fan.batching, "ledger independent of the fan-out");
+        assert_eq!(fan.batching.batches_formed, 4);
+        assert!(
+            fan.batching.kernel_scalar_sweeps > 0,
+            "width-4 batches take the per-element kernel path"
+        );
+        for (a, b) in seq.scenarios.iter().zip(&fan.scenarios) {
+            assert_eq!(a.outcome, b.outcome, "scenario {}", a.label);
+            assert_eq!(a.batched, b.batched, "scenario {}", a.label);
+        }
+    }
+
+    #[test]
+    fn kernel_dispatch_counters_reach_the_report() {
+        // Nine same-model lanes at width 8: one chunked batch plus a
+        // scalar leftover — the chunked counter must land in the report
+        // and its JSON rendering.
+        let scenarios: Vec<ScenarioSpec> = (0..9)
+            .map(|i| ScenarioSpec {
+                label: format!("k{i}"),
+                model: ModelSpec {
+                    kind: ModelKind::Didactic { stages: 1 },
+                    padding: 0,
+                    backend: EvalBackend::Compiled,
+                },
+                trace: TraceSpec { tokens: 10, min_size: 1, max_size: 16, mean_period: 0, seed: i },
+            })
+            .collect();
+        let report = run_sweep(
+            &scenarios,
+            &SweepConfig { threads: 1, batch_width: 8, ..SweepConfig::default() },
+        );
+        assert!(report.batching.kernel_chunked_sweeps >= 10, "{:?}", report.batching);
+        assert_eq!(report.batching.kernel_scalar_sweeps, 0);
+        assert!(report.to_json().render().contains("\"kernel_chunked_sweeps\""));
     }
 
     #[test]

@@ -36,7 +36,14 @@ use core::ops::{Add, AddAssign, Mul, MulAssign};
 /// The internal representation reserves `i64::MIN` for `ε`; every other
 /// `i64` is a finite element. Arithmetic saturates at `i64::MAX − 1` so that
 /// `⊗` can never accidentally produce the `ε` sentinel or wrap around.
+///
+/// The type is `repr(transparent)` over its `i64` encoding: a slice of
+/// `MaxPlus` values may be reinterpreted as a slice of raw encodings (see
+/// [`MaxPlus::raw`] / [`MaxPlus::from_raw`]), which is what lets branch-free
+/// SIMD kernels fold whole lanes of semiring state with plain integer
+/// instructions.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(transparent)]
 pub struct MaxPlus(i64);
 
 impl MaxPlus {
@@ -132,6 +139,27 @@ impl MaxPlus {
     #[inline]
     pub fn otimes_inverse(self) -> Option<MaxPlus> {
         self.finite().map(|v| MaxPlus::new(-v.max(i64::MIN + 2)))
+    }
+
+    /// The raw `i64` encoding: the finite value, or `i64::MIN` for `ε`.
+    ///
+    /// Because `ε` encodes as `i64::MIN`, plain integer `max` on raw
+    /// encodings *is* `⊕` — this is the epsilon identity that lets SIMD
+    /// kernels fold lanes without per-lane branches.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Reinterprets a raw encoding (see [`MaxPlus::raw`]) as an element.
+    ///
+    /// Unlike [`MaxPlus::new`] this neither rejects `i64::MIN` (it decodes
+    /// to `ε`) nor clamps: the caller asserts the bits already form a valid
+    /// encoding, i.e. came from `raw()` or from an arithmetic kernel that
+    /// preserves the `[MIN, MAX] ∪ {ε}` range.
+    #[inline]
+    pub const fn from_raw(raw: i64) -> Self {
+        MaxPlus(raw)
     }
 }
 

@@ -106,6 +106,18 @@ pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
     );
     family(
         &mut out,
+        "evolve_batch_kernel_sweeps_total",
+        "Lockstep sweeps by fold-kernel dispatch path",
+        "counter",
+    );
+    for (path, value) in [
+        ("chunked", snapshot.batch.kernel_chunked_sweeps),
+        ("scalar", snapshot.batch.kernel_scalar_sweeps),
+    ] {
+        let _ = writeln!(out, "evolve_batch_kernel_sweeps_total{{path=\"{path}\"}} {value}");
+    }
+    family(
+        &mut out,
         "evolve_batch_ejections_total",
         "Scenarios ejected from batching to the scalar path, by reason",
         "counter",

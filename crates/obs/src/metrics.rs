@@ -288,6 +288,12 @@ pub struct BatchCounters {
     pub lanes_scalar: u64,
     /// Lockstep sweeps executed across all batches.
     pub lockstep_iterations: u64,
+    /// Lockstep sweeps dispatched to the lane-chunked fold kernels
+    /// (lane stride a multiple of the SIMD chunk).
+    pub kernel_chunked_sweeps: u64,
+    /// Lockstep sweeps dispatched to the per-element reference kernels
+    /// (narrow batches below one chunk).
+    pub kernel_scalar_sweeps: u64,
     /// Lanes ejected: model on the worklist backend.
     pub eject_worklist: u64,
     /// Lanes ejected: trace offers no tokens.
@@ -306,6 +312,8 @@ impl BatchCounters {
         self.lanes_batched += other.lanes_batched;
         self.lanes_scalar += other.lanes_scalar;
         self.lockstep_iterations += other.lockstep_iterations;
+        self.kernel_chunked_sweeps += other.kernel_chunked_sweeps;
+        self.kernel_scalar_sweeps += other.kernel_scalar_sweeps;
         self.eject_worklist += other.eject_worklist;
         self.eject_empty_trace += other.eject_empty_trace;
         self.eject_single_lane += other.eject_single_lane;
@@ -726,6 +734,14 @@ impl MetricsSnapshot {
                     (
                         "lockstep_iterations",
                         Json::U64(self.batch.lockstep_iterations),
+                    ),
+                    (
+                        "kernel_chunked_sweeps",
+                        Json::U64(self.batch.kernel_chunked_sweeps),
+                    ),
+                    (
+                        "kernel_scalar_sweeps",
+                        Json::U64(self.batch.kernel_scalar_sweeps),
                     ),
                     ("eject_worklist", Json::U64(self.batch.eject_worklist)),
                     ("eject_empty_trace", Json::U64(self.batch.eject_empty_trace)),
