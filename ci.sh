@@ -55,4 +55,29 @@ cargo test -q -p evolve-core --test observer_conformance --offline
 # the lane-chunked fold kernels.
 cargo run --release -q -p evolve-bench --bin fig5 --offline -- --quick
 
-echo "ci: build, tests, clippy, conformance suites, and bench smoke all green"
+# Daemon smoke: boot the real `evolved` binary on a loopback unix socket
+# with a live /metrics listener, drive it with serve-bench --quick (which
+# asserts lanes-per-batch > 1, a parsable serve /metrics exposition, and
+# an affinity-vs-naive scenarios/second ratio > 1 measured within this
+# run — never against an absolute baseline), then SIGTERM it and require
+# a clean drain to exit 0.
+serve_dir="$(mktemp -d)"
+trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+cargo run --release -q -p evolve-serve --bin evolved --offline -- \
+    --unix "$serve_dir/evolved.sock" --metrics 127.0.0.1:0 \
+    --state-file "$serve_dir/evolved.state" &
+serve_pid=$!
+for _ in $(seq 1 200); do
+    grep -q '^pid=' "$serve_dir/evolved.state" 2>/dev/null && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "ci: evolved died at startup" >&2; exit 1; }
+    sleep 0.05
+done
+grep -q '^pid=' "$serve_dir/evolved.state" || { echo "ci: evolved never published its state file" >&2; exit 1; }
+metrics_addr="$(sed -n 's/^metrics=//p' "$serve_dir/evolved.state")"
+cargo run --release -q -p evolve-bench --bin serve-bench --offline -- \
+    --quick --connect "unix:$serve_dir/evolved.sock" --metrics "$metrics_addr"
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "ci: evolved did not exit 0 on SIGTERM" >&2; exit 1; }
+serve_pid=""
+
+echo "ci: build, tests, clippy, conformance suites, bench smoke, and daemon smoke all green"

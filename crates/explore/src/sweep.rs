@@ -54,9 +54,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration as HostDuration, Instant};
 
 use evolve_core::{
-    derive_tdg, synthetic, BatchUnsupported, BatchedEngine, DeltaCache, DeltaStats, DetectedPeriod,
-    Engine, EngineStats, EvalBackend, FastForward, FastForwardStats, KernelDispatchStats,
-    PeriodicConfig,
+    synthetic, BatchedEngine, DeltaCache, DeltaStats, DetectedPeriod, Engine, EngineStats,
+    EvalBackend, FastForward, FastForwardStats, KernelDispatchStats, PeriodicConfig,
 };
 use evolve_des::{SplitMix64, Time};
 use evolve_model::{
@@ -64,6 +63,11 @@ use evolve_model::{
 };
 use evolve_obs::{downcast, EjectReason, EngineEvent, MetricsSnapshot, Observer as _, TelemetrySink, TraceCollector};
 
+use crate::cache::{
+    busy_per_resource, delta_family_key, drive_prepared, drive_prepared_batch, prepare,
+    prepare_batch, DeltaFamilyKey, DeltaLaneOutcome, DeltaMode, EngineCaches, EngineOptions,
+    PreparedBatch, PreparedModel,
+};
 use crate::json::Json;
 
 /// Which architecture a scenario evaluates.
@@ -884,86 +888,15 @@ where
     parallel_map_with(items, threads, || (), |(), i, item| f(i, item))
 }
 
-/// A derived model cached by a sweep worker: the engine (reset between
-/// traces) plus the metadata the drive loop needs.
-struct PreparedModel {
-    engine: Engine,
-    arch: Architecture,
-    input: RelationId,
-    output: RelationId,
-    resource_count: usize,
-    nodes: usize,
-    uses: usize,
-}
-
-fn prepare(spec: &ModelSpec, config: &SweepConfig) -> PreparedModel {
-    let (arch, input, output) = spec.build();
-    let mut derived = derive_tdg(&arch).expect("sweep models derive");
-    if spec.padding > 0 {
-        derived.map_tdg(|tdg| synthetic::pad(tdg, spec.padding));
+/// The engine-construction options a sweep's knobs translate to; the
+/// engine-preparation and drive machinery itself lives in
+/// [`crate::cache`], shared with the `evolve-serve` daemon.
+fn engine_options(config: &SweepConfig) -> EngineOptions {
+    EngineOptions {
+        record_observations: config.record_observations,
+        fast_forward: config.fast_forward,
+        ff_confirm_periods: config.ff_confirm_periods,
     }
-    let nodes = derived.tdg().node_count();
-    let relation_count = arch.app().relations().len();
-    let mut engine =
-        Engine::with_backend(derived, relation_count, config.record_observations, spec.backend);
-    engine.set_fast_forward_with(config.fast_forward, ff_config(config));
-    let resource_count = arch.platform().len();
-    PreparedModel {
-        engine,
-        arch,
-        input,
-        output,
-        resource_count,
-        nodes,
-        uses: 0,
-    }
-}
-
-/// A batched model cached by a sweep worker: one [`BatchedEngine`] reset
-/// (and re-laned) between batches of the same [`ModelSpec`].
-struct PreparedBatch {
-    engine: BatchedEngine,
-    arch: Architecture,
-    input: RelationId,
-    output: RelationId,
-    resource_count: usize,
-    nodes: usize,
-    uses: usize,
-}
-
-/// The detector parameters a sweep's knobs translate to.
-fn ff_config(config: &SweepConfig) -> PeriodicConfig {
-    PeriodicConfig {
-        confirm_periods: config.ff_confirm_periods,
-        ..PeriodicConfig::default()
-    }
-}
-
-fn prepare_batch(
-    spec: &ModelSpec,
-    config: &SweepConfig,
-    lanes: usize,
-) -> Result<PreparedBatch, BatchUnsupported> {
-    let (arch, input, output) = spec.build();
-    let mut derived = derive_tdg(&arch).expect("sweep models derive");
-    if spec.padding > 0 {
-        derived.map_tdg(|tdg| synthetic::pad(tdg, spec.padding));
-    }
-    let nodes = derived.tdg().node_count();
-    let relation_count = arch.app().relations().len();
-    let mut engine =
-        BatchedEngine::try_new(derived, relation_count, config.record_observations, lanes)?;
-    engine.set_fast_forward_with(config.fast_forward, ff_config(config));
-    let resource_count = arch.platform().len();
-    Ok(PreparedBatch {
-        engine,
-        arch,
-        input,
-        output,
-        resource_count,
-        nodes,
-        uses: 0,
-    })
 }
 
 /// Drives a single-input, single-output engine through `arrivals` without a
@@ -1079,14 +1012,6 @@ pub fn drive_batch(engine: &mut BatchedEngine, traces: &[&[Arrival]]) -> Vec<Sce
     outcomes
 }
 
-fn busy_per_resource(records: &[ExecRecord], resources: usize) -> Vec<u64> {
-    let mut busy = vec![0u64; resources];
-    for r in records {
-        busy[r.resource.index()] += r.end.ticks() - r.start.ticks();
-    }
-    busy
-}
-
 /// Re-runs one scenario on the conventional discrete-event model and
 /// compares it against an engine-drive outcome (scalar or batched lane).
 fn reference_for(
@@ -1115,32 +1040,9 @@ fn reference_for(
     }
 }
 
-/// How a scalar evaluation participates in a delta chain.
-enum DeltaMode<'a> {
-    /// Plain full evaluation (no chain, or a sibling after a failed capture).
-    Off,
-    /// Chain base: evaluate fully and capture the per-iteration cache.
-    CaptureBase,
-    /// Chain sibling: diff against the base cache.
-    Sibling(&'a Arc<DeltaCache>),
-}
-
-/// What the delta layer did for one scalar evaluation.
-enum DeltaLaneOutcome {
-    /// [`DeltaMode::Off`] — nothing requested.
-    NotRequested,
-    /// Base captured; siblings can attach this cache.
-    Captured(Arc<DeltaCache>),
-    /// The engine refused capture (reason string from [`DeltaUnsupported`]).
-    CaptureFailed(&'static str),
-    /// Sibling ran attached; counters for the whole drive.
-    Attached(DeltaStats),
-    /// Sibling was refused attachment and evaluated fully.
-    Ejected(&'static str),
-}
-
 /// Evaluates one scenario on a worker-cached engine, optionally capturing
-/// or consuming a delta-chain cache.
+/// or consuming a delta-chain cache. The delta lifecycle and drive itself
+/// live in [`cache::drive_prepared`], shared with the serve daemon.
 fn evaluate_inner(
     cache: &mut HashMap<ModelSpec, PreparedModel>,
     index: usize,
@@ -1149,83 +1051,19 @@ fn evaluate_inner(
     tel: &mut Option<Box<TelemetrySink>>,
     mode: DeltaMode<'_>,
 ) -> (ScenarioResult, DeltaLaneOutcome) {
+    let options = engine_options(config);
     let prepared = cache
         .entry(spec.model.clone())
-        .or_insert_with(|| prepare(&spec.model, config));
-    let reused_engine = prepared.uses > 0;
-    if reused_engine {
-        prepared.engine.reset();
-    }
-    prepared.uses += 1;
-
-    let mut delta_outcome = DeltaLaneOutcome::NotRequested;
-    match &mode {
-        DeltaMode::Off => {}
-        DeltaMode::CaptureBase => {
-            // Fast-forward replay stops row capture, which would truncate
-            // the cache and starve the siblings; trade the base's
-            // fast-forward (bitwise-invisible either way) for full
-            // coverage. The configured mode is restored after the drive.
-            prepared
-                .engine
-                .set_fast_forward_with(FastForward::Off, ff_config(config));
-            if let Err(e) = prepared.engine.begin_delta_capture() {
-                delta_outcome = DeltaLaneOutcome::CaptureFailed(e.reason());
-            }
-        }
-        DeltaMode::Sibling(base) => {
-            if let Err(e) = prepared.engine.attach_delta_base(Arc::clone(base)) {
-                delta_outcome = DeltaLaneOutcome::Ejected(e.reason());
-            }
-        }
-    }
-
-    // The sink rides inside the engine for the drive and is taken back
-    // right after — one Box round-trip per scenario, no reallocation.
-    if let Some(sink) = tel.take() {
-        prepared.engine.attach_observer(sink);
-    }
+        .or_insert_with(|| prepare(&spec.model, &options));
     let stimulus = spec.trace.stimulus();
-    let start = Instant::now();
-    let mut outcome = drive_engine(&mut prepared.engine, stimulus.arrivals());
-    let wall = start.elapsed();
-    if let Some(ob) = prepared.engine.detach_observer() {
-        let mut sink = downcast::<TelemetrySink>(ob);
-        sink.seal_lanes();
-        *tel = Some(sink);
-    }
-    let fast_forward = prepared.engine.fast_forward_stats();
-    outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
-
-    match &mode {
-        DeltaMode::Off => {}
-        DeltaMode::CaptureBase => {
-            if matches!(delta_outcome, DeltaLaneOutcome::NotRequested) {
-                delta_outcome = DeltaLaneOutcome::Captured(prepared.engine.finish_delta_capture());
-            }
-            // Put the cached engine back the way `prepare` left it, so
-            // later plain reuses of this model see the configured
-            // fast-forward mode. Reset first: the mode switch requires a
-            // quiescent engine, and the outcome is already extracted.
-            prepared.engine.reset();
-            prepared
-                .engine
-                .set_fast_forward_with(config.fast_forward, ff_config(config));
-        }
-        DeltaMode::Sibling(_) => {
-            if matches!(delta_outcome, DeltaLaneOutcome::NotRequested) {
-                delta_outcome = DeltaLaneOutcome::Attached(prepared.engine.detach_delta());
-            }
-        }
-    }
-
+    let drive = drive_prepared(prepared, stimulus.arrivals(), &options, tel, mode);
     let reference = config.compare_conventional.then(|| {
         reference_for(
             &prepared.arch,
             prepared.input,
             prepared.output,
             &stimulus,
-            &outcome,
+            &drive.outcome,
             config,
         )
     });
@@ -1233,17 +1071,17 @@ fn evaluate_inner(
     let result = ScenarioResult {
         index,
         label: spec.label.clone(),
-        outcome,
+        outcome: drive.outcome,
         nodes: prepared.nodes,
         backend: spec.model.backend,
-        reused_engine,
+        reused_engine: drive.reused_engine,
         batched: false,
-        delta: matches!(delta_outcome, DeltaLaneOutcome::Attached(_)),
-        wall,
-        fast_forward,
+        delta: matches!(drive.delta, DeltaLaneOutcome::Attached(_)),
+        wall: drive.wall,
+        fast_forward: drive.fast_forward,
         reference,
     };
-    (result, delta_outcome)
+    (result, drive.delta)
 }
 
 /// Evaluates one scenario on a worker-cached engine.
@@ -1296,37 +1134,15 @@ type BatchGroup = Vec<(usize, ScenarioSpec)>;
 /// scalar-path reason the member kept)`. The first entry is the base.
 type ChainMembers = Vec<(usize, ScenarioSpec, ScalarReason)>;
 
-/// Graph-shape component of a delta-family key: two scenarios may chain
-/// only when their compiled graphs are structurally identical, which for
-/// the built-in models means the same kind, stage count, and padding —
-/// load parameters ([`ModelKind::Pipeline`]'s `base`/`per_unit`) only move
-/// arc weights, exactly the perturbations delta evaluation absorbs.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum FamilyShape {
-    Didactic { stages: usize },
-    Pipeline { stages: usize },
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-struct FamilyKey {
-    shape: FamilyShape,
-    padding: usize,
-}
-
 /// The delta-family key of a scalar scenario, or `None` when the scenario
-/// is ineligible for chaining (worklist backend or an empty trace).
-fn family_key(spec: &ScenarioSpec) -> Option<FamilyKey> {
-    if spec.model.backend != EvalBackend::Compiled || spec.trace.tokens == 0 {
+/// is ineligible for chaining (worklist backend or an empty trace). The
+/// structural component is [`cache::delta_family_key`], shared with the
+/// serve daemon's cross-request delta reuse.
+fn family_key(spec: &ScenarioSpec) -> Option<DeltaFamilyKey> {
+    if spec.trace.tokens == 0 {
         return None;
     }
-    let shape = match spec.model.kind {
-        ModelKind::Didactic { stages } => FamilyShape::Didactic { stages },
-        ModelKind::Pipeline { stages, .. } => FamilyShape::Pipeline { stages },
-    };
-    Some(FamilyKey {
-        shape,
-        padding: spec.model.padding,
-    })
+    delta_family_key(&spec.model)
 }
 
 /// Regroups scalar units into delta chains: families of two or more
@@ -1334,7 +1150,7 @@ fn family_key(spec: &ScenarioSpec) -> Option<FamilyKey> {
 /// order, first member is the base); singletons stay scalar. Non-scalar
 /// units pass through untouched — batches and chains compose side by side.
 fn plan_delta_chains(units: Vec<WorkUnit>) -> Vec<WorkUnit> {
-    let mut families: Vec<(FamilyKey, ChainMembers)> = Vec::new();
+    let mut families: Vec<(DeltaFamilyKey, ChainMembers)> = Vec::new();
     let mut out = Vec::with_capacity(units.len());
     for unit in units {
         match unit {
@@ -1457,15 +1273,6 @@ fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit>
     units
 }
 
-/// Per-worker engine caches: scalar engines and batched engines are cached
-/// separately (both keyed by [`ModelSpec`]), since an ejected lane must not
-/// poison — or be poisoned by — the batch cache.
-#[derive(Default)]
-struct WorkerState {
-    scalar: HashMap<ModelSpec, PreparedModel>,
-    batch: HashMap<ModelSpec, Result<Vec<PreparedBatch>, BatchUnsupported>>,
-}
-
 /// The per-group ledger [`evaluate_batch`] merges into [`BatchingStats`]
 /// in group order, so the counters are identical for any intra-unit
 /// fan-out.
@@ -1485,25 +1292,13 @@ fn drive_group(
     sink: Option<Box<TelemetrySink>>,
 ) -> (Vec<ScenarioResult>, GroupLedger, Option<Box<TelemetrySink>>) {
     let width = group.len();
-    let reused_engine = prepared.uses > 0;
-    if reused_engine {
-        prepared.engine.reset(width);
-    }
-    prepared.uses += 1;
-
-    if let Some(sink) = sink {
-        prepared.engine.attach_observer(sink);
-    }
+    let mut sink = sink;
     let stimuli: Vec<Stimulus> = group.iter().map(|(_, s)| s.trace.stimulus()).collect();
     let traces: Vec<&[Arrival]> = stimuli.iter().map(|s| s.arrivals()).collect();
-    let start = Instant::now();
-    let outcomes = drive_batch(&mut prepared.engine, &traces);
-    let wall = start.elapsed() / width as u32;
-    let sink = prepared.engine.detach_observer().map(|ob| {
-        let mut sink = downcast::<TelemetrySink>(ob);
-        sink.seal_lanes();
-        sink
-    });
+    let (outcomes, reused_engine, batch_wall) =
+        drive_prepared_batch(prepared, &traces, &mut sink);
+    // Per-lane amortized cost, comparable to the scalar wall.
+    let wall = batch_wall / width as u32;
 
     let ledger = GroupLedger {
         lanes: width as u64,
@@ -1516,8 +1311,7 @@ fn drive_group(
         .zip(outcomes)
         .zip(stimuli)
         .enumerate()
-        .map(|(lane, (((index, spec), mut outcome), stimulus))| {
-            outcome.busy_ticks = busy_per_resource(&outcome.exec_records, prepared.resource_count);
+        .map(|(lane, (((index, spec), outcome), stimulus))| {
             let fast_forward = prepared.engine.lane_fast_forward_stats(lane);
             let reference = config.compare_conventional.then(|| {
                 reference_for(
@@ -1554,17 +1348,18 @@ fn drive_group(
 /// threads, one prepared engine per group, pulled from (and returned to) a
 /// per-model pool so steady-state units allocate nothing.
 fn evaluate_batch(
-    state: &mut WorkerState,
+    state: &mut EngineCaches,
     groups: Vec<BatchGroup>,
     config: &SweepConfig,
     stats: &mut BatchingStats,
     tel: &mut Option<Box<TelemetrySink>>,
 ) -> Vec<ScenarioResult> {
+    let options = engine_options(config);
     let model = &groups[0][0].1.model;
     let entry = state
         .batch
         .entry(model.clone())
-        .or_insert_with(|| prepare_batch(model, config, groups[0].len()).map(|p| vec![p]));
+        .or_insert_with(|| prepare_batch(model, &options, groups[0].len()).map(|p| vec![p]));
     let pool = match entry {
         Ok(pool) => pool,
         Err(_) => {
@@ -1593,7 +1388,7 @@ fn evaluate_batch(
     for group in &groups {
         engines.push(match pool.pop() {
             Some(prepared) => prepared,
-            None => prepare_batch(model, config, group.len())
+            None => prepare_batch(model, &options, group.len())
                 .expect("batch support is per model shape, decided above"),
         });
     }
@@ -1688,7 +1483,7 @@ fn count_scalar(
 /// capture or attachment falls back to full evaluation with the reason
 /// counted — outcomes are bitwise identical on every path.
 fn evaluate_delta_chain(
-    state: &mut WorkerState,
+    state: &mut EngineCaches,
     chain: ChainMembers,
     config: &SweepConfig,
     stats: &mut BatchingStats,
@@ -1744,7 +1539,7 @@ fn evaluate_delta_chain(
 }
 
 fn process_unit(
-    state: &mut WorkerState,
+    state: &mut EngineCaches,
     unit: WorkUnit,
     config: &SweepConfig,
 ) -> (
@@ -1801,7 +1596,7 @@ pub fn run_sweep(scenarios: &[ScenarioSpec], config: &SweepConfig) -> SweepRepor
     let processed = parallel_map_with(
         units,
         config.threads,
-        WorkerState::default,
+        EngineCaches::default,
         |state, _, unit| process_unit(state, unit, config),
     );
     let mut batching = BatchingStats {
@@ -1861,7 +1656,7 @@ pub fn trace_scenario(
     spec: &ScenarioSpec,
     config: &SweepConfig,
 ) -> (ScenarioResult, Box<TraceCollector>) {
-    let mut prepared = prepare(&spec.model, config);
+    let mut prepared = prepare(&spec.model, &engine_options(config));
     prepared.engine.attach_observer(Box::new(TraceCollector::new()));
     let stimulus = spec.trace.stimulus();
     let start = Instant::now();
@@ -2340,5 +2135,27 @@ mod tests {
         for (a, b) in mixed.scenarios.iter().zip(&plain.scenarios) {
             assert_eq!(a.outcome, b.outcome, "scenario {}", a.label);
         }
+    }
+
+    #[test]
+    fn scenarios_per_second_uses_measured_run_wall_clock() {
+        // The headline metric must divide by the run's measured
+        // wall-clock, never by summed per-scenario walls: with threads>1
+        // the lanes overlap on the host, so the sum over-counts elapsed
+        // time and would inflate throughput.
+        let mut report = run_sweep(
+            &default_grid(8, 20),
+            &SweepConfig { threads: 4, ..SweepConfig::default() },
+        );
+        let expected = report.scenarios.len() as f64 / report.wall.as_secs_f64().max(1e-12);
+        assert_eq!(report.scenarios_per_second(), expected);
+        // Inflating every per-scenario wall far beyond the run wall must
+        // not move the metric at all.
+        for s in &mut report.scenarios {
+            s.wall = HostDuration::from_secs(3600);
+        }
+        assert_eq!(report.scenarios_per_second(), expected);
+        let summed: HostDuration = report.scenarios.iter().map(|s| s.wall).sum();
+        assert!(summed > report.wall, "inflated lane walls exceed run wall");
     }
 }

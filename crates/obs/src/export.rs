@@ -200,6 +200,62 @@ pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "evolve_delta_ejections_total{{reason=\"{reason}\"}} {value}");
     }
 
+    counter(
+        &mut out,
+        "evolve_serve_connections_total",
+        "Client connections accepted by the serve daemon",
+        snapshot.serve.connections,
+    );
+    counter(
+        &mut out,
+        "evolve_serve_requests_total",
+        "Requests admitted into shard queues",
+        snapshot.serve.requests,
+    );
+    counter(
+        &mut out,
+        "evolve_serve_rejected_total",
+        "Requests shed with a BUSY response (queue over max_queue_depth)",
+        snapshot.serve.rejected,
+    );
+    counter(
+        &mut out,
+        "evolve_serve_responses_total",
+        "Successful evaluation responses written",
+        snapshot.serve.responses,
+    );
+    counter(
+        &mut out,
+        "evolve_serve_errors_total",
+        "Error responses written",
+        snapshot.serve.errors,
+    );
+    family(
+        &mut out,
+        "evolve_serve_batches_total",
+        "Affinity batches dispatched, by trigger",
+        "counter",
+    );
+    for (trigger, value) in [
+        ("full", snapshot.serve.batches_full),
+        ("deadline", snapshot.serve.batches_deadline),
+    ] {
+        let _ = writeln!(out, "evolve_serve_batches_total{{trigger=\"{trigger}\"}} {value}");
+    }
+    family(
+        &mut out,
+        "evolve_serve_lanes_total",
+        "Request lanes evaluated, by path",
+        "counter",
+    );
+    for (path, value) in [
+        ("batched", snapshot.serve.lanes_batched),
+        ("scalar", snapshot.serve.lanes_scalar),
+        ("delta", snapshot.serve.lanes_delta),
+    ] {
+        let _ = writeln!(out, "evolve_serve_lanes_total{{path=\"{path}\"}} {value}");
+    }
+
     family(
         &mut out,
         "evolve_events_total",
@@ -376,8 +432,19 @@ mod tests {
             lane: 0,
             replayed: false,
         });
+        sink.record_serve(crate::ServeCounters {
+            requests: 5,
+            rejected: 2,
+            batches_full: 1,
+            lanes_batched: 4,
+            ..crate::ServeCounters::default()
+        });
         let text = prometheus(&sink.snapshot());
         assert!(text.contains("# TYPE evolve_engine_nodes_computed_total counter"));
+        assert!(text.contains("evolve_serve_requests_total 5"));
+        assert!(text.contains("evolve_serve_rejected_total 2"));
+        assert!(text.contains("evolve_serve_batches_total{trigger=\"full\"} 1"));
+        assert!(text.contains("evolve_serve_lanes_total{path=\"batched\"} 4"));
         assert!(text.contains("evolve_resource_busy_ticks_total{resource=\"2\"} 10"));
         assert!(text.contains("evolve_events_total{kind=\"offer\"} 1"));
         assert!(text.contains("evolve_resource_exec_duration_ticks_bucket{resource=\"2\",le=\"16\"} 1"));

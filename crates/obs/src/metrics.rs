@@ -427,6 +427,50 @@ impl EventCounters {
     }
 }
 
+/// Serving-layer counters recorded by the `evolve-serve` daemon: request
+/// admission, batch formation, and the evaluation path each request lane
+/// took. Counted by the shard workers and merged into the daemon's
+/// `/metrics` snapshot alongside the engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Requests admitted into a shard's queue.
+    pub requests: u64,
+    /// Requests shed with a BUSY response (queue over `max_queue_depth`).
+    pub rejected: u64,
+    /// Successful evaluation responses written.
+    pub responses: u64,
+    /// Error responses written (malformed or failing requests).
+    pub errors: u64,
+    /// Affinity batches dispatched because lanes filled the batch width.
+    pub batches_full: u64,
+    /// Affinity batches dispatched at the `max_batch_delay` deadline.
+    pub batches_deadline: u64,
+    /// Request lanes evaluated inside a lockstep batch.
+    pub lanes_batched: u64,
+    /// Request lanes evaluated on the scalar path (ejected or singleton).
+    pub lanes_scalar: u64,
+    /// Request lanes evaluated as a delta against a family base cache.
+    pub lanes_delta: u64,
+}
+
+impl ServeCounters {
+    /// Adds `other` into this counter set.
+    pub fn merge(&mut self, other: &ServeCounters) {
+        self.connections += other.connections;
+        self.requests += other.requests;
+        self.rejected += other.rejected;
+        self.responses += other.responses;
+        self.errors += other.errors;
+        self.batches_full += other.batches_full;
+        self.batches_deadline += other.batches_deadline;
+        self.lanes_batched += other.lanes_batched;
+        self.lanes_scalar += other.lanes_scalar;
+        self.lanes_delta += other.lanes_delta;
+    }
+}
+
 /// The streaming telemetry observer: counters plus per-lane per-resource
 /// accumulators, mergeable across worker shards.
 #[derive(Debug, Default)]
@@ -439,6 +483,8 @@ pub struct TelemetrySink {
     pub batch: BatchCounters,
     /// Delta-evaluation counters (recorded by the sweep layer).
     pub delta: DeltaCounters,
+    /// Serving-layer counters (recorded by the serve daemon's shards).
+    pub serve: ServeCounters,
     /// Lifecycle event counts.
     pub events: EventCounters,
     /// Detected periodic regimes `(growth, period)`, one per promotion.
@@ -478,6 +524,11 @@ impl TelemetrySink {
         self.delta.merge(&counters);
     }
 
+    /// Folds serving-layer counters into the sink.
+    pub fn record_serve(&mut self, counters: ServeCounters) {
+        self.serve.merge(&counters);
+    }
+
     /// Seals every live lane into the aggregate (end of a scenario).
     pub fn seal_lanes(&mut self) {
         let lanes = std::mem::take(&mut self.lanes);
@@ -506,6 +557,7 @@ impl TelemetrySink {
         self.ff.merge(&other.ff);
         self.batch.merge(&other.batch);
         self.delta.merge(&other.delta);
+        self.serve.merge(&other.serve);
         self.events.merge(&other.events);
         self.regimes.extend(other.regimes);
         self.backends.extend(other.backends);
@@ -538,6 +590,7 @@ impl TelemetrySink {
             ff: self.ff,
             batch: self.batch,
             delta: self.delta,
+            serve: self.serve,
             events: self.events,
             regimes: self.regimes.clone(),
             resources,
@@ -634,6 +687,8 @@ pub struct MetricsSnapshot {
     pub batch: BatchCounters,
     /// Delta-evaluation counters.
     pub delta: DeltaCounters,
+    /// Serving-layer counters.
+    pub serve: ServeCounters,
     /// Lifecycle event counts.
     pub events: EventCounters,
     /// Detected periodic regimes `(growth, period)`.
@@ -660,6 +715,48 @@ impl MetricsSnapshot {
     /// Total busy ticks across all resources.
     pub fn total_busy_ticks(&self) -> u64 {
         self.resources.iter().map(|r| r.busy_ticks).sum()
+    }
+
+    /// Folds another snapshot into this one: counters add, regimes
+    /// concatenate, and per-resource metrics merge by resource index
+    /// (busy/ops/records add, horizons take the max, utilization is
+    /// recomputed over the merged horizon, histograms merge exactly).
+    ///
+    /// This is the frozen-side counterpart of [`TelemetrySink::merge`],
+    /// used where live sinks cannot be handed over — e.g. the serve
+    /// daemon's `/metrics` listener folding per-shard published snapshots
+    /// into one exposition.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.engine.merge(&other.engine);
+        self.ff.merge(&other.ff);
+        self.batch.merge(&other.batch);
+        self.delta.merge(&other.delta);
+        self.serve.merge(&other.serve);
+        self.events.merge(&other.events);
+        self.regimes.extend(other.regimes.iter().copied());
+        for theirs in &other.resources {
+            match self
+                .resources
+                .iter_mut()
+                .find(|r| r.resource == theirs.resource)
+            {
+                Some(ours) => {
+                    ours.busy_ticks += theirs.busy_ticks;
+                    ours.ops += theirs.ops;
+                    ours.records += theirs.records;
+                    ours.out_of_order += theirs.out_of_order;
+                    ours.horizon_ticks = ours.horizon_ticks.max(theirs.horizon_ticks);
+                    ours.utilization = if ours.horizon_ticks == 0 {
+                        0.0
+                    } else {
+                        ours.busy_ticks as f64 / ours.horizon_ticks as f64
+                    };
+                    ours.durations.merge(&theirs.durations);
+                }
+                None => self.resources.push(theirs.clone()),
+            }
+        }
+        self.resources.sort_by_key(|r| r.resource);
     }
 
     /// Renders the snapshot as a JSON document (see
@@ -771,6 +868,21 @@ impl MetricsSnapshot {
                         "eject_structure_mismatch",
                         Json::U64(self.delta.eject_structure_mismatch),
                     ),
+                ]),
+            ),
+            (
+                "serve",
+                Json::object([
+                    ("connections", Json::U64(self.serve.connections)),
+                    ("requests", Json::U64(self.serve.requests)),
+                    ("rejected", Json::U64(self.serve.rejected)),
+                    ("responses", Json::U64(self.serve.responses)),
+                    ("errors", Json::U64(self.serve.errors)),
+                    ("batches_full", Json::U64(self.serve.batches_full)),
+                    ("batches_deadline", Json::U64(self.serve.batches_deadline)),
+                    ("lanes_batched", Json::U64(self.serve.lanes_batched)),
+                    ("lanes_scalar", Json::U64(self.serve.lanes_scalar)),
+                    ("lanes_delta", Json::U64(self.serve.lanes_delta)),
                 ]),
             ),
             (
@@ -1169,6 +1281,53 @@ mod tests {
         let snap = sink.snapshot();
         assert_eq!(snap.event_ratio(), Some(50.0));
         assert_eq!(TelemetrySink::new().snapshot().event_ratio(), None);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_sink_merge() {
+        let mut a = TelemetrySink::new();
+        a.on_records(0, &[rec(0, 0, 10, 5)]);
+        a.record_serve(ServeCounters {
+            requests: 3,
+            rejected: 1,
+            ..ServeCounters::default()
+        });
+        let mut b = TelemetrySink::new();
+        b.on_records(0, &[rec(0, 0, 20, 7)]);
+        b.on_records(0, &[rec(1, 5, 9, 2)]);
+        b.record_serve(ServeCounters {
+            requests: 4,
+            lanes_batched: 4,
+            ..ServeCounters::default()
+        });
+
+        // Freeze the shards first, then merge the snapshots...
+        let mut frozen = a.snapshot();
+        frozen.merge(&b.snapshot());
+        // ...which must equal merging the live sinks and freezing once.
+        a.merge(b);
+        let direct = a.snapshot();
+
+        assert_eq!(frozen, direct);
+        assert_eq!(frozen.serve.requests, 7);
+        assert_eq!(frozen.serve.rejected, 1);
+        assert_eq!(frozen.serve.lanes_batched, 4);
+        assert_eq!(frozen.resources.len(), 2);
+        assert_eq!(frozen.resources[0].busy_ticks, 30);
+    }
+
+    #[test]
+    fn snapshot_merge_into_empty_is_identity() {
+        let mut sink = TelemetrySink::new();
+        sink.on_records(0, &[rec(2, 0, 10, 5)]);
+        sink.record_serve(ServeCounters {
+            responses: 9,
+            ..ServeCounters::default()
+        });
+        let snap = sink.snapshot();
+        let mut empty = MetricsSnapshot::default();
+        empty.merge(&snap);
+        assert_eq!(empty, snap);
     }
 
     #[test]

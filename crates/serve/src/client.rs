@@ -1,0 +1,135 @@
+//! Blocking client for the `evolved` wire protocol.
+//!
+//! [`send`](ServeClient::send) and [`recv`](ServeClient::recv) are
+//! separate so callers can pipeline: responses carry the request's
+//! correlation id and arrive in completion order, not submission order.
+
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::net::Conn;
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, Request, Response,
+    WireError, DEFAULT_MAX_FRAME,
+};
+
+/// Client-side protocol failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing or transport failure.
+    Frame(FrameError),
+    /// The server sent a payload the client cannot decode.
+    Wire(WireError),
+    /// The server closed the connection at a frame boundary.
+    Eof,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Wire(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Eof => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to an `evolved` daemon.
+#[derive(Debug)]
+pub struct ServeClient {
+    conn: Conn,
+    max_frame: usize,
+}
+
+impl ServeClient {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_tcp(addr: &str) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient {
+            conn: Conn::Tcp(stream),
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Connects over a unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<ServeClient> {
+        Ok(ServeClient {
+            conn: Conn::Unix(UnixStream::connect(path)?),
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Connects to a `tcp:HOST:PORT` or `unix:PATH` target string.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an unrecognised scheme; otherwise connect
+    /// failures.
+    pub fn connect(target: &str) -> io::Result<ServeClient> {
+        if let Some(addr) = target.strip_prefix("tcp:") {
+            ServeClient::connect_tcp(addr)
+        } else if let Some(path) = target.strip_prefix("unix:") {
+            ServeClient::connect_unix(path)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("target must be tcp:ADDR or unix:PATH, got {target:?}"),
+            ))
+        }
+    }
+
+    /// Sends one request without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Framing or transport failures.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.conn, &encode_request(req), self.max_frame)?;
+        Ok(())
+    }
+
+    /// Receives the next response, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Eof`] on clean server close, otherwise framing or
+    /// decode failures.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.conn, self.max_frame)? {
+            Some(payload) => decode_response(&payload).map_err(ClientError::Wire),
+            None => Err(ClientError::Eof),
+        }
+    }
+
+    /// Sends one request and waits for one response.
+    ///
+    /// Only correct on a connection with no other requests in flight
+    /// (pipelined responses arrive in completion order).
+    ///
+    /// # Errors
+    ///
+    /// As [`send`](Self::send) and [`recv`](Self::recv).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,420 @@
+//! Shard workers: per-core evaluation loops with ModelSpec-affinity
+//! continuous batching.
+//!
+//! Each shard owns its engine caches outright (no locks on the hot
+//! path). Admitted requests are grouped by exact [`ModelSpec`]; a group
+//! dispatches the moment it fills the configured batch width, or at the
+//! `max_batch_delay` deadline if it is still underfull — so lanes fill
+//! toward the SIMD chunk width under load while a lone request never
+//! waits longer than the deadline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use evolve_core::{DeltaStats, EvalBackend, FastForwardStats};
+use evolve_explore::cache::{
+    delta_family_key, drive_prepared, drive_prepared_batch, prepare, prepare_batch, DeltaBases,
+    DeltaLaneOutcome, DeltaMode, EngineCaches, EngineOptions, PreparedDrive,
+};
+use evolve_explore::{ModelSpec, ScenarioOutcome};
+use evolve_model::Arrival;
+use evolve_obs::{
+    BatchCounters, DeltaCounters, MetricsSnapshot, ServeCounters, TelemetrySink,
+};
+
+use crate::net::Conn;
+use crate::protocol::{encode_response, write_frame, EvalResponse, Response};
+use crate::server::ServeConfig;
+
+/// How often a shard republishes its metrics snapshot at most.
+const PUBLISH_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Receiver poll granularity while no group is pending.
+const IDLE_TICK: Duration = Duration::from_millis(200);
+
+/// One admitted evaluation request, en route to its shard.
+pub(crate) struct Job {
+    pub id: u64,
+    pub spec: ModelSpec,
+    pub arrivals: Vec<Arrival>,
+    pub writer: Arc<Mutex<Conn>>,
+}
+
+/// A shard's public face: the job queue, its admission depth gauge, and
+/// the snapshot slot the metrics listener folds.
+pub(crate) struct ShardHandle {
+    pub sender: Sender<Job>,
+    pub depth: Arc<AtomicUsize>,
+    pub published: Arc<Mutex<MetricsSnapshot>>,
+    pub join: JoinHandle<()>,
+}
+
+/// Spawns one shard worker thread.
+pub(crate) fn spawn_shard(index: usize, cfg: Arc<ServeConfig>) -> ShardHandle {
+    let (sender, receiver) = mpsc::channel::<Job>();
+    let depth = Arc::new(AtomicUsize::new(0));
+    let published = Arc::new(Mutex::new(MetricsSnapshot::default()));
+    let worker_depth = Arc::clone(&depth);
+    let worker_published = Arc::clone(&published);
+    let join = std::thread::Builder::new()
+        .name(format!("evolve-shard-{index}"))
+        .spawn(move || {
+            Worker::new(cfg, worker_depth, worker_published).run(receiver);
+        })
+        .expect("spawn shard worker");
+    ShardHandle {
+        sender,
+        depth,
+        published,
+        join,
+    }
+}
+
+struct Group {
+    jobs: Vec<Job>,
+    first_at: Instant,
+}
+
+struct Worker {
+    cfg: Arc<ServeConfig>,
+    options: EngineOptions,
+    caches: EngineCaches,
+    bases: DeltaBases,
+    sink: Option<Box<TelemetrySink>>,
+    counters: ServeCounters,
+    depth: Arc<AtomicUsize>,
+    published: Arc<Mutex<MetricsSnapshot>>,
+    last_publish: Option<Instant>,
+}
+
+impl Worker {
+    fn new(
+        cfg: Arc<ServeConfig>,
+        depth: Arc<AtomicUsize>,
+        published: Arc<Mutex<MetricsSnapshot>>,
+    ) -> Self {
+        let options = cfg.engine_options();
+        let sink = cfg.telemetry.then(|| Box::new(TelemetrySink::new()));
+        Worker {
+            cfg,
+            options,
+            caches: EngineCaches::default(),
+            bases: DeltaBases::default(),
+            sink,
+            counters: ServeCounters::default(),
+            depth,
+            published,
+            last_publish: None,
+        }
+    }
+
+    fn run(mut self, receiver: Receiver<Job>) {
+        let width = self.cfg.batch_width.max(1);
+        let immediate = self.cfg.naive || width == 1;
+        let mut groups: Vec<(ModelSpec, Group)> = Vec::new();
+        self.publish(true);
+        loop {
+            let timeout = groups
+                .iter()
+                .map(|(_, g)| {
+                    (g.first_at + self.cfg.max_batch_delay)
+                        .saturating_duration_since(Instant::now())
+                })
+                .min()
+                .unwrap_or(IDLE_TICK);
+            match receiver.recv_timeout(timeout) {
+                Ok(job) => {
+                    self.counters.requests += 1;
+                    if immediate {
+                        let spec = job.spec.clone();
+                        self.dispatch(&spec, vec![job], true);
+                        continue;
+                    }
+                    let pos = groups.iter().position(|(spec, _)| *spec == job.spec);
+                    match pos {
+                        Some(i) => groups[i].1.jobs.push(job),
+                        None => {
+                            groups.push((
+                                job.spec.clone(),
+                                Group {
+                                    first_at: Instant::now(),
+                                    jobs: vec![job],
+                                },
+                            ));
+                        }
+                    }
+                    let full = groups
+                        .iter()
+                        .position(|(_, g)| g.jobs.len() >= width)
+                        .map(|i| groups.swap_remove(i));
+                    if let Some((spec, group)) = full {
+                        self.dispatch(&spec, group.jobs, true);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle tick: counters accrued since the last
+                    // (throttled) dispatch publish become visible.
+                    self.publish(false);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Graceful drain: every already-admitted request is
+                    // evaluated and answered before the shard exits.
+                    for (spec, group) in groups.drain(..) {
+                        self.dispatch(&spec, group.jobs, false);
+                    }
+                    self.publish(true);
+                    return;
+                }
+            }
+            let now = Instant::now();
+            let mut i = 0;
+            while i < groups.len() {
+                if now.saturating_duration_since(groups[i].1.first_at) >= self.cfg.max_batch_delay
+                {
+                    let (spec, group) = groups.swap_remove(i);
+                    self.dispatch(&spec, group.jobs, false);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, spec: &ModelSpec, jobs: Vec<Job>, full: bool) {
+        if full {
+            self.counters.batches_full += 1;
+        } else {
+            self.counters.batches_deadline += 1;
+        }
+        let n = jobs.len();
+        let batchable = !self.cfg.naive
+            && n >= 2
+            && spec.backend == EvalBackend::Compiled
+            && jobs.iter().all(|j| !j.arrivals.is_empty());
+        if batchable {
+            self.dispatch_batched(spec, jobs);
+        } else {
+            for job in jobs {
+                self.eval_scalar(spec, job, n as u32);
+            }
+        }
+        self.depth.fetch_sub(n, Ordering::SeqCst);
+        self.publish(false);
+    }
+
+    fn dispatch_batched(&mut self, spec: &ModelSpec, jobs: Vec<Job>) {
+        let n = jobs.len();
+        let options = self.options;
+        let supported = self
+            .caches
+            .batch
+            .entry(spec.clone())
+            .or_insert_with(|| prepare_batch(spec, &options, n).map(|p| vec![p]))
+            .is_ok();
+        if !supported {
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record_batch(BatchCounters {
+                    eject_unsupported: n as u64,
+                    ..BatchCounters::default()
+                });
+            }
+            for job in jobs {
+                self.eval_scalar(spec, job, n as u32);
+            }
+            return;
+        }
+        let mut prepared = {
+            let pool = self
+                .caches
+                .batch
+                .get_mut(spec)
+                .and_then(|r| r.as_mut().ok())
+                .expect("pool just inserted as supported");
+            pool.pop()
+        };
+        let mut prepared = match prepared.take() {
+            Some(p) => p,
+            None => prepare_batch(spec, &options, n).expect("spec known batch-supported"),
+        };
+        let before_iters = prepared.engine.stats().batched_iterations;
+        let before_kernel = prepared.engine.kernel_dispatch();
+        let traces: Vec<&[Arrival]> = jobs.iter().map(|j| j.arrivals.as_slice()).collect();
+        let (outcomes, _reused, _wall) = drive_prepared_batch(&mut prepared, &traces, &mut self.sink);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let after_kernel = prepared.engine.kernel_dispatch();
+            sink.record_batch(BatchCounters {
+                batch_width: self.cfg.batch_width as u64,
+                batches_formed: 1,
+                lanes_batched: n as u64,
+                lockstep_iterations: prepared
+                    .engine
+                    .stats()
+                    .batched_iterations
+                    .saturating_sub(before_iters),
+                kernel_chunked_sweeps: after_kernel
+                    .chunked_sweeps
+                    .saturating_sub(before_kernel.chunked_sweeps),
+                kernel_scalar_sweeps: after_kernel
+                    .scalar_sweeps
+                    .saturating_sub(before_kernel.scalar_sweeps),
+                ..BatchCounters::default()
+            });
+        }
+        for (lane, (job, outcome)) in jobs.into_iter().zip(outcomes).enumerate() {
+            let ff = prepared.engine.lane_fast_forward_stats(lane);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record_engine(outcome.engine_stats.into());
+                sink.record_ff(ff.into());
+            }
+            self.counters.lanes_batched += 1;
+            let resp = eval_ok(job.id, &outcome, ff, None, true, n as u32);
+            self.respond(&job.writer, &Response::EvalOk(resp));
+        }
+        if let Some(Ok(pool)) = self.caches.batch.get_mut(spec) {
+            pool.push(prepared);
+        }
+    }
+
+    fn eval_scalar(&mut self, spec: &ModelSpec, job: Job, lanes_in_batch: u32) {
+        let options = self.options;
+        let key = (self.cfg.delta && !self.cfg.naive && !job.arrivals.is_empty())
+            .then(|| delta_family_key(spec))
+            .flatten();
+        let base = key.as_ref().and_then(|k| self.bases.get(k).cloned());
+        let mode = match (&base, &key) {
+            (Some(arc), _) => DeltaMode::Sibling(arc),
+            (None, Some(_)) => DeltaMode::CaptureBase,
+            (None, None) => DeltaMode::Off,
+        };
+        let drive = if self.cfg.naive {
+            // Baseline serving strategy: a fresh engine per request, no
+            // cache, no delta chain — what a one-request-per-process
+            // evaluator would do.
+            let mut fresh = prepare(spec, &options);
+            drive_prepared(&mut fresh, &job.arrivals, &options, &mut self.sink, mode)
+        } else {
+            drive_prepared(
+                self.caches.scalar_mut(spec, &options),
+                &job.arrivals,
+                &options,
+                &mut self.sink,
+                mode,
+            )
+        };
+        let PreparedDrive {
+            outcome,
+            fast_forward,
+            delta,
+            ..
+        } = drive;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record_engine(outcome.engine_stats.into());
+            sink.record_ff(fast_forward.into());
+        }
+        let mut attached: Option<DeltaStats> = None;
+        match delta {
+            DeltaLaneOutcome::Captured(cache) => {
+                if let Some(k) = key {
+                    self.bases.insert(k, cache);
+                }
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record_delta(DeltaCounters {
+                        lanes_base: 1,
+                        ..DeltaCounters::default()
+                    });
+                }
+            }
+            DeltaLaneOutcome::Attached(stats) => {
+                attached = Some(stats);
+                self.counters.lanes_delta += 1;
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    let mut dc: DeltaCounters = stats.into();
+                    dc.lanes_delta = 1;
+                    sink.record_delta(dc);
+                }
+            }
+            DeltaLaneOutcome::NotRequested
+            | DeltaLaneOutcome::CaptureFailed(_)
+            | DeltaLaneOutcome::Ejected(_) => {}
+        }
+        self.counters.lanes_scalar += 1;
+        let resp = eval_ok(job.id, &outcome, fast_forward, attached, false, lanes_in_batch);
+        self.respond(&job.writer, &Response::EvalOk(resp));
+    }
+
+    fn respond(&mut self, writer: &Arc<Mutex<Conn>>, resp: &Response) {
+        let payload = encode_response(resp);
+        let mut conn = writer.lock().unwrap_or_else(|e| e.into_inner());
+        match write_frame(&mut *conn, &payload, self.cfg.max_frame_len) {
+            Ok(()) => {
+                if matches!(resp, Response::EvalOk(_)) {
+                    self.counters.responses += 1;
+                }
+            }
+            Err(_) => {
+                // Peer gone mid-response; nothing to do but count it.
+                self.counters.errors += 1;
+            }
+        }
+    }
+
+    fn publish(&mut self, force: bool) {
+        if !force {
+            if let Some(last) = self.last_publish {
+                if last.elapsed() < PUBLISH_INTERVAL {
+                    return;
+                }
+            }
+        }
+        self.last_publish = Some(Instant::now());
+        let mut snap = match self.sink.as_deref_mut() {
+            Some(sink) => sink.snapshot(),
+            None => MetricsSnapshot::default(),
+        };
+        snap.serve = self.counters;
+        *self.published.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+    }
+}
+
+/// Builds the wire response for one evaluated lane.
+fn eval_ok(
+    id: u64,
+    outcome: &ScenarioOutcome,
+    ff: FastForwardStats,
+    delta: Option<DeltaStats>,
+    batched: bool,
+    lanes_in_batch: u32,
+) -> EvalResponse {
+    let es = outcome.engine_stats;
+    EvalResponse {
+        id,
+        outputs: outcome.outputs.clone(),
+        input_acks: outcome.input_acks.clone(),
+        engine: [
+            es.nodes_computed,
+            es.arcs_evaluated,
+            es.iterations_completed,
+            es.lanes_evaluated,
+            es.batched_iterations,
+        ],
+        ff: [ff.promotions, ff.demotions, ff.fast_forwarded_iterations],
+        delta_attached: delta.is_some(),
+        delta: delta
+            .map(|d| {
+                [
+                    d.calls_delta,
+                    d.calls_full,
+                    d.nodes_reused,
+                    d.nodes_recomputed,
+                    d.nodes_settled,
+                    d.frontier_collapses,
+                ]
+            })
+            .unwrap_or_default(),
+        batched,
+        lanes_in_batch,
+    }
+}

@@ -1,0 +1,49 @@
+//! Minimal SIGTERM/SIGINT latch without a libc dependency.
+//!
+//! The handler only stores into an atomic flag (async-signal-safe); the
+//! daemon's main loop polls [`triggered`] and runs the graceful drain
+//! from ordinary thread context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod raw {
+    // Declared by hand: the workspace is offline and must not pull in
+    // the `libc` crate for two syscall wrappers.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::TRIGGERED.store(true, super::Ordering::SeqCst);
+    }
+
+    pub(super) fn install(signum: i32) {
+        // SAFETY: `signal(2)` with a function pointer whose body is a
+        // single atomic store; both are async-signal-safe.
+        unsafe {
+            signal(signum, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Installs the latch for SIGTERM and SIGINT. Idempotent.
+pub fn install() {
+    raw::install(SIGTERM);
+    raw::install(SIGINT);
+}
+
+/// Whether a termination signal has been received since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Resets the latch (test support).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
