@@ -30,6 +30,9 @@ OPTIONS:
     --batch-width N          lanes per affinity batch [default: SIMD chunk width]
     --max-batch-delay-us N   continuous-batching deadline in microseconds [default: 2000]
     --max-queue-depth N      per-shard admission cap [default: 1024]
+    --max-connections N      concurrent connection cap [default: 1024]
+    --write-timeout-ms N     response write timeout, 0 = none [default: 5000]
+    --max-trace-tokens N     generated-trace arrivals cap [default: 524288]
     --naive                  baseline mode: fresh engine per request, no batching
     --no-delta               disable cross-request delta chaining
     --no-fast-forward        disable periodic fast-forward
@@ -86,6 +89,18 @@ fn main() -> ExitCode {
             },
             "--max-queue-depth" => match value("--max-queue-depth").and_then(parse_usize) {
                 Ok(v) => config.max_queue_depth = v.max(1),
+                Err(e) => return fail(&e),
+            },
+            "--max-connections" => match value("--max-connections").and_then(parse_usize) {
+                Ok(v) => config.max_connections = v.max(1),
+                Err(e) => return fail(&e),
+            },
+            "--write-timeout-ms" => match value("--write-timeout-ms").and_then(parse_u64) {
+                Ok(v) => config.write_timeout = Duration::from_millis(v),
+                Err(e) => return fail(&e),
+            },
+            "--max-trace-tokens" => match value("--max-trace-tokens").and_then(parse_u64) {
+                Ok(v) => config.max_trace_tokens = v,
                 Err(e) => return fail(&e),
             },
             "--naive" => config.naive = true,

@@ -36,6 +36,16 @@ impl Conn {
         }
     }
 
+    /// Sets the write timeout (`SO_SNDTIMEO`), so a peer that stops
+    /// reading cannot block a response writer forever on a full send
+    /// buffer.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(dur),
+            Conn::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
+
     /// Shuts down both directions, unblocking any peer reads.
     pub fn shutdown(&self) {
         match self {

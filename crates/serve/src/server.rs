@@ -26,7 +26,7 @@ use evolve_obs::{prometheus, MetricsSnapshot};
 use crate::net::Conn;
 use crate::protocol::{
     decode_request, encode_response, write_frame, FrameReader, ModelRef, Request, Response,
-    DEFAULT_MAX_FRAME,
+    TracePayload, DEFAULT_MAX_FRAME,
 };
 use crate::shard::{spawn_shard, Job, ShardHandle};
 
@@ -47,6 +47,22 @@ pub struct ServeConfig {
     pub max_queue_depth: usize,
     /// Per-frame payload cap, enforced before any allocation.
     pub max_frame_len: usize,
+    /// Concurrent-connection cap across all listeners; a connection past
+    /// it gets one typed error frame and is closed.
+    pub max_connections: usize,
+    /// Response write timeout (`SO_SNDTIMEO`): a client that stops
+    /// reading is disconnected instead of blocking a shard on its full
+    /// send buffer. `Duration::ZERO` disables the timeout.
+    pub write_timeout: Duration,
+    /// Cap on the arrivals a generated trace may materialise, enforced
+    /// at admission before any allocation. Matches the ~512 Ki offers an
+    /// explicit trace can carry in a default-cap frame.
+    pub max_trace_tokens: u64,
+    /// Cap on wire-supplied model stages (a model must also have at
+    /// least one stage).
+    pub max_model_stages: usize,
+    /// Cap on wire-supplied padding nodes.
+    pub max_model_padding: usize,
     /// Record full observation streams (slower; only needed when
     /// replaying per-resource timelines).
     pub record_observations: bool,
@@ -74,6 +90,11 @@ impl Default for ServeConfig {
             max_batch_delay: Duration::from_millis(2),
             max_queue_depth: 1024,
             max_frame_len: DEFAULT_MAX_FRAME,
+            max_connections: 1024,
+            write_timeout: Duration::from_secs(5),
+            max_trace_tokens: 1 << 19,
+            max_model_stages: 4096,
+            max_model_padding: 1 << 16,
             record_observations: false,
             fast_forward: FastForward::On,
             ff_confirm_periods: PeriodicConfig::default().confirm_periods,
@@ -389,7 +410,23 @@ fn accept_unix(listener: UnixListener, ctx: Arc<ServerCtx>) {
     }
 }
 
-fn spawn_reader(conn: Conn, ctx: &Arc<ServerCtx>) {
+fn spawn_reader(mut conn: Conn, ctx: &Arc<ServerCtx>) {
+    let mut joins = ctx.reader_joins.lock().unwrap_or_else(|e| e.into_inner());
+    // Reap readers whose connections already closed, so a long-running
+    // daemon neither leaks JoinHandles nor counts dead connections
+    // against the cap.
+    joins.retain(|j| !j.is_finished());
+    if joins.len() >= ctx.cfg.max_connections {
+        // Best-effort typed refusal, then close; the write timeout keeps
+        // a non-reading peer from blocking the accept loop.
+        let _ = conn.set_write_timeout(Some(Duration::from_millis(100)));
+        let payload = encode_response(&Response::Error {
+            id: 0,
+            message: format!("connection limit {} reached", ctx.cfg.max_connections),
+        });
+        let _ = write_frame(&mut conn, &payload, ctx.cfg.max_frame_len);
+        return;
+    }
     ctx.counters.connections.fetch_add(1, Ordering::SeqCst);
     let shard_idx =
         ctx.next_shard.fetch_add(1, Ordering::SeqCst) % ctx.ports.len().max(1);
@@ -398,10 +435,7 @@ fn spawn_reader(conn: Conn, ctx: &Arc<ServerCtx>) {
         .name("evolve-conn".into())
         .spawn(move || reader_loop(conn, shard_idx, ctx2))
         .expect("spawn connection reader");
-    ctx.reader_joins
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push(join);
+    joins.push(join);
 }
 
 fn reader_loop(mut conn: Conn, shard_idx: usize, ctx: Arc<ServerCtx>) {
@@ -412,6 +446,14 @@ fn reader_loop(mut conn: Conn, shard_idx: usize, ctx: Arc<ServerCtx>) {
     if conn.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
         return;
     }
+    // SO_SNDTIMEO lives on the shared socket, so setting it here also
+    // bounds the shard workers' response writes through the clone: a
+    // peer that stops reading gets disconnected, not waited on forever.
+    if ctx.cfg.write_timeout > Duration::ZERO
+        && conn.set_write_timeout(Some(ctx.cfg.write_timeout)).is_err()
+    {
+        return;
+    }
     let mut frames = FrameReader::new(ctx.cfg.max_frame_len);
     let mut buf = [0u8; 16 * 1024];
     loop {
@@ -420,6 +462,12 @@ fn reader_loop(mut conn: Conn, shard_idx: usize, ctx: Arc<ServerCtx>) {
             Ok(n) => {
                 frames.extend(&buf[..n]);
                 if !drain_frames(&mut frames, &writer, shard_idx, &ctx) {
+                    break;
+                }
+                // Re-check shutdown on the hot path too: a peer that
+                // streams continuously never hits the timeout arm and
+                // must not stall graceful drain indefinitely.
+                if ctx.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
             }
@@ -474,6 +522,48 @@ fn drain_frames(
     }
 }
 
+/// Admission validation of a wire-supplied model: `spec.build()` asserts
+/// on zero stages and allocates proportionally to stages + padding, so
+/// both are bounded here — before the spec reaches a shard — and the
+/// client gets a typed error instead of a dead shard or an OOM.
+fn validate_spec(spec: &ModelSpec, cfg: &ServeConfig) -> Result<(), String> {
+    let stages = match spec.kind {
+        ModelKind::Didactic { stages } => stages,
+        ModelKind::Pipeline { stages, .. } => stages,
+    };
+    if stages == 0 {
+        return Err("model must have at least one stage".to_string());
+    }
+    if stages > cfg.max_model_stages {
+        return Err(format!(
+            "model stages {stages} exceed cap {}",
+            cfg.max_model_stages
+        ));
+    }
+    if spec.padding > cfg.max_model_padding {
+        return Err(format!(
+            "model padding {} exceeds cap {}",
+            spec.padding, cfg.max_model_padding
+        ));
+    }
+    Ok(())
+}
+
+/// Admission validation of the trace: a generated trace materialises
+/// `tokens` arrivals, so the count is bounded before any allocation.
+/// (Explicit offers are already bounded by the frame cap.)
+fn validate_trace(trace: &TracePayload, cfg: &ServeConfig) -> Result<(), String> {
+    if let TracePayload::Generated(spec) = trace {
+        if spec.tokens > cfg.max_trace_tokens {
+            return Err(format!(
+                "generated trace tokens {} exceed cap {}",
+                spec.tokens, cfg.max_trace_tokens
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn handle_payload(
     payload: &[u8],
     writer: &Arc<Mutex<Conn>>,
@@ -500,6 +590,10 @@ fn handle_payload(
             respond(writer, &Response::Pong { nonce }, ctx);
         }
         Request::Load { name, spec } => {
+            if let Err(message) = validate_spec(&spec, &ctx.cfg) {
+                respond(writer, &Response::Error { id: 0, message }, ctx);
+                return true;
+            }
             ctx.registry
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -532,6 +626,12 @@ fn handle_payload(
                     }
                 }
             };
+            if let Err(message) = validate_spec(&spec, &ctx.cfg)
+                .and_then(|()| validate_trace(&req.trace, &ctx.cfg))
+            {
+                respond(writer, &Response::Error { id: req.id, message }, ctx);
+                return true;
+            }
             let port = &ctx.ports[shard_idx];
             let admitted = port
                 .depth
@@ -569,7 +669,11 @@ fn handle_payload(
 fn respond(writer: &Arc<Mutex<Conn>>, resp: &Response, ctx: &Arc<ServerCtx>) {
     let payload = encode_response(resp);
     let mut conn = writer.lock().unwrap_or_else(|e| e.into_inner());
-    let _ = write_frame(&mut *conn, &payload, ctx.cfg.max_frame_len);
+    if write_frame(&mut *conn, &payload, ctx.cfg.max_frame_len).is_err() {
+        // A failed (or timed-out, partial) write leaves the frame stream
+        // unsynchronisable; close both halves so the reader exits too.
+        conn.shutdown();
+    }
 }
 
 // ---------------------------------------------------------------------------

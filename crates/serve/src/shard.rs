@@ -355,7 +355,10 @@ impl Worker {
                 }
             }
             Err(_) => {
-                // Peer gone mid-response; nothing to do but count it.
+                // Peer gone or write timed out mid-response: the frame
+                // stream is unsynchronisable, so close both halves
+                // (unblocking the connection's reader) and count it.
+                conn.shutdown();
                 self.counters.errors += 1;
             }
         }
