@@ -20,6 +20,14 @@
 //! runs gate on ratio ≥ 2 and publish `results/bench_serve.json`;
 //! `--quick` gates on ratio > 1 plus lanes-per-batch > 1 and is what
 //! `ci.sh` drives against a real `evolved` process.
+//!
+//! `--large-model` flips the workload to the anti-affinity regime: one
+//! wide partitioned-backend model too parallel for lockstep batching
+//! (every lane ejects to the scalar path), and the two phases become an
+//! in-process daemon with intra-graph partition workers vs the same
+//! daemon sweeping serially. The gate is again the within-run ratio —
+//! and only applies where the host has >= 2 cores, because partition
+//! workers on one core merely take turns.
 
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -45,6 +53,8 @@ USAGE:
 
 OPTIONS:
     --quick              smoke mode: short phases, relaxed ratio gate (> 1x)
+    --large-model        anti-affinity workload: one wide partitioned-backend
+                         model; compares partition workers vs serial sweeps
     --connect TARGET     drive an external daemon (tcp:HOST:PORT or unix:PATH)
                          for the affinity phase instead of an in-process one
     --metrics ADDR       HOST:PORT of the daemon's /metrics listener to check
@@ -56,8 +66,8 @@ OPTIONS:
     -h, --help           print this help
 ";
 
-/// The shared workload: every client asks for this spec, so one affinity
-/// group forms per shard and lanes fill to the SIMD chunk width.
+/// The shared affinity workload: every client asks for this spec, so one
+/// affinity group forms per shard and lanes fill to the SIMD chunk width.
 fn workload_spec() -> ModelSpec {
     ModelSpec {
         kind: ModelKind::Pipeline {
@@ -70,12 +80,28 @@ fn workload_spec() -> ModelSpec {
     }
 }
 
+/// The anti-affinity workload: a wide chained-padding graph on the
+/// partitioned backend. Every request ejects from lockstep batching and
+/// is answered by one intra-graph level-parallel sweep.
+fn large_model_spec() -> ModelSpec {
+    ModelSpec {
+        kind: ModelKind::WidePipeline {
+            stages: 6,
+            base: 80,
+            per_unit: 2,
+            chains: 32,
+        },
+        padding: 4_096,
+        backend: EvalBackend::CompiledParallel,
+    }
+}
+
 const TOKENS_PER_REQUEST: u64 = 24;
 
-fn request(id: u64) -> Request {
+fn request(id: u64, spec: &ModelSpec) -> Request {
     Request::Eval(EvalRequest {
         id,
-        model: ModelRef::Inline(workload_spec()),
+        model: ModelRef::Inline(spec.clone()),
         trace: TracePayload::Generated(TraceSpec {
             tokens: TOKENS_PER_REQUEST,
             min_size: 1,
@@ -144,12 +170,13 @@ impl Phase {
 /// then stops them at the next response boundary and folds the tallies.
 /// The wall clock covers spawn-to-join so the scenarios/second figure is
 /// sustained throughput, not a burst measurement.
-fn drive_clients(target: &str, clients: usize, duration: Duration) -> Phase {
+fn drive_clients(target: &str, spec: &ModelSpec, clients: usize, duration: Duration) -> Phase {
     let stop = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
     let joins: Vec<_> = (0..clients)
         .map(|c| {
             let target = target.to_string();
+            let spec = spec.clone();
             let stop = Arc::clone(&stop);
             thread::spawn(move || {
                 let mut client = ServeClient::connect(&target).expect("serve-bench connect");
@@ -158,7 +185,7 @@ fn drive_clients(target: &str, clients: usize, duration: Duration) -> Phase {
                 while !stop.load(Ordering::Relaxed) {
                     let id = ((c as u64) << 32) | seq;
                     seq += 1;
-                    match client.call(&request(id)) {
+                    match client.call(&request(id, &spec)) {
                         Ok(Response::EvalOk(ok)) => {
                             assert_eq!(ok.id, id, "response for the wrong request");
                             tally.responses += 1;
@@ -201,6 +228,7 @@ fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
 
 struct Options {
     quick: bool,
+    large_model: bool,
     connect: Option<String>,
     metrics: Option<String>,
     clients: usize,
@@ -210,6 +238,7 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut quick = false;
+    let mut large_model = false;
     let mut connect = None;
     let mut metrics = None;
     let mut clients = None;
@@ -220,6 +249,7 @@ fn parse_args() -> Result<Options, String> {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
             "--quick" => quick = true,
+            "--large-model" => large_model = true,
             "--connect" => connect = Some(value("--connect")?),
             "--metrics" => metrics = Some(value("--metrics")?),
             "--clients" => {
@@ -244,17 +274,22 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    if large_model && connect.is_some() {
+        return Err("--large-model runs both phases in-process; drop --connect".into());
+    }
     Ok(Options {
         quick,
+        large_model,
         connect,
         metrics,
         clients: clients.unwrap_or(if quick { 8 } else { 16 }),
         duration: Duration::from_millis(duration_ms.unwrap_or(if quick { 400 } else { 2500 })),
         out: out.unwrap_or_else(|| {
-            if quick {
-                "results/bench_serve_smoke.json".into()
-            } else {
-                "results/bench_serve.json".into()
+            match (large_model, quick) {
+                (true, true) => "results/bench_serve_large_smoke.json".into(),
+                (true, false) => "results/bench_serve_large.json".into(),
+                (false, true) => "results/bench_serve_smoke.json".into(),
+                (false, false) => "results/bench_serve.json".into(),
             }
         }),
     })
@@ -280,19 +315,36 @@ fn main() -> ExitCode {
         }
     };
 
-    // Phase 1: affinity-batched daemon — external if --connect was given,
-    // else an in-process server with default batching configuration.
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    let spec = if opts.large_model {
+        large_model_spec()
+    } else {
+        workload_spec()
+    };
+    // Partition workers for the large-model phase 1: enough to matter,
+    // capped so client threads still get cores to run on.
+    let partition_workers = cores.clamp(2, 4);
+    let phase1_label = if opts.large_model { "partitioned" } else { "affinity" };
+    let phase2_label = if opts.large_model { "serial" } else { "naive" };
+
+    // Phase 1: the daemon under test — external if --connect was given,
+    // else an in-process server (default batching configuration, plus
+    // intra-graph partition workers in --large-model mode).
     let mut local = None;
     let mut metrics = opts.metrics.clone();
     let affinity_target = match &opts.connect {
         Some(target) => target.clone(),
         None => {
+            let config = ServeConfig {
+                partition_threads: if opts.large_model { partition_workers } else { 1 },
+                ..ServeConfig::default()
+            };
             let server = Server::start(
-                ServeConfig::default(),
+                config,
                 &[Bind::Tcp("127.0.0.1:0".into())],
                 Some("127.0.0.1:0"),
             )
-            .expect("in-process affinity server");
+            .expect("in-process phase-1 server");
             let target = format!("tcp:{}", server.tcp_addr().expect("tcp bound"));
             if metrics.is_none() {
                 metrics = server.metrics_addr().map(|a| a.to_string());
@@ -302,11 +354,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "affinity phase: {} clients x {} ms against {affinity_target}",
+        "{phase1_label} phase: {} clients x {} ms against {affinity_target}",
         opts.clients,
         opts.duration.as_millis()
     );
-    let affinity = drive_clients(&affinity_target, opts.clients, opts.duration);
+    let affinity = drive_clients(&affinity_target, &spec, opts.clients, opts.duration);
 
     // Scrape /metrics while the affinity daemon is still alive.
     let metrics_ok = match &metrics {
@@ -330,44 +382,50 @@ fn main() -> ExitCode {
         server.shutdown_and_join();
     }
 
-    // Phase 2: the naive per-request-engine baseline, always in-process
-    // so the ratio is measured within this run on this host.
+    // Phase 2: the baseline, always in-process so the ratio is measured
+    // within this run on this host — naive per-request engines for the
+    // affinity workload, the serial compiled sweep (same daemon, no
+    // partition workers) for the large model.
     let naive_server = Server::start(
         ServeConfig {
-            naive: true,
+            naive: !opts.large_model,
             ..ServeConfig::default()
         },
         &[Bind::Tcp("127.0.0.1:0".into())],
         None,
     )
-    .expect("in-process naive server");
+    .expect("in-process phase-2 server");
     let naive_target = format!("tcp:{}", naive_server.tcp_addr().expect("tcp bound"));
     println!(
-        "naive phase:    {} clients x {} ms against {naive_target}",
+        "{phase2_label} phase:    {} clients x {} ms against {naive_target}",
         opts.clients,
         opts.duration.as_millis()
     );
-    let naive = drive_clients(&naive_target, opts.clients, opts.duration);
+    let naive = drive_clients(&naive_target, &spec, opts.clients, opts.duration);
     naive_server.shutdown_and_join();
 
     let ratio = affinity.scenarios_per_second() / naive.scenarios_per_second().max(1e-9);
     let lanes_per_batch = affinity.tally.lanes_per_batched_response();
     println!(
-        "affinity: {:8.1} scenarios/s ({} responses, {:.2} lanes/batch)",
+        "{phase1_label}: {:8.1} scenarios/s ({} responses, {:.2} lanes/batch)",
         affinity.scenarios_per_second(),
         affinity.tally.responses,
         lanes_per_batch
     );
     println!(
-        "naive:    {:8.1} scenarios/s ({} responses)",
+        "{phase2_label}:    {:8.1} scenarios/s ({} responses)",
         naive.scenarios_per_second(),
         naive.tally.responses
     );
-    println!("within-run ratio (affinity / naive): {ratio:.2}x");
+    println!("within-run ratio ({phase1_label} / {phase2_label}): {ratio:.2}x");
 
     let doc = Json::object([
         ("benchmark", Json::str("serve")),
         ("mode", Json::str(if opts.quick { "quick" } else { "full" })),
+        (
+            "workload_mode",
+            Json::str(if opts.large_model { "large-model" } else { "affinity" }),
+        ),
         ("clients", Json::U64(opts.clients as u64)),
         ("duration_ms", Json::U64(opts.duration.as_millis() as u64)),
         (
@@ -375,28 +433,61 @@ fn main() -> ExitCode {
             Json::object([
                 (
                     "model",
-                    Json::str("pipeline stages=8 base=60 per_unit=1 padding=64"),
+                    Json::str(if opts.large_model {
+                        "wide-pipeline stages=6 base=80 per_unit=2 chains=32 \
+                         padding=4096 backend=compiled-parallel"
+                    } else {
+                        "pipeline stages=8 base=60 per_unit=1 padding=64"
+                    }),
                 ),
                 ("tokens_per_request", Json::U64(TOKENS_PER_REQUEST)),
             ]),
         ),
-        ("affinity", affinity.to_json()),
-        ("naive", naive.to_json()),
+        (
+            "partition_workers",
+            Json::U64(if opts.large_model { partition_workers as u64 } else { 0 }),
+        ),
+        ("host_cores", Json::U64(cores as u64)),
+        (phase1_label, affinity.to_json()),
+        (phase2_label, naive.to_json()),
         ("speedup", Json::F64(ratio)),
         ("lanes_per_batch", Json::F64(lanes_per_batch)),
     ]);
     write_report(&opts.out, &doc);
 
     // Gates. Throughput is compared only within this run (host speed
-    // drifts); lanes-per-batch proves the affinity batcher actually
-    // filled lockstep lanes rather than winning some other way.
+    // drifts, so absolute scenarios/second is never gated). In affinity
+    // mode, lanes-per-batch proves the batcher actually filled lockstep
+    // lanes rather than winning some other way; in large-model mode the
+    // same counter proves every lane *ejected* (partitioned models must
+    // never enter a lockstep batch).
+    if let Some(parses) = metrics_ok {
+        assert!(parses, "/metrics exposition is missing serve families");
+    }
+    if opts.large_model {
+        assert_eq!(
+            affinity.tally.batched, 0,
+            "partitioned-backend lanes must eject from lockstep batching"
+        );
+        if cores >= 2 {
+            assert!(
+                ratio > 1.0,
+                "partition workers should beat the serial sweep within-run on a \
+                 {cores}-core host (got {ratio:.2}x)"
+            );
+        } else {
+            println!(
+                "large-model ratio gate skipped: single-core host \
+                 (partitioned/serial {ratio:.2}x)"
+            );
+        }
+        println!("serve-bench gates passed");
+        return ExitCode::SUCCESS;
+    }
     assert!(
         lanes_per_batch > 1.0,
         "affinity phase never formed a multi-lane batch (lanes/batch = {lanes_per_batch:.2})"
     );
-    if let Some(parses) = metrics_ok {
-        assert!(parses, "/metrics exposition is missing serve families");
-    }
     if opts.quick {
         assert!(
             ratio > 1.0,

@@ -55,6 +55,15 @@ pub enum EvalBackend {
     /// worklist within the same engine.
     #[default]
     Compiled,
+    /// The compiled sweep with the intra-graph partitioned parallel path
+    /// enabled ([`crate::ParallelConfig`]): large iterations are swept by a
+    /// pool of workers over per-level slot partitions, exchanging only the
+    /// cross-partition arc frontier. Bitwise identical to [`Compiled`]
+    /// (see `tests/partition_conformance.rs`); graphs below the engagement
+    /// threshold evaluate on the serial sweep unchanged.
+    ///
+    /// [`Compiled`]: EvalBackend::Compiled
+    CompiledParallel,
 }
 
 impl EvalBackend {
@@ -63,6 +72,7 @@ impl EvalBackend {
         match self {
             EvalBackend::Worklist => "worklist",
             EvalBackend::Compiled => "compiled",
+            EvalBackend::CompiledParallel => "compiled-parallel",
         }
     }
 }

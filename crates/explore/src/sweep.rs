@@ -55,7 +55,8 @@ use std::time::{Duration as HostDuration, Instant};
 
 use evolve_core::{
     synthetic, BatchedEngine, DeltaCache, DeltaStats, DetectedPeriod, Engine, EngineStats,
-    EvalBackend, FastForward, FastForwardStats, KernelDispatchStats, PeriodicConfig,
+    EvalBackend, FastForward, FastForwardStats, KernelDispatchStats, ParallelConfig,
+    PartitionMode, PeriodicConfig,
 };
 use evolve_des::{SplitMix64, Time};
 use evolve_model::{
@@ -88,6 +89,19 @@ pub enum ModelKind {
         base: u64,
         /// Additional operations per token-size unit.
         per_unit: u64,
+    },
+    /// A [`Pipeline`](ModelKind::Pipeline) whose padding is spread over
+    /// `chains` parallel chains ([`synthetic::pad_wide`]) instead of one
+    /// deep chain — wide levels for the partitioned parallel path.
+    WidePipeline {
+        /// Pipeline length in functions (≥ 1).
+        stages: usize,
+        /// Base load in abstract operations.
+        base: u64,
+        /// Additional operations per token-size unit.
+        per_unit: u64,
+        /// Parallel padding chains (≥ 1; `1` is exactly `Pipeline`).
+        chains: usize,
     },
 }
 
@@ -128,10 +142,28 @@ impl ModelSpec {
                 stages,
                 base,
                 per_unit,
+            }
+            | ModelKind::WidePipeline {
+                stages,
+                base,
+                per_unit,
+                ..
             } => {
                 let p = synthetic::pipeline(stages, base, per_unit).expect("pipeline builds");
                 (p.arch, p.input, p.output)
             }
+        }
+    }
+
+    /// Pads `tdg` with this spec's computation-only nodes: one deep chain
+    /// for the classic kinds, `chains` parallel chains for
+    /// [`ModelKind::WidePipeline`].
+    pub fn pad_tdg(&self, tdg: &evolve_core::Tdg) -> evolve_core::Tdg {
+        match self.kind {
+            ModelKind::WidePipeline { chains, .. } => {
+                synthetic::pad_wide(tdg, self.padding, chains.max(1))
+            }
+            _ => synthetic::pad(tdg, self.padding),
         }
     }
 }
@@ -330,6 +362,14 @@ pub struct SweepConfig {
     /// identical either way (`--no-delta` on the sweep binary exists for
     /// A/B timing runs); see `docs/SWEEP.md` for chaining and tuning notes.
     pub delta: bool,
+    /// Partition workers for *intra-graph* parallel evaluation of scalar
+    /// compiled engines (`<= 1` = serial sweep, the default). Engages only
+    /// on graphs above the partition planner's engagement threshold, so
+    /// small models keep the cache-resident serial sweep; outcomes are
+    /// bitwise identical for any setting. See `docs/SWEEP.md`.
+    pub partition_threads: usize,
+    /// Frontier synchronization mode of the partitioned path.
+    pub partition_mode: PartitionMode,
 }
 
 impl Default for SweepConfig {
@@ -345,6 +385,8 @@ impl Default for SweepConfig {
             ff_confirm_periods: PeriodicConfig::default().confirm_periods,
             telemetry: false,
             delta: true,
+            partition_threads: 1,
+            partition_mode: PartitionMode::Barrier,
         }
     }
 }
@@ -387,6 +429,10 @@ pub struct BatchingStats {
     /// Scenarios ejected because [`BatchedEngine`] rejected the graph shape
     /// (multi-input, output acks, long size-derivation delays).
     pub eject_unsupported: u64,
+    /// Scenarios ejected because their model runs the scalar partitioned
+    /// backend ([`EvalBackend::CompiledParallel`]): intra-graph partition
+    /// workers replace cross-lane lockstep for those models.
+    pub eject_partitioned: u64,
 }
 
 impl From<BatchingStats> for evolve_obs::BatchCounters {
@@ -403,6 +449,7 @@ impl From<BatchingStats> for evolve_obs::BatchCounters {
             eject_empty_trace: b.eject_empty_trace,
             eject_single_lane: b.eject_single_lane,
             eject_unsupported: b.eject_unsupported,
+            eject_partitioned: b.eject_partitioned,
         }
     }
 }
@@ -419,6 +466,7 @@ impl BatchingStats {
         self.eject_empty_trace += other.eject_empty_trace;
         self.eject_single_lane += other.eject_single_lane;
         self.eject_unsupported += other.eject_unsupported;
+        self.eject_partitioned += other.eject_partitioned;
     }
 }
 
@@ -896,6 +944,14 @@ fn engine_options(config: &SweepConfig) -> EngineOptions {
         record_observations: config.record_observations,
         fast_forward: config.fast_forward,
         ff_confirm_periods: config.ff_confirm_periods,
+        // Workers stay unpinned under the sweep: its own thread pool (and
+        // the partition scopes of sibling units) shares the host cores.
+        partition: (config.partition_threads >= 2).then(|| ParallelConfig {
+            threads: config.partition_threads,
+            mode: config.partition_mode,
+            pin: false,
+            ..ParallelConfig::default()
+        }),
     }
 }
 
@@ -1105,6 +1161,10 @@ enum ScalarReason {
     EmptyTrace,
     /// The model group's leftover lane after full batches were carved off.
     SingleLane,
+    /// The model runs the scalar partitioned backend
+    /// ([`EvalBackend::CompiledParallel`]); its parallelism is
+    /// intra-graph, not cross-lane.
+    Partitioned,
 }
 
 /// A unit of worker-schedulable work: one scalar scenario, one *or more*
@@ -1221,6 +1281,12 @@ fn plan_units(scenarios: &[ScenarioSpec], config: &SweepConfig) -> Vec<WorkUnit>
                 index,
                 spec,
                 reason: ScalarReason::Worklist,
+            });
+        } else if spec.model.backend == EvalBackend::CompiledParallel {
+            units.push(WorkUnit::Scalar {
+                index,
+                spec,
+                reason: ScalarReason::Partitioned,
             });
         } else if spec.trace.tokens == 0 {
             units.push(WorkUnit::Scalar {
@@ -1467,6 +1533,10 @@ fn count_scalar(
         ScalarReason::SingleLane => {
             stats.eject_single_lane += 1;
             Some(EjectReason::SingleLane)
+        }
+        ScalarReason::Partitioned => {
+            stats.eject_partitioned += 1;
+            Some(EjectReason::Partitioned)
         }
     };
     if let (Some(sink), Some(reason)) = (tel.as_deref_mut(), eject) {

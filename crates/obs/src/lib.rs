@@ -41,8 +41,8 @@ pub use export::prometheus;
 pub use json::Json;
 pub use metrics::{
     BatchCounters, DeltaCounters, EngineCounters, EventCounters, FfCounters, FoldedResource,
-    LogHistogram, MetricsSnapshot, PeriodUsage, ResourceMetrics, ResourceSnapshot, ServeCounters,
-    TelemetrySink,
+    LogHistogram, MetricsSnapshot, PartitionCounters, PeriodUsage, ResourceMetrics,
+    ResourceSnapshot, ServeCounters, TelemetrySink,
 };
 pub use observer::{downcast, NullObserver, Observer};
 pub use trace::TraceCollector;

@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use evolve_core::{kernel, EvalBackend, FastForward, PeriodicConfig};
+use evolve_core::{kernel, EvalBackend, FastForward, ParallelConfig, PeriodicConfig};
 use evolve_explore::cache::EngineOptions;
 use evolve_explore::{ModelKind, ModelSpec};
 use evolve_obs::{prometheus, MetricsSnapshot};
@@ -78,6 +78,10 @@ pub struct ServeConfig {
     pub naive: bool,
     /// Attach per-shard telemetry sinks (feeds `/metrics`).
     pub telemetry: bool,
+    /// Partition workers for intra-graph parallel evaluation of scalar
+    /// compiled lanes (`<= 1` = serial sweep, the default). Large ejected
+    /// models sweep level-parallel; lockstep batches are unaffected.
+    pub partition_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +105,7 @@ impl Default for ServeConfig {
             delta: true,
             naive: false,
             telemetry: true,
+            partition_threads: 1,
         }
     }
 }
@@ -113,6 +118,13 @@ impl ServeConfig {
             record_observations: self.record_observations,
             fast_forward: self.fast_forward,
             ff_confirm_periods: self.ff_confirm_periods,
+            // Shards already pin themselves to cores; partition workers
+            // stay unpinned inside a shard's slice of the host.
+            partition: (self.partition_threads >= 2).then(|| ParallelConfig {
+                threads: self.partition_threads,
+                pin: false,
+                ..ParallelConfig::default()
+            }),
         }
     }
 }
@@ -527,10 +539,20 @@ fn drain_frames(
 /// both are bounded here — before the spec reaches a shard — and the
 /// client gets a typed error instead of a dead shard or an OOM.
 fn validate_spec(spec: &ModelSpec, cfg: &ServeConfig) -> Result<(), String> {
-    let stages = match spec.kind {
-        ModelKind::Didactic { stages } => stages,
-        ModelKind::Pipeline { stages, .. } => stages,
+    let (stages, chains) = match spec.kind {
+        ModelKind::Didactic { stages } => (stages, 1),
+        ModelKind::Pipeline { stages, .. } => (stages, 1),
+        ModelKind::WidePipeline { stages, chains, .. } => (stages, chains),
     };
+    if chains == 0 {
+        return Err("model must have at least one padding chain".to_string());
+    }
+    if chains > spec.padding.max(1) {
+        return Err(format!(
+            "padding chains {chains} exceed padding nodes {}",
+            spec.padding.max(1)
+        ));
+    }
     if stages == 0 {
         return Err("model must have at least one stage".to_string());
     }
