@@ -68,10 +68,13 @@ cargo run --release -q -p evolve-bench --bin fig5 --offline -- --quick
 
 # Daemon smoke: boot the real `evolved` binary on a loopback unix socket
 # with a live /metrics listener, drive it with serve-bench --quick (which
-# asserts lanes-per-batch > 1, a parsable serve /metrics exposition, and
-# an affinity-vs-naive scenarios/second ratio > 1 measured within this
-# run — never against an absolute baseline), then SIGTERM it and require
-# a clean drain to exit 0.
+# asserts lanes-per-batch > 1, a parsable serve /metrics exposition, an
+# affinity-vs-naive scenarios/second ratio > 1, and a flight-recorder
+# overhead ratio — attached/detached, measured within this run, never
+# against an absolute baseline), request a flight-recorder Dump (the
+# bench asserts the trace parses as JSON with at least one span per
+# lifecycle phase before writing it), then SIGTERM the daemon and
+# require a clean drain to exit 0.
 serve_dir="$(mktemp -d)"
 trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
 cargo run --release -q -p evolve-serve --bin evolved --offline -- \
@@ -86,7 +89,12 @@ done
 grep -q '^pid=' "$serve_dir/evolved.state" || { echo "ci: evolved never published its state file" >&2; exit 1; }
 metrics_addr="$(sed -n 's/^metrics=//p' "$serve_dir/evolved.state")"
 cargo run --release -q -p evolve-bench --bin serve-bench --offline -- \
-    --quick --connect "unix:$serve_dir/evolved.sock" --metrics "$metrics_addr"
+    --quick --connect "unix:$serve_dir/evolved.sock" --metrics "$metrics_addr" \
+    --dump-trace "$serve_dir/trace.json"
+for phase in queue_wait batch_form eval; do
+    grep -q "\"name\":\"$phase\"" "$serve_dir/trace.json" \
+        || { echo "ci: trace dump is missing $phase spans" >&2; exit 1; }
+done
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "ci: evolved did not exit 0 on SIGTERM" >&2; exit 1; }
 serve_pid=""

@@ -38,12 +38,12 @@ use std::sync::Arc;
 use evolve_des::{EventId, Time};
 use evolve_maxplus::MaxPlus;
 use evolve_model::{ExecRecord, LoadContext};
-use evolve_obs::{BackendKind, EngineEvent, Observer};
+use evolve_obs::{BackendKind, EngineEvent, Observer, PartitionTracer, Phase as FlightPhase};
 
 use crate::compile::{lower_node_meta, CompiledTdg, EvalBackend, Obs};
 use crate::parallel::{
     pin_current_thread, ParallelConfig, ParallelRuntime, PartitionMode, PartitionPlan,
-    PartitionStats, SpinBarrier,
+    PartitionStats, SpinBarrier, WorkerFlight,
 };
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 use crate::delta::{
@@ -249,6 +249,8 @@ struct ParSweepCtx<'a> {
     mode: PartitionMode,
     force_speculation: bool,
     pin: bool,
+    /// Attached flight recorder (serving layer), or `None` when detached.
+    flight: Option<WorkerFlight<'a>>,
 }
 
 /// One worker's deterministic counters plus its speculation log
@@ -308,6 +310,13 @@ fn sweep_partition(cx: ParSweepCtx<'_>, p: usize) -> PartitionSweepOut {
         }
         let lo = plan.bounds[l * t1 + p] as usize;
         let hi = plan.bounds[l * t1 + p + 1] as usize;
+        // Per-level sweep span (started after the barrier wait so barrier
+        // stalls show up as track gaps, not inflated sweep time). Empty
+        // levels are not recorded — they would flood the bounded ring.
+        let span_start = match cx.flight {
+            Some(f) if lo < hi => f.now_ns(),
+            _ => 0,
+        };
         for pos in lo..hi {
             let node = ct.schedule[pos] as usize;
             if cx.tail.computed[node] {
@@ -354,6 +363,11 @@ fn sweep_partition(cx: ParSweepCtx<'_>, p: usize) -> PartitionSweepOut {
                 }
             }
             cx.acc[node].store(acc.raw(), Ordering::Relaxed);
+        }
+        if let Some(f) = cx.flight {
+            if lo < hi {
+                f.record(p, FlightPhase::Sweep, span_start, f.now_ns(), l as u64);
+            }
         }
         if cx.mode == PartitionMode::Optimistic {
             // Publish: level `l` of this partition is final (Release pairs
@@ -519,6 +533,11 @@ pub struct Engine {
     /// Partitioned parallel evaluation runtime (plan + shared scratch);
     /// `None` unless [`Engine::set_partition`] enabled the path.
     parallel: Option<Box<ParallelRuntime>>,
+    /// Attached flight recorder handle (serving layer): sweep / validate /
+    /// rollback spans of the parallel path are recorded against its
+    /// per-worker tracks under the current correlation id. `None` (the
+    /// default) keeps evaluation recorder-free.
+    flight: Option<Box<PartitionTracer>>,
 }
 
 /// Snapshot of observable-state lengths, diffed after a captured call to
@@ -701,6 +720,7 @@ impl Engine {
             delta: None,
             delta_capture: None,
             parallel: None,
+            flight: None,
             tdg,
         };
         if backend == EvalBackend::CompiledParallel {
@@ -737,6 +757,29 @@ impl Engine {
     #[cfg(test)]
     pub(crate) fn size_rules(&self) -> &[SizeRule] {
         &self.size_rules
+    }
+
+    /// Attaches (or with `None` detaches) a flight-recorder handle. While
+    /// attached, the parallel path records per-worker per-level `sweep`
+    /// spans plus coordinator `validate`/`rollback` spans under the
+    /// correlation id set by [`Engine::set_flight_corr`] — host-time
+    /// telemetry only, bitwise invisible to evaluation results.
+    pub fn set_flight_recorder(&mut self, tracer: Option<PartitionTracer>) {
+        self.flight = tracer.map(Box::new);
+    }
+
+    /// Whether a flight-recorder handle is currently attached.
+    pub fn flight_attached(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Sets the correlation id stamped on subsequently recorded spans
+    /// (the serving layer calls this per admitted request). No-op when no
+    /// recorder is attached.
+    pub fn set_flight_corr(&mut self, corr: u64) {
+        if let Some(flight) = &mut self.flight {
+            flight.corr = corr;
+        }
     }
 
     /// Attaches a telemetry observer. The engine emits one
@@ -1485,6 +1528,15 @@ impl Engine {
 
         let ct = self.compiled.take().expect("parallel path gated on compiled");
         let mut rt = self.parallel.take().expect("parallel path gated on runtime");
+        // Taken (not borrowed) so the worker-facing references below don't
+        // pin `self` while later phases mutate it; restored with the
+        // runtime at the end.
+        let flight = self.flight.take();
+        let wf = flight.as_deref().map(|t| WorkerFlight {
+            recorder: &t.recorder,
+            tracks: &t.tracks,
+            corr: t.corr,
+        });
         tail.computed[input_node.index()] = true;
 
         // ---- Phase 1: seed scratch + serial size pre-pass. -------------
@@ -1546,6 +1598,7 @@ impl Engine {
             mode: rt.config.mode,
             force_speculation: rt.config.force_speculation,
             pin: rt.config.pin,
+            flight: wf,
         };
         let outs: Vec<PartitionSweepOut> = std::thread::scope(|s| {
             let handles: Vec<_> = (1..cx.plan.threads)
@@ -1561,6 +1614,13 @@ impl Engine {
         });
 
         // ---- Phase 3: validate speculation, roll back, commit. ---------
+        // Validate/rollback run on the coordinator, so their spans land on
+        // worker 0's track. Only the optimistic mode validates anything;
+        // barrier mode skips the (empty) span rather than flood the ring.
+        let validate_start = match wf {
+            Some(f) if rt.config.mode == PartitionMode::Optimistic => f.now_ns(),
+            _ => 0,
+        };
         let mut misses = 0u64;
         let mut recomputed = 0u64;
         let mut any_dirty = false;
@@ -1575,7 +1635,13 @@ impl Engine {
                 }
             }
         }
+        if let Some(f) = wf {
+            if rt.config.mode == PartitionMode::Optimistic {
+                f.record(0, FlightPhase::Validate, validate_start, f.now_ns(), misses);
+            }
+        }
         if any_dirty {
+            let rollback_start = wf.map(|f| f.now_ns());
             rt.stats.rollbacks += 1;
             // Ascending schedule order is topological for zero-delay arcs,
             // so one pass reaches the change-propagation fixed point.
@@ -1599,6 +1665,9 @@ impl Engine {
                         dirty[succ as usize] = true;
                     }
                 }
+            }
+            if let (Some(f), Some(start)) = (wf, rollback_start) {
+                f.record(0, FlightPhase::Rollback, start, f.now_ns(), recomputed);
             }
         }
         for (node, a) in rt.acc.iter().enumerate() {
@@ -1671,6 +1740,7 @@ impl Engine {
         self.ring.push_back(tail);
         self.compiled = Some(ct);
         self.parallel = Some(rt);
+        self.flight = flight;
     }
 
     /// Clones the just-finished fast-path iteration `k` into the capture

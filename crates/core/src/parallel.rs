@@ -39,6 +39,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 
 use evolve_maxplus::MaxPlus;
+use evolve_obs::{FlightRecorder, Phase, TrackId};
 
 use crate::compile::{CompiledTdg, Obs};
 use crate::derive::SizeRule;
@@ -459,6 +460,39 @@ impl ParallelRuntime {
             frontier_arcs: self.plan.cross_arcs,
             ..PartitionStats::default()
         };
+    }
+}
+
+/// Per-worker view of an attached [`FlightRecorder`]: the recorder, the
+/// per-partition-worker track table, and the correlation id of the request
+/// currently being evaluated. `Copy` so [`ParSweepCtx`](crate::engine) can
+/// hand one to every scoped worker; when no recorder is attached the sweep
+/// carries `None` and pays a single branch per level.
+///
+/// Track ownership mirrors the seqlock's single-writer contract: worker
+/// `p` records only on `tracks[p]`, and a worker beyond the registered
+/// table falls back to [`TrackId::INVALID`] — the span is dropped from the
+/// ring but still feeds the per-phase latency histograms.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WorkerFlight<'a> {
+    pub(crate) recorder: &'a FlightRecorder,
+    pub(crate) tracks: &'a [TrackId],
+    pub(crate) corr: u64,
+}
+
+impl WorkerFlight<'_> {
+    /// Nanoseconds since the recorder epoch (the shared span time base).
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.recorder.now_ns()
+    }
+
+    /// Records a finished `[start_ns, end_ns]` span on worker `p`'s track.
+    #[inline]
+    pub(crate) fn record(&self, p: usize, phase: Phase, start_ns: u64, end_ns: u64, arg: u64) {
+        let track = self.tracks.get(p).copied().unwrap_or(TrackId::INVALID);
+        self.recorder
+            .record(track, phase, self.corr, start_ns, end_ns, 0, arg);
     }
 }
 

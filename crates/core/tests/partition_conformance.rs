@@ -463,6 +463,69 @@ fn fast_forward_composes_with_partitioned_sweeps() {
     assert!(want_ff.demotions > 0, "the pattern break must demote");
 }
 
+/// Flight-recorder attachment is bitwise invisible: a partitioned engine
+/// with a recorder attached matches the detached engine exactly, while
+/// the recorder fills with per-worker `sweep` spans (and, in optimistic
+/// mode, coordinator `validate` spans) under the set correlation id.
+#[test]
+fn flight_recorder_attachment_is_bitwise_invisible() {
+    use evolve_core::obs::{FlightRecorder, PartitionTracer, Phase};
+    use std::sync::Arc;
+
+    let engine_of = || {
+        let p = synthetic::pipeline(2, 70, 2).expect("pipeline builds");
+        let relations = p.arch.app().relations().len();
+        let mut derived = derive_tdg(&p.arch).expect("pipeline derives");
+        derived.map_tdg(|tdg| synthetic::pad_wide(tdg, 128, 4));
+        Engine::with_backend(derived, relations, true, EvalBackend::Compiled)
+    };
+    let arrivals: Vec<Arrival> = (0..12u64)
+        .map(|k| Arrival { at: Time::from_ticks(k * 167), size: 1 + (k * 5) % 21 })
+        .collect();
+
+    for (mode, force) in
+        [(PartitionMode::Barrier, false), (PartitionMode::Optimistic, true)]
+    {
+        let mut detached = engine_of();
+        detached.set_partition(Some(cfg(3, mode, force)));
+        let want = drive_engine(&mut detached, &arrivals);
+
+        let recorder = Arc::new(FlightRecorder::new(4, 256));
+        let tracks: Vec<_> =
+            (0..3).map(|p| recorder.register_track(&format!("worker-{p}"))).collect();
+        let mut traced = engine_of();
+        traced.set_partition(Some(cfg(3, mode, force)));
+        assert!(!traced.flight_attached());
+        traced.set_flight_recorder(Some(PartitionTracer {
+            recorder: Arc::clone(&recorder),
+            tracks,
+            corr: 0,
+        }));
+        assert!(traced.flight_attached());
+        traced.set_flight_corr(77);
+        let got = drive_engine(&mut traced, &arrivals);
+        assert_eq!(got, want, "mode {mode}: recorder must be bitwise invisible");
+
+        let spans = recorder.spans();
+        let sweeps: Vec<_> = spans.iter().filter(|s| s.phase == Phase::Sweep).collect();
+        assert!(!sweeps.is_empty(), "mode {mode}: sweeps must be recorded");
+        assert!(sweeps.iter().all(|s| s.corr == 77), "mode {mode}: corr id stamped");
+        let worker_tracks: std::collections::BTreeSet<u16> =
+            sweeps.iter().map(|s| s.track).collect();
+        assert!(worker_tracks.len() >= 2, "mode {mode}: several workers traced");
+        if mode == PartitionMode::Optimistic {
+            assert!(
+                spans.iter().any(|s| s.phase == Phase::Validate),
+                "optimistic mode records coordinator validate spans"
+            );
+        }
+
+        // Detaching returns the engine to the recorder-free path.
+        traced.set_flight_recorder(None);
+        assert!(!traced.flight_attached());
+    }
+}
+
 /// Delta chaining composes with the partitioned path: a delta-attached
 /// sibling with partitioning enabled matches the serial delta sibling
 /// bitwise — delta hits run serially (and are counted as such), full

@@ -28,6 +28,21 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
 pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
 
+    // Build metadata first, so a scrape that is truncated mid-stream
+    // still identifies the producing binary.
+    family(
+        &mut out,
+        "evolve_build_info",
+        "Build metadata; value is always 1",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "evolve_build_info{{version=\"{}\",profile=\"{}\"}} 1",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+    );
+
     counter(
         &mut out,
         "evolve_engine_nodes_computed_total",
@@ -323,6 +338,65 @@ pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "evolve_serve_lanes_total{{path=\"{path}\"}} {value}");
     }
 
+    if let Some(gauges) = &snapshot.serve_gauges {
+        gauge(
+            &mut out,
+            "evolve_serve_queue_depth",
+            "Requests currently queued across all shards",
+            gauges.queue_depth,
+        );
+        gauge(
+            &mut out,
+            "evolve_serve_connections",
+            "Live client connections",
+            gauges.connections,
+        );
+        family(
+            &mut out,
+            "evolve_uptime_seconds",
+            "Seconds since the server started",
+            "gauge",
+        );
+        let _ = writeln!(out, "evolve_uptime_seconds {}", gauges.uptime_seconds);
+    }
+
+    if !snapshot.phases.is_empty() {
+        family(
+            &mut out,
+            "evolve_serve_phase_seconds",
+            "Request-lifecycle phase latency (flight recorder; power-of-two buckets)",
+            "histogram",
+        );
+        for p in &snapshot.phases {
+            for (le_ns, cum) in p.hist.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "evolve_serve_phase_seconds_bucket{{phase=\"{}\",le=\"{}\"}} {cum}",
+                    p.phase,
+                    le_ns as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "evolve_serve_phase_seconds_bucket{{phase=\"{}\",le=\"+Inf\"}} {}",
+                p.phase,
+                p.hist.count()
+            );
+            let _ = writeln!(
+                out,
+                "evolve_serve_phase_seconds_sum{{phase=\"{}\"}} {}",
+                p.phase,
+                p.hist.sum() as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "evolve_serve_phase_seconds_count{{phase=\"{}\"}} {}",
+                p.phase,
+                p.hist.count()
+            );
+        }
+    }
+
     family(
         &mut out,
         "evolve_events_total",
@@ -523,5 +597,44 @@ mod tests {
     fn empty_snapshot_renders_nan_ratio() {
         let text = prometheus(&TelemetrySink::new().snapshot());
         assert!(text.contains("evolve_event_ratio NaN"));
+    }
+
+    #[test]
+    fn build_info_always_present() {
+        let text = prometheus(&TelemetrySink::new().snapshot());
+        assert!(text.contains("# TYPE evolve_build_info gauge"));
+        assert!(text.contains(&format!(
+            "evolve_build_info{{version=\"{}\",profile=\"",
+            env!("CARGO_PKG_VERSION")
+        )));
+    }
+
+    #[test]
+    fn serve_gauges_and_phase_histograms_render() {
+        use crate::flight::{FlightRecorder, Phase, TrackId};
+        use crate::metrics::ServeGauges;
+
+        let recorder = FlightRecorder::new(1, 8);
+        let track = recorder.register_track("shard-0");
+        assert_ne!(track, TrackId::INVALID);
+        recorder.record(track, Phase::QueueWait, 1, 0, 1_500, 0, 0);
+        recorder.record(track, Phase::Eval, 1, 1_500, 9_000, 0, 1);
+
+        let mut snapshot = TelemetrySink::new().snapshot();
+        snapshot.phases = recorder.phase_snapshots();
+        snapshot.serve_gauges = Some(ServeGauges {
+            queue_depth: 3,
+            connections: 2,
+            uptime_seconds: 1.5,
+        });
+        let text = prometheus(&snapshot);
+        assert!(text.contains("evolve_serve_queue_depth 3"));
+        assert!(text.contains("evolve_serve_connections 2"));
+        assert!(text.contains("evolve_uptime_seconds 1.5"));
+        assert!(text.contains("# TYPE evolve_serve_phase_seconds histogram"));
+        assert!(text.contains("evolve_serve_phase_seconds_count{phase=\"queue_wait\"} 1"));
+        assert!(text.contains("evolve_serve_phase_seconds_bucket{phase=\"eval\",le=\"+Inf\"} 1"));
+        // 1500 ns rounds into the 2^11 bucket = 2048 ns = 2.048e-6 s.
+        assert!(text.contains("evolve_serve_phase_seconds_bucket{phase=\"queue_wait\",le=\"0.000002048\"} 1"));
     }
 }

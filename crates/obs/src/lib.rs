@@ -31,6 +31,7 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod observer;
@@ -38,11 +39,12 @@ pub mod trace;
 
 pub use event::{BackendKind, EjectReason, EngineEvent};
 pub use export::prometheus;
+pub use flight::{FlightRecorder, FlightSpan, PartitionTracer, Phase, TrackId};
 pub use json::Json;
 pub use metrics::{
     BatchCounters, DeltaCounters, EngineCounters, EventCounters, FfCounters, FoldedResource,
-    LogHistogram, MetricsSnapshot, PartitionCounters, PeriodUsage, ResourceMetrics,
-    ResourceSnapshot, ServeCounters, TelemetrySink,
+    LogHistogram, MetricsSnapshot, PartitionCounters, PeriodUsage, PhaseSnapshot, ResourceMetrics,
+    ResourceSnapshot, ServeCounters, ServeGauges, TelemetrySink,
 };
 pub use observer::{downcast, NullObserver, Observer};
 pub use trace::TraceCollector;

@@ -55,6 +55,28 @@ impl LogHistogram {
         (u64::BITS - value.leading_zeros()) as usize
     }
 
+    /// Bucket index of `value`, for the lock-free atomic twin in
+    /// [`crate::flight`].
+    pub(crate) fn bucket_index(value: u64) -> usize {
+        Self::bucket_of(value)
+    }
+
+    /// Reconstructs a histogram from raw parts (the atomic twin's
+    /// snapshot path).
+    pub(crate) fn from_parts(
+        buckets: [u64; HISTOGRAM_BUCKETS],
+        count: u64,
+        sum: u64,
+        max: u64,
+    ) -> LogHistogram {
+        LogHistogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.record_n(value, 1);
@@ -117,6 +139,29 @@ impl LogHistogram {
                 let upper = if i >= 64 { u64::MAX } else { 1u64 << i };
                 (upper, *c)
             })
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`); 0 when empty. Power-of-two bucket resolution:
+    /// the true quantile lies within 2x of the returned bound, which is
+    /// what p50/p95/p99 latency summaries need.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return match i {
+                    0 => 0,
+                    i if i >= 64 => u64::MAX,
+                    i => 1u64 << i,
+                };
+            }
+        }
+        self.max
     }
 
     /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs over non-empty
@@ -652,6 +697,8 @@ impl TelemetrySink {
             events: self.events,
             regimes: self.regimes.clone(),
             resources,
+            phases: Vec::new(),
+            serve_gauges: None,
         }
     }
 }
@@ -733,6 +780,29 @@ pub struct ResourceSnapshot {
     pub durations: LogHistogram,
 }
 
+/// One serving/partition lifecycle phase's latency histogram
+/// (nanosecond samples), fed by the flight recorder
+/// ([`crate::flight::FlightRecorder::phase_snapshots`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Stable phase name ([`crate::flight::Phase::name`]).
+    pub phase: &'static str,
+    /// Duration histogram, nanoseconds.
+    pub hist: LogHistogram,
+}
+
+/// Live serving gauges sampled at scrape time by the daemon's `/metrics`
+/// listener (not accumulated per shard, so not part of shard merges).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServeGauges {
+    /// Requests currently queued across all shards.
+    pub queue_depth: u64,
+    /// Live client connections.
+    pub connections: u64,
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+}
+
 /// An exportable, immutable view of everything a [`TelemetrySink`] (or a
 /// merge of shards) collected.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -755,6 +825,11 @@ pub struct MetricsSnapshot {
     pub regimes: Vec<(u64, u64)>,
     /// Per-resource metrics, sorted by resource index.
     pub resources: Vec<ResourceSnapshot>,
+    /// Per-phase request-lifecycle latency histograms (flight recorder).
+    /// Empty when no recorder is attached.
+    pub phases: Vec<PhaseSnapshot>,
+    /// Live serving gauges, set by the daemon at scrape time.
+    pub serve_gauges: Option<ServeGauges>,
 }
 
 impl MetricsSnapshot {
@@ -818,6 +893,15 @@ impl MetricsSnapshot {
             }
         }
         self.resources.sort_by_key(|r| r.resource);
+        for theirs in &other.phases {
+            match self.phases.iter_mut().find(|p| p.phase == theirs.phase) {
+                Some(ours) => ours.hist.merge(&theirs.hist),
+                None => self.phases.push(theirs.clone()),
+            }
+        }
+        if self.serve_gauges.is_none() {
+            self.serve_gauges = other.serve_gauges;
+        }
     }
 
     /// Renders the snapshot as a JSON document (see
@@ -1006,6 +1090,44 @@ impl MetricsSnapshot {
             (
                 "event_ratio",
                 self.event_ratio().map_or(Json::Null, Json::F64),
+            ),
+            (
+                "serve_phases",
+                Json::Array(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::object([
+                                ("phase", Json::str(p.phase)),
+                                ("count", Json::U64(p.hist.count())),
+                                (
+                                    "p50_seconds",
+                                    Json::F64(p.hist.quantile(0.50) as f64 / 1e9),
+                                ),
+                                (
+                                    "p95_seconds",
+                                    Json::F64(p.hist.quantile(0.95) as f64 / 1e9),
+                                ),
+                                (
+                                    "p99_seconds",
+                                    Json::F64(p.hist.quantile(0.99) as f64 / 1e9),
+                                ),
+                                ("mean_seconds", Json::F64(p.hist.mean() / 1e9)),
+                                ("max_seconds", Json::F64(p.hist.max() as f64 / 1e9)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "serve_gauges",
+                self.serve_gauges.map_or(Json::Null, |g| {
+                    Json::object([
+                        ("queue_depth", Json::U64(g.queue_depth)),
+                        ("connections", Json::U64(g.connections)),
+                        ("uptime_seconds", Json::F64(g.uptime_seconds)),
+                    ])
+                }),
             ),
             (
                 "resources",

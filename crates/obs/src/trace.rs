@@ -135,7 +135,31 @@ impl TraceCollector {
         self.tracks.iter().map(|t| (t.lane, t.resource))
     }
 
+    /// Folds another collector into this one: raw intervals merge by
+    /// `(lane, resource)` track, spans and instants concatenate. Both
+    /// collectors must share a host-time base (created back to back, or
+    /// spans pushed with endpoints from one collector's
+    /// [`now_us`](TraceCollector::now_us)); the export is deterministic
+    /// under any merge order because [`to_chrome_trace`] orders tracks,
+    /// spans, and instants canonically.
+    ///
+    /// [`to_chrome_trace`]: TraceCollector::to_chrome_trace
+    pub fn merge(&mut self, other: TraceCollector) {
+        for track in other.tracks {
+            self.track_slot(track.lane, track.resource)
+                .raw
+                .extend(track.raw);
+        }
+        self.spans.extend(other.spans);
+        self.instants.extend(other.instants);
+    }
+
     /// Renders the Chrome trace-event document.
+    ///
+    /// The output is deterministic for a given set of recorded data
+    /// regardless of insertion or [`merge`](TraceCollector::merge)
+    /// order: tracks are ordered by `(lane, resource)`, host spans by
+    /// `(start, end, name)`, and instants by `(time, name)`.
     pub fn to_chrome_trace(&self) -> Json {
         let mut events: Vec<Json> = Vec::new();
         events.push(metadata_event(
@@ -145,7 +169,9 @@ impl TraceCollector {
             "observation time (ticks as \u{00b5}s/1000)",
         ));
         events.push(metadata_event("process_name", PID_HOST, 0, "host time"));
-        for (tid, track) in self.tracks.iter().enumerate() {
+        let mut track_order: Vec<&Track> = self.tracks.iter().collect();
+        track_order.sort_by_key(|t| (t.lane, t.resource));
+        for (tid, track) in track_order.iter().enumerate() {
             let tid = tid as u64 + 1;
             events.push(metadata_event(
                 "thread_name",
@@ -165,7 +191,14 @@ impl TraceCollector {
             }
         }
         events.push(metadata_event("thread_name", PID_HOST, 1, "engine"));
-        for span in &self.spans {
+        let mut span_order: Vec<&HostSpan> = self.spans.iter().collect();
+        span_order.sort_by(|a, b| {
+            a.start_us
+                .total_cmp(&b.start_us)
+                .then(a.end_us.total_cmp(&b.end_us))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        for span in span_order {
             events.push(Json::object([
                 ("name", Json::str(span.name.clone())),
                 ("ph", Json::str("X")),
@@ -175,7 +208,10 @@ impl TraceCollector {
                 ("dur", Json::F64(span.end_us - span.start_us)),
             ]));
         }
-        for instant in &self.instants {
+        let mut instant_order: Vec<&HostInstant> = self.instants.iter().collect();
+        instant_order
+            .sort_by(|a, b| a.at_us.total_cmp(&b.at_us).then_with(|| a.name.cmp(&b.name)));
+        for instant in instant_order {
             events.push(Json::object([
                 ("name", Json::str(instant.name.clone())),
                 ("ph", Json::str("i")),
@@ -310,6 +346,54 @@ mod tests {
         assert!(doc.contains("\"dur\":2")); // 2000 ticks = 2 µs
         assert!(doc.contains("lane 0 / resource 1"));
         assert!(doc.contains("\"reset\""));
+    }
+
+    #[test]
+    fn merged_shards_export_deterministically_in_either_order() {
+        // Two "shard" collectors with interleaved spans, instants, and
+        // overlapping (lane, resource) tracks: merging a⟵b and b⟵a must
+        // render byte-identical documents.
+        let build = |flip: bool| {
+            let mut a = TraceCollector::new();
+            let mut b = TraceCollector::new();
+            a.push_span("dispatch batch 1", 10.0, 30.0);
+            b.push_span("dispatch batch 2", 5.0, 12.0);
+            a.push_span("dispatch batch 3", 5.0, 9.0);
+            b.push_span("drain", 10.0, 30.0); // same interval as batch 1
+            a.on_records(0, &[rec(0, 0, 10), rec(1, 4, 6)]);
+            b.on_records(0, &[rec(0, 8, 20)]);
+            b.on_records(2, &[rec(0, 0, 5)]);
+            if flip {
+                b.merge(a);
+                b
+            } else {
+                a.merge(b);
+                a
+            }
+        };
+        let forward = build(false).to_chrome_trace().render();
+        let backward = build(true).to_chrome_trace().render();
+        assert_eq!(forward, backward);
+        // Merged overlapping track intervals still coalesce.
+        assert!(forward.contains("\"dur\":0.02")); // [0,20) ticks on (0,0)
+    }
+
+    #[test]
+    fn push_span_order_does_not_leak_into_export() {
+        let mut a = TraceCollector::new();
+        a.push_span("later", 100.0, 110.0);
+        a.push_span("earlier", 1.0, 2.0);
+        let mut b = TraceCollector::new();
+        b.push_span("earlier", 1.0, 2.0);
+        b.push_span("later", 100.0, 110.0);
+        assert_eq!(
+            a.to_chrome_trace().render(),
+            b.to_chrome_trace().render()
+        );
+        let doc = a.to_chrome_trace().render();
+        let earlier = doc.find("earlier").expect("earlier span");
+        let later = doc.find("later").expect("later span");
+        assert!(earlier < later, "spans must export in start order");
     }
 
     #[test]

@@ -35,6 +35,11 @@ OPTIONS:
     --max-trace-tokens N     generated-trace arrivals cap [default: 524288]
     --partition-threads N    intra-graph partition workers for large scalar
                              lanes, <= 1 = serial sweep [default: 1]
+    --trace-out PATH         write a Chrome-trace JSON dump of the flight
+                             recorder on SIGUSR1 and at shutdown
+    --flight-spans N         flight-recorder ring capacity per track, rounded
+                             up to a power of two [default: 1024]
+    --no-flight-recorder     disable the always-on flight recorder
     --naive                  baseline mode: fresh engine per request, no batching
     --no-delta               disable cross-request delta chaining
     --no-fast-forward        disable periodic fast-forward
@@ -57,6 +62,7 @@ fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut preload = false;
     let mut state_file: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -109,6 +115,15 @@ fn main() -> ExitCode {
                 Ok(v) => config.partition_threads = v,
                 Err(e) => return fail(&e),
             },
+            "--trace-out" => match value("--trace-out") {
+                Ok(v) => trace_out = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--flight-spans" => match value("--flight-spans").and_then(parse_usize) {
+                Ok(v) => config.flight_spans = v.max(1),
+                Err(e) => return fail(&e),
+            },
+            "--no-flight-recorder" => config.flight_recorder = false,
             "--naive" => config.naive = true,
             "--no-delta" => config.delta = false,
             "--no-fast-forward" => config.fast_forward = evolve_core::FastForward::Off,
@@ -183,11 +198,40 @@ fn main() -> ExitCode {
 
     while !signal::triggered() {
         std::thread::sleep(Duration::from_millis(50));
+        if signal::take_usr1() {
+            dump_trace(&server, trace_out.as_deref());
+        }
+    }
+    if trace_out.is_some() {
+        // Final snapshot before the drain consumes the server; spans from
+        // the drain itself are observable via a SIGUSR1 dump instead.
+        dump_trace(&server, trace_out.as_deref());
     }
     eprintln!("evolved: draining in-flight batches");
     server.shutdown_and_join();
     eprintln!("evolved: drained, exiting");
     ExitCode::SUCCESS
+}
+
+/// Writes the flight-recorder dump atomically (write-then-rename, like the
+/// state file) so a Perfetto user never loads a torn JSON document.
+fn dump_trace(server: &Server, trace_out: Option<&str>) {
+    let Some(json) = server.dump_trace() else {
+        eprintln!("evolved: flight recorder disabled, nothing to dump");
+        return;
+    };
+    let Some(path) = trace_out else {
+        eprintln!("evolved: SIGUSR1 without --trace-out, dump discarded");
+        return;
+    };
+    let tmp = format!("{path}.tmp");
+    let ok = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.sync_all()))
+        .and_then(|()| std::fs::rename(&tmp, path));
+    match ok {
+        Ok(()) => eprintln!("evolved: trace dumped to {path}"),
+        Err(e) => eprintln!("evolved: cannot write trace {path}: {e}"),
+    }
 }
 
 fn parse_usize(v: String) -> Result<usize, String> {

@@ -176,6 +176,8 @@ pub enum Request {
         /// Echoed on the [`Response::Pong`].
         nonce: u64,
     },
+    /// Dump the flight recorder as Chrome trace JSON (tag `0x04`).
+    Dump,
 }
 
 /// Evaluation result payload.
@@ -232,6 +234,13 @@ pub enum Response {
     Loaded {
         /// Registry name from the [`Request::Load`].
         name: String,
+    },
+    /// Flight-recorder dump (tag `0x86`): a Perfetto-loadable Chrome
+    /// trace JSON document. An empty `traceEvents` document when the
+    /// daemon runs with the recorder disabled.
+    Trace {
+        /// The rendered trace document.
+        json: String,
     },
 }
 
@@ -336,6 +345,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u8(&mut buf, 0x03);
             put_u64(&mut buf, *nonce);
         }
+        Request::Dump => {
+            put_u8(&mut buf, 0x04);
+        }
     }
     buf
 }
@@ -386,6 +398,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Loaded { name } => {
             put_u8(&mut buf, 0x85);
             put_str(&mut buf, name);
+        }
+        Response::Trace { json } => {
+            put_u8(&mut buf, 0x86);
+            put_str(&mut buf, json);
         }
     }
     buf
@@ -536,6 +552,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             spec: c.model()?,
         },
         0x03 => Request::Ping { nonce: c.u64()? },
+        0x04 => Request::Dump,
         t => return Err(WireError::UnknownTag(t)),
     };
     c.finish()?;
@@ -596,6 +613,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         },
         0x84 => Response::Pong { nonce: c.u64()? },
         0x85 => Response::Loaded { name: c.string()? },
+        0x86 => Response::Trace { json: c.string()? },
         t => return Err(WireError::UnknownTag(t)),
     };
     c.finish()?;

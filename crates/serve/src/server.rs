@@ -16,12 +16,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use evolve_core::{kernel, EvalBackend, FastForward, ParallelConfig, PeriodicConfig};
 use evolve_explore::cache::EngineOptions;
 use evolve_explore::{ModelKind, ModelSpec};
-use evolve_obs::{prometheus, MetricsSnapshot};
+use evolve_obs::{prometheus, FlightRecorder, MetricsSnapshot, ServeGauges};
 
 use crate::net::Conn;
 use crate::protocol::{
@@ -82,6 +82,12 @@ pub struct ServeConfig {
     /// compiled lanes (`<= 1` = serial sweep, the default). Large ejected
     /// models sweep level-parallel; lockstep batches are unaffected.
     pub partition_threads: usize,
+    /// Always-on request-lifecycle flight recorder (per-shard span rings
+    /// + per-phase latency histograms). Disable to measure its cost.
+    pub flight_recorder: bool,
+    /// Spans each flight-recorder track retains before wrap-around
+    /// eviction (rounded up to a power of two).
+    pub flight_spans: usize,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +112,8 @@ impl Default for ServeConfig {
             naive: false,
             telemetry: true,
             partition_threads: 1,
+            flight_recorder: true,
+            flight_spans: 1024,
         }
     }
 }
@@ -181,6 +189,9 @@ pub fn default_models() -> Vec<(String, ModelSpec)> {
 struct GlobalCounters {
     connections: AtomicU64,
     rejected: AtomicU64,
+    /// Currently-open protocol connections (the live gauge; `connections`
+    /// above is cumulative).
+    live: AtomicU64,
 }
 
 struct ShardPort {
@@ -196,6 +207,12 @@ struct ServerCtx {
     registry: Mutex<HashMap<String, ModelSpec>>,
     counters: GlobalCounters,
     reader_joins: Mutex<Vec<JoinHandle<()>>>,
+    /// The request-lifecycle flight recorder; `None` when disabled.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Correlation-id source: assigned once per admitted request.
+    next_corr: AtomicU64,
+    /// Daemon start, for the uptime gauge.
+    started: Instant,
 }
 
 /// A running daemon; dropping it without
@@ -238,8 +255,15 @@ impl Server {
         let cfg = Arc::new(config);
         let shutdown = Arc::new(AtomicBool::new(false));
         let shard_count = cfg.shards.max(1);
+        // One track per shard loop plus one per partition worker; the
+        // table is sized exactly, so registration can never overflow
+        // into the no-op handle.
+        let flight = cfg.flight_recorder.then(|| {
+            let workers = if cfg.partition_threads >= 2 { cfg.partition_threads } else { 0 };
+            Arc::new(FlightRecorder::new(shard_count * (1 + workers), cfg.flight_spans))
+        });
         let shards: Vec<ShardHandle> = (0..shard_count)
-            .map(|i| spawn_shard(i, Arc::clone(&cfg)))
+            .map(|i| spawn_shard(i, Arc::clone(&cfg), flight.clone()))
             .collect();
         let ports = shards
             .iter()
@@ -256,6 +280,9 @@ impl Server {
             registry: Mutex::new(HashMap::new()),
             counters: GlobalCounters::default(),
             reader_joins: Mutex::new(Vec::new()),
+            flight,
+            next_corr: AtomicU64::new(1),
+            started: Instant::now(),
         });
 
         let mut accept_joins = Vec::new();
@@ -346,6 +373,13 @@ impl Server {
     /// Requests shed with BUSY so far.
     pub fn rejected(&self) -> u64 {
         self.ctx.counters.rejected.load(Ordering::SeqCst)
+    }
+
+    /// Renders the flight recorder as Chrome trace JSON (what a
+    /// [`Request::Dump`] or SIGUSR1 produces); `None` when the daemon
+    /// runs with the recorder disabled.
+    pub fn dump_trace(&self) -> Option<String> {
+        self.ctx.flight.as_ref().map(|r| r.render_chrome_trace())
     }
 
     /// Graceful shutdown: stops accepting, lets reader threads drain
@@ -440,12 +474,16 @@ fn spawn_reader(mut conn: Conn, ctx: &Arc<ServerCtx>) {
         return;
     }
     ctx.counters.connections.fetch_add(1, Ordering::SeqCst);
+    ctx.counters.live.fetch_add(1, Ordering::SeqCst);
     let shard_idx =
         ctx.next_shard.fetch_add(1, Ordering::SeqCst) % ctx.ports.len().max(1);
     let ctx2 = Arc::clone(ctx);
     let join = std::thread::Builder::new()
         .name("evolve-conn".into())
-        .spawn(move || reader_loop(conn, shard_idx, ctx2))
+        .spawn(move || {
+            reader_loop(conn, shard_idx, Arc::clone(&ctx2));
+            ctx2.counters.live.fetch_sub(1, Ordering::SeqCst);
+        })
         .expect("spawn connection reader");
     joins.push(join);
 }
@@ -586,12 +624,26 @@ fn validate_trace(trace: &TracePayload, cfg: &ServeConfig) -> Result<(), String>
     Ok(())
 }
 
+/// Short family tag of an inline spec, used as the flight-recorder span
+/// label (named models use their registry name instead).
+fn family_of(spec: &ModelSpec) -> &'static str {
+    match spec.kind {
+        ModelKind::Didactic { .. } => "didactic",
+        ModelKind::Pipeline { .. } => "pipeline",
+        ModelKind::WidePipeline { .. } => "wide-pipeline",
+    }
+}
+
 fn handle_payload(
     payload: &[u8],
     writer: &Arc<Mutex<Conn>>,
     shard_idx: usize,
     ctx: &Arc<ServerCtx>,
 ) -> bool {
+    // Decode is timed on the reader thread but recorded by the shard
+    // worker (per-track single-writer discipline), so the pair of
+    // instants travels with the job.
+    let decode_start = ctx.flight.as_ref().map_or(0, |f| f.now_ns());
     let request = match decode_request(payload) {
         Ok(req) => req,
         Err(e) => {
@@ -607,9 +659,35 @@ fn handle_payload(
             return true;
         }
     };
+    let decode_end = ctx.flight.as_ref().map_or(0, |f| f.now_ns());
     match request {
         Request::Ping { nonce } => {
             respond(writer, &Response::Pong { nonce }, ctx);
+        }
+        Request::Dump => {
+            let json = match &ctx.flight {
+                Some(rec) => rec.render_chrome_trace(),
+                None => "{\"traceEvents\":[]}".to_string(),
+            };
+            // A dump larger than the frame cap would poison the stream
+            // (write_frame refuses it and the connection closes); answer
+            // with a typed error instead.
+            if json.len() + 16 > ctx.cfg.max_frame_len {
+                respond(
+                    writer,
+                    &Response::Error {
+                        id: 0,
+                        message: format!(
+                            "trace dump ({} bytes) exceeds frame cap {}; lower --flight-spans",
+                            json.len(),
+                            ctx.cfg.max_frame_len
+                        ),
+                    },
+                    ctx,
+                );
+            } else {
+                respond(writer, &Response::Trace { json }, ctx);
+            }
         }
         Request::Load { name, spec } => {
             if let Err(message) = validate_spec(&spec, &ctx.cfg) {
@@ -623,8 +701,11 @@ fn handle_payload(
             respond(writer, &Response::Loaded { name }, ctx);
         }
         Request::Eval(req) => {
-            let spec = match req.model {
-                ModelRef::Inline(spec) => spec,
+            let (spec, label) = match req.model {
+                ModelRef::Inline(spec) => {
+                    let label = ctx.flight.as_ref().map_or(0, |f| f.intern(family_of(&spec)));
+                    (spec, label)
+                }
                 ModelRef::Named(name) => {
                     let found = ctx
                         .registry
@@ -633,7 +714,12 @@ fn handle_payload(
                         .get(&name)
                         .cloned();
                     match found {
-                        Some(spec) => spec,
+                        Some(spec) => {
+                            // The client-supplied name becomes the span
+                            // label; the exporter escapes it.
+                            let label = ctx.flight.as_ref().map_or(0, |f| f.intern(&name));
+                            (spec, label)
+                        }
                         None => {
                             respond(
                                 writer,
@@ -666,11 +752,19 @@ fn handle_payload(
                 respond(writer, &Response::Busy { id: req.id }, ctx);
                 return true;
             }
+            // Correlation id assigned at admission: shed requests never
+            // consume one, so ids in a trace are exactly the admitted set.
+            let corr = ctx.next_corr.fetch_add(1, Ordering::Relaxed);
+            let admitted_ns = ctx.flight.as_ref().map_or(0, |f| f.now_ns());
             let job = Job {
                 id: req.id,
                 spec,
                 arrivals: req.trace.arrivals(),
                 writer: Arc::clone(writer),
+                corr,
+                admitted_ns,
+                decode: (decode_start, decode_end),
+                label,
             };
             if port.sender.send(job).is_err() {
                 port.depth.fetch_sub(1, Ordering::SeqCst);
@@ -710,6 +804,18 @@ fn merged_snapshot(slots: &[Arc<Mutex<MetricsSnapshot>>], ctx: &ServerCtx) -> Me
     }
     total.serve.connections += ctx.counters.connections.load(Ordering::SeqCst);
     total.serve.rejected += ctx.counters.rejected.load(Ordering::SeqCst);
+    if let Some(rec) = &ctx.flight {
+        total.phases = rec.phase_snapshots();
+    }
+    total.serve_gauges = Some(ServeGauges {
+        queue_depth: ctx
+            .ports
+            .iter()
+            .map(|p| p.depth.load(Ordering::SeqCst) as u64)
+            .sum(),
+        connections: ctx.counters.live.load(Ordering::SeqCst),
+        uptime_seconds: ctx.started.elapsed().as_secs_f64(),
+    });
     total
 }
 

@@ -14,7 +14,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use evolve_core::{DeltaStats, EvalBackend, FastForwardStats};
+use evolve_core::{DeltaStats, Engine, EvalBackend, FastForwardStats};
 use evolve_explore::cache::{
     delta_family_key, drive_prepared, drive_prepared_batch, prepare, prepare_batch, DeltaBases,
     DeltaLaneOutcome, DeltaMode, EngineCaches, EngineOptions, PreparedDrive,
@@ -22,7 +22,8 @@ use evolve_explore::cache::{
 use evolve_explore::{ModelSpec, ScenarioOutcome};
 use evolve_model::Arrival;
 use evolve_obs::{
-    BatchCounters, DeltaCounters, MetricsSnapshot, ServeCounters, TelemetrySink,
+    BatchCounters, DeltaCounters, FlightRecorder, MetricsSnapshot, PartitionTracer, Phase,
+    ServeCounters, TelemetrySink, TrackId,
 };
 
 use crate::net::Conn;
@@ -41,6 +42,15 @@ pub(crate) struct Job {
     pub spec: ModelSpec,
     pub arrivals: Vec<Arrival>,
     pub writer: Arc<Mutex<Conn>>,
+    /// Server-assigned correlation id (admission order).
+    pub corr: u64,
+    /// Recorder instant of admission (queue-wait span start).
+    pub admitted_ns: u64,
+    /// Recorder instants around wire decode, measured on the reader
+    /// thread and recorded here (single writer per track).
+    pub decode: (u64, u64),
+    /// Interned span label: the named-model id or the inline family tag.
+    pub label: u32,
 }
 
 /// A shard's public face: the job queue, its admission depth gauge, and
@@ -53,16 +63,30 @@ pub(crate) struct ShardHandle {
 }
 
 /// Spawns one shard worker thread.
-pub(crate) fn spawn_shard(index: usize, cfg: Arc<ServeConfig>) -> ShardHandle {
+pub(crate) fn spawn_shard(
+    index: usize,
+    cfg: Arc<ServeConfig>,
+    flight: Option<Arc<FlightRecorder>>,
+) -> ShardHandle {
     let (sender, receiver) = mpsc::channel::<Job>();
     let depth = Arc::new(AtomicUsize::new(0));
     let published = Arc::new(Mutex::new(MetricsSnapshot::default()));
     let worker_depth = Arc::clone(&depth);
     let worker_published = Arc::clone(&published);
+    // Track registration happens here, before the thread exists, so the
+    // dump's track order is deterministic: shard-0, its workers, shard-1…
+    let flight = flight.map(|recorder| {
+        let track = recorder.register_track(&format!("shard-{index}"));
+        let workers = if cfg.partition_threads >= 2 { cfg.partition_threads } else { 0 };
+        let worker_tracks: Vec<TrackId> = (0..workers)
+            .map(|p| recorder.register_track(&format!("shard-{index}/worker-{p}")))
+            .collect();
+        ShardFlight { recorder, track, worker_tracks }
+    });
     let join = std::thread::Builder::new()
         .name(format!("evolve-shard-{index}"))
         .spawn(move || {
-            Worker::new(cfg, worker_depth, worker_published).run(receiver);
+            Worker::new(cfg, worker_depth, worker_published, flight).run(receiver);
         })
         .expect("spawn shard worker");
     ShardHandle {
@@ -76,6 +100,24 @@ pub(crate) fn spawn_shard(index: usize, cfg: Arc<ServeConfig>) -> ShardHandle {
 struct Group {
     jobs: Vec<Job>,
     first_at: Instant,
+    /// Recorder instant of group creation (batch-form span start).
+    formed_ns: u64,
+}
+
+/// A shard's view of the flight recorder: its own track (the single
+/// writer is the shard thread) and the pre-registered partition-worker
+/// tracks it lends to engines via [`PartitionTracer`].
+struct ShardFlight {
+    recorder: Arc<FlightRecorder>,
+    track: TrackId,
+    worker_tracks: Vec<TrackId>,
+}
+
+impl ShardFlight {
+    fn record(&self, phase: Phase, corr: u64, start_ns: u64, end_ns: u64, label: u32, arg: u64) {
+        self.recorder
+            .record(self.track, phase, corr, start_ns, end_ns, label, arg);
+    }
 }
 
 struct Worker {
@@ -88,6 +130,7 @@ struct Worker {
     depth: Arc<AtomicUsize>,
     published: Arc<Mutex<MetricsSnapshot>>,
     last_publish: Option<Instant>,
+    flight: Option<ShardFlight>,
 }
 
 impl Worker {
@@ -95,6 +138,7 @@ impl Worker {
         cfg: Arc<ServeConfig>,
         depth: Arc<AtomicUsize>,
         published: Arc<Mutex<MetricsSnapshot>>,
+        flight: Option<ShardFlight>,
     ) -> Self {
         let options = cfg.engine_options();
         let sink = cfg.telemetry.then(|| Box::new(TelemetrySink::new()));
@@ -108,7 +152,33 @@ impl Worker {
             depth,
             published,
             last_publish: None,
+            flight,
         }
+    }
+
+    /// Recorder time, or 0 when detached (nothing will be recorded).
+    fn flight_now(&self) -> u64 {
+        self.flight.as_ref().map_or(0, |f| f.recorder.now_ns())
+    }
+
+    /// Lends the shard's partition-worker tracks to a scalar engine so
+    /// the parallel path emits sweep/validate/rollback spans under this
+    /// request's correlation id. The shard evaluates one engine at a
+    /// time, so the per-track single-writer contract holds even though
+    /// cached engines share the tracks.
+    fn attach_flight(flight: &Option<ShardFlight>, engine: &mut Engine, corr: u64) {
+        let Some(f) = flight else { return };
+        if f.worker_tracks.is_empty() {
+            return;
+        }
+        if !engine.flight_attached() {
+            engine.set_flight_recorder(Some(PartitionTracer {
+                recorder: Arc::clone(&f.recorder),
+                tracks: f.worker_tracks.clone(),
+                corr,
+            }));
+        }
+        engine.set_flight_corr(corr);
     }
 
     fn run(mut self, receiver: Receiver<Job>) {
@@ -130,18 +200,21 @@ impl Worker {
                     self.counters.requests += 1;
                     if immediate {
                         let spec = job.spec.clone();
-                        self.dispatch(&spec, vec![job], true);
+                        let formed_ns = self.flight_now();
+                        self.dispatch(&spec, vec![job], true, formed_ns);
                         continue;
                     }
                     let pos = groups.iter().position(|(spec, _)| *spec == job.spec);
                     match pos {
                         Some(i) => groups[i].1.jobs.push(job),
                         None => {
+                            let formed_ns = self.flight_now();
                             groups.push((
                                 job.spec.clone(),
                                 Group {
                                     first_at: Instant::now(),
                                     jobs: vec![job],
+                                    formed_ns,
                                 },
                             ));
                         }
@@ -151,7 +224,7 @@ impl Worker {
                         .position(|(_, g)| g.jobs.len() >= width)
                         .map(|i| groups.swap_remove(i));
                     if let Some((spec, group)) = full {
-                        self.dispatch(&spec, group.jobs, true);
+                        self.dispatch(&spec, group.jobs, true, group.formed_ns);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -163,7 +236,7 @@ impl Worker {
                     // Graceful drain: every already-admitted request is
                     // evaluated and answered before the shard exits.
                     for (spec, group) in groups.drain(..) {
-                        self.dispatch(&spec, group.jobs, false);
+                        self.dispatch(&spec, group.jobs, false, group.formed_ns);
                     }
                     self.publish(true);
                     return;
@@ -175,7 +248,7 @@ impl Worker {
                 if now.saturating_duration_since(groups[i].1.first_at) >= self.cfg.max_batch_delay
                 {
                     let (spec, group) = groups.swap_remove(i);
-                    self.dispatch(&spec, group.jobs, false);
+                    self.dispatch(&spec, group.jobs, false, group.formed_ns);
                 } else {
                     i += 1;
                 }
@@ -183,13 +256,25 @@ impl Worker {
         }
     }
 
-    fn dispatch(&mut self, spec: &ModelSpec, jobs: Vec<Job>, full: bool) {
+    fn dispatch(&mut self, spec: &ModelSpec, jobs: Vec<Job>, full: bool, formed_ns: u64) {
         if full {
             self.counters.batches_full += 1;
         } else {
             self.counters.batches_deadline += 1;
         }
         let n = jobs.len();
+        if let Some(f) = &self.flight {
+            // Per-request lifecycle spans up to dispatch: decode
+            // (measured on the reader thread), queue wait (admission →
+            // here), and group formation (first lane parked → here,
+            // annotated with the lane count and model family).
+            let now = f.recorder.now_ns();
+            for job in &jobs {
+                f.record(Phase::Decode, job.corr, job.decode.0, job.decode.1, job.label, 0);
+                f.record(Phase::QueueWait, job.corr, job.admitted_ns, now, 0, 0);
+                f.record(Phase::BatchForm, job.corr, formed_ns, now, job.label, n as u64);
+            }
+        }
         let batchable = !self.cfg.naive
             && n >= 2
             && spec.backend == EvalBackend::Compiled
@@ -242,7 +327,16 @@ impl Worker {
         let before_iters = prepared.engine.stats().batched_iterations;
         let before_kernel = prepared.engine.kernel_dispatch();
         let traces: Vec<&[Arrival]> = jobs.iter().map(|j| j.arrivals.as_slice()).collect();
+        let eval_start = self.flight_now();
         let (outcomes, _reused, _wall) = drive_prepared_batch(&mut prepared, &traces, &mut self.sink);
+        let eval_end = self.flight_now();
+        if let Some(f) = &self.flight {
+            // One eval span per lane (every admitted request gets one),
+            // all covering the shared lockstep drive.
+            for job in &jobs {
+                f.record(Phase::Eval, job.corr, eval_start, eval_end, job.label, n as u64);
+            }
+        }
         if let Some(sink) = self.sink.as_deref_mut() {
             let after_kernel = prepared.engine.kernel_dispatch();
             sink.record_batch(BatchCounters {
@@ -271,7 +365,7 @@ impl Worker {
             }
             self.counters.lanes_batched += 1;
             let resp = eval_ok(job.id, &outcome, ff, None, true, n as u32);
-            self.respond(&job.writer, &Response::EvalOk(resp));
+            self.respond(&job.writer, &Response::EvalOk(resp), job.corr);
         }
         if let Some(Ok(pool)) = self.caches.batch.get_mut(spec) {
             pool.push(prepared);
@@ -289,21 +383,22 @@ impl Worker {
             (None, Some(_)) => DeltaMode::CaptureBase,
             (None, None) => DeltaMode::Off,
         };
+        let eval_start = self.flight_now();
         let drive = if self.cfg.naive {
             // Baseline serving strategy: a fresh engine per request, no
             // cache, no delta chain — what a one-request-per-process
             // evaluator would do.
             let mut fresh = prepare(spec, &options);
+            Self::attach_flight(&self.flight, &mut fresh.engine, job.corr);
             drive_prepared(&mut fresh, &job.arrivals, &options, &mut self.sink, mode)
         } else {
-            drive_prepared(
-                self.caches.scalar_mut(spec, &options),
-                &job.arrivals,
-                &options,
-                &mut self.sink,
-                mode,
-            )
+            let prepared = self.caches.scalar_mut(spec, &options);
+            Self::attach_flight(&self.flight, &mut prepared.engine, job.corr);
+            drive_prepared(prepared, &job.arrivals, &options, &mut self.sink, mode)
         };
+        if let Some(f) = &self.flight {
+            f.record(Phase::Eval, job.corr, eval_start, f.recorder.now_ns(), job.label, 1);
+        }
         let PreparedDrive {
             outcome,
             fast_forward,
@@ -342,11 +437,13 @@ impl Worker {
         }
         self.counters.lanes_scalar += 1;
         let resp = eval_ok(job.id, &outcome, fast_forward, attached, false, lanes_in_batch);
-        self.respond(&job.writer, &Response::EvalOk(resp));
+        self.respond(&job.writer, &Response::EvalOk(resp), job.corr);
     }
 
-    fn respond(&mut self, writer: &Arc<Mutex<Conn>>, resp: &Response) {
+    fn respond(&mut self, writer: &Arc<Mutex<Conn>>, resp: &Response, corr: u64) {
+        let encode_start = self.flight_now();
         let payload = encode_response(resp);
+        let write_start = self.flight_now();
         let mut conn = writer.lock().unwrap_or_else(|e| e.into_inner());
         match write_frame(&mut *conn, &payload, self.cfg.max_frame_len) {
             Ok(()) => {
@@ -361,6 +458,13 @@ impl Worker {
                 conn.shutdown();
                 self.counters.errors += 1;
             }
+        }
+        drop(conn);
+        if let Some(f) = &self.flight {
+            f.record(Phase::Encode, corr, encode_start, write_start, 0, 0);
+            // The write span includes lock acquisition: contention on the
+            // connection writer is response-path latency too.
+            f.record(Phase::Write, corr, write_start, f.recorder.now_ns(), 0, payload.len() as u64);
         }
     }
 

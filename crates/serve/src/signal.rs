@@ -1,15 +1,21 @@
-//! Minimal SIGTERM/SIGINT latch without a libc dependency.
+//! Minimal SIGTERM/SIGINT/SIGUSR1 latches without a libc dependency.
 //!
-//! The handler only stores into an atomic flag (async-signal-safe); the
-//! daemon's main loop polls [`triggered`] and runs the graceful drain
-//! from ordinary thread context.
+//! The handlers only store into atomic flags (async-signal-safe); the
+//! daemon's main loop polls [`triggered`] for the graceful drain and
+//! [`take_usr1`] for on-demand flight-recorder dumps, both from ordinary
+//! thread context.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static TRIGGERED: AtomicBool = AtomicBool::new(false);
+static USR1: AtomicBool = AtomicBool::new(false);
 
 const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
+#[cfg(target_os = "linux")]
+const SIGUSR1: i32 = 10;
+#[cfg(not(target_os = "linux"))]
+const SIGUSR1: i32 = 30;
 
 #[allow(unsafe_code)]
 mod raw {
@@ -23,6 +29,10 @@ mod raw {
         super::TRIGGERED.store(true, super::Ordering::SeqCst);
     }
 
+    extern "C" fn on_usr1(_signum: i32) {
+        super::USR1.store(true, super::Ordering::SeqCst);
+    }
+
     pub(super) fn install(signum: i32) {
         // SAFETY: `signal(2)` with a function pointer whose body is a
         // single atomic store; both are async-signal-safe.
@@ -30,12 +40,20 @@ mod raw {
             signal(signum, on_signal as *const () as usize);
         }
     }
+
+    pub(super) fn install_usr1(signum: i32) {
+        // SAFETY: as above — the handler is one atomic store.
+        unsafe {
+            signal(signum, on_usr1 as *const () as usize);
+        }
+    }
 }
 
-/// Installs the latch for SIGTERM and SIGINT. Idempotent.
+/// Installs the latches for SIGTERM, SIGINT, and SIGUSR1. Idempotent.
 pub fn install() {
     raw::install(SIGTERM);
     raw::install(SIGINT);
+    raw::install_usr1(SIGUSR1);
 }
 
 /// Whether a termination signal has been received since [`install`].
@@ -43,7 +61,14 @@ pub fn triggered() -> bool {
     TRIGGERED.load(Ordering::SeqCst)
 }
 
-/// Resets the latch (test support).
+/// Consumes a pending SIGUSR1 (dump request): `true` at most once per
+/// delivered signal.
+pub fn take_usr1() -> bool {
+    USR1.swap(false, Ordering::SeqCst)
+}
+
+/// Resets the latches (test support).
 pub fn reset() {
     TRIGGERED.store(false, Ordering::SeqCst);
+    USR1.store(false, Ordering::SeqCst);
 }

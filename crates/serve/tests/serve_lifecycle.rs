@@ -26,6 +26,13 @@ mod sys {
             kill(pid as i32, 15);
         }
     }
+
+    pub fn sigusr1(pid: u32) {
+        // SAFETY: as above.
+        unsafe {
+            kill(pid as i32, 10);
+        }
+    }
 }
 
 fn spec() -> ModelSpec {
@@ -137,6 +144,13 @@ fn metrics_listener_serves_prometheus_text() {
     assert!(body.contains(r#"evolve_serve_lanes_total{path="scalar"}"#));
     // Engine families flow through the same exposition.
     assert!(body.contains("evolve_engine_nodes_computed_total"));
+    // Live gauges, identity, and the flight-recorder phase histograms.
+    assert!(body.contains("evolve_serve_queue_depth "));
+    assert!(body.contains("evolve_serve_connections 1"));
+    assert!(body.contains("# TYPE evolve_build_info gauge"));
+    assert!(body.contains("evolve_uptime_seconds "));
+    assert!(body.contains("# TYPE evolve_serve_phase_seconds histogram"));
+    assert!(body.contains("evolve_serve_phase_seconds_count{phase=\"eval\"} "));
 
     let missing = http_get(&metrics_addr.to_string(), "/nope");
     assert!(missing.contains("not found"));
@@ -219,5 +233,68 @@ fn sigterm_drains_in_flight_batches_and_exits_zero() {
 
     let status = child.wait().unwrap();
     assert!(status.success(), "evolved should exit 0, got {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGUSR1 on the real daemon binary dumps the flight recorder to the
+/// `--trace-out` path without disturbing service, and shutdown writes a
+/// final dump.
+#[cfg(target_os = "linux")]
+#[test]
+fn sigusr1_dumps_flight_recorder_to_trace_out() {
+    let dir = std::env::temp_dir().join(format!("evolved-usr1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("evolved.sock");
+    let state = dir.join("evolved.state");
+    let trace = dir.join("trace.json");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_evolved"))
+        .args([
+            "--unix",
+            socket.to_str().unwrap(),
+            "--shards",
+            "1",
+            "--state-file",
+            state.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn evolved");
+    wait_for_state(&state, &mut child);
+
+    let mut client = ServeClient::connect_unix(&socket).unwrap();
+    for id in 0..3 {
+        match client.call(&eval(id)).unwrap() {
+            Response::EvalOk(_) => {}
+            other => panic!("expected EvalOk, got {other:?}"),
+        }
+    }
+
+    sys::sigusr1(child.id());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let dumped = loop {
+        if let Ok(body) = std::fs::read_to_string(&trace) {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "SIGUSR1 never produced a trace dump");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(evolve_obs::json::parses(&dumped), "dumped trace is not valid JSON");
+    assert!(dumped.contains("\"name\":\"eval\""), "dump has no eval spans");
+
+    // Service is undisturbed after the dump.
+    match client.call(&eval(99)).unwrap() {
+        Response::EvalOk(ok) => assert_eq!(ok.id, 99),
+        other => panic!("post-dump eval failed: {other:?}"),
+    }
+
+    sys::sigterm(child.id());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "evolved should exit 0, got {status}");
+    let final_dump = std::fs::read_to_string(&trace).expect("shutdown trace dump");
+    assert!(evolve_obs::json::parses(&final_dump));
     let _ = std::fs::remove_dir_all(&dir);
 }
